@@ -1,0 +1,118 @@
+// Experiment: Figure 2 (the mechanism's per-construct checks) and the
+// Section 6 complexity claim — "both mechanisms can be computed in time
+// proportional to the length of the program, once the program has been
+// parsed". Series: certification wall time and ns/AST-node for CFM and the
+// Denning baseline across three orders of magnitude of program size (a flat
+// ns/node column reproduces the linearity claim), plus per-construct
+// microbenchmarks for every row of Figure 2.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace cfm {
+namespace {
+
+// --- Figure 2 rows, in isolation --------------------------------------------
+
+const Program& ConstructProgram(const std::string& source) {
+  static auto* cache = new std::map<std::string, std::unique_ptr<Program>>();
+  auto it = cache->find(source);
+  if (it == cache->end()) {
+    SourceManager sm("<bench>", source);
+    DiagnosticEngine diags;
+    auto program = ParseProgram(sm, diags);
+    it = cache->emplace(source, std::make_unique<Program>(std::move(*program))).first;
+  }
+  return *it->second;
+}
+
+void BM_Fig2_Construct(benchmark::State& state, const char* source) {
+  const Program& program = ConstructProgram(source);
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.certified());
+  }
+}
+BENCHMARK_CAPTURE(BM_Fig2_Construct, assignment, "var x, y : integer; x := y + 1");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, alternation,
+                  "var x, y : integer; if x = 0 then y := 1 else y := 2");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, iteration,
+                  "var x, y : integer; while x # 0 do y := y + 1");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, composition,
+                  "var x, y : integer; s : semaphore initially(0);"
+                  "begin wait(s); x := 1; y := 2 end");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, cobegin,
+                  "var x, y : integer; cobegin x := 1 || y := 2 coend");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, wait, "var s : semaphore initially(0); wait(s)");
+BENCHMARK_CAPTURE(BM_Fig2_Construct, signal, "var s : semaphore initially(0); signal(s)");
+
+// --- Section 6 linearity: certification time vs program length ---------------
+
+void BM_Cfm_Scaling(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.counters["ast_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_Cfm_Scaling)->RangeMultiplier(4)->Range(64, 65536);
+
+void BM_Denning_Scaling(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result =
+        CertifyDenning(program, binding, DenningMode::kPermissive);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.counters["ast_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_Denning_Scaling)->RangeMultiplier(4)->Range(64, 65536);
+
+// Parsing, for the "once the program has been parsed" caveat: the frontend
+// is also linear, so end-to-end certification is linear too.
+void BM_Parse_Scaling(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  std::string source = PrintProgram(program);
+  uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    SourceManager sm("<bench>", source);
+    DiagnosticEngine diags;
+    auto reparsed = ParseProgram(sm, diags);
+    benchmark::DoNotOptimize(reparsed->stmt_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.counters["source_bytes"] = static_cast<double>(source.size());
+}
+BENCHMARK(BM_Parse_Scaling)->RangeMultiplier(4)->Range(64, 16384);
+
+// Rejected bindings exercise the violation-reporting path.
+void BM_Cfm_RejectingBinding(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  Rng rng(7);
+  StaticBinding binding = GenerateBinding(program, bench::TwoPoint(), BindingStyle::kRandom, rng);
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.violations().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * CountNodes(program.root())));
+}
+BENCHMARK(BM_Cfm_RejectingBinding)->Range(256, 16384);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

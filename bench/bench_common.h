@@ -1,0 +1,70 @@
+// Shared helpers for the benchmark harness: cached generated programs and
+// corpus fixtures so generation cost stays outside the timed regions.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/static_binding.h"
+#include "src/gen/program_gen.h"
+#include "src/lang/ast.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace bench {
+
+// One generated program per (approximate) statement-count bucket, built once
+// per process. Structural mode (arbitrary loop conditions): these corpora
+// feed the static tools.
+inline const Program& ProgramOfSize(uint32_t target_stmts) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<Program>>();
+  auto it = cache->find(target_stmts);
+  if (it == cache->end()) {
+    GenOptions gen;
+    gen.seed = 0x5EED + target_stmts;
+    gen.target_stmts = target_stmts;
+    gen.executable = false;
+    gen.int_vars = 12;
+    gen.bool_vars = 4;
+    gen.semaphores = 4;
+    it = cache->emplace(target_stmts, std::make_unique<Program>(GenerateProgram(gen))).first;
+  }
+  return *it->second;
+}
+
+// Executable-mode sibling for interpreter benches.
+inline const Program& ExecutableProgramOfSize(uint32_t target_stmts) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<Program>>();
+  auto it = cache->find(target_stmts);
+  if (it == cache->end()) {
+    GenOptions gen;
+    gen.seed = 0xE5EED + target_stmts;
+    gen.target_stmts = target_stmts;
+    gen.executable = true;
+    it = cache->emplace(target_stmts, std::make_unique<Program>(GenerateProgram(gen))).first;
+  }
+  return *it->second;
+}
+
+// The always-certifying uniform binding (all variables one class).
+inline StaticBinding UniformBinding(const Program& program, const Lattice& base) {
+  StaticBinding binding(base, program.symbols());
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    binding.Bind(symbol.id, base.Top());
+  }
+  return binding;
+}
+
+inline const TwoPointLattice& TwoPoint() {
+  static TwoPointLattice lattice;
+  return lattice;
+}
+
+}  // namespace bench
+}  // namespace cfm
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,103 @@
+// Experiment: the flow-logic assertion engine (Section 3) — normalization,
+// conjunction, syntactic substitution (the axioms' workhorse), and the
+// entailment decision procedure, as the number of bounded variables grows.
+// The proof checker performs O(1) of these per derivation step, so these
+// costs govern proof-checking throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/lang/symbol_table.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/extended.h"
+#include "src/logic/assertion.h"
+
+namespace cfm {
+namespace {
+
+struct AssertionFixture {
+  AssertionFixture(uint64_t vars, uint64_t levels)
+      : base(ChainLattice::WithLevels(levels)), ext(base) {
+    for (uint64_t v = 0; v < vars; ++v) {
+      policy = policy.WithAtom(ClassExpr::VarClass(static_cast<SymbolId>(v)),
+                               ext.FromBase(v % levels), ext);
+    }
+    policy = policy.WithLocalBound(ext.Low(), ext).WithGlobalBound(ext.Low(), ext);
+  }
+
+  ChainLattice base;
+  ExtendedLattice ext;
+  FlowAssertion policy;
+};
+
+AssertionFixture& FixtureOf(uint64_t vars) {
+  static auto* cache = new std::map<uint64_t, std::unique_ptr<AssertionFixture>>();
+  auto it = cache->find(vars);
+  if (it == cache->end()) {
+    it = cache->emplace(vars, std::make_unique<AssertionFixture>(vars, 8)).first;
+  }
+  return *it->second;
+}
+
+void BM_Assertion_WithAtom(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  ClassExpr joined = ClassExpr::VarClass(0)
+                         .Join(ClassExpr::VarClass(1), fixture.ext)
+                         .Join(ClassExpr::Local(), fixture.ext);
+  for (auto _ : state) {
+    FlowAssertion result = fixture.policy.WithAtom(joined, fixture.ext.Low(), fixture.ext);
+    benchmark::DoNotOptimize(result.is_false());
+  }
+}
+BENCHMARK(BM_Assertion_WithAtom)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Assertion_Conjoin(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    FlowAssertion result = fixture.policy.Conjoin(fixture.policy, fixture.ext);
+    benchmark::DoNotOptimize(result.is_false());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_Assertion_Conjoin)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Assertion_Substitute(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  // The assignment axiom's substitution: x0 <- x1 + local + global.
+  ClassExpr replacement = ClassExpr::VarClass(1)
+                              .Join(ClassExpr::Local(), fixture.ext)
+                              .Join(ClassExpr::Global(), fixture.ext);
+  for (auto _ : state) {
+    FlowAssertion result =
+        fixture.policy.Substitute({{TermRef::Var(0), replacement}}, fixture.ext);
+    benchmark::DoNotOptimize(result.is_false());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_Assertion_Substitute)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Assertion_Entails(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  FlowAssertion weaker = fixture.policy.VPart();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.policy.Entails(weaker, fixture.ext));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_Assertion_Entails)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Assertion_Equivalence(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  FlowAssertion copy = fixture.policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.policy.EquivalentTo(copy, fixture.ext));
+  }
+}
+BENCHMARK(BM_Assertion_Equivalence)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Experiment: binding inference (the conclusion's "dynamic classifications"
+// direction) — constraint-system extraction and least-fixpoint solving as
+// program size and lattice height grow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/cfm.h"
+#include "src/core/inference.h"
+#include "src/lattice/chain.h"
+
+namespace cfm {
+namespace {
+
+void BM_ExtractConstraints(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  uint64_t constraints = 0;
+  for (auto _ : state) {
+    std::vector<FlowConstraint> system = ExtractConstraints(program.root());
+    constraints = system.size();
+    benchmark::DoNotOptimize(system.data());
+  }
+  state.counters["constraints"] = static_cast<double>(constraints);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * CountNodes(program.root())));
+}
+BENCHMARK(BM_ExtractConstraints)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_InferBinding_TwoPoint(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    InferenceResult result = InferBinding(program, bench::TwoPoint(), {});
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * CountNodes(program.root())));
+}
+BENCHMARK(BM_InferBinding_TwoPoint)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_InferBinding_ChainHeight(benchmark::State& state) {
+  // Fixpoint iterations scale with lattice height; program size fixed.
+  const Program& program = bench::ProgramOfSize(1024);
+  ChainLattice lattice = ChainLattice::WithLevels(static_cast<uint64_t>(state.range(0)));
+  // Pin the first integer variable to the top to force propagation.
+  std::vector<std::pair<SymbolId, ClassId>> pins = {{0, lattice.Top()}};
+  for (auto _ : state) {
+    InferenceResult result = InferBinding(program, lattice, pins);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.counters["lattice_height"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_InferBinding_ChainHeight)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_InferThenCertify(benchmark::State& state) {
+  // The full auto-labeling workflow: infer least binding, then certify.
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    InferenceResult result = InferBinding(program, bench::TwoPoint(), {});
+    CertificationResult certification = CertifyCfm(program, result.binding);
+    benchmark::DoNotOptimize(certification.certified());
+  }
+}
+BENCHMARK(BM_InferThenCertify)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Experiment: the dynamic substrate — interpreter step throughput (plain vs
+// label-monitored, quantifying the monitor's overhead), the Figure 3 covert
+// channel's simulated bandwidth (Section 4.3's "arbitrary amount of
+// information" amplification), and exhaustive schedule exploration
+// throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/lang/parser.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/interpreter.h"
+
+namespace cfm {
+namespace {
+
+const Program& Fig3() {
+  static auto* program = new Program([] {
+    static const char* kFig3 =
+        "var x, y, m : integer;"
+        "modify, modified, read, done : semaphore initially(0);"
+        "cobegin begin m := 0;"
+        "if x # 0 then begin signal(modify); wait(modified) end;"
+        "signal(read); wait(done);"
+        "if x = 0 then begin signal(modify); wait(modified) end end"
+        "|| begin wait(modify); m := 1; signal(modified) end"
+        "|| begin wait(read); y := m; signal(done) end coend";
+    SourceManager sm("<fig3>", kFig3);
+    DiagnosticEngine diags;
+    auto parsed = ParseProgram(sm, diags);
+    return std::move(*parsed);
+  }());
+  return *program;
+}
+
+void BM_Interpreter_Steps(benchmark::State& state) {
+  const Program& program = bench::ExecutableProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  uint64_t seed = 1;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    RandomScheduler scheduler(seed++);
+    RunOptions options;
+    options.step_limit = 1'000'000;
+    RunResult result = interpreter.Run(scheduler, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+  state.SetLabel("items = interpreter steps");
+}
+BENCHMARK(BM_Interpreter_Steps)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_Interpreter_StepsWithMonitor(benchmark::State& state) {
+  const Program& program = bench::ExecutableProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  CompiledProgram code = Compile(program);
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  Interpreter interpreter(code, program.symbols());
+  uint64_t seed = 1;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    RandomScheduler scheduler(seed++);
+    RunOptions options;
+    options.step_limit = 1'000'000;
+    options.track_labels = true;
+    options.binding = &binding;
+    RunResult result = interpreter.Run(scheduler, options);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.status);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+  state.SetLabel("items = monitored steps");
+}
+BENCHMARK(BM_Interpreter_StepsWithMonitor)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_Fig3_CovertChannelBandwidth(benchmark::State& state) {
+  // One run of the Figure 3 program transmits one bit of x into y
+  // (Section 4.3: loop the processes to transmit arbitrarily many).
+  // items/sec here IS the channel's simulated bandwidth in bits/sec.
+  const Program& program = Fig3();
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  SymbolId x = *program.symbols().Lookup("x");
+  SymbolId y = *program.symbols().Lookup("y");
+  uint64_t secret = 0xA5A5A5A5;
+  uint64_t bit = 0;
+  uint64_t received = 0;
+  for (auto _ : state) {
+    RunOptions options;
+    options.initial_values = {{x, static_cast<int64_t>(secret >> (bit % 32) & 1)}};
+    RoundRobinScheduler scheduler;
+    RunResult result = interpreter.Run(scheduler, options);
+    received = received << 1 | static_cast<uint64_t>(result.values[y]);
+    ++bit;
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel("items = bits transmitted x->y");
+}
+BENCHMARK(BM_Fig3_CovertChannelBandwidth);
+
+void BM_Fig3_ExhaustiveExploration(benchmark::State& state) {
+  const Program& program = Fig3();
+  CompiledProgram code = Compile(program);
+  SymbolId x = *program.symbols().Lookup("x");
+  uint64_t states = 0;
+  for (auto _ : state) {
+    RunOptions options;
+    options.initial_values = {{x, 1}};
+    ExploreResult result = ExploreAllSchedules(code, program.symbols(), options);
+    states += result.states_visited;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(states));
+  state.SetLabel("items = states visited");
+}
+BENCHMARK(BM_Fig3_ExhaustiveExploration);
+
+void BM_Channel_PingPong(benchmark::State& state) {
+  // Two processes bouncing a token over a pair of channels; items/sec is
+  // message throughput of the channel substrate.
+  static const char* kPingPong =
+      "var v, w, r1, r2 : integer; ping, pong : channel; "
+      "cobegin "
+      "  begin r1 := 0; while r1 < 64 do begin "
+      "    send(ping, r1); receive(pong, v); r1 := r1 + 1 end end "
+      "|| "
+      "  begin r2 := 0; while r2 < 64 do begin "
+      "    receive(ping, w); send(pong, w + 1); r2 := r2 + 1 end end "
+      "coend";
+  SourceManager sm("<pp>", kPingPong);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  if (!program) {
+    state.SkipWithError("ping-pong program failed to parse");
+    return;
+  }
+  CompiledProgram code = Compile(*program);
+  Interpreter interpreter(code, program->symbols());
+  uint64_t seed = 1;
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    RandomScheduler scheduler(seed++);
+    RunOptions options;
+    options.step_limit = 1'000'000;
+    RunResult result = interpreter.Run(scheduler, options);
+    benchmark::DoNotOptimize(result.status);
+    messages += 128;  // 64 pings + 64 pongs.
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+  state.SetLabel("items = messages passed");
+}
+BENCHMARK(BM_Channel_PingPong);
+
+void BM_Compile_Bytecode(benchmark::State& state) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    CompiledProgram code = Compile(program);
+    benchmark::DoNotOptimize(code.code.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * CountNodes(program.root())));
+}
+BENCHMARK(BM_Compile_Bytecode)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

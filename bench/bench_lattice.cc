@@ -1,0 +1,123 @@
+// Experiment: the classification-scheme substrate (Definitions 1 and 4).
+// Series: Leq/Join/Meet cost per lattice family and size (CFM executes a
+// constant number of these per AST node, so they set the linearity
+// constant), Hasse-lattice construction (transitive closure + LUB/GLB
+// tables), and exhaustive validation cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+void OpsOverLattice(benchmark::State& state, const Lattice& lattice) {
+  const uint64_t n = lattice.size();
+  uint64_t i = 1;
+  uint64_t j = n / 2 + 1;
+  for (auto _ : state) {
+    ClassId a = i % n;
+    ClassId b = j % n;
+    benchmark::DoNotOptimize(lattice.Leq(a, b));
+    benchmark::DoNotOptimize(lattice.Join(a, b));
+    benchmark::DoNotOptimize(lattice.Meet(a, b));
+    i += 3;
+    j += 5;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+}
+
+void BM_TwoPointOps(benchmark::State& state) {
+  TwoPointLattice lattice;
+  OpsOverLattice(state, lattice);
+}
+BENCHMARK(BM_TwoPointOps);
+
+void BM_ChainOps(benchmark::State& state) {
+  ChainLattice lattice = ChainLattice::WithLevels(static_cast<uint64_t>(state.range(0)));
+  OpsOverLattice(state, lattice);
+}
+BENCHMARK(BM_ChainOps)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_PowersetOps(benchmark::State& state) {
+  std::vector<std::string> categories;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    categories.push_back("c" + std::to_string(i));
+  }
+  PowersetLattice lattice(categories);
+  OpsOverLattice(state, lattice);
+}
+BENCHMARK(BM_PowersetOps)->Arg(4)->Arg(16)->Arg(48);
+
+void BM_MilitaryProductOps(benchmark::State& state) {
+  ChainLattice levels = ChainLattice::WithLevels(4);
+  PowersetLattice compartments({"a", "b", "c", "d"});
+  ProductLattice lattice(levels, compartments);
+  OpsOverLattice(state, lattice);
+}
+BENCHMARK(BM_MilitaryProductOps);
+
+void BM_ExtendedOps(benchmark::State& state) {
+  ChainLattice base = ChainLattice::WithLevels(16);
+  ExtendedLattice lattice(base);
+  OpsOverLattice(state, lattice);
+}
+BENCHMARK(BM_ExtendedOps);
+
+std::unique_ptr<HasseLattice> GridLattice(uint64_t side) {
+  // side x side grid (product of two chains) as an explicit Hasse diagram.
+  std::vector<std::string> names;
+  std::vector<std::pair<uint64_t, uint64_t>> covers;
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      names.push_back("n" + std::to_string(r) + "_" + std::to_string(c));
+      if (r + 1 < side) {
+        covers.push_back({r * side + c, (r + 1) * side + c});
+      }
+      if (c + 1 < side) {
+        covers.push_back({r * side + c, r * side + c + 1});
+      }
+    }
+  }
+  auto result = HasseLattice::Create(std::move(names), covers);
+  return std::move(result.value());
+}
+
+void BM_HasseOps(benchmark::State& state) {
+  auto lattice = GridLattice(static_cast<uint64_t>(state.range(0)));
+  OpsOverLattice(state, *lattice);
+}
+BENCHMARK(BM_HasseOps)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HasseConstruction(benchmark::State& state) {
+  const uint64_t side = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto lattice = GridLattice(side);
+    benchmark::DoNotOptimize(lattice->size());
+  }
+  state.counters["elements"] = static_cast<double>(side * side);
+}
+BENCHMARK(BM_HasseConstruction)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ValidateLattice(benchmark::State& state) {
+  auto lattice = GridLattice(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto verdict = ValidateLattice(*lattice);
+    benchmark::DoNotOptimize(verdict.ok());
+  }
+  state.counters["elements"] = static_cast<double>(lattice->size());
+}
+BENCHMARK(BM_ValidateLattice)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Experiment: Theorems 1 and 2 at scale — constructing the completely
+// invariant flow proof from a CFM certificate and re-validating it with the
+// independent checker, as program size grows. Series: build time, check
+// time, and derivation size per AST node (both linear; the proof is a
+// constant-factor object over the parse tree, matching the appendix's
+// induction).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/cfm.h"
+#include "src/lang/parser.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+
+namespace cfm {
+namespace {
+
+struct ProofFixture {
+  const Program* program;
+  StaticBinding binding;
+  CertificationResult certification;
+};
+
+ProofFixture& FixtureOfSize(uint32_t target) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<ProofFixture>>();
+  auto it = cache->find(target);
+  if (it == cache->end()) {
+    const Program& program = bench::ProgramOfSize(target);
+    StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+    CertificationResult certification = CertifyCfm(program, binding);
+    it = cache->emplace(target, std::make_unique<ProofFixture>(ProofFixture{
+                                    &program, std::move(binding), std::move(certification)}))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_Theorem1_Build(benchmark::State& state) {
+  ProofFixture& fixture = FixtureOfSize(static_cast<uint32_t>(state.range(0)));
+  uint64_t proof_nodes = 0;
+  for (auto _ : state) {
+    Proof proof = BuildInvariantCandidate(fixture.program->root(), fixture.program->symbols(),
+                                          fixture.binding, fixture.certification);
+    proof_nodes = proof.root->Size();
+    benchmark::DoNotOptimize(proof.root.get());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * CountNodes(fixture.program->root())));
+  state.counters["proof_nodes"] = static_cast<double>(proof_nodes);
+  state.counters["ast_nodes"] = static_cast<double>(CountNodes(fixture.program->root()));
+}
+BENCHMARK(BM_Theorem1_Build)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_Theorem1_Check(benchmark::State& state) {
+  ProofFixture& fixture = FixtureOfSize(static_cast<uint32_t>(state.range(0)));
+  Proof proof = BuildInvariantCandidate(fixture.program->root(), fixture.program->symbols(),
+                                        fixture.binding, fixture.certification);
+  ProofChecker checker(fixture.binding.extended(), fixture.program->symbols());
+  for (auto _ : state) {
+    auto error = checker.Check(*proof.root);
+    benchmark::DoNotOptimize(error.has_value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * proof.root->Size()));
+  state.counters["proof_nodes"] = static_cast<double>(proof.root->Size());
+}
+BENCHMARK(BM_Theorem1_Check)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_Theorem1_BuildPlusCheck_Fig3(benchmark::State& state) {
+  // The paper's own example as a fixed-point reference row.
+  static const char* kFig3 =
+      "var x, y, m : integer;"
+      "modify, modified, read, done : semaphore initially(0);"
+      "cobegin begin m := 0;"
+      "if x # 0 then begin signal(modify); wait(modified) end;"
+      "signal(read); wait(done);"
+      "if x = 0 then begin signal(modify); wait(modified) end end"
+      "|| begin wait(modify); m := 1; signal(modified) end"
+      "|| begin wait(read); y := m; signal(done) end coend";
+  SourceManager sm("<fig3>", kFig3);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  StaticBinding binding = bench::UniformBinding(*program, bench::TwoPoint());
+  CertificationResult certification = CertifyCfm(*program, binding);
+  ProofChecker checker(binding.extended(), program->symbols());
+  for (auto _ : state) {
+    Proof proof = BuildInvariantCandidate(program->root(), program->symbols(), binding,
+                                          certification);
+    auto error = checker.Check(*proof.root);
+    benchmark::DoNotOptimize(error.has_value());
+  }
+}
+BENCHMARK(BM_Theorem1_BuildPlusCheck_Fig3);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

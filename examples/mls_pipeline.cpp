@@ -1,0 +1,135 @@
+// A multi-level-secure telemetry pipeline over the military classification
+// model (clearance chain × compartment powerset — Denning 1976): three
+// concurrent stages share buffers guarded by semaphores. The example builds
+// the product lattice, certifies the pipeline with CFM, demonstrates the
+// covert channel CFM forbids (an unclassified write sequenced after a
+// classified rendezvous), and uses binding inference to auto-label the
+// internal buffers from the pinned endpoints.
+//
+//   $ ./build/examples/mls_pipeline
+
+#include <iostream>
+#include <memory>
+
+#include "src/core/cfm.h"
+#include "src/core/inference.h"
+#include "src/lang/parser.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+
+namespace {
+
+// Producer samples a (secret, {nuclear}) sensor into a shared buffer; the
+// filter folds it into an aggregate; the auditor logs an unclassified
+// heartbeat BEFORE synchronizing with the classified stages, then records a
+// classified completion mark after the rendezvous. Everything the pipeline's
+// classified progress can influence — including the loop counter ticks and
+// the completion mark audit — must carry the classification, and CFM checks
+// exactly that.
+constexpr const char* kPipeline = R"(
+var
+  sensor    : integer class (secret, {nuclear});
+  buffer    : integer class (secret, {nuclear});
+  aggregate : integer class (top_secret, {nuclear});
+  ticks     : integer class (secret, {nuclear});
+  health    : integer class (unclassified, {});
+  audit     : integer class (secret, {nuclear});
+  empty : semaphore initially(1) class (secret, {nuclear});
+  full  : semaphore initially(0) class (secret, {nuclear});
+  ready : semaphore initially(0) class (secret, {nuclear});
+cobegin
+  begin
+    ticks := 0;
+    while ticks < 2 do begin
+      wait(empty);
+      buffer := sensor * 2 + 1;
+      signal(full);
+      ticks := ticks + 1
+    end
+  end
+||
+  begin
+    wait(full);
+    aggregate := aggregate + buffer;
+    signal(empty);
+    wait(full);
+    aggregate := aggregate + buffer;
+    signal(empty);
+    signal(ready)
+  end
+||
+  begin
+    health := 1;
+    wait(ready);
+    audit := 1
+  end
+coend
+)";
+
+}  // namespace
+
+int main() {
+  // The military model: totally ordered clearances times a compartment set.
+  cfm::ChainLattice levels({"unclassified", "confidential", "secret", "top_secret"});
+  cfm::PowersetLattice compartments({"nuclear", "crypto"});
+  cfm::ProductLattice military(levels, compartments);
+  std::cout << "classification scheme: " << military.Describe() << " ("
+            << military.size() << " classes)\n\n";
+
+  cfm::SourceManager sm("mls_pipeline.cfm", kPipeline);
+  cfm::DiagnosticEngine diags;
+  auto program = cfm::ParseProgram(sm, diags);
+  if (!program) {
+    std::cerr << diags.RenderAll(sm);
+    return 1;
+  }
+  auto binding = cfm::StaticBinding::FromAnnotations(military, program->symbols());
+  if (!binding.ok()) {
+    std::cerr << binding.error() << "\n";
+    return 1;
+  }
+
+  // --- Certify the annotated pipeline ---------------------------------------
+  std::cout << "== certification of the annotated pipeline ==\n";
+  cfm::CertificationResult result = cfm::CertifyCfm(*program, *binding);
+  std::cout << result.Summary(program->symbols(), binding->extended()) << "\n";
+  if (!result.certified()) {
+    return 1;
+  }
+
+  // --- The covert channel CFM forbids ----------------------------------------
+  // If the completion mark were unclassified, observing it would reveal that
+  // the classified pipeline made progress (the Figure 3 channel in MLS
+  // clothing). CFM pinpoints the wait -> assignment composition.
+  std::cout << "== what if the completion mark 'audit' were unclassified? ==\n";
+  cfm::StaticBinding leaky = *binding;
+  leaky.Bind(*program->symbols().Lookup("audit"), military.Bottom());
+  cfm::CertificationResult broken = cfm::CertifyCfm(*program, leaky);
+  std::cout << broken.Summary(program->symbols(), leaky.extended()) << "\n";
+
+  // --- Auto-labeling via inference -------------------------------------------
+  // Pin only the endpoints — the sensor's classification and the public
+  // heartbeat — and derive the least labels of every internal buffer,
+  // counter and semaphore.
+  std::cout << "== least internal labels with only the endpoints pinned ==\n";
+  cfm::InferenceResult inferred = cfm::InferBinding(
+      *program, military,
+      {{*program->symbols().Lookup("sensor"),
+        military.Pack(*levels.FindElement("secret"), *compartments.FindElement("{nuclear}"))},
+       {*program->symbols().Lookup("health"), military.Bottom()}});
+  if (!inferred.ok()) {
+    std::cout << "endpoint pins are unsatisfiable:\n";
+    for (const auto& conflict : inferred.conflicts) {
+      std::cout << "  " << program->symbols().at(conflict.target).name << " needs "
+                << military.ElementName(conflict.required) << "\n";
+    }
+    return 1;
+  }
+  std::cout << inferred.binding.Describe(program->symbols());
+  std::cout << "\n(" << inferred.constraints.size()
+            << " flow constraints solved; the inferred binding certifies: "
+            << (cfm::CertifyCfm(*program, inferred.binding).certified() ? "yes" : "no")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+-- The channel analogue of Figure 3: which channel carries the token reveals
+-- the secret's zero-test; no assignment mentions h.
+var
+  h : integer class high;
+  l, token : integer class high;
+  zero, nonzero : channel class high;
+cobegin
+  if h = 0 then send(zero, 1) else send(nonzero, 1)
+||
+  begin receive(zero, token); l := 0 end
+||
+  begin receive(nonzero, token); l := 1 end
+coend

@@ -1,0 +1,22 @@
+-- Figure 3 of the paper: information flow using synchronization.
+-- The semaphore ordering transmits x's zero-test into y even though no
+-- assignment ever mentions x. (The SOSP'79 text shows a trailing second
+-- wait(done) that would contradict the paper's own deadlock-freedom claim;
+-- this is the balanced reading with one wait/signal per semaphore.)
+var
+  x : integer class high;
+  y, m : integer class high;
+  modify, modified, read, done : semaphore initially(0) class high;
+cobegin
+  begin
+    m := 0;
+    if x # 0 then begin signal(modify); wait(modified) end;
+    signal(read);
+    wait(done);
+    if x = 0 then begin signal(modify); wait(modified) end
+  end
+||
+  begin wait(modify); m := 1; signal(modified) end
+||
+  begin wait(read); y := m; signal(done) end
+coend

@@ -1,0 +1,13 @@
+-- A two-stage review pipeline: drafts flow upward only. The reviewer's
+-- go-ahead semaphore must carry the draft's classification because the
+-- publisher's statement is sequenced after the wait.
+var
+  draft    : integer class secret;
+  reviewed : integer class secret;
+  published : integer class topsecret;
+  ready : semaphore initially(0) class secret;
+cobegin
+  begin reviewed := draft + 1; signal(ready) end
+||
+  begin wait(ready); published := reviewed end
+coend

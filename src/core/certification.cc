@@ -1,0 +1,68 @@
+#include "src/core/certification.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "src/lang/printer.h"
+
+namespace cfm {
+
+std::string_view ToString(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kAssignDirect:
+      return "direct flow (assignment)";
+    case CheckKind::kIfLocal:
+      return "local indirect flow (alternation)";
+    case CheckKind::kWhileGlobal:
+      return "global flow (iteration)";
+    case CheckKind::kCompositionGlobal:
+      return "global flow (composition)";
+    case CheckKind::kUnsupportedConstruct:
+      return "unsupported construct";
+  }
+  return "unknown";
+}
+
+std::string CertificationResult::Summary(const SymbolTable& /*symbols*/,
+                                         const ExtendedLattice& extended) const {
+  std::ostringstream os;
+  os << mechanism_ << ": " << (certified() ? "CERTIFIED" : "REJECTED") << "\n";
+  for (const Violation& violation : violations_) {
+    os << "  [" << ToString(violation.kind) << "] at " << ToString(violation.stmt->range())
+       << ": " << violation.message;
+    if (violation.kind != CheckKind::kUnsupportedConstruct) {
+      os << " (" << extended.ElementName(violation.flow_class) << " is not <= "
+         << extended.ElementName(violation.bound_class) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string CertificationResult::FactsTable(const Stmt& root, const SymbolTable& symbols,
+                                            const ExtendedLattice& extended) const {
+  std::ostringstream os;
+  os << std::left << std::setw(44) << "statement" << std::setw(14) << "mod(S)"
+     << std::setw(14) << "flow(S)" << "cert(S)\n";
+  ForEachStmt(root, [&](const Stmt& stmt) {
+    const StmtFacts& stmt_facts = facts(stmt);
+    if (!stmt_facts.computed) {
+      return;
+    }
+    std::string text = PrintStmt(stmt, symbols);
+    size_t newline = text.find('\n');
+    if (newline != std::string::npos) {
+      text = text.substr(0, newline) + " ...";
+    }
+    if (text.size() > 42) {
+      text = text.substr(0, 39) + "...";
+    }
+    os << std::left << std::setw(44) << text << std::setw(14)
+       << extended.ElementName(stmt_facts.mod) << std::setw(14)
+       << extended.ElementName(stmt_facts.flow) << (stmt_facts.cert ? "true" : "FALSE")
+       << "\n";
+  });
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,87 @@
+// Shared result types for the certification mechanisms (CFM and the
+// Denning–Denning baseline): per-statement facts (mod/flow/cert) and
+// structured violations with human-readable rendering.
+
+#ifndef SRC_CORE_CERTIFICATION_H_
+#define SRC_CORE_CERTIFICATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/lattice/extended.h"
+
+namespace cfm {
+
+// Which Figure 2 (or baseline) check failed.
+enum class CheckKind : uint8_t {
+  // sbind(e) ≤ sbind(x) for x := e.
+  kAssignDirect,
+  // sbind(e) ≤ mod(S) for if e then S1 else S2.
+  kIfLocal,
+  // flow(S) ≤ mod(S) for while e do S1 (global flow within the loop).
+  kWhileGlobal,
+  // flow(Sj) ≤ mod(Si), j < i, for sequential composition.
+  kCompositionGlobal,
+  // The statement uses a construct the mechanism does not support
+  // (Denning baseline in strict mode on cobegin/wait/signal).
+  kUnsupportedConstruct,
+};
+
+std::string_view ToString(CheckKind kind);
+
+struct Violation {
+  CheckKind kind = CheckKind::kAssignDirect;
+  // The statement whose certification check failed.
+  const Stmt* stmt = nullptr;
+  // For kCompositionGlobal: the earlier statement whose global flow leaks.
+  const Stmt* source_stmt = nullptr;
+  // The offending classes, as extended-lattice ids: `flow_class` must be ≤
+  // `bound_class` but is not.
+  ClassId flow_class = 0;
+  ClassId bound_class = 0;
+  std::string message;
+};
+
+// Per-statement certification facts (Definition 5), indexed by Stmt::id().
+// All classes are extended-lattice ids; flow == nil means "no global flow".
+struct StmtFacts {
+  ClassId mod = 0;
+  ClassId flow = 0;
+  bool cert = true;
+  bool computed = false;
+};
+
+class CertificationResult {
+ public:
+  CertificationResult(std::string mechanism, uint32_t stmt_count)
+      : mechanism_(std::move(mechanism)), facts_(stmt_count) {}
+
+  const std::string& mechanism() const { return mechanism_; }
+  bool certified() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  const StmtFacts& facts(const Stmt& stmt) const { return facts_[stmt.id()]; }
+  StmtFacts& facts_mut(const Stmt& stmt) { return facts_[stmt.id()]; }
+
+  void AddViolation(Violation violation) { violations_.push_back(std::move(violation)); }
+
+  // Renders a multi-line report naming each failed check with its classes.
+  std::string Summary(const SymbolTable& symbols, const ExtendedLattice& extended) const;
+
+  // Renders Figure 2 instantiated on the program: one row per statement with
+  // its mod(S), flow(S) and cert(S). `root` selects the subtree to walk.
+  std::string FactsTable(const Stmt& root, const SymbolTable& symbols,
+                         const ExtendedLattice& extended) const;
+
+ private:
+  std::string mechanism_;
+  std::vector<StmtFacts> facts_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_CERTIFICATION_H_

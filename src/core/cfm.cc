@@ -1,0 +1,285 @@
+#include "src/core/cfm.h"
+
+#include <sstream>
+
+#include "src/lang/printer.h"
+
+namespace cfm {
+
+namespace {
+
+class CfmPass {
+ public:
+  CfmPass(const SymbolTable& symbols, const StaticBinding& binding, const CfmOptions& options,
+          CertificationResult& result)
+      : symbols_(symbols),
+        binding_(binding),
+        ext_(binding.extended()),
+        options_(options),
+        result_(result) {}
+
+  // Computes mod/flow/cert for `stmt` (and its subtree), recording
+  // violations as they are found. Returns the statement's facts.
+  const StmtFacts& Analyze(const Stmt& stmt) {
+    StmtFacts facts;
+    switch (stmt.kind()) {
+      case StmtKind::kAssign:
+        facts = AnalyzeAssign(stmt.As<AssignStmt>());
+        break;
+      case StmtKind::kIf:
+        facts = AnalyzeIf(stmt.As<IfStmt>());
+        break;
+      case StmtKind::kWhile:
+        facts = AnalyzeWhile(stmt.As<WhileStmt>());
+        break;
+      case StmtKind::kBlock:
+        facts = AnalyzeBlock(stmt.As<BlockStmt>());
+        break;
+      case StmtKind::kCobegin:
+        facts = AnalyzeCobegin(stmt.As<CobeginStmt>());
+        break;
+      case StmtKind::kWait: {
+        // mod(S) = flow(S) = sbind(sem); cert(S) = true. The wait produces a
+        // global flow because everything sequenced after it executes only if
+        // a signal arrives.
+        ClassId sem = binding_.ExtendedBinding(stmt.As<WaitStmt>().semaphore());
+        facts.mod = sem;
+        facts.flow = sem;
+        facts.cert = true;
+        break;
+      }
+      case StmtKind::kSignal: {
+        // mod(S) = sbind(sem); flow(S) = nil; cert(S) = true.
+        facts.mod = binding_.ExtendedBinding(stmt.As<SignalStmt>().semaphore());
+        facts.flow = ExtendedLattice::kNil;
+        facts.cert = true;
+        break;
+      }
+      case StmtKind::kSend: {
+        // Extension row, derived from signal + assignment: the message's
+        // content flows into the channel, send never blocks (asynchronous),
+        // so there is no global flow.
+        //   mod(S) = sbind(ch); flow(S) = nil; cert(S) = sbind(e) ≤ sbind(ch)
+        const auto& send = stmt.As<SendStmt>();
+        ClassId value_class = binding_.ExtendedExprBinding(send.value());
+        ClassId channel_class = binding_.ExtendedBinding(send.channel());
+        facts.mod = channel_class;
+        facts.flow = ExtendedLattice::kNil;
+        facts.cert = ext_.Leq(value_class, channel_class);
+        if (!facts.cert) {
+          Violation violation;
+          violation.kind = CheckKind::kAssignDirect;
+          violation.stmt = &stmt;
+          violation.flow_class = value_class;
+          violation.bound_class = channel_class;
+          violation.message = "the message sent on '" + symbols_.at(send.channel()).name +
+                              "' is more sensitive than the channel's binding";
+          result_.AddViolation(std::move(violation));
+        }
+        break;
+      }
+      case StmtKind::kReceive: {
+        // Extension row, derived from wait + assignment: receive blocks
+        // until a message arrives (a conditional delay, hence a global flow
+        // of the channel's class) and the message's content lands in x.
+        //   mod(S) = sbind(ch) ⊗ sbind(x); flow(S) = sbind(ch);
+        //   cert(S) = sbind(ch) ≤ sbind(x)
+        const auto& receive = stmt.As<ReceiveStmt>();
+        ClassId channel_class = binding_.ExtendedBinding(receive.channel());
+        ClassId target_class = binding_.ExtendedBinding(receive.target());
+        facts.mod = ext_.Meet(channel_class, target_class);
+        facts.flow = channel_class;
+        facts.cert = ext_.Leq(channel_class, target_class);
+        if (!facts.cert) {
+          Violation violation;
+          violation.kind = CheckKind::kAssignDirect;
+          violation.stmt = &stmt;
+          violation.flow_class = channel_class;
+          violation.bound_class = target_class;
+          violation.message = "the message received from '" +
+                              symbols_.at(receive.channel()).name +
+                              "' is more sensitive than '" +
+                              symbols_.at(receive.target()).name + "'s binding";
+          result_.AddViolation(std::move(violation));
+        }
+        break;
+      }
+      case StmtKind::kSkip:
+        // Modifies nothing: the empty greatest lower bound is Top.
+        facts.mod = ext_.Top();
+        facts.flow = ExtendedLattice::kNil;
+        facts.cert = true;
+        break;
+    }
+    facts.computed = true;
+    result_.facts_mut(stmt) = facts;
+    return result_.facts(stmt);
+  }
+
+ private:
+  StmtFacts AnalyzeAssign(const AssignStmt& stmt) {
+    StmtFacts facts;
+    ClassId expr_class = binding_.ExtendedExprBinding(stmt.value());
+    ClassId target_class = binding_.ExtendedBinding(stmt.target());
+    facts.mod = target_class;
+    facts.flow = ExtendedLattice::kNil;
+    facts.cert = ext_.Leq(expr_class, target_class);
+    if (!facts.cert) {
+      Violation violation;
+      violation.kind = CheckKind::kAssignDirect;
+      violation.stmt = &stmt;
+      violation.flow_class = expr_class;
+      violation.bound_class = target_class;
+      std::ostringstream os;
+      os << "assignment to '" << symbols_.at(stmt.target()).name
+         << "' receives information above its binding";
+      violation.message = os.str();
+      result_.AddViolation(std::move(violation));
+    }
+    return facts;
+  }
+
+  StmtFacts AnalyzeIf(const IfStmt& stmt) {
+    const StmtFacts& then_facts = Analyze(stmt.then_branch());
+    // A missing else branch behaves like 'else skip'.
+    StmtFacts else_facts{/*mod=*/ext_.Top(), /*flow=*/ExtendedLattice::kNil, /*cert=*/true,
+                         /*computed=*/true};
+    if (stmt.else_branch() != nullptr) {
+      else_facts = Analyze(*stmt.else_branch());
+    }
+
+    ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
+    StmtFacts facts;
+    facts.mod = ext_.Meet(then_facts.mod, else_facts.mod);
+    // flow(S) = nil when neither branch produces a global flow; otherwise the
+    // condition's class joins in (progress past the if reveals e).
+    if (then_facts.flow == ExtendedLattice::kNil && else_facts.flow == ExtendedLattice::kNil) {
+      facts.flow = ExtendedLattice::kNil;
+    } else {
+      facts.flow = ext_.Join(ext_.Join(then_facts.flow, else_facts.flow), cond_class);
+    }
+    facts.cert = then_facts.cert && else_facts.cert;
+    if (!ext_.Leq(cond_class, facts.mod)) {
+      facts.cert = false;
+      Violation violation;
+      violation.kind = CheckKind::kIfLocal;
+      violation.stmt = &stmt;
+      violation.flow_class = cond_class;
+      violation.bound_class = facts.mod;
+      violation.message =
+          "the if condition is more sensitive than a variable modified in its branches";
+      result_.AddViolation(std::move(violation));
+    }
+    return facts;
+  }
+
+  StmtFacts AnalyzeWhile(const WhileStmt& stmt) {
+    const StmtFacts& body_facts = Analyze(stmt.body());
+    ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
+    StmtFacts facts;
+    facts.mod = body_facts.mod;
+    // Iteration always produces a global flow: termination of the loop
+    // reveals the condition (and any global flows of the body repeat).
+    facts.flow = ext_.Join(body_facts.flow, cond_class);
+    facts.cert = body_facts.cert;
+    // The ablated mechanism (check_iteration_global off) falls back to the
+    // 1977 local check sbind(e) ≤ mod(S); the full CFM check subsumes it
+    // because flow(S) ⊇ sbind(e).
+    ClassId checked = options_.check_iteration_global ? facts.flow : cond_class;
+    if (!ext_.Leq(checked, facts.mod)) {
+      facts.cert = false;
+      Violation violation;
+      violation.kind =
+          options_.check_iteration_global ? CheckKind::kWhileGlobal : CheckKind::kIfLocal;
+      violation.stmt = &stmt;
+      violation.flow_class = checked;
+      violation.bound_class = facts.mod;
+      violation.message =
+          options_.check_iteration_global
+              ? "the loop's global flow (condition and conditional delays) exceeds a "
+                "variable modified in the loop body"
+              : "the loop condition is more sensitive than a variable modified in its body";
+      result_.AddViolation(std::move(violation));
+    }
+    return facts;
+  }
+
+  StmtFacts AnalyzeBlock(const BlockStmt& stmt) {
+    StmtFacts facts;
+    facts.mod = ext_.Top();
+    facts.flow = ExtendedLattice::kNil;
+    facts.cert = true;
+    // flow-so-far of S1..S(i-1); checked against mod(Si) — a statement
+    // sequenced after a conditional delay executes only if the delay
+    // completed, so the delay's class must flow into everything it modifies.
+    ClassId flow_prefix = ExtendedLattice::kNil;
+    const Stmt* first_flow_source = nullptr;
+    for (const Stmt* child : stmt.statements()) {
+      const StmtFacts& child_facts = Analyze(*child);
+      facts.cert = facts.cert && child_facts.cert;
+      if (options_.check_composition_global && flow_prefix != ExtendedLattice::kNil &&
+          !ext_.Leq(flow_prefix, child_facts.mod)) {
+        facts.cert = false;
+        Violation violation;
+        violation.kind = CheckKind::kCompositionGlobal;
+        violation.stmt = child;
+        violation.source_stmt = first_flow_source;
+        violation.flow_class = flow_prefix;
+        violation.bound_class = child_facts.mod;
+        violation.message =
+            "an earlier conditional delay (wait or loop) flows into this statement's "
+            "modified variables";
+        result_.AddViolation(std::move(violation));
+      }
+      if (child_facts.flow != ExtendedLattice::kNil && first_flow_source == nullptr) {
+        first_flow_source = child;
+      }
+      flow_prefix = ext_.Join(flow_prefix, child_facts.flow);
+      facts.mod = ext_.Meet(facts.mod, child_facts.mod);
+      facts.flow = ext_.Join(facts.flow, child_facts.flow);
+    }
+    return facts;
+  }
+
+  StmtFacts AnalyzeCobegin(const CobeginStmt& stmt) {
+    // Parallel composition needs no additional check: each component executes
+    // independently; interactions go through shared variables and semaphores,
+    // which the component checks already cover.
+    StmtFacts facts;
+    facts.mod = ext_.Top();
+    facts.flow = ExtendedLattice::kNil;
+    facts.cert = true;
+    for (const Stmt* child : stmt.processes()) {
+      const StmtFacts& child_facts = Analyze(*child);
+      facts.cert = facts.cert && child_facts.cert;
+      facts.mod = ext_.Meet(facts.mod, child_facts.mod);
+      facts.flow = ext_.Join(facts.flow, child_facts.flow);
+    }
+    return facts;
+  }
+
+  const SymbolTable& symbols_;
+  const StaticBinding& binding_;
+  const ExtendedLattice& ext_;
+  CfmOptions options_;
+  CertificationResult& result_;
+};
+
+}  // namespace
+
+CertificationResult CertifyCfmStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                   const StaticBinding& binding, uint32_t stmt_count,
+                                   const CfmOptions& options) {
+  CertificationResult result("CFM", stmt_count);
+  CfmPass pass(symbols, binding, options, result);
+  pass.Analyze(stmt);
+  return result;
+}
+
+CertificationResult CertifyCfm(const Program& program, const StaticBinding& binding,
+                               const CfmOptions& options) {
+  return CertifyCfmStmt(program.root(), program.symbols(), binding, program.stmt_count(),
+                        options);
+}
+
+}  // namespace cfm

@@ -1,0 +1,46 @@
+// The Concurrent Flow Mechanism (Figure 2 of the paper): a single linear
+// syntax-directed pass computing, for every statement S,
+//
+//   mod(S)  — greatest lower bound of the bindings of variables S may modify,
+//   flow(S) — least upper bound of the global flows S produces (nil if none),
+//   cert(S) — whether S specifies no flow violating the static binding,
+//
+// over the nil-extended classification scheme (Definition 4). The mechanism
+// extends Denning & Denning's certification with checks for conditional
+// non-termination (while), sequencing after a conditional delay
+// (composition), and the semaphore primitives, making it sound for parallel
+// programs (Theorems 1 and 2).
+
+#ifndef SRC_CORE_CFM_H_
+#define SRC_CORE_CFM_H_
+
+#include "src/core/certification.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+// Ablation switches (all on = the paper's CFM). Disabling a check yields the
+// intermediate mechanisms between Denning'77 and CFM; the ablation benchmark
+// and tests quantify what each new check catches. Never disable checks in
+// production use.
+struct CfmOptions {
+  // The new iteration check flow(S) ≤ mod(S) (Figure 2, while row).
+  bool check_iteration_global = true;
+  // The new composition check flow(Sj) ≤ mod(Si), j < i.
+  bool check_composition_global = true;
+};
+
+// Certifies `program`'s root statement against `binding`.
+CertificationResult CertifyCfm(const Program& program, const StaticBinding& binding,
+                               const CfmOptions& options = {});
+
+// Certifies a single statement subtree. `stmt_count` must cover every node
+// id in the subtree (use program.stmt_count()).
+CertificationResult CertifyCfmStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                   const StaticBinding& binding, uint32_t stmt_count,
+                                   const CfmOptions& options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_CFM_H_

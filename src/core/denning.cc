@@ -1,0 +1,219 @@
+#include "src/core/denning.h"
+
+#include <sstream>
+
+namespace cfm {
+
+namespace {
+
+class DenningPass {
+ public:
+  DenningPass(const SymbolTable& symbols, const StaticBinding& binding, DenningMode mode,
+              CertificationResult& result)
+      : symbols_(symbols),
+        binding_(binding),
+        ext_(binding.extended()),
+        mode_(mode),
+        result_(result) {}
+
+  const StmtFacts& Analyze(const Stmt& stmt) {
+    StmtFacts facts;
+    facts.flow = ExtendedLattice::kNil;  // The baseline has no global flows.
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        ClassId expr_class = binding_.ExtendedExprBinding(assign.value());
+        ClassId target_class = binding_.ExtendedBinding(assign.target());
+        facts.mod = target_class;
+        facts.cert = ext_.Leq(expr_class, target_class);
+        if (!facts.cert) {
+          Violation violation;
+          violation.kind = CheckKind::kAssignDirect;
+          violation.stmt = &stmt;
+          violation.flow_class = expr_class;
+          violation.bound_class = target_class;
+          violation.message = "assignment to '" + symbols_.at(assign.target()).name +
+                              "' receives information above its binding";
+          result_.AddViolation(std::move(violation));
+        }
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.As<IfStmt>();
+        const StmtFacts& then_facts = Analyze(if_stmt.then_branch());
+        StmtFacts else_facts{ext_.Top(), ExtendedLattice::kNil, true, true};
+        if (if_stmt.else_branch() != nullptr) {
+          else_facts = Analyze(*if_stmt.else_branch());
+        }
+        facts.mod = ext_.Meet(then_facts.mod, else_facts.mod);
+        facts.cert = then_facts.cert && else_facts.cert;
+        CheckLocal(stmt, binding_.ExtendedExprBinding(if_stmt.condition()), facts);
+        break;
+      }
+      case StmtKind::kWhile: {
+        // The 1977 mechanism treats iteration exactly like alternation: the
+        // condition flows locally into the body, nothing more (it assumes
+        // all programs terminate).
+        const auto& while_stmt = stmt.As<WhileStmt>();
+        const StmtFacts& body_facts = Analyze(while_stmt.body());
+        facts.mod = body_facts.mod;
+        facts.cert = body_facts.cert;
+        CheckLocal(stmt, binding_.ExtendedExprBinding(while_stmt.condition()), facts);
+        break;
+      }
+      case StmtKind::kBlock: {
+        facts.mod = ext_.Top();
+        facts.cert = true;
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          const StmtFacts& child_facts = Analyze(*child);
+          facts.cert = facts.cert && child_facts.cert;
+          facts.mod = ext_.Meet(facts.mod, child_facts.mod);
+        }
+        break;
+      }
+      case StmtKind::kCobegin: {
+        if (mode_ == DenningMode::kStrict) {
+          facts.mod = ext_.Top();
+          facts.cert = false;
+          Unsupported(stmt, "cobegin");
+          // Still analyze children so per-node facts exist.
+          for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+            Analyze(*child);
+          }
+        } else {
+          facts.mod = ext_.Top();
+          facts.cert = true;
+          for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+            const StmtFacts& child_facts = Analyze(*child);
+            facts.cert = facts.cert && child_facts.cert;
+            facts.mod = ext_.Meet(facts.mod, child_facts.mod);
+          }
+        }
+        break;
+      }
+      case StmtKind::kWait:
+      case StmtKind::kSignal: {
+        SymbolId sem = stmt.kind() == StmtKind::kWait ? stmt.As<WaitStmt>().semaphore()
+                                                      : stmt.As<SignalStmt>().semaphore();
+        facts.mod = binding_.ExtendedBinding(sem);
+        if (mode_ == DenningMode::kStrict) {
+          facts.cert = false;
+          Unsupported(stmt, stmt.kind() == StmtKind::kWait ? "wait" : "signal");
+        } else {
+          // Permissive: "sem := sem ± 1" trivially satisfies
+          // sbind(sem) ≤ sbind(sem).
+          facts.cert = true;
+        }
+        break;
+      }
+      case StmtKind::kSend:
+      case StmtKind::kReceive: {
+        // Extension constructs, handled like the direct-flow assignments
+        // they contain (send: e -> ch; receive: ch -> x); the baseline never
+        // sees receive's conditional-delay global flow.
+        if (mode_ == DenningMode::kStrict) {
+          SymbolId channel = stmt.kind() == StmtKind::kSend
+                                 ? stmt.As<SendStmt>().channel()
+                                 : stmt.As<ReceiveStmt>().channel();
+          facts.mod = binding_.ExtendedBinding(channel);
+          facts.cert = false;
+          Unsupported(stmt, stmt.kind() == StmtKind::kSend ? "send" : "receive");
+          break;
+        }
+        if (stmt.kind() == StmtKind::kSend) {
+          const auto& send = stmt.As<SendStmt>();
+          ClassId value_class = binding_.ExtendedExprBinding(send.value());
+          ClassId channel_class = binding_.ExtendedBinding(send.channel());
+          facts.mod = channel_class;
+          facts.cert = ext_.Leq(value_class, channel_class);
+          if (!facts.cert) {
+            Violation violation;
+            violation.kind = CheckKind::kAssignDirect;
+            violation.stmt = &stmt;
+            violation.flow_class = value_class;
+            violation.bound_class = channel_class;
+            violation.message = "the message sent on '" + symbols_.at(send.channel()).name +
+                                "' is more sensitive than the channel's binding";
+            result_.AddViolation(std::move(violation));
+          }
+        } else {
+          const auto& receive = stmt.As<ReceiveStmt>();
+          ClassId channel_class = binding_.ExtendedBinding(receive.channel());
+          ClassId target_class = binding_.ExtendedBinding(receive.target());
+          facts.mod = ext_.Meet(channel_class, target_class);
+          facts.cert = ext_.Leq(channel_class, target_class);
+          if (!facts.cert) {
+            Violation violation;
+            violation.kind = CheckKind::kAssignDirect;
+            violation.stmt = &stmt;
+            violation.flow_class = channel_class;
+            violation.bound_class = target_class;
+            violation.message = "the message received from '" +
+                                symbols_.at(receive.channel()).name +
+                                "' is more sensitive than its target's binding";
+            result_.AddViolation(std::move(violation));
+          }
+        }
+        break;
+      }
+      case StmtKind::kSkip:
+        facts.mod = ext_.Top();
+        facts.cert = true;
+        break;
+    }
+    facts.computed = true;
+    result_.facts_mut(stmt) = facts;
+    return result_.facts(stmt);
+  }
+
+ private:
+  void CheckLocal(const Stmt& stmt, ClassId cond_class, StmtFacts& facts) {
+    if (ext_.Leq(cond_class, facts.mod)) {
+      return;
+    }
+    facts.cert = false;
+    Violation violation;
+    violation.kind = CheckKind::kIfLocal;
+    violation.stmt = &stmt;
+    violation.flow_class = cond_class;
+    violation.bound_class = facts.mod;
+    violation.message = "the condition is more sensitive than a variable modified in the body";
+    result_.AddViolation(std::move(violation));
+  }
+
+  void Unsupported(const Stmt& stmt, std::string_view construct) {
+    Violation violation;
+    violation.kind = CheckKind::kUnsupportedConstruct;
+    violation.stmt = &stmt;
+    violation.message = "the Denning-Denning mechanism does not support '" +
+                        std::string(construct) + "' (sequential programs only)";
+    result_.AddViolation(std::move(violation));
+  }
+
+  const SymbolTable& symbols_;
+  const StaticBinding& binding_;
+  const ExtendedLattice& ext_;
+  DenningMode mode_;
+  CertificationResult& result_;
+};
+
+}  // namespace
+
+CertificationResult CertifyDenningStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                       const StaticBinding& binding, uint32_t stmt_count,
+                                       DenningMode mode) {
+  CertificationResult result(mode == DenningMode::kStrict ? "Denning (strict)"
+                                                          : "Denning (permissive)",
+                             stmt_count);
+  DenningPass pass(symbols, binding, mode, result);
+  pass.Analyze(stmt);
+  return result;
+}
+
+CertificationResult CertifyDenning(const Program& program, const StaticBinding& binding,
+                                   DenningMode mode) {
+  return CertifyDenningStmt(program.root(), program.symbols(), binding, program.stmt_count(),
+                            mode);
+}
+
+}  // namespace cfm

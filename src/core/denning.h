@@ -1,0 +1,40 @@
+// The Denning & Denning certification mechanism (CACM 1977) — the baseline
+// CFM extends. It checks direct flows (assignment) and local indirect flows
+// (the condition of if/while versus the variables the body modifies) but has
+// no notion of global flows: conditional non-termination and synchronization
+// are invisible to it.
+//
+// The original mechanism is defined only for sequential programs that
+// terminate on all inputs. Two modes cover the gap:
+//   kStrict      — reject cobegin/wait/signal as unsupported constructs.
+//   kPermissive  — treat wait/signal like assignments "sem := sem ± 1" and
+//                  cobegin like composition, still ignoring global flows.
+//                  This is the natural (unsound) application of the 1977
+//                  rules to parallel programs, and is what the Figure 3
+//                  comparison measures: it certifies the synchronization
+//                  leak that CFM correctly rejects.
+
+#ifndef SRC_CORE_DENNING_H_
+#define SRC_CORE_DENNING_H_
+
+#include "src/core/certification.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+enum class DenningMode : uint8_t {
+  kStrict,
+  kPermissive,
+};
+
+CertificationResult CertifyDenning(const Program& program, const StaticBinding& binding,
+                                   DenningMode mode = DenningMode::kStrict);
+
+CertificationResult CertifyDenningStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                       const StaticBinding& binding, uint32_t stmt_count,
+                                       DenningMode mode);
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_DENNING_H_

@@ -1,0 +1,113 @@
+#include "src/core/explain.h"
+
+#include <deque>
+#include <sstream>
+
+namespace cfm {
+
+namespace {
+
+// Reverse-BFS from `target` through the constraint graph until a source
+// whose binding the ORIGINAL target cannot absorb is reached.
+std::vector<FlowStep> FindPathTo(SymbolId final_target,
+                                 const std::vector<FlowConstraint>& constraints,
+                                 const StaticBinding& binding) {
+  const Lattice& base = binding.base_lattice();
+  ClassId target_bound = binding.binding(final_target);
+
+  // Incoming-edge adjacency.
+  std::vector<std::vector<uint32_t>> incoming(binding.size());
+  for (uint32_t i = 0; i < constraints.size(); ++i) {
+    incoming[constraints[i].target].push_back(i);
+  }
+
+  std::vector<int32_t> parent_edge(binding.size(), -1);
+  std::vector<bool> visited(binding.size(), false);
+  std::deque<SymbolId> queue;
+  queue.push_back(final_target);
+  visited[final_target] = true;
+
+  while (!queue.empty()) {
+    SymbolId current = queue.front();
+    queue.pop_front();
+    for (uint32_t edge : incoming[current]) {
+      SymbolId source = constraints[edge].source;
+      if (visited[source]) {
+        continue;
+      }
+      visited[source] = true;
+      parent_edge[source] = static_cast<int32_t>(edge);
+      if (!base.Leq(binding.binding(source), target_bound)) {
+        // Reconstruct source -> ... -> final_target.
+        std::vector<FlowStep> path;
+        SymbolId walk = source;
+        while (walk != final_target) {
+          const FlowConstraint& constraint = constraints[parent_edge[walk]];
+          path.push_back(
+              FlowStep{constraint.source, constraint.target, constraint.stmt, constraint.kind});
+          walk = constraint.target;
+        }
+        return path;
+      }
+      queue.push_back(source);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<FlowStep> ExplainViolation(const Program& program, const StaticBinding& binding,
+                                       const Violation& violation) {
+  if (violation.stmt == nullptr) {
+    return {};
+  }
+  std::vector<FlowConstraint> constraints = ExtractConstraints(program.root());
+  const Lattice& base = binding.base_lattice();
+
+  // Candidate final targets: variables the violating statement modifies
+  // whose binding cannot absorb the violating flow.
+  std::vector<SymbolId> modified;
+  CollectModified(*violation.stmt, modified);
+  std::vector<FlowStep> best;
+  for (SymbolId target : modified) {
+    ClassId target_ext = binding.ExtendedBinding(target);
+    if (binding.extended().Leq(violation.flow_class, target_ext)) {
+      continue;  // This particular variable can absorb the flow.
+    }
+    std::vector<FlowStep> path = FindPathTo(target, constraints, binding);
+    if (!path.empty() && (best.empty() || path.size() < best.size())) {
+      best = std::move(path);
+    }
+  }
+  if (!best.empty()) {
+    return best;
+  }
+  // Direct-assignment violations may have the source right in the statement;
+  // fall back to a single-hop explanation from the constraint system.
+  for (const FlowConstraint& constraint : constraints) {
+    if (constraint.stmt == violation.stmt &&
+        !base.Leq(binding.binding(constraint.source), binding.binding(constraint.target))) {
+      return {FlowStep{constraint.source, constraint.target, constraint.stmt, constraint.kind}};
+    }
+  }
+  return {};
+}
+
+std::string RenderFlowPath(const std::vector<FlowStep>& path, const SymbolTable& symbols,
+                           const Lattice& base, const StaticBinding& binding) {
+  std::ostringstream os;
+  for (const FlowStep& step : path) {
+    os << "  " << symbols.at(step.source).name << " ("
+       << base.ElementName(binding.binding(step.source)) << ") -> "
+       << symbols.at(step.target).name << " ("
+       << base.ElementName(binding.binding(step.target)) << ")  via " << ToString(step.kind);
+    if (step.stmt != nullptr) {
+      os << " at " << ToString(step.stmt->range().begin);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cfm

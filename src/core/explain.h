@@ -1,0 +1,44 @@
+// Violation explanation: turns a CFM rejection into a witness *path* —
+// a chain of elementary flows (each one a Figure 2 check between two
+// variables, anchored at a statement) from a variable whose class the target
+// cannot absorb down to the violated variable. This is the diagnostic an
+// engineer needs: not just "the loop's global flow exceeds mod(S)" but
+// "x flows into modify at line 8, modify into m at line 18, m into y at
+// line 20".
+
+#ifndef SRC_CORE_EXPLAIN_H_
+#define SRC_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/certification.h"
+#include "src/core/inference.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+// One hop of a witness path: `source`'s class flows into `target` because of
+// the check `kind` at `stmt`.
+struct FlowStep {
+  SymbolId source = kInvalidSymbol;
+  SymbolId target = kInvalidSymbol;
+  const Stmt* stmt = nullptr;
+  CheckKind kind = CheckKind::kAssignDirect;
+};
+
+// Finds a shortest chain of elementary flows ending in a variable the
+// violation's statement modifies, starting from a variable whose binding the
+// final target cannot absorb. Empty when no such chain exists (should not
+// happen for genuine CFM violations).
+std::vector<FlowStep> ExplainViolation(const Program& program, const StaticBinding& binding,
+                                       const Violation& violation);
+
+// Renders "x -> modify (local indirect flow ... at 8:5)" lines.
+std::string RenderFlowPath(const std::vector<FlowStep>& path, const SymbolTable& symbols,
+                           const Lattice& base, const StaticBinding& binding);
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_EXPLAIN_H_

@@ -1,0 +1,245 @@
+#include "src/core/inference.h"
+
+#include <algorithm>
+
+#include "src/core/certification.h"
+
+namespace cfm {
+
+namespace {
+
+using SymbolSet = std::vector<SymbolId>;  // Sorted, unique.
+
+void InsertSymbol(SymbolSet& set, SymbolId id) {
+  auto it = std::lower_bound(set.begin(), set.end(), id);
+  if (it == set.end() || *it != id) {
+    set.insert(it, id);
+  }
+}
+
+void MergeInto(SymbolSet& dst, const SymbolSet& src) {
+  for (SymbolId id : src) {
+    InsertSymbol(dst, id);
+  }
+}
+
+SymbolSet VarsOf(const Expr& expr) {
+  std::vector<SymbolId> reads;
+  CollectReads(expr, reads);
+  SymbolSet set;
+  for (SymbolId id : reads) {
+    InsertSymbol(set, id);
+  }
+  return set;
+}
+
+class ConstraintExtractor {
+ public:
+  explicit ConstraintExtractor(std::vector<FlowConstraint>& out) : out_(out) {}
+
+  struct Sets {
+    SymbolSet modified;      // Variables the statement may modify.
+    SymbolSet flow_sources;  // Variables whose class joins into flow(S).
+  };
+
+  Sets Visit(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        for (SymbolId v : VarsOf(assign.value())) {
+          Emit(v, assign.target(), stmt, CheckKind::kAssignDirect);
+        }
+        Sets sets;
+        InsertSymbol(sets.modified, assign.target());
+        return sets;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.As<IfStmt>();
+        Sets then_sets = Visit(if_stmt.then_branch());
+        Sets else_sets;
+        if (if_stmt.else_branch() != nullptr) {
+          else_sets = Visit(*if_stmt.else_branch());
+        }
+        Sets sets;
+        sets.modified = then_sets.modified;
+        MergeInto(sets.modified, else_sets.modified);
+        SymbolSet cond_vars = VarsOf(if_stmt.condition());
+        for (SymbolId v : cond_vars) {
+          for (SymbolId m : sets.modified) {
+            Emit(v, m, stmt, CheckKind::kIfLocal);
+          }
+        }
+        // flow(if) is nil exactly when neither branch contains a wait/while;
+        // otherwise the condition's variables join the flow.
+        if (!then_sets.flow_sources.empty() || !else_sets.flow_sources.empty() ||
+            ContainsGlobalFlow(if_stmt.then_branch()) ||
+            (if_stmt.else_branch() != nullptr && ContainsGlobalFlow(*if_stmt.else_branch()))) {
+          sets.flow_sources = then_sets.flow_sources;
+          MergeInto(sets.flow_sources, else_sets.flow_sources);
+          MergeInto(sets.flow_sources, cond_vars);
+        }
+        return sets;
+      }
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.As<WhileStmt>();
+        Sets body_sets = Visit(while_stmt.body());
+        Sets sets;
+        sets.modified = body_sets.modified;
+        sets.flow_sources = body_sets.flow_sources;
+        MergeInto(sets.flow_sources, VarsOf(while_stmt.condition()));
+        for (SymbolId f : sets.flow_sources) {
+          for (SymbolId m : sets.modified) {
+            Emit(f, m, stmt, CheckKind::kWhileGlobal);
+          }
+        }
+        return sets;
+      }
+      case StmtKind::kBlock: {
+        Sets sets;
+        SymbolSet prefix_sources;
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          Sets child_sets = Visit(*child);
+          for (SymbolId f : prefix_sources) {
+            for (SymbolId m : child_sets.modified) {
+              Emit(f, m, *child, CheckKind::kCompositionGlobal);
+            }
+          }
+          MergeInto(prefix_sources, child_sets.flow_sources);
+          MergeInto(sets.modified, child_sets.modified);
+          MergeInto(sets.flow_sources, child_sets.flow_sources);
+        }
+        return sets;
+      }
+      case StmtKind::kCobegin: {
+        Sets sets;
+        for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+          Sets child_sets = Visit(*child);
+          MergeInto(sets.modified, child_sets.modified);
+          MergeInto(sets.flow_sources, child_sets.flow_sources);
+        }
+        return sets;
+      }
+      case StmtKind::kWait: {
+        Sets sets;
+        SymbolId sem = stmt.As<WaitStmt>().semaphore();
+        InsertSymbol(sets.modified, sem);
+        InsertSymbol(sets.flow_sources, sem);
+        return sets;
+      }
+      case StmtKind::kSignal: {
+        Sets sets;
+        InsertSymbol(sets.modified, stmt.As<SignalStmt>().semaphore());
+        return sets;
+      }
+      case StmtKind::kSend: {
+        const auto& send = stmt.As<SendStmt>();
+        for (SymbolId v : VarsOf(send.value())) {
+          Emit(v, send.channel(), stmt, CheckKind::kAssignDirect);
+        }
+        Sets sets;
+        InsertSymbol(sets.modified, send.channel());
+        return sets;
+      }
+      case StmtKind::kReceive: {
+        const auto& receive = stmt.As<ReceiveStmt>();
+        Emit(receive.channel(), receive.target(), stmt, CheckKind::kAssignDirect);
+        Sets sets;
+        InsertSymbol(sets.modified, receive.channel());
+        InsertSymbol(sets.modified, receive.target());
+        InsertSymbol(sets.flow_sources, receive.channel());
+        return sets;
+      }
+      case StmtKind::kSkip:
+        return Sets{};
+    }
+    return Sets{};
+  }
+
+ private:
+  // Whether the subtree contains a wait, while or receive (non-nil flow is
+  // purely structural; see DESIGN.md).
+  static bool ContainsGlobalFlow(const Stmt& stmt) {
+    bool found = false;
+    ForEachStmt(stmt, [&found](const Stmt& s) {
+      if (s.kind() == StmtKind::kWait || s.kind() == StmtKind::kWhile ||
+          s.kind() == StmtKind::kReceive) {
+        found = true;
+      }
+    });
+    return found;
+  }
+
+  void Emit(SymbolId source, SymbolId target, const Stmt& stmt, CheckKind kind) {
+    if (source == target) {
+      return;  // sbind(v) ≤ sbind(v) holds trivially.
+    }
+    out_.push_back(FlowConstraint{source, target, &stmt, kind});
+  }
+
+  std::vector<FlowConstraint>& out_;
+};
+
+}  // namespace
+
+std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt) {
+  std::vector<FlowConstraint> constraints;
+  ConstraintExtractor extractor(constraints);
+  extractor.Visit(stmt);
+  return constraints;
+}
+
+InferenceResult InferBinding(const Program& program, const Lattice& base,
+                             const std::vector<std::pair<SymbolId, ClassId>>& pinned) {
+  InferenceResult result{StaticBinding(base, program.symbols()), {}, {}};
+  result.constraints = ExtractConstraints(program.root());
+
+  std::vector<bool> is_pinned(program.symbols().size(), false);
+  for (auto [symbol, base_class] : pinned) {
+    result.binding.Bind(symbol, base_class);
+    is_pinned[symbol] = true;
+  }
+
+  // Least fixpoint by repeated propagation: the constraint graph is static
+  // and classes only rise, so iteration terminates (bounded by the lattice
+  // height times the edge count).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FlowConstraint& constraint : result.constraints) {
+      ClassId src = result.binding.binding(constraint.source);
+      ClassId dst = result.binding.binding(constraint.target);
+      if (base.Leq(src, dst)) {
+        continue;
+      }
+      if (is_pinned[constraint.target]) {
+        continue;  // Conflicts are gathered after the fixpoint settles.
+      }
+      result.binding.Bind(constraint.target, base.Join(src, dst));
+      changed = true;
+    }
+  }
+
+  // Collect conflicts on pinned variables (deduplicated per target).
+  std::vector<ClassId> required(program.symbols().size(), base.Bottom());
+  std::vector<bool> conflicted(program.symbols().size(), false);
+  for (const FlowConstraint& constraint : result.constraints) {
+    if (!is_pinned[constraint.target]) {
+      continue;
+    }
+    ClassId src = result.binding.binding(constraint.source);
+    ClassId dst = result.binding.binding(constraint.target);
+    if (!base.Leq(src, dst)) {
+      required[constraint.target] = base.Join(required[constraint.target], src);
+      conflicted[constraint.target] = true;
+    }
+  }
+  for (SymbolId id = 0; id < program.symbols().size(); ++id) {
+    if (conflicted[id]) {
+      result.conflicts.push_back(
+          InferenceConflict{id, required[id], result.binding.binding(id)});
+    }
+  }
+  return result;
+}
+
+}  // namespace cfm

@@ -1,0 +1,61 @@
+// Least-binding inference: given a program and bindings pinned for some
+// variables (typically the inputs/outputs the policy fixes), computes the
+// least static binding for the remaining variables under which CFM certifies
+// the program — or reports the conflicting constraints if none exists.
+//
+// Every Figure 2 check decomposes into inequalities "sbind(src) ≤
+// sbind(dst)" between individual variables (the meet in mod(S) and the join
+// in flow(S)/sbind(e) both distribute over ≤), so certifiability is a
+// reachability fixpoint over a constraint graph, solved here by propagation
+// to a least fixed point. This realizes the "assign classes automatically"
+// mechanism the paper's conclusion motivates for systems where not every
+// variable has a fixed classification.
+
+#ifndef SRC_CORE_INFERENCE_H_
+#define SRC_CORE_INFERENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/core/certification.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// One "sbind(source) ≤ sbind(target)" inequality with its origin.
+struct FlowConstraint {
+  SymbolId source = kInvalidSymbol;
+  SymbolId target = kInvalidSymbol;
+  const Stmt* stmt = nullptr;  // The statement whose check generated it.
+  CheckKind kind = CheckKind::kAssignDirect;
+};
+
+// A pinned variable whose pinned class cannot absorb the information that
+// must flow into it.
+struct InferenceConflict {
+  SymbolId target = kInvalidSymbol;
+  ClassId required = 0;  // Base-lattice class the fixpoint demands.
+  ClassId pinned = 0;    // Base-lattice class the caller pinned.
+};
+
+struct InferenceResult {
+  StaticBinding binding;
+  std::vector<InferenceConflict> conflicts;
+  std::vector<FlowConstraint> constraints;  // The extracted system.
+  bool ok() const { return conflicts.empty(); }
+};
+
+// Extracts the complete constraint system of CFM checks for `stmt`.
+std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt);
+
+// Infers the least binding. `pinned` lists (symbol, base-class) pairs held
+// fixed; all other variables start at base.Bottom() and are raised as
+// required.
+InferenceResult InferBinding(const Program& program, const Lattice& base,
+                             const std::vector<std::pair<SymbolId, ClassId>>& pinned);
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_INFERENCE_H_

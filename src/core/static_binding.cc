@@ -1,0 +1,52 @@
+#include "src/core/static_binding.h"
+
+#include <sstream>
+
+namespace cfm {
+
+StaticBinding::StaticBinding(const Lattice& base, const SymbolTable& symbols)
+    : base_(base), extended_(base), bindings_(symbols.size(), base.Bottom()) {}
+
+Result<StaticBinding> StaticBinding::FromAnnotations(const Lattice& base,
+                                                     const SymbolTable& symbols) {
+  StaticBinding binding(base, symbols);
+  for (const Symbol& symbol : symbols.symbols()) {
+    if (symbol.class_annotation.empty()) {
+      continue;
+    }
+    auto id = base.FindElement(symbol.class_annotation);
+    if (!id) {
+      return MakeError("variable '" + symbol.name + "': unknown security class '" +
+                       symbol.class_annotation + "' in lattice " + base.Describe());
+    }
+    binding.Bind(symbol.id, *id);
+  }
+  return binding;
+}
+
+ClassId StaticBinding::ExprBinding(const Expr& expr) const {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kBoolLiteral:
+      return base_.Bottom();
+    case ExprKind::kVarRef:
+      return binding(expr.As<VarRef>().symbol());
+    case ExprKind::kUnary:
+      return ExprBinding(expr.As<UnaryExpr>().operand());
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      return base_.Join(ExprBinding(binary.lhs()), ExprBinding(binary.rhs()));
+    }
+  }
+  return base_.Bottom();
+}
+
+std::string StaticBinding::Describe(const SymbolTable& symbols) const {
+  std::ostringstream os;
+  for (const Symbol& symbol : symbols.symbols()) {
+    os << "  sbind(" << symbol.name << ") = " << base_.ElementName(binding(symbol.id)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,61 @@
+// Static bindings (Definition 3): a total mapping from program variables to
+// security classes of a classification scheme. The binding of a constant is
+// low and the binding of "e1 op e2" is sbind(e1) ⊕ sbind(e2).
+
+#ifndef SRC_CORE_STATIC_BINDING_H_
+#define SRC_CORE_STATIC_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/lattice.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+class StaticBinding {
+ public:
+  // Binds every symbol of `symbols` to `base.Bottom()` initially.
+  StaticBinding(const Lattice& base, const SymbolTable& symbols);
+
+  // Builds a binding from the symbols' "class <name>" annotations, resolved
+  // against `base`; unannotated symbols get `base.Bottom()`. Fails with the
+  // offending annotation on resolution errors.
+  static Result<StaticBinding> FromAnnotations(const Lattice& base, const SymbolTable& symbols);
+
+  const Lattice& base_lattice() const { return base_; }
+  const ExtendedLattice& extended() const { return extended_; }
+
+  // Binding of a variable, as a base-lattice class.
+  ClassId binding(SymbolId symbol) const { return bindings_[symbol]; }
+  void Bind(SymbolId symbol, ClassId base_class) { bindings_[symbol] = base_class; }
+  size_t size() const { return bindings_.size(); }
+
+  // Binding of a variable embedded into the extended lattice.
+  ClassId ExtendedBinding(SymbolId symbol) const {
+    return extended_.FromBase(bindings_[symbol]);
+  }
+
+  // sbind(e): join over all variables read by `e` (low when constant), as a
+  // base-lattice class.
+  ClassId ExprBinding(const Expr& expr) const;
+
+  // Same, embedded into the extended lattice.
+  ClassId ExtendedExprBinding(const Expr& expr) const {
+    return extended_.FromBase(ExprBinding(expr));
+  }
+
+  // Renders "name : class" lines for reports.
+  std::string Describe(const SymbolTable& symbols) const;
+
+ private:
+  const Lattice& base_;
+  ExtendedLattice extended_;
+  std::vector<ClassId> bindings_;  // Indexed by SymbolId; base-lattice ids.
+};
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_STATIC_BINDING_H_

@@ -1,0 +1,251 @@
+#include "src/gen/program_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "src/core/inference.h"
+
+namespace cfm {
+
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const GenOptions& options) : options_(options), rng_(options.seed) {}
+
+  Program Generate() {
+    Program program;
+    DeclareSymbols(program);
+    budget_ = options_.target_stmts;
+    // The root block grows until the statement budget is consumed, so the
+    // total size tracks target_stmts (benches rely on this scaling).
+    std::vector<const Stmt*> statements;
+    do {
+      statements.push_back(GenStmt(program, /*depth=*/1));
+    } while (budget_ > 0);
+    program.set_root(program.MakeBlock({}, std::move(statements)));
+    return program;
+  }
+
+ private:
+  void DeclareSymbols(Program& program) {
+    for (uint32_t i = 0; i < options_.int_vars; ++i) {
+      SymbolId id = *program.symbols().Declare("x" + std::to_string(i), SymbolKind::kInteger, {});
+      int_vars_.push_back(id);
+    }
+    for (uint32_t i = 0; i < options_.bool_vars; ++i) {
+      SymbolId id = *program.symbols().Declare("b" + std::to_string(i), SymbolKind::kBoolean, {});
+      bool_vars_.push_back(id);
+    }
+    if (options_.allow_semaphores) {
+      for (uint32_t i = 0; i < options_.semaphores; ++i) {
+        SymbolId id =
+            *program.symbols().Declare("s" + std::to_string(i), SymbolKind::kSemaphore, {});
+        // A positive initial count keeps most executable runs deadlock-free.
+        program.symbols().at(id).initial_value = rng_.Between(1, 3);
+        semaphores_.push_back(id);
+      }
+    }
+    if (options_.allow_channels) {
+      for (uint32_t i = 0; i < options_.channels; ++i) {
+        SymbolId id =
+            *program.symbols().Declare("c" + std::to_string(i), SymbolKind::kChannel, {});
+        channels_.push_back(id);
+      }
+    }
+  }
+
+  // --- Expressions ---------------------------------------------------------
+
+  const Expr* GenIntExpr(Program& program, uint32_t depth) {
+    if (depth == 0 || rng_.Chance(2, 5)) {
+      if (!int_vars_.empty() && rng_.Chance(3, 5)) {
+        SymbolId v = int_vars_[rng_.Below(int_vars_.size())];
+        return program.MakeVarRef({}, v, /*is_boolean=*/false);
+      }
+      return program.MakeIntLiteral({}, rng_.Between(-8, 8));
+    }
+    static constexpr BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                                        BinaryOp::kDiv, BinaryOp::kMod};
+    BinaryOp op = kOps[rng_.Below(std::size(kOps))];
+    const Expr* lhs = GenIntExpr(program, depth - 1);
+    const Expr* rhs = GenIntExpr(program, depth - 1);
+    return program.MakeBinary({}, op, lhs, rhs);
+  }
+
+  const Expr* GenBoolExpr(Program& program, uint32_t depth) {
+    if (depth == 0 || rng_.Chance(1, 3)) {
+      if (!bool_vars_.empty() && rng_.Chance(1, 3)) {
+        SymbolId v = bool_vars_[rng_.Below(bool_vars_.size())];
+        return program.MakeVarRef({}, v, /*is_boolean=*/true);
+      }
+      // A comparison keeps conditions value-dependent.
+      static constexpr BinaryOp kCmps[] = {BinaryOp::kEq, BinaryOp::kNeq, BinaryOp::kLt,
+                                           BinaryOp::kLe, BinaryOp::kGt,  BinaryOp::kGe};
+      BinaryOp op = kCmps[rng_.Below(std::size(kCmps))];
+      const Expr* lhs = GenIntExpr(program, depth > 0 ? depth - 1 : 0);
+      const Expr* rhs = GenIntExpr(program, depth > 0 ? depth - 1 : 0);
+      return program.MakeBinary({}, op, lhs, rhs);
+    }
+    if (rng_.Chance(1, 5)) {
+      return program.MakeUnary({}, UnaryOp::kNot, GenBoolExpr(program, depth - 1));
+    }
+    BinaryOp op = rng_.Chance(1, 2) ? BinaryOp::kAnd : BinaryOp::kOr;
+    const Expr* lhs = GenBoolExpr(program, depth - 1);
+    const Expr* rhs = GenBoolExpr(program, depth - 1);
+    return program.MakeBinary({}, op, lhs, rhs);
+  }
+
+  // --- Statements ----------------------------------------------------------
+
+  const Stmt* GenStmtList(Program& program, uint32_t depth, uint32_t min_stmts) {
+    uint32_t count = static_cast<uint32_t>(rng_.Between(min_stmts, min_stmts + 3));
+    std::vector<const Stmt*> statements;
+    for (uint32_t i = 0; i < count; ++i) {
+      statements.push_back(GenStmt(program, depth + 1));
+    }
+    return program.MakeBlock({}, std::move(statements));
+  }
+
+  const Stmt* GenStmt(Program& program, uint32_t depth) {
+    if (budget_ > 0) {
+      --budget_;
+    }
+    bool deep = depth >= options_.max_depth || budget_ == 0;
+    uint64_t roll = rng_.Below(100);
+
+    if (!deep && options_.allow_cobegin && depth <= 2 && roll < 10) {
+      return GenCobegin(program, depth);
+    }
+    if (!deep && options_.allow_while && roll < 25) {
+      return GenWhile(program, depth);
+    }
+    if (!deep && roll < 45) {
+      return GenIf(program, depth);
+    }
+    if (!deep && roll < 55) {
+      return GenStmtList(program, depth, 1);
+    }
+    if (options_.allow_semaphores && !semaphores_.empty() && roll >= 55 && roll < 70) {
+      SymbolId sem = semaphores_[rng_.Below(semaphores_.size())];
+      // Signals outnumber waits to keep executable programs mostly live.
+      if (rng_.Chance(2, 5)) {
+        return program.MakeWait({}, sem);
+      }
+      return program.MakeSignal({}, sem);
+    }
+    if (options_.allow_channels && !channels_.empty() && roll >= 70 && roll < 82) {
+      SymbolId channel = channels_[rng_.Below(channels_.size())];
+      // Sends outnumber receives so executable programs rarely starve.
+      if (rng_.Chance(2, 5) && !int_vars_.empty()) {
+        SymbolId target = int_vars_[rng_.Below(int_vars_.size())];
+        return program.MakeReceive({}, channel, target);
+      }
+      return program.MakeSend({}, channel, GenIntExpr(program, std::min(depth, 2u)));
+    }
+    if (roll >= 96) {
+      return program.MakeSkip({});
+    }
+    return GenAssign(program, depth);
+  }
+
+  const Stmt* GenAssign(Program& program, uint32_t depth) {
+    if (!bool_vars_.empty() && rng_.Chance(1, 5)) {
+      SymbolId target = bool_vars_[rng_.Below(bool_vars_.size())];
+      return program.MakeAssign({}, target, GenBoolExpr(program, std::min(depth, 2u)));
+    }
+    SymbolId target = int_vars_[rng_.Below(int_vars_.size())];
+    return program.MakeAssign({}, target, GenIntExpr(program, std::min(depth, 3u)));
+  }
+
+  const Stmt* GenIf(Program& program, uint32_t depth) {
+    const Expr* condition = GenBoolExpr(program, 2);
+    const Stmt* then_branch = GenStmt(program, depth + 1);
+    const Stmt* else_branch = rng_.Chance(1, 2) ? GenStmt(program, depth + 1) : nullptr;
+    return program.MakeIf({}, condition, then_branch, else_branch);
+  }
+
+  const Stmt* GenWhile(Program& program, uint32_t depth) {
+    if (!options_.executable) {
+      const Expr* condition = GenBoolExpr(program, 2);
+      return program.MakeWhile({}, condition, GenStmt(program, depth + 1));
+    }
+    // Bounded pattern on a fresh counter the body never touches:
+    //   begin c := 0; while c < K do begin <body>; c := c + 1 end end
+    SymbolId counter = *program.symbols().Declare("loop" + std::to_string(loop_counter_++),
+                                                  SymbolKind::kInteger, {});
+    const Stmt* init = program.MakeAssign({}, counter, program.MakeIntLiteral({}, 0));
+    const Expr* condition =
+        program.MakeBinary({}, BinaryOp::kLt, program.MakeVarRef({}, counter, false),
+                           program.MakeIntLiteral({}, rng_.Between(1, options_.max_loop_trips)));
+    const Stmt* inner = GenStmt(program, depth + 1);
+    const Stmt* increment = program.MakeAssign(
+        {}, counter,
+        program.MakeBinary({}, BinaryOp::kAdd, program.MakeVarRef({}, counter, false),
+                           program.MakeIntLiteral({}, 1)));
+    const Stmt* body = program.MakeBlock({}, {inner, increment});
+    const Stmt* loop = program.MakeWhile({}, condition, body);
+    return program.MakeBlock({}, {init, loop});
+  }
+
+  const Stmt* GenCobegin(Program& program, uint32_t depth) {
+    uint32_t processes = static_cast<uint32_t>(rng_.Between(2, options_.max_processes));
+    std::vector<const Stmt*> children;
+    for (uint32_t i = 0; i < processes; ++i) {
+      children.push_back(GenStmt(program, depth + 1));
+    }
+    return program.MakeCobegin({}, std::move(children));
+  }
+
+  const GenOptions& options_;
+  Rng rng_;
+  uint32_t budget_ = 0;
+  uint32_t loop_counter_ = 0;
+  std::vector<SymbolId> int_vars_;
+  std::vector<SymbolId> bool_vars_;
+  std::vector<SymbolId> semaphores_;
+  std::vector<SymbolId> channels_;
+};
+
+}  // namespace
+
+Program GenerateProgram(const GenOptions& options) {
+  Generator generator(options);
+  return generator.Generate();
+}
+
+StaticBinding GenerateBinding(const Program& program, const Lattice& base, BindingStyle style,
+                              Rng& rng) {
+  switch (style) {
+    case BindingStyle::kUniform: {
+      StaticBinding binding(base, program.symbols());
+      ClassId common = rng.Below(base.size());
+      for (const Symbol& symbol : program.symbols().symbols()) {
+        binding.Bind(symbol.id, common);
+      }
+      return binding;
+    }
+    case BindingStyle::kRandom: {
+      StaticBinding binding(base, program.symbols());
+      for (const Symbol& symbol : program.symbols().symbols()) {
+        binding.Bind(symbol.id, rng.Below(base.size()));
+      }
+      return binding;
+    }
+    case BindingStyle::kTopHeavy: {
+      StaticBinding binding(base, program.symbols());
+      for (const Symbol& symbol : program.symbols().symbols()) {
+        binding.Bind(symbol.id, rng.Chance(3, 4) ? base.Top() : rng.Below(base.size()));
+      }
+      return binding;
+    }
+    case BindingStyle::kLeast: {
+      // The least certifying binding: no pins, fixpoint from Bottom.
+      InferenceResult inferred = InferBinding(program, base, {});
+      return inferred.binding;
+    }
+  }
+  return StaticBinding(base, program.symbols());
+}
+
+}  // namespace cfm

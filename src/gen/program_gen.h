@@ -1,0 +1,60 @@
+// Random well-formed program generation. The paper's evaluation claims
+// (linear-time certification, Theorems 1/2) quantify over programs; this
+// generator provides the synthetic corpus: seeded, size-targeted programs in
+// the full language, plus random/least static bindings to pair them with.
+
+#ifndef SRC_GEN_PROGRAM_GEN_H_
+#define SRC_GEN_PROGRAM_GEN_H_
+
+#include <cstdint>
+
+#include "src/core/static_binding.h"
+#include "src/gen/rng.h"
+#include "src/lang/ast.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+struct GenOptions {
+  uint64_t seed = 1;
+  // Approximate number of statements to generate.
+  uint32_t target_stmts = 30;
+  uint32_t max_depth = 5;
+  uint32_t int_vars = 6;
+  uint32_t bool_vars = 2;
+  uint32_t semaphores = 3;
+  uint32_t max_processes = 3;
+  bool allow_cobegin = true;
+  bool allow_while = true;
+  bool allow_semaphores = true;
+  // Channels are an extension construct; off by default so legacy corpora
+  // stay stable, enabled by the channel-specific suites.
+  bool allow_channels = false;
+  uint32_t channels = 2;
+  // When true, every while loop runs on a fresh bounded counter (the body
+  // never touches it), so all loops terminate and the program is suitable
+  // for interpretation; when false, loop conditions are arbitrary boolean
+  // expressions (static-analysis corpora only).
+  bool executable = true;
+  // Trip-count bound for bounded loops.
+  uint32_t max_loop_trips = 4;
+};
+
+// Generates a program. Never fails; the result always parses back (printer
+// round-trip) and passes the frontend's typing rules by construction.
+Program GenerateProgram(const GenOptions& options);
+
+enum class BindingStyle : uint8_t {
+  kUniform,   // One random class for every variable (always certifies).
+  kRandom,    // Independent random class per variable (mixed verdicts).
+  kTopHeavy,  // Skewed toward Top (mostly certifies).
+  kLeast,     // The least certifying binding (via constraint inference).
+};
+
+// Generates a static binding for `program` over `base`.
+StaticBinding GenerateBinding(const Program& program, const Lattice& base, BindingStyle style,
+                              Rng& rng);
+
+}  // namespace cfm
+
+#endif  // SRC_GEN_PROGRAM_GEN_H_

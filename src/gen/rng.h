@@ -1,0 +1,40 @@
+// Deterministic xorshift RNG used by the generator, benches and property
+// tests — reproducible across platforms and standard-library versions
+// (std::mt19937 distributions are not portable across libstdc++ releases).
+
+#ifndef SRC_GEN_RNG_H_
+#define SRC_GEN_RNG_H_
+
+#include <cstdint>
+
+namespace cfm {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  // Uniform in [0, bound); bound must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool Chance(uint32_t num, uint32_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_GEN_RNG_H_

@@ -1,0 +1,478 @@
+#include "src/lang/ast.h"
+
+#include <algorithm>
+
+namespace cfm {
+
+std::string_view ToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg:
+      return "-";
+    case UnaryOp::kNot:
+      return "not";
+  }
+  return "?";
+}
+
+std::string_view ToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "#";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLogical(BinaryOp op) { return op == BinaryOp::kAnd || op == BinaryOp::kOr; }
+
+std::string_view ToString(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kAssign:
+      return "assignment";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kWhile:
+      return "while";
+    case StmtKind::kBlock:
+      return "begin/end";
+    case StmtKind::kCobegin:
+      return "cobegin/coend";
+    case StmtKind::kWait:
+      return "wait";
+    case StmtKind::kSignal:
+      return "signal";
+    case StmtKind::kSend:
+      return "send";
+    case StmtKind::kReceive:
+      return "receive";
+    case StmtKind::kSkip:
+      return "skip";
+  }
+  return "unknown";
+}
+
+template <typename T, typename... Args>
+const T* Program::AddStmt(Args&&... args) {
+  auto node = std::make_unique<T>(static_cast<NodeId>(stmts_.size()), std::forward<Args>(args)...);
+  const T* raw = node.get();
+  stmts_.push_back(std::move(node));
+  return raw;
+}
+
+template <typename T, typename... Args>
+const T* Program::AddExpr(Args&&... args) {
+  auto node = std::make_unique<T>(static_cast<NodeId>(exprs_.size()), std::forward<Args>(args)...);
+  const T* raw = node.get();
+  exprs_.push_back(std::move(node));
+  return raw;
+}
+
+const IntLiteral* Program::MakeIntLiteral(SourceRange range, int64_t value) {
+  return AddExpr<IntLiteral>(range, value);
+}
+const BoolLiteral* Program::MakeBoolLiteral(SourceRange range, bool value) {
+  return AddExpr<BoolLiteral>(range, value);
+}
+const VarRef* Program::MakeVarRef(SourceRange range, SymbolId symbol, bool is_boolean) {
+  return AddExpr<VarRef>(range, symbol, is_boolean);
+}
+const UnaryExpr* Program::MakeUnary(SourceRange range, UnaryOp op, const Expr* operand) {
+  return AddExpr<UnaryExpr>(range, op, operand);
+}
+const BinaryExpr* Program::MakeBinary(SourceRange range, BinaryOp op, const Expr* lhs,
+                                      const Expr* rhs) {
+  return AddExpr<BinaryExpr>(range, op, lhs, rhs);
+}
+
+const AssignStmt* Program::MakeAssign(SourceRange range, SymbolId target, const Expr* value) {
+  return AddStmt<AssignStmt>(range, target, value);
+}
+const IfStmt* Program::MakeIf(SourceRange range, const Expr* condition, const Stmt* then_branch,
+                              const Stmt* else_branch) {
+  return AddStmt<IfStmt>(range, condition, then_branch, else_branch);
+}
+const WhileStmt* Program::MakeWhile(SourceRange range, const Expr* condition, const Stmt* body) {
+  return AddStmt<WhileStmt>(range, condition, body);
+}
+const BlockStmt* Program::MakeBlock(SourceRange range, std::vector<const Stmt*> statements) {
+  return AddStmt<BlockStmt>(range, std::move(statements));
+}
+const CobeginStmt* Program::MakeCobegin(SourceRange range, std::vector<const Stmt*> processes) {
+  return AddStmt<CobeginStmt>(range, std::move(processes));
+}
+const WaitStmt* Program::MakeWait(SourceRange range, SymbolId semaphore) {
+  return AddStmt<WaitStmt>(range, semaphore);
+}
+const SignalStmt* Program::MakeSignal(SourceRange range, SymbolId semaphore) {
+  return AddStmt<SignalStmt>(range, semaphore);
+}
+const SendStmt* Program::MakeSend(SourceRange range, SymbolId channel, const Expr* value) {
+  return AddStmt<SendStmt>(range, channel, value);
+}
+const ReceiveStmt* Program::MakeReceive(SourceRange range, SymbolId channel, SymbolId target) {
+  return AddStmt<ReceiveStmt>(range, channel, target);
+}
+const SkipStmt* Program::MakeSkip(SourceRange range) { return AddStmt<SkipStmt>(range); }
+
+void CollectReads(const Expr& expr, std::vector<SymbolId>& out) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kBoolLiteral:
+      return;
+    case ExprKind::kVarRef:
+      out.push_back(expr.As<VarRef>().symbol());
+      return;
+    case ExprKind::kUnary:
+      CollectReads(expr.As<UnaryExpr>().operand(), out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      CollectReads(binary.lhs(), out);
+      CollectReads(binary.rhs(), out);
+      return;
+    }
+  }
+}
+
+void CollectModified(const Stmt& stmt, std::vector<SymbolId>& out) {
+  switch (stmt.kind()) {
+    case StmtKind::kAssign:
+      out.push_back(stmt.As<AssignStmt>().target());
+      return;
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      CollectModified(if_stmt.then_branch(), out);
+      if (if_stmt.else_branch() != nullptr) {
+        CollectModified(*if_stmt.else_branch(), out);
+      }
+      return;
+    }
+    case StmtKind::kWhile:
+      CollectModified(stmt.As<WhileStmt>().body(), out);
+      return;
+    case StmtKind::kBlock:
+      for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+        CollectModified(*child, out);
+      }
+      return;
+    case StmtKind::kCobegin:
+      for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+        CollectModified(*child, out);
+      }
+      return;
+    case StmtKind::kWait:
+      out.push_back(stmt.As<WaitStmt>().semaphore());
+      return;
+    case StmtKind::kSignal:
+      out.push_back(stmt.As<SignalStmt>().semaphore());
+      return;
+    case StmtKind::kSend:
+      out.push_back(stmt.As<SendStmt>().channel());
+      return;
+    case StmtKind::kReceive:
+      out.push_back(stmt.As<ReceiveStmt>().channel());
+      out.push_back(stmt.As<ReceiveStmt>().target());
+      return;
+    case StmtKind::kSkip:
+      return;
+  }
+}
+
+void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn) {
+  fn(stmt);
+  switch (stmt.kind()) {
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      ForEachStmt(if_stmt.then_branch(), fn);
+      if (if_stmt.else_branch() != nullptr) {
+        ForEachStmt(*if_stmt.else_branch(), fn);
+      }
+      return;
+    }
+    case StmtKind::kWhile:
+      ForEachStmt(stmt.As<WhileStmt>().body(), fn);
+      return;
+    case StmtKind::kBlock:
+      for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+        ForEachStmt(*child, fn);
+      }
+      return;
+    case StmtKind::kCobegin:
+      for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+        ForEachStmt(*child, fn);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+namespace {
+
+uint64_t CountExprNodes(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kBoolLiteral:
+    case ExprKind::kVarRef:
+      return 1;
+    case ExprKind::kUnary:
+      return 1 + CountExprNodes(expr.As<UnaryExpr>().operand());
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      return 1 + CountExprNodes(binary.lhs()) + CountExprNodes(binary.rhs());
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+uint64_t CountNodes(const Stmt& stmt) {
+  uint64_t count = 1;
+  switch (stmt.kind()) {
+    case StmtKind::kAssign:
+      count += CountExprNodes(stmt.As<AssignStmt>().value());
+      break;
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      count += CountExprNodes(if_stmt.condition());
+      count += CountNodes(if_stmt.then_branch());
+      if (if_stmt.else_branch() != nullptr) {
+        count += CountNodes(*if_stmt.else_branch());
+      }
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& while_stmt = stmt.As<WhileStmt>();
+      count += CountExprNodes(while_stmt.condition());
+      count += CountNodes(while_stmt.body());
+      break;
+    }
+    case StmtKind::kBlock:
+      for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+        count += CountNodes(*child);
+      }
+      break;
+    case StmtKind::kCobegin:
+      for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+        count += CountNodes(*child);
+      }
+      break;
+    case StmtKind::kSend:
+      count += CountExprNodes(stmt.As<SendStmt>().value());
+      break;
+    default:
+      break;
+  }
+  return count;
+}
+
+bool StructurallyEqual(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case ExprKind::kIntLiteral:
+      return a.As<IntLiteral>().value() == b.As<IntLiteral>().value();
+    case ExprKind::kBoolLiteral:
+      return a.As<BoolLiteral>().value() == b.As<BoolLiteral>().value();
+    case ExprKind::kVarRef:
+      return a.As<VarRef>().symbol() == b.As<VarRef>().symbol();
+    case ExprKind::kUnary: {
+      const auto& ua = a.As<UnaryExpr>();
+      const auto& ub = b.As<UnaryExpr>();
+      return ua.op() == ub.op() && StructurallyEqual(ua.operand(), ub.operand());
+    }
+    case ExprKind::kBinary: {
+      const auto& ba = a.As<BinaryExpr>();
+      const auto& bb = b.As<BinaryExpr>();
+      return ba.op() == bb.op() && StructurallyEqual(ba.lhs(), bb.lhs()) &&
+             StructurallyEqual(ba.rhs(), bb.rhs());
+    }
+  }
+  return false;
+}
+
+bool StructurallyEqual(const Stmt& a, const Stmt& b) {
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case StmtKind::kAssign: {
+      const auto& sa = a.As<AssignStmt>();
+      const auto& sb = b.As<AssignStmt>();
+      return sa.target() == sb.target() && StructurallyEqual(sa.value(), sb.value());
+    }
+    case StmtKind::kIf: {
+      const auto& sa = a.As<IfStmt>();
+      const auto& sb = b.As<IfStmt>();
+      if (!StructurallyEqual(sa.condition(), sb.condition()) ||
+          !StructurallyEqual(sa.then_branch(), sb.then_branch())) {
+        return false;
+      }
+      if ((sa.else_branch() == nullptr) != (sb.else_branch() == nullptr)) {
+        return false;
+      }
+      return sa.else_branch() == nullptr ||
+             StructurallyEqual(*sa.else_branch(), *sb.else_branch());
+    }
+    case StmtKind::kWhile: {
+      const auto& sa = a.As<WhileStmt>();
+      const auto& sb = b.As<WhileStmt>();
+      return StructurallyEqual(sa.condition(), sb.condition()) &&
+             StructurallyEqual(sa.body(), sb.body());
+    }
+    case StmtKind::kBlock: {
+      const auto& sa = a.As<BlockStmt>().statements();
+      const auto& sb = b.As<BlockStmt>().statements();
+      if (sa.size() != sb.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (!StructurallyEqual(*sa[i], *sb[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kCobegin: {
+      const auto& sa = a.As<CobeginStmt>().processes();
+      const auto& sb = b.As<CobeginStmt>().processes();
+      if (sa.size() != sb.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (!StructurallyEqual(*sa[i], *sb[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kWait:
+      return a.As<WaitStmt>().semaphore() == b.As<WaitStmt>().semaphore();
+    case StmtKind::kSignal:
+      return a.As<SignalStmt>().semaphore() == b.As<SignalStmt>().semaphore();
+    case StmtKind::kSend: {
+      const auto& sa = a.As<SendStmt>();
+      const auto& sb = b.As<SendStmt>();
+      return sa.channel() == sb.channel() && StructurallyEqual(sa.value(), sb.value());
+    }
+    case StmtKind::kReceive: {
+      const auto& sa = a.As<ReceiveStmt>();
+      const auto& sb = b.As<ReceiveStmt>();
+      return sa.channel() == sb.channel() && sa.target() == sb.target();
+    }
+    case StmtKind::kSkip:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+const Stmt& UnwrapSingletonBlocks(const Stmt& stmt) {
+  const Stmt* current = &stmt;
+  while (current->kind() == StmtKind::kBlock &&
+         current->As<BlockStmt>().statements().size() == 1) {
+    current = current->As<BlockStmt>().statements().front();
+  }
+  return *current;
+}
+
+}  // namespace
+
+bool EquivalentModuloBlocks(const Stmt& a_in, const Stmt& b_in) {
+  const Stmt& a = UnwrapSingletonBlocks(a_in);
+  const Stmt& b = UnwrapSingletonBlocks(b_in);
+  if (a.kind() != b.kind()) {
+    return false;
+  }
+  switch (a.kind()) {
+    case StmtKind::kIf: {
+      const auto& sa = a.As<IfStmt>();
+      const auto& sb = b.As<IfStmt>();
+      if (!StructurallyEqual(sa.condition(), sb.condition()) ||
+          !EquivalentModuloBlocks(sa.then_branch(), sb.then_branch())) {
+        return false;
+      }
+      if ((sa.else_branch() == nullptr) != (sb.else_branch() == nullptr)) {
+        return false;
+      }
+      return sa.else_branch() == nullptr ||
+             EquivalentModuloBlocks(*sa.else_branch(), *sb.else_branch());
+    }
+    case StmtKind::kWhile: {
+      const auto& sa = a.As<WhileStmt>();
+      const auto& sb = b.As<WhileStmt>();
+      return StructurallyEqual(sa.condition(), sb.condition()) &&
+             EquivalentModuloBlocks(sa.body(), sb.body());
+    }
+    case StmtKind::kBlock: {
+      const auto& sa = a.As<BlockStmt>().statements();
+      const auto& sb = b.As<BlockStmt>().statements();
+      if (sa.size() != sb.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (!EquivalentModuloBlocks(*sa[i], *sb[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case StmtKind::kCobegin: {
+      const auto& sa = a.As<CobeginStmt>().processes();
+      const auto& sb = b.As<CobeginStmt>().processes();
+      if (sa.size() != sb.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (!EquivalentModuloBlocks(*sa[i], *sb[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return StructurallyEqual(a, b);
+  }
+}
+
+}  // namespace cfm

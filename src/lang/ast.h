@@ -1,0 +1,396 @@
+// Abstract syntax for the paper's simple parallel language:
+//
+//   Assignment       x := e
+//   Alternation      if e then S1 [else S2]
+//   Iteration        while e do S
+//   Composition      begin S1; ...; Sn end
+//   Concurrency      cobegin S1 || ... || Sn coend
+//   Synchronization  wait(sem) / signal(sem)
+//   (extension)      skip
+//   (extension)      send(ch, e) / receive(ch, x) — asynchronous message
+//                    passing over unbounded FIFO channels, following the
+//                    Andrews–Reitman companion model; receive blocks on an
+//                    empty channel, so it produces a global flow like wait
+//
+// Nodes are immutable after parsing, arena-owned by the Program, and carry
+// dense ids so analyses can attach per-node results in flat vectors.
+
+#ifndef SRC_LANG_AST_H_
+#define SRC_LANG_AST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/symbol_table.h"
+#include "src/support/source_location.h"
+
+namespace cfm {
+
+using NodeId = uint32_t;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kIntLiteral,
+  kBoolLiteral,
+  kVarRef,
+  kUnary,
+  kBinary,
+};
+
+enum class UnaryOp : uint8_t {
+  kNeg,  // -e
+  kNot,  // not e
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+std::string_view ToString(UnaryOp op);
+std::string_view ToString(BinaryOp op);
+
+// True for operators producing a boolean from integers (=, #, <, <=, >, >=).
+bool IsComparison(BinaryOp op);
+// True for 'and'/'or'.
+bool IsLogical(BinaryOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+  NodeId id() const { return id_; }
+  const SourceRange& range() const { return range_; }
+  // True if the expression's type is boolean.
+  bool is_boolean() const { return is_boolean_; }
+
+  template <typename T>
+  const T& As() const {
+    return static_cast<const T&>(*this);
+  }
+
+ protected:
+  Expr(ExprKind kind, NodeId id, SourceRange range, bool is_boolean)
+      : kind_(kind), id_(id), range_(range), is_boolean_(is_boolean) {}
+
+ private:
+  ExprKind kind_;
+  NodeId id_;
+  SourceRange range_;
+  bool is_boolean_;
+};
+
+class IntLiteral final : public Expr {
+ public:
+  IntLiteral(NodeId id, SourceRange range, int64_t value)
+      : Expr(ExprKind::kIntLiteral, id, range, /*is_boolean=*/false), value_(value) {}
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_;
+};
+
+class BoolLiteral final : public Expr {
+ public:
+  BoolLiteral(NodeId id, SourceRange range, bool value)
+      : Expr(ExprKind::kBoolLiteral, id, range, /*is_boolean=*/true), value_(value) {}
+  bool value() const { return value_; }
+
+ private:
+  bool value_;
+};
+
+class VarRef final : public Expr {
+ public:
+  VarRef(NodeId id, SourceRange range, SymbolId symbol, bool is_boolean)
+      : Expr(ExprKind::kVarRef, id, range, is_boolean), symbol_(symbol) {}
+  SymbolId symbol() const { return symbol_; }
+
+ private:
+  SymbolId symbol_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(NodeId id, SourceRange range, UnaryOp op, const Expr* operand)
+      : Expr(ExprKind::kUnary, id, range, op == UnaryOp::kNot), op_(op), operand_(operand) {}
+  UnaryOp op() const { return op_; }
+  const Expr& operand() const { return *operand_; }
+
+ private:
+  UnaryOp op_;
+  const Expr* operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(NodeId id, SourceRange range, BinaryOp op, const Expr* lhs, const Expr* rhs)
+      : Expr(ExprKind::kBinary, id, range, IsComparison(op) || IsLogical(op)),
+        op_(op),
+        lhs_(lhs),
+        rhs_(rhs) {}
+  BinaryOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
+
+ private:
+  BinaryOp op_;
+  const Expr* lhs_;
+  const Expr* rhs_;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kAssign,
+  kIf,
+  kWhile,
+  kBlock,
+  kCobegin,
+  kWait,
+  kSignal,
+  kSend,
+  kReceive,
+  kSkip,
+};
+
+std::string_view ToString(StmtKind kind);
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+
+  StmtKind kind() const { return kind_; }
+  NodeId id() const { return id_; }
+  const SourceRange& range() const { return range_; }
+
+  template <typename T>
+  const T& As() const {
+    return static_cast<const T&>(*this);
+  }
+
+ protected:
+  Stmt(StmtKind kind, NodeId id, SourceRange range) : kind_(kind), id_(id), range_(range) {}
+
+ private:
+  StmtKind kind_;
+  NodeId id_;
+  SourceRange range_;
+};
+
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(NodeId id, SourceRange range, SymbolId target, const Expr* value)
+      : Stmt(StmtKind::kAssign, id, range), target_(target), value_(value) {}
+  SymbolId target() const { return target_; }
+  const Expr& value() const { return *value_; }
+
+ private:
+  SymbolId target_;
+  const Expr* value_;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(NodeId id, SourceRange range, const Expr* condition, const Stmt* then_branch,
+         const Stmt* else_branch)
+      : Stmt(StmtKind::kIf, id, range),
+        condition_(condition),
+        then_branch_(then_branch),
+        else_branch_(else_branch) {}
+  const Expr& condition() const { return *condition_; }
+  const Stmt& then_branch() const { return *then_branch_; }
+  // Null when the program omitted 'else' (equivalent to 'else skip').
+  const Stmt* else_branch() const { return else_branch_; }
+
+ private:
+  const Expr* condition_;
+  const Stmt* then_branch_;
+  const Stmt* else_branch_;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(NodeId id, SourceRange range, const Expr* condition, const Stmt* body)
+      : Stmt(StmtKind::kWhile, id, range), condition_(condition), body_(body) {}
+  const Expr& condition() const { return *condition_; }
+  const Stmt& body() const { return *body_; }
+
+ private:
+  const Expr* condition_;
+  const Stmt* body_;
+};
+
+class BlockStmt final : public Stmt {
+ public:
+  BlockStmt(NodeId id, SourceRange range, std::vector<const Stmt*> statements)
+      : Stmt(StmtKind::kBlock, id, range), statements_(std::move(statements)) {}
+  const std::vector<const Stmt*>& statements() const { return statements_; }
+
+ private:
+  std::vector<const Stmt*> statements_;
+};
+
+class CobeginStmt final : public Stmt {
+ public:
+  CobeginStmt(NodeId id, SourceRange range, std::vector<const Stmt*> processes)
+      : Stmt(StmtKind::kCobegin, id, range), processes_(std::move(processes)) {}
+  const std::vector<const Stmt*>& processes() const { return processes_; }
+
+ private:
+  std::vector<const Stmt*> processes_;
+};
+
+class WaitStmt final : public Stmt {
+ public:
+  WaitStmt(NodeId id, SourceRange range, SymbolId semaphore)
+      : Stmt(StmtKind::kWait, id, range), semaphore_(semaphore) {}
+  SymbolId semaphore() const { return semaphore_; }
+
+ private:
+  SymbolId semaphore_;
+};
+
+class SignalStmt final : public Stmt {
+ public:
+  SignalStmt(NodeId id, SourceRange range, SymbolId semaphore)
+      : Stmt(StmtKind::kSignal, id, range), semaphore_(semaphore) {}
+  SymbolId semaphore() const { return semaphore_; }
+
+ private:
+  SymbolId semaphore_;
+};
+
+class SendStmt final : public Stmt {
+ public:
+  SendStmt(NodeId id, SourceRange range, SymbolId channel, const Expr* value)
+      : Stmt(StmtKind::kSend, id, range), channel_(channel), value_(value) {}
+  SymbolId channel() const { return channel_; }
+  const Expr& value() const { return *value_; }
+
+ private:
+  SymbolId channel_;
+  const Expr* value_;
+};
+
+class ReceiveStmt final : public Stmt {
+ public:
+  ReceiveStmt(NodeId id, SourceRange range, SymbolId channel, SymbolId target)
+      : Stmt(StmtKind::kReceive, id, range), channel_(channel), target_(target) {}
+  SymbolId channel() const { return channel_; }
+  SymbolId target() const { return target_; }
+
+ private:
+  SymbolId channel_;
+  SymbolId target_;
+};
+
+class SkipStmt final : public Stmt {
+ public:
+  SkipStmt(NodeId id, SourceRange range) : Stmt(StmtKind::kSkip, id, range) {}
+};
+
+// ---------------------------------------------------------------------------
+// Program (AST arena + symbol table + root)
+// ---------------------------------------------------------------------------
+
+class Program {
+ public:
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return symbols_; }
+
+  const Stmt& root() const { return *root_; }
+  bool has_root() const { return root_ != nullptr; }
+  void set_root(const Stmt* root) { root_ = root; }
+
+  uint32_t stmt_count() const { return static_cast<uint32_t>(stmts_.size()); }
+  uint32_t expr_count() const { return static_cast<uint32_t>(exprs_.size()); }
+
+  // --- Node factories (used by the parser, generator, and tests) ----------
+
+  const IntLiteral* MakeIntLiteral(SourceRange range, int64_t value);
+  const BoolLiteral* MakeBoolLiteral(SourceRange range, bool value);
+  const VarRef* MakeVarRef(SourceRange range, SymbolId symbol, bool is_boolean);
+  const UnaryExpr* MakeUnary(SourceRange range, UnaryOp op, const Expr* operand);
+  const BinaryExpr* MakeBinary(SourceRange range, BinaryOp op, const Expr* lhs, const Expr* rhs);
+
+  const AssignStmt* MakeAssign(SourceRange range, SymbolId target, const Expr* value);
+  const IfStmt* MakeIf(SourceRange range, const Expr* condition, const Stmt* then_branch,
+                       const Stmt* else_branch);
+  const WhileStmt* MakeWhile(SourceRange range, const Expr* condition, const Stmt* body);
+  const BlockStmt* MakeBlock(SourceRange range, std::vector<const Stmt*> statements);
+  const CobeginStmt* MakeCobegin(SourceRange range, std::vector<const Stmt*> processes);
+  const WaitStmt* MakeWait(SourceRange range, SymbolId semaphore);
+  const SignalStmt* MakeSignal(SourceRange range, SymbolId semaphore);
+  const SendStmt* MakeSend(SourceRange range, SymbolId channel, const Expr* value);
+  const ReceiveStmt* MakeReceive(SourceRange range, SymbolId channel, SymbolId target);
+  const SkipStmt* MakeSkip(SourceRange range);
+
+ private:
+  template <typename T, typename... Args>
+  const T* AddStmt(Args&&... args);
+  template <typename T, typename... Args>
+  const T* AddExpr(Args&&... args);
+
+  SymbolTable symbols_;
+  std::vector<std::unique_ptr<Stmt>> stmts_;
+  std::vector<std::unique_ptr<Expr>> exprs_;
+  const Stmt* root_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Traversal and structural utilities
+// ---------------------------------------------------------------------------
+
+// Variables read by the expression (semaphores cannot appear in expressions).
+void CollectReads(const Expr& expr, std::vector<SymbolId>& out);
+
+// Variables (including semaphores) a statement may modify; this is the
+// domain of the paper's mod(S).
+void CollectModified(const Stmt& stmt, std::vector<SymbolId>& out);
+
+// Invokes fn on every statement in `stmt`'s subtree, pre-order.
+void ForEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+// Total AST nodes (statements + expressions) under a statement.
+uint64_t CountNodes(const Stmt& stmt);
+
+// Structural equality on ASTs (symbol ids compared literally; callers wanting
+// cross-program comparison must align tables first, as the round-trip test
+// does by construction).
+bool StructurallyEqual(const Expr& a, const Expr& b);
+bool StructurallyEqual(const Stmt& a, const Stmt& b);
+
+// Structural equality that treats a single-statement begin/end block as
+// equivalent to its statement (the printer inserts such blocks to
+// disambiguate dangling else).
+bool EquivalentModuloBlocks(const Stmt& a, const Stmt& b);
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_AST_H_

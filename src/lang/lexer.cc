@@ -1,0 +1,167 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace cfm {
+
+Lexer::Lexer(const SourceManager& sm, DiagnosticEngine& diags)
+    : sm_(sm), diags_(diags), text_(sm.contents()) {}
+
+char Lexer::Peek(uint32_t ahead) const {
+  uint64_t index = uint64_t{pos_} + ahead;
+  return index < text_.size() ? text_[index] : '\0';
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < text_.size()) {
+    char c = text_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos_;
+      continue;
+    }
+    // Line comments: "--" to end of line.
+    if (c == '-' && Peek(1) == '-') {
+      while (pos_ < text_.size() && text_[pos_] != '\n') {
+        ++pos_;
+      }
+      continue;
+    }
+    // Block comments: "(*" ... "*)".
+    if (c == '(' && Peek(1) == '*') {
+      uint32_t begin = pos_;
+      pos_ += 2;
+      while (pos_ < text_.size() && !(text_[pos_] == '*' && Peek(1) == ')')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) {
+        SourceRange range{sm_.LocationFor(begin), sm_.LocationFor(begin + 2)};
+        diags_.Error(range, "unterminated block comment");
+        return;
+      }
+      pos_ += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, uint32_t begin, uint32_t end) {
+  Token token;
+  token.kind = kind;
+  token.range = SourceRange{sm_.LocationFor(begin), sm_.LocationFor(end)};
+  token.text = text_.substr(begin, end - begin);
+  return token;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  if (pos_ >= text_.size()) {
+    return MakeToken(TokenKind::kEof, static_cast<uint32_t>(text_.size()),
+                     static_cast<uint32_t>(text_.size()));
+  }
+
+  uint32_t begin = pos_;
+  char c = text_[pos_];
+
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                                   text_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token token = MakeToken(TokenKind::kIdentifier, begin, pos_);
+    token.kind = ClassifyWord(token.text);
+    return token;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+    Token token = MakeToken(TokenKind::kIntLiteral, begin, pos_);
+    token.int_value = std::strtoll(std::string(token.text).c_str(), nullptr, 10);
+    return token;
+  }
+
+  auto two = [&](TokenKind kind) {
+    pos_ += 2;
+    return MakeToken(kind, begin, pos_);
+  };
+  auto one = [&](TokenKind kind) {
+    pos_ += 1;
+    return MakeToken(kind, begin, pos_);
+  };
+
+  switch (c) {
+    case ':':
+      return Peek(1) == '=' ? two(TokenKind::kAssign) : one(TokenKind::kColon);
+    case ';':
+      return one(TokenKind::kSemicolon);
+    case ',':
+      return one(TokenKind::kComma);
+    case '(':
+      return one(TokenKind::kLParen);
+    case ')':
+      return one(TokenKind::kRParen);
+    case '|':
+      if (Peek(1) == '|') {
+        return two(TokenKind::kParallel);
+      }
+      break;
+    case '!':
+      if (Peek(1) == '!') {
+        return two(TokenKind::kParallel);
+      }
+      if (Peek(1) == '=') {
+        return two(TokenKind::kNeq);
+      }
+      break;
+    case '+':
+      return one(TokenKind::kPlus);
+    case '-':
+      return one(TokenKind::kMinus);
+    case '*':
+      return one(TokenKind::kStar);
+    case '/':
+      return one(TokenKind::kSlash);
+    case '%':
+      return one(TokenKind::kPercent);
+    case '=':
+      return one(TokenKind::kEq);
+    case '#':
+      return one(TokenKind::kNeq);
+    case '<':
+      if (Peek(1) == '=') {
+        return two(TokenKind::kLe);
+      }
+      if (Peek(1) == '>') {
+        return two(TokenKind::kNeq);
+      }
+      return one(TokenKind::kLt);
+    case '>':
+      return Peek(1) == '=' ? two(TokenKind::kGe) : one(TokenKind::kGt);
+    default:
+      break;
+  }
+
+  ++pos_;
+  Token token = MakeToken(TokenKind::kError, begin, pos_);
+  diags_.Error(token.range, "unexpected character '" + std::string(1, c) + "'");
+  return token;
+}
+
+Token Lexer::CaptureRawUntilStatementEnd() {
+  SkipWhitespaceAndComments();
+  uint32_t begin = pos_;
+  while (pos_ < text_.size() && text_[pos_] != ';' && text_[pos_] != '\n') {
+    ++pos_;
+  }
+  uint32_t end = pos_;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text_[end - 1])) != 0) {
+    --end;
+  }
+  return MakeToken(TokenKind::kIdentifier, begin, end);
+}
+
+}  // namespace cfm

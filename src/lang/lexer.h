@@ -1,0 +1,48 @@
+// On-demand lexer. The parser pulls tokens one at a time; a raw-capture mode
+// supports security-class annotations whose spelling is lattice-specific
+// (e.g. "{nuclear,crypto}" or "(secret, {nato})").
+
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <string_view>
+
+#include "src/lang/token.h"
+#include "src/support/diagnostic.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, DiagnosticEngine& diags);
+
+  // Lexes and returns the next token. At end of input returns kEof forever.
+  Token Next();
+
+  // Captures raw text up to (not including) the next ';' or newline,
+  // whitespace-trimmed, and returns it with its range. Used for class
+  // annotations. The terminating ';'/newline is not consumed.
+  Token CaptureRawUntilStatementEnd();
+
+  // Current byte offset (for error reporting).
+  uint32_t offset() const { return pos_; }
+
+  // Moves the cursor back to `offset`. The parser uses this to discard
+  // buffered lookahead before a raw capture.
+  void RewindTo(uint32_t offset) { pos_ = offset; }
+
+ private:
+  char Peek(uint32_t ahead = 0) const;
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokenKind kind, uint32_t begin, uint32_t end);
+
+  const SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  uint32_t pos_ = 0;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_LEXER_H_

@@ -1,0 +1,568 @@
+#include "src/lang/parser.h"
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+namespace cfm {
+
+namespace {
+
+// A poisoned expression/statement so parsing can continue after an error.
+// The Program factories still own the nodes; callers check diags afterwards.
+const Expr* ErrorExpr(Program& program, SourceRange range) {
+  return program.MakeIntLiteral(range, 0);
+}
+const Stmt* ErrorStmt(Program& program, SourceRange range) { return program.MakeSkip(range); }
+
+}  // namespace
+
+std::optional<Program> ParseProgram(const SourceManager& sm, DiagnosticEngine& diags) {
+  Parser parser(sm, diags);
+  return parser.Parse();
+}
+
+std::optional<Program> ParseProgramText(const std::string& source, DiagnosticEngine& diags) {
+  SourceManager sm("<input>", source);
+  return ParseProgram(sm, diags);
+}
+
+Parser::Parser(const SourceManager& sm, DiagnosticEngine& diags)
+    : sm_(sm), diags_(diags), lexer_(sm, diags) {}
+
+const Token& Parser::Peek(size_t ahead) {
+  while (lookahead_.size() <= ahead) {
+    lookahead_.push_back(lexer_.Next());
+  }
+  return lookahead_[ahead];
+}
+
+Token Parser::Advance() {
+  Token token = Peek();
+  lookahead_.pop_front();
+  return token;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+std::optional<Token> Parser::Expect(TokenKind kind, std::string_view context) {
+  if (Check(kind)) {
+    return Advance();
+  }
+  const Token& got = Peek();
+  diags_.Error(got.range, "expected " + std::string(ToString(kind)) + " " + std::string(context) +
+                              ", found " + std::string(ToString(got.kind)));
+  return std::nullopt;
+}
+
+Token Parser::CaptureClassAnnotation() {
+  if (!lookahead_.empty()) {
+    lexer_.RewindTo(lookahead_.front().range.begin.offset);
+    lookahead_.clear();
+  }
+  return lexer_.CaptureRawUntilStatementEnd();
+}
+
+SourceRange Parser::RangeFrom(const SourceLocation& begin) {
+  SourceLocation end = lookahead_.empty() ? sm_.LocationFor(lexer_.offset())
+                                          : lookahead_.front().range.begin;
+  return SourceRange{begin, end};
+}
+
+std::optional<Program> Parser::Parse() {
+  Program program;
+  ParseDeclarations(program);
+  const Stmt* root = ParseStatement(program);
+  Match(TokenKind::kSemicolon);  // Tolerate a trailing semicolon.
+  if (!Check(TokenKind::kEof)) {
+    diags_.Error(Peek().range, "expected end of input after the program's statement");
+  }
+  if (diags_.has_errors() || root == nullptr) {
+    return std::nullopt;
+  }
+  program.set_root(root);
+  return program;
+}
+
+// declarations := { 'var' group { ';' group } ';' }
+// group        := name {',' name} ':' type ['initially' '(' int ')']
+//                 ['class' <raw until ';'>]
+void Parser::ParseDeclarations(Program& program) {
+  while (Match(TokenKind::kKwVar)) {
+    ParseDeclarationGroup(program);
+    while (Match(TokenKind::kSemicolon)) {
+      if (!AtDeclarationGroup()) {
+        break;
+      }
+      ParseDeclarationGroup(program);
+    }
+  }
+}
+
+bool Parser::AtDeclarationGroup() {
+  // A declaration group begins with "ident ," or "ident :" (but not ":=",
+  // which starts an assignment statement).
+  return Check(TokenKind::kIdentifier) &&
+         (Peek(1).is(TokenKind::kComma) || Peek(1).is(TokenKind::kColon));
+}
+
+void Parser::ParseDeclarationGroup(Program& program) {
+  std::vector<Token> names;
+  do {
+    auto name = Expect(TokenKind::kIdentifier, "in declaration");
+    if (!name) {
+      Synchronize();
+      return;
+    }
+    names.push_back(*name);
+  } while (Match(TokenKind::kComma));
+
+  if (!Expect(TokenKind::kColon, "after declared names")) {
+    Synchronize();
+    return;
+  }
+
+  SymbolKind kind;
+  if (Match(TokenKind::kKwInteger)) {
+    kind = SymbolKind::kInteger;
+  } else if (Match(TokenKind::kKwBoolean)) {
+    kind = SymbolKind::kBoolean;
+  } else if (Match(TokenKind::kKwSemaphore)) {
+    kind = SymbolKind::kSemaphore;
+  } else if (Match(TokenKind::kKwChannel)) {
+    kind = SymbolKind::kChannel;
+  } else {
+    diags_.Error(Peek().range, "expected a type ('integer', 'boolean', 'semaphore' or 'channel')");
+    Synchronize();
+    return;
+  }
+
+  int64_t initial_value = 0;
+  if (Match(TokenKind::kKwInitially)) {
+    if (kind != SymbolKind::kSemaphore) {
+      diags_.Error(Peek().range, "'initially' applies only to semaphores");
+    }
+    Expect(TokenKind::kLParen, "after 'initially'");
+    if (auto value = Expect(TokenKind::kIntLiteral, "as the initial semaphore count")) {
+      initial_value = value->int_value;
+      if (initial_value < 0) {
+        diags_.Error(value->range, "semaphore count must be non-negative");
+      }
+    }
+    Expect(TokenKind::kRParen, "to close 'initially'");
+  }
+
+  std::string class_annotation;
+  if (Check(TokenKind::kKwClass)) {
+    Advance();
+    Token raw = CaptureClassAnnotation();
+    class_annotation = std::string(raw.text);
+    if (class_annotation.empty()) {
+      diags_.Error(raw.range, "expected a security class name after 'class'");
+    }
+  }
+
+  for (const Token& name : names) {
+    auto id = program.symbols().Declare(std::string(name.text), kind, name.range);
+    if (!id) {
+      diags_.Error(name.range, "redeclaration of '" + std::string(name.text) + "'");
+      continue;
+    }
+    Symbol& symbol = program.symbols().at(*id);
+    symbol.initial_value = initial_value;
+    symbol.class_annotation = class_annotation;
+  }
+}
+
+const Stmt* Parser::ParseStatement(Program& program) {
+  switch (Peek().kind) {
+    case TokenKind::kIdentifier:
+      return ParseAssign(program);
+    case TokenKind::kKwIf:
+      return ParseIf(program);
+    case TokenKind::kKwWhile:
+      return ParseWhile(program);
+    case TokenKind::kKwBegin:
+      return ParseBlock(program);
+    case TokenKind::kKwCobegin:
+      return ParseCobegin(program);
+    case TokenKind::kKwWait:
+      return ParseWaitOrSignal(program, /*is_wait=*/true);
+    case TokenKind::kKwSignal:
+      return ParseWaitOrSignal(program, /*is_wait=*/false);
+    case TokenKind::kKwSend:
+      return ParseSend(program);
+    case TokenKind::kKwReceive:
+      return ParseReceive(program);
+    case TokenKind::kKwSkip: {
+      Token token = Advance();
+      return program.MakeSkip(token.range);
+    }
+    default: {
+      diags_.Error(Peek().range,
+                   "expected a statement, found " + std::string(ToString(Peek().kind)));
+      Token bad = Advance();
+      return ErrorStmt(program, bad.range);
+    }
+  }
+}
+
+const Stmt* Parser::ParseAssign(Program& program) {
+  Token name = Advance();
+  auto symbol = program.symbols().Lookup(name.text);
+  if (!symbol) {
+    diags_.Error(name.range, "undeclared variable '" + std::string(name.text) + "'");
+  } else if (program.symbols().at(*symbol).kind == SymbolKind::kSemaphore) {
+    diags_.Error(name.range,
+                 "semaphores may only be accessed through wait/signal, not assignment");
+  } else if (program.symbols().at(*symbol).kind == SymbolKind::kChannel) {
+    diags_.Error(name.range,
+                 "channels may only be accessed through send/receive, not assignment");
+  }
+  Expect(TokenKind::kAssign, "in assignment");
+  const Expr* value = ParseExpr(program);
+  SourceRange range{name.range.begin, value->range().end};
+  if (symbol) {
+    const Symbol& target = program.symbols().at(*symbol);
+    if (target.kind == SymbolKind::kInteger) {
+      RequireInteger(value, "in assignment to integer variable");
+    } else if (target.kind == SymbolKind::kBoolean) {
+      RequireBoolean(value, "in assignment to boolean variable");
+    }
+  }
+  return program.MakeAssign(range, symbol.value_or(kInvalidSymbol), value);
+}
+
+const Stmt* Parser::ParseIf(Program& program) {
+  Token kw = Advance();
+  const Expr* condition = ParseExpr(program);
+  RequireBoolean(condition, "as the if condition");
+  Expect(TokenKind::kKwThen, "after the if condition");
+  const Stmt* then_branch = ParseStatement(program);
+  const Stmt* else_branch = nullptr;
+  if (Match(TokenKind::kKwElse)) {
+    else_branch = ParseStatement(program);
+  }
+  SourceRange range{kw.range.begin,
+                    (else_branch != nullptr ? else_branch : then_branch)->range().end};
+  return program.MakeIf(range, condition, then_branch, else_branch);
+}
+
+const Stmt* Parser::ParseWhile(Program& program) {
+  Token kw = Advance();
+  const Expr* condition = ParseExpr(program);
+  RequireBoolean(condition, "as the while condition");
+  Expect(TokenKind::kKwDo, "after the while condition");
+  const Stmt* body = ParseStatement(program);
+  return program.MakeWhile(SourceRange{kw.range.begin, body->range().end}, condition, body);
+}
+
+const Stmt* Parser::ParseBlock(Program& program) {
+  Token kw = Advance();
+  std::vector<const Stmt*> statements;
+  if (!Check(TokenKind::kKwEnd)) {
+    statements.push_back(ParseStatement(program));
+    while (Match(TokenKind::kSemicolon)) {
+      if (Check(TokenKind::kKwEnd)) {
+        break;  // Trailing semicolon.
+      }
+      statements.push_back(ParseStatement(program));
+    }
+  }
+  auto end = Expect(TokenKind::kKwEnd, "to close 'begin'");
+  SourceRange range{kw.range.begin, end ? end->range.end : Peek().range.begin};
+  return program.MakeBlock(range, std::move(statements));
+}
+
+const Stmt* Parser::ParseCobegin(Program& program) {
+  Token kw = Advance();
+  std::vector<const Stmt*> processes;
+  processes.push_back(ParseStatement(program));
+  while (Match(TokenKind::kParallel)) {
+    processes.push_back(ParseStatement(program));
+  }
+  auto end = Expect(TokenKind::kKwCoend, "to close 'cobegin'");
+  if (processes.size() < 2) {
+    diags_.Warning(kw.range, "cobegin with a single process is equivalent to the process itself");
+  }
+  SourceRange range{kw.range.begin, end ? end->range.end : Peek().range.begin};
+  return program.MakeCobegin(range, std::move(processes));
+}
+
+const Stmt* Parser::ParseWaitOrSignal(Program& program, bool is_wait) {
+  Token kw = Advance();
+  Expect(TokenKind::kLParen, is_wait ? "after 'wait'" : "after 'signal'");
+  SymbolId semaphore = kInvalidSymbol;
+  if (auto name = Expect(TokenKind::kIdentifier, "naming a semaphore")) {
+    auto symbol = program.symbols().Lookup(name->text);
+    if (!symbol) {
+      diags_.Error(name->range, "undeclared semaphore '" + std::string(name->text) + "'");
+    } else if (program.symbols().at(*symbol).kind != SymbolKind::kSemaphore) {
+      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a semaphore");
+    } else {
+      semaphore = *symbol;
+    }
+  }
+  auto rparen = Expect(TokenKind::kRParen, "to close the semaphore operation");
+  SourceRange range{kw.range.begin, rparen ? rparen->range.end : kw.range.end};
+  if (is_wait) {
+    return program.MakeWait(range, semaphore);
+  }
+  return program.MakeSignal(range, semaphore);
+}
+
+// send(ch, e): asynchronous append of e's value to the channel's queue.
+const Stmt* Parser::ParseSend(Program& program) {
+  Token kw = Advance();
+  Expect(TokenKind::kLParen, "after 'send'");
+  SymbolId channel = kInvalidSymbol;
+  if (auto name = Expect(TokenKind::kIdentifier, "naming a channel")) {
+    auto symbol = program.symbols().Lookup(name->text);
+    if (!symbol) {
+      diags_.Error(name->range, "undeclared channel '" + std::string(name->text) + "'");
+    } else if (program.symbols().at(*symbol).kind != SymbolKind::kChannel) {
+      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a channel");
+    } else {
+      channel = *symbol;
+    }
+  }
+  Expect(TokenKind::kComma, "between the channel and the message");
+  const Expr* value = ParseExpr(program);
+  RequireInteger(value, "as the message (channels carry integers)");
+  auto rparen = Expect(TokenKind::kRParen, "to close 'send'");
+  SourceRange range{kw.range.begin, rparen ? rparen->range.end : value->range().end};
+  return program.MakeSend(range, channel, value);
+}
+
+// receive(ch, x): blocks until the channel is non-empty, then dequeues the
+// oldest message into x.
+const Stmt* Parser::ParseReceive(Program& program) {
+  Token kw = Advance();
+  Expect(TokenKind::kLParen, "after 'receive'");
+  SymbolId channel = kInvalidSymbol;
+  if (auto name = Expect(TokenKind::kIdentifier, "naming a channel")) {
+    auto symbol = program.symbols().Lookup(name->text);
+    if (!symbol) {
+      diags_.Error(name->range, "undeclared channel '" + std::string(name->text) + "'");
+    } else if (program.symbols().at(*symbol).kind != SymbolKind::kChannel) {
+      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a channel");
+    } else {
+      channel = *symbol;
+    }
+  }
+  Expect(TokenKind::kComma, "between the channel and the target variable");
+  SymbolId target = kInvalidSymbol;
+  if (auto name = Expect(TokenKind::kIdentifier, "naming the receiving variable")) {
+    auto symbol = program.symbols().Lookup(name->text);
+    if (!symbol) {
+      diags_.Error(name->range, "undeclared variable '" + std::string(name->text) + "'");
+    } else if (program.symbols().at(*symbol).kind != SymbolKind::kInteger) {
+      diags_.Error(name->range,
+                   "receive target must be an integer variable (channels carry integers)");
+    } else {
+      target = *symbol;
+    }
+  }
+  auto rparen = Expect(TokenKind::kRParen, "to close 'receive'");
+  SourceRange range{kw.range.begin, rparen ? rparen->range.end : kw.range.end};
+  return program.MakeReceive(range, channel, target);
+}
+
+const Expr* Parser::ParseExpr(Program& program) { return ParseOr(program); }
+
+const Expr* Parser::ParseOr(Program& program) {
+  const Expr* lhs = ParseAnd(program);
+  while (Check(TokenKind::kKwOr)) {
+    Advance();
+    const Expr* rhs = ParseAnd(program);
+    RequireBoolean(lhs, "as an 'or' operand");
+    RequireBoolean(rhs, "as an 'or' operand");
+    lhs = program.MakeBinary(SourceRange{lhs->range().begin, rhs->range().end}, BinaryOp::kOr, lhs,
+                             rhs);
+  }
+  return lhs;
+}
+
+const Expr* Parser::ParseAnd(Program& program) {
+  const Expr* lhs = ParseNot(program);
+  while (Check(TokenKind::kKwAnd)) {
+    Advance();
+    const Expr* rhs = ParseNot(program);
+    RequireBoolean(lhs, "as an 'and' operand");
+    RequireBoolean(rhs, "as an 'and' operand");
+    lhs = program.MakeBinary(SourceRange{lhs->range().begin, rhs->range().end}, BinaryOp::kAnd,
+                             lhs, rhs);
+  }
+  return lhs;
+}
+
+const Expr* Parser::ParseNot(Program& program) {
+  if (Check(TokenKind::kKwNot)) {
+    Token op = Advance();
+    const Expr* operand = ParseNot(program);
+    RequireBoolean(operand, "after 'not'");
+    return program.MakeUnary(SourceRange{op.range.begin, operand->range().end}, UnaryOp::kNot,
+                             operand);
+  }
+  return ParseRelational(program);
+}
+
+const Expr* Parser::ParseRelational(Program& program) {
+  const Expr* lhs = ParseAdditive(program);
+  BinaryOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenKind::kNeq:
+      op = BinaryOp::kNeq;
+      break;
+    case TokenKind::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return lhs;
+  }
+  Advance();
+  const Expr* rhs = ParseAdditive(program);
+  // '=' and '#' compare like-typed operands; the order comparisons need
+  // integers.
+  if (op == BinaryOp::kEq || op == BinaryOp::kNeq) {
+    if (lhs->is_boolean() != rhs->is_boolean()) {
+      diags_.Error(SourceRange{lhs->range().begin, rhs->range().end},
+                   "comparison operands must have the same type");
+    }
+  } else {
+    RequireInteger(lhs, "in an order comparison");
+    RequireInteger(rhs, "in an order comparison");
+  }
+  return program.MakeBinary(SourceRange{lhs->range().begin, rhs->range().end}, op, lhs, rhs);
+}
+
+const Expr* Parser::ParseAdditive(Program& program) {
+  const Expr* lhs = ParseMultiplicative(program);
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    BinaryOp op = Check(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+    Advance();
+    const Expr* rhs = ParseMultiplicative(program);
+    RequireInteger(lhs, "in arithmetic");
+    RequireInteger(rhs, "in arithmetic");
+    lhs = program.MakeBinary(SourceRange{lhs->range().begin, rhs->range().end}, op, lhs, rhs);
+  }
+  return lhs;
+}
+
+const Expr* Parser::ParseMultiplicative(Program& program) {
+  const Expr* lhs = ParseUnary(program);
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) || Check(TokenKind::kPercent)) {
+    BinaryOp op = Check(TokenKind::kStar)    ? BinaryOp::kMul
+                  : Check(TokenKind::kSlash) ? BinaryOp::kDiv
+                                             : BinaryOp::kMod;
+    Advance();
+    const Expr* rhs = ParseUnary(program);
+    RequireInteger(lhs, "in arithmetic");
+    RequireInteger(rhs, "in arithmetic");
+    lhs = program.MakeBinary(SourceRange{lhs->range().begin, rhs->range().end}, op, lhs, rhs);
+  }
+  return lhs;
+}
+
+const Expr* Parser::ParseUnary(Program& program) {
+  if (Check(TokenKind::kMinus)) {
+    Token op = Advance();
+    const Expr* operand = ParseUnary(program);
+    RequireInteger(operand, "after unary minus");
+    SourceRange range{op.range.begin, operand->range().end};
+    // Fold "-literal" into a negative literal so "-8" has one canonical AST.
+    if (operand->kind() == ExprKind::kIntLiteral) {
+      return program.MakeIntLiteral(range, -operand->As<IntLiteral>().value());
+    }
+    return program.MakeUnary(range, UnaryOp::kNeg, operand);
+  }
+  return ParsePrimary(program);
+}
+
+const Expr* Parser::ParsePrimary(Program& program) {
+  switch (Peek().kind) {
+    case TokenKind::kIntLiteral: {
+      Token token = Advance();
+      return program.MakeIntLiteral(token.range, token.int_value);
+    }
+    case TokenKind::kKwTrue: {
+      Token token = Advance();
+      return program.MakeBoolLiteral(token.range, true);
+    }
+    case TokenKind::kKwFalse: {
+      Token token = Advance();
+      return program.MakeBoolLiteral(token.range, false);
+    }
+    case TokenKind::kIdentifier: {
+      Token token = Advance();
+      auto symbol = program.symbols().Lookup(token.text);
+      if (!symbol) {
+        diags_.Error(token.range, "undeclared variable '" + std::string(token.text) + "'");
+        return ErrorExpr(program, token.range);
+      }
+      const Symbol& sym = program.symbols().at(*symbol);
+      if (sym.kind == SymbolKind::kSemaphore) {
+        diags_.Error(token.range,
+                     "semaphore '" + sym.name + "' may not be read in an expression");
+        return ErrorExpr(program, token.range);
+      }
+      if (sym.kind == SymbolKind::kChannel) {
+        diags_.Error(token.range,
+                     "channel '" + sym.name + "' may not be read in an expression");
+        return ErrorExpr(program, token.range);
+      }
+      return program.MakeVarRef(token.range, *symbol, sym.kind == SymbolKind::kBoolean);
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      const Expr* inner = ParseExpr(program);
+      Expect(TokenKind::kRParen, "to close the parenthesized expression");
+      return inner;
+    }
+    default: {
+      diags_.Error(Peek().range,
+                   "expected an expression, found " + std::string(ToString(Peek().kind)));
+      Token bad = Advance();
+      return ErrorExpr(program, bad.range);
+    }
+  }
+}
+
+void Parser::RequireBoolean(const Expr* expr, std::string_view context) {
+  if (!expr->is_boolean()) {
+    diags_.Error(expr->range(), "expected a boolean expression " + std::string(context));
+  }
+}
+
+void Parser::RequireInteger(const Expr* expr, std::string_view context) {
+  if (expr->is_boolean()) {
+    diags_.Error(expr->range(), "expected an integer expression " + std::string(context));
+  }
+}
+
+void Parser::Synchronize() {
+  while (!Check(TokenKind::kEof) && !Check(TokenKind::kSemicolon) && !Check(TokenKind::kKwEnd) &&
+         !Check(TokenKind::kKwCoend)) {
+    Advance();
+  }
+}
+
+}  // namespace cfm

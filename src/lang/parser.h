@@ -1,0 +1,88 @@
+// Recursive-descent parser for the paper's language, with declaration
+// handling ("var x, y : integer class high; s : semaphore initially(1);"),
+// expression typing, and diagnostic recovery.
+
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lang/lexer.h"
+#include "src/support/diagnostic.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+// Parses `sm`'s buffer into a Program. Returns nullopt (with diagnostics in
+// `diags`) when the input has errors.
+std::optional<Program> ParseProgram(const SourceManager& sm, DiagnosticEngine& diags);
+
+// Convenience overload for tests/examples: parses `source` directly; on
+// failure renders all diagnostics to stderr when `dump_errors` is set.
+std::optional<Program> ParseProgramText(const std::string& source, DiagnosticEngine& diags);
+
+class Parser {
+ public:
+  Parser(const SourceManager& sm, DiagnosticEngine& diags);
+
+  std::optional<Program> Parse();
+
+ private:
+  // --- Token plumbing ------------------------------------------------------
+  const Token& Peek(size_t ahead = 0);
+  Token Advance();
+  bool Check(TokenKind kind) { return Peek().is(kind); }
+  bool Match(TokenKind kind);
+  // Consumes a token of `kind` or reports an error mentioning `context`.
+  std::optional<Token> Expect(TokenKind kind, std::string_view context);
+  // Raw-captures a class annotation, discarding buffered lookahead.
+  Token CaptureClassAnnotation();
+
+  // --- Declarations --------------------------------------------------------
+  void ParseDeclarations(Program& program);
+  bool AtDeclarationGroup();
+  void ParseDeclarationGroup(Program& program);
+
+  // --- Statements ----------------------------------------------------------
+  const Stmt* ParseStatement(Program& program);
+  const Stmt* ParseAssign(Program& program);
+  const Stmt* ParseIf(Program& program);
+  const Stmt* ParseWhile(Program& program);
+  const Stmt* ParseBlock(Program& program);
+  const Stmt* ParseCobegin(Program& program);
+  const Stmt* ParseWaitOrSignal(Program& program, bool is_wait);
+  const Stmt* ParseSend(Program& program);
+  const Stmt* ParseReceive(Program& program);
+
+  // --- Expressions ---------------------------------------------------------
+  const Expr* ParseExpr(Program& program);
+  const Expr* ParseOr(Program& program);
+  const Expr* ParseAnd(Program& program);
+  const Expr* ParseNot(Program& program);
+  const Expr* ParseRelational(Program& program);
+  const Expr* ParseAdditive(Program& program);
+  const Expr* ParseMultiplicative(Program& program);
+  const Expr* ParseUnary(Program& program);
+  const Expr* ParsePrimary(Program& program);
+
+  // Reports a type error unless `expr` has the expected type.
+  void RequireBoolean(const Expr* expr, std::string_view context);
+  void RequireInteger(const Expr* expr, std::string_view context);
+
+  // Skips tokens until a plausible statement boundary (error recovery).
+  void Synchronize();
+
+  SourceRange RangeFrom(const SourceLocation& begin);
+
+  const SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  Lexer lexer_;
+  std::deque<Token> lookahead_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_PARSER_H_

@@ -1,0 +1,263 @@
+#include "src/lang/printer.h"
+
+#include <sstream>
+
+namespace cfm {
+
+namespace {
+
+// Binding strength used to decide where parentheses are required.
+int Precedence(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kBoolLiteral:
+    case ExprKind::kVarRef:
+      return 100;
+    case ExprKind::kUnary:
+      return 90;
+    case ExprKind::kBinary:
+      switch (expr.As<BinaryExpr>().op()) {
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return 80;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+          return 70;
+        case BinaryOp::kEq:
+        case BinaryOp::kNeq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return 60;
+        case BinaryOp::kAnd:
+          return 50;
+        case BinaryOp::kOr:
+          return 40;
+      }
+  }
+  return 0;
+}
+
+// True when `stmt` ends in an if without else (or an open chain thereof), so
+// a following 'else' token would re-associate on reparse. The printer wraps
+// such then-branches in begin/end to keep output unambiguous.
+bool EndsWithOpenIf(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      if (if_stmt.else_branch() == nullptr) {
+        return true;
+      }
+      return EndsWithOpenIf(*if_stmt.else_branch());
+    }
+    case StmtKind::kWhile:
+      return EndsWithOpenIf(stmt.As<WhileStmt>().body());
+    default:
+      return false;
+  }
+}
+
+class PrinterImpl {
+ public:
+  PrinterImpl(const SymbolTable& symbols, const PrintOptions& options)
+      : symbols_(symbols), options_(options) {}
+
+  void PrintExpression(const Expr& expr, std::ostream& os) {
+    switch (expr.kind()) {
+      case ExprKind::kIntLiteral:
+        os << expr.As<IntLiteral>().value();
+        return;
+      case ExprKind::kBoolLiteral:
+        os << (expr.As<BoolLiteral>().value() ? "true" : "false");
+        return;
+      case ExprKind::kVarRef:
+        os << symbols_.at(expr.As<VarRef>().symbol()).name;
+        return;
+      case ExprKind::kUnary: {
+        const auto& unary = expr.As<UnaryExpr>();
+        os << ToString(unary.op());
+        if (unary.op() == UnaryOp::kNot) {
+          os << " ";
+        }
+        // "-(-8)" must not print as "--8", which would lex as a comment.
+        const Expr& operand = unary.operand();
+        bool negative_literal = operand.kind() == ExprKind::kIntLiteral &&
+                                operand.As<IntLiteral>().value() < 0;
+        if (negative_literal) {
+          os << "(";
+          PrintExpression(operand, os);
+          os << ")";
+        } else {
+          PrintOperand(operand, Precedence(expr), os);
+        }
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& binary = expr.As<BinaryExpr>();
+        // Operators associate left; the right operand needs parens at equal
+        // precedence.
+        PrintOperand(binary.lhs(), Precedence(expr), os, /*strict=*/false);
+        os << " " << ToString(binary.op()) << " ";
+        PrintOperand(binary.rhs(), Precedence(expr), os, /*strict=*/true);
+        return;
+      }
+    }
+  }
+
+  void PrintStatement(const Stmt& stmt, int indent, std::ostream& os) {
+    std::string pad(static_cast<size_t>(indent) * options_.indent_width, ' ');
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        os << pad << symbols_.at(assign.target()).name << " := ";
+        PrintExpression(assign.value(), os);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.As<IfStmt>();
+        os << pad << "if ";
+        PrintExpression(if_stmt.condition(), os);
+        os << " then\n";
+        bool wrap_then = if_stmt.else_branch() != nullptr && EndsWithOpenIf(if_stmt.then_branch());
+        if (wrap_then) {
+          std::string inner_pad = pad + std::string(static_cast<size_t>(options_.indent_width), ' ');
+          os << inner_pad << "begin\n";
+          PrintStatement(if_stmt.then_branch(), indent + 2, os);
+          os << "\n" << inner_pad << "end";
+        } else {
+          PrintStatement(if_stmt.then_branch(), indent + 1, os);
+        }
+        if (if_stmt.else_branch() != nullptr) {
+          os << "\n" << pad << "else\n";
+          PrintStatement(*if_stmt.else_branch(), indent + 1, os);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.As<WhileStmt>();
+        os << pad << "while ";
+        PrintExpression(while_stmt.condition(), os);
+        os << " do\n";
+        PrintStatement(while_stmt.body(), indent + 1, os);
+        return;
+      }
+      case StmtKind::kBlock: {
+        const auto& block = stmt.As<BlockStmt>();
+        os << pad << "begin\n";
+        const auto& statements = block.statements();
+        for (size_t i = 0; i < statements.size(); ++i) {
+          PrintStatement(*statements[i], indent + 1, os);
+          if (i + 1 < statements.size()) {
+            os << ";";
+          }
+          os << "\n";
+        }
+        os << pad << "end";
+        return;
+      }
+      case StmtKind::kCobegin: {
+        const auto& cobegin = stmt.As<CobeginStmt>();
+        os << pad << "cobegin\n";
+        const auto& processes = cobegin.processes();
+        for (size_t i = 0; i < processes.size(); ++i) {
+          PrintStatement(*processes[i], indent + 1, os);
+          os << "\n";
+          if (i + 1 < processes.size()) {
+            os << pad << "||\n";
+          }
+        }
+        os << pad << "coend";
+        return;
+      }
+      case StmtKind::kWait:
+        os << pad << "wait(" << symbols_.at(stmt.As<WaitStmt>().semaphore()).name << ")";
+        return;
+      case StmtKind::kSignal:
+        os << pad << "signal(" << symbols_.at(stmt.As<SignalStmt>().semaphore()).name << ")";
+        return;
+      case StmtKind::kSend: {
+        const auto& send = stmt.As<SendStmt>();
+        os << pad << "send(" << symbols_.at(send.channel()).name << ", ";
+        PrintExpression(send.value(), os);
+        os << ")";
+        return;
+      }
+      case StmtKind::kReceive: {
+        const auto& receive = stmt.As<ReceiveStmt>();
+        os << pad << "receive(" << symbols_.at(receive.channel()).name << ", "
+           << symbols_.at(receive.target()).name << ")";
+        return;
+      }
+      case StmtKind::kSkip:
+        os << pad << "skip";
+        return;
+    }
+  }
+
+ private:
+  void PrintOperand(const Expr& operand, int parent_precedence, std::ostream& os,
+                    bool strict = true) {
+    bool needs_parens = strict ? Precedence(operand) <= parent_precedence
+                               : Precedence(operand) < parent_precedence;
+    if (needs_parens) {
+      os << "(";
+    }
+    PrintExpression(operand, os);
+    if (needs_parens) {
+      os << ")";
+    }
+  }
+
+  const SymbolTable& symbols_;
+  PrintOptions options_;
+};
+
+void PrintDeclarations(const SymbolTable& symbols, std::ostream& os) {
+  if (symbols.size() == 0) {
+    return;
+  }
+  os << "var\n";
+  for (const Symbol& symbol : symbols.symbols()) {
+    os << "  " << symbol.name << " : " << ToString(symbol.kind);
+    if (symbol.kind == SymbolKind::kSemaphore) {
+      os << " initially(" << symbol.initial_value << ")";
+    }
+    if (!symbol.class_annotation.empty()) {
+      os << " class " << symbol.class_annotation;
+    }
+    os << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string PrintProgram(const Program& program, const PrintOptions& options) {
+  std::ostringstream os;
+  if (options.include_declarations) {
+    PrintDeclarations(program.symbols(), os);
+  }
+  if (program.has_root()) {
+    PrinterImpl printer(program.symbols(), options);
+    printer.PrintStatement(program.root(), 0, os);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string PrintStmt(const Stmt& stmt, const SymbolTable& symbols, const PrintOptions& options) {
+  std::ostringstream os;
+  PrinterImpl printer(symbols, options);
+  printer.PrintStatement(stmt, 0, os);
+  return os.str();
+}
+
+std::string PrintExpr(const Expr& expr, const SymbolTable& symbols) {
+  std::ostringstream os;
+  PrinterImpl printer(symbols, PrintOptions{});
+  printer.PrintExpression(expr, os);
+  return os.str();
+}
+
+}  // namespace cfm

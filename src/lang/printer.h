@@ -1,0 +1,32 @@
+// Canonical pretty printer: emits programs in surface syntax that re-parses
+// to a structurally identical AST (round-trip property, tested).
+
+#ifndef SRC_LANG_PRINTER_H_
+#define SRC_LANG_PRINTER_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+struct PrintOptions {
+  // Spaces per indentation level.
+  int indent_width = 2;
+  // Emit the declaration section ('var ...') before the statement.
+  bool include_declarations = true;
+};
+
+// Prints a whole program (declarations + root statement).
+std::string PrintProgram(const Program& program, const PrintOptions& options = {});
+
+// Prints one statement (resolving symbol names through `symbols`).
+std::string PrintStmt(const Stmt& stmt, const SymbolTable& symbols,
+                      const PrintOptions& options = {});
+
+// Prints one expression on a single line.
+std::string PrintExpr(const Expr& expr, const SymbolTable& symbols);
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_PRINTER_H_

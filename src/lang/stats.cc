@@ -1,0 +1,188 @@
+#include "src/lang/stats.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cfm {
+
+namespace {
+
+uint64_t CountExprNodes(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kBoolLiteral:
+    case ExprKind::kVarRef:
+      return 1;
+    case ExprKind::kUnary:
+      return 1 + CountExprNodes(expr.As<UnaryExpr>().operand());
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      return 1 + CountExprNodes(binary.lhs()) + CountExprNodes(binary.rhs());
+    }
+  }
+  return 1;
+}
+
+// Variables a statement reads anywhere (expressions; receive reads its
+// channel, wait reads its semaphore).
+void CollectAccessed(const Stmt& stmt, std::set<SymbolId>& reads, std::set<SymbolId>& writes) {
+  std::vector<SymbolId> modified;
+  CollectModified(stmt, modified);
+  writes.insert(modified.begin(), modified.end());
+  ForEachStmt(stmt, [&reads](const Stmt& s) {
+    std::vector<SymbolId> expr_reads;
+    switch (s.kind()) {
+      case StmtKind::kAssign:
+        CollectReads(s.As<AssignStmt>().value(), expr_reads);
+        break;
+      case StmtKind::kIf:
+        CollectReads(s.As<IfStmt>().condition(), expr_reads);
+        break;
+      case StmtKind::kWhile:
+        CollectReads(s.As<WhileStmt>().condition(), expr_reads);
+        break;
+      case StmtKind::kSend:
+        CollectReads(s.As<SendStmt>().value(), expr_reads);
+        expr_reads.push_back(s.As<SendStmt>().channel());
+        break;
+      case StmtKind::kReceive:
+        expr_reads.push_back(s.As<ReceiveStmt>().channel());
+        break;
+      case StmtKind::kWait:
+        expr_reads.push_back(s.As<WaitStmt>().semaphore());
+        break;
+      default:
+        break;
+    }
+    reads.insert(expr_reads.begin(), expr_reads.end());
+  });
+}
+
+class StatsPass {
+ public:
+  explicit StatsPass(ProgramStats& stats) : stats_(stats) {}
+
+  void Visit(const Stmt& stmt, uint32_t depth) {
+    ++stats_.total_statements;
+    stats_.max_depth = std::max(stats_.max_depth, depth);
+    switch (stmt.kind()) {
+      case StmtKind::kAssign:
+        ++stats_.assignments;
+        stats_.expression_nodes += CountExprNodes(stmt.As<AssignStmt>().value());
+        return;
+      case StmtKind::kIf: {
+        ++stats_.ifs;
+        const auto& if_stmt = stmt.As<IfStmt>();
+        stats_.expression_nodes += CountExprNodes(if_stmt.condition());
+        Visit(if_stmt.then_branch(), depth + 1);
+        if (if_stmt.else_branch() != nullptr) {
+          Visit(*if_stmt.else_branch(), depth + 1);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        ++stats_.whiles;
+        stats_.has_global_flow_constructs = true;
+        const auto& while_stmt = stmt.As<WhileStmt>();
+        stats_.expression_nodes += CountExprNodes(while_stmt.condition());
+        Visit(while_stmt.body(), depth + 1);
+        return;
+      }
+      case StmtKind::kBlock:
+        ++stats_.blocks;
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          Visit(*child, depth + 1);
+        }
+        return;
+      case StmtKind::kCobegin: {
+        ++stats_.cobegins;
+        const auto& cobegin = stmt.As<CobeginStmt>();
+        stats_.max_processes = std::max(
+            stats_.max_processes, static_cast<uint32_t>(cobegin.processes().size()));
+        // Shared-variable profile: a variable written by process i and
+        // accessed by process j != i.
+        std::vector<std::set<SymbolId>> reads(cobegin.processes().size());
+        std::vector<std::set<SymbolId>> writes(cobegin.processes().size());
+        for (size_t i = 0; i < cobegin.processes().size(); ++i) {
+          CollectAccessed(*cobegin.processes()[i], reads[i], writes[i]);
+          Visit(*cobegin.processes()[i], depth + 1);
+        }
+        for (size_t i = 0; i < cobegin.processes().size(); ++i) {
+          for (size_t j = 0; j < cobegin.processes().size(); ++j) {
+            if (i == j) {
+              continue;
+            }
+            for (SymbolId written : writes[i]) {
+              if (reads[j].count(written) != 0 || writes[j].count(written) != 0) {
+                shared_.insert(written);
+              }
+            }
+          }
+        }
+        return;
+      }
+      case StmtKind::kWait:
+        ++stats_.waits;
+        stats_.has_global_flow_constructs = true;
+        return;
+      case StmtKind::kSignal:
+        ++stats_.signals;
+        return;
+      case StmtKind::kSend:
+        ++stats_.sends;
+        stats_.expression_nodes += CountExprNodes(stmt.As<SendStmt>().value());
+        return;
+      case StmtKind::kReceive:
+        ++stats_.receives;
+        stats_.has_global_flow_constructs = true;
+        return;
+      case StmtKind::kSkip:
+        ++stats_.skips;
+        return;
+    }
+  }
+
+  void Finish() {
+    stats_.ast_nodes = stats_.total_statements + stats_.expression_nodes;
+    stats_.shared_variables.assign(shared_.begin(), shared_.end());
+  }
+
+ private:
+  ProgramStats& stats_;
+  std::set<SymbolId> shared_;
+};
+
+}  // namespace
+
+ProgramStats ComputeStats(const Stmt& root) {
+  ProgramStats stats;
+  StatsPass pass(stats);
+  pass.Visit(root, 1);
+  pass.Finish();
+  return stats;
+}
+
+std::string RenderStats(const ProgramStats& stats, const SymbolTable& symbols) {
+  std::ostringstream os;
+  os << "statements: " << stats.total_statements << " (assign " << stats.assignments << ", if "
+     << stats.ifs << ", while " << stats.whiles << ", block " << stats.blocks << ", cobegin "
+     << stats.cobegins << ", wait " << stats.waits << ", signal " << stats.signals << ", send "
+     << stats.sends << ", receive " << stats.receives << ", skip " << stats.skips << ")\n";
+  os << "ast nodes: " << stats.ast_nodes << " (" << stats.expression_nodes
+     << " expression nodes), max depth " << stats.max_depth << ", widest cobegin "
+     << stats.max_processes << "\n";
+  os << "global-flow constructs: " << (stats.has_global_flow_constructs ? "yes" : "no") << "\n";
+  os << "cross-process shared variables:";
+  if (stats.shared_variables.empty()) {
+    os << " none";
+  } else {
+    for (SymbolId symbol : stats.shared_variables) {
+      os << " " << symbols.at(symbol).name;
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace cfm

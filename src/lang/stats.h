@@ -1,0 +1,56 @@
+// Program statistics: construct counts, nesting metrics, and the shared-
+// variable profile of a concurrent program (which variables are written by
+// one process and read/written by a sibling — the candidates for cross-
+// process flows). Used by the CLI (`cfmc dump`), the bench corpus
+// description, and tests.
+
+#ifndef SRC_LANG_STATS_H_
+#define SRC_LANG_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+struct ProgramStats {
+  // Statement counts per construct.
+  uint64_t assignments = 0;
+  uint64_t ifs = 0;
+  uint64_t whiles = 0;
+  uint64_t blocks = 0;
+  uint64_t cobegins = 0;
+  uint64_t waits = 0;
+  uint64_t signals = 0;
+  uint64_t sends = 0;
+  uint64_t receives = 0;
+  uint64_t skips = 0;
+
+  uint64_t total_statements = 0;
+  uint64_t expression_nodes = 0;
+  uint64_t ast_nodes = 0;  // statements + expression nodes.
+
+  // Maximum statement-nesting depth and the widest cobegin.
+  uint32_t max_depth = 0;
+  uint32_t max_processes = 0;
+
+  // Variables written in one cobegin process and accessed (read or written)
+  // in a sibling — the inter-process interaction surface.
+  std::vector<SymbolId> shared_variables;
+
+  // True when the program contains any construct that can produce a global
+  // flow (while / wait / receive).
+  bool has_global_flow_constructs = false;
+};
+
+// Computes statistics for the statement tree rooted at `root`.
+ProgramStats ComputeStats(const Stmt& root);
+
+// Renders a short human-readable report.
+std::string RenderStats(const ProgramStats& stats, const SymbolTable& symbols);
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_STATS_H_

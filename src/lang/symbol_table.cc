@@ -1,0 +1,54 @@
+#include "src/lang/symbol_table.h"
+
+#include <utility>
+
+namespace cfm {
+
+std::string_view ToString(SymbolKind kind) {
+  switch (kind) {
+    case SymbolKind::kInteger:
+      return "integer";
+    case SymbolKind::kBoolean:
+      return "boolean";
+    case SymbolKind::kSemaphore:
+      return "semaphore";
+    case SymbolKind::kChannel:
+      return "channel";
+  }
+  return "unknown";
+}
+
+std::optional<SymbolId> SymbolTable::Declare(std::string name, SymbolKind kind,
+                                             SourceRange decl_range) {
+  auto [it, inserted] = by_name_.emplace(name, static_cast<SymbolId>(symbols_.size()));
+  if (!inserted) {
+    return std::nullopt;
+  }
+  Symbol symbol;
+  symbol.id = it->second;
+  symbol.name = std::move(name);
+  symbol.kind = kind;
+  symbol.decl_range = decl_range;
+  symbols_.push_back(std::move(symbol));
+  return symbols_.back().id;
+}
+
+std::optional<SymbolId> SymbolTable::Lookup(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<SymbolId> SymbolTable::IdsOfKind(SymbolKind kind) const {
+  std::vector<SymbolId> out;
+  for (const Symbol& symbol : symbols_) {
+    if (symbol.kind == kind) {
+      out.push_back(symbol.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace cfm

@@ -1,0 +1,64 @@
+// Symbols: program variables and semaphores, with optional security-class
+// annotations that later bind them in a StaticBinding (Definition 3).
+
+#ifndef SRC_LANG_SYMBOL_TABLE_H_
+#define SRC_LANG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace cfm {
+
+using SymbolId = uint32_t;
+inline constexpr SymbolId kInvalidSymbol = ~SymbolId{0};
+
+enum class SymbolKind : uint8_t {
+  kInteger,
+  kBoolean,
+  kSemaphore,
+  kChannel,
+};
+
+std::string_view ToString(SymbolKind kind);
+
+struct Symbol {
+  SymbolId id = kInvalidSymbol;
+  std::string name;
+  SymbolKind kind = SymbolKind::kInteger;
+  SourceRange decl_range;
+  // Initial semaphore count from "initially(n)"; semaphores default to 0.
+  int64_t initial_value = 0;
+  // Raw spelling of the "class <name>" annotation, resolved against a
+  // lattice when a StaticBinding is built. Empty when unannotated.
+  std::string class_annotation;
+};
+
+class SymbolTable {
+ public:
+  // Declares a new symbol; returns nullopt if the name already exists.
+  std::optional<SymbolId> Declare(std::string name, SymbolKind kind, SourceRange decl_range);
+
+  std::optional<SymbolId> Lookup(std::string_view name) const;
+
+  const Symbol& at(SymbolId id) const { return symbols_[id]; }
+  Symbol& at(SymbolId id) { return symbols_[id]; }
+  size_t size() const { return symbols_.size(); }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+
+  // All ids of one kind (e.g. every semaphore).
+  std::vector<SymbolId> IdsOfKind(SymbolKind kind) const;
+
+ private:
+  std::vector<Symbol> symbols_;
+  std::unordered_map<std::string, SymbolId> by_name_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_SYMBOL_TABLE_H_

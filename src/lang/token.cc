@@ -1,0 +1,142 @@
+#include "src/lang/token.h"
+
+#include <unordered_map>
+
+namespace cfm {
+
+std::string_view ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kError:
+      return "invalid token";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kKwVar:
+      return "'var'";
+    case TokenKind::kKwInteger:
+      return "'integer'";
+    case TokenKind::kKwBoolean:
+      return "'boolean'";
+    case TokenKind::kKwSemaphore:
+      return "'semaphore'";
+    case TokenKind::kKwInitially:
+      return "'initially'";
+    case TokenKind::kKwClass:
+      return "'class'";
+    case TokenKind::kKwIf:
+      return "'if'";
+    case TokenKind::kKwThen:
+      return "'then'";
+    case TokenKind::kKwElse:
+      return "'else'";
+    case TokenKind::kKwWhile:
+      return "'while'";
+    case TokenKind::kKwDo:
+      return "'do'";
+    case TokenKind::kKwBegin:
+      return "'begin'";
+    case TokenKind::kKwEnd:
+      return "'end'";
+    case TokenKind::kKwCobegin:
+      return "'cobegin'";
+    case TokenKind::kKwCoend:
+      return "'coend'";
+    case TokenKind::kKwWait:
+      return "'wait'";
+    case TokenKind::kKwSignal:
+      return "'signal'";
+    case TokenKind::kKwChannel:
+      return "'channel'";
+    case TokenKind::kKwSend:
+      return "'send'";
+    case TokenKind::kKwReceive:
+      return "'receive'";
+    case TokenKind::kKwSkip:
+      return "'skip'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kKwAnd:
+      return "'and'";
+    case TokenKind::kKwOr:
+      return "'or'";
+    case TokenKind::kKwNot:
+      return "'not'";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kParallel:
+      return "'||'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'#'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "unknown token";
+}
+
+TokenKind ClassifyWord(std::string_view text) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"var", TokenKind::kKwVar},
+      {"integer", TokenKind::kKwInteger},
+      {"boolean", TokenKind::kKwBoolean},
+      {"semaphore", TokenKind::kKwSemaphore},
+      {"initially", TokenKind::kKwInitially},
+      {"class", TokenKind::kKwClass},
+      {"if", TokenKind::kKwIf},
+      {"then", TokenKind::kKwThen},
+      {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},
+      {"do", TokenKind::kKwDo},
+      {"begin", TokenKind::kKwBegin},
+      {"end", TokenKind::kKwEnd},
+      {"cobegin", TokenKind::kKwCobegin},
+      {"coend", TokenKind::kKwCoend},
+      {"wait", TokenKind::kKwWait},
+      {"signal", TokenKind::kKwSignal},
+      {"channel", TokenKind::kKwChannel},
+      {"send", TokenKind::kKwSend},
+      {"receive", TokenKind::kKwReceive},
+      {"skip", TokenKind::kKwSkip},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"and", TokenKind::kKwAnd},
+      {"or", TokenKind::kKwOr},
+      {"not", TokenKind::kKwNot},
+  };
+  auto it = kKeywords.find(text);
+  return it == kKeywords.end() ? TokenKind::kIdentifier : it->second;
+}
+
+}  // namespace cfm

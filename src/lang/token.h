@@ -1,0 +1,89 @@
+// Token model for the paper's simple parallel language (Section 2.0):
+// assignment, alternation, iteration, composition, cobegin/coend concurrency
+// and semaphore wait/signal, plus declarations with security-class
+// annotations.
+
+#ifndef SRC_LANG_TOKEN_H_
+#define SRC_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/support/source_location.h"
+
+namespace cfm {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kError,
+
+  kIdentifier,
+  kIntLiteral,
+
+  // Keywords.
+  kKwVar,
+  kKwInteger,
+  kKwBoolean,
+  kKwSemaphore,
+  kKwInitially,
+  kKwClass,
+  kKwIf,
+  kKwThen,
+  kKwElse,
+  kKwWhile,
+  kKwDo,
+  kKwBegin,
+  kKwEnd,
+  kKwCobegin,
+  kKwCoend,
+  kKwWait,
+  kKwSignal,
+  kKwChannel,
+  kKwSend,
+  kKwReceive,
+  kKwSkip,
+  kKwTrue,
+  kKwFalse,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+
+  // Punctuation and operators.
+  kAssign,     // :=
+  kSemicolon,  // ;
+  kColon,      // :
+  kComma,      // ,
+  kLParen,     // (
+  kRParen,     // )
+  kParallel,   // || or !! (process separator in cobegin)
+  kPlus,       // +
+  kMinus,      // -
+  kStar,       // *
+  kSlash,      // /
+  kPercent,    // %
+  kEq,         // =
+  kNeq,        // # (the paper's inequality), also <> and !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+};
+
+std::string_view ToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceRange range;
+  std::string_view text;   // Slice of the source buffer.
+  int64_t int_value = 0;   // Valid for kIntLiteral.
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+// Returns the keyword kind for `text`, or kIdentifier if it is not a keyword.
+TokenKind ClassifyWord(std::string_view text);
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_TOKEN_H_

@@ -1,0 +1,44 @@
+#include "src/lattice/chain.h"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+namespace cfm {
+
+ChainLattice::ChainLattice(std::vector<std::string> names) : names_(std::move(names)) {
+  assert(!names_.empty() && "a chain lattice needs at least one level");
+}
+
+ChainLattice ChainLattice::WithLevels(uint64_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    names.push_back("l" + std::to_string(i));
+  }
+  return ChainLattice(std::move(names));
+}
+
+std::string ChainLattice::ElementName(ClassId id) const {
+  if (id >= names_.size()) {
+    return "<invalid>";
+  }
+  return names_[id];
+}
+
+std::optional<ClassId> ChainLattice::FindElement(std::string_view name) const {
+  for (uint64_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ChainLattice::Describe() const {
+  std::ostringstream os;
+  os << "chain(" << names_.size() << ")";
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,38 @@
+// Totally ordered classification schemes (e.g. unclassified < confidential <
+// secret < top_secret). Ids are ranks; the order is numeric comparison.
+
+#ifndef SRC_LATTICE_CHAIN_H_
+#define SRC_LATTICE_CHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+class ChainLattice final : public Lattice {
+ public:
+  // `names` lists elements from bottom to top; must be non-empty and unique.
+  explicit ChainLattice(std::vector<std::string> names);
+
+  // Convenience: levels named "l0" < "l1" < ... < "l<n-1>".
+  static ChainLattice WithLevels(uint64_t n);
+
+  uint64_t size() const override { return names_.size(); }
+  bool Leq(ClassId a, ClassId b) const override { return a <= b; }
+  ClassId Join(ClassId a, ClassId b) const override { return a > b ? a : b; }
+  ClassId Meet(ClassId a, ClassId b) const override { return a < b ? a : b; }
+  ClassId Bottom() const override { return 0; }
+  ClassId Top() const override { return names_.size() - 1; }
+  std::string ElementName(ClassId id) const override;
+  std::optional<ClassId> FindElement(std::string_view name) const override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_CHAIN_H_

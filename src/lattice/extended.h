@@ -1,0 +1,84 @@
+// The extended classification scheme of Definition 4: the base lattice C'
+// plus a new least element `nil`, used by the Concurrent Flow Mechanism to
+// represent "no global flow" (flow(S) = nil). nil is the identity of ⊕ and
+// absorbing for ⊗, and nil ≤ x for every x.
+//
+// Id mapping: 0 is nil; base element b becomes b + 1.
+
+#ifndef SRC_LATTICE_EXTENDED_H_
+#define SRC_LATTICE_EXTENDED_H_
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+class ExtendedLattice final : public Lattice {
+ public:
+  static constexpr ClassId kNil = 0;
+
+  // `base` must outlive this lattice.
+  explicit ExtendedLattice(const Lattice& base) : base_(base) {}
+
+  const Lattice& base() const { return base_; }
+
+  // Embeds a base-lattice element into the extended lattice.
+  ClassId FromBase(ClassId base_id) const { return base_id + 1; }
+
+  // Projects a non-nil extended element back to the base lattice.
+  ClassId ToBase(ClassId id) const { return id - 1; }
+
+  bool IsNil(ClassId id) const { return id == kNil; }
+
+  // The embedded bottom of the *base* lattice ("low"); distinct from
+  // Bottom(), which is nil.
+  ClassId Low() const { return FromBase(base_.Bottom()); }
+
+  uint64_t size() const override { return base_.size() + 1; }
+  bool Leq(ClassId a, ClassId b) const override {
+    if (a == kNil) {
+      return true;
+    }
+    if (b == kNil) {
+      return false;
+    }
+    return base_.Leq(ToBase(a), ToBase(b));
+  }
+  ClassId Join(ClassId a, ClassId b) const override {
+    if (a == kNil) {
+      return b;
+    }
+    if (b == kNil) {
+      return a;
+    }
+    return FromBase(base_.Join(ToBase(a), ToBase(b)));
+  }
+  ClassId Meet(ClassId a, ClassId b) const override {
+    if (a == kNil || b == kNil) {
+      return kNil;
+    }
+    return FromBase(base_.Meet(ToBase(a), ToBase(b)));
+  }
+  ClassId Bottom() const override { return kNil; }
+  ClassId Top() const override { return FromBase(base_.Top()); }
+  std::string ElementName(ClassId id) const override {
+    return id == kNil ? "nil" : base_.ElementName(ToBase(id));
+  }
+  std::optional<ClassId> FindElement(std::string_view name) const override {
+    if (name == "nil") {
+      return kNil;
+    }
+    auto base_id = base_.FindElement(name);
+    if (!base_id) {
+      return std::nullopt;
+    }
+    return FromBase(*base_id);
+  }
+  std::string Describe() const override { return "extended(" + base_.Describe() + ")"; }
+
+ private:
+  const Lattice& base_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_EXTENDED_H_

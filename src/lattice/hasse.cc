@@ -1,0 +1,150 @@
+#include "src/lattice/hasse.h"
+
+#include <sstream>
+
+namespace cfm {
+
+Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
+    std::vector<std::string> names, const std::vector<std::pair<uint64_t, uint64_t>>& covers) {
+  const uint64_t n = names.size();
+  if (n == 0) {
+    return MakeError("hasse lattice: no elements");
+  }
+  // Keep the table sizes sane; n^2 tables and n^3 closure below.
+  if (n > 4096) {
+    return MakeError("hasse lattice: too many elements (max 4096)");
+  }
+
+  auto lattice = std::unique_ptr<HasseLattice>(new HasseLattice());
+  lattice->names_ = std::move(names);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto [it, inserted] = lattice->by_name_.emplace(lattice->names_[i], i);
+    if (!inserted) {
+      return MakeError("hasse lattice: duplicate element name '" + lattice->names_[i] + "'");
+    }
+  }
+
+  std::vector<uint8_t>& leq = lattice->leq_;
+  leq.assign(n * n, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    leq[i * n + i] = 1;
+  }
+  for (auto [lo, hi] : covers) {
+    if (lo >= n || hi >= n) {
+      return MakeError("hasse lattice: cover pair references unknown element");
+    }
+    leq[lo * n + hi] = 1;
+  }
+
+  // Floyd–Warshall style transitive closure of the reachability order.
+  for (uint64_t k = 0; k < n; ++k) {
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!leq[i * n + k]) {
+        continue;
+      }
+      for (uint64_t j = 0; j < n; ++j) {
+        if (leq[k * n + j]) {
+          leq[i * n + j] = 1;
+        }
+      }
+    }
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint64_t j = 0; j < n; ++j) {
+      if (i != j && leq[i * n + j] && leq[j * n + i]) {
+        return MakeError("hasse lattice: cover relation has a cycle through '" +
+                         lattice->names_[i] + "' and '" + lattice->names_[j] + "'");
+      }
+    }
+  }
+
+  // For each pair, find the least upper bound and greatest lower bound.
+  // Strategy per pair: a single descending pass yields the candidate (if a
+  // least bound exists the pass necessarily converges to it), then a
+  // verification pass confirms the candidate bounds every other bound; a
+  // failed verification means the order is not a lattice.
+  lattice->join_.assign(n * n, 0);
+  lattice->meet_.assign(n * n, 0);
+  for (uint64_t a = 0; a < n; ++a) {
+    for (uint64_t b = a; b < n; ++b) {
+      ClassId lub = n;  // Sentinel: not found.
+      for (uint64_t c = 0; c < n; ++c) {
+        if (!leq[a * n + c] || !leq[b * n + c]) {
+          continue;
+        }
+        if (lub == n || leq[c * n + lub]) {
+          lub = c;
+        }
+      }
+      if (lub < n) {
+        for (uint64_t c = 0; c < n; ++c) {
+          if (leq[a * n + c] && leq[b * n + c] && !leq[lub * n + c]) {
+            lub = n;
+            break;
+          }
+        }
+      }
+      if (lub >= n) {
+        return MakeError("hasse lattice: elements '" + lattice->names_[a] + "' and '" +
+                         lattice->names_[b] + "' lack a least upper bound");
+      }
+      ClassId glb = n;
+      for (uint64_t c = 0; c < n; ++c) {
+        if (!leq[c * n + a] || !leq[c * n + b]) {
+          continue;
+        }
+        if (glb == n || leq[glb * n + c]) {
+          glb = c;
+        }
+      }
+      if (glb < n) {
+        for (uint64_t c = 0; c < n; ++c) {
+          if (leq[c * n + a] && leq[c * n + b] && !leq[c * n + glb]) {
+            glb = n;
+            break;
+          }
+        }
+      }
+      if (glb >= n) {
+        return MakeError("hasse lattice: elements '" + lattice->names_[a] + "' and '" +
+                         lattice->names_[b] + "' lack a greatest lower bound");
+      }
+      lattice->join_[a * n + b] = lattice->join_[b * n + a] = lub;
+      lattice->meet_[a * n + b] = lattice->meet_[b * n + a] = glb;
+    }
+  }
+
+  // Bottom/top fall out as the meet/join over everything.
+  ClassId bottom = 0;
+  ClassId top = 0;
+  for (uint64_t i = 1; i < n; ++i) {
+    bottom = lattice->meet_[bottom * n + i];
+    top = lattice->join_[top * n + i];
+  }
+  lattice->bottom_ = bottom;
+  lattice->top_ = top;
+  return lattice;
+}
+
+std::unique_ptr<HasseLattice> HasseLattice::Diamond() {
+  auto result = Create({"low", "left", "right", "high"}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  // The diamond is a valid lattice by construction.
+  return std::move(result.value());
+}
+
+std::optional<ClassId> HasseLattice::FindElement(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string HasseLattice::Describe() const {
+  std::ostringstream os;
+  os << "hasse(" << names_.size() << ")";
+  return os.str();
+}
+
+}  // namespace cfm

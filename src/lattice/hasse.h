@@ -1,0 +1,59 @@
+// Arbitrary finite lattices specified by a Hasse diagram (cover relation).
+// Construction computes the order relation by transitive closure, verifies
+// the complete-lattice property (every pair has a unique least upper bound
+// and greatest lower bound, unique bottom and top), and precomputes dense
+// join/meet tables so queries are O(1).
+
+#ifndef SRC_LATTICE_HASSE_H_
+#define SRC_LATTICE_HASSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/lattice/lattice.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+class HasseLattice final : public Lattice {
+ public:
+  // `names` are the element names (ids are indices into this vector).
+  // `covers` lists (lower, upper) pairs of the cover/edge relation; any
+  // acyclic relation works, not only a minimal cover set. Fails if the
+  // resulting order is not a lattice.
+  static Result<std::unique_ptr<HasseLattice>> Create(
+      std::vector<std::string> names, const std::vector<std::pair<uint64_t, uint64_t>>& covers);
+
+  // The classic 4-element diamond low < {left, right} < high — the smallest
+  // non-chain lattice, useful for exercising incomparable classes.
+  static std::unique_ptr<HasseLattice> Diamond();
+
+  uint64_t size() const override { return names_.size(); }
+  bool Leq(ClassId a, ClassId b) const override { return leq_[a * size() + b]; }
+  ClassId Join(ClassId a, ClassId b) const override { return join_[a * size() + b]; }
+  ClassId Meet(ClassId a, ClassId b) const override { return meet_[a * size() + b]; }
+  ClassId Bottom() const override { return bottom_; }
+  ClassId Top() const override { return top_; }
+  std::string ElementName(ClassId id) const override { return names_[id]; }
+  std::optional<ClassId> FindElement(std::string_view name) const override;
+  std::string Describe() const override;
+
+ private:
+  HasseLattice() = default;
+
+  std::vector<std::string> names_;
+  std::vector<uint8_t> leq_;    // Row-major adjacency of the full order.
+  std::vector<ClassId> join_;   // Precomputed LUB table.
+  std::vector<ClassId> meet_;   // Precomputed GLB table.
+  ClassId bottom_ = 0;
+  ClassId top_ = 0;
+  std::unordered_map<std::string, ClassId> by_name_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_HASSE_H_

@@ -1,0 +1,121 @@
+#include "src/lattice/lattice.h"
+
+#include <sstream>
+
+namespace cfm {
+
+ClassId Lattice::JoinAll(const std::vector<ClassId>& ids) const {
+  ClassId acc = Bottom();
+  for (ClassId id : ids) {
+    acc = Join(acc, id);
+  }
+  return acc;
+}
+
+ClassId Lattice::MeetAll(const std::vector<ClassId>& ids) const {
+  ClassId acc = Top();
+  for (ClassId id : ids) {
+    acc = Meet(acc, id);
+  }
+  return acc;
+}
+
+namespace {
+
+Error AxiomError(std::string_view axiom, const Lattice& lattice, ClassId a, ClassId b,
+                 ClassId c = ~ClassId{0}) {
+  std::ostringstream os;
+  os << lattice.Describe() << ": axiom violated: " << axiom << " at a=" << lattice.ElementName(a)
+     << " b=" << lattice.ElementName(b);
+  if (c != ~ClassId{0}) {
+    os << " c=" << lattice.ElementName(c);
+  }
+  return MakeError(os.str());
+}
+
+}  // namespace
+
+Result<bool> ValidateLattice(const Lattice& lattice, uint64_t max_size) {
+  const uint64_t n = lattice.size();
+  if (n == 0) {
+    return MakeError("lattice is empty");
+  }
+  if (n > max_size) {
+    return MakeError("lattice too large to validate exhaustively");
+  }
+
+  for (ClassId a = 0; a < n; ++a) {
+    if (!lattice.Leq(a, a)) {
+      return AxiomError("reflexivity (a <= a)", lattice, a, a);
+    }
+    if (!lattice.Leq(lattice.Bottom(), a)) {
+      return AxiomError("bottom is minimum", lattice, lattice.Bottom(), a);
+    }
+    if (!lattice.Leq(a, lattice.Top())) {
+      return AxiomError("top is maximum", lattice, a, lattice.Top());
+    }
+  }
+
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = 0; b < n; ++b) {
+      if (a != b && lattice.Leq(a, b) && lattice.Leq(b, a)) {
+        return AxiomError("antisymmetry", lattice, a, b);
+      }
+      ClassId j = lattice.Join(a, b);
+      ClassId m = lattice.Meet(a, b);
+      if (j >= n || m >= n) {
+        return AxiomError("join/meet produce valid elements", lattice, a, b);
+      }
+      if (!lattice.Leq(a, j) || !lattice.Leq(b, j)) {
+        return AxiomError("join is an upper bound", lattice, a, b);
+      }
+      if (!lattice.Leq(m, a) || !lattice.Leq(m, b)) {
+        return AxiomError("meet is a lower bound", lattice, a, b);
+      }
+      if (lattice.Join(a, b) != lattice.Join(b, a)) {
+        return AxiomError("join commutativity", lattice, a, b);
+      }
+      if (lattice.Meet(a, b) != lattice.Meet(b, a)) {
+        return AxiomError("meet commutativity", lattice, a, b);
+      }
+      // Consistency of the order with join/meet: a <= b iff join = b iff meet = a.
+      if (lattice.Leq(a, b) != (j == b)) {
+        return AxiomError("order consistent with join", lattice, a, b);
+      }
+      if (lattice.Leq(a, b) != (m == a)) {
+        return AxiomError("order consistent with meet", lattice, a, b);
+      }
+    }
+  }
+
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = 0; b < n; ++b) {
+      ClassId j = lattice.Join(a, b);
+      ClassId m = lattice.Meet(a, b);
+      for (ClassId c = 0; c < n; ++c) {
+        if (lattice.Leq(a, c) && lattice.Leq(b, c) && !lattice.Leq(j, c)) {
+          return AxiomError("join is LEAST upper bound", lattice, a, b, c);
+        }
+        if (lattice.Leq(c, a) && lattice.Leq(c, b) && !lattice.Leq(c, m)) {
+          return AxiomError("meet is GREATEST lower bound", lattice, a, b, c);
+        }
+        if (lattice.Leq(a, b) && lattice.Leq(b, c) && !lattice.Leq(a, c)) {
+          return AxiomError("transitivity", lattice, a, b, c);
+        }
+      }
+    }
+  }
+
+  return true;
+}
+
+std::vector<ClassId> AllElements(const Lattice& lattice) {
+  std::vector<ClassId> out;
+  out.reserve(lattice.size());
+  for (ClassId id = 0; id < lattice.size(); ++id) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cfm

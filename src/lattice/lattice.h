@@ -1,0 +1,82 @@
+// Security classification schemes (Definition 1 of the paper): finite
+// complete lattices of security classes with join (least upper bound, the
+// paper's ⊕) and meet (greatest lower bound, ⊗).
+//
+// Elements are dense ClassId values interpreted by a Lattice instance.
+// All concrete lattices in this library are immutable after construction and
+// safe to share across threads.
+
+#ifndef SRC_LATTICE_LATTICE_H_
+#define SRC_LATTICE_LATTICE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace cfm {
+
+// Identifies an element of a particular Lattice. Ids are only meaningful
+// together with the lattice that produced them.
+using ClassId = uint64_t;
+
+class Lattice {
+ public:
+  virtual ~Lattice() = default;
+
+  // Number of elements. Every id in [0, size()) is a valid element.
+  virtual uint64_t size() const = 0;
+
+  // The partial order: a ≤ b.
+  virtual bool Leq(ClassId a, ClassId b) const = 0;
+
+  // Least upper bound (the paper's ⊕).
+  virtual ClassId Join(ClassId a, ClassId b) const = 0;
+
+  // Greatest lower bound (the paper's ⊗).
+  virtual ClassId Meet(ClassId a, ClassId b) const = 0;
+
+  // Minimum element ("low" in the paper).
+  virtual ClassId Bottom() const = 0;
+
+  // Maximum element ("high" in the paper).
+  virtual ClassId Top() const = 0;
+
+  // Human-readable element name, stable across calls.
+  virtual std::string ElementName(ClassId id) const = 0;
+
+  // Inverse of ElementName where the lattice supports it.
+  virtual std::optional<ClassId> FindElement(std::string_view name) const = 0;
+
+  // Short description of the scheme, e.g. "chain(4)".
+  virtual std::string Describe() const = 0;
+
+  // --- Non-virtual conveniences -------------------------------------------
+
+  // Join of a set; the empty join is Bottom() (identity of ⊕).
+  ClassId JoinAll(const std::vector<ClassId>& ids) const;
+
+  // Meet of a set; the empty meet is Top() (identity of ⊗).
+  ClassId MeetAll(const std::vector<ClassId>& ids) const;
+
+  bool Equal(ClassId a, ClassId b) const { return a == b; }
+
+  // a < b in the strict order.
+  bool Lt(ClassId a, ClassId b) const { return a != b && Leq(a, b); }
+};
+
+// Exhaustively checks the complete-lattice axioms (partial order; join/meet
+// are least upper / greatest lower bounds; bottom/top behave). O(size^3), so
+// callers should only validate small lattices (tests do). Returns true on
+// success; on failure returns an Error naming the first violated axiom.
+Result<bool> ValidateLattice(const Lattice& lattice, uint64_t max_size = 4096);
+
+// Enumerates all element ids of a small lattice (utility for tests/benches).
+std::vector<ClassId> AllElements(const Lattice& lattice);
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_LATTICE_H_

@@ -1,0 +1,99 @@
+#include "src/lattice/lattice_spec.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/text.h"
+
+namespace cfm {
+
+Result<std::unique_ptr<HasseLattice>> ParseLatticeSpec(const std::string& text) {
+  std::vector<std::string> names;
+  std::unordered_map<std::string, uint64_t> ids;
+  std::vector<std::pair<uint64_t, uint64_t>> covers;
+
+  uint32_t line_number = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    // Strip trailing comments.
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = StripWhitespace(line.substr(0, hash));
+    }
+    auto fail = [line_number](const std::string& message) {
+      return MakeError("lattice spec line " + std::to_string(line_number) + ": " + message);
+    };
+
+    size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      return fail("expected 'element <name>' or 'edge <lower> <upper>'");
+    }
+    std::string_view keyword = line.substr(0, space);
+    std::string_view rest = StripWhitespace(line.substr(space + 1));
+    if (keyword == "element") {
+      if (!IsIdentifier(rest)) {
+        return fail("element names must be identifiers, got '" + std::string(rest) + "'");
+      }
+      auto [it, inserted] = ids.emplace(std::string(rest), names.size());
+      if (!inserted) {
+        return fail("duplicate element '" + std::string(rest) + "'");
+      }
+      names.emplace_back(rest);
+    } else if (keyword == "edge") {
+      size_t mid = rest.find(' ');
+      if (mid == std::string_view::npos) {
+        return fail("edge needs two element names");
+      }
+      std::string lower(StripWhitespace(rest.substr(0, mid)));
+      std::string upper(StripWhitespace(rest.substr(mid + 1)));
+      auto lower_it = ids.find(lower);
+      auto upper_it = ids.find(upper);
+      if (lower_it == ids.end()) {
+        return fail("unknown element '" + lower + "' (declare elements before edges)");
+      }
+      if (upper_it == ids.end()) {
+        return fail("unknown element '" + upper + "'");
+      }
+      covers.emplace_back(lower_it->second, upper_it->second);
+    } else {
+      return fail("unknown keyword '" + std::string(keyword) + "'");
+    }
+  }
+  if (names.empty()) {
+    return MakeError("lattice spec declares no elements");
+  }
+  return HasseLattice::Create(std::move(names), covers);
+}
+
+std::string WriteLatticeSpec(const HasseLattice& lattice) {
+  std::ostringstream os;
+  const uint64_t n = lattice.size();
+  for (ClassId id = 0; id < n; ++id) {
+    os << "element " << lattice.ElementName(id) << "\n";
+  }
+  // Transitive reduction: a < b is a cover iff no c strictly between.
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = 0; b < n; ++b) {
+      if (a == b || !lattice.Leq(a, b)) {
+        continue;
+      }
+      bool is_cover = true;
+      for (ClassId c = 0; c < n && is_cover; ++c) {
+        if (c != a && c != b && lattice.Leq(a, c) && lattice.Leq(c, b)) {
+          is_cover = false;
+        }
+      }
+      if (is_cover) {
+        os << "edge " << lattice.ElementName(a) << " " << lattice.ElementName(b) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,33 @@
+// Textual lattice specifications: load a user-defined classification scheme
+// (an arbitrary finite lattice) from a simple line-based format, validated
+// on construction by HasseLattice::Create.
+//
+//   # comments and blank lines are ignored
+//   element unclassified
+//   element secret
+//   element topsecret
+//   edge unclassified secret      # unclassified < secret (cover relation)
+//   edge secret topsecret
+
+#ifndef SRC_LATTICE_LATTICE_SPEC_H_
+#define SRC_LATTICE_LATTICE_SPEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/lattice/hasse.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+// Parses a lattice spec. Fails with a line-precise message on syntax errors,
+// duplicate/unknown element names, or a diagram that is not a lattice.
+Result<std::unique_ptr<HasseLattice>> ParseLatticeSpec(const std::string& text);
+
+// Renders `lattice` in the same format (round-trips through ParseLatticeSpec
+// up to edge ordering; emits the full order relation's transitive reduction).
+std::string WriteLatticeSpec(const HasseLattice& lattice);
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_LATTICE_SPEC_H_

@@ -1,0 +1,66 @@
+#include "src/lattice/powerset.h"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "src/support/text.h"
+
+namespace cfm {
+
+PowersetLattice::PowersetLattice(std::vector<std::string> categories)
+    : categories_(std::move(categories)) {
+  assert(categories_.size() < 64 && "at most 63 categories fit in a ClassId bitmask");
+}
+
+std::string PowersetLattice::ElementName(ClassId id) const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (uint64_t i = 0; i < categories_.size(); ++i) {
+    if ((id >> i & 1) != 0) {
+      if (!first) {
+        os << ",";
+      }
+      os << categories_[i];
+      first = false;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+std::optional<ClassId> PowersetLattice::FindElement(std::string_view name) const {
+  name = StripWhitespace(name);
+  if (name.size() < 2 || name.front() != '{' || name.back() != '}') {
+    return std::nullopt;
+  }
+  std::string_view body = StripWhitespace(name.substr(1, name.size() - 2));
+  if (body.empty()) {
+    return ClassId{0};
+  }
+  ClassId mask = 0;
+  for (const std::string& part : SplitString(body, ',')) {
+    std::string_view category = StripWhitespace(part);
+    bool found = false;
+    for (uint64_t i = 0; i < categories_.size(); ++i) {
+      if (categories_[i] == category) {
+        mask |= ClassId{1} << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return std::nullopt;
+    }
+  }
+  return mask;
+}
+
+std::string PowersetLattice::Describe() const {
+  std::ostringstream os;
+  os << "powerset(" << categories_.size() << " categories)";
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,40 @@
+// Powerset-of-categories lattices: elements are subsets of a fixed category
+// set, ordered by inclusion (Denning's compartments). Ids are bitmasks, so
+// join/meet are single OR/AND instructions.
+
+#ifndef SRC_LATTICE_POWERSET_H_
+#define SRC_LATTICE_POWERSET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+class PowersetLattice final : public Lattice {
+ public:
+  // At most 63 categories so every subset id fits a ClassId.
+  explicit PowersetLattice(std::vector<std::string> categories);
+
+  uint64_t size() const override { return uint64_t{1} << categories_.size(); }
+  bool Leq(ClassId a, ClassId b) const override { return (a & ~b) == 0; }
+  ClassId Join(ClassId a, ClassId b) const override { return a | b; }
+  ClassId Meet(ClassId a, ClassId b) const override { return a & b; }
+  ClassId Bottom() const override { return 0; }
+  ClassId Top() const override { return size() - 1; }
+  std::string ElementName(ClassId id) const override;
+  // Accepts "{}", "{a}", "{a,b}" (category order irrelevant, spaces allowed).
+  std::optional<ClassId> FindElement(std::string_view name) const override;
+  std::string Describe() const override;
+
+  uint64_t category_count() const { return categories_.size(); }
+  const std::string& category_name(uint64_t index) const { return categories_[index]; }
+
+ private:
+  std::vector<std::string> categories_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_POWERSET_H_

@@ -1,0 +1,68 @@
+#include "src/lattice/product.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/support/text.h"
+
+namespace cfm {
+
+ProductLattice::ProductLattice(const Lattice& first, const Lattice& second)
+    : first_(first), second_(second) {
+  assert(second_.size() != 0 && first_.size() <= ~ClassId{0} / second_.size() &&
+         "product size must fit a ClassId");
+}
+
+bool ProductLattice::Leq(ClassId a, ClassId b) const {
+  auto [a1, a2] = Unpack(a);
+  auto [b1, b2] = Unpack(b);
+  return first_.Leq(a1, b1) && second_.Leq(a2, b2);
+}
+
+ClassId ProductLattice::Join(ClassId a, ClassId b) const {
+  auto [a1, a2] = Unpack(a);
+  auto [b1, b2] = Unpack(b);
+  return Pack(first_.Join(a1, b1), second_.Join(a2, b2));
+}
+
+ClassId ProductLattice::Meet(ClassId a, ClassId b) const {
+  auto [a1, a2] = Unpack(a);
+  auto [b1, b2] = Unpack(b);
+  return Pack(first_.Meet(a1, b1), second_.Meet(a2, b2));
+}
+
+std::string ProductLattice::ElementName(ClassId id) const {
+  auto [a, b] = Unpack(id);
+  std::ostringstream os;
+  os << "(" << first_.ElementName(a) << ", " << second_.ElementName(b) << ")";
+  return os.str();
+}
+
+std::optional<ClassId> ProductLattice::FindElement(std::string_view name) const {
+  name = StripWhitespace(name);
+  if (name.size() < 2 || name.front() != '(' || name.back() != ')') {
+    return std::nullopt;
+  }
+  std::string_view body = name.substr(1, name.size() - 2);
+  // The separator is the first top-level comma (the second component may
+  // itself contain commas, e.g. a powerset "{a,b}"; the first may not if it
+  // is a chain/two-point name, which is the supported composition).
+  size_t comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    return std::nullopt;
+  }
+  auto a = first_.FindElement(StripWhitespace(body.substr(0, comma)));
+  auto b = second_.FindElement(StripWhitespace(body.substr(comma + 1)));
+  if (!a || !b) {
+    return std::nullopt;
+  }
+  return Pack(*a, *b);
+}
+
+std::string ProductLattice::Describe() const {
+  std::ostringstream os;
+  os << "product(" << first_.Describe() << " x " << second_.Describe() << ")";
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,15 @@
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+
+std::optional<ClassId> TwoPointLattice::FindElement(std::string_view name) const {
+  if (name == "low" || name == "L") {
+    return kLow;
+  }
+  if (name == "high" || name == "H") {
+    return kHigh;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cfm

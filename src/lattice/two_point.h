@@ -1,0 +1,29 @@
+// The two-point lattice {low, high} — the smallest useful classification
+// scheme and the one the paper's examples use.
+
+#ifndef SRC_LATTICE_TWO_POINT_H_
+#define SRC_LATTICE_TWO_POINT_H_
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+class TwoPointLattice final : public Lattice {
+ public:
+  static constexpr ClassId kLow = 0;
+  static constexpr ClassId kHigh = 1;
+
+  uint64_t size() const override { return 2; }
+  bool Leq(ClassId a, ClassId b) const override { return a <= b; }
+  ClassId Join(ClassId a, ClassId b) const override { return a | b; }
+  ClassId Meet(ClassId a, ClassId b) const override { return a & b; }
+  ClassId Bottom() const override { return kLow; }
+  ClassId Top() const override { return kHigh; }
+  std::string ElementName(ClassId id) const override { return id == kLow ? "low" : "high"; }
+  std::optional<ClassId> FindElement(std::string_view name) const override;
+  std::string Describe() const override { return "two-point{low,high}"; }
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_TWO_POINT_H_

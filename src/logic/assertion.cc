@@ -1,0 +1,215 @@
+#include "src/logic/assertion.h"
+
+#include <sstream>
+
+namespace cfm {
+
+FlowAssertion FlowAssertion::False() {
+  FlowAssertion a;
+  a.is_false_ = true;
+  return a;
+}
+
+FlowAssertion FlowAssertion::Policy(const StaticBinding& binding, const SymbolTable& symbols) {
+  FlowAssertion a;
+  for (const Symbol& symbol : symbols.symbols()) {
+    ClassId bound = binding.ExtendedBinding(symbol.id);
+    // A bound of Top is no constraint; keep the map canonical.
+    if (bound != binding.extended().Top()) {
+      a.var_bounds_.emplace(symbol.id, bound);
+    }
+  }
+  return a;
+}
+
+void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext) {
+  auto [it, inserted] = var_bounds_.emplace(symbol, bound);
+  if (!inserted) {
+    it->second = ext.Meet(it->second, bound);
+  }
+}
+
+void FlowAssertion::Normalize(const Lattice& ext) {
+  for (auto it = var_bounds_.begin(); it != var_bounds_.end();) {
+    if (it->second == ext.Top()) {
+      it = var_bounds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (local_bound_ && *local_bound_ == ext.Top()) {
+    local_bound_.reset();
+  }
+  if (global_bound_ && *global_bound_ == ext.Top()) {
+    global_bound_.reset();
+  }
+}
+
+FlowAssertion FlowAssertion::WithAtom(const ClassExpr& expr, ClassId bound,
+                                      const Lattice& ext) const {
+  if (is_false_) {
+    return *this;
+  }
+  FlowAssertion result = *this;
+  // join(e1..ek) ≤ bound  ⟺  every ei ≤ bound.
+  if (!ext.Leq(expr.constant(), bound)) {
+    return False();
+  }
+  for (SymbolId v : expr.vars()) {
+    result.MeetVarBound(v, bound, ext);
+  }
+  if (expr.has_local()) {
+    result.local_bound_ = result.local_bound_ ? ext.Meet(*result.local_bound_, bound) : bound;
+  }
+  if (expr.has_global()) {
+    result.global_bound_ = result.global_bound_ ? ext.Meet(*result.global_bound_, bound) : bound;
+  }
+  result.Normalize(ext);
+  return result;
+}
+
+FlowAssertion FlowAssertion::Conjoin(const FlowAssertion& other, const Lattice& ext) const {
+  if (is_false_ || other.is_false_) {
+    return False();
+  }
+  FlowAssertion result = *this;
+  for (auto [symbol, bound] : other.var_bounds_) {
+    result.MeetVarBound(symbol, bound, ext);
+  }
+  if (other.local_bound_) {
+    result.local_bound_ =
+        result.local_bound_ ? ext.Meet(*result.local_bound_, *other.local_bound_)
+                            : *other.local_bound_;
+  }
+  if (other.global_bound_) {
+    result.global_bound_ =
+        result.global_bound_ ? ext.Meet(*result.global_bound_, *other.global_bound_)
+                             : *other.global_bound_;
+  }
+  result.Normalize(ext);
+  return result;
+}
+
+FlowAssertion FlowAssertion::Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                                        const Lattice& ext) const {
+  if (is_false_) {
+    return *this;
+  }
+  auto find_sub = [&subs](const TermRef& term) -> const ClassExpr* {
+    for (const auto& [ref, expr] : subs) {
+      if (ref == term) {
+        return &expr;
+      }
+    }
+    return nullptr;
+  };
+
+  FlowAssertion result;
+  for (auto [symbol, bound] : var_bounds_) {
+    if (const ClassExpr* replacement = find_sub(TermRef::Var(symbol))) {
+      result = result.WithAtom(*replacement, bound, ext);
+    } else {
+      result.MeetVarBound(symbol, bound, ext);
+    }
+    if (result.is_false_) {
+      return result;
+    }
+  }
+  if (local_bound_) {
+    if (const ClassExpr* replacement = find_sub(TermRef::Local())) {
+      result = result.WithAtom(*replacement, *local_bound_, ext);
+    } else {
+      result.local_bound_ =
+          result.local_bound_ ? ext.Meet(*result.local_bound_, *local_bound_) : *local_bound_;
+    }
+  }
+  if (global_bound_ && !result.is_false_) {
+    if (const ClassExpr* replacement = find_sub(TermRef::Global())) {
+      result = result.WithAtom(*replacement, *global_bound_, ext);
+    } else {
+      result.global_bound_ = result.global_bound_
+                                 ? ext.Meet(*result.global_bound_, *global_bound_)
+                                 : *global_bound_;
+    }
+  }
+  if (!result.is_false_) {
+    result.Normalize(ext);
+  }
+  return result;
+}
+
+ClassId FlowAssertion::BoundOf(const TermRef& term, const Lattice& ext) const {
+  switch (term.kind) {
+    case TermRef::Kind::kVar: {
+      auto it = var_bounds_.find(term.var);
+      return it == var_bounds_.end() ? ext.Top() : it->second;
+    }
+    case TermRef::Kind::kLocal:
+      return local_bound_.value_or(ext.Top());
+    case TermRef::Kind::kGlobal:
+      return global_bound_.value_or(ext.Top());
+  }
+  return ext.Top();
+}
+
+FlowAssertion FlowAssertion::VPart() const {
+  FlowAssertion result = *this;
+  result.local_bound_.reset();
+  result.global_bound_.reset();
+  return result;
+}
+
+bool FlowAssertion::Entails(const FlowAssertion& q, const Lattice& ext) const {
+  if (is_false_) {
+    return true;
+  }
+  if (q.is_false_) {
+    return false;
+  }
+  for (auto [symbol, bound] : q.var_bounds_) {
+    if (!ext.Leq(BoundOf(TermRef::Var(symbol), ext), bound)) {
+      return false;
+    }
+  }
+  if (q.local_bound_ && !ext.Leq(BoundOf(TermRef::Local(), ext), *q.local_bound_)) {
+    return false;
+  }
+  if (q.global_bound_ && !ext.Leq(BoundOf(TermRef::Global(), ext), *q.global_bound_)) {
+    return false;
+  }
+  return true;
+}
+
+std::string FlowAssertion::ToString(const SymbolTable& symbols, const Lattice& ext) const {
+  if (is_false_) {
+    return "{false}";
+  }
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+  };
+  for (auto [symbol, bound] : var_bounds_) {
+    sep();
+    os << "class(" << symbols.at(symbol).name << ") <= " << ext.ElementName(bound);
+  }
+  if (local_bound_) {
+    sep();
+    os << "local <= " << ext.ElementName(*local_bound_);
+  }
+  if (global_bound_) {
+    sep();
+    os << "global <= " << ext.ElementName(*global_bound_);
+  }
+  if (first) {
+    os << "true";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cfm

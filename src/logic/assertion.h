@@ -1,0 +1,105 @@
+// Flow assertions (Section 3.1): conjunctions of upper-bound atoms over the
+// information state —  v̄ ≤ c,  local ≤ c,  global ≤ c  — kept in a canonical
+// bound-map form. Because  a ⊕ b ≤ c  ⟺  a ≤ c ∧ b ≤ c,  every assertion of
+// the paper's fragment (including those produced by the axioms' syntactic
+// substitutions) normalizes into this form, which makes entailment P ⊢ Q
+// decidable, sound AND complete: evaluate each Q bound under P's bounds.
+
+#ifndef SRC_LOGIC_ASSERTION_H_
+#define SRC_LOGIC_ASSERTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/static_binding.h"
+#include "src/lang/symbol_table.h"
+#include "src/lattice/extended.h"
+#include "src/logic/class_expr.h"
+
+namespace cfm {
+
+// What a substitution targets: a variable's class, `local`, or `global`.
+struct TermRef {
+  enum class Kind : uint8_t { kVar, kLocal, kGlobal };
+  Kind kind = Kind::kVar;
+  SymbolId var = kInvalidSymbol;
+
+  static TermRef Var(SymbolId symbol) { return TermRef{Kind::kVar, symbol}; }
+  static TermRef Local() { return TermRef{Kind::kLocal, kInvalidSymbol}; }
+  static TermRef Global() { return TermRef{Kind::kGlobal, kInvalidSymbol}; }
+
+  friend bool operator==(const TermRef&, const TermRef&) = default;
+};
+
+class FlowAssertion {
+ public:
+  // The trivially true assertion (no constraints).
+  FlowAssertion() = default;
+
+  // The unsatisfiable assertion (entails everything).
+  static FlowAssertion False();
+
+  // The policy assertion corresponding to a static binding (Definition 6):
+  // the conjunction of v̄ ≤ sbind(v) over every variable.
+  static FlowAssertion Policy(const StaticBinding& binding, const SymbolTable& symbols);
+
+  // this ∧ (expr ≤ bound), decomposed into per-term bounds.
+  FlowAssertion WithAtom(const ClassExpr& expr, ClassId bound, const Lattice& ext) const;
+
+  // Conveniences for the common local/global bound atoms.
+  FlowAssertion WithLocalBound(ClassId bound, const Lattice& ext) const {
+    return WithAtom(ClassExpr::Local(), bound, ext);
+  }
+  FlowAssertion WithGlobalBound(ClassId bound, const Lattice& ext) const {
+    return WithAtom(ClassExpr::Global(), bound, ext);
+  }
+
+  // Conjunction (pointwise meet of bounds).
+  FlowAssertion Conjoin(const FlowAssertion& other, const Lattice& ext) const;
+
+  // Simultaneous syntactic substitution P[t1 <- e1, ..., tk <- ek], then
+  // renormalization. Used by the assignment/wait/signal axioms.
+  FlowAssertion Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                           const Lattice& ext) const;
+
+  bool is_false() const { return is_false_; }
+
+  // Effective upper bound of a term under this assertion; Top when the term
+  // is unconstrained. Meaningless when is_false().
+  ClassId BoundOf(const TermRef& term, const Lattice& ext) const;
+
+  // Canonical accessors (bounds equal to Top are absent).
+  const std::map<SymbolId, ClassId>& var_bounds() const { return var_bounds_; }
+  std::optional<ClassId> local_bound() const { return local_bound_; }
+  std::optional<ClassId> global_bound() const { return global_bound_; }
+
+  // The V component (Section 3.1 notation {V, L, G}): this assertion with
+  // local/global constraints dropped.
+  FlowAssertion VPart() const;
+
+  // Entailment: every information state satisfying *this satisfies `q`.
+  bool Entails(const FlowAssertion& q, const Lattice& ext) const;
+
+  // Two-way entailment.
+  bool EquivalentTo(const FlowAssertion& q, const Lattice& ext) const {
+    return Entails(q, ext) && q.Entails(*this, ext);
+  }
+
+  std::string ToString(const SymbolTable& symbols, const Lattice& ext) const;
+
+ private:
+  void MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext);
+  void Normalize(const Lattice& ext);
+
+  bool is_false_ = false;
+  std::map<SymbolId, ClassId> var_bounds_;
+  std::optional<ClassId> local_bound_;
+  std::optional<ClassId> global_bound_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_ASSERTION_H_

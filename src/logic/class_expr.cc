@@ -1,0 +1,69 @@
+#include "src/logic/class_expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cfm {
+
+ClassExpr ClassExpr::ForProgramExpr(const Expr& expr, const ExtendedLattice& ext) {
+  std::vector<SymbolId> reads;
+  CollectReads(expr, reads);
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  ClassExpr e;
+  e.constant_ = ext.Low();  // Constants are classed low, not nil.
+  e.vars_ = std::move(reads);
+  return e;
+}
+
+ClassExpr ClassExpr::Join(const ClassExpr& other, const Lattice& ext) const {
+  ClassExpr result;
+  result.constant_ = ext.Join(constant_, other.constant_);
+  result.vars_ = vars_;
+  for (SymbolId v : other.vars_) {
+    auto it = std::lower_bound(result.vars_.begin(), result.vars_.end(), v);
+    if (it == result.vars_.end() || *it != v) {
+      result.vars_.insert(it, v);
+    }
+  }
+  result.has_local_ = has_local_ || other.has_local_;
+  result.has_global_ = has_global_ || other.has_global_;
+  return result;
+}
+
+bool ClassExpr::mentions_var(SymbolId symbol) const {
+  return std::binary_search(vars_.begin(), vars_.end(), symbol);
+}
+
+std::string ClassExpr::ToString(const SymbolTable& symbols, const Lattice& ext) const {
+  std::ostringstream os;
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      os << " + ";
+    }
+    first = false;
+  };
+  if (constant_ != ExtendedLattice::kNil) {
+    sep();
+    os << ext.ElementName(constant_);
+  }
+  for (SymbolId v : vars_) {
+    sep();
+    os << "class(" << symbols.at(v).name << ")";
+  }
+  if (has_local_) {
+    sep();
+    os << "local";
+  }
+  if (has_global_) {
+    sep();
+    os << "global";
+  }
+  if (first) {
+    os << "nil";
+  }
+  return os.str();
+}
+
+}  // namespace cfm

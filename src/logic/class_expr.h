@@ -1,0 +1,73 @@
+// Symbolic security-class expressions: joins over class constants, the
+// dynamic class of a variable (the paper's v̄), and the certification
+// variables `local` and `global`. Expressions are kept in a normal form
+// (constant part folded, variable set sorted/deduped) so comparisons and
+// substitutions are cheap.
+
+#ifndef SRC_LOGIC_CLASS_EXPR_H_
+#define SRC_LOGIC_CLASS_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/lang/symbol_table.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// A join  constant ⊕ v̄1 ⊕ ... ⊕ v̄k [⊕ local] [⊕ global]  in normal form.
+// The empty join is the extended lattice's nil (identity of ⊕).
+class ClassExpr {
+ public:
+  ClassExpr() = default;
+
+  static ClassExpr Constant(ClassId value) {
+    ClassExpr e;
+    e.constant_ = value;
+    return e;
+  }
+  static ClassExpr VarClass(SymbolId symbol) {
+    ClassExpr e;
+    e.vars_.push_back(symbol);
+    return e;
+  }
+  static ClassExpr Local() {
+    ClassExpr e;
+    e.has_local_ = true;
+    return e;
+  }
+  static ClassExpr Global() {
+    ClassExpr e;
+    e.has_global_ = true;
+    return e;
+  }
+
+  // ē for a program expression: the join of the classes of the variables it
+  // reads; the class of a constant is low (Definition 2).
+  static ClassExpr ForProgramExpr(const Expr& expr, const ExtendedLattice& ext);
+
+  // this ⊕ other.
+  ClassExpr Join(const ClassExpr& other, const Lattice& ext) const;
+
+  ClassId constant() const { return constant_; }
+  const std::vector<SymbolId>& vars() const { return vars_; }
+  bool has_local() const { return has_local_; }
+  bool has_global() const { return has_global_; }
+  bool mentions_var(SymbolId symbol) const;
+
+  bool operator==(const ClassExpr& other) const = default;
+
+  std::string ToString(const SymbolTable& symbols, const Lattice& ext) const;
+
+ private:
+  ClassId constant_ = ExtendedLattice::kNil;
+  std::vector<SymbolId> vars_;  // Sorted, unique.
+  bool has_local_ = false;
+  bool has_global_ = false;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_CLASS_EXPR_H_

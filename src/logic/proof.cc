@@ -1,0 +1,116 @@
+#include "src/logic/proof.h"
+
+#include <sstream>
+
+#include "src/lang/printer.h"
+
+namespace cfm {
+
+std::string_view ToString(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kAssignAxiom:
+      return "assignment axiom";
+    case RuleKind::kSkipAxiom:
+      return "skip axiom";
+    case RuleKind::kSignalAxiom:
+      return "signal axiom";
+    case RuleKind::kWaitAxiom:
+      return "wait axiom";
+    case RuleKind::kSendAxiom:
+      return "send axiom";
+    case RuleKind::kReceiveAxiom:
+      return "receive axiom";
+    case RuleKind::kAlternation:
+      return "alternation";
+    case RuleKind::kIteration:
+      return "iteration";
+    case RuleKind::kComposition:
+      return "composition";
+    case RuleKind::kConsequence:
+      return "consequence";
+    case RuleKind::kCobegin:
+      return "concurrent execution";
+  }
+  return "unknown";
+}
+
+uint64_t ProofNode::Size() const {
+  uint64_t total = 1;
+  for (const auto& premise : premises) {
+    total += premise->Size();
+  }
+  return total;
+}
+
+std::unique_ptr<ProofNode> MakeProofNode(RuleKind rule, const Stmt* stmt, FlowAssertion pre,
+                                         FlowAssertion post) {
+  auto node = std::make_unique<ProofNode>();
+  node->rule = rule;
+  node->stmt = stmt;
+  node->pre = std::move(pre);
+  node->post = std::move(post);
+  return node;
+}
+
+namespace {
+
+void PrintNode(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext, int indent,
+               std::ostream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string stmt_text;
+  if (node.stmt != nullptr) {
+    stmt_text = PrintStmt(*node.stmt, symbols);
+    // Collapse the statement to one line for the header.
+    for (char& c : stmt_text) {
+      if (c == '\n') {
+        c = ' ';
+      }
+    }
+    if (stmt_text.size() > 60) {
+      stmt_text = stmt_text.substr(0, 57) + "...";
+    }
+  }
+  os << pad << "[" << ToString(node.rule) << "] " << stmt_text << "\n";
+  os << pad << "  pre:  " << node.pre.ToString(symbols, ext) << "\n";
+  os << pad << "  post: " << node.post.ToString(symbols, ext) << "\n";
+  for (const auto& premise : node.premises) {
+    PrintNode(*premise, symbols, ext, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string PrintProof(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext) {
+  std::ostringstream os;
+  PrintNode(node, symbols, ext, 0, os);
+  return os.str();
+}
+
+void ForEachProofNode(const ProofNode& node, const std::function<void(const ProofNode&)>& fn) {
+  fn(node);
+  for (const auto& premise : node.premises) {
+    ForEachProofNode(*premise, fn);
+  }
+}
+
+const Stmt* EffectiveProofStmt(const ProofNode& node) {
+  const ProofNode* current = &node;
+  while (current->rule == RuleKind::kConsequence && !current->premises.empty()) {
+    current = current->premises.front().get();
+  }
+  return current->stmt;
+}
+
+const ProofNode* FindProofNodeFor(const ProofNode& root, const Stmt& stmt) {
+  if (EffectiveProofStmt(root) == &stmt) {
+    return &root;
+  }
+  for (const auto& premise : root.premises) {
+    if (const ProofNode* found = FindProofNodeFor(*premise, stmt)) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cfm

@@ -1,0 +1,74 @@
+// Flow proofs: derivation trees over the Figure 1 axioms and rules. Each
+// node records the rule applied, the statement it proves, and the pre/post
+// flow assertions. Trees are built by the Theorem 1 constructor
+// (proof_builder.h) or by hand (tests), and validated by the independent
+// checker (proof_checker.h).
+
+#ifndef SRC_LOGIC_PROOF_H_
+#define SRC_LOGIC_PROOF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/logic/assertion.h"
+
+namespace cfm {
+
+enum class RuleKind : uint8_t {
+  kAssignAxiom,   // {P[x̄ <- ē ⊕ local ⊕ global]} x := e {P}
+  kSkipAxiom,     // {P} skip {P}
+  kSignalAxiom,   // {P[sem̄ <- sem̄ ⊕ local ⊕ global]} signal(sem) {P}
+  kWaitAxiom,     // {P[sem̄ <- X, global <- X]} wait(sem) {P},
+                  //   X = sem̄ ⊕ local ⊕ global
+  kSendAxiom,     // extension: {P[ch̄ <- ch̄ ⊕ ē ⊕ local ⊕ global]} send(ch,e) {P}
+  kReceiveAxiom,  // extension: {P[x̄ <- X, ch̄ <- X, global <- X]}
+                  //   receive(ch,x) {P},  X = ch̄ ⊕ local ⊕ global
+  kAlternation,   // Figure 1 alternation rule
+  kIteration,     // Figure 1 iteration rule
+  kComposition,   // Figure 1 composition rule
+  kConsequence,   // Figure 1 consequence rule
+  kCobegin,       // Figure 1 concurrent execution rule (interference-free)
+};
+
+std::string_view ToString(RuleKind kind);
+
+struct ProofNode {
+  RuleKind rule = RuleKind::kSkipAxiom;
+  const Stmt* stmt = nullptr;
+  FlowAssertion pre;
+  FlowAssertion post;
+  std::vector<std::unique_ptr<ProofNode>> premises;
+
+  // Total nodes in this subtree.
+  uint64_t Size() const;
+};
+
+struct Proof {
+  std::unique_ptr<ProofNode> root;
+
+  bool valid_handle() const { return root != nullptr; }
+};
+
+// Factory helper.
+std::unique_ptr<ProofNode> MakeProofNode(RuleKind rule, const Stmt* stmt, FlowAssertion pre,
+                                         FlowAssertion post);
+
+// Multi-line rendering of the derivation, premises indented.
+std::string PrintProof(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext);
+
+// Invokes fn on every node of the tree, pre-order.
+void ForEachProofNode(const ProofNode& node, const std::function<void(const ProofNode&)>& fn);
+
+// The statement a node proves, looking through consequence steps.
+const Stmt* EffectiveProofStmt(const ProofNode& node);
+
+// The annotation of `stmt` in the proof: the outermost node proving `stmt`
+// (its pre/post are the assertions in force around the statement, the ones
+// Definition 7 constrains). Returns nullptr if `stmt` is not proven here.
+const ProofNode* FindProofNodeFor(const ProofNode& root, const Stmt& stmt);
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_PROOF_H_

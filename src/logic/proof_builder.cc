@@ -1,0 +1,246 @@
+#include "src/logic/proof_builder.h"
+
+#include <utility>
+
+#include "src/core/cfm.h"
+
+namespace cfm {
+
+namespace {
+
+class Theorem1Builder {
+ public:
+  Theorem1Builder(const SymbolTable& symbols, const StaticBinding& binding,
+                  const CertificationResult& certification)
+      : symbols_(symbols),
+        binding_(binding),
+        ext_(binding.extended()),
+        certification_(certification),
+        policy_(FlowAssertion::Policy(binding, symbols)) {}
+
+  // {I, local ≤ l, global ≤ g} stmt {I, local ≤ l, global ≤ GOut(stmt, g)}.
+  std::unique_ptr<ProofNode> Build(const Stmt& stmt, ClassId l, ClassId g) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        ClassExpr replacement = ClassExpr::ForProgramExpr(assign.value(), ext_)
+                                    .Join(ClassExpr::Local(), ext_)
+                                    .Join(ClassExpr::Global(), ext_);
+        return AxiomWithConsequence(stmt, RuleKind::kAssignAxiom, l, g, /*g_out=*/g,
+                                    {{TermRef::Var(assign.target()), replacement}});
+      }
+      case StmtKind::kSignal: {
+        const auto& signal = stmt.As<SignalStmt>();
+        ClassExpr replacement = ClassExpr::VarClass(signal.semaphore())
+                                    .Join(ClassExpr::Local(), ext_)
+                                    .Join(ClassExpr::Global(), ext_);
+        return AxiomWithConsequence(stmt, RuleKind::kSignalAxiom, l, g, /*g_out=*/g,
+                                    {{TermRef::Var(signal.semaphore()), replacement}});
+      }
+      case StmtKind::kWait: {
+        const auto& wait = stmt.As<WaitStmt>();
+        ClassExpr replacement = ClassExpr::VarClass(wait.semaphore())
+                                    .Join(ClassExpr::Local(), ext_)
+                                    .Join(ClassExpr::Global(), ext_);
+        ClassId g_out = ext_.Join(g, ext_.Join(l, binding_.ExtendedBinding(wait.semaphore())));
+        return AxiomWithConsequence(stmt, RuleKind::kWaitAxiom, l, g, g_out,
+                                    {{TermRef::Var(wait.semaphore()), replacement},
+                                     {TermRef::Global(), replacement}});
+      }
+      case StmtKind::kSend: {
+        const auto& send = stmt.As<SendStmt>();
+        ClassExpr replacement = ClassExpr::VarClass(send.channel())
+                                    .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
+                                    .Join(ClassExpr::Local(), ext_)
+                                    .Join(ClassExpr::Global(), ext_);
+        return AxiomWithConsequence(stmt, RuleKind::kSendAxiom, l, g, /*g_out=*/g,
+                                    {{TermRef::Var(send.channel()), replacement}});
+      }
+      case StmtKind::kReceive: {
+        const auto& receive = stmt.As<ReceiveStmt>();
+        ClassExpr replacement = ClassExpr::VarClass(receive.channel())
+                                    .Join(ClassExpr::Local(), ext_)
+                                    .Join(ClassExpr::Global(), ext_);
+        ClassId g_out =
+            ext_.Join(g, ext_.Join(l, binding_.ExtendedBinding(receive.channel())));
+        return AxiomWithConsequence(stmt, RuleKind::kReceiveAxiom, l, g, g_out,
+                                    {{TermRef::Var(receive.target()), replacement},
+                                     {TermRef::Var(receive.channel()), replacement},
+                                     {TermRef::Global(), replacement}});
+      }
+      case StmtKind::kSkip: {
+        FlowAssertion p = Assert(l, g);
+        return MakeProofNode(RuleKind::kSkipAxiom, &stmt, p, p);
+      }
+      case StmtKind::kIf:
+        return BuildIf(stmt.As<IfStmt>(), l, g);
+      case StmtKind::kWhile:
+        return BuildWhile(stmt.As<WhileStmt>(), l, g);
+      case StmtKind::kBlock:
+        return BuildBlock(stmt.As<BlockStmt>(), l, g);
+      case StmtKind::kCobegin:
+        return BuildCobegin(stmt.As<CobeginStmt>(), l, g);
+    }
+    return nullptr;
+  }
+
+  // Post-bound for global: unchanged when the statement produces no global
+  // flow, otherwise raised by l ⊕ flow(S) (Theorem 1's statement).
+  ClassId GOut(const Stmt& stmt, ClassId l, ClassId g) const {
+    ClassId flow = certification_.facts(stmt).flow;
+    if (flow == ExtendedLattice::kNil) {
+      return g;
+    }
+    return ext_.Join(g, ext_.Join(l, flow));
+  }
+
+  FlowAssertion Assert(ClassId l, ClassId g) const {
+    return policy_.WithLocalBound(l, ext_).WithGlobalBound(g, ext_);
+  }
+
+ private:
+  std::unique_ptr<ProofNode> AxiomWithConsequence(
+      const Stmt& stmt, RuleKind rule, ClassId l, ClassId g, ClassId g_out,
+      const std::vector<std::pair<TermRef, ClassExpr>>& subs) {
+    FlowAssertion post = Assert(l, g_out);
+    FlowAssertion axiom_pre = post.Substitute(subs, ext_);
+    auto axiom = MakeProofNode(rule, &stmt, std::move(axiom_pre), post);
+    // Consequence strengthens the axiom's computed pre-image to the uniform
+    // {I, local ≤ l, global ≤ g} so the proof is completely invariant.
+    auto consequence = MakeProofNode(RuleKind::kConsequence, &stmt, Assert(l, g), post);
+    consequence->premises.push_back(std::move(axiom));
+    return consequence;
+  }
+
+  std::unique_ptr<ProofNode> BuildIf(const IfStmt& stmt, ClassId l, ClassId g) {
+    ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
+    ClassId l_inner = ext_.Join(l, cond_class);
+    ClassId g_post = GOut(stmt, l, g);
+
+    auto then_proof = BuildWeakened(stmt.then_branch(), l_inner, g, g_post);
+    std::unique_ptr<ProofNode> else_proof;
+    if (stmt.else_branch() != nullptr) {
+      else_proof = BuildWeakened(*stmt.else_branch(), l_inner, g, g_post);
+    } else {
+      // The implicit skip branch: {I, l', g} skip {I, l', g}, weakened to the
+      // common post.
+      FlowAssertion p = Assert(l_inner, g);
+      auto skip = MakeProofNode(RuleKind::kSkipAxiom, nullptr, p, p);
+      else_proof = MakeProofNode(RuleKind::kConsequence, nullptr, p, Assert(l_inner, g_post));
+      else_proof->premises.push_back(std::move(skip));
+    }
+
+    auto node = MakeProofNode(RuleKind::kAlternation, &stmt, Assert(l, g), Assert(l, g_post));
+    node->premises.push_back(std::move(then_proof));
+    node->premises.push_back(std::move(else_proof));
+    return node;
+  }
+
+  std::unique_ptr<ProofNode> BuildWhile(const WhileStmt& stmt, ClassId l, ClassId g) {
+    ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
+    ClassId l_inner = ext_.Join(l, cond_class);
+    // The loop invariant's global bound: g ⊕ l ⊕ flow(S); the body's proof
+    // preserves it exactly (GOut(body, gw) = gw because the body's flow is
+    // already folded in).
+    ClassId gw = GOut(stmt, l, g);
+
+    auto body_proof = Build(stmt.body(), l_inner, gw);
+    // The iteration rule's conclusion: pre {I, local ≤ l, global ≤ gw},
+    // post {I, local ≤ l, global ≤ gw}.
+    auto loop = MakeProofNode(RuleKind::kIteration, &stmt, Assert(l, gw), Assert(l, gw));
+    loop->premises.push_back(std::move(body_proof));
+    // Strengthen the pre back to global ≤ g (g ≤ gw).
+    auto consequence = MakeProofNode(RuleKind::kConsequence, &stmt, Assert(l, g), Assert(l, gw));
+    consequence->premises.push_back(std::move(loop));
+    return consequence;
+  }
+
+  std::unique_ptr<ProofNode> BuildBlock(const BlockStmt& stmt, ClassId l, ClassId g) {
+    auto node = MakeProofNode(RuleKind::kComposition, &stmt, Assert(l, g),
+                              Assert(l, GOut(stmt, l, g)));
+    ClassId g_i = g;
+    for (const Stmt* child : stmt.statements()) {
+      auto child_proof = Build(*child, l, g_i);
+      g_i = GOut(*child, l, g_i);
+      node->premises.push_back(std::move(child_proof));
+    }
+    // The chained bound equals the block's GOut by construction.
+    node->post = Assert(l, g_i);
+    return node;
+  }
+
+  std::unique_ptr<ProofNode> BuildCobegin(const CobeginStmt& stmt, ClassId l, ClassId g) {
+    ClassId g_post = GOut(stmt, l, g);
+    auto node = MakeProofNode(RuleKind::kCobegin, &stmt, Assert(l, g), Assert(l, g_post));
+    for (const Stmt* child : stmt.processes()) {
+      node->premises.push_back(BuildWeakened(*child, l, g, g_post));
+    }
+    return node;
+  }
+
+  // Build(stmt, l, g) then weaken the post's global bound to g_post.
+  std::unique_ptr<ProofNode> BuildWeakened(const Stmt& stmt, ClassId l, ClassId g,
+                                           ClassId g_post) {
+    auto proof = Build(stmt, l, g);
+    ClassId g_out = GOut(stmt, l, g);
+    if (g_out == g_post) {
+      return proof;
+    }
+    auto consequence =
+        MakeProofNode(RuleKind::kConsequence, &stmt, proof->pre, Assert(l, g_post));
+    consequence->premises.push_back(std::move(proof));
+    return consequence;
+  }
+
+  const SymbolTable& symbols_;
+  const StaticBinding& binding_;
+  const ExtendedLattice& ext_;
+  const CertificationResult& certification_;
+  FlowAssertion policy_;
+};
+
+}  // namespace
+
+Proof BuildInvariantCandidate(const Stmt& stmt, const SymbolTable& symbols,
+                              const StaticBinding& binding,
+                              const CertificationResult& certification,
+                              const Theorem1Options& options) {
+  const ExtendedLattice& ext = binding.extended();
+  ClassId l = options.l == ExtendedLattice::kNil ? ext.Low() : options.l;
+  ClassId g = options.g == ExtendedLattice::kNil ? ext.Low() : options.g;
+  Theorem1Builder builder(symbols, binding, certification);
+  Proof proof;
+  proof.root = builder.Build(stmt, l, g);
+  return proof;
+}
+
+Result<Proof> BuildTheorem1ProofForStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                        const StaticBinding& binding,
+                                        const CertificationResult& certification,
+                                        const Theorem1Options& options) {
+  if (!certification.certified()) {
+    return MakeError("Theorem 1 applies only to CFM-certified programs");
+  }
+  const ExtendedLattice& ext = binding.extended();
+  ClassId l = options.l == ExtendedLattice::kNil ? ext.Low() : options.l;
+  ClassId g = options.g == ExtendedLattice::kNil ? ext.Low() : options.g;
+  if (!ext.Leq(ext.Join(l, g), certification.facts(stmt).mod)) {
+    return MakeError("Theorem 1 requires l + g <= mod(S); got l = " + ext.ElementName(l) +
+                     ", g = " + ext.ElementName(g) + ", mod(S) = " +
+                     ext.ElementName(certification.facts(stmt).mod));
+  }
+  return BuildInvariantCandidate(stmt, symbols, binding, certification, options);
+}
+
+Result<Proof> BuildTheorem1Proof(const Program& program, const StaticBinding& binding,
+                                 const Theorem1Options& options) {
+  CertificationResult certification = CertifyCfm(program, binding);
+  if (!certification.certified()) {
+    return MakeError("CFM rejects the program:\n" +
+                     certification.Summary(program.symbols(), binding.extended()));
+  }
+  return BuildTheorem1ProofForStmt(program.root(), program.symbols(), binding, certification,
+                                   options);
+}
+
+}  // namespace cfm

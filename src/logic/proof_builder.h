@@ -1,0 +1,55 @@
+// Constructive Theorem 1: from a CFM-certified statement S and static
+// binding sbind, builds the *completely invariant* flow proof of
+//
+//   {I, local ≤ l, global ≤ g}  S  {I, local ≤ l, global ≤ g ⊕ l ⊕ flow(S)}
+//
+// where I is the policy assertion of sbind and l ⊕ g ≤ mod(S). The
+// construction follows the paper's appendix case-by-case, inserting
+// consequence steps exactly where the appendix appeals to weakening. The
+// resulting tree is validated by the independent ProofChecker (tests assert
+// this for entire generated corpora — the mechanical Theorem 1).
+
+#ifndef SRC_LOGIC_PROOF_BUILDER_H_
+#define SRC_LOGIC_PROOF_BUILDER_H_
+
+#include "src/core/certification.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/logic/proof.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+struct Theorem1Options {
+  // The l and g class constants, as *extended* lattice ids; defaults (when
+  // left at kNil) are low = the embedded base bottom.
+  ClassId l = ExtendedLattice::kNil;
+  ClassId g = ExtendedLattice::kNil;
+};
+
+// Builds the proof for `program`'s root. Fails if CFM rejects the program or
+// l ⊕ g ≰ mod(S).
+Result<Proof> BuildTheorem1Proof(const Program& program, const StaticBinding& binding,
+                                 const Theorem1Options& options = {});
+
+// Subtree variant; `certification` must be a CFM result covering `stmt`.
+Result<Proof> BuildTheorem1ProofForStmt(const Stmt& stmt, const SymbolTable& symbols,
+                                        const StaticBinding& binding,
+                                        const CertificationResult& certification,
+                                        const Theorem1Options& options = {});
+
+// Runs the Theorem 1 construction *unconditionally* — no cert(S)
+// precondition. When cert(S) holds the result is the valid completely
+// invariant proof; when it does not, Theorem 2 guarantees no completely
+// invariant proof exists, so the candidate necessarily fails the checker.
+// Tests use this to verify Theorems 1 and 2 as one mechanical equivalence:
+//   ProofChecker accepts candidate  ⟺  CFM certifies.
+// Requires l ⊕ g ≤ mod(S) (the defaults always satisfy it).
+Proof BuildInvariantCandidate(const Stmt& stmt, const SymbolTable& symbols,
+                              const StaticBinding& binding,
+                              const CertificationResult& certification,
+                              const Theorem1Options& options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_PROOF_BUILDER_H_

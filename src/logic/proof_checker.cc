@@ -1,0 +1,473 @@
+#include "src/logic/proof_checker.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cfm {
+
+namespace {
+
+ProofError Fail(const ProofNode& node, std::string reason) {
+  return ProofError{&node, std::move(reason)};
+}
+
+bool IsAtomicRule(RuleKind rule) {
+  return rule == RuleKind::kAssignAxiom || rule == RuleKind::kWaitAxiom ||
+         rule == RuleKind::kSignalAxiom || rule == RuleKind::kSendAxiom ||
+         rule == RuleKind::kReceiveAxiom;
+}
+
+}  // namespace
+
+const Stmt* ProofChecker::EffectiveStmt(const ProofNode& node) {
+  return EffectiveProofStmt(node);
+}
+
+bool ProofChecker::SameLocalBound(const FlowAssertion& a, const FlowAssertion& b) const {
+  return a.BoundOf(TermRef::Local(), ext_) == b.BoundOf(TermRef::Local(), ext_);
+}
+
+bool ProofChecker::SameGlobalBound(const FlowAssertion& a, const FlowAssertion& b) const {
+  return a.BoundOf(TermRef::Global(), ext_) == b.BoundOf(TermRef::Global(), ext_);
+}
+
+bool ProofChecker::SameVPart(const FlowAssertion& a, const FlowAssertion& b) const {
+  return a.VPart().EquivalentTo(b.VPart(), ext_);
+}
+
+std::optional<ProofError> ProofChecker::Check(const ProofNode& root) const {
+  return CheckNode(root);
+}
+
+std::optional<ProofError> ProofChecker::CheckProves(const ProofNode& root, const Stmt& stmt,
+                                                    const FlowAssertion& pre,
+                                                    const FlowAssertion& post) const {
+  if (EffectiveStmt(root) != &stmt) {
+    return Fail(root, "the proof does not prove the requested statement");
+  }
+  if (!root.pre.EquivalentTo(pre, ext_)) {
+    return Fail(root, "the proof's pre-condition differs from the requested one");
+  }
+  if (!root.post.EquivalentTo(post, ext_)) {
+    return Fail(root, "the proof's post-condition differs from the requested one");
+  }
+  return CheckNode(root);
+}
+
+std::optional<ProofError> ProofChecker::CheckNode(const ProofNode& node) const {
+  switch (node.rule) {
+    case RuleKind::kAssignAxiom:
+    case RuleKind::kSkipAxiom:
+    case RuleKind::kSignalAxiom:
+    case RuleKind::kWaitAxiom:
+    case RuleKind::kSendAxiom:
+    case RuleKind::kReceiveAxiom:
+      return CheckAxiom(node);
+    case RuleKind::kAlternation:
+      return CheckAlternation(node);
+    case RuleKind::kIteration:
+      return CheckIteration(node);
+    case RuleKind::kComposition:
+      return CheckComposition(node);
+    case RuleKind::kConsequence:
+      return CheckConsequence(node);
+    case RuleKind::kCobegin:
+      return CheckCobegin(node);
+  }
+  return Fail(node, "unknown rule");
+}
+
+std::optional<ProofError> ProofChecker::CheckAxiom(const ProofNode& node) const {
+  if (!node.premises.empty()) {
+    return Fail(node, "axioms take no premises");
+  }
+  switch (node.rule) {
+    case RuleKind::kSkipAxiom: {
+      if (node.stmt != nullptr && node.stmt->kind() != StmtKind::kSkip) {
+        return Fail(node, "skip axiom applied to a non-skip statement");
+      }
+      if (!node.pre.EquivalentTo(node.post, ext_)) {
+        return Fail(node, "skip axiom requires identical pre- and post-conditions");
+      }
+      return std::nullopt;
+    }
+    case RuleKind::kAssignAxiom: {
+      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kAssign) {
+        return Fail(node, "assignment axiom applied to a non-assignment");
+      }
+      const auto& assign = node.stmt->As<AssignStmt>();
+      ClassExpr replacement = ClassExpr::ForProgramExpr(assign.value(), ext_)
+                                  .Join(ClassExpr::Local(), ext_)
+                                  .Join(ClassExpr::Global(), ext_);
+      FlowAssertion expected =
+          node.post.Substitute({{TermRef::Var(assign.target()), replacement}}, ext_);
+      if (!node.pre.EquivalentTo(expected, ext_)) {
+        return Fail(node,
+                    "assignment axiom: pre-condition is not post[x <- e + local + global]");
+      }
+      return std::nullopt;
+    }
+    case RuleKind::kSignalAxiom: {
+      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSignal) {
+        return Fail(node, "signal axiom applied to a non-signal");
+      }
+      SymbolId sem = node.stmt->As<SignalStmt>().semaphore();
+      ClassExpr replacement = ClassExpr::VarClass(sem)
+                                  .Join(ClassExpr::Local(), ext_)
+                                  .Join(ClassExpr::Global(), ext_);
+      FlowAssertion expected = node.post.Substitute({{TermRef::Var(sem), replacement}}, ext_);
+      if (!node.pre.EquivalentTo(expected, ext_)) {
+        return Fail(node,
+                    "signal axiom: pre-condition is not post[sem <- sem + local + global]");
+      }
+      return std::nullopt;
+    }
+    case RuleKind::kWaitAxiom: {
+      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kWait) {
+        return Fail(node, "wait axiom applied to a non-wait");
+      }
+      SymbolId sem = node.stmt->As<WaitStmt>().semaphore();
+      ClassExpr replacement = ClassExpr::VarClass(sem)
+                                  .Join(ClassExpr::Local(), ext_)
+                                  .Join(ClassExpr::Global(), ext_);
+      FlowAssertion expected = node.post.Substitute(
+          {{TermRef::Var(sem), replacement}, {TermRef::Global(), replacement}}, ext_);
+      if (!node.pre.EquivalentTo(expected, ext_)) {
+        return Fail(node,
+                    "wait axiom: pre-condition is not post[sem <- X, global <- X] with "
+                    "X = sem + local + global");
+      }
+      return std::nullopt;
+    }
+    case RuleKind::kSendAxiom: {
+      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSend) {
+        return Fail(node, "send axiom applied to a non-send");
+      }
+      const auto& send = node.stmt->As<SendStmt>();
+      ClassExpr replacement = ClassExpr::VarClass(send.channel())
+                                  .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
+                                  .Join(ClassExpr::Local(), ext_)
+                                  .Join(ClassExpr::Global(), ext_);
+      FlowAssertion expected =
+          node.post.Substitute({{TermRef::Var(send.channel()), replacement}}, ext_);
+      if (!node.pre.EquivalentTo(expected, ext_)) {
+        return Fail(node,
+                    "send axiom: pre-condition is not post[ch <- ch + e + local + global]");
+      }
+      return std::nullopt;
+    }
+    case RuleKind::kReceiveAxiom: {
+      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kReceive) {
+        return Fail(node, "receive axiom applied to a non-receive");
+      }
+      const auto& receive = node.stmt->As<ReceiveStmt>();
+      ClassExpr replacement = ClassExpr::VarClass(receive.channel())
+                                  .Join(ClassExpr::Local(), ext_)
+                                  .Join(ClassExpr::Global(), ext_);
+      FlowAssertion expected =
+          node.post.Substitute({{TermRef::Var(receive.target()), replacement},
+                                {TermRef::Var(receive.channel()), replacement},
+                                {TermRef::Global(), replacement}},
+                               ext_);
+      if (!node.pre.EquivalentTo(expected, ext_)) {
+        return Fail(node,
+                    "receive axiom: pre-condition is not post[x <- X, ch <- X, global <- X] "
+                    "with X = ch + local + global");
+      }
+      return std::nullopt;
+    }
+    default:
+      return Fail(node, "not an axiom");
+  }
+}
+
+std::optional<ProofError> ProofChecker::CheckConsequence(const ProofNode& node) const {
+  if (node.premises.size() != 1) {
+    return Fail(node, "consequence takes exactly one premise");
+  }
+  const ProofNode& premise = *node.premises.front();
+  if (node.stmt != nullptr && EffectiveStmt(premise) != node.stmt) {
+    return Fail(node, "consequence premise proves a different statement");
+  }
+  if (!node.pre.Entails(premise.pre, ext_)) {
+    return Fail(node, "consequence: P does not entail P'");
+  }
+  if (!premise.post.Entails(node.post, ext_)) {
+    return Fail(node, "consequence: Q' does not entail Q");
+  }
+  return CheckNode(premise);
+}
+
+std::optional<ProofError> ProofChecker::CheckAlternation(const ProofNode& node) const {
+  if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kIf) {
+    return Fail(node, "alternation applied to a non-if statement");
+  }
+  if (node.premises.size() != 2) {
+    return Fail(node, "alternation takes two premises (then, else)");
+  }
+  const auto& if_stmt = node.stmt->As<IfStmt>();
+  const ProofNode& then_proof = *node.premises[0];
+  const ProofNode& else_proof = *node.premises[1];
+
+  if (EffectiveStmt(then_proof) != &if_stmt.then_branch()) {
+    return Fail(node, "alternation: first premise does not prove the then-branch");
+  }
+  const Stmt* else_effective = EffectiveStmt(else_proof);
+  if (if_stmt.else_branch() != nullptr) {
+    if (else_effective != if_stmt.else_branch()) {
+      return Fail(node, "alternation: second premise does not prove the else-branch");
+    }
+  } else if (else_effective != nullptr && else_effective->kind() != StmtKind::kSkip) {
+    return Fail(node, "alternation: missing else-branch requires a skip premise");
+  }
+
+  if (!then_proof.pre.EquivalentTo(else_proof.pre, ext_) ||
+      !then_proof.post.EquivalentTo(else_proof.post, ext_)) {
+    return Fail(node, "alternation: branch proofs must share pre- and post-conditions");
+  }
+  // Shape {V, L', G} Si {V', L', G'} versus conclusion {V, L, G} S {V', L, G'}.
+  if (!SameLocalBound(then_proof.pre, then_proof.post)) {
+    return Fail(node, "alternation: branch proofs must preserve local's bound (L')");
+  }
+  if (!SameVPart(then_proof.pre, node.pre) || !SameVPart(then_proof.post, node.post)) {
+    return Fail(node, "alternation: V components do not match the conclusion");
+  }
+  if (!SameGlobalBound(then_proof.pre, node.pre) ||
+      !SameGlobalBound(then_proof.post, node.post)) {
+    return Fail(node, "alternation: G components do not match the conclusion");
+  }
+  if (!SameLocalBound(node.pre, node.post)) {
+    return Fail(node, "alternation: conclusion must preserve local's bound (L)");
+  }
+  // Side condition V,L,G |- L'[local <- local ⊕ ē].
+  ClassId l_inner = then_proof.pre.BoundOf(TermRef::Local(), ext_);
+  ClassExpr lifted = ClassExpr::ForProgramExpr(if_stmt.condition(), ext_)
+                         .Join(ClassExpr::Local(), ext_);
+  FlowAssertion requirement = FlowAssertion().WithAtom(lifted, l_inner, ext_);
+  if (!node.pre.Entails(requirement, ext_)) {
+    return Fail(node, "alternation: V,L,G does not entail L'[local <- local + e]");
+  }
+
+  if (auto error = CheckNode(then_proof)) {
+    return error;
+  }
+  return CheckNode(else_proof);
+}
+
+std::optional<ProofError> ProofChecker::CheckIteration(const ProofNode& node) const {
+  if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kWhile) {
+    return Fail(node, "iteration applied to a non-while statement");
+  }
+  if (node.premises.size() != 1) {
+    return Fail(node, "iteration takes one premise (the body proof)");
+  }
+  const auto& while_stmt = node.stmt->As<WhileStmt>();
+  const ProofNode& body_proof = *node.premises.front();
+  if (EffectiveStmt(body_proof) != &while_stmt.body()) {
+    return Fail(node, "iteration: premise does not prove the loop body");
+  }
+  // The invariant {V, L', G} must be preserved exactly by the body.
+  if (!body_proof.pre.EquivalentTo(body_proof.post, ext_)) {
+    return Fail(node, "iteration: the body proof must be invariant (pre == post)");
+  }
+  if (!SameVPart(body_proof.pre, node.pre) || !SameVPart(node.pre, node.post)) {
+    return Fail(node, "iteration: V components do not match");
+  }
+  if (!SameGlobalBound(body_proof.pre, node.pre)) {
+    return Fail(node, "iteration: the invariant's G must equal the conclusion's pre G");
+  }
+  if (!SameLocalBound(node.pre, node.post)) {
+    return Fail(node, "iteration: conclusion must preserve local's bound (L)");
+  }
+  ClassId l_inner = body_proof.pre.BoundOf(TermRef::Local(), ext_);
+  ClassId g_post = node.post.BoundOf(TermRef::Global(), ext_);
+  ClassExpr cond = ClassExpr::ForProgramExpr(while_stmt.condition(), ext_);
+  // V,L,G |- L'[local <- local ⊕ ē].
+  FlowAssertion local_requirement =
+      FlowAssertion().WithAtom(cond.Join(ClassExpr::Local(), ext_), l_inner, ext_);
+  if (!node.pre.Entails(local_requirement, ext_)) {
+    return Fail(node, "iteration: V,L,G does not entail L'[local <- local + e]");
+  }
+  // V,L,G |- G'[global <- global ⊕ local ⊕ ē].
+  FlowAssertion global_requirement = FlowAssertion().WithAtom(
+      cond.Join(ClassExpr::Local(), ext_).Join(ClassExpr::Global(), ext_), g_post, ext_);
+  if (!node.pre.Entails(global_requirement, ext_)) {
+    return Fail(node, "iteration: V,L,G does not entail G'[global <- global + local + e]");
+  }
+  return CheckNode(body_proof);
+}
+
+std::optional<ProofError> ProofChecker::CheckComposition(const ProofNode& node) const {
+  if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kBlock) {
+    return Fail(node, "composition applied to a non-block statement");
+  }
+  const auto& statements = node.stmt->As<BlockStmt>().statements();
+  if (node.premises.size() != statements.size()) {
+    return Fail(node, "composition: premise count differs from the block's statement count");
+  }
+  if (statements.empty()) {
+    if (!node.pre.EquivalentTo(node.post, ext_)) {
+      return Fail(node, "empty composition requires identical pre- and post-conditions");
+    }
+    return std::nullopt;
+  }
+  for (size_t i = 0; i < statements.size(); ++i) {
+    if (EffectiveStmt(*node.premises[i]) != statements[i]) {
+      return Fail(node, "composition: premise order does not match the block");
+    }
+  }
+  if (!node.pre.EquivalentTo(node.premises.front()->pre, ext_)) {
+    return Fail(node, "composition: conclusion pre differs from the first premise's pre");
+  }
+  for (size_t i = 0; i + 1 < node.premises.size(); ++i) {
+    if (!node.premises[i]->post.EquivalentTo(node.premises[i + 1]->pre, ext_)) {
+      return Fail(node, "composition: adjacent premises do not chain (post_i != pre_{i+1})");
+    }
+  }
+  if (!node.premises.back()->post.EquivalentTo(node.post, ext_)) {
+    return Fail(node, "composition: conclusion post differs from the last premise's post");
+  }
+  for (const auto& premise : node.premises) {
+    if (auto error = CheckNode(*premise)) {
+      return error;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ProofError> ProofChecker::CheckCobegin(const ProofNode& node) const {
+  if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kCobegin) {
+    return Fail(node, "concurrent-execution rule applied to a non-cobegin statement");
+  }
+  const auto& processes = node.stmt->As<CobeginStmt>().processes();
+  if (node.premises.size() != processes.size()) {
+    return Fail(node, "cobegin: premise count differs from the process count");
+  }
+  FlowAssertion pre_conjunction;
+  FlowAssertion post_conjunction;
+  for (size_t i = 0; i < processes.size(); ++i) {
+    const ProofNode& premise = *node.premises[i];
+    if (EffectiveStmt(premise) != processes[i]) {
+      return Fail(node, "cobegin: premise order does not match the processes");
+    }
+    // {Vi, L, G} Si {Vi', L, G'} — identical L, G, G' across components and
+    // with the conclusion.
+    if (!SameLocalBound(premise.pre, node.pre) || !SameLocalBound(premise.post, node.pre)) {
+      return Fail(node, "cobegin: component proofs must share the conclusion's L");
+    }
+    if (!SameGlobalBound(premise.pre, node.pre)) {
+      return Fail(node, "cobegin: component pre G differs from the conclusion's");
+    }
+    if (!SameGlobalBound(premise.post, node.post)) {
+      return Fail(node, "cobegin: component post G' differs from the conclusion's");
+    }
+    pre_conjunction = pre_conjunction.Conjoin(premise.pre.VPart(), ext_);
+    post_conjunction = post_conjunction.Conjoin(premise.post.VPart(), ext_);
+  }
+  if (!SameLocalBound(node.pre, node.post)) {
+    return Fail(node, "cobegin: conclusion must preserve local's bound (L)");
+  }
+  if (!node.pre.VPart().EquivalentTo(pre_conjunction, ext_)) {
+    return Fail(node, "cobegin: conclusion pre V is not the conjunction V1,...,Vn");
+  }
+  if (!node.post.VPart().EquivalentTo(post_conjunction, ext_)) {
+    return Fail(node, "cobegin: conclusion post V is not the conjunction V1',...,Vn'");
+  }
+  if (auto error = CheckInterferenceFreedom(node)) {
+    return error;
+  }
+  for (const auto& premise : node.premises) {
+    if (auto error = CheckNode(*premise)) {
+      return error;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofNode& node) const {
+  // Gather, per process, its atomic axiom nodes and all assertions its proof
+  // uses.
+  struct ProcessInfo {
+    std::vector<const ProofNode*> atomic_nodes;
+    std::vector<const FlowAssertion*> assertions;
+  };
+  std::vector<ProcessInfo> info(node.premises.size());
+  for (size_t i = 0; i < node.premises.size(); ++i) {
+    ForEachProofNode(*node.premises[i], [&info, i](const ProofNode& n) {
+      if (IsAtomicRule(n.rule)) {
+        info[i].atomic_nodes.push_back(&n);
+      }
+      info[i].assertions.push_back(&n.pre);
+      info[i].assertions.push_back(&n.post);
+    });
+  }
+
+  for (size_t j = 0; j < info.size(); ++j) {
+    for (const ProofNode* atomic : info[j].atomic_nodes) {
+      // Build the substitution this atomic statement applies.
+      std::vector<std::pair<TermRef, ClassExpr>> subs;
+      switch (atomic->stmt->kind()) {
+        case StmtKind::kAssign: {
+          const auto& assign = atomic->stmt->As<AssignStmt>();
+          subs.push_back({TermRef::Var(assign.target()),
+                          ClassExpr::ForProgramExpr(assign.value(), ext_)
+                              .Join(ClassExpr::Local(), ext_)
+                              .Join(ClassExpr::Global(), ext_)});
+          break;
+        }
+        case StmtKind::kWait:
+        case StmtKind::kSignal: {
+          SymbolId sem = atomic->stmt->kind() == StmtKind::kWait
+                             ? atomic->stmt->As<WaitStmt>().semaphore()
+                             : atomic->stmt->As<SignalStmt>().semaphore();
+          subs.push_back({TermRef::Var(sem), ClassExpr::VarClass(sem)
+                                                 .Join(ClassExpr::Local(), ext_)
+                                                 .Join(ClassExpr::Global(), ext_)});
+          break;
+        }
+        case StmtKind::kSend: {
+          const auto& send = atomic->stmt->As<SendStmt>();
+          subs.push_back({TermRef::Var(send.channel()),
+                          ClassExpr::VarClass(send.channel())
+                              .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
+                              .Join(ClassExpr::Local(), ext_)
+                              .Join(ClassExpr::Global(), ext_)});
+          break;
+        }
+        case StmtKind::kReceive: {
+          const auto& receive = atomic->stmt->As<ReceiveStmt>();
+          ClassExpr x = ClassExpr::VarClass(receive.channel())
+                            .Join(ClassExpr::Local(), ext_)
+                            .Join(ClassExpr::Global(), ext_);
+          subs.push_back({TermRef::Var(receive.target()), x});
+          subs.push_back({TermRef::Var(receive.channel()), x});
+          break;
+        }
+        default:
+          continue;
+      }
+      for (size_t i = 0; i < info.size(); ++i) {
+        if (i == j) {
+          continue;
+        }
+        for (const FlowAssertion* assertion : info[i].assertions) {
+          // Indirect flows in one process do not affect another process's
+          // certification variables, so only the V part must be preserved:
+          //   { V_A ∧ pre(T) }  T  { V_A }.
+          FlowAssertion v_part = assertion->VPart();
+          FlowAssertion hypothesis = v_part.Conjoin(atomic->pre, ext_);
+          FlowAssertion obligation = v_part.Substitute(subs, ext_);
+          if (!hypothesis.Entails(obligation, ext_)) {
+            std::ostringstream os;
+            os << "cobegin: interference — an atomic statement of process " << (j + 1)
+               << " does not preserve an assertion of process " << (i + 1);
+            return Fail(*atomic, os.str());
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cfm

@@ -1,0 +1,67 @@
+// Independent validation of flow proofs against the Figure 1 rules. The
+// checker shares no code with the Theorem 1 builder: it re-derives axiom
+// pre-images by substitution, re-checks every side condition with the
+// entailment solver, and performs the Owicki–Gries style interference-
+// freedom check the concurrent-execution rule requires.
+
+#ifndef SRC_LOGIC_PROOF_CHECKER_H_
+#define SRC_LOGIC_PROOF_CHECKER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lattice/extended.h"
+#include "src/logic/proof.h"
+
+namespace cfm {
+
+struct ProofError {
+  const ProofNode* node = nullptr;
+  std::string reason;
+};
+
+class ProofChecker {
+ public:
+  ProofChecker(const ExtendedLattice& ext, const SymbolTable& symbols)
+      : ext_(ext), symbols_(symbols) {}
+
+  // Returns nullopt when the proof is a valid derivation; otherwise the
+  // first failure found.
+  std::optional<ProofError> Check(const ProofNode& root) const;
+
+  // Convenience: checks that `root` proves `{pre} stmt {post}` for the given
+  // endpoints (up to logical equivalence) and is valid.
+  std::optional<ProofError> CheckProves(const ProofNode& root, const Stmt& stmt,
+                                        const FlowAssertion& pre,
+                                        const FlowAssertion& post) const;
+
+ private:
+  std::optional<ProofError> CheckNode(const ProofNode& node) const;
+  std::optional<ProofError> CheckAxiom(const ProofNode& node) const;
+  std::optional<ProofError> CheckAlternation(const ProofNode& node) const;
+  std::optional<ProofError> CheckIteration(const ProofNode& node) const;
+  std::optional<ProofError> CheckComposition(const ProofNode& node) const;
+  std::optional<ProofError> CheckConsequence(const ProofNode& node) const;
+  std::optional<ProofError> CheckCobegin(const ProofNode& node) const;
+
+  // Interference-freedom: every atomic statement of process j (with its
+  // proof-local precondition) preserves the V part of every assertion used
+  // in process i's proof, for all i ≠ j.
+  std::optional<ProofError> CheckInterferenceFreedom(const ProofNode& node) const;
+
+  // The statement a node proves (looking through consequence steps).
+  static const Stmt* EffectiveStmt(const ProofNode& node);
+
+  // Equality of assertion components used by the structured rules.
+  bool SameLocalBound(const FlowAssertion& a, const FlowAssertion& b) const;
+  bool SameGlobalBound(const FlowAssertion& a, const FlowAssertion& b) const;
+  bool SameVPart(const FlowAssertion& a, const FlowAssertion& b) const;
+
+  const ExtendedLattice& ext_;
+  const SymbolTable& symbols_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_PROOF_CHECKER_H_

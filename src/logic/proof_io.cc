@@ -1,0 +1,316 @@
+#include "src/logic/proof_io.h"
+
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/text.h"
+
+namespace cfm {
+
+namespace {
+
+constexpr const char* kHeader = "cfmproof 1";
+
+std::string_view RuleToken(RuleKind rule) {
+  switch (rule) {
+    case RuleKind::kAssignAxiom:
+      return "assign_axiom";
+    case RuleKind::kSkipAxiom:
+      return "skip_axiom";
+    case RuleKind::kSignalAxiom:
+      return "signal_axiom";
+    case RuleKind::kWaitAxiom:
+      return "wait_axiom";
+    case RuleKind::kSendAxiom:
+      return "send_axiom";
+    case RuleKind::kReceiveAxiom:
+      return "receive_axiom";
+    case RuleKind::kAlternation:
+      return "alternation";
+    case RuleKind::kIteration:
+      return "iteration";
+    case RuleKind::kComposition:
+      return "composition";
+    case RuleKind::kConsequence:
+      return "consequence";
+    case RuleKind::kCobegin:
+      return "cobegin";
+  }
+  return "unknown";
+}
+
+std::optional<RuleKind> RuleFromToken(std::string_view token) {
+  static const std::unordered_map<std::string_view, RuleKind> kRules = {
+      {"assign_axiom", RuleKind::kAssignAxiom}, {"skip_axiom", RuleKind::kSkipAxiom},
+      {"signal_axiom", RuleKind::kSignalAxiom}, {"wait_axiom", RuleKind::kWaitAxiom},
+      {"send_axiom", RuleKind::kSendAxiom},
+      {"receive_axiom", RuleKind::kReceiveAxiom},
+      {"alternation", RuleKind::kAlternation},  {"iteration", RuleKind::kIteration},
+      {"composition", RuleKind::kComposition},  {"consequence", RuleKind::kConsequence},
+      {"cobegin", RuleKind::kCobegin},
+  };
+  auto it = kRules.find(token);
+  if (it == kRules.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void SerializeAssertion(const FlowAssertion& assertion, const SymbolTable& symbols,
+                        const ExtendedLattice& ext, std::ostream& os) {
+  if (assertion.is_false()) {
+    os << "false";
+    return;
+  }
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) {
+      os << " ; ";
+    }
+    first = false;
+  };
+  for (auto [symbol, bound] : assertion.var_bounds()) {
+    sep();
+    os << "var " << symbols.at(symbol).name << " " << ext.ElementName(bound);
+  }
+  if (assertion.local_bound()) {
+    sep();
+    os << "local " << ext.ElementName(*assertion.local_bound());
+  }
+  if (assertion.global_bound()) {
+    sep();
+    os << "global " << ext.ElementName(*assertion.global_bound());
+  }
+  if (first) {
+    os << "true";
+  }
+}
+
+void SerializeNode(const ProofNode& node, const StmtIndex& index, const SymbolTable& symbols,
+                   const ExtendedLattice& ext, std::ostream& os) {
+  os << "node " << RuleToken(node.rule) << " ";
+  if (node.stmt == nullptr) {
+    os << "-";
+  } else {
+    os << *index.IndexOf(node.stmt);
+  }
+  os << "\n";
+  os << "pre ";
+  SerializeAssertion(node.pre, symbols, ext, os);
+  os << "\npost ";
+  SerializeAssertion(node.post, symbols, ext, os);
+  os << "\npremises " << node.premises.size() << "\n";
+  for (const auto& premise : node.premises) {
+    SerializeNode(*premise, index, symbols, ext, os);
+  }
+}
+
+class ProofParser {
+ public:
+  ProofParser(const std::string& text, const Program& program, const ExtendedLattice& ext)
+      : program_(program), ext_(ext), index_(program.root()), lines_(SplitString(text, '\n')) {}
+
+  Result<Proof> Parse() {
+    std::string_view header = StripWhitespace(NextLine());
+    if (header != kHeader) {
+      return Fail("expected header '" + std::string(kHeader) + "'");
+    }
+    auto root = ParseNode();
+    if (!root.ok()) {
+      return MakeError(root.error());
+    }
+    // Trailing blank lines are fine; anything else is junk.
+    while (position_ < lines_.size()) {
+      if (!StripWhitespace(lines_[position_]).empty()) {
+        return Fail("unexpected trailing content");
+      }
+      ++position_;
+    }
+    Proof proof;
+    proof.root = std::move(root.value());
+    return proof;
+  }
+
+ private:
+  std::string_view NextLine() {
+    while (position_ < lines_.size() && StripWhitespace(lines_[position_]).empty()) {
+      ++position_;
+    }
+    if (position_ >= lines_.size()) {
+      return {};
+    }
+    return StripWhitespace(lines_[position_++]);
+  }
+
+  Error Fail(const std::string& message) const {
+    return MakeError("proof line " + std::to_string(position_) + ": " + message);
+  }
+
+  Result<FlowAssertion> ParseAssertion(std::string_view body) {
+    body = StripWhitespace(body);
+    if (body == "false") {
+      return FlowAssertion::False();
+    }
+    FlowAssertion assertion;
+    if (body == "true") {
+      return assertion;
+    }
+    for (const std::string& raw_item : SplitString(body, ';')) {
+      std::string_view item = StripWhitespace(raw_item);
+      if (item.empty()) {
+        continue;
+      }
+      size_t space = item.find(' ');
+      if (space == std::string_view::npos) {
+        return Fail("malformed assertion item '" + std::string(item) + "'");
+      }
+      std::string_view kind = item.substr(0, space);
+      std::string_view rest = StripWhitespace(item.substr(space + 1));
+      if (kind == "var") {
+        size_t name_end = rest.find(' ');
+        if (name_end == std::string_view::npos) {
+          return Fail("var item needs a name and a class");
+        }
+        std::string_view name = rest.substr(0, name_end);
+        std::string_view class_name = StripWhitespace(rest.substr(name_end + 1));
+        auto symbol = program_.symbols().Lookup(name);
+        if (!symbol) {
+          return Fail("unknown variable '" + std::string(name) + "'");
+        }
+        auto bound = ext_.FindElement(class_name);
+        if (!bound) {
+          return Fail("unknown class '" + std::string(class_name) + "'");
+        }
+        assertion = assertion.WithAtom(ClassExpr::VarClass(*symbol), *bound, ext_);
+      } else if (kind == "local" || kind == "global") {
+        auto bound = ext_.FindElement(rest);
+        if (!bound) {
+          return Fail("unknown class '" + std::string(rest) + "'");
+        }
+        assertion = kind == "local" ? assertion.WithLocalBound(*bound, ext_)
+                                    : assertion.WithGlobalBound(*bound, ext_);
+      } else {
+        return Fail("unknown assertion item kind '" + std::string(kind) + "'");
+      }
+    }
+    return assertion;
+  }
+
+  Result<std::unique_ptr<ProofNode>> ParseNode() {
+    std::string_view line = NextLine();
+    if (line.substr(0, 5) != "node ") {
+      return Fail("expected a 'node' line");
+    }
+    std::string_view rest = line.substr(5);
+    size_t space = rest.find(' ');
+    if (space == std::string_view::npos) {
+      return Fail("node line needs a rule and a statement index");
+    }
+    auto rule = RuleFromToken(rest.substr(0, space));
+    if (!rule) {
+      return Fail("unknown rule '" + std::string(rest.substr(0, space)) + "'");
+    }
+    std::string_view stmt_token = StripWhitespace(rest.substr(space + 1));
+    const Stmt* stmt = nullptr;
+    if (stmt_token != "-") {
+      uint32_t stmt_index = 0;
+      for (char c : stmt_token) {
+        if (c < '0' || c > '9') {
+          return Fail("bad statement index '" + std::string(stmt_token) + "'");
+        }
+        stmt_index = stmt_index * 10 + static_cast<uint32_t>(c - '0');
+      }
+      stmt = index_.StmtAt(stmt_index);
+      if (stmt == nullptr) {
+        return Fail("statement index " + std::string(stmt_token) + " out of range");
+      }
+    }
+
+    std::string_view pre_line = NextLine();
+    if (pre_line.substr(0, 4) != "pre ") {
+      return Fail("expected a 'pre' line");
+    }
+    auto pre = ParseAssertion(pre_line.substr(4));
+    if (!pre.ok()) {
+      return MakeError(pre.error());
+    }
+    std::string_view post_line = NextLine();
+    if (post_line.substr(0, 5) != "post ") {
+      return Fail("expected a 'post' line");
+    }
+    auto post = ParseAssertion(post_line.substr(5));
+    if (!post.ok()) {
+      return MakeError(post.error());
+    }
+    std::string_view premises_line = NextLine();
+    if (premises_line.substr(0, 9) != "premises ") {
+      return Fail("expected a 'premises' line");
+    }
+    uint64_t premise_count = 0;
+    for (char c : StripWhitespace(premises_line.substr(9))) {
+      if (c < '0' || c > '9') {
+        return Fail("bad premise count");
+      }
+      premise_count = premise_count * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (premise_count > index_.size() + 16) {
+      return Fail("implausible premise count");
+    }
+
+    auto node = MakeProofNode(*rule, stmt, std::move(pre.value()), std::move(post.value()));
+    for (uint64_t i = 0; i < premise_count; ++i) {
+      auto premise = ParseNode();
+      if (!premise.ok()) {
+        return MakeError(premise.error());
+      }
+      node->premises.push_back(std::move(premise.value()));
+    }
+    return node;
+  }
+
+  const Program& program_;
+  const ExtendedLattice& ext_;
+  StmtIndex index_;
+  std::vector<std::string> lines_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+StmtIndex::StmtIndex(const Stmt& root) {
+  ForEachStmt(root, [this](const Stmt& stmt) {
+    indices_.emplace(&stmt, static_cast<uint32_t>(stmts_.size()));
+    stmts_.push_back(&stmt);
+  });
+}
+
+std::optional<uint32_t> StmtIndex::IndexOf(const Stmt* stmt) const {
+  auto it = indices_.find(stmt);
+  if (it == indices_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const Stmt* StmtIndex::StmtAt(uint32_t index) const {
+  return index < stmts_.size() ? stmts_[index] : nullptr;
+}
+
+std::string SerializeProof(const ProofNode& proof, const Program& program,
+                           const ExtendedLattice& ext) {
+  StmtIndex index(program.root());
+  std::ostringstream os;
+  os << kHeader << "\n";
+  SerializeNode(proof, index, program.symbols(), ext, os);
+  return os.str();
+}
+
+Result<Proof> ParseProof(const std::string& text, const Program& program,
+                         const ExtendedLattice& ext) {
+  ProofParser parser(text, program, ext);
+  return parser.Parse();
+}
+
+}  // namespace cfm

@@ -1,0 +1,53 @@
+// Proof serialization: a stable, human-readable text format for flow proofs
+// so a certifier and a verifier can be separate processes (the
+// proof-carrying-code deployment the paper's compile-time mechanism
+// suggests: the compiler emits the derivation, the loader re-checks it with
+// the independent ProofChecker before running the program).
+//
+// Statements are referenced by their pre-order index in the program's
+// statement tree, classes by their lattice element names, variables by name
+// — so a proof file is valid against any structurally identical program and
+// any lattice with the same element names.
+
+#ifndef SRC_LOGIC_PROOF_IO_H_
+#define SRC_LOGIC_PROOF_IO_H_
+
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/lattice/extended.h"
+#include "src/logic/proof.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+// Maps statements to stable pre-order indices and back.
+class StmtIndex {
+ public:
+  explicit StmtIndex(const Stmt& root);
+
+  // Index of `stmt`, or nullopt if it is not in the tree.
+  std::optional<uint32_t> IndexOf(const Stmt* stmt) const;
+  // Statement at `index`, or nullptr if out of range.
+  const Stmt* StmtAt(uint32_t index) const;
+  uint32_t size() const { return static_cast<uint32_t>(stmts_.size()); }
+
+ private:
+  std::vector<const Stmt*> stmts_;
+  std::unordered_map<const Stmt*, uint32_t> indices_;
+};
+
+// Serializes `proof` (which must prove statements inside `program`).
+std::string SerializeProof(const ProofNode& proof, const Program& program,
+                           const ExtendedLattice& ext);
+
+// Parses a serialized proof against `program`/`ext`. Fails with a line-
+// precise message on malformed input, unknown class/variable names, or
+// statement indices outside the program. The parsed proof is NOT yet
+// validated — run ProofChecker::Check to establish it.
+Result<Proof> ParseProof(const std::string& text, const Program& program,
+                         const ExtendedLattice& ext);
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_PROOF_IO_H_

@@ -1,0 +1,194 @@
+#include "src/runtime/bytecode.h"
+
+#include <sstream>
+
+namespace cfm {
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Instruction>& code) : code_(code) {}
+
+  uint32_t CompileBlockAt(const Stmt& stmt) {
+    uint32_t entry = Here();
+    Compile(stmt);
+    Emit(OpCode::kEndProcess, &stmt);
+    return entry;
+  }
+
+  void Compile(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        Instruction& inst = Emit(OpCode::kAssign, &stmt);
+        inst.expr = &assign.value();
+        inst.symbol = assign.target();
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& if_stmt = stmt.As<IfStmt>();
+        // PushPc(e); BranchFalse e -> Lelse; then; Jump Lend; Lelse: else;
+        // Lend: PopPc.
+        Instruction& push = Emit(OpCode::kPushPc, &stmt);
+        push.expr = &if_stmt.condition();
+        uint32_t branch_index = Here();
+        Instruction& branch = Emit(OpCode::kBranchFalse, &stmt);
+        branch.expr = &if_stmt.condition();
+        Compile(if_stmt.then_branch());
+        uint32_t jump_index = Here();
+        Emit(OpCode::kJump, &stmt);
+        code_[branch_index].operand = Here();
+        if (if_stmt.else_branch() != nullptr) {
+          Compile(*if_stmt.else_branch());
+        }
+        code_[jump_index].operand = Here();
+        Emit(OpCode::kPopPc, &stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& while_stmt = stmt.As<WhileStmt>();
+        // Ltop: BranchFalse e -> Lend (raising global on exit);
+        //       PushPc(e); body; PopPc; Jump Ltop; Lend:
+        uint32_t top = Here();
+        uint32_t branch_index = Here();
+        Instruction& branch = Emit(OpCode::kBranchFalse, &stmt);
+        branch.expr = &while_stmt.condition();
+        branch.raise_global = true;
+        Instruction& push = Emit(OpCode::kPushPc, &stmt);
+        push.expr = &while_stmt.condition();
+        Compile(while_stmt.body());
+        Emit(OpCode::kPopPc, &stmt);
+        Instruction& jump = Emit(OpCode::kJump, &stmt);
+        jump.operand = top;
+        code_[branch_index].operand = Here();
+        return;
+      }
+      case StmtKind::kBlock:
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          Compile(*child);
+        }
+        return;
+      case StmtKind::kCobegin: {
+        // Emit the fork, then the continuation jump, then each child block;
+        // children terminate with kEndProcess and the parent resumes at the
+        // continuation.
+        uint32_t fork_index = Here();
+        Emit(OpCode::kFork, &stmt);
+        uint32_t jump_index = Here();
+        Emit(OpCode::kJump, &stmt);
+        std::vector<uint32_t> entries;
+        for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+          entries.push_back(Here());
+          Compile(*child);
+          Emit(OpCode::kEndProcess, child);
+        }
+        code_[fork_index].fork_entries = std::move(entries);
+        code_[jump_index].operand = Here();
+        return;
+      }
+      case StmtKind::kWait: {
+        Instruction& inst = Emit(OpCode::kWait, &stmt);
+        inst.symbol = stmt.As<WaitStmt>().semaphore();
+        return;
+      }
+      case StmtKind::kSignal: {
+        Instruction& inst = Emit(OpCode::kSignal, &stmt);
+        inst.symbol = stmt.As<SignalStmt>().semaphore();
+        return;
+      }
+      case StmtKind::kSend: {
+        const auto& send = stmt.As<SendStmt>();
+        Instruction& inst = Emit(OpCode::kSend, &stmt);
+        inst.symbol = send.channel();
+        inst.expr = &send.value();
+        return;
+      }
+      case StmtKind::kReceive: {
+        const auto& receive = stmt.As<ReceiveStmt>();
+        Instruction& inst = Emit(OpCode::kReceive, &stmt);
+        inst.symbol = receive.channel();
+        inst.symbol2 = receive.target();
+        return;
+      }
+      case StmtKind::kSkip:
+        return;
+    }
+  }
+
+ private:
+  uint32_t Here() const { return static_cast<uint32_t>(code_.size()); }
+
+  Instruction& Emit(OpCode op, const Stmt* origin) {
+    Instruction inst;
+    inst.op = op;
+    inst.origin = origin;
+    code_.push_back(std::move(inst));
+    return code_.back();
+  }
+
+  std::vector<Instruction>& code_;
+};
+
+}  // namespace
+
+CompiledProgram CompileStmt(const Stmt& stmt) {
+  CompiledProgram compiled;
+  Compiler compiler(compiled.code);
+  compiled.entry = compiler.CompileBlockAt(stmt);
+  return compiled;
+}
+
+CompiledProgram Compile(const Program& program) { return CompileStmt(program.root()); }
+
+std::string CompiledProgram::Disassemble(const SymbolTable& symbols) const {
+  std::ostringstream os;
+  for (uint32_t i = 0; i < code.size(); ++i) {
+    const Instruction& inst = code[i];
+    os << i << ": ";
+    switch (inst.op) {
+      case OpCode::kAssign:
+        os << "assign " << symbols.at(inst.symbol).name;
+        break;
+      case OpCode::kBranchFalse:
+        os << "branch_false -> " << inst.operand << (inst.raise_global ? " (loop exit)" : "");
+        break;
+      case OpCode::kJump:
+        os << "jump -> " << inst.operand;
+        break;
+      case OpCode::kWait:
+        os << "wait " << symbols.at(inst.symbol).name;
+        break;
+      case OpCode::kSignal:
+        os << "signal " << symbols.at(inst.symbol).name;
+        break;
+      case OpCode::kSend:
+        os << "send " << symbols.at(inst.symbol).name;
+        break;
+      case OpCode::kReceive:
+        os << "receive " << symbols.at(inst.symbol).name << " -> "
+           << symbols.at(inst.symbol2).name;
+        break;
+      case OpCode::kFork: {
+        os << "fork ->";
+        for (uint32_t child_entry : inst.fork_entries) {
+          os << " " << child_entry;
+        }
+        break;
+      }
+      case OpCode::kEndProcess:
+        os << "end_process";
+        break;
+      case OpCode::kPushPc:
+        os << "push_pc";
+        break;
+      case OpCode::kPopPc:
+        os << "pop_pc";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cfm

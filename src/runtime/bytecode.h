@@ -1,0 +1,65 @@
+// Bytecode for the concurrent interpreter. Statements compile to flat
+// instruction sequences with structured fork/join for (possibly nested)
+// cobegin. Each instruction executes as one indivisible step, which realizes
+// the paper's atomicity assumptions (each expression evaluation, assignment,
+// wait and signal is indivisible).
+//
+// Instructions also carry the control-context bookkeeping the dynamic label
+// tracker needs (push/pop of the pc label for conditional bodies, the
+// global-label raise when a loop exits), which execute as no-ops when label
+// tracking is off.
+
+#ifndef SRC_RUNTIME_BYTECODE_H_
+#define SRC_RUNTIME_BYTECODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+enum class OpCode : uint8_t {
+  kAssign,       // values[target] = eval(expr)
+  kBranchFalse,  // if !eval(expr) jump to operand; if raise_global, the taken
+                 // (exit) branch raises the thread's global label (loop exit)
+  kJump,         // unconditional jump
+  kWait,         // P(sem): block until values[sem] > 0, then decrement
+  kSignal,       // V(sem): increment values[sem]
+  kSend,         // enqueue eval(expr) on channels[symbol] (never blocks)
+  kReceive,      // block until channels[symbol] non-empty; dequeue into symbol2
+  kFork,         // spawn one child thread per entry; block until all finish
+  kEndProcess,   // terminates the thread (child or main)
+  kPushPc,       // label tracking: push label(expr) onto the pc stack
+  kPopPc,        // label tracking: pop the pc stack
+};
+
+struct Instruction {
+  OpCode op = OpCode::kEndProcess;
+  const Expr* expr = nullptr;  // kAssign value, kBranchFalse/kPushPc condition.
+  SymbolId symbol = kInvalidSymbol;  // kAssign target, kWait/kSignal semaphore,
+                                     // kSend/kReceive channel.
+  SymbolId symbol2 = kInvalidSymbol;  // kReceive target variable.
+  uint32_t operand = 0;              // Jump target for kBranchFalse/kJump.
+  bool raise_global = false;         // kBranchFalse: loop-exit global raise.
+  std::vector<uint32_t> fork_entries;  // kFork: child entry points.
+  const Stmt* origin = nullptr;        // Statement this instruction came from.
+};
+
+struct CompiledProgram {
+  std::vector<Instruction> code;
+  uint32_t entry = 0;
+
+  std::string Disassemble(const SymbolTable& symbols) const;
+};
+
+// Compiles the statement tree rooted at `stmt`.
+CompiledProgram CompileStmt(const Stmt& stmt);
+
+// Compiles `program`'s root.
+CompiledProgram Compile(const Program& program);
+
+}  // namespace cfm
+
+#endif  // SRC_RUNTIME_BYTECODE_H_

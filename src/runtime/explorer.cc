@@ -1,0 +1,108 @@
+#include "src/runtime/explorer.h"
+
+#include <set>
+#include <string>
+
+namespace cfm {
+
+namespace {
+
+// Compact serialization of a state for the visited set. Label fields are
+// excluded: exploration runs without tracking.
+std::string Fingerprint(const ExecState& state) {
+  std::string key;
+  key.reserve(state.values.size() * 8 + state.threads.size() * 10);
+  auto append = [&key](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      key.push_back(static_cast<char>(v >> (i * 8) & 0xff));
+    }
+  };
+  for (int64_t value : state.values) {
+    append(static_cast<uint64_t>(value));
+  }
+  for (const auto& channel : state.channels) {
+    append(channel.size());
+    for (int64_t message : channel) {
+      append(static_cast<uint64_t>(message));
+    }
+  }
+  for (const ThreadState& thread : state.threads) {
+    append(thread.pc);
+    key.push_back(static_cast<char>(thread.status));
+    append(static_cast<uint64_t>(thread.parent));
+    append(thread.live_children);
+  }
+  return key;
+}
+
+class Explorer {
+ public:
+  Explorer(const Machine& machine, const ExploreOptions& options, ExploreResult& result)
+      : machine_(machine), options_(options), result_(result) {}
+
+  void Visit(ExecState state) {
+    if (result_.states_visited >= options_.max_states ||
+        state.steps >= options_.max_steps_per_path) {
+      result_.truncated = true;
+      return;
+    }
+    std::string key = Fingerprint(state);
+    if (!visited_.insert(std::move(key)).second) {
+      return;
+    }
+    ++result_.states_visited;
+
+    if (machine_.AllDone(state)) {
+      Record(RunStatus::kCompleted, state);
+      return;
+    }
+    std::vector<uint32_t> runnable = machine_.Runnable(state);
+    if (runnable.empty()) {
+      Record(RunStatus::kDeadlock, state);
+      return;
+    }
+    for (uint32_t thread_id : runnable) {
+      ExecState next = state;
+      machine_.Step(next, thread_id);
+      Visit(std::move(next));
+    }
+  }
+
+ private:
+  void Record(RunStatus status, const ExecState& state) {
+    TerminalOutcome outcome;
+    outcome.status = status;
+    outcome.values = state.values;
+    ++result_.outcomes[std::move(outcome)];
+  }
+
+  const Machine& machine_;
+  const ExploreOptions& options_;
+  ExploreResult& result_;
+  std::set<std::string> visited_;
+};
+
+}  // namespace
+
+bool ExploreResult::AnyDeadlock() const {
+  for (const auto& [outcome, count] : outcomes) {
+    if (outcome.status == RunStatus::kDeadlock) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ExploreResult ExploreAllSchedules(const CompiledProgram& code, const SymbolTable& symbols,
+                                  const RunOptions& run_options,
+                                  const ExploreOptions& explore_options) {
+  RunOptions options = run_options;
+  options.track_labels = false;  // Exploration is over plain stores.
+  Machine machine(code, symbols, options);
+  ExploreResult result;
+  Explorer explorer(machine, explore_options, result);
+  explorer.Visit(machine.MakeInitialState());
+  return result;
+}
+
+}  // namespace cfm

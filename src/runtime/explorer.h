@@ -1,0 +1,47 @@
+// Exhaustive schedule exploration for small programs: depth-first search
+// over every scheduler decision, with visited-state memoization. Enumerates
+// all reachable terminal outcomes (final stores, deadlocks), which the tests
+// use to verify schedule-independent claims (e.g. the Figure 3 program can
+// never deadlock and always transmits x's zero-test into y).
+
+#ifndef SRC_RUNTIME_EXPLORER_H_
+#define SRC_RUNTIME_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/runtime/interpreter.h"
+
+namespace cfm {
+
+struct ExploreOptions {
+  // Caps on the search to keep it tractable.
+  uint64_t max_states = 1'000'000;
+  uint64_t max_steps_per_path = 10'000;
+};
+
+struct TerminalOutcome {
+  RunStatus status = RunStatus::kCompleted;
+  std::vector<int64_t> values;
+
+  friend auto operator<=>(const TerminalOutcome&, const TerminalOutcome&) = default;
+};
+
+struct ExploreResult {
+  // Deduplicated terminal outcomes with the number of distinct explored
+  // paths reaching each.
+  std::map<TerminalOutcome, uint64_t> outcomes;
+  uint64_t states_visited = 0;
+  bool truncated = false;  // A cap was hit; the enumeration is a lower bound.
+
+  bool AnyDeadlock() const;
+};
+
+ExploreResult ExploreAllSchedules(const CompiledProgram& code, const SymbolTable& symbols,
+                                  const RunOptions& run_options,
+                                  const ExploreOptions& explore_options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_RUNTIME_EXPLORER_H_

@@ -1,0 +1,391 @@
+#include "src/runtime/interpreter.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "src/lang/printer.h"
+#include "src/lattice/extended.h"
+
+namespace cfm {
+
+std::string_view ToString(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kDeadlock:
+      return "deadlock";
+    case RunStatus::kStepLimit:
+      return "step limit exceeded";
+  }
+  return "unknown";
+}
+
+Machine::Machine(const CompiledProgram& code, const SymbolTable& symbols,
+                 const RunOptions& options)
+    : code_(code), symbols_(symbols), options_(options) {
+  assert((!options_.track_labels || options_.binding != nullptr) &&
+         "label tracking requires a static binding");
+}
+
+ExecState Machine::MakeInitialState() const {
+  ExecState state;
+  state.values.assign(symbols_.size(), 0);
+  for (const Symbol& symbol : symbols_.symbols()) {
+    if (symbol.kind == SymbolKind::kSemaphore) {
+      state.values[symbol.id] = symbol.initial_value;
+    }
+  }
+  for (auto [symbol, value] : options_.initial_values) {
+    state.values[symbol] = value;
+  }
+  if (options_.track_labels) {
+    const ExtendedLattice& ext = options_.binding->extended();
+    state.labels.assign(symbols_.size(), ext.Low());
+    for (const Symbol& symbol : symbols_.symbols()) {
+      state.labels[symbol.id] = options_.binding->ExtendedBinding(symbol.id);
+    }
+    for (auto [symbol, label] : options_.initial_labels) {
+      state.labels[symbol] = label;
+    }
+  }
+  state.channels.resize(symbols_.size());
+  ThreadState main;
+  main.pc = code_.entry;
+  if (options_.track_labels) {
+    main.pc_labels.push_back(options_.binding->extended().Low());
+    main.global = options_.binding->extended().Low();
+  }
+  state.threads.push_back(std::move(main));
+  return state;
+}
+
+std::vector<uint32_t> Machine::Runnable(ExecState& state) const {
+  std::vector<uint32_t> runnable;
+  for (uint32_t i = 0; i < state.threads.size(); ++i) {
+    ThreadState& thread = state.threads[i];
+    if (thread.status == ThreadState::Status::kBlockedSem) {
+      SymbolId sem = code_.code[thread.pc].symbol;
+      if (state.values[sem] > 0) {
+        thread.status = ThreadState::Status::kRunnable;
+      }
+    }
+    if (thread.status == ThreadState::Status::kRunnable) {
+      runnable.push_back(i);
+    }
+  }
+  return runnable;
+}
+
+bool Machine::AllDone(const ExecState& state) const {
+  for (const ThreadState& thread : state.threads) {
+    if (thread.status != ThreadState::Status::kDone) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t Machine::Eval(const Expr& expr, const ExecState& state) const {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+      return expr.As<IntLiteral>().value();
+    case ExprKind::kBoolLiteral:
+      return expr.As<BoolLiteral>().value() ? 1 : 0;
+    case ExprKind::kVarRef:
+      return state.values[expr.As<VarRef>().symbol()];
+    case ExprKind::kUnary: {
+      const auto& unary = expr.As<UnaryExpr>();
+      int64_t v = Eval(unary.operand(), state);
+      switch (unary.op()) {
+        case UnaryOp::kNeg:
+          return -v;
+        case UnaryOp::kNot:
+          return v == 0 ? 1 : 0;
+      }
+      return 0;
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      int64_t a = Eval(binary.lhs(), state);
+      // 'and'/'or' still evaluate both sides: the surface language has no
+      // short-circuit semantics (every expression evaluation is one
+      // indivisible action regardless).
+      int64_t b = Eval(binary.rhs(), state);
+      switch (binary.op()) {
+        case BinaryOp::kAdd:
+          return static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b));
+        case BinaryOp::kSub:
+          return static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b));
+        case BinaryOp::kMul:
+          return static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b));
+        case BinaryOp::kDiv:
+          // Division by zero yields 0 (total semantics; documented).
+          return b == 0 ? 0 : a / b;
+        case BinaryOp::kMod:
+          return b == 0 ? 0 : a % b;
+        case BinaryOp::kEq:
+          return a == b ? 1 : 0;
+        case BinaryOp::kNeq:
+          return a != b ? 1 : 0;
+        case BinaryOp::kLt:
+          return a < b ? 1 : 0;
+        case BinaryOp::kLe:
+          return a <= b ? 1 : 0;
+        case BinaryOp::kGt:
+          return a > b ? 1 : 0;
+        case BinaryOp::kGe:
+          return a >= b ? 1 : 0;
+        case BinaryOp::kAnd:
+          return (a != 0 && b != 0) ? 1 : 0;
+        case BinaryOp::kOr:
+          return (a != 0 || b != 0) ? 1 : 0;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+ClassId Machine::LabelOf(const Expr& expr, const ExecState& state) const {
+  const ExtendedLattice& ext = options_.binding->extended();
+  std::vector<SymbolId> reads;
+  CollectReads(expr, reads);
+  ClassId label = ext.Low();  // Constants are classed low.
+  for (SymbolId symbol : reads) {
+    label = ext.Join(label, state.labels[symbol]);
+  }
+  return label;
+}
+
+void Machine::RecordWrite(ExecState& state, const Stmt* origin, SymbolId symbol,
+                          ClassId label) const {
+  const ExtendedLattice& ext = options_.binding->extended();
+  state.labels[symbol] = label;
+  ClassId bound = options_.binding->ExtendedBinding(symbol);
+  if (!ext.Leq(label, bound)) {
+    state.violations.push_back(LabelViolation{origin, symbol, label, bound, state.steps});
+  }
+}
+
+void Machine::Step(ExecState& state, uint32_t thread_id) const {
+  ThreadState& thread = state.threads[thread_id];
+  assert(thread.status == ThreadState::Status::kRunnable);
+  const Instruction& inst = code_.code[thread.pc];
+  const bool tracking = options_.track_labels;
+  const ExtendedLattice* ext = tracking ? &options_.binding->extended() : nullptr;
+  auto pc_label = [&thread]() { return thread.pc_labels.back(); };
+  ++state.steps;
+  if (options_.record_trace) {
+    switch (inst.op) {
+      case OpCode::kAssign:
+      case OpCode::kWait:
+      case OpCode::kSignal:
+      case OpCode::kSend:
+      case OpCode::kReceive:
+      case OpCode::kBranchFalse:
+        state.trace.push_back(TraceEvent{thread_id, inst.origin, state.steps});
+        break;
+      default:
+        break;
+    }
+  }
+
+  switch (inst.op) {
+    case OpCode::kAssign: {
+      state.values[inst.symbol] = Eval(*inst.expr, state);
+      if (tracking) {
+        ClassId label =
+            ext->Join(LabelOf(*inst.expr, state), ext->Join(pc_label(), thread.global));
+        RecordWrite(state, inst.origin, inst.symbol, label);
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kBranchFalse: {
+      bool taken = Eval(*inst.expr, state) == 0;
+      if (taken) {
+        if (tracking && inst.raise_global) {
+          // Leaving a loop reveals its condition (and pc context) to
+          // everything sequenced afterwards.
+          thread.global =
+              ext->Join(thread.global, ext->Join(LabelOf(*inst.expr, state), pc_label()));
+        }
+        thread.pc = inst.operand;
+      } else {
+        ++thread.pc;
+      }
+      return;
+    }
+    case OpCode::kJump:
+      thread.pc = inst.operand;
+      return;
+    case OpCode::kWait: {
+      if (state.values[inst.symbol] <= 0) {
+        thread.status = ThreadState::Status::kBlockedSem;
+        return;  // The pc stays on the wait; Runnable() re-arms the thread.
+      }
+      --state.values[inst.symbol];
+      if (tracking) {
+        // Simultaneous substitution semantics (Figure 1's wait axiom):
+        // both updates read the pre-state values.
+        ClassId sem_old = state.labels[inst.symbol];
+        ClassId x = ext->Join(sem_old, ext->Join(pc_label(), thread.global));
+        thread.global = x;
+        RecordWrite(state, inst.origin, inst.symbol, x);
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kSignal: {
+      ++state.values[inst.symbol];
+      if (tracking) {
+        ClassId x =
+            ext->Join(state.labels[inst.symbol], ext->Join(pc_label(), thread.global));
+        RecordWrite(state, inst.origin, inst.symbol, x);
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kSend: {
+      int64_t message = Eval(*inst.expr, state);
+      state.channels[inst.symbol].push_back(message);
+      state.values[inst.symbol] =
+          static_cast<int64_t>(state.channels[inst.symbol].size());
+      if (tracking) {
+        // The channel accumulates the message's class plus the sender's
+        // control context (send axiom).
+        ClassId x = ext->Join(
+            state.labels[inst.symbol],
+            ext->Join(LabelOf(*inst.expr, state), ext->Join(pc_label(), thread.global)));
+        RecordWrite(state, inst.origin, inst.symbol, x);
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kReceive: {
+      if (state.channels[inst.symbol].empty()) {
+        thread.status = ThreadState::Status::kBlockedSem;
+        return;  // Runnable() re-arms when values[channel] > 0.
+      }
+      int64_t message = state.channels[inst.symbol].front();
+      state.channels[inst.symbol].pop_front();
+      state.values[inst.symbol] =
+          static_cast<int64_t>(state.channels[inst.symbol].size());
+      state.values[inst.symbol2] = message;
+      if (tracking) {
+        // Receive axiom, operationally: the target gets the channel's class
+        // (plus context); completing the blocking receive raises global by
+        // the channel's class; the channel keeps accumulating context.
+        ClassId ch_old = state.labels[inst.symbol];
+        ClassId x = ext->Join(ch_old, ext->Join(pc_label(), thread.global));
+        thread.global = x;
+        RecordWrite(state, inst.origin, inst.symbol2, x);
+        RecordWrite(state, inst.origin, inst.symbol, x);
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kFork: {
+      thread.status = ThreadState::Status::kBlockedJoin;
+      thread.live_children = static_cast<uint32_t>(inst.fork_entries.size());
+      ++thread.pc;  // Resumes at the continuation jump after the join.
+      // Capture before push_back invalidates `thread`.
+      ClassId parent_pc_label = tracking ? thread.pc_labels.back() : 0;
+      ClassId parent_global = tracking ? thread.global : 0;
+      for (uint32_t entry : inst.fork_entries) {
+        ThreadState child;
+        child.pc = entry;
+        child.parent = static_cast<int32_t>(thread_id);
+        if (tracking) {
+          child.pc_labels.push_back(parent_pc_label);
+          child.global = parent_global;
+        }
+        state.threads.push_back(std::move(child));
+      }
+      // Degenerate cobegin with zero processes completes immediately.
+      if (state.threads[thread_id].live_children == 0) {
+        state.threads[thread_id].status = ThreadState::Status::kRunnable;
+      }
+      return;
+    }
+    case OpCode::kEndProcess: {
+      thread.status = ThreadState::Status::kDone;
+      if (thread.parent >= 0) {
+        ThreadState& parent = state.threads[static_cast<uint32_t>(thread.parent)];
+        if (tracking) {
+          // The parent's continuation is sequenced after every child, so it
+          // inherits their conditional-progress information.
+          parent.global = options_.binding->extended().Join(parent.global, thread.global);
+        }
+        if (--parent.live_children == 0) {
+          parent.status = ThreadState::Status::kRunnable;
+        }
+      }
+      return;
+    }
+    case OpCode::kPushPc: {
+      if (tracking) {
+        thread.pc_labels.push_back(
+            ext->Join(thread.pc_labels.back(), LabelOf(*inst.expr, state)));
+      }
+      ++thread.pc;
+      return;
+    }
+    case OpCode::kPopPc: {
+      if (tracking) {
+        thread.pc_labels.pop_back();
+      }
+      ++thread.pc;
+      return;
+    }
+  }
+}
+
+RunResult Interpreter::Run(Scheduler& scheduler, const RunOptions& options) const {
+  Machine machine(code_, symbols_, options);
+  ExecState state = machine.MakeInitialState();
+  RunResult result;
+  while (true) {
+    if (machine.AllDone(state)) {
+      result.status = RunStatus::kCompleted;
+      break;
+    }
+    std::vector<uint32_t> runnable = machine.Runnable(state);
+    if (runnable.empty()) {
+      result.status = RunStatus::kDeadlock;
+      for (uint32_t i = 0; i < state.threads.size(); ++i) {
+        if (state.threads[i].status == ThreadState::Status::kBlockedSem) {
+          result.blocked_threads.push_back(i);
+        }
+      }
+      break;
+    }
+    if (state.steps >= options.step_limit) {
+      result.status = RunStatus::kStepLimit;
+      break;
+    }
+    machine.Step(state, scheduler.Pick(runnable));
+  }
+  result.steps = state.steps;
+  result.values = std::move(state.values);
+  result.labels = std::move(state.labels);
+  result.violations = std::move(state.violations);
+  result.trace = std::move(state.trace);
+  return result;
+}
+
+std::string PrintTrace(const std::vector<TraceEvent>& trace, const SymbolTable& symbols) {
+  std::ostringstream os;
+  for (const TraceEvent& event : trace) {
+    std::string text = event.stmt != nullptr ? PrintStmt(*event.stmt, symbols) : "?";
+    // First line only; nested statements print their header.
+    size_t newline = text.find('\n');
+    if (newline != std::string::npos) {
+      text = text.substr(0, newline) + " ...";
+    }
+    os << event.step << "  T" << event.thread << "  " << text << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,146 @@
+// Small-step concurrent interpreter with counting semaphores, deadlock
+// detection, and optional dynamic security-label tracking (the operational
+// reading of the flow logic; see DESIGN.md).
+//
+// The engine is split into a stateless Machine over a copyable ExecState so
+// the exhaustive schedule explorer can snapshot and branch states; the
+// Interpreter facade drives a Machine with a Scheduler to completion.
+
+#ifndef SRC_RUNTIME_INTERPRETER_H_
+#define SRC_RUNTIME_INTERPRETER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/scheduler.h"
+
+namespace cfm {
+
+enum class RunStatus : uint8_t {
+  kCompleted,
+  kDeadlock,
+  kStepLimit,
+};
+
+std::string_view ToString(RunStatus status);
+
+// One recorded execution step (trace mode): which thread executed which
+// statement. Control bookkeeping (jumps, pc pushes) is not recorded — the
+// trace reads like the interleaving of source statements.
+struct TraceEvent {
+  uint32_t thread = 0;
+  const Stmt* stmt = nullptr;
+  uint64_t step = 0;
+};
+
+// A dynamic write whose label exceeded the variable's static binding.
+struct LabelViolation {
+  const Stmt* stmt = nullptr;
+  SymbolId symbol = kInvalidSymbol;
+  ClassId label = 0;  // Extended-lattice id.
+  ClassId bound = 0;
+  uint64_t step = 0;
+};
+
+struct ThreadState {
+  enum class Status : uint8_t { kRunnable, kBlockedSem, kBlockedJoin, kDone };
+
+  uint32_t pc = 0;
+  Status status = Status::kRunnable;
+  int32_t parent = -1;
+  uint32_t live_children = 0;
+  // Label tracking: cumulative pc-label stack (top = full current context)
+  // and the thread's global label.
+  std::vector<ClassId> pc_labels;
+  ClassId global = 0;
+};
+
+struct ExecState {
+  std::vector<int64_t> values;   // Per symbol; for a channel, its queue length.
+  std::vector<ClassId> labels;   // Per symbol (extended ids); tracking only.
+  // FIFO contents per channel symbol (empty deques for non-channels).
+  std::vector<std::deque<int64_t>> channels;
+  std::vector<ThreadState> threads;
+  std::vector<LabelViolation> violations;
+  std::vector<TraceEvent> trace;
+  uint64_t steps = 0;
+};
+
+struct RunOptions {
+  uint64_t step_limit = 1'000'000;
+  // Records a TraceEvent per executed statement-level instruction.
+  bool record_trace = false;
+  // Enables the dynamic label tracker; requires `binding`.
+  bool track_labels = false;
+  const StaticBinding* binding = nullptr;
+  // Overrides for initial variable values (semaphores default to their
+  // declared initially(n); other variables default to 0).
+  std::vector<std::pair<SymbolId, int64_t>> initial_values;
+  // Overrides for initial labels (default: the variable's own binding —
+  // a variable initially carries exactly its own information).
+  std::vector<std::pair<SymbolId, ClassId>> initial_labels;
+};
+
+struct RunResult {
+  RunStatus status = RunStatus::kCompleted;
+  uint64_t steps = 0;
+  std::vector<int64_t> values;
+  std::vector<ClassId> labels;
+  std::vector<LabelViolation> violations;
+  std::vector<TraceEvent> trace;
+  // Threads blocked on a semaphore when a deadlock was declared.
+  std::vector<uint32_t> blocked_threads;
+};
+
+class Machine {
+ public:
+  // `options.binding` (when tracking) and `symbols` must outlive the machine.
+  Machine(const CompiledProgram& code, const SymbolTable& symbols, const RunOptions& options);
+
+  ExecState MakeInitialState() const;
+
+  // Runnable thread ids (ascending), waking semaphore-blocked threads whose
+  // semaphore has become positive.
+  std::vector<uint32_t> Runnable(ExecState& state) const;
+
+  // Executes one indivisible step of `thread_id` (which must be runnable).
+  void Step(ExecState& state, uint32_t thread_id) const;
+
+  bool AllDone(const ExecState& state) const;
+
+  const RunOptions& options() const { return options_; }
+
+ private:
+  int64_t Eval(const Expr& expr, const ExecState& state) const;
+  ClassId LabelOf(const Expr& expr, const ExecState& state) const;
+  void RecordWrite(ExecState& state, const Stmt* origin, SymbolId symbol, ClassId label) const;
+
+  const CompiledProgram& code_;
+  const SymbolTable& symbols_;
+  RunOptions options_;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const CompiledProgram& code, const SymbolTable& symbols)
+      : code_(code), symbols_(symbols) {}
+
+  RunResult Run(Scheduler& scheduler, const RunOptions& options) const;
+
+ private:
+  const CompiledProgram& code_;
+  const SymbolTable& symbols_;
+};
+
+// Renders a trace as "step thread: statement" lines.
+std::string PrintTrace(const std::vector<TraceEvent>& trace, const SymbolTable& symbols);
+
+}  // namespace cfm
+
+#endif  // SRC_RUNTIME_INTERPRETER_H_

@@ -1,0 +1,141 @@
+#include "src/runtime/noninterference.h"
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "src/runtime/explorer.h"
+
+namespace cfm {
+
+namespace {
+
+struct Observation {
+  RunStatus status = RunStatus::kCompleted;
+  std::vector<int64_t> observed;
+};
+
+Observation Observe(const CompiledProgram& code, const SymbolTable& symbols,
+                    Scheduler& scheduler, const NiOptions& options, int64_t secret_value) {
+  RunOptions run_options;
+  run_options.step_limit = options.step_limit;
+  run_options.initial_values.emplace_back(options.secret, secret_value);
+  Interpreter interpreter(code, symbols);
+  scheduler.Reset();
+  RunResult result = interpreter.Run(scheduler, run_options);
+  Observation observation;
+  observation.status = result.status;
+  for (SymbolId symbol : options.observable) {
+    observation.observed.push_back(result.values[symbol]);
+  }
+  return observation;
+}
+
+void Compare(const std::string& schedule_name, const NiOptions& options, int64_t secret_a,
+             int64_t secret_b, const Observation& a, const Observation& b, NiReport& report) {
+  if (options.observe_termination && a.status != b.status) {
+    NiLeak leak;
+    leak.schedule = schedule_name;
+    leak.secret_a = secret_a;
+    leak.secret_b = secret_b;
+    leak.variable = kInvalidSymbol;
+    leak.value_a = static_cast<int64_t>(a.status);
+    leak.value_b = static_cast<int64_t>(b.status);
+    report.leaks.push_back(std::move(leak));
+    return;
+  }
+  for (size_t i = 0; i < options.observable.size(); ++i) {
+    if (a.observed[i] != b.observed[i]) {
+      NiLeak leak;
+      leak.schedule = schedule_name;
+      leak.secret_a = secret_a;
+      leak.secret_b = secret_b;
+      leak.variable = options.observable[i];
+      leak.value_a = a.observed[i];
+      leak.value_b = b.observed[i];
+      report.leaks.push_back(std::move(leak));
+      return;
+    }
+  }
+}
+
+void RunSchedule(const CompiledProgram& code, const SymbolTable& symbols,
+                 const std::string& schedule_name, Scheduler& scheduler, const NiOptions& options,
+                 NiReport& report) {
+  ++report.schedules_tried;
+  std::vector<Observation> observations;
+  observations.reserve(options.secret_values.size());
+  for (int64_t secret : options.secret_values) {
+    observations.push_back(Observe(code, symbols, scheduler, options, secret));
+  }
+  for (size_t i = 0; i + 1 < observations.size(); ++i) {
+    Compare(schedule_name, options, options.secret_values[i], options.secret_values[i + 1],
+            observations[i], observations[i + 1], report);
+  }
+}
+
+}  // namespace
+
+NiReport TestNoninterference(const CompiledProgram& code, const SymbolTable& symbols,
+                             const NiOptions& options) {
+  NiReport report;
+  {
+    RoundRobinScheduler rr;
+    RunSchedule(code, symbols, "round-robin", rr, options, report);
+  }
+  {
+    FirstRunnableScheduler first;
+    RunSchedule(code, symbols, "first-runnable", first, options, report);
+  }
+  for (uint32_t i = 0; i < options.random_schedules; ++i) {
+    RandomScheduler random(options.seed + i);
+    std::ostringstream name;
+    name << "random(seed=" << options.seed + i << ")";
+    RunSchedule(code, symbols, name.str(), random, options, report);
+  }
+  return report;
+}
+
+ExhaustiveNiResult VerifyNoninterferenceExhaustive(const CompiledProgram& code,
+                                                   const SymbolTable& symbols,
+                                                   const ExhaustiveNiOptions& options) {
+  ExhaustiveNiResult result;
+  // One observation: (status, values of the observable variables).
+  using ObservationSet = std::set<std::pair<int, std::vector<int64_t>>>;
+  std::vector<ObservationSet> per_secret;
+  for (int64_t secret : options.secret_values) {
+    RunOptions run_options;
+    run_options.initial_values = {{options.secret, secret}};
+    ExploreOptions explore;
+    explore.max_states = options.max_states;
+    explore.max_steps_per_path = options.max_steps_per_path;
+    ExploreResult explored = ExploreAllSchedules(code, symbols, run_options, explore);
+    result.truncated = result.truncated || explored.truncated;
+    ObservationSet observations;
+    for (const auto& [outcome, count] : explored.outcomes) {
+      std::vector<int64_t> projection;
+      projection.reserve(options.observable.size());
+      for (SymbolId symbol : options.observable) {
+        projection.push_back(outcome.values[symbol]);
+      }
+      observations.emplace(static_cast<int>(outcome.status), std::move(projection));
+    }
+    per_secret.push_back(std::move(observations));
+  }
+
+  result.holds = true;
+  for (size_t i = 1; i < per_secret.size(); ++i) {
+    if (per_secret[i] != per_secret[0]) {
+      result.holds = false;
+      std::ostringstream os;
+      os << "observable outcome sets differ between secret=" << options.secret_values[0]
+         << " (" << per_secret[0].size() << " outcomes) and secret=" << options.secret_values[i]
+         << " (" << per_secret[i].size() << " outcomes)";
+      result.counterexample = os.str();
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cfm

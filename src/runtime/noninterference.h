@@ -1,0 +1,80 @@
+// Empirical noninterference testing: run the program under many schedules,
+// varying a secret (High) input, and compare the Low-observable outcomes.
+// A schedule is a (seeded) deterministic scheduler, so a differing Low
+// outcome between two secret values under the same schedule exhibits an
+// information flow from the secret — the dynamic ground truth the tests
+// compare against CFM's static verdicts.
+
+#ifndef SRC_RUNTIME_NONINTERFERENCE_H_
+#define SRC_RUNTIME_NONINTERFERENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/runtime/interpreter.h"
+
+namespace cfm {
+
+struct NiOptions {
+  // The secret input variable and the values to try for it.
+  SymbolId secret = kInvalidSymbol;
+  std::vector<int64_t> secret_values = {0, 1};
+  // Variables an observer may read at the end (the Low outputs).
+  std::vector<SymbolId> observable;
+  // Number of random schedules (plus round-robin and first-runnable).
+  uint32_t random_schedules = 32;
+  uint64_t seed = 1;
+  uint64_t step_limit = 200'000;
+  // When true, a difference in termination status (completed vs deadlock vs
+  // step limit) also counts as an observation.
+  bool observe_termination = true;
+};
+
+struct NiLeak {
+  std::string schedule;       // Human-readable schedule identity.
+  int64_t secret_a = 0;
+  int64_t secret_b = 0;
+  SymbolId variable = kInvalidSymbol;  // Differing observable, or kInvalidSymbol
+                                       // if the termination status differed.
+  int64_t value_a = 0;
+  int64_t value_b = 0;
+};
+
+struct NiReport {
+  std::vector<NiLeak> leaks;
+  uint32_t schedules_tried = 0;
+  bool leak_found() const { return !leaks.empty(); }
+};
+
+NiReport TestNoninterference(const CompiledProgram& code, const SymbolTable& symbols,
+                             const NiOptions& options);
+
+// Exhaustive variant for small programs: explores EVERY schedule for each
+// secret value and compares the *sets* of observable outcomes (termination
+// status + the projection onto the observable variables). Unlike the sampled
+// test above this is a proof of (possibilistic, termination-sensitive)
+// noninterference when it holds and the exploration was not truncated.
+struct ExhaustiveNiOptions {
+  SymbolId secret = kInvalidSymbol;
+  std::vector<int64_t> secret_values = {0, 1};
+  std::vector<SymbolId> observable;
+  uint64_t max_states = 200'000;
+  uint64_t max_steps_per_path = 5'000;
+};
+
+struct ExhaustiveNiResult {
+  bool holds = false;
+  // True when a state/step cap was hit; `holds` is then only a bound.
+  bool truncated = false;
+  // Human-readable description of the first differing observation.
+  std::string counterexample;
+};
+
+ExhaustiveNiResult VerifyNoninterferenceExhaustive(const CompiledProgram& code,
+                                                   const SymbolTable& symbols,
+                                                   const ExhaustiveNiOptions& options);
+
+}  // namespace cfm
+
+#endif  // SRC_RUNTIME_NONINTERFERENCE_H_

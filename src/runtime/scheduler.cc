@@ -1,0 +1,37 @@
+#include "src/runtime/scheduler.h"
+
+#include <algorithm>
+
+namespace cfm {
+
+uint32_t RoundRobinScheduler::Pick(const std::vector<uint32_t>& runnable) {
+  // The first runnable thread strictly greater than the previous pick, else
+  // wrap to the smallest.
+  auto it = std::upper_bound(runnable.begin(), runnable.end(), last_);
+  last_ = (it == runnable.end()) ? runnable.front() : *it;
+  return last_;
+}
+
+uint64_t RandomScheduler::Next() {
+  // xorshift64*: deterministic and platform-independent.
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1DULL;
+}
+
+uint32_t RandomScheduler::Pick(const std::vector<uint32_t>& runnable) {
+  return runnable[Next() % runnable.size()];
+}
+
+uint32_t ScriptedScheduler::Pick(const std::vector<uint32_t>& runnable) {
+  if (position_ < choices_.size()) {
+    uint32_t index = choices_[position_++];
+    if (index < runnable.size()) {
+      return runnable[index];
+    }
+  }
+  return runnable.front();
+}
+
+}  // namespace cfm

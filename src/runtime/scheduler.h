@@ -1,0 +1,75 @@
+// Scheduling policies for the concurrent interpreter. A scheduler picks
+// which runnable thread performs the next indivisible step; the interpreter
+// is otherwise deterministic, so a (policy, seed) pair identifies a schedule
+// exactly — the property the noninterference harness relies on.
+
+#ifndef SRC_RUNTIME_SCHEDULER_H_
+#define SRC_RUNTIME_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cfm {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Picks one element of `runnable` (thread ids, ascending). Never called
+  // with an empty vector.
+  virtual uint32_t Pick(const std::vector<uint32_t>& runnable) = 0;
+
+  // Resets any internal state so the same instance can replay a schedule.
+  virtual void Reset() = 0;
+};
+
+// Cycles fairly through runnable threads.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  uint32_t Pick(const std::vector<uint32_t>& runnable) override;
+  void Reset() override { last_ = ~uint32_t{0}; }
+
+ private:
+  uint32_t last_ = ~uint32_t{0};
+};
+
+// Seeded uniform choice (xorshift; reproducible across platforms).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(uint64_t seed) : seed_(seed), state_(seed ? seed : 1) {}
+  uint32_t Pick(const std::vector<uint32_t>& runnable) override;
+  void Reset() override { state_ = seed_ ? seed_ : 1; }
+
+ private:
+  uint64_t Next();
+
+  uint64_t seed_;
+  uint64_t state_;
+};
+
+// Always runs the lowest-id runnable thread (depth-first; useful in tests
+// for pinning down one specific interleaving).
+class FirstRunnableScheduler final : public Scheduler {
+ public:
+  uint32_t Pick(const std::vector<uint32_t>& runnable) override { return runnable.front(); }
+  void Reset() override {}
+};
+
+// Replays a recorded decision sequence; used by the exhaustive explorer.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<uint32_t> choices) : choices_(std::move(choices)) {}
+  // `choices_[i]` is an index into the i-th runnable set; out-of-script
+  // decisions fall back to the first runnable thread.
+  uint32_t Pick(const std::vector<uint32_t>& runnable) override;
+  void Reset() override { position_ = 0; }
+
+ private:
+  std::vector<uint32_t> choices_;
+  size_t position_ = 0;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_RUNTIME_SCHEDULER_H_

@@ -1,0 +1,73 @@
+#include "src/support/diagnostic.h"
+
+#include <sstream>
+#include <utility>
+
+namespace cfm {
+
+namespace {
+
+void RenderOne(const Diagnostic& diag, const SourceManager& sm, int indent, std::ostream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << sm.name() << ":" << ToString(diag.range.begin) << ": " << ToString(diag.severity)
+     << ": " << diag.message << "\n";
+  if (diag.range.IsValid()) {
+    std::string_view line = sm.LineText(diag.range.begin.line);
+    if (!line.empty()) {
+      os << pad << "  " << line << "\n";
+      uint32_t col = diag.range.begin.column;
+      uint32_t width = 1;
+      if (diag.range.end.IsValid() && diag.range.end.line == diag.range.begin.line &&
+          diag.range.end.column > col) {
+        width = diag.range.end.column - col;
+      }
+      os << pad << "  " << std::string(col - 1, ' ') << std::string(width, '^') << "\n";
+    }
+  }
+  for (const Diagnostic& note : diag.notes) {
+    RenderOne(note, sm, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string_view ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Diagnostic& DiagnosticEngine::Report(Severity severity, SourceRange range, std::string message) {
+  if (severity == Severity::kError) {
+    ++error_count_;
+  }
+  diagnostics_.push_back(Diagnostic{severity, range, std::move(message), {}});
+  return diagnostics_.back();
+}
+
+void DiagnosticEngine::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+std::string DiagnosticEngine::RenderAll(const SourceManager& sm) const {
+  std::ostringstream os;
+  for (const Diagnostic& diag : diagnostics_) {
+    RenderOne(diag, sm, 0, os);
+  }
+  return os.str();
+}
+
+std::string Render(const Diagnostic& diag, const SourceManager& sm) {
+  std::ostringstream os;
+  RenderOne(diag, sm, 0, os);
+  return os.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,62 @@
+// Diagnostics: structured errors/warnings/notes with source ranges, collected
+// by a DiagnosticEngine and renderable with caret underlining.
+
+#ifndef SRC_SUPPORT_DIAGNOSTIC_H_
+#define SRC_SUPPORT_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/source_location.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+std::string_view ToString(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceRange range;
+  std::string message;
+  // Secondary notes attached to the primary message (e.g. "binding declared
+  // here"). Rendered indented under the primary diagnostic.
+  std::vector<Diagnostic> notes;
+};
+
+// Collects diagnostics for one compilation/certification. Not thread-safe;
+// each analysis pipeline owns its engine.
+class DiagnosticEngine {
+ public:
+  Diagnostic& Report(Severity severity, SourceRange range, std::string message);
+  Diagnostic& Error(SourceRange range, std::string message) {
+    return Report(Severity::kError, range, std::move(message));
+  }
+  Diagnostic& Warning(SourceRange range, std::string message) {
+    return Report(Severity::kWarning, range, std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t error_count() const { return error_count_; }
+  bool has_errors() const { return error_count_ > 0; }
+  void Clear();
+
+  // Renders all diagnostics against `sm` with source excerpts and carets.
+  std::string RenderAll(const SourceManager& sm) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+// Renders one diagnostic (and its notes) against `sm`.
+std::string Render(const Diagnostic& diag, const SourceManager& sm);
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_DIAGNOSTIC_H_

@@ -1,0 +1,63 @@
+// Minimal expected-like result type (the toolchain's libstdc++ predates
+// std::expected). Library code returns Result<T> instead of throwing.
+
+#ifndef SRC_SUPPORT_RESULT_H_
+#define SRC_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cfm {
+
+// Error payload: a human-readable message. Analyses that need structured
+// errors report through DiagnosticEngine instead.
+struct Error {
+  std::string message;
+};
+
+inline Error MakeError(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and errors keeps call sites terse:
+  //   return MakeError("bad lattice");
+  //   return some_value;
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_).message;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_RESULT_H_

@@ -1,0 +1,28 @@
+#include "src/support/source_location.h"
+
+#include <sstream>
+
+namespace cfm {
+
+std::string ToString(const SourceLocation& loc) {
+  if (!loc.IsValid()) {
+    return "<unknown>";
+  }
+  std::ostringstream os;
+  os << loc.line << ":" << loc.column;
+  return os.str();
+}
+
+std::string ToString(const SourceRange& range) {
+  if (!range.IsValid()) {
+    return "<unknown>";
+  }
+  std::ostringstream os;
+  os << range.begin.line << ":" << range.begin.column;
+  if (range.end.IsValid() && !(range.end == range.begin)) {
+    os << "-" << range.end.line << ":" << range.end.column;
+  }
+  return os.str();
+}
+
+}  // namespace cfm

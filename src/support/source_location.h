@@ -1,0 +1,43 @@
+// Source positions and ranges used by the lexer, parser, diagnostics, and
+// every analysis that reports findings back to program text.
+
+#ifndef SRC_SUPPORT_SOURCE_LOCATION_H_
+#define SRC_SUPPORT_SOURCE_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cfm {
+
+// A position inside one source buffer. Offsets are byte offsets; line and
+// column are 1-based (column counts bytes, which is adequate for the ASCII
+// surface language). A default-constructed location is "unknown".
+struct SourceLocation {
+  uint32_t offset = 0;
+  uint32_t line = 0;  // 0 means "unknown location".
+  uint32_t column = 0;
+
+  constexpr bool IsValid() const { return line != 0; }
+
+  friend constexpr bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+// A half-open byte range [begin, end) inside one source buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  constexpr bool IsValid() const { return begin.IsValid(); }
+
+  friend constexpr bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+// Renders "line:column" (or "<unknown>") for terse messages.
+std::string ToString(const SourceLocation& loc);
+
+// Renders "line:col-line:col" collapsing equal endpoints.
+std::string ToString(const SourceRange& range);
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_SOURCE_LOCATION_H_

@@ -1,0 +1,44 @@
+#include "src/support/source_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cfm {
+
+SourceManager::SourceManager(std::string name, std::string contents)
+    : name_(std::move(name)), contents_(std::move(contents)) {
+  line_starts_.push_back(0);
+  for (uint32_t i = 0; i < contents_.size(); ++i) {
+    if (contents_[i] == '\n') {
+      line_starts_.push_back(i + 1);
+    }
+  }
+}
+
+SourceLocation SourceManager::LocationFor(uint32_t offset) const {
+  offset = std::min<uint32_t>(offset, static_cast<uint32_t>(contents_.size()));
+  // upper_bound returns the first line start strictly beyond `offset`; the
+  // line containing `offset` is the one before it.
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  uint32_t line_index = static_cast<uint32_t>(it - line_starts_.begin()) - 1;
+  SourceLocation loc;
+  loc.offset = offset;
+  loc.line = line_index + 1;
+  loc.column = offset - line_starts_[line_index] + 1;
+  return loc;
+}
+
+std::string_view SourceManager::LineText(uint32_t line) const {
+  if (line == 0 || line > line_starts_.size()) {
+    return {};
+  }
+  uint32_t begin = line_starts_[line - 1];
+  uint32_t end = (line < line_starts_.size()) ? line_starts_[line] : static_cast<uint32_t>(contents_.size());
+  std::string_view text = std::string_view(contents_).substr(begin, end - begin);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace cfm

@@ -1,0 +1,42 @@
+// Owns one source buffer and answers position queries (offset -> line/column,
+// line extraction) for diagnostic rendering.
+
+#ifndef SRC_SUPPORT_SOURCE_MANAGER_H_
+#define SRC_SUPPORT_SOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/source_location.h"
+
+namespace cfm {
+
+class SourceManager {
+ public:
+  SourceManager() : SourceManager("<input>", "") {}
+  SourceManager(std::string name, std::string contents);
+
+  const std::string& name() const { return name_; }
+  std::string_view contents() const { return contents_; }
+  size_t size() const { return contents_.size(); }
+
+  // Builds a full SourceLocation for a byte offset (clamped to the buffer).
+  SourceLocation LocationFor(uint32_t offset) const;
+
+  // Returns the text of a 1-based line, without the trailing newline.
+  // Out-of-range lines yield an empty view.
+  std::string_view LineText(uint32_t line) const;
+
+  uint32_t line_count() const { return static_cast<uint32_t>(line_starts_.size()); }
+
+ private:
+  std::string name_;
+  std::string contents_;
+  std::vector<uint32_t> line_starts_;  // Byte offset of the start of each line.
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_SOURCE_MANAGER_H_

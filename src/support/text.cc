@@ -1,0 +1,59 @@
+#include "src/support/text.h"
+
+#include <cctype>
+
+namespace cfm {
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool IsIdentifier(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  unsigned char first = static_cast<unsigned char>(name.front());
+  if (std::isalpha(first) == 0 && first != '_') {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc) == 0 && uc != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cfm

@@ -1,0 +1,27 @@
+// Small string helpers shared across modules.
+
+#ifndef SRC_SUPPORT_TEXT_H_
+#define SRC_SUPPORT_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfm {
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `name` is a valid identifier in the surface language:
+// [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view name);
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_TEXT_H_

@@ -1,0 +1,406 @@
+// The Concurrent Flow Mechanism, row by row of Figure 2, plus the paper's
+// in-text certification examples (Sections 4.2 and 4.3) and the Section 5.2
+// incompleteness example.
+
+#include "src/core/cfm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/hasse.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+constexpr const char* kLow = "low";
+constexpr const char* kHigh = "high";
+
+// --- Figure 2, row "x := e" ------------------------------------------------
+
+TEST(CfmAssignTest, ModIsTargetBindingFlowIsNil) {
+  Program program = MustParse("var x, y : integer; x := y");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", kHigh}, {"y", kLow}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  const StmtFacts& facts = result.facts(program.root());
+  EXPECT_EQ(facts.mod, binding.ExtendedBinding(Sym(program, "x")));
+  EXPECT_EQ(facts.flow, ExtendedLattice::kNil);
+}
+
+TEST(CfmAssignTest, DirectFlowViolation) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  ASSERT_FALSE(result.certified());
+  ASSERT_EQ(result.violations().size(), 1u);
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kAssignDirect);
+}
+
+TEST(CfmAssignTest, ConstantAssignmentAlwaysCertifies) {
+  Program program = MustParse("var l : integer; l := 42");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"l", kLow}});
+  EXPECT_TRUE(CertifyCfm(program, binding).certified());
+}
+
+// --- Figure 2, row "if e then S1 else S2" ----------------------------------
+
+TEST(CfmIfTest, LocalFlowRequiresCondLeqMod) {
+  Program program = MustParse("var h, l : integer; if h = 0 then l := 1 else l := 2");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kIfLocal);
+
+  StaticBinding ok = Bind(program, lattice, {{"h", kHigh}, {"l", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, ok).certified());
+}
+
+TEST(CfmIfTest, ModIsMeetOfBranches) {
+  Program program = MustParse(
+      "var c, a, b : integer; if c = 0 then a := 1 else b := 1");
+  auto diamond = HasseLattice::Diamond();
+  StaticBinding binding =
+      Bind(program, *diamond, {{"c", "low"}, {"a", "left"}, {"b", "right"}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  EXPECT_EQ(result.facts(program.root()).mod,
+            binding.extended().FromBase(diamond->Bottom()));
+}
+
+TEST(CfmIfTest, IncomparableCondVsModRejected) {
+  Program program = MustParse("var c, a : integer; if c = 0 then a := 1");
+  auto diamond = HasseLattice::Diamond();
+  StaticBinding binding = Bind(program, *diamond, {{"c", "left"}, {"a", "right"}});
+  EXPECT_FALSE(CertifyCfm(program, binding).certified());
+}
+
+TEST(CfmIfTest, FlowNilWhenBranchesHaveNoGlobalFlow) {
+  Program program = MustParse("var h, l : integer; if h = 0 then h := 1 else h := 2");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  EXPECT_EQ(result.facts(program.root()).flow, ExtendedLattice::kNil);
+}
+
+TEST(CfmIfTest, FlowJoinsCondWhenBranchFlows) {
+  // A wait inside a branch makes the if's flow = flow(S1) + sbind(e).
+  Program program = MustParse(
+      "var c : integer; s : semaphore initially(0);\n"
+      "if c = 0 then wait(s)");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"c", kHigh}, {"s", kHigh}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  EXPECT_EQ(result.facts(program.root()).flow,
+            binding.extended().FromBase(TwoPointLattice::kHigh));
+}
+
+TEST(CfmIfTest, MissingElseActsAsSkip) {
+  Program program = MustParse("var h, l : integer; if h = 0 then h := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  // mod(S) = mod(then) ⊗ Top = sbind(h); high <= high certifies.
+  EXPECT_TRUE(result.certified());
+}
+
+// --- Figure 2, row "while e do S1" ------------------------------------------
+
+TEST(CfmWhileTest, FlowIsBodyFlowJoinCond) {
+  Program program = MustParse("var h : integer; while h # 0 do h := h - 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  EXPECT_EQ(result.facts(program.root()).flow,
+            binding.extended().FromBase(TwoPointLattice::kHigh));
+}
+
+TEST(CfmWhileTest, GlobalFlowWithinLoopRejected) {
+  // High condition, low body target: flow(S) = high > mod(S) = low.
+  Program program = MustParse("var h, l : integer; while h # 0 do l := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kWhileGlobal);
+}
+
+TEST(CfmWhileTest, PaperWhileWaitExample) {
+  // Section 4.2: while true do begin y := y + 1; wait(sem) end — the check
+  // must enforce sbind(sem) <= sbind(y).
+  Program program = MustParse(testing::kWhileWait);
+  TwoPointLattice lattice;
+  StaticBinding leaky = Bind(program, lattice, {{"sem", kHigh}, {"y", kLow}});
+  auto rejected = CertifyCfm(program, leaky);
+  ASSERT_FALSE(rejected.certified());
+
+  StaticBinding safe = Bind(program, lattice, {{"sem", kLow}, {"y", kLow}});
+  EXPECT_TRUE(CertifyCfm(program, safe).certified());
+  StaticBinding safe_high = Bind(program, lattice, {{"sem", kHigh}, {"y", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, safe_high).certified());
+}
+
+TEST(CfmWhileTest, ConstantConditionLoopCertifies) {
+  // flow = low (constant condition), mod = sbind(y): low <= anything.
+  Program program = MustParse("var y : integer; while true do y := y + 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"y", kLow}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  // Even a constant-condition loop produces a (low) global flow, not nil.
+  EXPECT_EQ(result.facts(program.root()).flow, binding.extended().Low());
+}
+
+TEST(CfmWhileTest, NestedLoopFlowsAccumulate) {
+  Program program = MustParse(
+      "var h, m, l : integer;\n"
+      "while h # 0 do while m # 0 do begin h := 1; m := 1 end");
+  TwoPointLattice lattice;
+  // Inner loop writes h (high) and m: needs sbind(m) >= high too.
+  StaticBinding bad = Bind(program, lattice, {{"h", kHigh}, {"m", kLow}});
+  EXPECT_FALSE(CertifyCfm(program, bad).certified());
+  StaticBinding good = Bind(program, lattice, {{"h", kHigh}, {"m", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, good).certified());
+}
+
+// --- Figure 2, row "begin S1; ...; Sn end" -----------------------------------
+
+TEST(CfmBlockTest, PaperBeginWaitExample) {
+  // Section 4.2: begin wait(sem); y := 1 end requires sbind(sem) <= sbind(y).
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding leaky = Bind(program, lattice, {{"sem", kHigh}, {"y", kLow}});
+  auto rejected = CertifyCfm(program, leaky);
+  ASSERT_FALSE(rejected.certified());
+  EXPECT_EQ(rejected.violations()[0].kind, CheckKind::kCompositionGlobal);
+
+  StaticBinding safe = Bind(program, lattice, {{"sem", kHigh}, {"y", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, safe).certified());
+}
+
+TEST(CfmBlockTest, FlowOnlyConstrainsLaterStatements) {
+  // y := 1 BEFORE the wait is unconstrained by it.
+  Program program = MustParse(
+      "var y : integer; sem : semaphore initially(0);\n"
+      "begin y := 1; wait(sem) end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", kHigh}, {"y", kLow}});
+  EXPECT_TRUE(CertifyCfm(program, binding).certified());
+}
+
+TEST(CfmBlockTest, FlowAccumulatesAcrossStatements) {
+  // The wait's flow persists past intermediate statements.
+  Program program = MustParse(
+      "var h, y : integer; sem : semaphore initially(0);\n"
+      "begin wait(sem); h := 1; y := 2 end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", kHigh}, {"h", kHigh}, {"y", kLow}});
+  auto result = CertifyCfm(program, binding);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kCompositionGlobal);
+}
+
+TEST(CfmBlockTest, LoopGlobalFlowsIntoLaterStatements) {
+  // Section 2.2's example: while h # 0 do y := 1; z := 1 — z learns h.
+  Program program = MustParse(testing::kLoopGlobal);
+  TwoPointLattice lattice;
+  StaticBinding leaky =
+      Bind(program, lattice, {{"x", kHigh}, {"y", kHigh}, {"z", kLow}});
+  auto result = CertifyCfm(program, leaky);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kCompositionGlobal);
+
+  StaticBinding safe = Bind(program, lattice, {{"x", kHigh}, {"y", kHigh}, {"z", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, safe).certified());
+}
+
+TEST(CfmBlockTest, ModAndFlowFold) {
+  Program program = MustParse(
+      "var a, b : integer; s : semaphore initially(0);\n"
+      "begin a := 1; wait(s); b := 2 end");
+  auto diamond = HasseLattice::Diamond();
+  StaticBinding binding =
+      Bind(program, *diamond, {{"a", "left"}, {"b", "high"}, {"s", "right"}});
+  auto result = CertifyCfm(program, binding);
+  const StmtFacts& facts = result.facts(program.root());
+  // mod = left ⊗ right ⊗ high = low; flow = sbind(s) = right.
+  EXPECT_EQ(facts.mod, binding.extended().FromBase(diamond->Bottom()));
+  EXPECT_EQ(facts.flow, binding.ExtendedBinding(Sym(program, "s")));
+  // right <= high so wait -> b is fine; certified.
+  EXPECT_TRUE(result.certified());
+}
+
+// --- Figure 2, rows "cobegin", "wait", "signal" -------------------------------
+
+TEST(CfmCobeginTest, NoExtraCheckForParallelComposition) {
+  // Sequencing the wait before the assignment is rejected, but running them
+  // in parallel is fine (no execution-order dependence).
+  Program sequential = MustParse(
+      "var y : integer; s : semaphore initially(0); begin wait(s); y := 1 end");
+  Program parallel = MustParse(
+      "var y : integer; s : semaphore initially(0); cobegin wait(s) || y := 1 coend");
+  TwoPointLattice lattice;
+  StaticBinding seq_binding = Bind(sequential, lattice, {{"s", kHigh}, {"y", kLow}});
+  StaticBinding par_binding = Bind(parallel, lattice, {{"s", kHigh}, {"y", kLow}});
+  EXPECT_FALSE(CertifyCfm(sequential, seq_binding).certified());
+  EXPECT_TRUE(CertifyCfm(parallel, par_binding).certified());
+}
+
+TEST(CfmCobeginTest, ComponentViolationsPropagate) {
+  Program program = MustParse(
+      "var h, l : integer; cobegin l := h || h := 1 coend");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  EXPECT_FALSE(CertifyCfm(program, binding).certified());
+}
+
+TEST(CfmCobeginTest, FlowIsJoinOfComponents) {
+  Program program = MustParse(
+      "var x : integer; s, t : semaphore initially(0);\n"
+      "cobegin wait(s) || wait(t) || x := 1 coend");
+  auto diamond = HasseLattice::Diamond();
+  StaticBinding binding =
+      Bind(program, *diamond, {{"s", "left"}, {"t", "right"}, {"x", "high"}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_EQ(result.facts(program.root()).flow, binding.extended().FromBase(diamond->Top()));
+}
+
+TEST(CfmSemaphoreTest, WaitFacts) {
+  Program program = MustParse("var s : semaphore initially(0); wait(s)");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"s", kHigh}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  const StmtFacts& facts = result.facts(program.root());
+  EXPECT_EQ(facts.mod, binding.ExtendedBinding(Sym(program, "s")));
+  EXPECT_EQ(facts.flow, binding.ExtendedBinding(Sym(program, "s")));
+}
+
+TEST(CfmSemaphoreTest, SignalFacts) {
+  Program program = MustParse("var s : semaphore initially(0); signal(s)");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"s", kHigh}});
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  const StmtFacts& facts = result.facts(program.root());
+  EXPECT_EQ(facts.mod, binding.ExtendedBinding(Sym(program, "s")));
+  EXPECT_EQ(facts.flow, ExtendedLattice::kNil);
+}
+
+TEST(CfmSkipTest, SkipIsNeutral) {
+  Program program = MustParse("begin skip end");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto result = CertifyCfm(program, binding);
+  EXPECT_TRUE(result.certified());
+  EXPECT_EQ(result.facts(program.root()).mod, binding.extended().Top());
+  EXPECT_EQ(result.facts(program.root()).flow, ExtendedLattice::kNil);
+}
+
+// --- Section 4.3: the Figure 3 conditions ------------------------------------
+
+TEST(CfmFig3Test, CertifiedIffXFlowsToY) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  // x high, everything else high: certified.
+  StaticBinding all_high = Bind(program, lattice,
+                                {{"x", kHigh},
+                                 {"y", kHigh},
+                                 {"m", kHigh},
+                                 {"modify", kHigh},
+                                 {"modified", kHigh},
+                                 {"read", kHigh},
+                                 {"done", kHigh}});
+  EXPECT_TRUE(CertifyCfm(program, all_high).certified());
+
+  // x high but y low: must be rejected (the paper's whole point).
+  StaticBinding leaky = Bind(program, lattice,
+                             {{"x", kHigh},
+                              {"y", kLow},
+                              {"m", kHigh},
+                              {"modify", kHigh},
+                              {"modified", kHigh},
+                              {"read", kHigh},
+                              {"done", kHigh}});
+  EXPECT_FALSE(CertifyCfm(program, leaky).certified());
+
+  // Breaking any single link of the chain x -> modify -> m -> y also rejects.
+  StaticBinding broken_modify = Bind(program, lattice,
+                                     {{"x", kHigh},
+                                      {"y", kHigh},
+                                      {"m", kHigh},
+                                      {"modify", kLow},
+                                      {"modified", kHigh},
+                                      {"read", kHigh},
+                                      {"done", kHigh}});
+  EXPECT_FALSE(CertifyCfm(program, broken_modify).certified());
+
+  StaticBinding broken_m = Bind(program, lattice,
+                                {{"x", kHigh},
+                                 {"y", kHigh},
+                                 {"m", kLow},
+                                 {"modify", kHigh},
+                                 {"modified", kHigh},
+                                 {"read", kHigh},
+                                 {"done", kHigh}});
+  EXPECT_FALSE(CertifyCfm(program, broken_m).certified());
+
+  // All low (x not secret) certifies.
+  StaticBinding all_low = Bind(program, lattice, {});
+  EXPECT_TRUE(CertifyCfm(program, all_low).certified());
+}
+
+// --- Section 5.2: CFM incompleteness -----------------------------------------
+
+TEST(CfmSection52Test, SafeProgramRejected) {
+  // begin x := 0; y := x end with sbind(x)=high, sbind(y)=low never violates
+  // the policy (x holds a constant when read) yet CFM rejects it — Theorem 2's
+  // strictness boundary.
+  Program program = MustParse(testing::kSection52);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", kHigh}, {"y", kLow}});
+  auto result = CertifyCfm(program, binding);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kAssignDirect);
+}
+
+TEST(CfmFactsTableTest, RendersPerStatementRows) {
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", kHigh}, {"y", kLow}});
+  auto result = CertifyCfm(program, binding);
+  std::string table = result.FactsTable(program.root(), program.symbols(), binding.extended());
+  EXPECT_NE(table.find("wait(sem)"), std::string::npos) << table;
+  EXPECT_NE(table.find("y := 1"), std::string::npos);
+  EXPECT_NE(table.find("FALSE"), std::string::npos);  // The rejected composition row.
+  EXPECT_NE(table.find("nil"), std::string::npos);    // Assignment flow.
+}
+
+// --- Summary rendering --------------------------------------------------------
+
+TEST(CfmSummaryTest, NamesFailedChecksAndClasses) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  auto result = CertifyCfm(program, binding);
+  std::string summary = result.Summary(program.symbols(), binding.extended());
+  EXPECT_NE(summary.find("REJECTED"), std::string::npos);
+  EXPECT_NE(summary.find("direct flow"), std::string::npos);
+  EXPECT_NE(summary.find("high"), std::string::npos);
+  EXPECT_NE(summary.find("low"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfm

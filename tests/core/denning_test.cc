@@ -1,0 +1,131 @@
+// The Denning–Denning 1977 baseline: correct on sequential local flows,
+// blind to global flows — including the paper's motivating gap, where the
+// permissive baseline certifies the Figure 3 synchronization leak that CFM
+// rejects.
+
+#include "src/core/denning.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+constexpr const char* kLow = "low";
+constexpr const char* kHigh = "high";
+
+TEST(DenningTest, AgreesWithCfmOnDirectFlows) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  EXPECT_FALSE(CertifyDenning(program, binding).certified());
+  EXPECT_FALSE(CertifyCfm(program, binding).certified());
+}
+
+TEST(DenningTest, AgreesWithCfmOnLocalIndirectFlows) {
+  Program program = MustParse("var h, l : integer; if h = 0 then l := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  EXPECT_FALSE(CertifyDenning(program, binding).certified());
+}
+
+TEST(DenningTest, WhileTreatedAsLocalOnly) {
+  // The loop's condition flows into its body, but NOT past the loop: the
+  // baseline accepts z := 1 after a high loop.
+  Program program = MustParse(testing::kLoopGlobal);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", kHigh}, {"y", kHigh}, {"z", kLow}});
+  EXPECT_TRUE(CertifyDenning(program, binding).certified());
+  // CFM correctly rejects the same program (the paper's Section 2.2 flow).
+  EXPECT_FALSE(CertifyCfm(program, binding).certified());
+}
+
+TEST(DenningTest, WhileLocalCheckStillEnforced) {
+  Program program = MustParse("var h, l : integer; while h # 0 do l := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  EXPECT_FALSE(CertifyDenning(program, binding).certified());
+}
+
+TEST(DenningStrictTest, RejectsParallelConstructs) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto result = CertifyDenning(program, binding, DenningMode::kStrict);
+  ASSERT_FALSE(result.certified());
+  EXPECT_EQ(result.violations()[0].kind, CheckKind::kUnsupportedConstruct);
+}
+
+TEST(DenningStrictTest, AcceptsSequentialPrograms) {
+  Program program = MustParse(testing::kFig3Sequential);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", kHigh}, {"y", kHigh}, {"m", kHigh}});
+  EXPECT_TRUE(CertifyDenning(program, binding, DenningMode::kStrict).certified());
+}
+
+TEST(DenningPermissiveTest, CertifiesTheFig3LeakCfmRejects) {
+  // The paper's motivating gap: x leaks into y purely through semaphore
+  // ordering. The 1977 rules extended naively to parallel constructs see no
+  // violation; CFM does.
+  // The semaphores carry x's class (so every *local* check passes) but the
+  // observable outputs m and y stay low: the only leak path runs through the
+  // global flows of wait, which the 1977 rules do not model.
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding leaky = Bind(program, lattice,
+                             {{"x", kHigh},
+                              {"y", kLow},
+                              {"m", kLow},
+                              {"modify", kHigh},
+                              {"modified", kHigh},
+                              {"read", kHigh},
+                              {"done", kLow}});
+  auto denning = CertifyDenning(program, leaky, DenningMode::kPermissive);
+  EXPECT_TRUE(denning.certified()) << denning.Summary(program.symbols(), leaky.extended());
+  auto cfm = CertifyCfm(program, leaky);
+  EXPECT_FALSE(cfm.certified());
+}
+
+TEST(DenningPermissiveTest, CertifiesBeginWaitLeak) {
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", kHigh}, {"y", kLow}});
+  EXPECT_TRUE(CertifyDenning(program, binding, DenningMode::kPermissive).certified());
+  EXPECT_FALSE(CertifyCfm(program, binding).certified());
+}
+
+TEST(DenningPermissiveTest, StillCatchesDirectFlowsInsideCobegin) {
+  Program program = MustParse("var h, l : integer; cobegin l := h || h := 0 coend");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+  EXPECT_FALSE(CertifyDenning(program, binding, DenningMode::kPermissive).certified());
+}
+
+TEST(DenningTest, CfmIsStrictlyStrongerOnItsDomain) {
+  // Any sequential program the baseline rejects, CFM rejects too (CFM's
+  // checks are a superset on sequential programs).
+  const char* sources[] = {
+      "var h, l : integer; l := h",
+      "var h, l : integer; if h = 0 then l := 1",
+      "var h, l : integer; while h # 0 do l := 1",
+      "var h, l : integer; begin l := h; h := 0 end",
+  };
+  TwoPointLattice lattice;
+  for (const char* source : sources) {
+    Program program = MustParse(source);
+    StaticBinding binding = Bind(program, lattice, {{"h", kHigh}, {"l", kLow}});
+    if (!CertifyDenning(program, binding).certified()) {
+      EXPECT_FALSE(CertifyCfm(program, binding).certified()) << source;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfm

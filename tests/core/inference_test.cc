@@ -1,0 +1,138 @@
+// Binding inference: the least certifying binding, pinned-variable
+// conflicts, and the guarantee that the inferred binding certifies.
+
+#include "src/core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+TEST(InferenceTest, DirectFlowRaisesTarget) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  InferenceResult result =
+      InferBinding(program, lattice, {{Sym(program, "h"), TwoPointLattice::kHigh}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.binding.binding(Sym(program, "l")), TwoPointLattice::kHigh);
+  EXPECT_TRUE(CertifyCfm(program, result.binding).certified());
+}
+
+TEST(InferenceTest, Fig3ChainPropagatesXToY) {
+  // Pinning only x = high forces high through modify, m and y — exactly the
+  // certification conditions the paper derives in Section 4.3.
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  InferenceResult result =
+      InferBinding(program, lattice, {{Sym(program, "x"), TwoPointLattice::kHigh}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.binding.binding(Sym(program, "modify")), TwoPointLattice::kHigh);
+  EXPECT_EQ(result.binding.binding(Sym(program, "m")), TwoPointLattice::kHigh);
+  EXPECT_EQ(result.binding.binding(Sym(program, "y")), TwoPointLattice::kHigh);
+  EXPECT_TRUE(CertifyCfm(program, result.binding).certified());
+}
+
+TEST(InferenceTest, Fig3PinnedLowOutputConflicts) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  InferenceResult result = InferBinding(program, lattice,
+                                        {{Sym(program, "x"), TwoPointLattice::kHigh},
+                                         {Sym(program, "y"), TwoPointLattice::kLow}});
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].target, Sym(program, "y"));
+  EXPECT_EQ(result.conflicts[0].required, TwoPointLattice::kHigh);
+  EXPECT_EQ(result.conflicts[0].pinned, TwoPointLattice::kLow);
+}
+
+TEST(InferenceTest, LeastnessOnAChain) {
+  // h flows to m flows to l; pinned h = level 2 of a 4-chain. The least
+  // solution puts m and l at exactly level 2, not higher.
+  Program program = MustParse("var h, m, l : integer; begin m := h; l := m end");
+  ChainLattice lattice = ChainLattice::WithLevels(4);
+  InferenceResult result = InferBinding(program, lattice, {{Sym(program, "h"), 2}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.binding.binding(Sym(program, "m")), 2u);
+  EXPECT_EQ(result.binding.binding(Sym(program, "l")), 2u);
+}
+
+TEST(InferenceTest, JoinOfIncomparableSources) {
+  Program program = MustParse("var a, b, x : integer; x := a + b");
+  auto diamond = HasseLattice::Diamond();
+  InferenceResult result = InferBinding(program, *diamond,
+                                        {{Sym(program, "a"), *diamond->FindElement("left")},
+                                         {Sym(program, "b"), *diamond->FindElement("right")}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.binding.binding(Sym(program, "x")), diamond->Top());
+}
+
+TEST(InferenceTest, WhileGlobalConstraint) {
+  Program program = MustParse(testing::kWhileWait);
+  TwoPointLattice lattice;
+  InferenceResult result =
+      InferBinding(program, lattice, {{Sym(program, "sem"), TwoPointLattice::kHigh}});
+  ASSERT_TRUE(result.ok());
+  // sbind(sem) <= sbind(y) (the Section 4.2 condition).
+  EXPECT_EQ(result.binding.binding(Sym(program, "y")), TwoPointLattice::kHigh);
+}
+
+TEST(InferenceTest, UnpinnedProgramInfersBottom) {
+  Program program = MustParse("var a, b : integer; begin a := 1; b := a end");
+  TwoPointLattice lattice;
+  InferenceResult result = InferBinding(program, lattice, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.binding.binding(Sym(program, "a")), lattice.Bottom());
+  EXPECT_EQ(result.binding.binding(Sym(program, "b")), lattice.Bottom());
+}
+
+TEST(InferenceTest, InferredBindingAlwaysCertifies) {
+  const char* sources[] = {
+      testing::kFig3,    testing::kFig3Sequential, testing::kWhileWait,
+      testing::kBeginWait, testing::kLoopGlobal,   testing::kCobeginSignal,
+  };
+  TwoPointLattice lattice;
+  for (const char* source : sources) {
+    Program program = MustParse(source);
+    InferenceResult result = InferBinding(program, lattice, {});
+    ASSERT_TRUE(result.ok()) << source;
+    EXPECT_TRUE(CertifyCfm(program, result.binding).certified()) << source;
+  }
+}
+
+TEST(InferenceTest, ConstraintExtractionMatchesCfmVerdict) {
+  // A binding satisfies every extracted constraint iff CFM certifies — on a
+  // brute-force sweep of all 2^5 two-point bindings of a small program.
+  Program program = MustParse(
+      "var a, b, c : integer; s : semaphore initially(0);\n"
+      "begin if a = 0 then wait(s); b := c end");
+  TwoPointLattice lattice;
+  std::vector<FlowConstraint> constraints = ExtractConstraints(program.root());
+  const uint32_t n = static_cast<uint32_t>(program.symbols().size());
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    StaticBinding binding(lattice, program.symbols());
+    for (uint32_t i = 0; i < n; ++i) {
+      binding.Bind(i, (mask >> i) & 1);
+    }
+    bool satisfied = true;
+    for (const FlowConstraint& constraint : constraints) {
+      if (!lattice.Leq(binding.binding(constraint.source), binding.binding(constraint.target))) {
+        satisfied = false;
+        break;
+      }
+    }
+    EXPECT_EQ(satisfied, CertifyCfm(program, binding).certified()) << "mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace cfm

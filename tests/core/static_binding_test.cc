@@ -1,0 +1,100 @@
+// Definition 3: static bindings, annotation resolution, and expression
+// bindings (constants are low, operators join).
+
+#include "src/core/static_binding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+TEST(StaticBindingTest, DefaultsToBottom) {
+  Program program = MustParse("var x, y : integer; x := y");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  EXPECT_EQ(binding.binding(Sym(program, "x")), lattice.Bottom());
+  EXPECT_EQ(binding.binding(Sym(program, "y")), lattice.Bottom());
+}
+
+TEST(StaticBindingTest, FromAnnotationsResolvesClasses) {
+  Program program = MustParse(
+      "var x : integer class high; y : integer class low; z : integer; x := 1");
+  TwoPointLattice lattice;
+  auto binding = StaticBinding::FromAnnotations(lattice, program.symbols());
+  ASSERT_TRUE(binding.ok()) << binding.error();
+  EXPECT_EQ(binding->binding(Sym(program, "x")), TwoPointLattice::kHigh);
+  EXPECT_EQ(binding->binding(Sym(program, "y")), TwoPointLattice::kLow);
+  EXPECT_EQ(binding->binding(Sym(program, "z")), lattice.Bottom());
+}
+
+TEST(StaticBindingTest, FromAnnotationsPowersetSpelling) {
+  Program program = MustParse("var x : integer class {a,c}; x := 1");
+  PowersetLattice lattice({"a", "b", "c"});
+  auto binding = StaticBinding::FromAnnotations(lattice, program.symbols());
+  ASSERT_TRUE(binding.ok()) << binding.error();
+  EXPECT_EQ(binding->binding(Sym(program, "x")), ClassId{0b101});
+}
+
+TEST(StaticBindingTest, FromAnnotationsRejectsUnknownClass) {
+  Program program = MustParse("var x : integer class mystery; x := 1");
+  TwoPointLattice lattice;
+  auto binding = StaticBinding::FromAnnotations(lattice, program.symbols());
+  ASSERT_FALSE(binding.ok());
+  EXPECT_NE(binding.error().find("mystery"), std::string::npos);
+}
+
+TEST(StaticBindingTest, ExprBindingOfConstantIsLow) {
+  Program program = MustParse("var x : integer class high; x := 7");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", "high"}});
+  EXPECT_EQ(binding.ExprBinding(program.root().As<AssignStmt>().value()), lattice.Bottom());
+}
+
+TEST(StaticBindingTest, ExprBindingJoinsOperands) {
+  Program program = MustParse(
+      "var h : integer class high; l : integer class low; x : integer;\n"
+      "x := h + l * 2");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
+  EXPECT_EQ(binding.ExprBinding(program.root().As<AssignStmt>().value()),
+            TwoPointLattice::kHigh);
+}
+
+TEST(StaticBindingTest, ExprBindingJoinsIncomparableClasses) {
+  Program program = MustParse("var a, b, x : integer; x := a + b");
+  auto diamond = HasseLattice::Diamond();
+  StaticBinding binding = Bind(program, *diamond, {{"a", "left"}, {"b", "right"}});
+  EXPECT_EQ(binding.ExprBinding(program.root().As<AssignStmt>().value()), diamond->Top());
+}
+
+TEST(StaticBindingTest, ExtendedEmbeddingConsistent) {
+  Program program = MustParse("var x : integer class high; x := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", "high"}});
+  const ExtendedLattice& ext = binding.extended();
+  EXPECT_EQ(binding.ExtendedBinding(Sym(program, "x")),
+            ext.FromBase(binding.binding(Sym(program, "x"))));
+  EXPECT_NE(binding.ExtendedBinding(Sym(program, "x")), ExtendedLattice::kNil);
+}
+
+TEST(StaticBindingTest, DescribeNamesEveryVariable) {
+  Program program = MustParse("var alpha, beta : integer; alpha := beta");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  std::string description = binding.Describe(program.symbols());
+  EXPECT_NE(description.find("sbind(alpha) = low"), std::string::npos);
+  EXPECT_NE(description.find("sbind(beta) = low"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,367 @@
+// The message-passing extension (send/receive over unbounded FIFO channels),
+// across every layer: grammar, printer round-trip, the derived CFM rows, the
+// baseline's blind spot, inference, Theorem 1 proofs with the new axioms,
+// proof serialization, interpreter FIFO semantics with blocking receive,
+// dynamic label tracking, and the channel variant of the Figure 3 covert
+// channel verified exhaustively.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/core/inference.h"
+#include "src/gen/program_gen.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/logic/proof_io.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/noninterference.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustNotParse;
+using testing::MustParse;
+using testing::Sym;
+
+// A Figure-3-analogue over channels: no assignment mentions h, yet l learns
+// h's zero-test through WHICH channel carries the token.
+constexpr const char* kChannelLeak = R"(
+var h, l, token : integer;
+    zero, nonzero : channel;
+cobegin
+  if h = 0 then send(zero, 1) else send(nonzero, 1)
+||
+  begin receive(zero, token); l := 0 end
+||
+  begin receive(nonzero, token); l := 1 end
+coend
+)";
+
+// --- Frontend -----------------------------------------------------------------
+
+TEST(ChannelTest, ParsesDeclarationsAndStatements) {
+  Program program = MustParse(
+      "var c : channel; x : integer;\n"
+      "begin send(c, x * 2); receive(c, x) end");
+  const auto& block = program.root().As<BlockStmt>();
+  ASSERT_EQ(block.statements()[0]->kind(), StmtKind::kSend);
+  ASSERT_EQ(block.statements()[1]->kind(), StmtKind::kReceive);
+  EXPECT_EQ(program.symbols().at(Sym(program, "c")).kind, SymbolKind::kChannel);
+}
+
+TEST(ChannelTest, ChannelsAreOpaque) {
+  EXPECT_NE(MustNotParse("var c : channel; x : integer; x := c").find("may not be read"),
+            std::string::npos);
+  EXPECT_NE(MustNotParse("var c : channel; c := 1").find("send/receive"), std::string::npos);
+  EXPECT_NE(MustNotParse("var x : integer; send(x, 1)").find("not a channel"),
+            std::string::npos);
+  EXPECT_NE(MustNotParse("var c : channel; b : boolean; receive(c, b)")
+                .find("integer variable"),
+            std::string::npos);
+}
+
+TEST(ChannelTest, PrinterRoundTrip) {
+  const char* sources[] = {
+      "var c : channel; x : integer; begin send(c, x + 1); receive(c, x) end",
+      kChannelLeak,
+  };
+  for (const char* source : sources) {
+    Program original = MustParse(source);
+    std::string printed = PrintProgram(original);
+    SourceManager sm("<rt>", printed);
+    DiagnosticEngine diags;
+    auto reparsed = ParseProgram(sm, diags);
+    ASSERT_TRUE(reparsed.has_value()) << printed << diags.RenderAll(sm);
+    EXPECT_TRUE(EquivalentModuloBlocks(original.root(), reparsed->root())) << printed;
+  }
+}
+
+// --- CFM (the derived Figure 2 rows) --------------------------------------------
+
+TEST(ChannelCfmTest, SendChecksMessageAgainstChannel) {
+  Program program = MustParse("var h : integer; c : channel; send(c, h)");
+  TwoPointLattice lattice;
+  StaticBinding leaky = Bind(program, lattice, {{"h", "high"}, {"c", "low"}});
+  auto rejected = CertifyCfm(program, leaky);
+  ASSERT_FALSE(rejected.certified());
+  EXPECT_EQ(rejected.violations()[0].kind, CheckKind::kAssignDirect);
+  EXPECT_TRUE(
+      CertifyCfm(program, Bind(program, lattice, {{"h", "high"}, {"c", "high"}})).certified());
+  // Facts: mod = sbind(c), flow = nil (send never blocks).
+  auto facts = CertifyCfm(program, leaky).facts(program.root());
+  EXPECT_EQ(facts.flow, ExtendedLattice::kNil);
+}
+
+TEST(ChannelCfmTest, ReceiveChecksChannelAgainstTargetAndFlows) {
+  Program program = MustParse("var x : integer; c : channel; receive(c, x)");
+  TwoPointLattice lattice;
+  StaticBinding leaky = Bind(program, lattice, {{"c", "high"}, {"x", "low"}});
+  auto rejected = CertifyCfm(program, leaky);
+  ASSERT_FALSE(rejected.certified());
+  StaticBinding ok = Bind(program, lattice, {{"c", "high"}, {"x", "high"}});
+  auto result = CertifyCfm(program, ok);
+  EXPECT_TRUE(result.certified());
+  // flow(receive) = sbind(ch): a conditional delay, like wait.
+  EXPECT_EQ(result.facts(program.root()).flow, ok.ExtendedBinding(Sym(program, "c")));
+}
+
+TEST(ChannelCfmTest, ReceiveGlobalFlowConstrainsComposition) {
+  // begin receive(c, x); y := 1 end: the paper's begin/wait example, with a
+  // channel — requires sbind(c) <= sbind(y).
+  Program program = MustParse(
+      "var x, y : integer; c : channel; begin receive(c, x); y := 1 end");
+  TwoPointLattice lattice;
+  StaticBinding leaky =
+      Bind(program, lattice, {{"c", "high"}, {"x", "high"}, {"y", "low"}});
+  auto rejected = CertifyCfm(program, leaky);
+  ASSERT_FALSE(rejected.certified());
+  EXPECT_EQ(rejected.violations()[0].kind, CheckKind::kCompositionGlobal);
+  EXPECT_TRUE(CertifyCfm(program, Bind(program, lattice,
+                                       {{"c", "high"}, {"x", "high"}, {"y", "high"}}))
+                  .certified());
+}
+
+TEST(ChannelCfmTest, DenningBaselineMissesReceiveGlobalFlow) {
+  Program program = MustParse(
+      "var x, y : integer; c : channel; begin receive(c, x); y := 1 end");
+  TwoPointLattice lattice;
+  StaticBinding leaky =
+      Bind(program, lattice, {{"c", "high"}, {"x", "high"}, {"y", "low"}});
+  EXPECT_TRUE(CertifyDenning(program, leaky, DenningMode::kPermissive).certified());
+  EXPECT_FALSE(CertifyCfm(program, leaky).certified());
+  // Strict mode rejects the construct entirely.
+  auto strict = CertifyDenning(program, leaky, DenningMode::kStrict);
+  ASSERT_FALSE(strict.certified());
+  EXPECT_EQ(strict.violations()[0].kind, CheckKind::kUnsupportedConstruct);
+}
+
+TEST(ChannelCfmTest, ChannelLeakCertificationChain) {
+  Program program = MustParse(kChannelLeak);
+  TwoPointLattice lattice;
+  // h high and l low must be rejected regardless of channel labels.
+  for (const char* zero_class : {"low", "high"}) {
+    StaticBinding binding = Bind(program, lattice,
+                                 {{"h", "high"},
+                                  {"l", "low"},
+                                  {"token", "high"},
+                                  {"zero", zero_class},
+                                  {"nonzero", zero_class}});
+    EXPECT_FALSE(CertifyCfm(program, binding).certified()) << zero_class;
+  }
+  // Inference derives the chain h -> channels -> l.
+  InferenceResult inferred =
+      InferBinding(program, lattice, {{Sym(program, "h"), TwoPointLattice::kHigh}});
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_EQ(inferred.binding.binding(Sym(program, "zero")), TwoPointLattice::kHigh);
+  EXPECT_EQ(inferred.binding.binding(Sym(program, "nonzero")), TwoPointLattice::kHigh);
+  EXPECT_EQ(inferred.binding.binding(Sym(program, "l")), TwoPointLattice::kHigh);
+  EXPECT_TRUE(CertifyCfm(program, inferred.binding).certified());
+}
+
+// --- The flow logic -------------------------------------------------------------
+
+TEST(ChannelLogicTest, Theorem1ProofWithChannelAxioms) {
+  Program program = MustParse(
+      "var x, y : integer; c : channel;\n"
+      "begin send(c, x); receive(c, y) end");
+  TwoPointLattice lattice;
+  StaticBinding binding =
+      Bind(program, lattice, {{"x", "high"}, {"y", "high"}, {"c", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  ProofChecker checker(binding.extended(), program.symbols());
+  auto error = checker.Check(*proof->root);
+  EXPECT_FALSE(error.has_value()) << error->reason;
+  // The receive raised global to sbind(c) = high in the post-condition.
+  EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), binding.extended()),
+            binding.extended().Top());
+}
+
+TEST(ChannelLogicTest, ProofSerializationRoundTrip) {
+  Program program = MustParse(
+      "var x : integer; c : channel; begin send(c, 1); receive(c, x) end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", "high"}, {"c", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  std::string text = SerializeProof(*proof->root, program, binding.extended());
+  EXPECT_NE(text.find("send_axiom"), std::string::npos);
+  EXPECT_NE(text.find("receive_axiom"), std::string::npos);
+  auto reparsed = ParseProof(text, program, binding.extended());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  ProofChecker checker(binding.extended(), program.symbols());
+  EXPECT_FALSE(checker.Check(*reparsed->root).has_value());
+}
+
+TEST(ChannelLogicTest, Theorem2EquivalenceWithChannels) {
+  // cert ⟺ candidate-checks over all two-point bindings of channel shapes.
+  const char* sources[] = {
+      "var x, y : integer; c : channel; begin send(c, x); receive(c, y) end",
+      "var x, y : integer; c : channel; begin receive(c, x); y := 1 end",
+      "var h, l : integer; c : channel;\n"
+      "cobegin if h = 0 then send(c, 1) || begin receive(c, l); l := l + 1 end coend",
+  };
+  TwoPointLattice lattice;
+  for (const char* source : sources) {
+    Program program = MustParse(source);
+    const uint32_t n = static_cast<uint32_t>(program.symbols().size());
+    for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+      StaticBinding binding(lattice, program.symbols());
+      for (uint32_t i = 0; i < n; ++i) {
+        binding.Bind(i, (mask >> i) & 1);
+      }
+      CertificationResult certification = CertifyCfm(program, binding);
+      Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
+                                                certification);
+      ProofChecker checker(binding.extended(), program.symbols());
+      auto error = checker.Check(*candidate.root);
+      EXPECT_EQ(!error.has_value(), certification.certified())
+          << source << " mask " << mask << (error ? "\n" + error->reason : "");
+    }
+  }
+}
+
+// --- Runtime ---------------------------------------------------------------------
+
+TEST(ChannelRuntimeTest, FifoOrderPreserved) {
+  Program program = MustParse(
+      "var a, b, e : integer; c : channel;\n"
+      "begin send(c, 10); send(c, 20); send(c, 30);\n"
+      "receive(c, a); receive(c, b); receive(c, e) end");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, {});
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.values[Sym(program, "a")], 10);
+  EXPECT_EQ(result.values[Sym(program, "b")], 20);
+  EXPECT_EQ(result.values[Sym(program, "e")], 30);
+  EXPECT_EQ(result.values[Sym(program, "c")], 0);  // Queue drained.
+}
+
+TEST(ChannelRuntimeTest, ReceiveBlocksUntilSend) {
+  Program program = MustParse(
+      "var x : integer; c : channel;\n"
+      "cobegin begin receive(c, x); x := x + 1 end || send(c, 41) coend");
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    CompiledProgram code = Compile(program);
+    Interpreter interpreter(code, program.symbols());
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, {});
+    EXPECT_EQ(result.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "x")], 42);
+  }
+}
+
+TEST(ChannelRuntimeTest, ReceiveOnSilentChannelDeadlocks) {
+  Program program = MustParse("var x : integer; c : channel; receive(c, x)");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, {});
+  EXPECT_EQ(result.status, RunStatus::kDeadlock);
+}
+
+TEST(ChannelRuntimeTest, DynamicLabelsFlowThroughChannel) {
+  Program program = MustParse(
+      "var h, l : integer; c : channel; begin send(c, h); receive(c, l) end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"c", "low"}, {"l", "low"}});
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RunOptions options;
+  options.track_labels = true;
+  options.binding = &binding;
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, options);
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.labels[Sym(program, "l")], binding.extended().Top());
+  EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(ChannelRuntimeTest, ChannelLeakExhaustive) {
+  // The channel covert channel transmits under every schedule: l ends equal
+  // to the zero-test of h in all completed outcomes (one branch's receiver
+  // stays blocked, so outcomes are deadlock-flavored — compare l's value on
+  // the completed runs by observing the full outcome sets per secret).
+  Program program = MustParse(kChannelLeak);
+  CompiledProgram code = Compile(program);
+  ExhaustiveNiOptions options;
+  options.secret = Sym(program, "h");
+  options.observable = {Sym(program, "l")};
+  ExhaustiveNiResult result =
+      VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+  EXPECT_FALSE(result.holds);
+  EXPECT_FALSE(result.truncated);
+}
+
+// --- Generator + property sweep ---------------------------------------------------
+
+TEST(ChannelPropertyTest, GeneratedChannelProgramsCertIffProof) {
+  TwoPointLattice lattice;
+  uint32_t exercised = 0;
+  for (uint64_t seed = 700; seed < 760; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 16;
+    gen.allow_channels = true;
+    Program program = GenerateProgram(gen);
+    bool has_channel_op = false;
+    ForEachStmt(program.root(), [&has_channel_op](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kSend || stmt.kind() == StmtKind::kReceive) {
+        has_channel_op = true;
+      }
+    });
+    if (!has_channel_op) {
+      continue;
+    }
+    ++exercised;
+    Rng rng(seed);
+    for (BindingStyle style : {BindingStyle::kRandom, BindingStyle::kLeast}) {
+      StaticBinding binding = GenerateBinding(program, lattice, style, rng);
+      CertificationResult certification = CertifyCfm(program, binding);
+      Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
+                                                certification);
+      ProofChecker checker(binding.extended(), program.symbols());
+      auto error = checker.Check(*candidate.root);
+      EXPECT_EQ(!error.has_value(), certification.certified())
+          << "seed " << seed << (error ? "\n" + error->reason : "");
+    }
+  }
+  EXPECT_GT(exercised, 20u);
+}
+
+TEST(ChannelPropertyTest, GeneratedChannelProgramsSoundUnderMonitor) {
+  TwoPointLattice lattice;
+  for (uint64_t seed = 800; seed < 830; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 14;
+    gen.allow_channels = true;
+    gen.executable = true;
+    Program program = GenerateProgram(gen);
+    InferenceResult inferred = InferBinding(program, lattice, {});
+    ASSERT_TRUE(inferred.ok());
+    ASSERT_TRUE(CertifyCfm(program, inferred.binding).certified()) << "seed " << seed;
+    CompiledProgram code = Compile(program);
+    Interpreter interpreter(code, program.symbols());
+    RunOptions options;
+    options.track_labels = true;
+    options.binding = &inferred.binding;
+    options.step_limit = 100'000;
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, options);
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,256 @@
+// End-to-end tests of the cfmc command-line driver: every subcommand is run
+// as a real subprocess against program files written to a temp directory,
+// checking exit codes and key output lines. The binary path is injected by
+// the build (CFMC_PATH).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace cfm {
+namespace {
+
+#ifndef CFMC_PATH
+#error "the build must define CFMC_PATH"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCfmc(const std::string& args) {
+  std::string command = std::string(CFMC_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "cfmc_cli_test";
+    std::filesystem::create_directories(dir_);
+    WriteFile("fig3.cfm", R"(
+var
+  x : integer class high;
+  y, m : integer class high;
+  modify, modified, read, done : semaphore initially(0) class high;
+cobegin
+  begin
+    m := 0;
+    if x # 0 then begin signal(modify); wait(modified) end;
+    signal(read);
+    wait(done);
+    if x = 0 then begin signal(modify); wait(modified) end
+  end
+|| begin wait(modify); m := 1; signal(modified) end
+|| begin wait(read); y := m; signal(done) end
+coend
+)");
+    WriteFile("leaky.cfm", R"(
+var h : integer class high;
+    l : integer class low;
+l := h
+)");
+    WriteFile("diamond.lattice", R"(
+element bottom
+element left
+element right
+element top
+edge bottom left
+edge bottom right
+edge left top
+edge right top
+)");
+    WriteFile("diamond_prog.cfm", R"(
+var a : integer class left;
+    b : integer class top;
+b := a
+)");
+  }
+
+  void WriteFile(const std::string& name, const std::string& contents) {
+    std::ofstream out(dir_ / name);
+    out << contents;
+  }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, CheckCertifiesFig3) {
+  CommandResult result = RunCfmc("check " + Path("fig3.cfm"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("CFM: CERTIFIED"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, CheckRejectsLeakWithDiagnostic) {
+  CommandResult result = RunCfmc("check " + Path("leaky.cfm"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("REJECTED"), std::string::npos);
+  EXPECT_NE(result.output.find("direct flow"), std::string::npos);
+}
+
+TEST_F(CliTest, ProveEmitsVerifiableProof) {
+  std::string proof_path = Path("fig3.pcc");
+  CommandResult prove =
+      RunCfmc("prove " + Path("fig3.cfm") + " --emit-proof=" + proof_path);
+  EXPECT_EQ(prove.exit_code, 0) << prove.output;
+  EXPECT_NE(prove.output.find("proof verified"), std::string::npos);
+
+  CommandResult check =
+      RunCfmc("checkproof " + Path("fig3.cfm") + " --proof=" + proof_path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  EXPECT_NE(check.output.find("establish the annotated policy"), std::string::npos);
+}
+
+TEST_F(CliTest, CheckProofRejectsTamperedFile) {
+  std::string proof_path = Path("fig3_tampered.pcc");
+  RunCfmc("prove " + Path("fig3.cfm") + " --emit-proof=" + proof_path);
+  // Tamper: flip a class name.
+  std::ifstream in(proof_path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  // Weaken the first global bound the proof states; some rule application
+  // downstream stops chaining.
+  size_t pos = text.find("global low");
+  ASSERT_NE(pos, std::string::npos) << text;
+  text.replace(pos, 10, "global high");
+  std::ofstream out(proof_path);
+  out << text;
+  out.close();
+
+  CommandResult check =
+      RunCfmc("checkproof " + Path("fig3.cfm") + " --proof=" + proof_path);
+  EXPECT_NE(check.exit_code, 0);
+  EXPECT_NE(check.output.find("INVALID"), std::string::npos) << check.output;
+}
+
+TEST_F(CliTest, RunWithMonitor) {
+  CommandResult result = RunCfmc("run " + Path("fig3.cfm") + " --set=x=5 --monitor");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("status: completed"), std::string::npos);
+  EXPECT_NE(result.output.find("y = 1"), std::string::npos);
+  EXPECT_NE(result.output.find("no label exceeded"), std::string::npos);
+}
+
+TEST_F(CliTest, LeaktestFindsTheChannel) {
+  CommandResult result =
+      RunCfmc("leaktest " + Path("fig3.cfm") + " --secret=x --observe=y --schedules=4");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("LEAK"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, InferReportsConflicts) {
+  CommandResult ok = RunCfmc("infer " + Path("fig3.cfm"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+
+  CommandResult conflict = RunCfmc("infer " + Path("leaky.cfm"));
+  EXPECT_EQ(conflict.exit_code, 1);
+  EXPECT_NE(conflict.output.find("UNSATISFIABLE"), std::string::npos) << conflict.output;
+}
+
+TEST_F(CliTest, CustomLatticeFile) {
+  CommandResult result =
+      RunCfmc("check " + Path("diamond_prog.cfm") + " --lattice-file=" + Path("diamond.lattice"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("hasse(4)"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("CFM: CERTIFIED"), std::string::npos);
+}
+
+TEST_F(CliTest, ExplainPrintsWitnessPath) {
+  WriteFile("sync_leak.cfm", R"(
+var h : integer class high;
+    l : integer class low;
+    s : semaphore initially(0) class high;
+begin
+  if h = 0 then signal(s);
+  wait(s);
+  l := 1
+end
+)");
+  CommandResult result = RunCfmc("explain " + Path("sync_leak.cfm"));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("witness path"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("s (high) -> l (low)"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, RunWithTrace) {
+  CommandResult result = RunCfmc("run " + Path("fig3.cfm") + " --set=x=0 --trace");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("T1"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("wait(modify)"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyProducesFullReport) {
+  CommandResult result = RunCfmc("verify " + Path("fig3.cfm") + " --schedules=4");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("CFM: CERTIFIED"), std::string::npos);
+  EXPECT_NE(result.output.find("independent checker: valid"), std::string::npos);
+  EXPECT_NE(result.output.find("label violations: 0"), std::string::npos);
+  EXPECT_NE(result.output.find("verdict: CERTIFIED"), std::string::npos);
+
+  CommandResult rejected = RunCfmc("verify " + Path("leaky.cfm"));
+  EXPECT_EQ(rejected.exit_code, 1);
+  EXPECT_NE(rejected.output.find("witness:"), std::string::npos) << rejected.output;
+}
+
+TEST_F(CliTest, CheckTablePrintsFigure2Functions) {
+  CommandResult result = RunCfmc("check " + Path("fig3.cfm") + " --table");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("mod(S)"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("flow(S)"), std::string::npos);
+  EXPECT_NE(result.output.find("wait(modified)"), std::string::npos);
+  EXPECT_NE(result.output.find("nil"), std::string::npos);
+}
+
+TEST_F(CliTest, FormatCanonicalizes) {
+  WriteFile("messy.cfm", "var x:integer;begin x:=1;x:=x+1 end");
+  CommandResult result = RunCfmc("format " + Path("messy.cfm"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("x := x + 1"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("x : integer;"), std::string::npos);
+}
+
+TEST_F(CliTest, ConditionsPrintThePaperChain) {
+  CommandResult result = RunCfmc("conditions " + Path("fig3.cfm"));
+  EXPECT_EQ(result.exit_code, 0);
+  // The Section 4.3 chain, symbolically.
+  EXPECT_NE(result.output.find("sbind(x) <= sbind(modify)"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("sbind(modify) <= sbind(m)"), std::string::npos);
+  EXPECT_NE(result.output.find("sbind(m) <= sbind(y)"), std::string::npos);
+}
+
+TEST_F(CliTest, DumpShowsBytecode) {
+  CommandResult result = RunCfmc("dump " + Path("fig3.cfm"));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("bytecode"), std::string::npos);
+  EXPECT_NE(result.output.find("fork"), std::string::npos);
+  EXPECT_NE(result.output.find("shared variables"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, BadUsage) {
+  EXPECT_EQ(RunCfmc("").exit_code, 2);
+  EXPECT_EQ(RunCfmc("frobnicate " + Path("fig3.cfm")).exit_code, 2);
+  EXPECT_EQ(RunCfmc("check " + Path("fig3.cfm") + " --lattice=bogus").exit_code, 2);
+  EXPECT_EQ(RunCfmc("check /nonexistent/file.cfm").exit_code, 1);
+}
+
+}  // namespace
+}  // namespace cfm

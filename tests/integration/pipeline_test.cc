@@ -1,0 +1,138 @@
+// Full-pipeline integration over the corpus and generated programs:
+// parse -> print -> reparse -> certify (both mechanisms) -> infer -> prove ->
+// check -> compile -> run, asserting cross-stage consistency.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/core/inference.h"
+#include "src/gen/program_gen.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/interpreter.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+
+TEST(PipelineTest, CorpusEndToEnd) {
+  const char* sources[] = {
+      testing::kFig3,      testing::kFig3Sequential, testing::kWhileWait,
+      testing::kBeginWait, testing::kSection52,      testing::kLoopGlobal,
+      testing::kCobeginSignal,
+  };
+  TwoPointLattice lattice;
+  for (const char* source : sources) {
+    Program program = MustParse(source);
+
+    // Print -> reparse stability.
+    std::string printed = PrintProgram(program);
+    SourceManager sm("<pipe>", printed);
+    DiagnosticEngine diags;
+    auto reparsed = ParseProgram(sm, diags);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+    EXPECT_TRUE(EquivalentModuloBlocks(program.root(), reparsed->root()));
+
+    // Inference produces a certifying binding; Theorem 1 proof checks.
+    InferenceResult inferred = InferBinding(program, lattice, {});
+    ASSERT_TRUE(inferred.ok());
+    CertificationResult certification = CertifyCfm(program, inferred.binding);
+    ASSERT_TRUE(certification.certified());
+    auto proof = BuildTheorem1ProofForStmt(program.root(), program.symbols(),
+                                           inferred.binding, certification);
+    ASSERT_TRUE(proof.ok()) << proof.error();
+    ProofChecker checker(inferred.binding.extended(), program.symbols());
+    EXPECT_FALSE(checker.Check(*proof->root).has_value());
+
+    // The certified program runs under the monitor without violations
+    // (kCobeginSignal deadlocks for x != 0 — default input x = 0 completes).
+    CompiledProgram code = Compile(program);
+    Interpreter interpreter(code, program.symbols());
+    RunOptions options;
+    options.track_labels = true;
+    options.binding = &inferred.binding;
+    options.step_limit = 100'000;
+    RoundRobinScheduler scheduler;
+    RunResult result = interpreter.Run(scheduler, options);
+    EXPECT_NE(result.status, RunStatus::kStepLimit);
+    EXPECT_TRUE(result.violations.empty()) << source;
+  }
+}
+
+TEST(PipelineTest, GeneratedProgramsSurviveEveryStage) {
+  ChainLattice lattice = ChainLattice::WithLevels(3);
+  for (uint64_t seed = 500; seed < 540; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 22;
+    Program program = GenerateProgram(gen);
+
+    // Reparse from canonical text, then analyze the REPARSED program so the
+    // whole chain runs on parser output.
+    std::string printed = PrintProgram(program);
+    SourceManager sm("<pipe>", printed);
+    DiagnosticEngine diags;
+    auto reparsed = ParseProgram(sm, diags);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+
+    InferenceResult inferred = InferBinding(*reparsed, lattice, {});
+    ASSERT_TRUE(inferred.ok());
+    CertificationResult certification = CertifyCfm(*reparsed, inferred.binding);
+    ASSERT_TRUE(certification.certified()) << "seed " << seed;
+    auto proof = BuildTheorem1ProofForStmt(reparsed->root(), reparsed->symbols(),
+                                           inferred.binding, certification);
+    ASSERT_TRUE(proof.ok()) << proof.error();
+    ProofChecker checker(inferred.binding.extended(), reparsed->symbols());
+    auto error = checker.Check(*proof->root);
+    EXPECT_FALSE(error.has_value()) << "seed " << seed << ": " << error->reason;
+
+    CompiledProgram code = Compile(*reparsed);
+    Interpreter interpreter(code, reparsed->symbols());
+    RunOptions options;
+    options.track_labels = true;
+    options.binding = &inferred.binding;
+    options.step_limit = 200'000;
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, options);
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST(PipelineTest, StmtFactsPopulatedForEveryStatement) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  CertificationResult certification = CertifyCfm(program, binding);
+  ForEachStmt(program.root(), [&certification](const Stmt& stmt) {
+    EXPECT_TRUE(certification.facts(stmt).computed) << ToString(stmt.kind());
+  });
+}
+
+TEST(PipelineTest, DenningAndCfmFactsAgreeOnSequentialLocalParts) {
+  // On a sequential, loop-free program the two mechanisms compute identical
+  // mod values and verdicts.
+  Program program = MustParse(testing::kFig3Sequential);
+  TwoPointLattice lattice;
+  for (uint32_t mask = 0; mask < 8; ++mask) {
+    StaticBinding binding(lattice, program.symbols());
+    for (uint32_t i = 0; i < 3; ++i) {
+      binding.Bind(i, (mask >> i) & 1);
+    }
+    CertificationResult cfm = CertifyCfm(program, binding);
+    CertificationResult denning = CertifyDenning(program, binding, DenningMode::kStrict);
+    EXPECT_EQ(cfm.certified(), denning.certified()) << "mask " << mask;
+    EXPECT_EQ(cfm.facts(program.root()).mod, denning.facts(program.root()).mod);
+  }
+}
+
+}  // namespace
+}  // namespace cfm

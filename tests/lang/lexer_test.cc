@@ -1,0 +1,141 @@
+// Lexer: token classification, operators (including the paper's '#'
+// inequality and '||'/'!!' process separators), comments, and errors.
+
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cfm {
+namespace {
+
+std::vector<Token> LexAll(const std::string& source, DiagnosticEngine& diags) {
+  SourceManager sm("<lex>", source);
+  Lexer lexer(sm, diags);
+  std::vector<Token> tokens;
+  while (true) {
+    Token token = lexer.Next();
+    if (token.is(TokenKind::kEof)) {
+      return tokens;
+    }
+    tokens.push_back(token);
+  }
+}
+
+std::vector<TokenKind> KindsOf(const std::string& source) {
+  DiagnosticEngine diags;
+  std::vector<Token> tokens = LexAll(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << "unexpected lex errors";
+  std::vector<TokenKind> kinds;
+  kinds.reserve(tokens.size());
+  for (const Token& token : tokens) {
+    kinds.push_back(token.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto kinds = KindsOf("var x begin end cobegin coend wait signal skip whilex");
+  std::vector<TokenKind> expected = {
+      TokenKind::kKwVar,    TokenKind::kIdentifier, TokenKind::kKwBegin, TokenKind::kKwEnd,
+      TokenKind::kKwCobegin, TokenKind::kKwCoend,   TokenKind::kKwWait,  TokenKind::kKwSignal,
+      TokenKind::kKwSkip,   TokenKind::kIdentifier};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, AssignVersusColon) {
+  auto kinds = KindsOf("x := 1 ; y : integer");
+  std::vector<TokenKind> expected = {TokenKind::kIdentifier, TokenKind::kAssign,
+                                     TokenKind::kIntLiteral, TokenKind::kSemicolon,
+                                     TokenKind::kIdentifier, TokenKind::kColon,
+                                     TokenKind::kKwInteger};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, InequalitySpellings) {
+  // '#' (the paper's), '<>' and '!=' all lex to kNeq.
+  auto kinds = KindsOf("a # b <> c != d");
+  std::vector<TokenKind> expected = {TokenKind::kIdentifier, TokenKind::kNeq,
+                                     TokenKind::kIdentifier, TokenKind::kNeq,
+                                     TokenKind::kIdentifier, TokenKind::kNeq,
+                                     TokenKind::kIdentifier};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, ParallelSeparators) {
+  auto kinds = KindsOf("|| !!");
+  std::vector<TokenKind> expected = {TokenKind::kParallel, TokenKind::kParallel};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, RelationalOperators) {
+  auto kinds = KindsOf("< <= > >= =");
+  std::vector<TokenKind> expected = {TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                                     TokenKind::kGe, TokenKind::kEq};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, IntLiteralValues) {
+  DiagnosticEngine diags;
+  auto tokens = LexAll("0 42 123456789", diags);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 123456789);
+}
+
+TEST(LexerTest, LineComments) {
+  auto kinds = KindsOf("x -- this is a comment\ny");
+  std::vector<TokenKind> expected = {TokenKind::kIdentifier, TokenKind::kIdentifier};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, BlockComments) {
+  auto kinds = KindsOf("x (* multi\nline *) y");
+  std::vector<TokenKind> expected = {TokenKind::kIdentifier, TokenKind::kIdentifier};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine diags;
+  LexAll("x (* never closed", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsError) {
+  DiagnosticEngine diags;
+  auto tokens = LexAll("x @ y", diags);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kError);
+}
+
+TEST(LexerTest, SourceRangesAreAccurate) {
+  DiagnosticEngine diags;
+  auto tokens = LexAll("ab :=\n  cd", diags);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].range.begin.line, 1u);
+  EXPECT_EQ(tokens[0].range.begin.column, 1u);
+  EXPECT_EQ(tokens[2].range.begin.line, 2u);
+  EXPECT_EQ(tokens[2].range.begin.column, 3u);
+}
+
+TEST(LexerTest, RawCaptureForClassAnnotations) {
+  SourceManager sm("<lex>", "  {nato, crypto} ; rest");
+  DiagnosticEngine diags;
+  Lexer lexer(sm, diags);
+  Token raw = lexer.CaptureRawUntilStatementEnd();
+  EXPECT_EQ(raw.text, "{nato, crypto}");
+  // The ';' is not consumed.
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(LexAll("", diags).empty());
+  EXPECT_TRUE(LexAll("   \n\t  ", diags).empty());
+}
+
+}  // namespace
+}  // namespace cfm

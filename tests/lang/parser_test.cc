@@ -1,0 +1,216 @@
+// Parser: the full grammar (declarations, every statement form, expression
+// precedence, dangling else), typing rules, and error diagnostics.
+
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/printer.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustNotParse;
+using testing::MustParse;
+using testing::Sym;
+
+TEST(ParserTest, MinimalAssignment) {
+  Program program = MustParse("var x : integer; x := 1");
+  ASSERT_TRUE(program.has_root());
+  ASSERT_EQ(program.root().kind(), StmtKind::kAssign);
+  const auto& assign = program.root().As<AssignStmt>();
+  EXPECT_EQ(assign.target(), Sym(program, "x"));
+  EXPECT_EQ(assign.value().kind(), ExprKind::kIntLiteral);
+}
+
+TEST(ParserTest, DeclarationGroupsShareOneVarKeyword) {
+  Program program = MustParse(
+      "var x, y : integer; b : boolean; s : semaphore initially(2);\n"
+      "x := y");
+  EXPECT_EQ(program.symbols().size(), 4u);
+  EXPECT_EQ(program.symbols().at(Sym(program, "b")).kind, SymbolKind::kBoolean);
+  const Symbol& sem = program.symbols().at(Sym(program, "s"));
+  EXPECT_EQ(sem.kind, SymbolKind::kSemaphore);
+  EXPECT_EQ(sem.initial_value, 2);
+}
+
+TEST(ParserTest, MultipleVarSections) {
+  Program program = MustParse("var x : integer; var y : integer; x := y");
+  EXPECT_EQ(program.symbols().size(), 2u);
+}
+
+TEST(ParserTest, ClassAnnotationsAreCaptured) {
+  Program program = MustParse(
+      "var x : integer class high;\n"
+      "    c : integer class {nato, crypto};\n"
+      "    p : integer class (secret, {nato});\n"
+      "x := 1");
+  EXPECT_EQ(program.symbols().at(Sym(program, "x")).class_annotation, "high");
+  EXPECT_EQ(program.symbols().at(Sym(program, "c")).class_annotation, "{nato, crypto}");
+  EXPECT_EQ(program.symbols().at(Sym(program, "p")).class_annotation, "(secret, {nato})");
+}
+
+TEST(ParserTest, IfThenElseAndDanglingElse) {
+  Program program = MustParse(
+      "var x, y : integer;\n"
+      "if x = 0 then if x = 1 then y := 1 else y := 2");
+  ASSERT_EQ(program.root().kind(), StmtKind::kIf);
+  const auto& outer = program.root().As<IfStmt>();
+  // The else binds to the inner if.
+  EXPECT_EQ(outer.else_branch(), nullptr);
+  ASSERT_EQ(outer.then_branch().kind(), StmtKind::kIf);
+  EXPECT_NE(outer.then_branch().As<IfStmt>().else_branch(), nullptr);
+}
+
+TEST(ParserTest, WhileLoop) {
+  Program program = MustParse("var x : integer; while x < 10 do x := x + 1");
+  ASSERT_EQ(program.root().kind(), StmtKind::kWhile);
+  EXPECT_EQ(program.root().As<WhileStmt>().body().kind(), StmtKind::kAssign);
+}
+
+TEST(ParserTest, BlocksWithTrailingSemicolon) {
+  Program program = MustParse("var x : integer; begin x := 1; x := 2; end");
+  ASSERT_EQ(program.root().kind(), StmtKind::kBlock);
+  EXPECT_EQ(program.root().As<BlockStmt>().statements().size(), 2u);
+}
+
+TEST(ParserTest, EmptyBlock) {
+  Program program = MustParse("begin end");
+  ASSERT_EQ(program.root().kind(), StmtKind::kBlock);
+  EXPECT_TRUE(program.root().As<BlockStmt>().statements().empty());
+}
+
+TEST(ParserTest, CobeginWithBothSeparators) {
+  Program program = MustParse(
+      "var x, y, z : integer;\n"
+      "cobegin x := 1 || y := 2 !! z := 3 coend");
+  ASSERT_EQ(program.root().kind(), StmtKind::kCobegin);
+  EXPECT_EQ(program.root().As<CobeginStmt>().processes().size(), 3u);
+}
+
+TEST(ParserTest, WaitSignalRequireSemaphores) {
+  Program program = MustParse("var s : semaphore initially(0); begin wait(s); signal(s) end");
+  const auto& block = program.root().As<BlockStmt>();
+  EXPECT_EQ(block.statements()[0]->kind(), StmtKind::kWait);
+  EXPECT_EQ(block.statements()[1]->kind(), StmtKind::kSignal);
+
+  std::string error = MustNotParse("var x : integer; wait(x)");
+  EXPECT_NE(error.find("not a semaphore"), std::string::npos) << error;
+}
+
+TEST(ParserTest, SemaphoresAreOpaque) {
+  std::string assign_error = MustNotParse("var s : semaphore initially(0); s := 1");
+  EXPECT_NE(assign_error.find("wait/signal"), std::string::npos) << assign_error;
+
+  std::string read_error =
+      MustNotParse("var s : semaphore initially(0); x : integer; x := s");
+  EXPECT_NE(read_error.find("may not be read"), std::string::npos) << read_error;
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Program program = MustParse("var x, y : integer; x := 1 + 2 * y - 3");
+  const auto& value = program.root().As<AssignStmt>().value();
+  // ((1 + (2*y)) - 3)
+  ASSERT_EQ(value.kind(), ExprKind::kBinary);
+  const auto& top = value.As<BinaryExpr>();
+  EXPECT_EQ(top.op(), BinaryOp::kSub);
+  ASSERT_EQ(top.lhs().kind(), ExprKind::kBinary);
+  EXPECT_EQ(top.lhs().As<BinaryExpr>().op(), BinaryOp::kAdd);
+  EXPECT_EQ(top.lhs().As<BinaryExpr>().rhs().As<BinaryExpr>().op(), BinaryOp::kMul);
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  Program program = MustParse(
+      "var b : boolean; x : integer;\n"
+      "b := not b or x = 1 and x < 2");
+  // (not b) or ((x=1) and (x<2))
+  const auto& value = program.root().As<AssignStmt>().value();
+  ASSERT_EQ(value.kind(), ExprKind::kBinary);
+  EXPECT_EQ(value.As<BinaryExpr>().op(), BinaryOp::kOr);
+  EXPECT_EQ(value.As<BinaryExpr>().lhs().kind(), ExprKind::kUnary);
+  EXPECT_EQ(value.As<BinaryExpr>().rhs().As<BinaryExpr>().op(), BinaryOp::kAnd);
+}
+
+TEST(ParserTest, Parentheses) {
+  Program program = MustParse("var x : integer; x := (1 + 2) * 3");
+  const auto& value = program.root().As<AssignStmt>().value();
+  EXPECT_EQ(value.As<BinaryExpr>().op(), BinaryOp::kMul);
+}
+
+TEST(ParserTest, TypeErrors) {
+  EXPECT_NE(MustNotParse("var x : integer; if x then x := 1").find("boolean"),
+            std::string::npos);
+  EXPECT_NE(MustNotParse("var x : integer; b : boolean; x := b + 1").find("integer"),
+            std::string::npos);
+  EXPECT_NE(MustNotParse("var b : boolean; b := 3").find("boolean"), std::string::npos);
+  EXPECT_NE(MustNotParse("var x : integer; b : boolean; x := x = b").find("same type"),
+            std::string::npos);
+}
+
+TEST(ParserTest, UndeclaredVariable) {
+  std::string error = MustNotParse("x := 1");
+  EXPECT_NE(error.find("undeclared"), std::string::npos) << error;
+}
+
+TEST(ParserTest, Redeclaration) {
+  std::string error = MustNotParse("var x : integer; x : boolean; x := 1");
+  EXPECT_NE(error.find("redeclaration"), std::string::npos) << error;
+}
+
+TEST(ParserTest, NegativeSemaphoreCountRejected) {
+  // '-1' does not even lex as one literal; either way it must fail.
+  MustNotParse("var s : semaphore initially(-1); skip");
+}
+
+TEST(ParserTest, MissingEndDiagnostic) {
+  std::string error = MustNotParse("var x : integer; begin x := 1");
+  EXPECT_NE(error.find("'end'"), std::string::npos) << error;
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  std::string error = MustNotParse("var x : integer; x := 1 x := 2");
+  EXPECT_NE(error.find("end of input"), std::string::npos) << error;
+}
+
+TEST(ParserTest, PaperProgramsParse) {
+  MustParse(testing::kFig3);
+  MustParse(testing::kFig3Sequential);
+  MustParse(testing::kWhileWait);
+  MustParse(testing::kBeginWait);
+  MustParse(testing::kSection52);
+  MustParse(testing::kLoopGlobal);
+  MustParse(testing::kCobeginSignal);
+}
+
+TEST(ParserTest, Fig3Shape) {
+  Program program = MustParse(testing::kFig3);
+  ASSERT_EQ(program.root().kind(), StmtKind::kCobegin);
+  const auto& cobegin = program.root().As<CobeginStmt>();
+  ASSERT_EQ(cobegin.processes().size(), 3u);
+  EXPECT_EQ(cobegin.processes()[0]->kind(), StmtKind::kBlock);
+  EXPECT_EQ(program.symbols().size(), 7u);
+}
+
+TEST(ParserTest, SkipStatement) {
+  Program program = MustParse("skip");
+  EXPECT_EQ(program.root().kind(), StmtKind::kSkip);
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  Program program = MustParse("var x : integer; b : boolean; begin x := -x; b := not b end");
+  const auto& block = program.root().As<BlockStmt>();
+  EXPECT_EQ(block.statements()[0]->As<AssignStmt>().value().kind(), ExprKind::kUnary);
+  EXPECT_EQ(block.statements()[1]->As<AssignStmt>().value().kind(), ExprKind::kUnary);
+}
+
+TEST(ParserTest, NodeCountsGrow) {
+  Program small = MustParse("var x : integer; x := 1");
+  Program large = MustParse(testing::kFig3);
+  EXPECT_GT(CountNodes(large.root()), CountNodes(small.root()));
+  EXPECT_GT(large.stmt_count(), small.stmt_count());
+}
+
+}  // namespace
+}  // namespace cfm

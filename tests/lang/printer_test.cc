@@ -1,0 +1,99 @@
+// Pretty printer: canonical output and the parse(print(P)) ≡ P round-trip,
+// including the dangling-else disambiguation path.
+
+#include "src/lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+
+void ExpectRoundTrip(const std::string& source) {
+  Program original = MustParse(source);
+  std::string printed = PrintProgram(original);
+  SourceManager sm("<printed>", printed);
+  DiagnosticEngine diags;
+  auto reparsed = ParseProgram(sm, diags);
+  ASSERT_TRUE(reparsed.has_value()) << "printed output failed to parse:\n"
+                                    << printed << "\n"
+                                    << diags.RenderAll(sm);
+  EXPECT_TRUE(EquivalentModuloBlocks(original.root(), reparsed->root()))
+      << "round-trip mismatch. printed:\n"
+      << printed;
+  // Symbol tables must align by construction (same declaration order).
+  ASSERT_EQ(original.symbols().size(), reparsed->symbols().size());
+  for (SymbolId id = 0; id < original.symbols().size(); ++id) {
+    EXPECT_EQ(original.symbols().at(id).name, reparsed->symbols().at(id).name);
+    EXPECT_EQ(original.symbols().at(id).kind, reparsed->symbols().at(id).kind);
+    EXPECT_EQ(original.symbols().at(id).initial_value, reparsed->symbols().at(id).initial_value);
+  }
+}
+
+TEST(PrinterTest, RoundTripPaperPrograms) {
+  ExpectRoundTrip(testing::kFig3);
+  ExpectRoundTrip(testing::kFig3Sequential);
+  ExpectRoundTrip(testing::kWhileWait);
+  ExpectRoundTrip(testing::kBeginWait);
+  ExpectRoundTrip(testing::kSection52);
+  ExpectRoundTrip(testing::kLoopGlobal);
+  ExpectRoundTrip(testing::kCobeginSignal);
+}
+
+TEST(PrinterTest, RoundTripDanglingElseHazard) {
+  // then-branch ends in an open if; printing must protect the outer else.
+  ExpectRoundTrip(
+      "var x, y : integer;\n"
+      "if x = 0 then begin if x = 1 then y := 1 end else y := 2");
+  ExpectRoundTrip(
+      "var x, y : integer;\n"
+      "if x = 0 then begin while x < 3 do if x = 1 then y := 1 end else y := 2");
+}
+
+TEST(PrinterTest, RoundTripOperatorNesting) {
+  ExpectRoundTrip("var x, y : integer; x := (x + y) * (x - y)");
+  ExpectRoundTrip("var x : integer; x := x - (x - (x - 1))");
+  ExpectRoundTrip("var x : integer; x := x / 2 % 3 * 4");
+  ExpectRoundTrip("var b, c : boolean; b := not (b and c) or c");
+  ExpectRoundTrip("var x : integer; x := -(-x)");
+}
+
+TEST(PrinterTest, RoundTripMixedDeclarations) {
+  ExpectRoundTrip(
+      "var a, bq : integer; c : boolean; s, t : semaphore initially(3);\n"
+      "cobegin wait(s) || begin signal(t); a := 1 end coend");
+}
+
+TEST(PrinterTest, PrintsClassAnnotations) {
+  Program program = MustParse("var x : integer class high; x := 1");
+  std::string printed = PrintProgram(program);
+  EXPECT_NE(printed.find("class high"), std::string::npos) << printed;
+}
+
+TEST(PrinterTest, ExprPrinting) {
+  Program program = MustParse("var x, y : integer; x := (x + y) * 2");
+  std::string expr = PrintExpr(program.root().As<AssignStmt>().value(), program.symbols());
+  EXPECT_EQ(expr, "(x + y) * 2");
+}
+
+TEST(PrinterTest, StmtPrintingUsesPaperSyntax) {
+  Program program = MustParse(testing::kBeginWait);
+  std::string text = PrintStmt(program.root(), program.symbols());
+  EXPECT_NE(text.find("begin"), std::string::npos);
+  EXPECT_NE(text.find("wait(sem)"), std::string::npos);
+  EXPECT_NE(text.find("y := 1"), std::string::npos);
+}
+
+TEST(PrinterTest, SkipAndEmptyBlock) {
+  ExpectRoundTrip("skip");
+  ExpectRoundTrip("begin end");
+  ExpectRoundTrip("var x : integer; if x = 0 then skip else begin end");
+}
+
+}  // namespace
+}  // namespace cfm

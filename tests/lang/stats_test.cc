@@ -1,0 +1,87 @@
+// Program statistics: construct counts, depth/width metrics, and the
+// cross-process shared-variable profile.
+
+#include "src/lang/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+TEST(StatsTest, CountsEveryConstruct) {
+  Program program = MustParse(
+      "var x : integer; b : boolean; s : semaphore initially(0); c : channel;\n"
+      "begin\n"
+      "  x := 1;\n"
+      "  if b then skip else x := 2;\n"
+      "  while x > 0 do x := x - 1;\n"
+      "  cobegin wait(s) || signal(s) coend;\n"
+      "  send(c, x);\n"
+      "  receive(c, x)\n"
+      "end");
+  ProgramStats stats = ComputeStats(program.root());
+  EXPECT_EQ(stats.assignments, 3u);  // x:=1, x:=2, x:=x-1
+  EXPECT_EQ(stats.ifs, 1u);
+  EXPECT_EQ(stats.whiles, 1u);
+  EXPECT_EQ(stats.blocks, 1u);
+  EXPECT_EQ(stats.cobegins, 1u);
+  EXPECT_EQ(stats.waits, 1u);
+  EXPECT_EQ(stats.signals, 1u);
+  EXPECT_EQ(stats.sends, 1u);
+  EXPECT_EQ(stats.receives, 1u);
+  EXPECT_EQ(stats.skips, 1u);
+  EXPECT_TRUE(stats.has_global_flow_constructs);
+  EXPECT_EQ(stats.max_processes, 2u);
+  EXPECT_EQ(stats.ast_nodes, CountNodes(program.root()));
+}
+
+TEST(StatsTest, DepthTracksNesting) {
+  Program flat = MustParse("var x : integer; x := 1");
+  EXPECT_EQ(ComputeStats(flat.root()).max_depth, 1u);
+  Program nested = MustParse(
+      "var x : integer; if x = 0 then if x = 1 then if x = 2 then x := 3");
+  EXPECT_EQ(ComputeStats(nested.root()).max_depth, 4u);
+}
+
+TEST(StatsTest, SharedVariableProfileOfFig3) {
+  Program program = MustParse(testing::kFig3);
+  ProgramStats stats = ComputeStats(program.root());
+  // m is written by process 2 and read by process 3; the semaphores are
+  // waited/signalled across processes; x is read-only (NOT shared by this
+  // definition: nobody writes it).
+  auto contains = [&stats](SymbolId symbol) {
+    return std::find(stats.shared_variables.begin(), stats.shared_variables.end(), symbol) !=
+           stats.shared_variables.end();
+  };
+  EXPECT_TRUE(contains(Sym(program, "m")));
+  EXPECT_TRUE(contains(Sym(program, "modify")));
+  EXPECT_TRUE(contains(Sym(program, "done")));
+  EXPECT_FALSE(contains(Sym(program, "x")));
+  EXPECT_FALSE(contains(Sym(program, "y")));  // Written by P3 only, read nowhere else.
+}
+
+TEST(StatsTest, NoSharingWithoutCobegin) {
+  Program program = MustParse("var x, y : integer; begin x := y; y := x end");
+  ProgramStats stats = ComputeStats(program.root());
+  EXPECT_TRUE(stats.shared_variables.empty());
+  EXPECT_FALSE(stats.has_global_flow_constructs);
+}
+
+TEST(StatsTest, RenderMentionsKeyNumbers) {
+  Program program = MustParse(testing::kFig3);
+  ProgramStats stats = ComputeStats(program.root());
+  std::string text = RenderStats(stats, program.symbols());
+  EXPECT_NE(text.find("cobegin 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("wait 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("shared variables:"), std::string::npos);
+  EXPECT_NE(text.find(" m"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,73 @@
+// Definition 4: the extended classification scheme — nil below everything,
+// identity of ⊕, absorbing for ⊗ — plus the base embedding.
+
+#include "src/lattice/extended.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+TEST(ExtendedLatticeTest, NilIsBelowEverything) {
+  TwoPointLattice base;
+  ExtendedLattice ext(base);
+  EXPECT_EQ(ext.Bottom(), ExtendedLattice::kNil);
+  for (ClassId id : AllElements(ext)) {
+    EXPECT_TRUE(ext.Leq(ExtendedLattice::kNil, id));
+  }
+  EXPECT_FALSE(ext.Leq(ext.Low(), ExtendedLattice::kNil));
+}
+
+TEST(ExtendedLatticeTest, NilJoinIdentityMeetAbsorbing) {
+  ChainLattice base = ChainLattice::WithLevels(3);
+  ExtendedLattice ext(base);
+  for (ClassId id : AllElements(ext)) {
+    EXPECT_EQ(ext.Join(ExtendedLattice::kNil, id), id);
+    EXPECT_EQ(ext.Join(id, ExtendedLattice::kNil), id);
+    EXPECT_EQ(ext.Meet(ExtendedLattice::kNil, id), ExtendedLattice::kNil);
+    EXPECT_EQ(ext.Meet(id, ExtendedLattice::kNil), ExtendedLattice::kNil);
+  }
+}
+
+TEST(ExtendedLatticeTest, EmbeddingPreservesOrderAndOps) {
+  ChainLattice base = ChainLattice::WithLevels(4);
+  ExtendedLattice ext(base);
+  for (ClassId a : AllElements(base)) {
+    for (ClassId b : AllElements(base)) {
+      EXPECT_EQ(base.Leq(a, b), ext.Leq(ext.FromBase(a), ext.FromBase(b)));
+      EXPECT_EQ(ext.FromBase(base.Join(a, b)), ext.Join(ext.FromBase(a), ext.FromBase(b)));
+      EXPECT_EQ(ext.FromBase(base.Meet(a, b)), ext.Meet(ext.FromBase(a), ext.FromBase(b)));
+    }
+  }
+}
+
+TEST(ExtendedLatticeTest, LowIsBaseBottomNotNil) {
+  TwoPointLattice base;
+  ExtendedLattice ext(base);
+  EXPECT_NE(ext.Low(), ext.Bottom());
+  EXPECT_EQ(ext.ToBase(ext.Low()), base.Bottom());
+  EXPECT_TRUE(ext.Leq(ExtendedLattice::kNil, ext.Low()));
+}
+
+TEST(ExtendedLatticeTest, NamesAndLookup) {
+  TwoPointLattice base;
+  ExtendedLattice ext(base);
+  EXPECT_EQ(ext.ElementName(ExtendedLattice::kNil), "nil");
+  EXPECT_EQ(ext.ElementName(ext.Low()), "low");
+  EXPECT_EQ(ext.FindElement("nil"), ExtendedLattice::kNil);
+  EXPECT_EQ(ext.FindElement("high"), ext.Top());
+  EXPECT_FALSE(ext.FindElement("bogus").has_value());
+}
+
+TEST(ExtendedLatticeTest, ValidatesAsCompleteLattice) {
+  TwoPointLattice base;
+  ExtendedLattice ext(base);
+  auto verdict = ValidateLattice(ext);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+}  // namespace
+}  // namespace cfm

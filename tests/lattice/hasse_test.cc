@@ -1,0 +1,107 @@
+// HasseLattice construction: valid diagrams are accepted with correct
+// join/meet tables; non-lattices, cycles and malformed inputs are rejected
+// with specific errors.
+
+#include "src/lattice/hasse.h"
+
+#include <gtest/gtest.h>
+
+namespace cfm {
+namespace {
+
+TEST(HasseLatticeTest, DiamondStructure) {
+  auto diamond = HasseLattice::Diamond();
+  ASSERT_NE(diamond, nullptr);
+  ClassId low = *diamond->FindElement("low");
+  ClassId left = *diamond->FindElement("left");
+  ClassId right = *diamond->FindElement("right");
+  ClassId high = *diamond->FindElement("high");
+
+  EXPECT_EQ(diamond->Bottom(), low);
+  EXPECT_EQ(diamond->Top(), high);
+  EXPECT_TRUE(diamond->Leq(low, left));
+  EXPECT_TRUE(diamond->Leq(left, high));
+  EXPECT_FALSE(diamond->Leq(left, right));
+  EXPECT_FALSE(diamond->Leq(right, left));
+  EXPECT_EQ(diamond->Join(left, right), high);
+  EXPECT_EQ(diamond->Meet(left, right), low);
+}
+
+TEST(HasseLatticeTest, TransitiveClosureOfChain) {
+  // Cover edges only: a < b < c < d; closure must give a < d.
+  auto result = HasseLattice::Create({"a", "b", "c", "d"}, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(result.ok()) << result.error();
+  auto& lattice = *result;
+  EXPECT_TRUE(lattice->Leq(0, 3));
+  EXPECT_EQ(lattice->Join(0, 3), ClassId{3});
+  EXPECT_EQ(lattice->Meet(1, 3), ClassId{1});
+}
+
+TEST(HasseLatticeTest, RejectsMissingJoin) {
+  // Two maximal elements: {a < b, a < c} has no b ⊕ c.
+  auto result = HasseLattice::Create({"a", "b", "c"}, {{0, 1}, {0, 2}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("least upper bound"), std::string::npos) << result.error();
+}
+
+TEST(HasseLatticeTest, RejectsMissingMeet) {
+  // Two minimal elements below one top: no a ⊗ b.
+  auto result = HasseLattice::Create({"a", "b", "top"}, {{0, 2}, {1, 2}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("greatest lower bound"), std::string::npos) << result.error();
+}
+
+TEST(HasseLatticeTest, RejectsHexagonNonLattice) {
+  // bottom < {a, b}; a,b < {c, d}; c,d < top: a ⊕ b has two minimal upper
+  // bounds c and d, so this is not a lattice.
+  auto result = HasseLattice::Create(
+      {"bottom", "a", "b", "c", "d", "top"},
+      {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 4}, {2, 4}, {3, 5}, {4, 5}});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(HasseLatticeTest, AcceptsM3ModularLattice) {
+  // M3: bottom < {a, b, c} < top IS a lattice (pairwise joins = top).
+  auto result = HasseLattice::Create({"bottom", "a", "b", "c", "top"},
+                                     {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}});
+  ASSERT_TRUE(result.ok()) << result.error();
+  auto& lattice = *result;
+  EXPECT_EQ(lattice->Join(1, 2), ClassId{4});
+  EXPECT_EQ(lattice->Meet(1, 3), ClassId{0});
+  auto verdict = ValidateLattice(*lattice);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+TEST(HasseLatticeTest, RejectsCycle) {
+  auto result = HasseLattice::Create({"a", "b"}, {{0, 1}, {1, 0}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("cycle"), std::string::npos) << result.error();
+}
+
+TEST(HasseLatticeTest, RejectsDuplicateNames) {
+  auto result = HasseLattice::Create({"a", "a"}, {{0, 1}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("duplicate"), std::string::npos) << result.error();
+}
+
+TEST(HasseLatticeTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_FALSE(HasseLattice::Create({}, {}).ok());
+  EXPECT_FALSE(HasseLattice::Create({"a"}, {{0, 7}}).ok());
+}
+
+TEST(HasseLatticeTest, SingletonLattice) {
+  auto result = HasseLattice::Create({"only"}, {});
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ((*result)->Bottom(), (*result)->Top());
+}
+
+TEST(HasseLatticeTest, RedundantEdgesAreHarmless) {
+  // Same chain with the transitive edge given explicitly.
+  auto result = HasseLattice::Create({"a", "b", "c"}, {{0, 1}, {1, 2}, {0, 2}});
+  ASSERT_TRUE(result.ok()) << result.error();
+  auto verdict = ValidateLattice(**result);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+}  // namespace
+}  // namespace cfm

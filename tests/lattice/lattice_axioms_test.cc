@@ -1,0 +1,160 @@
+// Complete-lattice axioms, run as parameterized properties over every
+// lattice family the library ships (Definition 1 demands a complete lattice;
+// ValidateLattice checks it exhaustively and these tests cross-check by
+// hand-rolled assertions so a bug in ValidateLattice itself cannot hide).
+
+#include "src/lattice/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+struct LatticeFactory {
+  const char* name;
+  std::function<std::unique_ptr<Lattice>()> make;
+};
+
+// Keeps sub-lattices alive for composite lattices.
+struct Composite : Lattice {
+  std::unique_ptr<Lattice> a;
+  std::unique_ptr<Lattice> b;
+  std::unique_ptr<Lattice> composed;
+
+  uint64_t size() const override { return composed->size(); }
+  bool Leq(ClassId x, ClassId y) const override { return composed->Leq(x, y); }
+  ClassId Join(ClassId x, ClassId y) const override { return composed->Join(x, y); }
+  ClassId Meet(ClassId x, ClassId y) const override { return composed->Meet(x, y); }
+  ClassId Bottom() const override { return composed->Bottom(); }
+  ClassId Top() const override { return composed->Top(); }
+  std::string ElementName(ClassId id) const override { return composed->ElementName(id); }
+  std::optional<ClassId> FindElement(std::string_view n) const override {
+    return composed->FindElement(n);
+  }
+  std::string Describe() const override { return composed->Describe(); }
+};
+
+std::unique_ptr<Lattice> MakeMilitary() {
+  auto composite = std::make_unique<Composite>();
+  composite->a = std::make_unique<ChainLattice>(
+      ChainLattice({"unclassified", "confidential", "secret", "top_secret"}));
+  composite->b = std::make_unique<PowersetLattice>(
+      PowersetLattice({"nato", "nuclear", "crypto"}));
+  composite->composed = std::make_unique<ProductLattice>(*composite->a, *composite->b);
+  return composite;
+}
+
+std::unique_ptr<Lattice> MakeExtendedDiamond() {
+  auto composite = std::make_unique<Composite>();
+  composite->a = HasseLattice::Diamond();
+  composite->composed = std::make_unique<ExtendedLattice>(*composite->a);
+  return composite;
+}
+
+class LatticeAxiomsTest : public ::testing::TestWithParam<LatticeFactory> {};
+
+TEST_P(LatticeAxiomsTest, ValidatorAcceptsFamily) {
+  auto lattice = GetParam().make();
+  auto verdict = ValidateLattice(*lattice);
+  EXPECT_TRUE(verdict.ok()) << verdict.ok() << ": " << (verdict.ok() ? "" : verdict.error());
+}
+
+TEST_P(LatticeAxiomsTest, JoinMeetAbsorption) {
+  auto lattice = GetParam().make();
+  for (ClassId a : AllElements(*lattice)) {
+    for (ClassId b : AllElements(*lattice)) {
+      // a ⊕ (a ⊗ b) = a and a ⊗ (a ⊕ b) = a.
+      EXPECT_EQ(lattice->Join(a, lattice->Meet(a, b)), a);
+      EXPECT_EQ(lattice->Meet(a, lattice->Join(a, b)), a);
+    }
+  }
+}
+
+TEST_P(LatticeAxiomsTest, JoinMeetAssociativity) {
+  auto lattice = GetParam().make();
+  const auto elements = AllElements(*lattice);
+  // Sample triples on larger lattices to bound runtime.
+  const uint64_t stride = elements.size() > 16 ? 3 : 1;
+  for (uint64_t i = 0; i < elements.size(); i += stride) {
+    for (uint64_t j = 0; j < elements.size(); j += stride) {
+      for (uint64_t k = 0; k < elements.size(); k += stride) {
+        ClassId a = elements[i];
+        ClassId b = elements[j];
+        ClassId c = elements[k];
+        EXPECT_EQ(lattice->Join(a, lattice->Join(b, c)), lattice->Join(lattice->Join(a, b), c));
+        EXPECT_EQ(lattice->Meet(a, lattice->Meet(b, c)), lattice->Meet(lattice->Meet(a, b), c));
+      }
+    }
+  }
+}
+
+TEST_P(LatticeAxiomsTest, Idempotence) {
+  auto lattice = GetParam().make();
+  for (ClassId a : AllElements(*lattice)) {
+    EXPECT_EQ(lattice->Join(a, a), a);
+    EXPECT_EQ(lattice->Meet(a, a), a);
+  }
+}
+
+TEST_P(LatticeAxiomsTest, BottomTopAreIdentities) {
+  auto lattice = GetParam().make();
+  for (ClassId a : AllElements(*lattice)) {
+    EXPECT_EQ(lattice->Join(lattice->Bottom(), a), a);
+    EXPECT_EQ(lattice->Meet(lattice->Top(), a), a);
+    EXPECT_EQ(lattice->Join(lattice->Top(), a), lattice->Top());
+    EXPECT_EQ(lattice->Meet(lattice->Bottom(), a), lattice->Bottom());
+  }
+}
+
+TEST_P(LatticeAxiomsTest, ElementNamesRoundTrip) {
+  auto lattice = GetParam().make();
+  for (ClassId a : AllElements(*lattice)) {
+    auto found = lattice->FindElement(lattice->ElementName(a));
+    ASSERT_TRUE(found.has_value()) << lattice->Describe() << " name " << lattice->ElementName(a);
+    EXPECT_EQ(*found, a);
+  }
+}
+
+TEST_P(LatticeAxiomsTest, JoinAllMeetAllFold) {
+  auto lattice = GetParam().make();
+  EXPECT_EQ(lattice->JoinAll({}), lattice->Bottom());
+  EXPECT_EQ(lattice->MeetAll({}), lattice->Top());
+  std::vector<ClassId> all = AllElements(*lattice);
+  EXPECT_EQ(lattice->JoinAll(all), lattice->Top());
+  EXPECT_EQ(lattice->MeetAll(all), lattice->Bottom());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, LatticeAxiomsTest,
+    ::testing::Values(
+        LatticeFactory{"two_point", [] { return std::make_unique<TwoPointLattice>(); }},
+        LatticeFactory{"chain4",
+                       [] {
+                         return std::make_unique<ChainLattice>(ChainLattice::WithLevels(4));
+                       }},
+        LatticeFactory{"chain1",
+                       [] {
+                         return std::make_unique<ChainLattice>(ChainLattice::WithLevels(1));
+                       }},
+        LatticeFactory{"powerset3",
+                       [] {
+                         return std::make_unique<PowersetLattice>(
+                             PowersetLattice({"a", "b", "c"}));
+                       }},
+        LatticeFactory{"diamond", [] { return HasseLattice::Diamond(); }},
+        LatticeFactory{"military", [] { return MakeMilitary(); }},
+        LatticeFactory{"extended_diamond", [] { return MakeExtendedDiamond(); }}),
+    [](const ::testing::TestParamInfo<LatticeFactory>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,123 @@
+// Edge cases across the lattice families: deep compositions, singleton and
+// empty-category schemes, spelling round-trips for composite names, and the
+// validator's rejection of a broken implementation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+TEST(LatticeEdgeTest, ProductOfProducts) {
+  TwoPointLattice a;
+  ChainLattice b = ChainLattice::WithLevels(3);
+  ProductLattice inner(a, b);
+  PowersetLattice c({"k"});
+  ProductLattice outer(inner, c);
+  EXPECT_EQ(outer.size(), 2u * 3u * 2u);
+  auto verdict = ValidateLattice(outer);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+  // Component-wise order.
+  ClassId low = outer.Bottom();
+  ClassId top = outer.Top();
+  EXPECT_TRUE(outer.Leq(low, top));
+  EXPECT_EQ(outer.Join(low, top), top);
+}
+
+TEST(LatticeEdgeTest, ProductNameRoundTrip) {
+  ChainLattice levels({"u", "s"});
+  PowersetLattice compartments({"a", "b"});
+  ProductLattice military(levels, compartments);
+  for (ClassId id : AllElements(military)) {
+    auto found = military.FindElement(military.ElementName(id));
+    ASSERT_TRUE(found.has_value()) << military.ElementName(id);
+    EXPECT_EQ(*found, id);
+  }
+  // Whitespace variants parse too.
+  EXPECT_EQ(military.FindElement("( s ,  {a,b} )"), military.Top());
+  EXPECT_FALSE(military.FindElement("s, {a}").has_value());   // Missing parens.
+  EXPECT_FALSE(military.FindElement("(x, {a})").has_value()); // Unknown level.
+}
+
+TEST(LatticeEdgeTest, PowersetWithNoCategories) {
+  PowersetLattice trivial({});
+  EXPECT_EQ(trivial.size(), 1u);
+  EXPECT_EQ(trivial.Bottom(), trivial.Top());
+  EXPECT_EQ(trivial.ElementName(0), "{}");
+  EXPECT_EQ(trivial.FindElement("{}"), ClassId{0});
+  auto verdict = ValidateLattice(trivial);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+TEST(LatticeEdgeTest, PowersetSpellingEdgeCases) {
+  PowersetLattice lattice({"alpha", "beta"});
+  EXPECT_EQ(lattice.FindElement("{ beta , alpha }"), lattice.Top());
+  EXPECT_EQ(lattice.FindElement("  {alpha}  "), ClassId{0b01});
+  EXPECT_FALSE(lattice.FindElement("{gamma}").has_value());
+  EXPECT_FALSE(lattice.FindElement("alpha").has_value());  // Braces required.
+  EXPECT_FALSE(lattice.FindElement("{").has_value());
+}
+
+TEST(LatticeEdgeTest, ChainSingleLevel) {
+  ChainLattice one = ChainLattice::WithLevels(1);
+  EXPECT_EQ(one.Bottom(), one.Top());
+  ExtendedLattice ext(one);
+  EXPECT_EQ(ext.size(), 2u);  // nil + the single level.
+  EXPECT_TRUE(ext.Leq(ExtendedLattice::kNil, ext.Top()));
+  auto verdict = ValidateLattice(ext);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+// A deliberately broken lattice: Join returns the wrong element. The
+// validator must catch it (this guards the validator itself).
+class BrokenLattice final : public Lattice {
+ public:
+  uint64_t size() const override { return 2; }
+  bool Leq(ClassId a, ClassId b) const override { return a <= b; }
+  ClassId Join(ClassId a, ClassId b) const override { return a & b; }  // Wrong: meet.
+  ClassId Meet(ClassId a, ClassId b) const override { return a & b; }
+  ClassId Bottom() const override { return 0; }
+  ClassId Top() const override { return 1; }
+  std::string ElementName(ClassId id) const override { return id == 0 ? "lo" : "hi"; }
+  std::optional<ClassId> FindElement(std::string_view name) const override {
+    return name == "lo" ? std::optional<ClassId>(0)
+                        : name == "hi" ? std::optional<ClassId>(1) : std::nullopt;
+  }
+  std::string Describe() const override { return "broken"; }
+};
+
+TEST(LatticeEdgeTest, ValidatorCatchesBrokenJoin) {
+  BrokenLattice broken;
+  auto verdict = ValidateLattice(broken);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_NE(verdict.error().find("join"), std::string::npos) << verdict.error();
+}
+
+TEST(LatticeEdgeTest, ValidatorRejectsOversizedAndEmpty) {
+  ChainLattice big = ChainLattice::WithLevels(10'000);
+  auto too_big = ValidateLattice(big, /*max_size=*/4096);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_NE(too_big.error().find("too large"), std::string::npos);
+}
+
+TEST(LatticeEdgeTest, ExtendedOfProductSpellings) {
+  ChainLattice levels({"u", "s"});
+  PowersetLattice compartments({"n"});
+  ProductLattice military(levels, compartments);
+  ExtendedLattice ext(military);
+  EXPECT_EQ(ext.FindElement("nil"), ExtendedLattice::kNil);
+  auto top = ext.FindElement("(s, {n})");
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top, ext.Top());
+  EXPECT_EQ(ext.ElementName(ext.Low()), "(u, {})");
+}
+
+}  // namespace
+}  // namespace cfm

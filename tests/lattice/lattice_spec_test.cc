@@ -1,0 +1,89 @@
+// The lattice spec-file loader: parse, validate, round-trip, reject.
+
+#include "src/lattice/lattice_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cfm {
+namespace {
+
+TEST(LatticeSpecTest, ParsesDiamond) {
+  auto result = ParseLatticeSpec(R"(
+# the classic diamond
+element low
+element left
+element right
+element high
+edge low left
+edge low right
+edge left high
+edge right high
+)");
+  ASSERT_TRUE(result.ok()) << result.error();
+  auto& lattice = *result;
+  EXPECT_EQ(lattice->size(), 4u);
+  EXPECT_EQ(lattice->Join(*lattice->FindElement("left"), *lattice->FindElement("right")),
+            *lattice->FindElement("high"));
+  auto verdict = ValidateLattice(*lattice);
+  EXPECT_TRUE(verdict.ok()) << verdict.error();
+}
+
+TEST(LatticeSpecTest, TrailingCommentsAndWhitespace) {
+  auto result = ParseLatticeSpec(
+      "  element a   # bottom\n"
+      "\telement b\t# top\n"
+      "  edge a b    # the only cover\n");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ((*result)->Bottom(), *(*result)->FindElement("a"));
+}
+
+TEST(LatticeSpecTest, RoundTripsThroughWriter) {
+  auto original = ParseLatticeSpec(
+      "element bottom\nelement a\nelement b\nelement c\nelement top\n"
+      "edge bottom a\nedge bottom b\nedge bottom c\n"
+      "edge a top\nedge b top\nedge c top\n");
+  ASSERT_TRUE(original.ok()) << original.error();
+  std::string spec = WriteLatticeSpec(**original);
+  auto reparsed = ParseLatticeSpec(spec);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error() << "\nspec:\n" << spec;
+  ASSERT_EQ((*reparsed)->size(), (*original)->size());
+  for (ClassId a = 0; a < (*original)->size(); ++a) {
+    for (ClassId b = 0; b < (*original)->size(); ++b) {
+      EXPECT_EQ((*original)->Leq(a, b), (*reparsed)->Leq(a, b));
+    }
+  }
+}
+
+TEST(LatticeSpecTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseLatticeSpec("per-element nonsense\n").ok());
+  EXPECT_FALSE(ParseLatticeSpec("element\n").ok());
+  EXPECT_FALSE(ParseLatticeSpec("element a\nedge a\n").ok());
+  EXPECT_FALSE(ParseLatticeSpec("element 9bad\n").ok());
+}
+
+TEST(LatticeSpecTest, RejectsSemanticErrors) {
+  auto duplicate = ParseLatticeSpec("element a\nelement a\n");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.error().find("duplicate"), std::string::npos);
+
+  auto unknown = ParseLatticeSpec("element a\nedge a b\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("unknown element"), std::string::npos);
+
+  auto empty = ParseLatticeSpec("# nothing\n");
+  EXPECT_FALSE(empty.ok());
+
+  // Two maximal elements: not a lattice; the Hasse validation surfaces it.
+  auto non_lattice = ParseLatticeSpec("element a\nelement b\nelement c\nedge a b\nedge a c\n");
+  ASSERT_FALSE(non_lattice.ok());
+  EXPECT_NE(non_lattice.error().find("least upper bound"), std::string::npos);
+}
+
+TEST(LatticeSpecTest, LinePreciseErrors) {
+  auto result = ParseLatticeSpec("element a\n\n# fine\nbogus line here\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("line 4"), std::string::npos) << result.error();
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,205 @@
+// Flow assertions: normalization (join-atom decomposition), conjunction,
+// simultaneous substitution (the axioms' engine), and the entailment
+// solver's soundness/completeness on the paper's fragment.
+
+#include "src/logic/assertion.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/hasse.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+class AssertionTest : public ::testing::Test {
+ protected:
+  TwoPointLattice base_;
+  ExtendedLattice ext_{base_};
+  ClassId low_ = ext_.Low();
+  ClassId high_ = ext_.Top();
+};
+
+TEST_F(AssertionTest, TrueAssertionEntailsOnlyTrivialBounds) {
+  FlowAssertion truth;
+  FlowAssertion wants_low = FlowAssertion().WithAtom(ClassExpr::VarClass(0), low_, ext_);
+  FlowAssertion wants_top = FlowAssertion().WithAtom(ClassExpr::VarClass(0), high_, ext_);
+  EXPECT_FALSE(truth.Entails(wants_low, ext_));
+  EXPECT_TRUE(truth.Entails(wants_top, ext_));  // Top bound constrains nothing.
+}
+
+TEST_F(AssertionTest, FalseEntailsEverything) {
+  FlowAssertion f = FlowAssertion::False();
+  FlowAssertion anything = FlowAssertion().WithAtom(ClassExpr::VarClass(7), low_, ext_);
+  EXPECT_TRUE(f.Entails(anything, ext_));
+  EXPECT_FALSE(anything.Entails(f, ext_));
+}
+
+TEST_F(AssertionTest, JoinAtomDecomposes) {
+  // (v1 ⊕ v2 ⊕ local ≤ low) ⟺ v1 ≤ low ∧ v2 ≤ low ∧ local ≤ low.
+  ClassExpr join = ClassExpr::VarClass(1)
+                       .Join(ClassExpr::VarClass(2), ext_)
+                       .Join(ClassExpr::Local(), ext_);
+  FlowAssertion a = FlowAssertion().WithAtom(join, low_, ext_);
+  EXPECT_EQ(a.BoundOf(TermRef::Var(1), ext_), low_);
+  EXPECT_EQ(a.BoundOf(TermRef::Var(2), ext_), low_);
+  EXPECT_EQ(a.BoundOf(TermRef::Local(), ext_), low_);
+  EXPECT_EQ(a.BoundOf(TermRef::Var(3), ext_), ext_.Top());
+}
+
+TEST_F(AssertionTest, UnsatisfiableConstantAtomIsFalse) {
+  FlowAssertion a = FlowAssertion().WithAtom(ClassExpr::Constant(high_), low_, ext_);
+  EXPECT_TRUE(a.is_false());
+}
+
+TEST_F(AssertionTest, RepeatedAtomsMeet) {
+  auto diamond = HasseLattice::Diamond();
+  ExtendedLattice ext(*diamond);
+  ClassId left = ext.FromBase(*diamond->FindElement("left"));
+  ClassId right = ext.FromBase(*diamond->FindElement("right"));
+  FlowAssertion a = FlowAssertion()
+                        .WithAtom(ClassExpr::VarClass(0), left, ext)
+                        .WithAtom(ClassExpr::VarClass(0), right, ext);
+  // v ≤ left ∧ v ≤ right ⟺ v ≤ left ⊗ right = low.
+  EXPECT_EQ(a.BoundOf(TermRef::Var(0), ext), ext.FromBase(diamond->Bottom()));
+}
+
+TEST_F(AssertionTest, ConjoinMeetsBounds) {
+  FlowAssertion a = FlowAssertion().WithAtom(ClassExpr::VarClass(0), high_, ext_);
+  FlowAssertion b = FlowAssertion()
+                        .WithAtom(ClassExpr::VarClass(0), low_, ext_)
+                        .WithLocalBound(low_, ext_);
+  FlowAssertion c = a.Conjoin(b, ext_);
+  EXPECT_EQ(c.BoundOf(TermRef::Var(0), ext_), low_);
+  EXPECT_EQ(c.BoundOf(TermRef::Local(), ext_), low_);
+}
+
+TEST_F(AssertionTest, EntailmentIsOrderOnBounds) {
+  FlowAssertion strong = FlowAssertion().WithAtom(ClassExpr::VarClass(0), low_, ext_);
+  FlowAssertion weak = FlowAssertion().WithAtom(ClassExpr::VarClass(0), high_, ext_);
+  EXPECT_TRUE(strong.Entails(weak, ext_));
+  EXPECT_FALSE(weak.Entails(strong, ext_));
+  EXPECT_TRUE(strong.Entails(strong, ext_));
+}
+
+TEST_F(AssertionTest, SubstituteVarWithJoin) {
+  // {v0 ≤ low}[v0 <- v1 ⊕ local ⊕ global] = {v1 ≤ low, local ≤ low, global ≤ low}.
+  FlowAssertion p = FlowAssertion().WithAtom(ClassExpr::VarClass(0), low_, ext_);
+  ClassExpr replacement = ClassExpr::VarClass(1)
+                              .Join(ClassExpr::Local(), ext_)
+                              .Join(ClassExpr::Global(), ext_);
+  FlowAssertion q = p.Substitute({{TermRef::Var(0), replacement}}, ext_);
+  EXPECT_EQ(q.BoundOf(TermRef::Var(0), ext_), ext_.Top());  // v0 freed.
+  EXPECT_EQ(q.BoundOf(TermRef::Var(1), ext_), low_);
+  EXPECT_EQ(q.BoundOf(TermRef::Local(), ext_), low_);
+  EXPECT_EQ(q.BoundOf(TermRef::Global(), ext_), low_);
+}
+
+TEST_F(AssertionTest, SimultaneousSubstitutionReadsPreState) {
+  // The wait axiom substitutes sem and global at once; global's replacement
+  // must not see the new sem atom. {sem ≤ high, global ≤ low}
+  // [sem <- X, global <- X], X = sem ⊕ local ⊕ global:
+  //   sem-atom: X ≤ high; global-atom: X ≤ low.
+  FlowAssertion p = FlowAssertion()
+                        .WithAtom(ClassExpr::VarClass(0), high_, ext_)
+                        .WithGlobalBound(low_, ext_);
+  ClassExpr x = ClassExpr::VarClass(0)
+                    .Join(ClassExpr::Local(), ext_)
+                    .Join(ClassExpr::Global(), ext_);
+  FlowAssertion q = p.Substitute({{TermRef::Var(0), x}, {TermRef::Global(), x}}, ext_);
+  // From the global atom: sem ≤ low, local ≤ low, global ≤ low; the sem atom
+  // contributes only ≤ high which the meet absorbs.
+  EXPECT_EQ(q.BoundOf(TermRef::Var(0), ext_), low_);
+  EXPECT_EQ(q.BoundOf(TermRef::Local(), ext_), low_);
+  EXPECT_EQ(q.BoundOf(TermRef::Global(), ext_), low_);
+}
+
+TEST_F(AssertionTest, SubstituteUnmentionedTermIsIdentity) {
+  FlowAssertion p = FlowAssertion().WithAtom(ClassExpr::VarClass(3), low_, ext_);
+  FlowAssertion q = p.Substitute({{TermRef::Var(9), ClassExpr::Local()}}, ext_);
+  EXPECT_TRUE(p.EquivalentTo(q, ext_));
+}
+
+TEST_F(AssertionTest, PolicyAssertionBoundsEveryNonTopVariable) {
+  Program program = MustParse("var h, l : integer; l := h");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}, {"l", "low"}});
+  FlowAssertion policy = FlowAssertion::Policy(binding, program.symbols());
+  // h's bound high == extended Top is dropped as trivial; l's is kept.
+  EXPECT_EQ(policy.BoundOf(TermRef::Var(Sym(program, "h")), ext_), ext_.Top());
+  EXPECT_EQ(policy.BoundOf(TermRef::Var(Sym(program, "l")), ext_), low_);
+}
+
+TEST_F(AssertionTest, VPartDropsCertificationVariables) {
+  FlowAssertion p = FlowAssertion()
+                        .WithAtom(ClassExpr::VarClass(0), low_, ext_)
+                        .WithLocalBound(low_, ext_)
+                        .WithGlobalBound(low_, ext_);
+  FlowAssertion v = p.VPart();
+  EXPECT_EQ(v.BoundOf(TermRef::Var(0), ext_), low_);
+  EXPECT_EQ(v.BoundOf(TermRef::Local(), ext_), ext_.Top());
+  EXPECT_EQ(v.BoundOf(TermRef::Global(), ext_), ext_.Top());
+}
+
+TEST_F(AssertionTest, EntailmentCompletenessBruteForce) {
+  // Soundness and completeness of Entails on the fragment, checked against
+  // the model-theoretic definition: P ⊢ Q iff every assignment of extended
+  // classes to {v0, local, global} satisfying P satisfies Q.
+  auto diamond = HasseLattice::Diamond();
+  ExtendedLattice ext(*diamond);
+  std::vector<ClassId> elements = AllElements(ext);
+
+  // Enumerate a family of assertions: all single-term bounds.
+  std::vector<FlowAssertion> assertions;
+  for (ClassId bound : elements) {
+    assertions.push_back(FlowAssertion().WithAtom(ClassExpr::VarClass(0), bound, ext));
+    assertions.push_back(FlowAssertion().WithLocalBound(bound, ext));
+    assertions.push_back(
+        FlowAssertion().WithAtom(ClassExpr::VarClass(0).Join(ClassExpr::Local(), ext), bound,
+                                 ext));
+  }
+
+  auto satisfies = [&](ClassId v0, ClassId local, ClassId global, const FlowAssertion& a) {
+    if (a.is_false()) {
+      return false;
+    }
+    return ext.Leq(v0, a.BoundOf(TermRef::Var(0), ext)) &&
+           ext.Leq(local, a.BoundOf(TermRef::Local(), ext)) &&
+           ext.Leq(global, a.BoundOf(TermRef::Global(), ext));
+  };
+
+  for (const FlowAssertion& p : assertions) {
+    for (const FlowAssertion& q : assertions) {
+      bool semantic = true;
+      for (ClassId v0 : elements) {
+        for (ClassId local : elements) {
+          for (ClassId global : elements) {
+            if (satisfies(v0, local, global, p) && !satisfies(v0, local, global, q)) {
+              semantic = false;
+              break;
+            }
+          }
+        }
+      }
+      EXPECT_EQ(p.Entails(q, ext), semantic)
+          << "P and Q disagree with the model-theoretic entailment";
+    }
+  }
+}
+
+TEST_F(AssertionTest, ToStringMentionsBounds) {
+  Program program = MustParse("var h, l : integer; l := h");
+  FlowAssertion p = FlowAssertion()
+                        .WithAtom(ClassExpr::VarClass(Sym(program, "l")), low_, ext_)
+                        .WithLocalBound(low_, ext_);
+  std::string text = p.ToString(program.symbols(), ext_);
+  EXPECT_NE(text.find("class(l) <= low"), std::string::npos) << text;
+  EXPECT_NE(text.find("local <= low"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cfm

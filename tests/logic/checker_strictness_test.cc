@@ -1,0 +1,145 @@
+// Checker strictness: structurally plausible but rule-violating proof
+// mutations (swapped premises, dropped premises, mismatched components) must
+// all be rejected. These guard against the checker degenerating into a
+// shape-blind acceptor, which would hollow out the Theorem 1/2 tests.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+struct Built {
+  Program program;
+  StaticBinding binding;
+  Proof proof;
+};
+
+Built BuildFor(const char* source,
+               std::initializer_list<std::pair<const char*, const char*>> classes) {
+  Program program = MustParse(source);
+  static TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, classes);
+  auto proof = BuildTheorem1Proof(program, binding);
+  EXPECT_TRUE(proof.ok()) << proof.error();
+  return Built{std::move(program), std::move(binding), std::move(proof.value())};
+}
+
+TEST(CheckerStrictnessTest, SwappedAlternationPremisesRejected) {
+  Built built = BuildFor("var h : integer; if h = 0 then h := 1 else h := 2", {{"h", "high"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  ASSERT_FALSE(checker.Check(*built.proof.root).has_value());
+  std::swap(built.proof.root->premises[0], built.proof.root->premises[1]);
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("then-branch"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, SwappedCompositionPremisesRejected) {
+  Built built =
+      BuildFor("var a, b : integer; begin a := 1; b := 2 end", {{"a", "low"}, {"b", "low"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  std::swap(built.proof.root->premises[0], built.proof.root->premises[1]);
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("order"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, DroppedCompositionPremiseRejected) {
+  Built built =
+      BuildFor("var a, b : integer; begin a := 1; b := 2 end", {{"a", "low"}, {"b", "low"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  built.proof.root->premises.pop_back();
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("premise count"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, DroppedCobeginPremiseRejected) {
+  Built built = BuildFor("var a, b : integer; cobegin a := 1 || b := 2 coend",
+                         {{"a", "low"}, {"b", "low"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  built.proof.root->premises.pop_back();
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("process count"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, IterationConclusionLocalDriftRejected) {
+  Built built = BuildFor("var h : integer; while h # 0 do h := h - 1", {{"h", "high"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  // The builder wraps iteration in a consequence; reach the iteration node
+  // and strengthen its post local bound so pre-L != post-L.
+  ProofNode* iteration = built.proof.root->premises.front().get();
+  ASSERT_EQ(iteration->rule, RuleKind::kIteration);
+  iteration->post = iteration->post.Conjoin(
+      FlowAssertion().WithLocalBound(ExtendedLattice::kNil, built.binding.extended()),
+      built.binding.extended());
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(CheckerStrictnessTest, AxiomWithPremisesRejected) {
+  Built built = BuildFor("var a : integer; a := 1", {{"a", "low"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  // Attach a bogus premise to the inner axiom.
+  ProofNode* axiom = built.proof.root->premises.front().get();
+  ASSERT_EQ(axiom->rule, RuleKind::kAssignAxiom);
+  axiom->premises.push_back(
+      MakeProofNode(RuleKind::kSkipAxiom, nullptr, FlowAssertion(), FlowAssertion()));
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("no premises"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, RuleAppliedToWrongStatementKindRejected) {
+  Built built = BuildFor("var a : integer; begin a := 1 end", {{"a", "low"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  // Rebrand the composition node as an alternation.
+  built.proof.root->rule = RuleKind::kAlternation;
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("non-if"), std::string::npos) << error->reason;
+}
+
+TEST(CheckerStrictnessTest, CobeginComponentGlobalDriftRejected) {
+  Built built = BuildFor(
+      "var a : integer; s : semaphore initially(0); cobegin wait(s) || a := 1 coend",
+      {{"a", "high"}, {"s", "high"}});
+  ProofChecker checker(built.binding.extended(), built.program.symbols());
+  ASSERT_FALSE(checker.Check(*built.proof.root).has_value());
+  // Tighten one component's pre global bound below the conclusion's.
+  ProofNode* component = built.proof.root->premises[1].get();
+  component->pre = component->pre.Conjoin(
+      FlowAssertion().WithGlobalBound(ExtendedLattice::kNil, built.binding.extended()),
+      built.binding.extended());
+  auto error = checker.Check(*built.proof.root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(CheckerStrictnessTest, FalsePreconditionIsNotAFreePass) {
+  // {false} S {Q} is derivable via consequence only when the premise chain
+  // is still locally valid; a bare axiom claiming false->true must fail the
+  // substitution equivalence.
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  auto node = MakeProofNode(RuleKind::kAssignAxiom, &program.root(), FlowAssertion::False(),
+                            FlowAssertion::Policy(binding, program.symbols()));
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*node);
+  ASSERT_TRUE(error.has_value());
+}
+
+}  // namespace
+}  // namespace cfm

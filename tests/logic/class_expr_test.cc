@@ -1,0 +1,89 @@
+// ClassExpr: normal form, joins, and ē construction for program expressions.
+
+#include "src/logic/class_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/two_point.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+class ClassExprTest : public ::testing::Test {
+ protected:
+  TwoPointLattice base_;
+  ExtendedLattice ext_{base_};
+};
+
+TEST_F(ClassExprTest, EmptyExprIsNil) {
+  ClassExpr e;
+  EXPECT_EQ(e.constant(), ExtendedLattice::kNil);
+  EXPECT_TRUE(e.vars().empty());
+  EXPECT_FALSE(e.has_local());
+  EXPECT_FALSE(e.has_global());
+}
+
+TEST_F(ClassExprTest, JoinFoldsConstants) {
+  ClassExpr low = ClassExpr::Constant(ext_.Low());
+  ClassExpr high = ClassExpr::Constant(ext_.Top());
+  ClassExpr joined = low.Join(high, ext_);
+  EXPECT_EQ(joined.constant(), ext_.Top());
+}
+
+TEST_F(ClassExprTest, JoinDedupesVars) {
+  ClassExpr a = ClassExpr::VarClass(3).Join(ClassExpr::VarClass(1), ext_);
+  ClassExpr b = ClassExpr::VarClass(1).Join(ClassExpr::VarClass(2), ext_);
+  ClassExpr joined = a.Join(b, ext_);
+  EXPECT_EQ(joined.vars(), (std::vector<SymbolId>{1, 2, 3}));
+}
+
+TEST_F(ClassExprTest, JoinIsCommutativeInNormalForm) {
+  ClassExpr a = ClassExpr::VarClass(5).Join(ClassExpr::Local(), ext_);
+  ClassExpr b = ClassExpr::Global().Join(ClassExpr::Constant(ext_.Low()), ext_);
+  EXPECT_EQ(a.Join(b, ext_), b.Join(a, ext_));
+}
+
+TEST_F(ClassExprTest, MentionsVar) {
+  ClassExpr e = ClassExpr::VarClass(4).Join(ClassExpr::VarClass(9), ext_);
+  EXPECT_TRUE(e.mentions_var(4));
+  EXPECT_TRUE(e.mentions_var(9));
+  EXPECT_FALSE(e.mentions_var(5));
+}
+
+TEST_F(ClassExprTest, ForProgramExprCollectsReads) {
+  Program program = MustParse("var a, b, c : integer; a := b + c * b");
+  ClassExpr e = ClassExpr::ForProgramExpr(program.root().As<AssignStmt>().value(), ext_);
+  EXPECT_EQ(e.constant(), ext_.Low());
+  EXPECT_EQ(e.vars(), (std::vector<SymbolId>{Sym(program, "b"), Sym(program, "c")}));
+}
+
+TEST_F(ClassExprTest, ForConstantExprIsLowNotNil) {
+  Program program = MustParse("var a : integer; a := 1 + 2");
+  ClassExpr e = ClassExpr::ForProgramExpr(program.root().As<AssignStmt>().value(), ext_);
+  EXPECT_EQ(e.constant(), ext_.Low());
+  EXPECT_TRUE(e.vars().empty());
+}
+
+TEST_F(ClassExprTest, ToStringReadable) {
+  Program program = MustParse("var a, b : integer; a := b");
+  ClassExpr e = ClassExpr::VarClass(Sym(program, "b"))
+                    .Join(ClassExpr::Local(), ext_)
+                    .Join(ClassExpr::Global(), ext_);
+  std::string text = e.ToString(program.symbols(), ext_);
+  EXPECT_NE(text.find("class(b)"), std::string::npos);
+  EXPECT_NE(text.find("local"), std::string::npos);
+  EXPECT_NE(text.find("global"), std::string::npos);
+}
+
+TEST_F(ClassExprTest, NilToString) {
+  ClassExpr e;
+  Program program = MustParse("skip");
+  EXPECT_EQ(e.ToString(program.symbols(), ext_), "nil");
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,257 @@
+// Theorem 1, mechanically: for every certified (program, binding) pair the
+// builder produces the completely invariant proof with the theorem's exact
+// endpoints, and the independent checker accepts it.
+
+#include "src/logic/proof_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_checker.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+// Builds, endpoint-checks and rule-checks the Theorem 1 proof.
+void ExpectTheorem1(const Program& program, const StaticBinding& binding,
+                    const Theorem1Options& options = {}) {
+  const ExtendedLattice& ext = binding.extended();
+  CertificationResult certification = CertifyCfm(program, binding);
+  ASSERT_TRUE(certification.certified())
+      << certification.Summary(program.symbols(), ext);
+  auto proof = BuildTheorem1ProofForStmt(program.root(), program.symbols(), binding,
+                                         certification, options);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+
+  ClassId l = options.l == ExtendedLattice::kNil ? ext.Low() : options.l;
+  ClassId g = options.g == ExtendedLattice::kNil ? ext.Low() : options.g;
+  ClassId flow = certification.facts(program.root()).flow;
+  ClassId g_out = flow == ExtendedLattice::kNil ? g : ext.Join(g, ext.Join(l, flow));
+
+  FlowAssertion policy = FlowAssertion::Policy(binding, program.symbols());
+  FlowAssertion pre = policy.WithLocalBound(l, ext).WithGlobalBound(g, ext);
+  FlowAssertion post = policy.WithLocalBound(l, ext).WithGlobalBound(g_out, ext);
+
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.CheckProves(*proof->root, program.root(), pre, post);
+  EXPECT_FALSE(error.has_value()) << error->reason << "\nproof:\n"
+                                  << PrintProof(*proof->root, program.symbols(), ext);
+
+  // Complete invariance (Definition 7): the pre-condition of every
+  // *statement* is {I, local ≤ l', global ≤ g'}. A statement's annotation is
+  // its outermost proof node; an axiom pre-image computed by substitution
+  // under a consequence step is internal bookkeeping, not an annotation.
+  std::function<void(const ProofNode&)> walk = [&](const ProofNode& node) {
+    EXPECT_TRUE(node.pre.VPart().EquivalentTo(policy, ext))
+        << "a statement's annotation strengthens or weakens the policy";
+    EXPECT_TRUE(node.post.VPart().EquivalentTo(policy, ext));
+    for (const auto& premise : node.premises) {
+      if (node.rule == RuleKind::kConsequence) {
+        // The premise proves the same statement; only recurse past it.
+        for (const auto& inner : premise->premises) {
+          walk(*inner);
+        }
+      } else {
+        walk(*premise);
+      }
+    }
+  };
+  walk(*proof->root);
+}
+
+TEST(Theorem1Test, Assignment) {
+  Program program = MustParse("var x, y : integer; x := y + 1");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"x", "high"}, {"y", "low"}}));
+}
+
+TEST(Theorem1Test, IfWithoutGlobalFlow) {
+  Program program = MustParse("var h, l : integer; if h = 0 then h := 1 else h := 2");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"h", "high"}, {"l", "low"}}));
+}
+
+TEST(Theorem1Test, IfWithFlowInOneBranch) {
+  Program program = MustParse(
+      "var c : integer; s : semaphore initially(0); if c = 0 then wait(s)");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"c", "low"}, {"s", "high"}}));
+}
+
+TEST(Theorem1Test, WhileLoop) {
+  Program program = MustParse("var h : integer; while h # 0 do h := h - 1");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"h", "high"}}));
+}
+
+TEST(Theorem1Test, NestedWhile) {
+  Program program = MustParse(
+      "var h, m : integer;\n"
+      "while h # 0 do while m # 0 do begin h := 1; m := 1 end");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"h", "high"}, {"m", "high"}}));
+}
+
+TEST(Theorem1Test, CompositionWithWait) {
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"sem", "high"}, {"y", "high"}}));
+}
+
+TEST(Theorem1Test, WhileWaitExample) {
+  Program program = MustParse(testing::kWhileWait);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {{"sem", "high"}, {"y", "high"}}));
+}
+
+TEST(Theorem1Test, Fig3AllHigh) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice,
+                               {{"x", "high"},
+                                {"y", "high"},
+                                {"m", "high"},
+                                {"modify", "high"},
+                                {"modified", "high"},
+                                {"read", "high"},
+                                {"done", "high"}}));
+}
+
+TEST(Theorem1Test, Fig3AllLow) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, Bind(program, lattice, {}));
+}
+
+TEST(Theorem1Test, CobeginSignalExample) {
+  Program program = MustParse(testing::kCobeginSignal);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program,
+                 Bind(program, lattice, {{"x", "high"}, {"y", "high"}, {"sem", "high"}}));
+}
+
+TEST(Theorem1Test, LoopGlobalExample) {
+  Program program = MustParse(testing::kLoopGlobal);
+  TwoPointLattice lattice;
+  ExpectTheorem1(program,
+                 Bind(program, lattice, {{"x", "high"}, {"y", "high"}, {"z", "high"}}));
+}
+
+TEST(Theorem1Test, DiamondLatticeIncomparableClasses) {
+  Program program = MustParse(
+      "var a, b, t : integer; s : semaphore initially(0);\n"
+      "begin t := a + b; wait(s); t := 0 end");
+  auto diamond = HasseLattice::Diamond();
+  ExpectTheorem1(program, Bind(program, *diamond,
+                               {{"a", "left"}, {"b", "right"}, {"t", "high"}, {"s", "low"}}));
+}
+
+TEST(Theorem1Test, NonDefaultLAndG) {
+  // Theorem 1 holds for any l, g with l ⊕ g ≤ mod(S).
+  Program program = MustParse("var h : integer; h := h + 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}});
+  Theorem1Options options;
+  options.l = binding.extended().Top();  // l = high ≤ mod = high.
+  options.g = binding.extended().Low();
+  ExpectTheorem1(program, binding, options);
+}
+
+TEST(Theorem1Test, HoldsForEveryAdmissibleLAndG) {
+  // The theorem's "for any l and g in C such that l + g <= mod(S)": sweep
+  // the full quantifier over the diamond lattice for several programs.
+  auto diamond = HasseLattice::Diamond();
+  const char* sources[] = {
+      "var a, b : integer; s : semaphore initially(0); begin a := b; wait(s); a := 0 end",
+      "var a : integer; while a # 0 do a := a - 1",
+      "var a, b : integer; cobegin a := 1 || b := a coend",
+  };
+  for (const char* source : sources) {
+    Program program = MustParse(source);
+    // Bind everything to top so mod(S) is maximal and every (l, g) pair is
+    // admissible; also try a mid-level binding where only some pairs are.
+    for (const char* level : {"high", "left"}) {
+      StaticBinding binding(*diamond, program.symbols());
+      for (const Symbol& symbol : program.symbols().symbols()) {
+        binding.Bind(symbol.id, *diamond->FindElement(level));
+      }
+      CertificationResult certification = CertifyCfm(program, binding);
+      ASSERT_TRUE(certification.certified()) << source;
+      const ExtendedLattice& ext = binding.extended();
+      ClassId mod = certification.facts(program.root()).mod;
+      for (ClassId l : AllElements(ext)) {
+        for (ClassId g : AllElements(ext)) {
+          bool admissible = ext.Leq(ext.Join(l, g), mod);
+          Theorem1Options options;
+          options.l = l;
+          options.g = g;
+          auto proof = BuildTheorem1ProofForStmt(program.root(), program.symbols(), binding,
+                                                 certification, options);
+          // Note: l = nil defaults to low in options, so skip the nil cells
+          // (they alias the low case).
+          if (l == ExtendedLattice::kNil || g == ExtendedLattice::kNil) {
+            continue;
+          }
+          ASSERT_EQ(proof.ok(), admissible)
+              << source << " l=" << ext.ElementName(l) << " g=" << ext.ElementName(g);
+          if (proof.ok()) {
+            ProofChecker checker(ext, program.symbols());
+            auto error = checker.Check(*proof.value().root);
+            EXPECT_FALSE(error.has_value())
+                << source << " l=" << ext.ElementName(l) << " g=" << ext.ElementName(g)
+                << ": " << error->reason;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Theorem1Test, RejectsLAndGAboveMod) {
+  Program program = MustParse("var l : integer; l := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"l", "low"}});
+  Theorem1Options options;
+  options.l = binding.extended().Top();  // high ≰ mod = low.
+  auto proof = BuildTheorem1Proof(program, binding, options);
+  ASSERT_FALSE(proof.ok());
+  EXPECT_NE(proof.error().find("l + g <= mod(S)"), std::string::npos);
+}
+
+TEST(Theorem1Test, RejectsUncertifiedProgram) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_FALSE(proof.ok());
+  EXPECT_NE(proof.error().find("rejects"), std::string::npos);
+}
+
+TEST(Theorem1Test, SkipAndEmptyBlock) {
+  Program program = MustParse("begin skip; begin end end");
+  TwoPointLattice lattice;
+  ExpectTheorem1(program, StaticBinding(lattice, program.symbols()));
+}
+
+TEST(Theorem1Test, PostGlobalBoundMatchesFlowExactly) {
+  // For a program with flow(S) = high and l = g = low, the post bound must
+  // be exactly low ⊕ low ⊕ high = high.
+  Program program = MustParse("var s : semaphore initially(0); wait(s)");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"s", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  const ExtendedLattice& ext = binding.extended();
+  EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), ext), ext.Top());
+  EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Global(), ext), ext.Low());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,259 @@
+// The independent proof checker: accepts hand-built valid derivations
+// (including Section 5.2's proof, which lies OUTSIDE the completely
+// invariant fragment and separates the flow logic from CFM), and rejects
+// tampered or interfering proofs with specific reasons.
+
+#include "src/logic/proof_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+class ProofCheckerTest : public ::testing::Test {
+ protected:
+  TwoPointLattice base_;
+};
+
+// --- Section 5.2: the separating example -----------------------------------
+
+TEST_F(ProofCheckerTest, Section52ManualProofIsAccepted) {
+  // begin x := 0; y := x end with sbind(x)=high, sbind(y)=low. CFM rejects
+  // it (tested in cfm_test.cc); the flow logic proves the policy holds by
+  // strengthening the intermediate assertion to class(x) <= low.
+  Program program = MustParse(testing::kSection52);
+  StaticBinding binding = Bind(program, base_, {{"x", "high"}, {"y", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  ASSERT_FALSE(CertifyCfm(program, binding).certified());
+
+  SymbolId x = Sym(program, "x");
+  SymbolId y = Sym(program, "y");
+  ClassId low = ext.Low();
+  const auto& block = program.root().As<BlockStmt>();
+  const Stmt* assign_x = block.statements()[0];
+  const Stmt* assign_y = block.statements()[1];
+
+  auto bound = [&](SymbolId v, ClassId c) {
+    return FlowAssertion().WithAtom(ClassExpr::VarClass(v), c, ext);
+  };
+  FlowAssertion lg = FlowAssertion().WithLocalBound(low, ext).WithGlobalBound(low, ext);
+
+  // P0 = {x <= high, y <= low, local <= low, global <= low}; the x-bound of
+  // high is trivial (== Top) and drops out.
+  FlowAssertion p0 = bound(y, low).Conjoin(lg, ext);
+  // P1 = {x <= low, y <= low, L, G} — STRONGER than the policy on x.
+  FlowAssertion p1 = bound(x, low).Conjoin(bound(y, low), ext).Conjoin(lg, ext);
+  // P2 = P1 (y := x preserves it).
+  FlowAssertion p2 = p1;
+
+  ClassExpr zero_repl = ClassExpr::Constant(low)
+                            .Join(ClassExpr::Local(), ext)
+                            .Join(ClassExpr::Global(), ext);
+  auto axiom1 = MakeProofNode(RuleKind::kAssignAxiom, assign_x,
+                              p1.Substitute({{TermRef::Var(x), zero_repl}}, ext), p1);
+  auto step1 = MakeProofNode(RuleKind::kConsequence, assign_x, p0, p1);
+  step1->premises.push_back(std::move(axiom1));
+
+  ClassExpr x_repl = ClassExpr::VarClass(x)
+                         .Join(ClassExpr::Local(), ext)
+                         .Join(ClassExpr::Global(), ext);
+  auto axiom2 = MakeProofNode(RuleKind::kAssignAxiom, assign_y,
+                              p2.Substitute({{TermRef::Var(y), x_repl}}, ext), p2);
+  auto step2 = MakeProofNode(RuleKind::kConsequence, assign_y, p1, p2);
+  step2->premises.push_back(std::move(axiom2));
+
+  auto composition = MakeProofNode(RuleKind::kComposition, &program.root(), p0, p2);
+  composition->premises.push_back(std::move(step1));
+  composition->premises.push_back(std::move(step2));
+
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*composition);
+  EXPECT_FALSE(error.has_value()) << error->reason;
+
+  // The endpooints entail the policy: the program is information-secure even
+  // though CFM cannot certify it.
+  FlowAssertion policy = FlowAssertion::Policy(binding, program.symbols());
+  EXPECT_TRUE(p0.Entails(policy, ext));
+  EXPECT_TRUE(p2.Entails(policy, ext));
+}
+
+// --- Rejection: tampered derivations ----------------------------------------
+
+TEST_F(ProofCheckerTest, RejectsWrongAssignmentPreimage) {
+  Program program = MustParse("var h, l : integer; l := h");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}, {"l", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  // Claim {l <= low} l := h {l <= low} — not the axiom's pre-image.
+  FlowAssertion claim =
+      FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "l")), ext.Low(), ext);
+  auto node = MakeProofNode(RuleKind::kAssignAxiom, &program.root(), claim, claim);
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*node);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("assignment axiom"), std::string::npos);
+}
+
+TEST_F(ProofCheckerTest, RejectsBogusConsequence) {
+  Program program = MustParse("var h, l : integer; h := 1");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}, {"l", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  FlowAssertion weak;  // true
+  FlowAssertion strong =
+      FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "h")), ext.Low(), ext);
+  // Weakest-to-strongest "consequence": invalid.
+  auto axiom = MakeProofNode(RuleKind::kSkipAxiom, nullptr, weak, weak);
+  auto node = MakeProofNode(RuleKind::kConsequence, nullptr, weak, strong);
+  node->premises.push_back(std::move(axiom));
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*node);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("consequence"), std::string::npos);
+}
+
+TEST_F(ProofCheckerTest, RejectsTamperedTheorem1Proof) {
+  Program program = MustParse(testing::kBeginWait);
+  StaticBinding binding = Bind(program, base_, {{"sem", "high"}, {"y", "high"}});
+  const ExtendedLattice& ext = binding.extended();
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  ProofChecker checker(ext, program.symbols());
+  ASSERT_FALSE(checker.Check(*proof->root).has_value());
+
+  // Tamper: claim the composition ends with global <= low although the wait
+  // raised it to high.
+  proof->root->post = proof->root->post.Conjoin(
+      FlowAssertion().WithGlobalBound(ext.Low(), ext), ext);
+  auto error = checker.Check(*proof->root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST_F(ProofCheckerTest, RejectsNonInvariantIterationBody) {
+  Program program = MustParse("var h : integer; while h # 0 do h := h - 1");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}});
+  const ExtendedLattice& ext = binding.extended();
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  // The builder wraps the iteration node in a consequence; reach in and
+  // break the body's invariance.
+  ProofNode* iteration = proof->root->premises.front().get();
+  ASSERT_EQ(iteration->rule, RuleKind::kIteration);
+  ProofNode* body = iteration->premises.front().get();
+  body->post = body->post.Conjoin(
+      FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "h")), ext.Low(), ext), ext);
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*proof->root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST_F(ProofCheckerTest, RejectsWrongStatementShape) {
+  Program program = MustParse("var s : semaphore initially(0); wait(s)");
+  StaticBinding binding = Bind(program, base_, {{"s", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  FlowAssertion p;
+  // signal axiom applied to a wait statement.
+  auto node = MakeProofNode(RuleKind::kSignalAxiom, &program.root(), p, p);
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*node);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("signal axiom"), std::string::npos);
+}
+
+// --- Interference freedom -----------------------------------------------------
+
+TEST_F(ProofCheckerTest, RejectsInterferingCobeginProof) {
+  // Process 2's proof assumes class(x) <= low, but process 1 assigns a high
+  // value into x: the component proofs are not interference-free.
+  Program program = MustParse(
+      "var h, x, y : integer; cobegin x := h || y := x coend");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}, {"x", "high"}, {"y", "high"}});
+  const ExtendedLattice& ext = binding.extended();
+  SymbolId h = Sym(program, "h");
+  SymbolId x = Sym(program, "x");
+  SymbolId y = Sym(program, "y");
+  ClassId low = ext.Low();
+  const auto& cobegin = program.root().As<CobeginStmt>();
+  const Stmt* p1_stmt = cobegin.processes()[0];
+  const Stmt* p2_stmt = cobegin.processes()[1];
+
+  FlowAssertion lg = FlowAssertion().WithLocalBound(low, ext).WithGlobalBound(low, ext);
+
+  // Process 1: {L, G} x := h {L, G} (no V constraints used).
+  ClassExpr h_repl = ClassExpr::VarClass(h)
+                         .Join(ClassExpr::Local(), ext)
+                         .Join(ClassExpr::Global(), ext);
+  auto p1 = MakeProofNode(RuleKind::kAssignAxiom, p1_stmt,
+                          lg.Substitute({{TermRef::Var(x), h_repl}}, ext), lg);
+
+  // Process 2: {x <= low, L, G} y := x {x <= low, y <= low, L, G}.
+  FlowAssertion p2_post = FlowAssertion()
+                              .WithAtom(ClassExpr::VarClass(x), low, ext)
+                              .WithAtom(ClassExpr::VarClass(y), low, ext)
+                              .Conjoin(lg, ext);
+  ClassExpr x_repl = ClassExpr::VarClass(x)
+                         .Join(ClassExpr::Local(), ext)
+                         .Join(ClassExpr::Global(), ext);
+  auto p2 = MakeProofNode(RuleKind::kAssignAxiom, p2_stmt,
+                          p2_post.Substitute({{TermRef::Var(y), x_repl}}, ext), p2_post);
+
+  FlowAssertion conclusion_pre = p1->pre.VPart().Conjoin(p2->pre.VPart(), ext).Conjoin(lg, ext);
+  FlowAssertion conclusion_post =
+      p1->post.VPart().Conjoin(p2->post.VPart(), ext).Conjoin(lg, ext);
+  auto node =
+      MakeProofNode(RuleKind::kCobegin, &program.root(), conclusion_pre, conclusion_post);
+  node->premises.push_back(std::move(p1));
+  node->premises.push_back(std::move(p2));
+
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*node);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("interference"), std::string::npos) << error->reason;
+}
+
+TEST_F(ProofCheckerTest, AcceptsNonInterferingCobeginProof) {
+  // Same shape, but process 2 claims nothing stronger than the policy, so
+  // process 1 cannot invalidate it.
+  Program program = MustParse(
+      "var h, x, y : integer; cobegin x := h || y := x coend");
+  StaticBinding binding = Bind(program, base_, {{"h", "high"}, {"x", "high"}, {"y", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  ProofChecker checker(binding.extended(), program.symbols());
+  auto error = checker.Check(*proof->root);
+  EXPECT_FALSE(error.has_value()) << error->reason;
+}
+
+// --- CheckProves endpoints ----------------------------------------------------
+
+TEST_F(ProofCheckerTest, CheckProvesValidatesEndpoints) {
+  Program program = MustParse("var l : integer; l := 1");
+  StaticBinding binding = Bind(program, base_, {{"l", "low"}});
+  const ExtendedLattice& ext = binding.extended();
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  ProofChecker checker(ext, program.symbols());
+  FlowAssertion wrong = FlowAssertion().WithLocalBound(ext.Top(), ext);
+  auto error = checker.CheckProves(*proof->root, program.root(), wrong, proof->root->post);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->reason.find("pre-condition"), std::string::npos);
+}
+
+TEST_F(ProofCheckerTest, ProofSizeCountsNodes) {
+  Program program = MustParse(testing::kBeginWait);
+  StaticBinding binding = Bind(program, base_, {{"sem", "high"}, {"y", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_GE(proof->root->Size(), 5u);
+}
+
+}  // namespace
+}  // namespace cfm

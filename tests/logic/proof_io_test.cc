@@ -1,0 +1,194 @@
+// Proof serialization: round-trip fidelity (reparsed proofs are accepted by
+// the checker and carry equivalent assertions), cross-lattice spelling
+// (product/powerset class names), and rejection of malformed or tampered
+// proof files. Plus the proof-query API (FindProofNodeFor).
+
+#include "src/logic/proof_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+void ExpectRoundTrip(const Program& program, const StaticBinding& binding) {
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  const ExtendedLattice& ext = binding.extended();
+
+  std::string text = SerializeProof(*proof->root, program, ext);
+  auto reparsed = ParseProof(text, program, ext);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error() << "\n" << text;
+
+  // Same endpoints, same shape, and the checker accepts the reparsed proof.
+  EXPECT_TRUE(reparsed->root->pre.EquivalentTo(proof->root->pre, ext));
+  EXPECT_TRUE(reparsed->root->post.EquivalentTo(proof->root->post, ext));
+  EXPECT_EQ(reparsed->root->Size(), proof->root->Size());
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*reparsed->root);
+  EXPECT_FALSE(error.has_value()) << error->reason;
+
+  // Serialization is deterministic (stable format).
+  EXPECT_EQ(SerializeProof(*reparsed->root, program, ext), text);
+}
+
+TEST(ProofIoTest, RoundTripPaperPrograms) {
+  TwoPointLattice lattice;
+  {
+    Program program = MustParse(testing::kBeginWait);
+    ExpectRoundTrip(program, Bind(program, lattice, {{"sem", "high"}, {"y", "high"}}));
+  }
+  {
+    Program program = MustParse(testing::kWhileWait);
+    ExpectRoundTrip(program, Bind(program, lattice, {{"sem", "high"}, {"y", "high"}}));
+  }
+  {
+    Program program = MustParse(testing::kFig3);
+    ExpectRoundTrip(program, Bind(program, lattice, {{"x", "high"}, {"y", "high"},
+                                                     {"m", "high"}, {"modify", "high"},
+                                                     {"modified", "high"}, {"read", "high"},
+                                                     {"done", "high"}}));
+  }
+}
+
+TEST(ProofIoTest, RoundTripMilitaryLatticeSpellings) {
+  // Class names with spaces, commas, parens and braces survive the format.
+  ChainLattice levels({"unclassified", "secret"});
+  PowersetLattice compartments({"nato", "crypto"});
+  ProductLattice military(levels, compartments);
+  Program program = MustParse(
+      "var a, b : integer; s : semaphore initially(0);\n"
+      "begin a := b; wait(s); a := 0 end");
+  StaticBinding binding(military, program.symbols());
+  ClassId s_nato = military.Pack(1, 0b01);
+  binding.Bind(Sym(program, "a"), military.Top());
+  binding.Bind(Sym(program, "b"), s_nato);
+  binding.Bind(Sym(program, "s"), s_nato);
+  ExpectRoundTrip(program, binding);
+}
+
+TEST(ProofIoTest, SerializedFormLooksAsDocumented) {
+  Program program = MustParse("var l : integer; l := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"l", "low"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  std::string text = SerializeProof(*proof->root, program, binding.extended());
+  EXPECT_NE(text.find("cfmproof 1"), std::string::npos);
+  EXPECT_NE(text.find("node consequence 0"), std::string::npos);
+  EXPECT_NE(text.find("node assign_axiom 0"), std::string::npos);
+  EXPECT_NE(text.find("var l low"), std::string::npos);
+  EXPECT_NE(text.find("premises 1"), std::string::npos);
+}
+
+TEST(ProofIoTest, RejectsMissingHeader) {
+  Program program = MustParse("var l : integer; l := 1");
+  TwoPointLattice lattice;
+  ExtendedLattice ext(lattice);
+  auto result = ParseProof("node skip_axiom -\npre true\npost true\npremises 0\n", program, ext);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("header"), std::string::npos);
+}
+
+TEST(ProofIoTest, RejectsUnknownRuleVariableClassAndIndex) {
+  Program program = MustParse("var l : integer; l := 1");
+  TwoPointLattice lattice;
+  ExtendedLattice ext(lattice);
+  auto bad_rule = ParseProof(
+      "cfmproof 1\nnode quantum_axiom 0\npre true\npost true\npremises 0\n", program, ext);
+  EXPECT_FALSE(bad_rule.ok());
+  auto bad_var = ParseProof(
+      "cfmproof 1\nnode skip_axiom -\npre var ghost low\npost true\npremises 0\n", program, ext);
+  EXPECT_FALSE(bad_var.ok());
+  auto bad_class = ParseProof(
+      "cfmproof 1\nnode skip_axiom -\npre var l purple\npost true\npremises 0\n", program, ext);
+  EXPECT_FALSE(bad_class.ok());
+  auto bad_index = ParseProof(
+      "cfmproof 1\nnode skip_axiom 99\npre true\npost true\npremises 0\n", program, ext);
+  EXPECT_FALSE(bad_index.ok());
+}
+
+TEST(ProofIoTest, RejectsTruncatedAndTrailingContent) {
+  Program program = MustParse("var l : integer; l := 1");
+  TwoPointLattice lattice;
+  ExtendedLattice ext(lattice);
+  auto truncated =
+      ParseProof("cfmproof 1\nnode skip_axiom -\npre true\npost true\npremises 2\n"
+                 "node skip_axiom -\npre true\npost true\npremises 0\n",
+                 program, ext);
+  EXPECT_FALSE(truncated.ok());
+  auto trailing =
+      ParseProof("cfmproof 1\nnode skip_axiom -\npre true\npost true\npremises 0\njunk\n",
+                 program, ext);
+  EXPECT_FALSE(trailing.ok());
+}
+
+TEST(ProofIoTest, TamperedProofParsesButFailsTheChecker) {
+  // A forged claim survives parsing (the format is just syntax) but the
+  // independent checker rejects it — the PCC trust story.
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  ExtendedLattice ext(lattice);
+  std::string forged =
+      "cfmproof 1\n"
+      "node assign_axiom 0\n"
+      "pre var l low\n"
+      "post var l low\n"
+      "premises 0\n";
+  auto proof = ParseProof(forged, program, ext);
+  ASSERT_TRUE(proof.ok()) << proof.error();
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*proof->root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(StmtIndexTest, PreOrderStable) {
+  Program program = MustParse(testing::kBeginWait);
+  StmtIndex index(program.root());
+  ASSERT_EQ(index.size(), 3u);  // block, wait, assign.
+  EXPECT_EQ(index.StmtAt(0), &program.root());
+  EXPECT_EQ(*index.IndexOf(program.root().As<BlockStmt>().statements()[0]), 1u);
+  EXPECT_EQ(*index.IndexOf(program.root().As<BlockStmt>().statements()[1]), 2u);
+  EXPECT_EQ(index.StmtAt(3), nullptr);
+  EXPECT_FALSE(index.IndexOf(nullptr).has_value());
+}
+
+TEST(ProofQueryTest, FindProofNodeForReturnsAnnotations) {
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", "high"}, {"y", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  const ExtendedLattice& ext = binding.extended();
+
+  const Stmt* wait_stmt = program.root().As<BlockStmt>().statements()[0];
+  const Stmt* assign_stmt = program.root().As<BlockStmt>().statements()[1];
+  const ProofNode* wait_node = FindProofNodeFor(*proof->root, *wait_stmt);
+  const ProofNode* assign_node = FindProofNodeFor(*proof->root, *assign_stmt);
+  ASSERT_NE(wait_node, nullptr);
+  ASSERT_NE(assign_node, nullptr);
+  // After the wait, global has risen to high; the assignment inherits it.
+  EXPECT_EQ(wait_node->pre.BoundOf(TermRef::Global(), ext), ext.Low());
+  EXPECT_EQ(wait_node->post.BoundOf(TermRef::Global(), ext), ext.Top());
+  EXPECT_EQ(assign_node->pre.BoundOf(TermRef::Global(), ext), ext.Top());
+
+  // A statement outside the proof is not found.
+  Program other = MustParse("skip");
+  EXPECT_EQ(FindProofNodeFor(*proof->root, other.root()), nullptr);
+}
+
+}  // namespace
+}  // namespace cfm

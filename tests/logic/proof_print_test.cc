@@ -1,0 +1,79 @@
+// Proof rendering and miscellaneous proof-object behaviours not covered by
+// the rule-checking suites.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+TEST(ProofPrintTest, RendersRulesAndAssertions) {
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", "high"}, {"y", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  std::string text = PrintProof(*proof->root, program.symbols(), binding.extended());
+  EXPECT_NE(text.find("[composition]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[wait axiom]"), std::string::npos);
+  EXPECT_NE(text.find("[assignment axiom]"), std::string::npos);
+  EXPECT_NE(text.find("[consequence]"), std::string::npos);
+  EXPECT_NE(text.find("pre:"), std::string::npos);
+  EXPECT_NE(text.find("global <= low"), std::string::npos);
+  // After the wait, global's bound is high == Top, which normalizes away —
+  // the post shows no global atom at all.
+}
+
+TEST(ProofPrintTest, LongStatementsTruncatedInHeaders) {
+  Program program = MustParse(
+      "var a, b, c, d, e, f : integer;\n"
+      "a := b + c + d + e + f + b + c + d + e + f + b + c + d + e + f");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  std::string text = PrintProof(*proof->root, program.symbols(), binding.extended());
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(ProofPrintTest, SizeCountsAllNodes) {
+  Program program = MustParse("var a : integer; begin a := 1; a := 2 end");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  // composition + 2 x (consequence + axiom) = 5.
+  EXPECT_EQ(proof->root->Size(), 5u);
+}
+
+TEST(ProofPrintTest, EffectiveStmtLooksThroughConsequences) {
+  Program program = MustParse("var a : integer; a := 1");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  ASSERT_EQ(proof->root->rule, RuleKind::kConsequence);
+  EXPECT_EQ(EffectiveProofStmt(*proof->root), &program.root());
+}
+
+TEST(ProofPrintTest, ForEachProofNodeVisitsEverything) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  uint64_t visited = 0;
+  ForEachProofNode(*proof->root, [&visited](const ProofNode&) { ++visited; });
+  EXPECT_EQ(visited, proof->root->Size());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,119 @@
+// Theorem 2 (relative strength): a completely invariant proof exists only if
+// CFM certifies. Tested mechanically via the canonical candidate proof:
+// the checker accepts the candidate iff cert(S) — brute-forced over every
+// two-point binding of a family of small programs, and spot-checked on the
+// Section 5.2 separating example.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+// For every assignment of {low, high} to the program's variables: the
+// canonical completely invariant candidate is checker-valid iff cert(S).
+void ExpectEquivalenceOverAllBindings(const char* source) {
+  Program program = MustParse(source);
+  TwoPointLattice lattice;
+  const uint32_t n = static_cast<uint32_t>(program.symbols().size());
+  ASSERT_LE(n, 12u) << "too many variables to brute-force";
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    StaticBinding binding(lattice, program.symbols());
+    for (uint32_t i = 0; i < n; ++i) {
+      binding.Bind(i, (mask >> i) & 1);
+    }
+    CertificationResult certification = CertifyCfm(program, binding);
+    Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
+                                              certification);
+    ProofChecker checker(binding.extended(), program.symbols());
+    auto error = checker.Check(*candidate.root);
+    EXPECT_EQ(!error.has_value(), certification.certified())
+        << source << "\nmask " << mask << "\n"
+        << (error ? error->reason : "checker accepted")
+        << "\n"
+        << certification.Summary(program.symbols(), binding.extended());
+  }
+}
+
+TEST(Theorem2Test, AssignmentChain) {
+  ExpectEquivalenceOverAllBindings("var a, b, c : integer; begin b := a; c := b end");
+}
+
+TEST(Theorem2Test, Alternation) {
+  ExpectEquivalenceOverAllBindings(
+      "var c, a, b : integer; if c = 0 then a := 1 else b := 2");
+}
+
+TEST(Theorem2Test, Iteration) {
+  ExpectEquivalenceOverAllBindings("var c, a : integer; while c # 0 do a := a + 1");
+}
+
+TEST(Theorem2Test, CompositionAfterWait) {
+  ExpectEquivalenceOverAllBindings(
+      "var y : integer; s : semaphore initially(0); begin wait(s); y := 1 end");
+}
+
+TEST(Theorem2Test, WhileWithWaitInBody) {
+  ExpectEquivalenceOverAllBindings(
+      "var y : integer; s : semaphore initially(0);\n"
+      "while true do begin y := y + 1; wait(s) end");
+}
+
+TEST(Theorem2Test, CobeginMix) {
+  ExpectEquivalenceOverAllBindings(
+      "var h, l : integer; s : semaphore initially(0);\n"
+      "cobegin begin wait(s); l := 1 end || if h = 0 then signal(s) coend");
+}
+
+TEST(Theorem2Test, NestedStructure) {
+  ExpectEquivalenceOverAllBindings(
+      "var a, b : integer; s : semaphore initially(0);\n"
+      "begin if a = 0 then while b # 0 do b := b - 1; wait(s); a := 2 end");
+}
+
+TEST(Theorem2Test, Section52CandidateFails) {
+  // CFM rejects Section 5.2's program; therefore no completely invariant
+  // proof exists and the canonical candidate must fail — even though a
+  // NON-invariant proof exists (proof_checker_test.cc builds it).
+  Program program = MustParse(testing::kSection52);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", "high"}, {"y", "low"}});
+  CertificationResult certification = CertifyCfm(program, binding);
+  ASSERT_FALSE(certification.certified());
+  Proof candidate =
+      BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
+  ProofChecker checker(binding.extended(), program.symbols());
+  auto error = checker.Check(*candidate.root);
+  ASSERT_TRUE(error.has_value());
+}
+
+TEST(Theorem2Test, Fig3LeakyBindingCandidateFails) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice,
+                               {{"x", "high"},
+                                {"y", "low"},
+                                {"m", "low"},
+                                {"modify", "low"},
+                                {"modified", "low"},
+                                {"read", "low"},
+                                {"done", "low"}});
+  CertificationResult certification = CertifyCfm(program, binding);
+  ASSERT_FALSE(certification.certified());
+  Proof candidate =
+      BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
+  ProofChecker checker(binding.extended(), program.symbols());
+  EXPECT_TRUE(checker.Check(*candidate.root).has_value());
+}
+
+}  // namespace
+}  // namespace cfm

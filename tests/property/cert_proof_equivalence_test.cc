@@ -1,0 +1,166 @@
+// The paper's central result, as a randomized property: over generated
+// programs and bindings across several lattices,
+//
+//   CFM certifies (program, sbind)
+//     ⟺  the canonical completely invariant proof candidate passes the
+//         independent checker                      (Theorems 1 and 2)
+//
+// plus structural invariants of mod/flow (Definition 5).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/gen/program_gen.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+
+namespace cfm {
+namespace {
+
+struct LatticeCase {
+  const char* name;
+  std::function<std::unique_ptr<Lattice>()> make;
+};
+
+class CertProofEquivalenceTest : public ::testing::TestWithParam<LatticeCase> {};
+
+TEST_P(CertProofEquivalenceTest, CertIffCandidateChecks) {
+  auto lattice = GetParam().make();
+  uint32_t certified_count = 0;
+  uint32_t rejected_count = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 18;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed * 977);
+    for (BindingStyle style :
+         {BindingStyle::kRandom, BindingStyle::kUniform, BindingStyle::kTopHeavy}) {
+      StaticBinding binding = GenerateBinding(program, *lattice, style, rng);
+      CertificationResult certification = CertifyCfm(program, binding);
+      Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
+                                                certification);
+      ProofChecker checker(binding.extended(), program.symbols());
+      auto error = checker.Check(*candidate.root);
+      EXPECT_EQ(!error.has_value(), certification.certified())
+          << "seed " << seed << " lattice " << GetParam().name << "\n"
+          << (error ? error->reason : "checker accepted an uncertified program's candidate");
+      if (certification.certified()) {
+        ++certified_count;
+      } else {
+        ++rejected_count;
+      }
+    }
+  }
+  // The sweep must actually exercise both sides of the equivalence.
+  EXPECT_GT(certified_count, 10u) << GetParam().name;
+  EXPECT_GT(rejected_count, 10u) << GetParam().name;
+}
+
+TEST_P(CertProofEquivalenceTest, Theorem1EndpointsExact) {
+  auto lattice = GetParam().make();
+  for (uint64_t seed = 101; seed <= 130; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 14;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed);
+    StaticBinding binding = GenerateBinding(program, *lattice, BindingStyle::kLeast, rng);
+    CertificationResult certification = CertifyCfm(program, binding);
+    ASSERT_TRUE(certification.certified()) << "least binding must certify (seed " << seed << ")";
+    auto proof = BuildTheorem1ProofForStmt(program.root(), program.symbols(), binding,
+                                           certification);
+    ASSERT_TRUE(proof.ok()) << proof.error();
+    const ExtendedLattice& ext = binding.extended();
+    ClassId l = ext.Low();
+    ClassId g = ext.Low();
+    ClassId flow = certification.facts(program.root()).flow;
+    ClassId g_out = flow == ExtendedLattice::kNil ? g : ext.Join(g, ext.Join(l, flow));
+    EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Global(), ext), g);
+    EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), ext), g_out);
+    EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Local(), ext), l);
+    EXPECT_EQ(proof->root->post.BoundOf(TermRef::Local(), ext), l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, CertProofEquivalenceTest,
+    ::testing::Values(
+        LatticeCase{"two_point", [] { return std::make_unique<TwoPointLattice>(); }},
+        LatticeCase{"chain3",
+                    [] { return std::make_unique<ChainLattice>(ChainLattice::WithLevels(3)); }},
+        LatticeCase{"diamond", [] { return HasseLattice::Diamond(); }},
+        LatticeCase{"powerset2",
+                    [] { return std::make_unique<PowersetLattice>(PowersetLattice({"a", "b"})); }}),
+    [](const ::testing::TestParamInfo<LatticeCase>& param_info) { return param_info.param.name; });
+
+// --- Definition 5 structural invariants ------------------------------------
+
+TEST(ModFlowInvariantsTest, FlowIsNilIffNoWaitOrWhile) {
+  TwoPointLattice lattice;
+  for (uint64_t seed = 1; seed <= 80; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 16;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed);
+    StaticBinding binding = GenerateBinding(program, lattice, BindingStyle::kRandom, rng);
+    CertificationResult certification = CertifyCfm(program, binding);
+    bool has_global_construct = false;
+    ForEachStmt(program.root(), [&](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kWait || stmt.kind() == StmtKind::kWhile) {
+        has_global_construct = true;
+      }
+    });
+    EXPECT_EQ(certification.facts(program.root()).flow != ExtendedLattice::kNil,
+              has_global_construct)
+        << "seed " << seed;
+  }
+}
+
+TEST(ModFlowInvariantsTest, ModIsMeetOfModifiedBindings) {
+  TwoPointLattice lattice;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 12;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed ^ 0xbeef);
+    StaticBinding binding = GenerateBinding(program, lattice, BindingStyle::kRandom, rng);
+    CertificationResult certification = CertifyCfm(program, binding);
+    std::vector<SymbolId> modified;
+    CollectModified(program.root(), modified);
+    const ExtendedLattice& ext = binding.extended();
+    ClassId expected = ext.Top();
+    for (SymbolId symbol : modified) {
+      expected = ext.Meet(expected, binding.ExtendedBinding(symbol));
+    }
+    EXPECT_EQ(certification.facts(program.root()).mod, expected) << "seed " << seed;
+  }
+}
+
+TEST(ModFlowInvariantsTest, UniformBindingAlwaysCertifies) {
+  // Every check in Figure 2 is of the form join(bindings) <= meet(bindings);
+  // with all variables bound to one class both sides coincide.
+  TwoPointLattice two;
+  ChainLattice chain = ChainLattice::WithLevels(5);
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 20;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed);
+    for (const Lattice* lattice : {static_cast<const Lattice*>(&two),
+                                   static_cast<const Lattice*>(&chain)}) {
+      StaticBinding binding = GenerateBinding(program, *lattice, BindingStyle::kUniform, rng);
+      EXPECT_TRUE(CertifyCfm(program, binding).certified()) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,141 @@
+// The program generator: determinism, size control, well-formedness (every
+// generated program survives the printer → parser round-trip), and
+// termination of executable-mode programs.
+
+#include "src/gen/program_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lattice/two_point.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/interpreter.h"
+
+namespace cfm {
+namespace {
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GenOptions gen;
+  gen.seed = 1234;
+  Program a = GenerateProgram(gen);
+  Program b = GenerateProgram(gen);
+  EXPECT_TRUE(StructurallyEqual(a.root(), b.root()));
+  EXPECT_EQ(a.symbols().size(), b.symbols().size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GenOptions gen;
+  gen.seed = 1;
+  Program a = GenerateProgram(gen);
+  gen.seed = 2;
+  Program b = GenerateProgram(gen);
+  EXPECT_FALSE(StructurallyEqual(a.root(), b.root()));
+}
+
+TEST(GeneratorTest, SizeScalesWithTarget) {
+  GenOptions small;
+  small.seed = 9;
+  small.target_stmts = 10;
+  GenOptions large = small;
+  large.target_stmts = 400;
+  uint64_t small_nodes = CountNodes(GenerateProgram(small).root());
+  uint64_t large_nodes = CountNodes(GenerateProgram(large).root());
+  EXPECT_GT(large_nodes, small_nodes * 4);
+}
+
+TEST(GeneratorTest, GeneratedProgramsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 25;
+    Program program = GenerateProgram(gen);
+    std::string printed = PrintProgram(program);
+    SourceManager sm("<gen>", printed);
+    DiagnosticEngine diags;
+    auto reparsed = ParseProgram(sm, diags);
+    ASSERT_TRUE(reparsed.has_value())
+        << "seed " << seed << ":\n" << printed << diags.RenderAll(sm);
+    EXPECT_TRUE(EquivalentModuloBlocks(program.root(), reparsed->root())) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, ExecutableModeTerminatesOrBlocks) {
+  // Bounded loops: every run ends by completing or deadlocking on a
+  // semaphore, never by spinning to the step limit.
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 20;
+    gen.executable = true;
+    Program program = GenerateProgram(gen);
+    CompiledProgram code = Compile(program);
+    Interpreter interpreter(code, program.symbols());
+    RunOptions options;
+    options.step_limit = 2'000'000;
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, options);
+    EXPECT_NE(result.status, RunStatus::kStepLimit) << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, RespectsFeatureToggles) {
+  GenOptions gen;
+  gen.seed = 77;
+  gen.target_stmts = 60;
+  gen.allow_cobegin = false;
+  gen.allow_semaphores = false;
+  gen.allow_while = false;
+  Program program = GenerateProgram(gen);
+  ForEachStmt(program.root(), [](const Stmt& stmt) {
+    EXPECT_NE(stmt.kind(), StmtKind::kCobegin);
+    EXPECT_NE(stmt.kind(), StmtKind::kWait);
+    EXPECT_NE(stmt.kind(), StmtKind::kSignal);
+    EXPECT_NE(stmt.kind(), StmtKind::kWhile);
+  });
+}
+
+TEST(GeneratorTest, StructuralModeHasArbitraryLoops) {
+  uint32_t whiles = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 30;
+    gen.executable = false;
+    Program program = GenerateProgram(gen);
+    ForEachStmt(program.root(), [&whiles](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kWhile) {
+        ++whiles;
+      }
+    });
+  }
+  EXPECT_GT(whiles, 0u);
+}
+
+TEST(GeneratorTest, BindingStylesCoverLattice) {
+  GenOptions gen;
+  gen.seed = 5;
+  Program program = GenerateProgram(gen);
+  TwoPointLattice lattice;
+  Rng rng(42);
+  StaticBinding uniform = GenerateBinding(program, lattice, BindingStyle::kUniform, rng);
+  ClassId first = uniform.binding(0);
+  for (SymbolId id = 0; id < program.symbols().size(); ++id) {
+    EXPECT_EQ(uniform.binding(id), first);
+  }
+  // Random style hits both classes eventually.
+  bool low_seen = false;
+  bool high_seen = false;
+  for (int i = 0; i < 10; ++i) {
+    StaticBinding random = GenerateBinding(program, lattice, BindingStyle::kRandom, rng);
+    for (SymbolId id = 0; id < program.symbols().size(); ++id) {
+      low_seen = low_seen || random.binding(id) == TwoPointLattice::kLow;
+      high_seen = high_seen || random.binding(id) == TwoPointLattice::kHigh;
+    }
+  }
+  EXPECT_TRUE(low_seen);
+  EXPECT_TRUE(high_seen);
+}
+
+}  // namespace
+}  // namespace cfm

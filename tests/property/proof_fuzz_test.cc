@@ -1,0 +1,153 @@
+// Proof-file fuzzing: random byte mutations of serialized proofs must never
+// crash the parser, and whatever still parses must never smuggle an invalid
+// derivation past the checker (the checker re-validates everything, so a
+// mutated-but-accepted proof must still be internally valid — re-checking
+// its reserialization agrees).
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/gen/program_gen.h"
+#include "src/gen/rng.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/logic/proof_io.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+TEST(ProofFuzzTest, MutatedProofFilesNeverCrashAndNeverForge) {
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice,
+                               {{"x", "high"}, {"y", "high"}, {"m", "high"},
+                                {"modify", "high"}, {"modified", "high"},
+                                {"read", "high"}, {"done", "high"}});
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok());
+  const ExtendedLattice& ext = binding.extended();
+  std::string original = SerializeProof(*proof->root, program, ext);
+  ProofChecker checker(ext, program.symbols());
+
+  Rng rng(0xFACADE);
+  uint32_t parsed_count = 0;
+  uint32_t rejected_parse = 0;
+  uint32_t checker_accepted = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = original;
+    int edits = static_cast<int>(rng.Between(1, 4));
+    for (int e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(5)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Between(32, 126));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        case 2:
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+        case 3:
+          // Benign whitespace (the format tolerates it): keeps the parse-
+          // success rate up so the checker side gets exercised.
+          mutated.insert(pos, 1, ' ');
+          break;
+        default: {
+          // Swap two lines (structure-level mutation).
+          size_t a = mutated.find('\n', pos);
+          if (a != std::string::npos && a + 1 < mutated.size()) {
+            size_t b = mutated.find('\n', a + 1);
+            if (b != std::string::npos) {
+              std::string line = mutated.substr(a + 1, b - a - 1);
+              mutated.erase(a + 1, b - a);
+              mutated.insert(0, line + "\n");
+            }
+          }
+          break;
+        }
+      }
+    }
+    auto reparsed = ParseProof(mutated, program, ext);
+    if (!reparsed.ok()) {
+      ++rejected_parse;
+      continue;
+    }
+    ++parsed_count;
+    auto error = checker.Check(*reparsed->root);
+    if (!error.has_value()) {
+      ++checker_accepted;
+      // An accepted mutant must be a genuinely valid derivation: its
+      // reserialization round-trips and re-checks.
+      std::string reserialized = SerializeProof(*reparsed->root, program, ext);
+      auto again = ParseProof(reserialized, program, ext);
+      ASSERT_TRUE(again.ok()) << again.error();
+      EXPECT_FALSE(checker.Check(*again->root).has_value());
+      // And if it claims the policy endpoints, they must actually hold as
+      // flow assertions (entailment is semantic, not textual).
+      FlowAssertion policy = FlowAssertion::Policy(binding, program.symbols());
+      if (reparsed->root->pre.VPart().EquivalentTo(policy, ext)) {
+        EXPECT_TRUE(reparsed->root->post.VPart().Entails(policy, ext));
+      }
+    }
+  }
+  // The fuzzer must exercise both parse rejection and parse success.
+  EXPECT_GT(rejected_parse, 10u);
+  EXPECT_GT(parsed_count, 5u);
+  EXPECT_GT(checker_accepted, 0u);  // Pure-whitespace mutants must still check.
+}
+
+TEST(ProofFuzzTest, CrossProgramProofsRejectedOrRechecked) {
+  // A proof serialized against one program, parsed against another with the
+  // same variable names but different structure: either the statement
+  // indices fail, or the checker rejects the mismatched statements.
+  Program source_program = MustParse("var a, b : integer; begin a := 1; b := a end");
+  Program other_program = MustParse("var a, b : integer; begin b := a; a := 1 end");
+  TwoPointLattice lattice;
+  // A non-trivial policy (a bounded at low) so the two programs' proofs are
+  // genuinely different objects.
+  StaticBinding source_binding =
+      Bind(source_program, lattice, {{"a", "low"}, {"b", "high"}});
+  StaticBinding other_binding = Bind(other_program, lattice, {{"a", "low"}, {"b", "high"}});
+  auto proof = BuildTheorem1Proof(source_program, source_binding);
+  ASSERT_TRUE(proof.ok());
+  std::string text = SerializeProof(*proof->root, source_program, source_binding.extended());
+  auto transplanted = ParseProof(text, other_program, other_binding.extended());
+  if (transplanted.ok()) {
+    ProofChecker checker(other_binding.extended(), other_program.symbols());
+    auto error = checker.Check(*transplanted->root);
+    EXPECT_TRUE(error.has_value())
+        << "a proof for a different program must not validate unchanged";
+  }
+}
+
+TEST(ProofFuzzTest, GeneratedProofsAllRoundTrip) {
+  // Serialization round-trip across a generated corpus with channels.
+  TwoPointLattice lattice;
+  for (uint64_t seed = 1000; seed < 1030; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 15;
+    gen.allow_channels = true;
+    Program program = GenerateProgram(gen);
+    Rng rng(seed);
+    StaticBinding binding = GenerateBinding(program, lattice, BindingStyle::kLeast, rng);
+    auto proof = BuildTheorem1Proof(program, binding);
+    ASSERT_TRUE(proof.ok()) << proof.error();
+    const ExtendedLattice& ext = binding.extended();
+    std::string text = SerializeProof(*proof->root, program, ext);
+    auto reparsed = ParseProof(text, program, ext);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << reparsed.error();
+    ProofChecker checker(ext, program.symbols());
+    EXPECT_FALSE(checker.Check(*reparsed->root).has_value()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,138 @@
+// Exhaustive (all-schedules) noninterference verification: holds for
+// certified programs with the secret above the observables, fails with a
+// counterexample for every leaky paper program — and on small generated
+// programs the verdict is consistent with CFM's soundness direction.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/core/inference.h"
+#include "src/gen/program_gen.h"
+#include "src/lattice/two_point.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/noninterference.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+ExhaustiveNiResult Verify(const Program& program, const char* secret,
+                          std::initializer_list<const char*> observables,
+                          std::vector<int64_t> values = {0, 1}) {
+  CompiledProgram code = Compile(program);
+  ExhaustiveNiOptions options;
+  options.secret = Sym(program, secret);
+  for (const char* name : observables) {
+    options.observable.push_back(Sym(program, name));
+  }
+  options.secret_values = std::move(values);
+  return VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+}
+
+TEST(ExhaustiveNiTest, Fig3ChannelRefuted) {
+  Program program = MustParse(testing::kFig3);
+  ExhaustiveNiResult result = Verify(program, "x", {"y"});
+  EXPECT_FALSE(result.holds);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+TEST(ExhaustiveNiTest, Fig3HighObserverSeesNothing) {
+  // Observing only m (which ends at 1 regardless) shows no difference in
+  // VALUE, but the deadlock-free completion is identical too: NI holds for
+  // the m-only observer.
+  Program program = MustParse(testing::kFig3);
+  ExhaustiveNiResult result = Verify(program, "x", {"m"});
+  EXPECT_TRUE(result.holds) << result.counterexample;
+}
+
+TEST(ExhaustiveNiTest, CobeginSignalRefutedViaDeadlockStatus) {
+  // For x != 0 the second process deadlocks: the status difference is the
+  // observation (termination-sensitive NI).
+  Program program = MustParse(testing::kCobeginSignal);
+  ExhaustiveNiResult result = Verify(program, "x", {"y"});
+  EXPECT_FALSE(result.holds);
+}
+
+TEST(ExhaustiveNiTest, IndependentParallelComputationHolds) {
+  Program program = MustParse(
+      "var h, l : integer; cobegin h := h * 2 || l := 5 coend");
+  ExhaustiveNiResult result = Verify(program, "h", {"l"});
+  EXPECT_TRUE(result.holds) << result.counterexample;
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(ExhaustiveNiTest, RaceOutcomeSetsStillMatchAcrossSecrets) {
+  // The low result is racy (two outcomes) but the SET of outcomes is the
+  // same for both secret values — possibilistic NI holds.
+  Program program = MustParse(
+      "var h, l : integer;\n"
+      "begin cobegin l := 1 || l := 2 coend; h := h + 1 end");
+  ExhaustiveNiResult result = Verify(program, "h", {"l"});
+  EXPECT_TRUE(result.holds) << result.counterexample;
+}
+
+TEST(ExhaustiveNiTest, ImplicitFlowRefuted) {
+  Program program = MustParse("var h, l : integer; if h = 0 then l := 1 else l := 2");
+  ExhaustiveNiResult result = Verify(program, "h", {"l"});
+  EXPECT_FALSE(result.holds);
+}
+
+TEST(ExhaustiveNiTest, CertifiedSemaphoreFreeProgramsSatisfyNi) {
+  // Soundness cross-check at full schedule coverage: small generated
+  // semaphore-free programs whose inferred-least binding keeps the first
+  // integer variable's class incomparable-or-above the observables. We pick
+  // the stronger, simpler setup: secret bound to high while every observable
+  // stays at low under the LEAST binding — then varying the secret must not
+  // change any low-bound observable, under ANY schedule.
+  TwoPointLattice lattice;
+  uint32_t verified = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    GenOptions gen;
+    gen.seed = seed * 3 + 1;
+    gen.target_stmts = 8;
+    gen.allow_semaphores = false;
+    gen.max_processes = 2;
+    gen.executable = true;
+    gen.int_vars = 4;
+    Program program = GenerateProgram(gen);
+    SymbolId secret = 0;  // x0.
+    // Pin the secret high; infer the least binding for the rest.
+    InferenceResult inferred =
+        InferBinding(program, lattice, {{secret, TwoPointLattice::kHigh}});
+    if (!inferred.ok() || !CertifyCfm(program, inferred.binding).certified()) {
+      continue;
+    }
+    std::vector<SymbolId> low_observables;
+    for (const Symbol& symbol : program.symbols().symbols()) {
+      if (symbol.id != secret &&
+          inferred.binding.binding(symbol.id) == TwoPointLattice::kLow) {
+        low_observables.push_back(symbol.id);
+      }
+    }
+    if (low_observables.empty()) {
+      continue;
+    }
+    CompiledProgram code = Compile(program);
+    ExhaustiveNiOptions options;
+    options.secret = secret;
+    options.observable = low_observables;
+    options.secret_values = {0, 3};
+    ExhaustiveNiResult result =
+        VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+    if (result.truncated) {
+      continue;  // Too many interleavings to enumerate; skip.
+    }
+    EXPECT_TRUE(result.holds) << "seed " << seed << ": " << result.counterexample;
+    ++verified;
+  }
+  EXPECT_GT(verified, 8u) << "the sweep must verify a meaningful number of programs";
+}
+
+}  // namespace
+}  // namespace cfm

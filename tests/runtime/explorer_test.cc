@@ -1,0 +1,127 @@
+// Exhaustive schedule exploration: complete outcome enumeration on small
+// programs, including the paper's claims about Figure 3 (never deadlocks;
+// y's final value is schedule-independent and equals the zero-test of x).
+
+#include "src/runtime/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+TEST(ExplorerTest, SequentialProgramHasOneOutcome) {
+  Program program = MustParse("var x : integer; begin x := 1; x := x + 1 end");
+  CompiledProgram code = Compile(program);
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {});
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->first.values[Sym(program, "x")], 2);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(ExplorerTest, RacyWritesYieldBothOutcomes) {
+  Program program = MustParse("var x : integer; cobegin x := 1 || x := 2 coend");
+  CompiledProgram code = Compile(program);
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {});
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  std::vector<int64_t> seen;
+  for (const auto& [outcome, count] : result.outcomes) {
+    seen.push_back(outcome.values[Sym(program, "x")]);
+  }
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ExplorerTest, IncrementRaceIsAtomicPerAssignment) {
+  // Assignments are indivisible, so two increments always sum.
+  Program program = MustParse("var x : integer; cobegin x := x + 1 || x := x + 1 coend");
+  CompiledProgram code = Compile(program);
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {});
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->first.values[Sym(program, "x")], 2);
+}
+
+TEST(ExplorerTest, DeadlockOutcomeEnumerated) {
+  Program program = MustParse(
+      "var s, t : semaphore initially(0);\n"
+      "cobegin begin wait(s); signal(t) end || begin wait(t); signal(s) end coend");
+  CompiledProgram code = Compile(program);
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {});
+  EXPECT_TRUE(result.AnyDeadlock());
+}
+
+TEST(ExplorerTest, SemaphoreMutualExclusionHasBothOrders) {
+  Program program = MustParse(
+      "var a : integer; s : semaphore initially(1);\n"
+      "begin a := 1;\n"
+      "cobegin begin wait(s); a := a + 1; signal(s) end\n"
+      "|| begin wait(s); a := a * 2; signal(s) end coend end");
+  CompiledProgram code = Compile(program);
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {});
+  EXPECT_FALSE(result.AnyDeadlock());
+  std::set<int64_t> values;
+  for (const auto& [outcome, count] : result.outcomes) {
+    values.insert(outcome.values[Sym(program, "a")]);
+  }
+  EXPECT_EQ(values, (std::set<int64_t>{3, 4}));
+}
+
+TEST(ExplorerTest, Fig3NeverDeadlocksAndAlwaysTransmits) {
+  // The paper's claims, verified over EVERY schedule: no deadlock, the
+  // semaphores return to their initial values, and y = (x != 0) regardless
+  // of interleaving.
+  Program program = MustParse(testing::kFig3);
+  CompiledProgram code = Compile(program);
+  for (int64_t x : {0, 1, 9}) {
+    RunOptions options;
+    options.initial_values = {{Sym(program, "x"), x}};
+    ExploreResult result = ExploreAllSchedules(code, program.symbols(), options);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_FALSE(result.AnyDeadlock()) << "x = " << x;
+    ASSERT_EQ(result.outcomes.size(), 1u) << "x = " << x;
+    const TerminalOutcome& outcome = result.outcomes.begin()->first;
+    EXPECT_EQ(outcome.status, RunStatus::kCompleted);
+    EXPECT_EQ(outcome.values[Sym(program, "y")], x != 0 ? 1 : 0);
+    for (const char* sem : {"modify", "modified", "read", "done"}) {
+      EXPECT_EQ(outcome.values[Sym(program, sem)], 0) << sem;
+    }
+  }
+}
+
+TEST(ExplorerTest, CobeginSignalExampleOutcomes) {
+  // Section 2.2's example deadlocks iff x != 0 (the paper notes this flow
+  // arises from synchronization, with deadlock as one observable).
+  Program program = MustParse(testing::kCobeginSignal);
+  CompiledProgram code = Compile(program);
+  {
+    RunOptions options;
+    options.initial_values = {{Sym(program, "x"), 0}};
+    ExploreResult result = ExploreAllSchedules(code, program.symbols(), options);
+    EXPECT_FALSE(result.AnyDeadlock());
+  }
+  {
+    RunOptions options;
+    options.initial_values = {{Sym(program, "x"), 1}};
+    ExploreResult result = ExploreAllSchedules(code, program.symbols(), options);
+    EXPECT_TRUE(result.AnyDeadlock());
+  }
+}
+
+TEST(ExplorerTest, StateCapTruncates) {
+  Program program = MustParse(
+      "var a, b, c : integer;\n"
+      "cobegin begin a := 1; a := 2; a := 3 end || begin b := 1; b := 2 end\n"
+      "|| c := 1 coend");
+  CompiledProgram code = Compile(program);
+  ExploreOptions explore;
+  explore.max_states = 5;
+  ExploreResult result = ExploreAllSchedules(code, program.symbols(), {}, explore);
+  EXPECT_TRUE(result.truncated);
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,195 @@
+// Runtime stress: wide and deeply nested concurrency, semaphore rendezvous
+// patterns at scale, producer/consumer over channels, and scheduler fairness
+// observations.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/lattice/two_point.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/interpreter.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+TEST(StressTest, WideCobeginEightProcesses) {
+  std::ostringstream source;
+  source << "var total : integer; s : semaphore initially(1);\n";
+  for (int i = 0; i < 8; ++i) {
+    source << "var a" << i << " : integer;\n";
+  }
+  source << "cobegin\n";
+  for (int i = 0; i < 8; ++i) {
+    if (i > 0) {
+      source << "||\n";
+    }
+    // Mutual exclusion around the shared accumulator.
+    source << "begin a" << i << " := " << i + 1
+           << "; wait(s); total := total + a" << i << "; signal(s) end\n";
+  }
+  source << "coend";
+  Program program = MustParse(source.str());
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  for (uint64_t seed = 1; seed <= 24; ++seed) {
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, {});
+    ASSERT_EQ(result.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "total")], 36) << "seed " << seed;  // 1+..+8.
+    EXPECT_EQ(result.values[Sym(program, "s")], 1);
+  }
+}
+
+TEST(StressTest, TriplyNestedCobegin) {
+  Program program = MustParse(
+      "var a, b, c, d : integer;\n"
+      "cobegin\n"
+      "  cobegin\n"
+      "    cobegin a := 1 || b := 2 coend\n"
+      "  || c := 3\n"
+      "  coend\n"
+      "|| d := 4\n"
+      "coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, {});
+    ASSERT_EQ(result.status, RunStatus::kCompleted);
+    EXPECT_EQ(result.values[Sym(program, "a")], 1);
+    EXPECT_EQ(result.values[Sym(program, "b")], 2);
+    EXPECT_EQ(result.values[Sym(program, "c")], 3);
+    EXPECT_EQ(result.values[Sym(program, "d")], 4);
+  }
+}
+
+TEST(StressTest, ProducerConsumerOverChannel) {
+  // Producer sends squares; consumer sums them. 20 messages.
+  Program program = MustParse(
+      "var i, j, v, sum : integer; data : channel;\n"
+      "cobegin\n"
+      "  begin i := 1; while i <= 20 do begin send(data, i * i); i := i + 1 end end\n"
+      "||\n"
+      "  begin j := 1; while j <= 20 do begin receive(data, v); sum := sum + v;\n"
+      "    j := j + 1 end end\n"
+      "coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, {});
+    ASSERT_EQ(result.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "sum")], 2870);  // Σ i² for 1..20.
+    EXPECT_EQ(result.values[Sym(program, "data")], 0);
+  }
+}
+
+TEST(StressTest, SemaphoreBarrierPattern) {
+  // Two-phase barrier: both workers finish phase 1 before either starts
+  // phase 2; phase-2 reads must see both phase-1 writes.
+  Program program = MustParse(
+      "var a1, a2, r1, r2 : integer;\n"
+      "    arrived : semaphore initially(0); go1, go2 : semaphore initially(0);\n"
+      "cobegin\n"
+      "  begin a1 := 10; signal(arrived); wait(go1); r1 := a1 + a2 end\n"
+      "||\n"
+      "  begin a2 := 20; signal(arrived); wait(go2); r2 := a1 + a2 end\n"
+      "||\n"
+      "  begin wait(arrived); wait(arrived); signal(go1); signal(go2) end\n"
+      "coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    RandomScheduler scheduler(seed);
+    RunResult result = interpreter.Run(scheduler, {});
+    ASSERT_EQ(result.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "r1")], 30) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "r2")], 30) << "seed " << seed;
+  }
+}
+
+TEST(StressTest, ManyMessagesThroughOneChannel) {
+  // 3 senders x 30 messages, one receiver draining 90: totals must match
+  // regardless of interleaving (channel delivery is lossless).
+  Program program = MustParse(
+      "var i1, i2, i3, k, v, sum : integer; c : channel;\n"
+      "cobegin\n"
+      "  begin i1 := 0; while i1 < 30 do begin send(c, 1); i1 := i1 + 1 end end\n"
+      "||\n"
+      "  begin i2 := 0; while i2 < 30 do begin send(c, 2); i2 := i2 + 1 end end\n"
+      "||\n"
+      "  begin i3 := 0; while i3 < 30 do begin send(c, 3); i3 := i3 + 1 end end\n"
+      "||\n"
+      "  begin k := 0; while k < 90 do begin receive(c, v); sum := sum + v;\n"
+      "    k := k + 1 end end\n"
+      "coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomScheduler scheduler(seed);
+    RunOptions options;
+    options.step_limit = 500'000;
+    RunResult result = interpreter.Run(scheduler, options);
+    ASSERT_EQ(result.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_EQ(result.values[Sym(program, "sum")], 30 * (1 + 2 + 3));
+    EXPECT_EQ(result.values[Sym(program, "c")], 0);
+  }
+}
+
+TEST(StressTest, RoundRobinIsFairAcrossSpinningThreads) {
+  // Two independent counters; under round-robin both advance in lockstep,
+  // so neither finishes more than one loop iteration ahead.
+  Program program = MustParse(
+      "var p, q : integer;\n"
+      "cobegin\n"
+      "  begin p := 0; while p < 50 do p := p + 1 end\n"
+      "||\n"
+      "  begin q := 0; while q < 50 do q := q + 1 end\n"
+      "coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, {});
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.values[Sym(program, "p")], 50);
+  EXPECT_EQ(result.values[Sym(program, "q")], 50);
+}
+
+TEST(StressTest, MonitorOnHeavyWorkload) {
+  // The label monitor must not disturb semantics: same final values with
+  // and without tracking on a mixed semaphore+channel workload.
+  Program program = MustParse(
+      "var i, v, acc : integer; c : channel; s : semaphore initially(1);\n"
+      "cobegin\n"
+      "  begin i := 0; while i < 25 do begin send(c, i); i := i + 1 end end\n"
+      "||\n"
+      "  begin v := 0; while v # 24 do begin receive(c, v);\n"
+      "    wait(s); acc := acc + v; signal(s) end end\n"
+      "coend");
+  TwoPointLattice lattice;
+  StaticBinding binding(lattice, program.symbols());
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    binding.Bind(symbol.id, TwoPointLattice::kHigh);
+  }
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RandomScheduler plain_scheduler(77);
+  RunResult plain = interpreter.Run(plain_scheduler, {});
+  RunOptions monitored_options;
+  monitored_options.track_labels = true;
+  monitored_options.binding = &binding;
+  RandomScheduler monitored_scheduler(77);
+  RunResult monitored = interpreter.Run(monitored_scheduler, monitored_options);
+  EXPECT_EQ(plain.status, monitored.status);
+  EXPECT_EQ(plain.values, monitored.values);
+  EXPECT_EQ(plain.steps, monitored.steps);
+  EXPECT_TRUE(monitored.violations.empty());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,236 @@
+// The dynamic label tracker (operational reading of the flow logic):
+// explicit flows, local indirect flows (pc stack), global flows from loops
+// and waits, and binding-violation detection.
+
+#include <gtest/gtest.h>
+
+#include "src/lattice/two_point.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/interpreter.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+using testing::Sym;
+
+struct TaintRun {
+  RunResult result;
+  const ExtendedLattice* ext;
+};
+
+TaintRun RunTainted(const Program& program, const StaticBinding& binding,
+                    std::vector<std::pair<SymbolId, int64_t>> initial_values = {},
+                    uint64_t seed = 3) {
+  CompiledProgram code = Compile(program);
+  RunOptions options;
+  options.track_labels = true;
+  options.binding = &binding;
+  options.initial_values = std::move(initial_values);
+  Interpreter interpreter(code, program.symbols());
+  RandomScheduler scheduler(seed);
+  return TaintRun{interpreter.Run(scheduler, options), &binding.extended()};
+}
+
+TEST(TaintTest, ExplicitFlowPropagatesLabel) {
+  Program program = MustParse("var h, l : integer; l := h");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
+  TaintRun run = RunTainted(program, binding);
+  EXPECT_EQ(run.result.labels[Sym(program, "l")], run.ext->Top());
+  ASSERT_EQ(run.result.violations.size(), 1u);
+  EXPECT_EQ(run.result.violations[0].symbol, Sym(program, "l"));
+}
+
+TEST(TaintTest, ConstantAssignmentResetsLabel) {
+  // Strong update: after l := 0 the label is low again even if l was high.
+  Program program = MustParse("var h, l : integer; begin l := h; l := 0 end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "high"}});
+  TaintRun run = RunTainted(program, binding);
+  EXPECT_EQ(run.result.labels[Sym(program, "l")], run.ext->Low());
+  EXPECT_TRUE(run.result.violations.empty());
+}
+
+TEST(TaintTest, LocalIndirectFlowThroughIf) {
+  Program program = MustParse("var h, l : integer; if h = 0 then l := 1 else l := 2");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
+  TaintRun run = RunTainted(program, binding);
+  EXPECT_EQ(run.result.labels[Sym(program, "l")], run.ext->Top());
+  EXPECT_FALSE(run.result.violations.empty());
+}
+
+TEST(TaintTest, PcLabelPopsAfterIf) {
+  // An assignment AFTER the high if is not tainted by it (local flows are
+  // local — the paper's Section 2.2 point about if vs while).
+  Program program = MustParse(
+      "var h, l, after : integer;\n"
+      "begin if h = 0 then l := 1 else l := 2; after := 3 end");
+  TwoPointLattice lattice;
+  StaticBinding binding =
+      Bind(program, lattice, {{"h", "high"}, {"l", "high"}, {"after", "low"}});
+  TaintRun run = RunTainted(program, binding);
+  EXPECT_EQ(run.result.labels[Sym(program, "after")], run.ext->Low());
+  EXPECT_TRUE(run.result.violations.empty());
+}
+
+TEST(TaintTest, GlobalFlowPersistsAfterWhile) {
+  // Section 2.2: z := 1 after "while x # 0 do y := 1" learns x.
+  Program program = MustParse(testing::kLoopGlobal);
+  TwoPointLattice lattice;
+  StaticBinding binding =
+      Bind(program, lattice, {{"x", "high"}, {"y", "high"}, {"z", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "x"), 0}});
+  EXPECT_EQ(run.result.labels[Sym(program, "z")], run.ext->Top());
+  EXPECT_FALSE(run.result.violations.empty());
+}
+
+TEST(TaintTest, LoopThatNeverRunsStillRaisesGlobal) {
+  // Exiting immediately still reveals the condition was false.
+  Program program = MustParse("var h, z : integer; begin while h # 0 do h := 0; z := 1 end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"z", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "h"), 0}});
+  EXPECT_EQ(run.result.labels[Sym(program, "z")], run.ext->Top());
+}
+
+TEST(TaintTest, WaitRaisesGlobalBySemaphoreLabel) {
+  // kBeginWait: y := 1 after wait(sem) carries sem's label.
+  Program program = MustParse(testing::kBeginWait);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"sem", "high"}, {"y", "low"}});
+  CompiledProgram code = Compile(program);
+  RunOptions options;
+  options.track_labels = true;
+  options.binding = &binding;
+  // Make the wait succeed: bump the semaphore's initial count.
+  options.initial_values = {{Sym(program, "sem"), 1}};
+  Interpreter interpreter(code, program.symbols());
+  RandomScheduler scheduler(3);
+  RunResult result = interpreter.Run(scheduler, options);
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  EXPECT_EQ(result.labels[Sym(program, "y")], binding.extended().Top());
+  EXPECT_FALSE(result.violations.empty());
+}
+
+TEST(TaintTest, SignalTaintsSemaphoreWithPcLabel) {
+  // if x = 0 then signal(sem): the signal carries x's class into sem.
+  Program program = MustParse(
+      "var x : integer; sem : semaphore initially(0); if x = 0 then signal(sem)");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"x", "high"}, {"sem", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "x"), 0}});
+  EXPECT_EQ(run.result.labels[Sym(program, "sem")], run.ext->Top());
+  EXPECT_FALSE(run.result.violations.empty());
+}
+
+TEST(TaintTest, Fig3LeaksHighIntoYDynamically) {
+  // The full synchronization channel: for x != 0 the monitor observes y's
+  // label reach high although no expression containing x is ever assigned
+  // to y — the taint travels x -> pc -> modify -> P2.global -> m -> y.
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice,
+                               {{"x", "high"},
+                                {"y", "low"},
+                                {"m", "low"},
+                                {"modify", "low"},
+                                {"modified", "low"},
+                                {"read", "low"},
+                                {"done", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "x"), 1}});
+  EXPECT_EQ(run.result.status, RunStatus::kCompleted);
+  EXPECT_EQ(run.result.labels[Sym(program, "y")], run.ext->Top());
+  EXPECT_FALSE(run.result.violations.empty());
+}
+
+TEST(TaintTest, Fig3DynamicMonitorMissesTheUntakenBranch) {
+  // For x = 0 the tainting branch (m := 1 before the read) never executes
+  // on this path, so a single-run dynamic monitor sees only low labels on y
+  // — even though y's VALUE still reveals x. This is the classic dynamic-
+  // monitor blind spot for implicit flows and exactly why the paper's
+  // static mechanism must reason about all paths (CFM rejects this binding;
+  // the NI harness observes the value leak).
+  Program program = MustParse(testing::kFig3);
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice,
+                               {{"x", "high"},
+                                {"y", "low"},
+                                {"m", "low"},
+                                {"modify", "low"},
+                                {"modified", "low"},
+                                {"read", "low"},
+                                {"done", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "x"), 0}});
+  EXPECT_EQ(run.result.status, RunStatus::kCompleted);
+  EXPECT_EQ(run.result.labels[Sym(program, "y")], run.ext->Low());
+}
+
+TEST(TaintTest, CfmCertifiedImpliesNoViolationOnPaperCorpus) {
+  // Soundness on the corpus: certified binding ⇒ the monitor never flags.
+  struct Case {
+    const char* source;
+    std::initializer_list<std::pair<const char*, const char*>> binding;
+    std::initializer_list<std::pair<const char*, int64_t>> inputs;
+  };
+  const Case cases[] = {
+      {testing::kFig3,
+       {{"x", "high"}, {"y", "high"}, {"m", "high"}, {"modify", "high"},
+        {"modified", "high"}, {"read", "high"}, {"done", "high"}},
+       {{"x", 1}}},
+      {testing::kFig3Sequential,
+       {{"x", "high"}, {"y", "high"}, {"m", "high"}},
+       {{"x", 0}}},
+      {testing::kLoopGlobal,
+       {{"x", "high"}, {"y", "high"}, {"z", "high"}},
+       {{"x", 0}}},
+      {testing::kCobeginSignal,
+       {{"x", "high"}, {"y", "high"}, {"sem", "high"}},
+       {{"x", 0}}},
+  };
+  TwoPointLattice lattice;
+  for (const Case& c : cases) {
+    Program program = MustParse(c.source);
+    StaticBinding binding = Bind(program, lattice, c.binding);
+    std::vector<std::pair<SymbolId, int64_t>> inputs;
+    for (auto [name, value] : c.inputs) {
+      inputs.emplace_back(Sym(program, name), value);
+    }
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      TaintRun run = RunTainted(program, binding, inputs, seed);
+      EXPECT_TRUE(run.result.violations.empty()) << c.source;
+    }
+  }
+}
+
+TEST(TaintTest, CobeginChildInheritsParentContext) {
+  // A cobegin nested in a high if taints its children's writes.
+  Program program = MustParse(
+      "var h, a, b : integer;\n"
+      "if h = 0 then cobegin a := 1 || b := 2 coend");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"a", "low"}, {"b", "low"}});
+  TaintRun run = RunTainted(program, binding, {{Sym(program, "h"), 0}});
+  EXPECT_EQ(run.result.labels[Sym(program, "a")], run.ext->Top());
+  EXPECT_EQ(run.result.labels[Sym(program, "b")], run.ext->Top());
+}
+
+TEST(TaintTest, ParentInheritsChildGlobalAfterJoin) {
+  // A child's wait raises its global; the parent's continuation (after
+  // coend) must carry it.
+  Program program = MustParse(
+      "var z : integer; s : semaphore initially(1);\n"
+      "begin cobegin wait(s) || skip coend; z := 1 end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"s", "high"}, {"z", "low"}});
+  TaintRun run = RunTainted(program, binding);
+  EXPECT_EQ(run.result.status, RunStatus::kCompleted);
+  EXPECT_EQ(run.result.labels[Sym(program, "z")], run.ext->Top());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,120 @@
+// Execution trace recording: statement-level events in schedule order, and
+// the engine-consistency property that every sampled interpreter outcome
+// appears in the exhaustive explorer's outcome set.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/gen/program_gen.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/explorer.h"
+#include "src/runtime/interpreter.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::MustParse;
+using testing::Sym;
+
+TEST(TraceTest, RecordsStatementsInOrder) {
+  Program program = MustParse(
+      "var x, y : integer; begin x := 1; y := x + 1; x := y end");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RunOptions options;
+  options.record_trace = true;
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, options);
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0].stmt->kind(), StmtKind::kAssign);
+  EXPECT_LT(result.trace[0].step, result.trace[1].step);
+  EXPECT_LT(result.trace[1].step, result.trace[2].step);
+  for (const TraceEvent& event : result.trace) {
+    EXPECT_EQ(event.thread, 0u);
+  }
+}
+
+TEST(TraceTest, InterleavingVisible) {
+  Program program = MustParse("var x, y : integer; cobegin x := 1 || y := 2 coend");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RunOptions options;
+  options.record_trace = true;
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, options);
+  std::set<uint32_t> threads;
+  for (const TraceEvent& event : result.trace) {
+    threads.insert(event.thread);
+  }
+  EXPECT_EQ(threads.size(), 2u);  // Both children executed (parent only forks/jumps).
+}
+
+TEST(TraceTest, PrintTraceReadable) {
+  Program program = MustParse(
+      "var x : integer; s : semaphore initially(1); begin wait(s); x := 7; signal(s) end");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RunOptions options;
+  options.record_trace = true;
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, options);
+  std::string text = PrintTrace(result.trace, program.symbols());
+  EXPECT_NE(text.find("wait(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("x := 7"), std::string::npos);
+  EXPECT_NE(text.find("signal(s)"), std::string::npos);
+}
+
+TEST(TraceTest, OffByDefault) {
+  Program program = MustParse("var x : integer; x := 1");
+  CompiledProgram code = Compile(program);
+  Interpreter interpreter(code, program.symbols());
+  RoundRobinScheduler scheduler;
+  RunResult result = interpreter.Run(scheduler, {});
+  EXPECT_TRUE(result.trace.empty());
+}
+
+// --- Engine consistency -------------------------------------------------------
+
+TEST(EngineConsistencyTest, SampledOutcomesAreExplorerOutcomes) {
+  // The scheduler-driven interpreter and the exhaustive explorer share the
+  // Machine; any terminal state a random schedule reaches must be in the
+  // explorer's enumeration.
+  for (uint64_t seed = 900; seed < 930; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 8;
+    gen.executable = true;
+    gen.allow_channels = seed % 2 == 0;
+    gen.int_vars = 3;
+    gen.semaphores = 1;
+    Program program = GenerateProgram(gen);
+    CompiledProgram code = Compile(program);
+    ExploreOptions explore;
+    explore.max_states = 150'000;
+    ExploreResult explored = ExploreAllSchedules(code, program.symbols(), {}, explore);
+    if (explored.truncated) {
+      continue;
+    }
+    Interpreter interpreter(code, program.symbols());
+    for (uint64_t run = 0; run < 10; ++run) {
+      RandomScheduler scheduler(seed * 100 + run);
+      RunOptions options;
+      options.step_limit = 100'000;
+      RunResult result = interpreter.Run(scheduler, options);
+      if (result.status == RunStatus::kStepLimit) {
+        continue;
+      }
+      TerminalOutcome outcome;
+      outcome.status = result.status;
+      outcome.values = result.values;
+      EXPECT_TRUE(explored.outcomes.count(outcome) > 0)
+          << "seed " << seed << " run " << run
+          << ": sampled outcome missing from exhaustive enumeration";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfm

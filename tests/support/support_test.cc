@@ -1,0 +1,141 @@
+// Direct unit tests for the support substrate: source management,
+// diagnostics rendering (caret excerpts), string helpers, Result<T>.
+
+#include <gtest/gtest.h>
+
+#include "src/support/diagnostic.h"
+#include "src/support/result.h"
+#include "src/support/source_manager.h"
+#include "src/support/text.h"
+
+namespace cfm {
+namespace {
+
+TEST(SourceManagerTest, LocationsAndLines) {
+  SourceManager sm("test.cfm", "ab\ncdef\n\nx");
+  SourceLocation loc = sm.LocationFor(0);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 1u);
+  loc = sm.LocationFor(4);  // 'd'.
+  EXPECT_EQ(loc.line, 2u);
+  EXPECT_EQ(loc.column, 2u);
+  loc = sm.LocationFor(8);  // The empty line's newline is offset 8? "ab\ncdef\n\nx": 0a1b2\n3c4d5e6f7\n8\n9x
+  EXPECT_EQ(loc.line, 3u);
+  loc = sm.LocationFor(9);
+  EXPECT_EQ(loc.line, 4u);
+  EXPECT_EQ(sm.LineText(1), "ab");
+  EXPECT_EQ(sm.LineText(2), "cdef");
+  EXPECT_EQ(sm.LineText(3), "");
+  EXPECT_EQ(sm.LineText(4), "x");
+  EXPECT_EQ(sm.LineText(5), "");
+  EXPECT_EQ(sm.line_count(), 4u);
+}
+
+TEST(SourceManagerTest, OffsetClamping) {
+  SourceManager sm("t", "xy");
+  SourceLocation loc = sm.LocationFor(999);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 3u);  // One past the end.
+}
+
+TEST(SourceManagerTest, EmptyBuffer) {
+  SourceManager sm("t", "");
+  EXPECT_EQ(sm.line_count(), 1u);
+  EXPECT_EQ(sm.LocationFor(0).line, 1u);
+  EXPECT_EQ(sm.LineText(1), "");
+}
+
+TEST(SourceManagerTest, CarriageReturnsStripped) {
+  SourceManager sm("t", "ab\r\ncd\r\n");
+  EXPECT_EQ(sm.LineText(1), "ab");
+  EXPECT_EQ(sm.LineText(2), "cd");
+}
+
+TEST(SourceLocationTest, ToStringForms) {
+  SourceLocation unknown;
+  EXPECT_EQ(ToString(unknown), "<unknown>");
+  SourceLocation loc{10, 3, 7};
+  EXPECT_EQ(ToString(loc), "3:7");
+  SourceRange range{loc, SourceLocation{12, 3, 9}};
+  EXPECT_EQ(ToString(range), "3:7-3:9");
+  SourceRange point{loc, loc};
+  EXPECT_EQ(ToString(point), "3:7");
+}
+
+TEST(DiagnosticTest, RenderWithCaret) {
+  SourceManager sm("demo.cfm", "x := yy + 1\n");
+  DiagnosticEngine diags;
+  SourceRange range{sm.LocationFor(5), sm.LocationFor(7)};
+  diags.Error(range, "undeclared variable 'yy'");
+  std::string rendered = diags.RenderAll(sm);
+  EXPECT_NE(rendered.find("demo.cfm:1:6: error: undeclared variable 'yy'"), std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("x := yy + 1"), std::string::npos);
+  EXPECT_NE(rendered.find("     ^^"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticTest, NotesIndented) {
+  SourceManager sm("demo.cfm", "a\nb\n");
+  DiagnosticEngine diags;
+  Diagnostic& primary = diags.Error({sm.LocationFor(0), sm.LocationFor(1)}, "primary");
+  primary.notes.push_back(
+      Diagnostic{Severity::kNote, {sm.LocationFor(2), sm.LocationFor(3)}, "see here", {}});
+  std::string rendered = diags.RenderAll(sm);
+  EXPECT_NE(rendered.find("error: primary"), std::string::npos);
+  EXPECT_NE(rendered.find("  demo.cfm:2:1: note: see here"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticTest, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.Warning({}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.Error({}, "e1");
+  diags.Error({}, "e2");
+  EXPECT_EQ(diags.error_count(), 2u);
+  diags.Clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(TextTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(SplitString("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TextTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(TextTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("abc"));
+  EXPECT_TRUE(IsIdentifier("_a1"));
+  EXPECT_TRUE(IsIdentifier("A_9"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("9a"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad = MakeError("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyPayloads) {
+  Result<std::unique_ptr<int>> ok = std::make_unique<int>(7);
+  ASSERT_TRUE(ok.ok());
+  std::unique_ptr<int> taken = std::move(ok).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+}  // namespace
+}  // namespace cfm

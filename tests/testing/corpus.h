@@ -1,0 +1,86 @@
+// The paper's worked example programs, embedded as test corpus.
+
+#ifndef TESTS_TESTING_CORPUS_H_
+#define TESTS_TESTING_CORPUS_H_
+
+namespace cfm {
+namespace testing {
+
+// Figure 3: information flow using synchronization (balanced reading; see
+// EXPERIMENTS.md). Flows x into y through process ordering only.
+inline constexpr const char* kFig3 = R"(
+var
+  x, y, m : integer;
+  modify, modified, read, done : semaphore initially(0);
+cobegin
+  begin
+    m := 0;
+    if x # 0 then begin signal(modify); wait(modified) end;
+    signal(read);
+    wait(done);
+    if x = 0 then begin signal(modify); wait(modified) end
+  end
+||
+  begin wait(modify); m := 1; signal(modified) end
+||
+  begin wait(read); y := m; signal(done) end
+coend
+)";
+
+// The sequential program the paper says Figure 3 is equivalent to (for x, y).
+inline constexpr const char* kFig3Sequential = R"(
+var x, y, m : integer;
+begin
+  m := 0;
+  if x = 0
+    then begin m := 1; y := m end
+    else begin y := m; m := 1 end
+end
+)";
+
+// Section 4.2's iteration example: y increments more than once only if the
+// wait completes, so certification needs sbind(sem) <= sbind(y).
+inline constexpr const char* kWhileWait = R"(
+var y : integer; sem : semaphore initially(0);
+while true do begin y := y + 1; wait(sem) end
+)";
+
+// Section 4.2's composition example: requires sbind(sem) <= sbind(y).
+inline constexpr const char* kBeginWait = R"(
+var y : integer; sem : semaphore initially(0);
+begin wait(sem); y := 1 end
+)";
+
+// Section 5.2's separating example: safe (x is constant 0 when read) but
+// rejected by CFM under sbind(x)=high, sbind(y)=low; the full flow logic
+// proves it with the stronger intermediate assertion class(x) <= low.
+inline constexpr const char* kSection52 = R"(
+var x, y : integer;
+begin x := 0; y := x end
+)";
+
+// Section 2.2's loop example: global flow from x to z via conditional
+// non-termination (z := 1 executes iff the loop exits, i.e. iff x = 0).
+inline constexpr const char* kLoopGlobal = R"(
+var x, y, z : integer;
+begin
+  y := 0;
+  while x # 0 do y := 1;
+  z := 1
+end
+)";
+
+// Section 2.2's cobegin example: wait/signal flow from x to y.
+inline constexpr const char* kCobeginSignal = R"(
+var x, y : integer; sem : semaphore initially(0);
+cobegin
+  if x = 0 then signal(sem)
+||
+  begin wait(sem); y := 0 end
+coend
+)";
+
+}  // namespace testing
+}  // namespace cfm
+
+#endif  // TESTS_TESTING_CORPUS_H_

@@ -1,0 +1,67 @@
+// Shared helpers for the test suites: parsing with failure messages, binding
+// construction, and canonical paper programs.
+
+#ifndef TESTS_TESTING_UTIL_H_
+#define TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "src/core/static_binding.h"
+#include "src/lang/parser.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+namespace testing {
+
+// Parses `source` or fails the current test with rendered diagnostics.
+inline Program MustParse(const std::string& source) {
+  SourceManager sm("<test>", source);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  EXPECT_TRUE(program.has_value()) << diags.RenderAll(sm);
+  if (!program) {
+    return Program{};
+  }
+  return std::move(*program);
+}
+
+// Expects the parse to fail and returns the rendered diagnostics.
+inline std::string MustNotParse(const std::string& source) {
+  SourceManager sm("<test>", source);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  EXPECT_FALSE(program.has_value()) << "expected a parse failure";
+  return diags.RenderAll(sm);
+}
+
+// Builds a binding assigning the listed (variable, class-name) pairs;
+// unlisted variables stay at base bottom.
+inline StaticBinding Bind(const Program& program, const Lattice& base,
+                          std::initializer_list<std::pair<const char*, const char*>> entries) {
+  StaticBinding binding(base, program.symbols());
+  for (auto [name, class_name] : entries) {
+    auto symbol = program.symbols().Lookup(name);
+    EXPECT_TRUE(symbol.has_value()) << "unknown variable " << name;
+    auto class_id = base.FindElement(class_name);
+    EXPECT_TRUE(class_id.has_value()) << "unknown class " << class_name;
+    if (symbol && class_id) {
+      binding.Bind(*symbol, *class_id);
+    }
+  }
+  return binding;
+}
+
+inline SymbolId Sym(const Program& program, const char* name) {
+  auto symbol = program.symbols().Lookup(name);
+  EXPECT_TRUE(symbol.has_value()) << "unknown variable " << name;
+  return symbol.value_or(kInvalidSymbol);
+}
+
+}  // namespace testing
+}  // namespace cfm
+
+#endif  // TESTS_TESTING_UTIL_H_

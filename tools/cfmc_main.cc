@@ -1,0 +1,631 @@
+// cfmc — the Concurrent Flow Mechanism driver.
+//
+//   cfmc check <file>      certify with CFM (and compare with the baseline)
+//   cfmc prove <file>      build + verify the Theorem 1 flow proof
+//   cfmc infer <file>      infer the least certifying binding
+//   cfmc run <file>        execute (optionally with the label monitor)
+//   cfmc leaktest <file>   empirical noninterference test
+//   cfmc dump <file>       print the AST, bindings and bytecode
+//
+// Common flags:
+//   --lattice=two|diamond|chain:N|powerset:a,b,...   (default: two)
+//   --denning-permissive   use the permissive baseline in `check`
+//   --secret=V --observe=V1,V2 --values=a,b          (leaktest)
+//   --set V=N              initial value        (run, repeatable)
+//   --pin V=CLASS          pinned binding       (infer, repeatable)
+//   --seed=N --schedules=N --monitor             (run/leaktest)
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/core/explain.h"
+#include "src/core/inference.h"
+#include "src/core/static_binding.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lang/stats.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/lattice_spec.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/logic/proof_io.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/interpreter.h"
+#include "src/runtime/noninterference.h"
+#include "src/support/text.h"
+
+namespace cfm {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::string lattice_spec = "two";
+  std::string lattice_file;
+  std::string emit_proof;
+  std::string proof_file;
+  bool denning_permissive = false;
+  bool monitor = false;
+  bool trace = false;
+  bool table = false;
+  uint64_t seed = 1;
+  uint32_t schedules = 32;
+  std::string secret;
+  std::vector<std::string> observe;
+  std::vector<int64_t> secret_values = {0, 1};
+  std::vector<std::pair<std::string, int64_t>> sets;
+  std::vector<std::pair<std::string, std::string>> pins;
+};
+
+int Usage() {
+  std::cerr << "usage: cfmc <check|explain|conditions|verify|prove|checkproof|infer|run|leaktest|\n"
+               "             dump|format> <file> [flags]\n"
+               "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
+               "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
+               "       --secret=V --observe=V1,V2 --values=a,b --set=V=N --pin=V=CLASS\n"
+               "       --seed=N --schedules=N --monitor --trace\n";
+  return 2;
+}
+
+std::unique_ptr<Lattice> MakeLattice(const std::string& spec) {
+  if (spec == "two") {
+    return std::make_unique<TwoPointLattice>();
+  }
+  if (spec == "diamond") {
+    return HasseLattice::Diamond();
+  }
+  if (spec.rfind("chain:", 0) == 0) {
+    uint64_t n = std::strtoull(spec.c_str() + 6, nullptr, 10);
+    if (n < 1) {
+      return nullptr;
+    }
+    return std::make_unique<ChainLattice>(ChainLattice::WithLevels(n));
+  }
+  if (spec.rfind("powerset:", 0) == 0) {
+    std::vector<std::string> categories = SplitString(spec.substr(9), ',');
+    if (categories.empty() || categories.size() > 62) {
+      return nullptr;
+    }
+    return std::make_unique<PowersetLattice>(categories);
+  }
+  return nullptr;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  if (argc < 3) {
+    return false;
+  }
+  options.command = argv[1];
+  options.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (auto v = value_of("--lattice=")) {
+      options.lattice_spec = *v;
+    } else if (auto vf = value_of("--lattice-file=")) {
+      options.lattice_file = *vf;
+    } else if (auto vp = value_of("--emit-proof=")) {
+      options.emit_proof = *vp;
+    } else if (auto vq = value_of("--proof=")) {
+      options.proof_file = *vq;
+    } else if (arg == "--denning-permissive") {
+      options.denning_permissive = true;
+    } else if (arg == "--monitor") {
+      options.monitor = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (arg == "--table") {
+      options.table = true;
+    } else if (auto v2 = value_of("--seed=")) {
+      options.seed = std::strtoull(v2->c_str(), nullptr, 10);
+    } else if (auto v3 = value_of("--schedules=")) {
+      options.schedules = static_cast<uint32_t>(std::strtoul(v3->c_str(), nullptr, 10));
+    } else if (auto v4 = value_of("--secret=")) {
+      options.secret = *v4;
+    } else if (auto v5 = value_of("--observe=")) {
+      options.observe = SplitString(*v5, ',');
+    } else if (auto v6 = value_of("--values=")) {
+      options.secret_values.clear();
+      for (const std::string& part : SplitString(*v6, ',')) {
+        options.secret_values.push_back(std::strtoll(part.c_str(), nullptr, 10));
+      }
+    } else if (auto v7 = value_of("--set ")) {
+      (void)v7;
+    } else if (auto v8 = value_of("--set=")) {
+      auto eq = v8->find('=');
+      if (eq == std::string::npos) {
+        return false;
+      }
+      options.sets.emplace_back(v8->substr(0, eq),
+                                std::strtoll(v8->c_str() + eq + 1, nullptr, 10));
+    } else if (auto v9 = value_of("--pin=")) {
+      auto eq = v9->find('=');
+      if (eq == std::string::npos) {
+        return false;
+      }
+      options.pins.emplace_back(v9->substr(0, eq), v9->substr(eq + 1));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+struct LoadedProgram {
+  SourceManager sm;
+  Program program;
+};
+
+std::optional<LoadedProgram> Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cfmc: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SourceManager sm(path, buffer.str());
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  if (!program) {
+    std::cerr << diags.RenderAll(sm);
+    return std::nullopt;
+  }
+  return LoadedProgram{std::move(sm), std::move(*program)};
+}
+
+std::optional<SymbolId> LookupOrComplain(const Program& program, const std::string& name) {
+  auto id = program.symbols().Lookup(name);
+  if (!id) {
+    std::cerr << "cfmc: unknown variable '" << name << "'\n";
+  }
+  return id;
+}
+
+int RunCheck(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  std::cout << "lattice: " << lattice.Describe() << "\n"
+            << "static binding:\n"
+            << binding->Describe(loaded.program.symbols());
+
+  CertificationResult cfm_result = CertifyCfm(loaded.program, *binding);
+  std::cout << "\n" << cfm_result.Summary(loaded.program.symbols(), binding->extended());
+  if (options.table) {
+    std::cout << "\nFigure 2 instantiated (per-statement certification functions):\n"
+              << cfm_result.FactsTable(loaded.program.root(), loaded.program.symbols(),
+                                       binding->extended());
+  }
+
+  DenningMode mode =
+      options.denning_permissive ? DenningMode::kPermissive : DenningMode::kStrict;
+  CertificationResult denning_result = CertifyDenning(loaded.program, *binding, mode);
+  std::cout << "\n" << denning_result.Summary(loaded.program.symbols(), binding->extended());
+
+  return cfm_result.certified() ? 0 : 1;
+}
+
+// One-shot verification report: CFM + baseline comparison, inference,
+// Theorem 1 proof + independent check, monitored executions over several
+// schedules, and a quick noninterference probe per high variable.
+int RunVerify(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  const SymbolTable& symbols = loaded.program.symbols();
+  std::cout << "== program ==\n"
+            << RenderStats(ComputeStats(loaded.program.root()), symbols) << "\n";
+
+  std::cout << "== static certification ==\n";
+  CertificationResult cfm_result = CertifyCfm(loaded.program, *binding);
+  std::cout << cfm_result.Summary(symbols, binding->extended());
+  CertificationResult baseline =
+      CertifyDenning(loaded.program, *binding, DenningMode::kPermissive);
+  std::cout << "Denning'77 (permissive) " << (baseline.certified() ? "certifies" : "rejects")
+            << " the same policy"
+            << (baseline.certified() && !cfm_result.certified()
+                    ? " — the global-flow gap CFM closes"
+                    : "")
+            << "\n\n";
+  if (!cfm_result.certified()) {
+    for (const Violation& violation : cfm_result.violations()) {
+      auto path = ExplainViolation(loaded.program, *binding, violation);
+      if (!path.empty()) {
+        std::cout << "witness: " << RenderFlowPath(path, symbols, lattice, *binding);
+      }
+    }
+    return 1;
+  }
+
+  std::cout << "== flow proof (Theorem 1) ==\n";
+  auto proof = BuildTheorem1Proof(loaded.program, *binding);
+  if (!proof) {
+    std::cerr << "cfmc: " << proof.error() << "\n";
+    return 1;
+  }
+  ProofChecker checker(binding->extended(), symbols);
+  auto proof_error = checker.Check(*proof->root);
+  std::cout << proof->root->Size() << " derivation steps; independent checker: "
+            << (proof_error ? "INVALID — " + proof_error->reason : "valid") << "\n\n";
+  if (proof_error) {
+    return 1;
+  }
+
+  std::cout << "== dynamic monitor (" << options.schedules << " schedules) ==\n";
+  CompiledProgram code = Compile(loaded.program);
+  Interpreter interpreter(code, symbols);
+  uint64_t violations = 0;
+  uint64_t deadlocks = 0;
+  for (uint32_t i = 0; i < options.schedules; ++i) {
+    RandomScheduler scheduler(options.seed + i);
+    RunOptions run_options;
+    run_options.track_labels = true;
+    run_options.binding = &*binding;
+    run_options.step_limit = 200'000;
+    RunResult result = interpreter.Run(scheduler, run_options);
+    violations += result.violations.size();
+    deadlocks += result.status == RunStatus::kDeadlock ? 1 : 0;
+  }
+  std::cout << "label violations: " << violations << "   deadlocked runs: " << deadlocks
+            << "\n";
+  std::cout << "\nverdict: CERTIFIED, proof checked, monitor clean\n";
+  return violations == 0 ? 0 : 1;
+}
+
+// Prints the symbolic certification conditions (the Section 4.3 style
+// "sbind(x) <= sbind(modify)" inequalities) that a binding must satisfy,
+// independent of any particular binding.
+int RunConditions(const LoadedProgram& loaded) {
+  std::vector<FlowConstraint> constraints = ExtractConstraints(loaded.program.root());
+  // Deduplicate (the same pair can arise from several checks).
+  std::set<std::pair<SymbolId, SymbolId>> seen;
+  std::cout << "certification conditions (any binding must satisfy all of):\n";
+  for (const FlowConstraint& constraint : constraints) {
+    if (!seen.insert({constraint.source, constraint.target}).second) {
+      continue;
+    }
+    std::cout << "  sbind(" << loaded.program.symbols().at(constraint.source).name
+              << ") <= sbind(" << loaded.program.symbols().at(constraint.target).name
+              << ")   -- " << ToString(constraint.kind) << " at "
+              << ToString(constraint.stmt->range().begin) << "\n";
+  }
+  if (seen.empty()) {
+    std::cout << "  (none: every binding certifies this program)\n";
+  }
+  return 0;
+}
+
+// Certifies, then prints a witness flow path for every violation.
+int RunExplain(const LoadedProgram& loaded, const Lattice& lattice) {
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  CertificationResult result = CertifyCfm(loaded.program, *binding);
+  std::cout << result.Summary(loaded.program.symbols(), binding->extended());
+  if (result.certified()) {
+    return 0;
+  }
+  for (const Violation& violation : result.violations()) {
+    std::cout << "\nwitness path for the " << ToString(violation.kind) << " at "
+              << ToString(violation.stmt->range().begin) << ":\n";
+    auto path = ExplainViolation(loaded.program, *binding, violation);
+    if (path.empty()) {
+      std::cout << "  (no inter-variable path: the flow is direct at this statement)\n";
+      continue;
+    }
+    std::cout << RenderFlowPath(path, loaded.program.symbols(), lattice, *binding);
+  }
+  return 1;
+}
+
+int RunProve(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  auto proof = BuildTheorem1Proof(loaded.program, *binding);
+  if (!proof) {
+    std::cerr << "cfmc: " << proof.error() << "\n";
+    return 1;
+  }
+  std::cout << PrintProof(*proof->root, loaded.program.symbols(), binding->extended());
+  ProofChecker checker(binding->extended(), loaded.program.symbols());
+  if (auto error = checker.Check(*proof->root)) {
+    std::cout << "\nproof INVALID: " << error->reason << "\n";
+    return 1;
+  }
+  std::cout << "\nproof verified: " << proof->root->Size()
+            << " derivation steps, completely invariant policy assertion holds\n";
+  if (!options.emit_proof.empty()) {
+    std::ofstream out(options.emit_proof);
+    if (!out) {
+      std::cerr << "cfmc: cannot write '" << options.emit_proof << "'\n";
+      return 1;
+    }
+    out << SerializeProof(*proof->root, loaded.program, binding->extended());
+    std::cout << "proof written to " << options.emit_proof << "\n";
+  }
+  return 0;
+}
+
+// Verifies a shipped proof file against the program: structural validity via
+// the independent checker, plus the policy guarantee (the endpoints entail
+// the policy assertion of the annotated binding).
+int RunCheckProof(const LoadedProgram& loaded, const Lattice& lattice,
+                  const CliOptions& options) {
+  if (options.proof_file.empty()) {
+    std::cerr << "cfmc checkproof requires --proof=FILE\n";
+    return 2;
+  }
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  std::ifstream in(options.proof_file);
+  if (!in) {
+    std::cerr << "cfmc: cannot open '" << options.proof_file << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto proof = ParseProof(buffer.str(), loaded.program, binding->extended());
+  if (!proof) {
+    std::cerr << "cfmc: " << proof.error() << "\n";
+    return 1;
+  }
+  ProofChecker checker(binding->extended(), loaded.program.symbols());
+  if (auto error = checker.Check(*proof->root)) {
+    std::cout << "proof INVALID: " << error->reason << "\n";
+    return 1;
+  }
+  if (EffectiveProofStmt(*proof->root) != &loaded.program.root()) {
+    std::cout << "proof INVALID: it does not prove the program's root statement\n";
+    return 1;
+  }
+  FlowAssertion policy = FlowAssertion::Policy(*binding, loaded.program.symbols());
+  if (!proof->root->pre.VPart().EquivalentTo(policy, binding->extended()) ||
+      !proof->root->post.Entails(policy, binding->extended())) {
+    std::cout << "proof VALID but does not establish the annotated policy\n";
+    return 1;
+  }
+  std::cout << "proof verified: " << proof->root->Size()
+            << " derivation steps establish the annotated policy\n";
+  return 0;
+}
+
+int RunInfer(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+  std::vector<std::pair<SymbolId, ClassId>> pinned;
+  for (const auto& [name, class_name] : options.pins) {
+    auto symbol = LookupOrComplain(loaded.program, name);
+    if (!symbol) {
+      return 1;
+    }
+    auto class_id = lattice.FindElement(class_name);
+    if (!class_id) {
+      std::cerr << "cfmc: unknown class '" << class_name << "'\n";
+      return 1;
+    }
+    pinned.emplace_back(*symbol, *class_id);
+  }
+  // Variables annotated in the source are pinned to their annotations too.
+  for (const Symbol& symbol : loaded.program.symbols().symbols()) {
+    if (!symbol.class_annotation.empty()) {
+      auto class_id = lattice.FindElement(symbol.class_annotation);
+      if (!class_id) {
+        std::cerr << "cfmc: unknown class '" << symbol.class_annotation << "'\n";
+        return 1;
+      }
+      pinned.emplace_back(symbol.id, *class_id);
+    }
+  }
+  InferenceResult result = InferBinding(loaded.program, lattice, pinned);
+  std::cout << "inferred least binding (" << result.constraints.size() << " constraints):\n"
+            << result.binding.Describe(loaded.program.symbols());
+  if (!result.ok()) {
+    std::cout << "UNSATISFIABLE: the pinned classes cannot absorb the required flows:\n";
+    for (const InferenceConflict& conflict : result.conflicts) {
+      std::cout << "  " << loaded.program.symbols().at(conflict.target).name << " pinned at "
+                << lattice.ElementName(conflict.pinned) << " but requires at least "
+                << lattice.ElementName(conflict.required) << "\n";
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int RunExecute(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
+  if (!binding) {
+    std::cerr << "cfmc: " << binding.error() << "\n";
+    return 1;
+  }
+  CompiledProgram code = Compile(loaded.program);
+  RunOptions run_options;
+  run_options.track_labels = options.monitor;
+  run_options.binding = options.monitor ? &*binding : nullptr;
+  run_options.record_trace = options.trace;
+  for (const auto& [name, value] : options.sets) {
+    auto symbol = LookupOrComplain(loaded.program, name);
+    if (!symbol) {
+      return 1;
+    }
+    run_options.initial_values.emplace_back(*symbol, value);
+  }
+  RandomScheduler scheduler(options.seed);
+  Interpreter interpreter(code, loaded.program.symbols());
+  RunResult result = interpreter.Run(scheduler, run_options);
+  if (options.trace) {
+    std::cout << PrintTrace(result.trace, loaded.program.symbols());
+  }
+  std::cout << "status: " << ToString(result.status) << " after " << result.steps << " steps\n";
+  for (const Symbol& symbol : loaded.program.symbols().symbols()) {
+    std::cout << "  " << symbol.name << " = " << result.values[symbol.id];
+    if (options.monitor) {
+      std::cout << "   label = " << binding->extended().ElementName(result.labels[symbol.id]);
+    }
+    std::cout << "\n";
+  }
+  if (options.monitor) {
+    if (result.violations.empty()) {
+      std::cout << "monitor: no label exceeded its static binding\n";
+    } else {
+      std::cout << "monitor: " << result.violations.size() << " label violations, first: '"
+                << loaded.program.symbols().at(result.violations.front().symbol).name
+                << "' reached "
+                << binding->extended().ElementName(result.violations.front().label) << " (bound "
+                << binding->extended().ElementName(result.violations.front().bound) << ")\n";
+    }
+  }
+  return result.status == RunStatus::kCompleted ? 0 : 1;
+}
+
+int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
+  if (options.secret.empty() || options.observe.empty()) {
+    std::cerr << "cfmc leaktest requires --secret= and --observe=\n";
+    return 2;
+  }
+  NiOptions ni;
+  auto secret = LookupOrComplain(loaded.program, options.secret);
+  if (!secret) {
+    return 1;
+  }
+  ni.secret = *secret;
+  for (const std::string& name : options.observe) {
+    auto symbol = LookupOrComplain(loaded.program, name);
+    if (!symbol) {
+      return 1;
+    }
+    ni.observable.push_back(*symbol);
+  }
+  ni.secret_values = options.secret_values;
+  ni.random_schedules = options.schedules;
+  ni.seed = options.seed;
+  CompiledProgram code = Compile(loaded.program);
+  NiReport report = TestNoninterference(code, loaded.program.symbols(), ni);
+  std::cout << "schedules tried: " << report.schedules_tried << "\n";
+  if (!report.leak_found()) {
+    std::cout << "no observable difference: no leak detected\n";
+    return 0;
+  }
+  const NiLeak& leak = report.leaks.front();
+  std::cout << "LEAK: under schedule " << leak.schedule << ", secret " << leak.secret_a << " vs "
+            << leak.secret_b << " changes ";
+  if (leak.variable == kInvalidSymbol) {
+    std::cout << "the termination status";
+  } else {
+    std::cout << "'" << loaded.program.symbols().at(leak.variable).name << "' (" << leak.value_a
+              << " vs " << leak.value_b << ")";
+  }
+  std::cout << "\n";
+  return 1;
+}
+
+int RunDump(const LoadedProgram& loaded) {
+  std::cout << PrintProgram(loaded.program);
+  std::cout << "\n" << RenderStats(ComputeStats(loaded.program.root()), loaded.program.symbols());
+  CompiledProgram code = Compile(loaded.program);
+  std::cout << "\nbytecode (entry " << code.entry << "):\n"
+            << code.Disassemble(loaded.program.symbols());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    return Usage();
+  }
+  std::unique_ptr<Lattice> lattice;
+  if (!options.lattice_file.empty()) {
+    std::ifstream in(options.lattice_file);
+    if (!in) {
+      std::cerr << "cfmc: cannot open lattice file '" << options.lattice_file << "'\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseLatticeSpec(buffer.str());
+    if (!parsed) {
+      std::cerr << "cfmc: " << parsed.error() << "\n";
+      return 1;
+    }
+    lattice = std::move(parsed.value());
+  } else {
+    lattice = MakeLattice(options.lattice_spec);
+  }
+  if (lattice == nullptr) {
+    std::cerr << "cfmc: bad lattice spec '" << options.lattice_spec << "'\n";
+    return 2;
+  }
+  auto loaded = Load(options.file);
+  if (!loaded) {
+    return 1;
+  }
+  if (options.command == "check") {
+    return RunCheck(*loaded, *lattice, options);
+  }
+  if (options.command == "explain") {
+    return RunExplain(*loaded, *lattice);
+  }
+  if (options.command == "conditions") {
+    return RunConditions(*loaded);
+  }
+  if (options.command == "verify") {
+    return RunVerify(*loaded, *lattice, options);
+  }
+  if (options.command == "prove") {
+    return RunProve(*loaded, *lattice, options);
+  }
+  if (options.command == "checkproof") {
+    return RunCheckProof(*loaded, *lattice, options);
+  }
+  if (options.command == "infer") {
+    return RunInfer(*loaded, *lattice, options);
+  }
+  if (options.command == "run") {
+    return RunExecute(*loaded, *lattice, options);
+  }
+  if (options.command == "leaktest") {
+    return RunLeaktest(*loaded, options);
+  }
+  if (options.command == "dump") {
+    return RunDump(*loaded);
+  }
+  if (options.command == "format") {
+    std::cout << PrintProgram(loaded->program);
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cfm
+
+int main(int argc, char** argv) { return cfm::Main(argc, argv); }
