@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_entailment.cc" "bench/CMakeFiles/bench_entailment.dir/bench_entailment.cc.o" "gcc" "bench/CMakeFiles/bench_entailment.dir/bench_entailment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/cfm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/cfm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cfm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_entailment.dir/bench_entailment.cc.o"
+  "CMakeFiles/bench_entailment.dir/bench_entailment.cc.o.d"
+  "bench_entailment"
+  "bench_entailment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_entailment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

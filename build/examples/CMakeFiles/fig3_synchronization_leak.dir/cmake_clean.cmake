@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_synchronization_leak.dir/fig3_synchronization_leak.cpp.o"
+  "CMakeFiles/fig3_synchronization_leak.dir/fig3_synchronization_leak.cpp.o.d"
+  "fig3_synchronization_leak"
+  "fig3_synchronization_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_synchronization_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

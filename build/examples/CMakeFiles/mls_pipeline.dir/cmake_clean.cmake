@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mls_pipeline.dir/mls_pipeline.cpp.o"
+  "CMakeFiles/mls_pipeline.dir/mls_pipeline.cpp.o.d"
+  "mls_pipeline"
+  "mls_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mls_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

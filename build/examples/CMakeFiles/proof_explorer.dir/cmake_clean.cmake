@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_explorer.dir/proof_explorer.cpp.o"
+  "CMakeFiles/proof_explorer.dir/proof_explorer.cpp.o.d"
+  "proof_explorer"
+  "proof_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/certification.cc" "src/core/CMakeFiles/cfm_core.dir/certification.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/certification.cc.o.d"
+  "/root/repo/src/core/cfm.cc" "src/core/CMakeFiles/cfm_core.dir/cfm.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/cfm.cc.o.d"
+  "/root/repo/src/core/denning.cc" "src/core/CMakeFiles/cfm_core.dir/denning.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/denning.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/cfm_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/core/CMakeFiles/cfm_core.dir/inference.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/inference.cc.o.d"
+  "/root/repo/src/core/static_binding.cc" "src/core/CMakeFiles/cfm_core.dir/static_binding.cc.o" "gcc" "src/core/CMakeFiles/cfm_core.dir/static_binding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

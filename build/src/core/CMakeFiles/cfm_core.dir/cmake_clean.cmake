@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_core.dir/certification.cc.o"
+  "CMakeFiles/cfm_core.dir/certification.cc.o.d"
+  "CMakeFiles/cfm_core.dir/cfm.cc.o"
+  "CMakeFiles/cfm_core.dir/cfm.cc.o.d"
+  "CMakeFiles/cfm_core.dir/denning.cc.o"
+  "CMakeFiles/cfm_core.dir/denning.cc.o.d"
+  "CMakeFiles/cfm_core.dir/explain.cc.o"
+  "CMakeFiles/cfm_core.dir/explain.cc.o.d"
+  "CMakeFiles/cfm_core.dir/inference.cc.o"
+  "CMakeFiles/cfm_core.dir/inference.cc.o.d"
+  "CMakeFiles/cfm_core.dir/static_binding.cc.o"
+  "CMakeFiles/cfm_core.dir/static_binding.cc.o.d"
+  "libcfm_core.a"
+  "libcfm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

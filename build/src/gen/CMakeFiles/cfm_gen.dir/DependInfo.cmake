@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/program_gen.cc" "src/gen/CMakeFiles/cfm_gen.dir/program_gen.cc.o" "gcc" "src/gen/CMakeFiles/cfm_gen.dir/program_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_gen.dir/program_gen.cc.o"
+  "CMakeFiles/cfm_gen.dir/program_gen.cc.o.d"
+  "libcfm_gen.a"
+  "libcfm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_lang.dir/ast.cc.o"
+  "CMakeFiles/cfm_lang.dir/ast.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/lexer.cc.o"
+  "CMakeFiles/cfm_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/parser.cc.o"
+  "CMakeFiles/cfm_lang.dir/parser.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/printer.cc.o"
+  "CMakeFiles/cfm_lang.dir/printer.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/stats.cc.o"
+  "CMakeFiles/cfm_lang.dir/stats.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/symbol_table.cc.o"
+  "CMakeFiles/cfm_lang.dir/symbol_table.cc.o.d"
+  "CMakeFiles/cfm_lang.dir/token.cc.o"
+  "CMakeFiles/cfm_lang.dir/token.cc.o.d"
+  "libcfm_lang.a"
+  "libcfm_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lattice/chain.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/chain.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/chain.cc.o.d"
+  "/root/repo/src/lattice/hasse.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/hasse.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/hasse.cc.o.d"
+  "/root/repo/src/lattice/lattice.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/lattice.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/lattice.cc.o.d"
+  "/root/repo/src/lattice/lattice_spec.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/lattice_spec.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/lattice_spec.cc.o.d"
+  "/root/repo/src/lattice/powerset.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/powerset.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/powerset.cc.o.d"
+  "/root/repo/src/lattice/product.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/product.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/product.cc.o.d"
+  "/root/repo/src/lattice/two_point.cc" "src/lattice/CMakeFiles/cfm_lattice.dir/two_point.cc.o" "gcc" "src/lattice/CMakeFiles/cfm_lattice.dir/two_point.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

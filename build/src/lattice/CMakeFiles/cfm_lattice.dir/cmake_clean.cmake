@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_lattice.dir/chain.cc.o"
+  "CMakeFiles/cfm_lattice.dir/chain.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/hasse.cc.o"
+  "CMakeFiles/cfm_lattice.dir/hasse.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/lattice.cc.o"
+  "CMakeFiles/cfm_lattice.dir/lattice.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/lattice_spec.cc.o"
+  "CMakeFiles/cfm_lattice.dir/lattice_spec.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/powerset.cc.o"
+  "CMakeFiles/cfm_lattice.dir/powerset.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/product.cc.o"
+  "CMakeFiles/cfm_lattice.dir/product.cc.o.d"
+  "CMakeFiles/cfm_lattice.dir/two_point.cc.o"
+  "CMakeFiles/cfm_lattice.dir/two_point.cc.o.d"
+  "libcfm_lattice.a"
+  "libcfm_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

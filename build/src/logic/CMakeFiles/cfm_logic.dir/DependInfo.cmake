@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/assertion.cc" "src/logic/CMakeFiles/cfm_logic.dir/assertion.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/assertion.cc.o.d"
+  "/root/repo/src/logic/class_expr.cc" "src/logic/CMakeFiles/cfm_logic.dir/class_expr.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/class_expr.cc.o.d"
+  "/root/repo/src/logic/proof.cc" "src/logic/CMakeFiles/cfm_logic.dir/proof.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/proof.cc.o.d"
+  "/root/repo/src/logic/proof_builder.cc" "src/logic/CMakeFiles/cfm_logic.dir/proof_builder.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/proof_builder.cc.o.d"
+  "/root/repo/src/logic/proof_checker.cc" "src/logic/CMakeFiles/cfm_logic.dir/proof_checker.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/proof_checker.cc.o.d"
+  "/root/repo/src/logic/proof_io.cc" "src/logic/CMakeFiles/cfm_logic.dir/proof_io.cc.o" "gcc" "src/logic/CMakeFiles/cfm_logic.dir/proof_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

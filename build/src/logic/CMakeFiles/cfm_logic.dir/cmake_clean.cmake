@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_logic.dir/assertion.cc.o"
+  "CMakeFiles/cfm_logic.dir/assertion.cc.o.d"
+  "CMakeFiles/cfm_logic.dir/class_expr.cc.o"
+  "CMakeFiles/cfm_logic.dir/class_expr.cc.o.d"
+  "CMakeFiles/cfm_logic.dir/proof.cc.o"
+  "CMakeFiles/cfm_logic.dir/proof.cc.o.d"
+  "CMakeFiles/cfm_logic.dir/proof_builder.cc.o"
+  "CMakeFiles/cfm_logic.dir/proof_builder.cc.o.d"
+  "CMakeFiles/cfm_logic.dir/proof_checker.cc.o"
+  "CMakeFiles/cfm_logic.dir/proof_checker.cc.o.d"
+  "CMakeFiles/cfm_logic.dir/proof_io.cc.o"
+  "CMakeFiles/cfm_logic.dir/proof_io.cc.o.d"
+  "libcfm_logic.a"
+  "libcfm_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bytecode.cc" "src/runtime/CMakeFiles/cfm_runtime.dir/bytecode.cc.o" "gcc" "src/runtime/CMakeFiles/cfm_runtime.dir/bytecode.cc.o.d"
+  "/root/repo/src/runtime/explorer.cc" "src/runtime/CMakeFiles/cfm_runtime.dir/explorer.cc.o" "gcc" "src/runtime/CMakeFiles/cfm_runtime.dir/explorer.cc.o.d"
+  "/root/repo/src/runtime/interpreter.cc" "src/runtime/CMakeFiles/cfm_runtime.dir/interpreter.cc.o" "gcc" "src/runtime/CMakeFiles/cfm_runtime.dir/interpreter.cc.o.d"
+  "/root/repo/src/runtime/noninterference.cc" "src/runtime/CMakeFiles/cfm_runtime.dir/noninterference.cc.o" "gcc" "src/runtime/CMakeFiles/cfm_runtime.dir/noninterference.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/cfm_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/cfm_runtime.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_runtime.dir/bytecode.cc.o"
+  "CMakeFiles/cfm_runtime.dir/bytecode.cc.o.d"
+  "CMakeFiles/cfm_runtime.dir/explorer.cc.o"
+  "CMakeFiles/cfm_runtime.dir/explorer.cc.o.d"
+  "CMakeFiles/cfm_runtime.dir/interpreter.cc.o"
+  "CMakeFiles/cfm_runtime.dir/interpreter.cc.o.d"
+  "CMakeFiles/cfm_runtime.dir/noninterference.cc.o"
+  "CMakeFiles/cfm_runtime.dir/noninterference.cc.o.d"
+  "CMakeFiles/cfm_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/cfm_runtime.dir/scheduler.cc.o.d"
+  "libcfm_runtime.a"
+  "libcfm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfm_support.dir/diagnostic.cc.o"
+  "CMakeFiles/cfm_support.dir/diagnostic.cc.o.d"
+  "CMakeFiles/cfm_support.dir/source_location.cc.o"
+  "CMakeFiles/cfm_support.dir/source_location.cc.o.d"
+  "CMakeFiles/cfm_support.dir/source_manager.cc.o"
+  "CMakeFiles/cfm_support.dir/source_manager.cc.o.d"
+  "CMakeFiles/cfm_support.dir/text.cc.o"
+  "CMakeFiles/cfm_support.dir/text.cc.o.d"
+  "libcfm_support.a"
+  "libcfm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

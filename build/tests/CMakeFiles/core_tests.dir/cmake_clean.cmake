@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cfm_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cfm_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/denning_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/denning_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/explain_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/explain_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/inference_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/inference_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/static_binding_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/static_binding_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

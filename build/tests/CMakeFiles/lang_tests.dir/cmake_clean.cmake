@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_tests.dir/lang/lexer_test.cc.o"
+  "CMakeFiles/lang_tests.dir/lang/lexer_test.cc.o.d"
+  "CMakeFiles/lang_tests.dir/lang/parser_test.cc.o"
+  "CMakeFiles/lang_tests.dir/lang/parser_test.cc.o.d"
+  "CMakeFiles/lang_tests.dir/lang/printer_test.cc.o"
+  "CMakeFiles/lang_tests.dir/lang/printer_test.cc.o.d"
+  "CMakeFiles/lang_tests.dir/lang/stats_test.cc.o"
+  "CMakeFiles/lang_tests.dir/lang/stats_test.cc.o.d"
+  "lang_tests"
+  "lang_tests.pdb"
+  "lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_tests.dir/lattice/extended_test.cc.o"
+  "CMakeFiles/lattice_tests.dir/lattice/extended_test.cc.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/hasse_test.cc.o"
+  "CMakeFiles/lattice_tests.dir/lattice/hasse_test.cc.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_axioms_test.cc.o"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_axioms_test.cc.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_edge_test.cc.o"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_edge_test.cc.o.d"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_spec_test.cc.o"
+  "CMakeFiles/lattice_tests.dir/lattice/lattice_spec_test.cc.o.d"
+  "lattice_tests"
+  "lattice_tests.pdb"
+  "lattice_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

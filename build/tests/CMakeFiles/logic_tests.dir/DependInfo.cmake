@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/logic/assertion_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/assertion_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/assertion_test.cc.o.d"
+  "/root/repo/tests/logic/checker_strictness_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/checker_strictness_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/checker_strictness_test.cc.o.d"
+  "/root/repo/tests/logic/class_expr_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/class_expr_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/class_expr_test.cc.o.d"
+  "/root/repo/tests/logic/proof_builder_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/proof_builder_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/proof_builder_test.cc.o.d"
+  "/root/repo/tests/logic/proof_checker_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/proof_checker_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/proof_checker_test.cc.o.d"
+  "/root/repo/tests/logic/proof_io_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/proof_io_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/proof_io_test.cc.o.d"
+  "/root/repo/tests/logic/proof_print_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/proof_print_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/proof_print_test.cc.o.d"
+  "/root/repo/tests/logic/theorem2_test.cc" "tests/CMakeFiles/logic_tests.dir/logic/theorem2_test.cc.o" "gcc" "tests/CMakeFiles/logic_tests.dir/logic/theorem2_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/cfm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/cfm_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cfm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cfm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/cfm_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/cfm_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cfm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

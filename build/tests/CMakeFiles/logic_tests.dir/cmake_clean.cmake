@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_tests.dir/logic/assertion_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/assertion_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/checker_strictness_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/checker_strictness_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/class_expr_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/class_expr_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/proof_builder_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/proof_builder_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/proof_checker_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/proof_checker_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/proof_io_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/proof_io_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/proof_print_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/proof_print_test.cc.o.d"
+  "CMakeFiles/logic_tests.dir/logic/theorem2_test.cc.o"
+  "CMakeFiles/logic_tests.dir/logic/theorem2_test.cc.o.d"
+  "logic_tests"
+  "logic_tests.pdb"
+  "logic_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/cert_proof_equivalence_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/cert_proof_equivalence_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/fuzz_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/fuzz_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/generator_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/generator_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/proof_fuzz_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/proof_fuzz_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/soundness_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/soundness_test.cc.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/exhaustive_ni_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/exhaustive_ni_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/explorer_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/explorer_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/interpreter_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/interpreter_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/noninterference_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/noninterference_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/stress_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/stress_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/taint_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/taint_test.cc.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/trace_test.cc.o"
+  "CMakeFiles/runtime_tests.dir/runtime/trace_test.cc.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+  "runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfmc.dir/cfmc_main.cc.o"
+  "CMakeFiles/cfmc.dir/cfmc_main.cc.o.d"
+  "cfmc"
+  "cfmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
