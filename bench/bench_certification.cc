@@ -13,22 +13,33 @@
 #include "src/core/denning.h"
 #include "src/lang/parser.h"
 #include "src/lang/printer.h"
+#include "src/lattice/compiled.h"
+#include "src/lattice/hasse.h"
 
 namespace cfm {
 namespace {
 
 // --- Figure 2 rows, in isolation --------------------------------------------
 
+// The SourceManager must outlive its Program: diagnostics and source
+// locations reference the managed buffer, so the cache keeps the pair.
+struct CachedProgram {
+  std::unique_ptr<SourceManager> sm;
+  std::unique_ptr<Program> program;
+};
+
 const Program& ConstructProgram(const std::string& source) {
-  static auto* cache = new std::map<std::string, std::unique_ptr<Program>>();
+  static auto* cache = new std::map<std::string, CachedProgram>();
   auto it = cache->find(source);
   if (it == cache->end()) {
-    SourceManager sm("<bench>", source);
+    CachedProgram entry;
+    entry.sm = std::make_unique<SourceManager>("<bench>", source);
     DiagnosticEngine diags;
-    auto program = ParseProgram(sm, diags);
-    it = cache->emplace(source, std::make_unique<Program>(std::move(*program))).first;
+    auto program = ParseProgram(*entry.sm, diags);
+    entry.program = std::make_unique<Program>(std::move(*program));
+    it = cache->emplace(source, std::move(entry)).first;
   }
-  return *it->second;
+  return *it->second.program;
 }
 
 void BM_Fig2_Construct(benchmark::State& state, const char* source) {
@@ -97,6 +108,65 @@ void BM_Parse_Scaling(benchmark::State& state) {
   state.counters["source_bytes"] = static_cast<double>(source.size());
 }
 BENCHMARK(BM_Parse_Scaling)->RangeMultiplier(4)->Range(64, 16384);
+
+// --- Lattice backend impact on certification ---------------------------------
+// End-to-end CertifyCfm where the security classes live in a 16x16 grid
+// Hasse lattice, interpreted (cover-graph walks per op) versus compiled
+// (table lookups). A scattered binding keeps the join/leq arguments varied so
+// the lattice actually works.
+
+std::unique_ptr<HasseLattice> BenchGridLattice(uint64_t side) {
+  std::vector<std::string> names;
+  std::vector<std::pair<uint64_t, uint64_t>> covers;
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      names.push_back("g" + std::to_string(r) + "_" + std::to_string(c));
+      if (r + 1 < side) {
+        covers.push_back({r * side + c, (r + 1) * side + c});
+      }
+      if (c + 1 < side) {
+        covers.push_back({r * side + c, r * side + c + 1});
+      }
+    }
+  }
+  auto result = HasseLattice::Create(std::move(names), covers);
+  return std::move(result.value());
+}
+
+StaticBinding ScatteredBinding(const Program& program, const Lattice& base) {
+  StaticBinding binding(base, program.symbols());
+  uint64_t i = 0;
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    binding.Bind(symbol.id, (i * 7 + 3) % base.size());
+    ++i;
+  }
+  return binding;
+}
+
+void CertifyOverBase(benchmark::State& state, const Lattice& base) {
+  const Program& program = bench::ProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = ScatteredBinding(program, base);
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.counters["ast_nodes"] = static_cast<double>(nodes);
+}
+
+void BM_Cfm_InterpretedHasse(benchmark::State& state) {
+  auto base = BenchGridLattice(16);
+  CertifyOverBase(state, *base);
+}
+BENCHMARK(BM_Cfm_InterpretedHasse)->Arg(1024)->Arg(4096);
+
+void BM_Cfm_CompiledHasse(benchmark::State& state) {
+  auto base = BenchGridLattice(16);
+  auto compiled = CompiledLattice::Compile(*base);
+  CertifyOverBase(state, *compiled);
+}
+BENCHMARK(BM_Cfm_CompiledHasse)->Arg(1024)->Arg(4096);
 
 // Rejected bindings exercise the violation-reporting path.
 void BM_Cfm_RejectingBinding(benchmark::State& state) {

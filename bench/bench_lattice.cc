@@ -1,8 +1,9 @@
 // Experiment: the classification-scheme substrate (Definitions 1 and 4).
 // Series: Leq/Join/Meet cost per lattice family and size (CFM executes a
 // constant number of these per AST node, so they set the linearity
-// constant), Hasse-lattice construction (transitive closure + LUB/GLB
-// tables), and exhaustive validation cost.
+// constant), interpreted (cover-graph walking) versus compiled (dense-table)
+// Hasse backends, CompiledLattice construction cost, Hasse-lattice
+// construction/validation cost.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "src/lattice/chain.h"
+#include "src/lattice/compiled.h"
 #include "src/lattice/extended.h"
 #include "src/lattice/hasse.h"
 #include "src/lattice/powerset.h"
@@ -33,6 +35,30 @@ void OpsOverLattice(benchmark::State& state, const Lattice& lattice) {
     j += 5;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3);
+}
+
+void LeqOverLattice(benchmark::State& state, const Lattice& lattice) {
+  const uint64_t n = lattice.size();
+  uint64_t i = 1;
+  uint64_t j = n / 2 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lattice.Leq(i % n, j % n));
+    i += 3;
+    j += 5;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void JoinOverLattice(benchmark::State& state, const Lattice& lattice) {
+  const uint64_t n = lattice.size();
+  uint64_t i = 1;
+  uint64_t j = n / 2 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lattice.Join(i % n, j % n));
+    i += 3;
+    j += 5;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
 void BM_TwoPointOps(benchmark::State& state) {
@@ -96,6 +122,77 @@ void BM_HasseOps(benchmark::State& state) {
   OpsOverLattice(state, *lattice);
 }
 BENCHMARK(BM_HasseOps)->Arg(4)->Arg(8)->Arg(16);
+
+// --- Interpreted vs compiled backends ----------------------------------------
+// The headline series: HasseLattice answers by walking the cover graph per
+// call; CompiledLattice answers from precomputed tables. The ratio is the
+// constant-factor claim behind the Section 6 linearity argument.
+
+void BM_HasseLeq(benchmark::State& state) {
+  auto lattice = GridLattice(static_cast<uint64_t>(state.range(0)));
+  LeqOverLattice(state, *lattice);
+}
+BENCHMARK(BM_HasseLeq)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HasseJoin(benchmark::State& state) {
+  auto lattice = GridLattice(static_cast<uint64_t>(state.range(0)));
+  JoinOverLattice(state, *lattice);
+}
+BENCHMARK(BM_HasseJoin)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CompiledHasseLeq(benchmark::State& state) {
+  auto base = GridLattice(static_cast<uint64_t>(state.range(0)));
+  auto compiled = CompiledLattice::Compile(*base);
+  LeqOverLattice(state, *compiled);
+}
+BENCHMARK(BM_CompiledHasseLeq)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CompiledHasseJoin(benchmark::State& state) {
+  auto base = GridLattice(static_cast<uint64_t>(state.range(0)));
+  auto compiled = CompiledLattice::Compile(*base);
+  JoinOverLattice(state, *compiled);
+}
+BENCHMARK(BM_CompiledHasseJoin)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CompiledHasseOps(benchmark::State& state) {
+  auto base = GridLattice(static_cast<uint64_t>(state.range(0)));
+  auto compiled = CompiledLattice::Compile(*base);
+  OpsOverLattice(state, *compiled);
+}
+BENCHMARK(BM_CompiledHasseOps)->Arg(4)->Arg(8)->Arg(16);
+
+// Lazy-row tier: too big for dense tables (forced via the threshold), rows
+// materialize on first touch and then hit the cache.
+void BM_CompiledLazyRowOps(benchmark::State& state) {
+  ChainLattice base = ChainLattice::WithLevels(4096);
+  auto compiled = CompiledLattice::Compile(base, /*dense_threshold=*/64);
+  OpsOverLattice(state, *compiled);
+}
+BENCHMARK(BM_CompiledLazyRowOps);
+
+// Delegation tier: a 2^20-element powerset, far beyond any table budget;
+// compiled adds only the tier dispatch on top of the base's own O(1) ops.
+void BM_CompiledDelegateOps(benchmark::State& state) {
+  std::vector<std::string> categories;
+  for (int64_t i = 0; i < 20; ++i) {
+    categories.push_back("c" + std::to_string(i));
+  }
+  PowersetLattice base(categories);
+  auto compiled = CompiledLattice::Compile(base);
+  OpsOverLattice(state, *compiled);
+}
+BENCHMARK(BM_CompiledDelegateOps);
+
+// One-off compilation cost, to amortize against the per-op wins above.
+void BM_CompileLattice(benchmark::State& state) {
+  auto base = GridLattice(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto compiled = CompiledLattice::Compile(*base);
+    benchmark::DoNotOptimize(compiled->size());
+  }
+  state.counters["elements"] = static_cast<double>(base->size());
+}
+BENCHMARK(BM_CompileLattice)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_HasseConstruction(benchmark::State& state) {
   const uint64_t side = static_cast<uint64_t>(state.range(0));

@@ -1,0 +1,92 @@
+#include "src/core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/core/static_binding.h"
+#include "src/lang/parser.h"
+#include "src/support/diagnostic.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+namespace {
+
+BatchJobResult CertifyOne(const BatchJob& job, const Lattice& base, const CfmOptions& options) {
+  BatchJobResult out;
+  out.name = job.name;
+
+  SourceManager sm(job.name, job.source);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  if (!program) {
+    out.error = diags.RenderAll(sm);
+    return out;
+  }
+  auto binding = StaticBinding::FromAnnotations(base, program->symbols());
+  if (!binding) {
+    out.error = binding.error();
+    return out;
+  }
+  out.parse_ok = true;
+  out.stmt_count = program->stmt_count();
+  CertificationResult result = CertifyCfm(*program, *binding, options);
+  out.certified = result.certified();
+  out.violation_count = static_cast<uint32_t>(result.violations().size());
+  return out;
+}
+
+}  // namespace
+
+BatchCertifier::BatchCertifier(const Lattice& base, BatchOptions options)
+    : base_(base), options_(options) {}
+
+BatchSummary BatchCertifier::Run(const std::vector<BatchJob>& jobs) const {
+  BatchSummary summary;
+  summary.results.resize(jobs.size());
+
+  uint32_t workers = options_.jobs;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers = static_cast<uint32_t>(std::min<size_t>(workers, jobs.size()));
+
+  std::atomic<size_t> cursor{0};
+  auto drain = [&]() {
+    while (true) {
+      size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) {
+        return;
+      }
+      summary.results[index] = CertifyOne(jobs[index], base_, options_.cfm);
+    }
+  };
+
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      pool.emplace_back(drain);
+    }
+    for (std::thread& worker : pool) {
+      worker.join();
+    }
+  }
+
+  for (const BatchJobResult& result : summary.results) {
+    if (!result.parse_ok) {
+      ++summary.failed;
+    } else if (result.certified) {
+      ++summary.certified;
+      summary.total_stmts += result.stmt_count;
+    } else {
+      ++summary.rejected;
+      summary.total_stmts += result.stmt_count;
+    }
+  }
+  return summary;
+}
+
+}  // namespace cfm

@@ -1,0 +1,69 @@
+// Parallel batch certification — the "heavy traffic" entry point. A
+// BatchCertifier owns nothing but a reference to a shared, immutable
+// classification scheme (compile it once with CompiledLattice for O(1)
+// operations) and certifies a whole corpus of programs with a small pool of
+// worker threads. Each job parses and certifies independently: workers share
+// no mutable state beyond an atomic work-queue cursor, and each result lands
+// in its own pre-allocated slot, so runs are deterministic regardless of
+// thread count or scheduling.
+
+#ifndef SRC_CORE_BATCH_H_
+#define SRC_CORE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/cfm.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// One program to certify: a display name (file path, corpus key, ...) and
+// its source text.
+struct BatchJob {
+  std::string name;
+  std::string source;
+};
+
+struct BatchJobResult {
+  std::string name;
+  bool parse_ok = false;
+  bool certified = false;
+  uint32_t violation_count = 0;
+  uint32_t stmt_count = 0;
+  std::string error;  // Rendered diagnostics when parsing or binding failed.
+};
+
+struct BatchOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency() (min 1).
+  uint32_t jobs = 0;
+  CfmOptions cfm;
+};
+
+struct BatchSummary {
+  std::vector<BatchJobResult> results;  // Same order as the submitted jobs.
+  uint64_t certified = 0;
+  uint64_t rejected = 0;  // Parsed but not certified.
+  uint64_t failed = 0;    // Parse or binding errors.
+  uint64_t total_stmts = 0;
+
+  bool all_certified() const { return rejected == 0 && failed == 0; }
+};
+
+class BatchCertifier {
+ public:
+  // `base` must outlive the certifier and be safe for concurrent readers
+  // (every lattice in this library is).
+  explicit BatchCertifier(const Lattice& base, BatchOptions options = {});
+
+  BatchSummary Run(const std::vector<BatchJob>& jobs) const;
+
+ private:
+  const Lattice& base_;
+  BatchOptions options_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_BATCH_H_

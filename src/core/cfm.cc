@@ -260,7 +260,9 @@ class CfmPass {
 
   const SymbolTable& symbols_;
   const StaticBinding& binding_;
-  const ExtendedLattice& ext_;
+  // Devirtualized nil-extension ops: one table-backed view per pass instead
+  // of a virtual lattice call per AST node.
+  ExtendedOps ext_;
   CfmOptions options_;
   CertificationResult& result_;
 };

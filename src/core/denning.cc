@@ -192,7 +192,8 @@ class DenningPass {
 
   const SymbolTable& symbols_;
   const StaticBinding& binding_;
-  const ExtendedLattice& ext_;
+  // Devirtualized nil-extension ops; see the CfmPass sibling.
+  ExtendedOps ext_;
   DenningMode mode_;
   CertificationResult& result_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/certification.h"
+#include "src/lattice/ops.h"
 
 namespace cfm {
 
@@ -192,6 +193,9 @@ InferenceResult InferBinding(const Program& program, const Lattice& base,
                              const std::vector<std::pair<SymbolId, ClassId>>& pinned) {
   InferenceResult result{StaticBinding(base, program.symbols()), {}, {}};
   result.constraints = ExtractConstraints(program.root());
+  // Devirtualized view for the propagation loops below: the fixpoint touches
+  // every constraint once per round, so lattice calls dominate.
+  const LatticeOps ops(base);
 
   std::vector<bool> is_pinned(program.symbols().size(), false);
   for (auto [symbol, base_class] : pinned) {
@@ -208,13 +212,13 @@ InferenceResult InferBinding(const Program& program, const Lattice& base,
     for (const FlowConstraint& constraint : result.constraints) {
       ClassId src = result.binding.binding(constraint.source);
       ClassId dst = result.binding.binding(constraint.target);
-      if (base.Leq(src, dst)) {
+      if (ops.Leq(src, dst)) {
         continue;
       }
       if (is_pinned[constraint.target]) {
         continue;  // Conflicts are gathered after the fixpoint settles.
       }
-      result.binding.Bind(constraint.target, base.Join(src, dst));
+      result.binding.Bind(constraint.target, ops.Join(src, dst));
       changed = true;
     }
   }
@@ -228,8 +232,8 @@ InferenceResult InferBinding(const Program& program, const Lattice& base,
     }
     ClassId src = result.binding.binding(constraint.source);
     ClassId dst = result.binding.binding(constraint.target);
-    if (!base.Leq(src, dst)) {
-      required[constraint.target] = base.Join(required[constraint.target], src);
+    if (!ops.Leq(src, dst)) {
+      required[constraint.target] = ops.Join(required[constraint.target], src);
       conflicted[constraint.target] = true;
     }
   }

@@ -5,7 +5,7 @@
 namespace cfm {
 
 StaticBinding::StaticBinding(const Lattice& base, const SymbolTable& symbols)
-    : base_(base), extended_(base), bindings_(symbols.size(), base.Bottom()) {}
+    : base_(base), ops_(base), extended_(base), bindings_(symbols.size(), base.Bottom()) {}
 
 Result<StaticBinding> StaticBinding::FromAnnotations(const Lattice& base,
                                                      const SymbolTable& symbols) {
@@ -28,17 +28,17 @@ ClassId StaticBinding::ExprBinding(const Expr& expr) const {
   switch (expr.kind()) {
     case ExprKind::kIntLiteral:
     case ExprKind::kBoolLiteral:
-      return base_.Bottom();
+      return ops_.Bottom();
     case ExprKind::kVarRef:
       return binding(expr.As<VarRef>().symbol());
     case ExprKind::kUnary:
       return ExprBinding(expr.As<UnaryExpr>().operand());
     case ExprKind::kBinary: {
       const auto& binary = expr.As<BinaryExpr>();
-      return base_.Join(ExprBinding(binary.lhs()), ExprBinding(binary.rhs()));
+      return ops_.Join(ExprBinding(binary.lhs()), ExprBinding(binary.rhs()));
     }
   }
-  return base_.Bottom();
+  return ops_.Bottom();
 }
 
 std::string StaticBinding::Describe(const SymbolTable& symbols) const {

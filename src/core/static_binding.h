@@ -11,6 +11,7 @@
 #include "src/lang/ast.h"
 #include "src/lattice/extended.h"
 #include "src/lattice/lattice.h"
+#include "src/lattice/ops.h"
 #include "src/support/result.h"
 
 namespace cfm {
@@ -27,6 +28,7 @@ class StaticBinding {
 
   const Lattice& base_lattice() const { return base_; }
   const ExtendedLattice& extended() const { return extended_; }
+  const LatticeOps& base_ops() const { return ops_; }
 
   // Binding of a variable, as a base-lattice class.
   ClassId binding(SymbolId symbol) const { return bindings_[symbol]; }
@@ -52,6 +54,7 @@ class StaticBinding {
 
  private:
   const Lattice& base_;
+  LatticeOps ops_;
   ExtendedLattice extended_;
   std::vector<ClassId> bindings_;  // Indexed by SymbolId; base-lattice ids.
 };

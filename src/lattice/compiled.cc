@@ -1,0 +1,191 @@
+#include "src/lattice/compiled.h"
+
+#include <bit>
+#include <mutex>
+
+namespace cfm {
+
+namespace {
+
+inline bool TestBit(const uint64_t* row, ClassId b) {
+  return (row[b >> 6] >> (b & 63)) & 1;
+}
+
+}  // namespace
+
+CompiledLattice::CompiledLattice(const Lattice& base) : base_(base) {}
+
+std::unique_ptr<CompiledLattice> CompiledLattice::Compile(const Lattice& base,
+                                                          uint64_t dense_threshold) {
+  auto compiled = std::unique_ptr<CompiledLattice>(new CompiledLattice(base));
+  compiled->n_ = base.size();
+  compiled->words_ = (compiled->n_ + 63) / 64;
+  compiled->bottom_ = base.Bottom();
+  compiled->top_ = base.Top();
+  if (compiled->n_ > 0 && compiled->n_ <= dense_threshold) {
+    compiled->tier_ = Tier::kDense;
+    compiled->CompileDense();
+  } else if (compiled->n_ > 0 && compiled->n_ <= kRowCacheLimit) {
+    compiled->tier_ = Tier::kLazyRows;
+  } else {
+    compiled->tier_ = Tier::kDelegate;
+  }
+  return compiled;
+}
+
+void CompiledLattice::CompileDense() {
+  const uint64_t n = n_;
+  const uint64_t words = words_;
+
+  // Pass 1: the order relation, one base.Leq per pair. Row a is the packed
+  // up-set of a; the transposed rows (down-sets) drive the meet search.
+  leq_bits_.assign(n * words, 0);
+  std::vector<uint64_t> geq_bits(n * words, 0);
+  for (ClassId a = 0; a < n; ++a) {
+    uint64_t* row = &leq_bits_[a * words];
+    for (ClassId b = 0; b < n; ++b) {
+      if (base_.Leq(a, b)) {
+        row[b >> 6] |= uint64_t{1} << (b & 63);
+        geq_bits[b * words + (a >> 6)] |= uint64_t{1} << (a & 63);
+      }
+    }
+  }
+
+  // |up-set| and |down-set| per element. The least upper bound of a pair is
+  // the unique common upper bound c whose up-set covers all common upper
+  // bounds, i.e. |up(c)| equals the common-upper-bound count — this avoids
+  // calling base.Join per pair, which for graph-walking lattices would make
+  // compilation quartic.
+  std::vector<uint64_t> up_count(n, 0);
+  std::vector<uint64_t> down_count(n, 0);
+  for (ClassId a = 0; a < n; ++a) {
+    uint64_t up = 0;
+    uint64_t down = 0;
+    for (uint64_t w = 0; w < words; ++w) {
+      up += static_cast<uint64_t>(std::popcount(leq_bits_[a * words + w]));
+      down += static_cast<uint64_t>(std::popcount(geq_bits[a * words + w]));
+    }
+    up_count[a] = up;
+    down_count[a] = down;
+  }
+
+  join_.assign(n * n, 0);
+  meet_.assign(n * n, 0);
+  std::vector<uint64_t> common(words);
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = a; b < n; ++b) {
+      // Join: intersect the up-sets, then pick the bound whose up-set count
+      // matches the intersection size.
+      uint64_t count = 0;
+      for (uint64_t w = 0; w < words; ++w) {
+        common[w] = leq_bits_[a * words + w] & leq_bits_[b * words + w];
+        count += static_cast<uint64_t>(std::popcount(common[w]));
+      }
+      ClassId lub = n;
+      for (uint64_t w = 0; w < words && lub == n; ++w) {
+        uint64_t bits = common[w];
+        while (bits != 0) {
+          ClassId c = w * 64 + static_cast<ClassId>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (up_count[c] == count) {
+            lub = c;
+            break;
+          }
+        }
+      }
+      // A valid complete lattice always yields a candidate; if the wrapped
+      // order is inconsistent, defer to its own answer rather than invent one.
+      ClassId join = lub < n ? lub : base_.Join(a, b);
+      join_[a * n + b] = join_[b * n + a] = join;
+
+      // Meet: the dual search over down-sets.
+      count = 0;
+      for (uint64_t w = 0; w < words; ++w) {
+        common[w] = geq_bits[a * words + w] & geq_bits[b * words + w];
+        count += static_cast<uint64_t>(std::popcount(common[w]));
+      }
+      ClassId glb = n;
+      for (uint64_t w = 0; w < words && glb == n; ++w) {
+        uint64_t bits = common[w];
+        while (bits != 0) {
+          ClassId c = w * 64 + static_cast<ClassId>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (down_count[c] == count) {
+            glb = c;
+            break;
+          }
+        }
+      }
+      ClassId meet = glb < n ? glb : base_.Meet(a, b);
+      meet_[a * n + b] = meet_[b * n + a] = meet;
+    }
+  }
+
+  tables_.n = n;
+  tables_.words_per_row = words;
+  tables_.leq = leq_bits_.data();
+  tables_.join = join_.data();
+  tables_.meet = meet_.data();
+}
+
+const CompiledLattice::Row& CompiledLattice::MaterializedRow(ClassId a) const {
+  {
+    std::shared_lock lock(rows_mu_);
+    auto it = rows_.find(a);
+    if (it != rows_.end()) {
+      return *it->second;
+    }
+  }
+  auto row = std::make_unique<Row>();
+  row->leq.assign(words_, 0);
+  row->join.resize(n_);
+  row->meet.resize(n_);
+  for (ClassId b = 0; b < n_; ++b) {
+    if (base_.Leq(a, b)) {
+      row->leq[b >> 6] |= uint64_t{1} << (b & 63);
+    }
+    row->join[b] = base_.Join(a, b);
+    row->meet[b] = base_.Meet(a, b);
+  }
+  std::unique_lock lock(rows_mu_);
+  auto [it, inserted] = rows_.emplace(a, std::move(row));
+  return *it->second;  // A racing thread's row wins; contents are identical.
+}
+
+bool CompiledLattice::Leq(ClassId a, ClassId b) const {
+  switch (tier_) {
+    case Tier::kDense:
+      return TestBit(&leq_bits_[a * words_], b);
+    case Tier::kLazyRows:
+      return TestBit(MaterializedRow(a).leq.data(), b);
+    case Tier::kDelegate:
+      return base_.Leq(a, b);
+  }
+  return base_.Leq(a, b);
+}
+
+ClassId CompiledLattice::Join(ClassId a, ClassId b) const {
+  switch (tier_) {
+    case Tier::kDense:
+      return join_[a * n_ + b];
+    case Tier::kLazyRows:
+      return MaterializedRow(a).join[b];
+    case Tier::kDelegate:
+      return base_.Join(a, b);
+  }
+  return base_.Join(a, b);
+}
+
+ClassId CompiledLattice::Meet(ClassId a, ClassId b) const {
+  switch (tier_) {
+    case Tier::kDense:
+      return meet_[a * n_ + b];
+    case Tier::kLazyRows:
+      return MaterializedRow(a).meet[b];
+    case Tier::kDelegate:
+      return base_.Meet(a, b);
+  }
+  return base_.Meet(a, b);
+}
+
+}  // namespace cfm

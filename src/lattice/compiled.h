@@ -1,0 +1,111 @@
+// Compiled lattice backend: precomputes, at construction, the full Leq
+// relation as packed bitset rows plus dense n×n join/meet tables, so every
+// query is a table lookup regardless of how expensive the wrapped lattice's
+// own operations are (HasseLattice walks its cover graph per query; product
+// lattices divide and multiply). This is what makes the paper's Section 6
+// linearity claim hold with a constant independent of the scheme: CFM issues
+// a fixed number of ⊕/⊗/≤ per AST node, so certification is linear only if
+// those are O(1).
+//
+// Three tiers keep memory bounded (a powerset of 48 categories has 2^48
+// elements, so dense tables cannot always exist):
+//   dense     — size ≤ dense_threshold: full tables built eagerly.
+//   lazy rows — size ≤ kRowCacheLimit: rows materialized on first touch and
+//               cached under a shared_mutex (safe for concurrent readers,
+//               e.g. the BatchCertifier worker pool).
+//   delegate  — anything larger: queries forward to the wrapped lattice,
+//               which for huge families (powersets) is already O(1).
+//
+// A CompiledLattice is safe to share across threads in every tier.
+
+#ifndef SRC_LATTICE_COMPILED_H_
+#define SRC_LATTICE_COMPILED_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// Raw views of the dense tier's tables, for callers (LatticeOps) that want
+// to query without any virtual dispatch. Row-major; leq rows are packed
+// 64-bit words: bit b of word (a*words_per_row + b/64) holds a ≤ b.
+struct LatticeTables {
+  uint64_t n = 0;
+  uint64_t words_per_row = 0;
+  const uint64_t* leq = nullptr;
+  const ClassId* join = nullptr;
+  const ClassId* meet = nullptr;
+};
+
+class CompiledLattice final : public Lattice {
+ public:
+  // Largest size compiled to full dense tables by default (2 * 8 MiB).
+  static constexpr uint64_t kDefaultDenseThreshold = 1024;
+  // Largest size served by the lazy row cache; beyond this, delegate.
+  static constexpr uint64_t kRowCacheLimit = uint64_t{1} << 14;
+
+  // Compiles `base`, which must outlive the result. Never fails; the tier is
+  // picked from base.size() as described above.
+  static std::unique_ptr<CompiledLattice> Compile(
+      const Lattice& base, uint64_t dense_threshold = kDefaultDenseThreshold);
+
+  const Lattice& base() const { return base_; }
+
+  // Non-null exactly in the dense tier; stable for the lattice's lifetime.
+  const LatticeTables* dense() const { return tables_.leq != nullptr ? &tables_ : nullptr; }
+
+  uint64_t size() const override { return n_; }
+  bool Leq(ClassId a, ClassId b) const override;
+  ClassId Join(ClassId a, ClassId b) const override;
+  ClassId Meet(ClassId a, ClassId b) const override;
+  ClassId Bottom() const override { return bottom_; }
+  ClassId Top() const override { return top_; }
+  std::string ElementName(ClassId id) const override { return base_.ElementName(id); }
+  std::optional<ClassId> FindElement(std::string_view name) const override {
+    return base_.FindElement(name);
+  }
+  std::string Describe() const override { return "compiled(" + base_.Describe() + ")"; }
+
+ private:
+  enum class Tier : uint8_t { kDense, kLazyRows, kDelegate };
+
+  // One materialized row of the lazy tier: the Leq bits, joins and meets of
+  // a fixed left operand against every element.
+  struct Row {
+    std::vector<uint64_t> leq;
+    std::vector<ClassId> join;
+    std::vector<ClassId> meet;
+  };
+
+  explicit CompiledLattice(const Lattice& base);
+
+  void CompileDense();
+  const Row& MaterializedRow(ClassId a) const;
+
+  const Lattice& base_;
+  Tier tier_ = Tier::kDelegate;
+  uint64_t n_ = 0;
+  uint64_t words_ = 0;  // Words per packed leq row.
+  ClassId bottom_ = 0;
+  ClassId top_ = 0;
+
+  // Dense tier storage (empty otherwise).
+  std::vector<uint64_t> leq_bits_;
+  std::vector<ClassId> join_;
+  std::vector<ClassId> meet_;
+  LatticeTables tables_;
+
+  // Lazy tier row cache.
+  mutable std::shared_mutex rows_mu_;
+  mutable std::unordered_map<ClassId, std::unique_ptr<Row>> rows_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_COMPILED_H_

@@ -4,11 +4,16 @@
 // absorbing for ⊗, and nil ≤ x for every x.
 //
 // Id mapping: 0 is nil; base element b becomes b + 1.
+//
+// The base lattice is accessed through a cached LatticeOps view, so when the
+// base is a dense CompiledLattice every nil-extension lookup resolves to a
+// table read with no virtual dispatch.
 
 #ifndef SRC_LATTICE_EXTENDED_H_
 #define SRC_LATTICE_EXTENDED_H_
 
 #include "src/lattice/lattice.h"
+#include "src/lattice/ops.h"
 
 namespace cfm {
 
@@ -17,9 +22,10 @@ class ExtendedLattice final : public Lattice {
   static constexpr ClassId kNil = 0;
 
   // `base` must outlive this lattice.
-  explicit ExtendedLattice(const Lattice& base) : base_(base) {}
+  explicit ExtendedLattice(const Lattice& base) : base_(base), ops_(base) {}
 
   const Lattice& base() const { return base_; }
+  const LatticeOps& base_ops() const { return ops_; }
 
   // Embeds a base-lattice element into the extended lattice.
   ClassId FromBase(ClassId base_id) const { return base_id + 1; }
@@ -31,7 +37,7 @@ class ExtendedLattice final : public Lattice {
 
   // The embedded bottom of the *base* lattice ("low"); distinct from
   // Bottom(), which is nil.
-  ClassId Low() const { return FromBase(base_.Bottom()); }
+  ClassId Low() const { return FromBase(ops_.Bottom()); }
 
   uint64_t size() const override { return base_.size() + 1; }
   bool Leq(ClassId a, ClassId b) const override {
@@ -41,7 +47,7 @@ class ExtendedLattice final : public Lattice {
     if (b == kNil) {
       return false;
     }
-    return base_.Leq(ToBase(a), ToBase(b));
+    return ops_.Leq(ToBase(a), ToBase(b));
   }
   ClassId Join(ClassId a, ClassId b) const override {
     if (a == kNil) {
@@ -50,16 +56,16 @@ class ExtendedLattice final : public Lattice {
     if (b == kNil) {
       return a;
     }
-    return FromBase(base_.Join(ToBase(a), ToBase(b)));
+    return FromBase(ops_.Join(ToBase(a), ToBase(b)));
   }
   ClassId Meet(ClassId a, ClassId b) const override {
     if (a == kNil || b == kNil) {
       return kNil;
     }
-    return FromBase(base_.Meet(ToBase(a), ToBase(b)));
+    return FromBase(ops_.Meet(ToBase(a), ToBase(b)));
   }
   ClassId Bottom() const override { return kNil; }
-  ClassId Top() const override { return FromBase(base_.Top()); }
+  ClassId Top() const override { return FromBase(ops_.Top()); }
   std::string ElementName(ClassId id) const override {
     return id == kNil ? "nil" : base_.ElementName(ToBase(id));
   }
@@ -77,6 +83,52 @@ class ExtendedLattice final : public Lattice {
 
  private:
   const Lattice& base_;
+  LatticeOps ops_;
+};
+
+// The nil-extension view the certification passes iterate with: the same
+// operation semantics as ExtendedLattice, but as a concrete value type whose
+// calls inline away entirely (down to table reads when the base lattice is
+// compiled). One of these is built per pass, not per node.
+class ExtendedOps {
+ public:
+  static constexpr ClassId kNil = ExtendedLattice::kNil;
+
+  explicit ExtendedOps(const ExtendedLattice& extended)
+      : ops_(extended.base_ops()), top_(extended.Top()) {}
+
+  bool Leq(ClassId a, ClassId b) const {
+    if (a == kNil) {
+      return true;
+    }
+    if (b == kNil) {
+      return false;
+    }
+    return ops_.Leq(a - 1, b - 1);
+  }
+
+  ClassId Join(ClassId a, ClassId b) const {
+    if (a == kNil) {
+      return b;
+    }
+    if (b == kNil) {
+      return a;
+    }
+    return ops_.Join(a - 1, b - 1) + 1;
+  }
+
+  ClassId Meet(ClassId a, ClassId b) const {
+    if (a == kNil || b == kNil) {
+      return kNil;
+    }
+    return ops_.Meet(a - 1, b - 1) + 1;
+  }
+
+  ClassId Top() const { return top_; }
+
+ private:
+  LatticeOps ops_;
+  ClassId top_;
 };
 
 }  // namespace cfm

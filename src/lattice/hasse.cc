@@ -10,7 +10,7 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
   if (n == 0) {
     return MakeError("hasse lattice: no elements");
   }
-  // Keep the table sizes sane; n^2 tables and n^3 closure below.
+  // Keep the validation cost sane; the closure below is O(n^3).
   if (n > 4096) {
     return MakeError("hasse lattice: too many elements (max 4096)");
   }
@@ -24,8 +24,13 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
     }
   }
 
-  std::vector<uint8_t>& leq = lattice->leq_;
-  leq.assign(n * n, 0);
+  lattice->up_.assign(n, {});
+  lattice->down_.assign(n, {});
+
+  // Transient closure of the reachability order, used only to validate the
+  // complete-lattice property and locate bottom/top; it is discarded so the
+  // lattice itself stays O(V + E).
+  std::vector<uint8_t> leq(n * n, 0);
   for (uint64_t i = 0; i < n; ++i) {
     leq[i * n + i] = 1;
   }
@@ -34,6 +39,10 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
       return MakeError("hasse lattice: cover pair references unknown element");
     }
     leq[lo * n + hi] = 1;
+    if (lo != hi) {
+      lattice->up_[lo].push_back(static_cast<uint32_t>(hi));
+      lattice->down_[hi].push_back(static_cast<uint32_t>(lo));
+    }
   }
 
   // Floyd–Warshall style transitive closure of the reachability order.
@@ -64,8 +73,8 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
   // least bound exists the pass necessarily converges to it), then a
   // verification pass confirms the candidate bounds every other bound; a
   // failed verification means the order is not a lattice.
-  lattice->join_.assign(n * n, 0);
-  lattice->meet_.assign(n * n, 0);
+  std::vector<ClassId> join(n * n, 0);
+  std::vector<ClassId> meet(n * n, 0);
   for (uint64_t a = 0; a < n; ++a) {
     for (uint64_t b = a; b < n; ++b) {
       ClassId lub = n;  // Sentinel: not found.
@@ -110,8 +119,8 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
         return MakeError("hasse lattice: elements '" + lattice->names_[a] + "' and '" +
                          lattice->names_[b] + "' lack a greatest lower bound");
       }
-      lattice->join_[a * n + b] = lattice->join_[b * n + a] = lub;
-      lattice->meet_[a * n + b] = lattice->meet_[b * n + a] = glb;
+      join[a * n + b] = join[b * n + a] = lub;
+      meet[a * n + b] = meet[b * n + a] = glb;
     }
   }
 
@@ -119,8 +128,8 @@ Result<std::unique_ptr<HasseLattice>> HasseLattice::Create(
   ClassId bottom = 0;
   ClassId top = 0;
   for (uint64_t i = 1; i < n; ++i) {
-    bottom = lattice->meet_[bottom * n + i];
-    top = lattice->join_[top * n + i];
+    bottom = meet[bottom * n + i];
+    top = join[top * n + i];
   }
   lattice->bottom_ = bottom;
   lattice->top_ = top;
@@ -131,6 +140,76 @@ std::unique_ptr<HasseLattice> HasseLattice::Diamond() {
   auto result = Create({"low", "left", "right", "high"}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
   // The diamond is a valid lattice by construction.
   return std::move(result.value());
+}
+
+std::vector<uint8_t> HasseLattice::ReachableSet(
+    ClassId start, const std::vector<std::vector<uint32_t>>& edges) const {
+  std::vector<uint8_t> seen(names_.size(), 0);
+  std::vector<uint32_t> stack = {static_cast<uint32_t>(start)};
+  seen[start] = 1;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    for (uint32_t next : edges[node]) {
+      if (!seen[next]) {
+        seen[next] = 1;
+        stack.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+bool HasseLattice::Reaches(ClassId from, ClassId to,
+                           const std::vector<std::vector<uint32_t>>& edges) const {
+  if (from == to) {
+    return true;
+  }
+  std::vector<uint8_t> seen(names_.size(), 0);
+  std::vector<uint32_t> stack = {static_cast<uint32_t>(from)};
+  seen[from] = 1;
+  while (!stack.empty()) {
+    uint32_t node = stack.back();
+    stack.pop_back();
+    for (uint32_t next : edges[node]) {
+      if (next == to) {
+        return true;
+      }
+      if (!seen[next]) {
+        seen[next] = 1;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool HasseLattice::Leq(ClassId a, ClassId b) const { return Reaches(a, b, up_); }
+
+ClassId HasseLattice::Join(ClassId a, ClassId b) const {
+  // Common upper bounds, then the descending pass: construction guaranteed a
+  // least bound exists, and the least bound survives every comparison.
+  std::vector<uint8_t> above_a = ReachableSet(a, up_);
+  std::vector<uint8_t> above_b = ReachableSet(b, up_);
+  ClassId lub = names_.size();
+  for (ClassId c = 0; c < names_.size(); ++c) {
+    if (above_a[c] && above_b[c] && (lub == names_.size() || Reaches(c, lub, up_))) {
+      lub = c;
+    }
+  }
+  return lub;
+}
+
+ClassId HasseLattice::Meet(ClassId a, ClassId b) const {
+  std::vector<uint8_t> below_a = ReachableSet(a, down_);
+  std::vector<uint8_t> below_b = ReachableSet(b, down_);
+  ClassId glb = names_.size();
+  for (ClassId c = 0; c < names_.size(); ++c) {
+    if (below_a[c] && below_b[c] && (glb == names_.size() || Reaches(glb, c, up_))) {
+      glb = c;
+    }
+  }
+  return glb;
 }
 
 std::optional<ClassId> HasseLattice::FindElement(std::string_view name) const {

@@ -1,8 +1,14 @@
 // Arbitrary finite lattices specified by a Hasse diagram (cover relation).
-// Construction computes the order relation by transitive closure, verifies
-// the complete-lattice property (every pair has a unique least upper bound
-// and greatest lower bound, unique bottom and top), and precomputes dense
-// join/meet tables so queries are O(1).
+// Construction verifies the complete-lattice property (every pair has a
+// unique least upper bound and greatest lower bound, unique bottom and top)
+// using a transient transitive closure, then keeps only the cover-graph
+// adjacency: steady-state storage is O(V + E), so arbitrarily shaped schemes
+// stay cheap to hold even at the 4096-element cap.
+//
+// The trade-off is query cost: Leq walks the up-edges and Join/Meet search
+// the common bounds per call, i.e. this is the *interpreted* backend. Wrap a
+// HasseLattice in CompiledLattice (src/lattice/compiled.h) to get the O(1)
+// table-driven operations certification hot loops need.
 
 #ifndef SRC_LATTICE_HASSE_H_
 #define SRC_LATTICE_HASSE_H_
@@ -33,9 +39,9 @@ class HasseLattice final : public Lattice {
   static std::unique_ptr<HasseLattice> Diamond();
 
   uint64_t size() const override { return names_.size(); }
-  bool Leq(ClassId a, ClassId b) const override { return leq_[a * size() + b]; }
-  ClassId Join(ClassId a, ClassId b) const override { return join_[a * size() + b]; }
-  ClassId Meet(ClassId a, ClassId b) const override { return meet_[a * size() + b]; }
+  bool Leq(ClassId a, ClassId b) const override;
+  ClassId Join(ClassId a, ClassId b) const override;
+  ClassId Meet(ClassId a, ClassId b) const override;
   ClassId Bottom() const override { return bottom_; }
   ClassId Top() const override { return top_; }
   std::string ElementName(ClassId id) const override { return names_[id]; }
@@ -45,10 +51,16 @@ class HasseLattice final : public Lattice {
  private:
   HasseLattice() = default;
 
+  // Marks every element reachable from `start` along `edges` (the up-set for
+  // up_, the down-set for down_).
+  std::vector<uint8_t> ReachableSet(ClassId start,
+                                    const std::vector<std::vector<uint32_t>>& edges) const;
+  bool Reaches(ClassId from, ClassId to,
+               const std::vector<std::vector<uint32_t>>& edges) const;
+
   std::vector<std::string> names_;
-  std::vector<uint8_t> leq_;    // Row-major adjacency of the full order.
-  std::vector<ClassId> join_;   // Precomputed LUB table.
-  std::vector<ClassId> meet_;   // Precomputed GLB table.
+  std::vector<std::vector<uint32_t>> up_;    // Cover edges, lower -> upper.
+  std::vector<std::vector<uint32_t>> down_;  // Reversed cover edges.
   ClassId bottom_ = 0;
   ClassId top_ = 0;
   std::unordered_map<std::string, ClassId> by_name_;

@@ -1,0 +1,65 @@
+// LatticeOps: a lightweight, copyable view of a Lattice for hot loops. When
+// the viewed lattice is a dense-tier CompiledLattice, every operation reads
+// the precomputed tables through raw pointers — no virtual dispatch; for any
+// other lattice it degrades to one virtual call per operation. The
+// certification passes (CertifyCfm, CertifyDenning, InferBinding) query the
+// lattice a constant number of times per AST node, so this view is what
+// keeps their per-node constant small.
+//
+// A view never owns the lattice; the lattice must outlive it.
+
+#ifndef SRC_LATTICE_OPS_H_
+#define SRC_LATTICE_OPS_H_
+
+#include "src/lattice/compiled.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+class LatticeOps {
+ public:
+  explicit LatticeOps(const Lattice& lattice)
+      : lattice_(&lattice), bottom_(lattice.Bottom()), top_(lattice.Top()) {
+    if (const auto* compiled = dynamic_cast<const CompiledLattice*>(&lattice)) {
+      if (const LatticeTables* tables = compiled->dense()) {
+        tables_ = *tables;
+      }
+    }
+  }
+
+  const Lattice& lattice() const { return *lattice_; }
+
+  bool Leq(ClassId a, ClassId b) const {
+    if (tables_.leq != nullptr) {
+      return (tables_.leq[a * tables_.words_per_row + (b >> 6)] >> (b & 63)) & 1;
+    }
+    return lattice_->Leq(a, b);
+  }
+
+  ClassId Join(ClassId a, ClassId b) const {
+    if (tables_.join != nullptr) {
+      return tables_.join[a * tables_.n + b];
+    }
+    return lattice_->Join(a, b);
+  }
+
+  ClassId Meet(ClassId a, ClassId b) const {
+    if (tables_.meet != nullptr) {
+      return tables_.meet[a * tables_.n + b];
+    }
+    return lattice_->Meet(a, b);
+  }
+
+  ClassId Bottom() const { return bottom_; }
+  ClassId Top() const { return top_; }
+
+ private:
+  const Lattice* lattice_;
+  LatticeTables tables_;  // Zeroed (pointers null) unless compiled + dense.
+  ClassId bottom_;
+  ClassId top_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LATTICE_OPS_H_

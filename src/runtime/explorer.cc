@@ -1,14 +1,15 @@
 #include "src/runtime/explorer.h"
 
-#include <set>
 #include <string>
+#include <unordered_set>
 
 namespace cfm {
 
 namespace {
 
-// Compact serialization of a state for the visited set. Label fields are
-// excluded: exploration runs without tracking.
+// Compact canonical serialization of a state for the visited set, consumed
+// by the unordered_set's hash. Label fields are excluded: exploration runs
+// without tracking.
 std::string Fingerprint(const ExecState& state) {
   std::string key;
   key.reserve(state.values.size() * 8 + state.threads.size() * 10);
@@ -79,7 +80,10 @@ class Explorer {
   const Machine& machine_;
   const ExploreOptions& options_;
   ExploreResult& result_;
-  std::set<std::string> visited_;
+  // Hashed membership: exploration only ever asks "seen before?", so the
+  // ordered set this used to be paid O(log n) string compares per state for
+  // an order nobody consumed.
+  std::unordered_set<std::string> visited_;
 };
 
 }  // namespace

@@ -1,0 +1,269 @@
+// BatchCertifier: the corpus driver must agree with direct certification on
+// every job, produce identical summaries at any worker count, and — the core
+// compiled-backend guarantee — CertifyCfm/CertifyDenning must be
+// bit-identical whether the classes live in the interpreted or the compiled
+// lattice.
+
+#include "src/core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/core/static_binding.h"
+#include "src/lang/parser.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/compiled.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+#include "src/support/diagnostic.h"
+#include "src/support/source_manager.h"
+#include "tests/testing/corpus.h"
+
+namespace cfm {
+namespace {
+
+// Annotated sources: the batch path resolves "class <name>" spellings, so
+// these quantify over the two-point lattice's names.
+const char* kCertifies = R"(
+var x : integer class low; y : integer class high;
+y := x + 1
+)";
+
+const char* kRejects = R"(
+var x : integer class high; y : integer class low;
+y := x + 1
+)";
+
+const char* kRejectsImplicit = R"(
+var x : integer class high; y : integer class low;
+if x = 0 then y := 1
+)";
+
+const char* kParseError = "var x : integer; x := ";
+
+const char* kUnknownClass = R"(
+var x : integer class mystery;
+x := 1
+)";
+
+std::vector<BatchJob> MixedJobs() {
+  return {
+      {"certifies", kCertifies},       {"rejects", kRejects},
+      {"rejects_implicit", kRejectsImplicit}, {"parse_error", kParseError},
+      {"unknown_class", kUnknownClass},
+  };
+}
+
+TEST(BatchCertifierTest, MatchesDirectCertificationPerJob) {
+  TwoPointLattice lattice;
+  BatchCertifier certifier(lattice);
+  std::vector<BatchJob> jobs = MixedJobs();
+  BatchSummary summary = certifier.Run(jobs);
+  ASSERT_EQ(summary.results.size(), jobs.size());
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJobResult& result = summary.results[i];
+    EXPECT_EQ(result.name, jobs[i].name);
+
+    SourceManager sm(jobs[i].name, jobs[i].source);
+    DiagnosticEngine diags;
+    auto program = ParseProgram(sm, diags);
+    if (!program) {
+      EXPECT_FALSE(result.parse_ok);
+      EXPECT_FALSE(result.error.empty());
+      continue;
+    }
+    auto binding = StaticBinding::FromAnnotations(lattice, program->symbols());
+    if (!binding) {
+      EXPECT_FALSE(result.parse_ok);
+      EXPECT_EQ(result.error, binding.error());
+      continue;
+    }
+    EXPECT_TRUE(result.parse_ok);
+    CertificationResult direct = CertifyCfm(*program, *binding);
+    EXPECT_EQ(result.certified, direct.certified()) << jobs[i].name;
+    EXPECT_EQ(result.violation_count, direct.violations().size()) << jobs[i].name;
+    EXPECT_EQ(result.stmt_count, program->stmt_count()) << jobs[i].name;
+  }
+}
+
+TEST(BatchCertifierTest, SummaryCounters) {
+  TwoPointLattice lattice;
+  BatchCertifier certifier(lattice);
+  BatchSummary summary = certifier.Run(MixedJobs());
+  EXPECT_EQ(summary.certified, 1u);
+  EXPECT_EQ(summary.rejected, 2u);
+  EXPECT_EQ(summary.failed, 2u);
+  EXPECT_FALSE(summary.all_certified());
+}
+
+TEST(BatchCertifierTest, WorkerCountDoesNotChangeResults) {
+  TwoPointLattice lattice;
+  std::vector<BatchJob> jobs = MixedJobs();
+  // Duplicate the corpus so several workers actually overlap.
+  for (int copy = 0; copy < 5; ++copy) {
+    for (const BatchJob& job : MixedJobs()) {
+      jobs.push_back({job.name + "_" + std::to_string(copy), job.source});
+    }
+  }
+
+  BatchOptions one;
+  one.jobs = 1;
+  BatchOptions four;
+  four.jobs = 4;
+  BatchSummary serial = BatchCertifier(lattice, one).Run(jobs);
+  BatchSummary parallel = BatchCertifier(lattice, four).Run(jobs);
+
+  EXPECT_EQ(serial.certified, parallel.certified);
+  EXPECT_EQ(serial.rejected, parallel.rejected);
+  EXPECT_EQ(serial.failed, parallel.failed);
+  EXPECT_EQ(serial.total_stmts, parallel.total_stmts);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].name, parallel.results[i].name);
+    EXPECT_EQ(serial.results[i].parse_ok, parallel.results[i].parse_ok);
+    EXPECT_EQ(serial.results[i].certified, parallel.results[i].certified);
+    EXPECT_EQ(serial.results[i].violation_count, parallel.results[i].violation_count);
+    EXPECT_EQ(serial.results[i].stmt_count, parallel.results[i].stmt_count);
+    EXPECT_EQ(serial.results[i].error, parallel.results[i].error);
+  }
+}
+
+TEST(BatchCertifierTest, CompiledLatticeBatchMatchesInterpreted) {
+  auto grid = [] {
+    std::vector<std::string> names;
+    std::vector<std::pair<uint64_t, uint64_t>> covers;
+    for (uint64_t r = 0; r < 4; ++r) {
+      for (uint64_t c = 0; c < 4; ++c) {
+        names.push_back("g" + std::to_string(r) + "_" + std::to_string(c));
+        if (r + 1 < 4) covers.push_back({r * 4 + c, (r + 1) * 4 + c});
+        if (c + 1 < 4) covers.push_back({r * 4 + c, r * 4 + c + 1});
+      }
+    }
+    auto result = HasseLattice::Create(std::move(names), covers);
+    return std::move(result.value());
+  }();
+  auto compiled = CompiledLattice::Compile(*grid);
+
+  std::vector<BatchJob> jobs = {
+      {"up", "var x : integer class g0_0; y : integer class g3_3; y := x"},
+      {"down", "var x : integer class g3_3; y : integer class g0_0; y := x"},
+      {"cross", "var x : integer class g0_3; y : integer class g3_0; if x = 0 then y := 1"},
+  };
+  BatchSummary interpreted = BatchCertifier(*grid).Run(jobs);
+  BatchSummary over_compiled = BatchCertifier(*compiled).Run(jobs);
+  ASSERT_EQ(interpreted.results.size(), over_compiled.results.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(interpreted.results[i].certified, over_compiled.results[i].certified)
+        << jobs[i].name;
+    EXPECT_EQ(interpreted.results[i].violation_count, over_compiled.results[i].violation_count)
+        << jobs[i].name;
+  }
+  EXPECT_EQ(interpreted.certified, 1u);
+  EXPECT_EQ(interpreted.rejected, 2u);
+}
+
+// --- Interpreted vs compiled backends: bit-identical certification ----------
+// The acceptance bar for the compiled backend: over the paper's corpus and a
+// spread of lattice families, CertifyCfm and CertifyDenning must produce the
+// same verdict, the same violations (kind, statement, classes, message) and
+// the same per-statement facts table either way.
+
+struct ParsedProgram {
+  std::unique_ptr<SourceManager> sm;
+  std::unique_ptr<Program> program;
+};
+
+ParsedProgram Parse(const char* source) {
+  ParsedProgram out;
+  out.sm = std::make_unique<SourceManager>("<test>", source);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(*out.sm, diags);
+  EXPECT_TRUE(program.has_value()) << diags.RenderAll(*out.sm);
+  out.program = std::make_unique<Program>(std::move(*program));
+  return out;
+}
+
+StaticBinding Scattered(const Program& program, const Lattice& base) {
+  StaticBinding binding(base, program.symbols());
+  uint64_t i = 0;
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    binding.Bind(symbol.id, (i * 7 + 3) % base.size());
+    ++i;
+  }
+  return binding;
+}
+
+void ExpectIdenticalResults(const CertificationResult& a, const CertificationResult& b,
+                            const Program& program, const StaticBinding& binding_a,
+                            const StaticBinding& binding_b) {
+  EXPECT_EQ(a.certified(), b.certified());
+  ASSERT_EQ(a.violations().size(), b.violations().size());
+  for (size_t v = 0; v < a.violations().size(); ++v) {
+    const Violation& va = a.violations()[v];
+    const Violation& vb = b.violations()[v];
+    EXPECT_EQ(va.kind, vb.kind);
+    EXPECT_EQ(va.stmt, vb.stmt);
+    EXPECT_EQ(va.source_stmt, vb.source_stmt);
+    EXPECT_EQ(va.flow_class, vb.flow_class);
+    EXPECT_EQ(va.bound_class, vb.bound_class);
+    EXPECT_EQ(va.message, vb.message);
+  }
+  // The facts table renders mod/flow/cert for every statement; identical
+  // strings mean identical per-statement facts.
+  EXPECT_EQ(a.FactsTable(program.root(), program.symbols(), binding_a.extended()),
+            b.FactsTable(program.root(), program.symbols(), binding_b.extended()));
+}
+
+TEST(CompiledBackendEquivalenceTest, CfmAndDenningBitIdentical) {
+  const char* corpus[] = {
+      testing::kFig3,       testing::kFig3Sequential, testing::kWhileWait,
+      testing::kBeginWait,  testing::kSection52,      testing::kLoopGlobal,
+      testing::kCobeginSignal,
+  };
+
+  std::vector<std::unique_ptr<Lattice>> bases;
+  bases.push_back(std::make_unique<TwoPointLattice>());
+  bases.push_back(std::make_unique<ChainLattice>(ChainLattice::WithLevels(8)));
+  bases.push_back(std::make_unique<PowersetLattice>(PowersetLattice({"a", "b", "c"})));
+  bases.push_back(HasseLattice::Diamond());
+
+  for (const char* source : corpus) {
+    ParsedProgram parsed = Parse(source);
+    for (const auto& base : bases) {
+      auto compiled = CompiledLattice::Compile(*base);
+      StaticBinding interpreted_binding = Scattered(*parsed.program, *base);
+      StaticBinding compiled_binding = Scattered(*parsed.program, *compiled);
+
+      ExpectIdenticalResults(CertifyCfm(*parsed.program, interpreted_binding),
+                             CertifyCfm(*parsed.program, compiled_binding), *parsed.program,
+                             interpreted_binding, compiled_binding);
+      ExpectIdenticalResults(
+          CertifyDenning(*parsed.program, interpreted_binding, DenningMode::kPermissive),
+          CertifyDenning(*parsed.program, compiled_binding, DenningMode::kPermissive),
+          *parsed.program, interpreted_binding, compiled_binding);
+      ExpectIdenticalResults(
+          CertifyDenning(*parsed.program, interpreted_binding, DenningMode::kStrict),
+          CertifyDenning(*parsed.program, compiled_binding, DenningMode::kStrict),
+          *parsed.program, interpreted_binding, compiled_binding);
+    }
+  }
+}
+
+TEST(BatchCertifierTest, EmptyJobListYieldsEmptySummary) {
+  TwoPointLattice lattice;
+  BatchSummary summary = BatchCertifier(lattice).Run({});
+  EXPECT_TRUE(summary.results.empty());
+  EXPECT_EQ(summary.certified, 0u);
+  EXPECT_TRUE(summary.all_certified());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -42,7 +44,10 @@ CommandResult RunCfmc(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "cfmc_cli_test";
+    // Per-process directory: ctest runs each discovered test as its own
+    // process, and parallel runs race if they share fixture files.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cfmc_cli_test_" + std::to_string(getpid()));
     std::filesystem::create_directories(dir_);
     WriteFile("fig3.cfm", R"(
 var

@@ -1,0 +1,216 @@
+// CompiledLattice: the compiled backend must be observationally identical to
+// the lattice it wraps — exhaustively on small families, by sampling where
+// exhaustion is infeasible — in all three tiers, including under concurrent
+// lazy-row materialization.
+
+#include "src/lattice/compiled.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/lattice/chain.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+std::unique_ptr<HasseLattice> Grid(uint64_t side) {
+  std::vector<std::string> names;
+  std::vector<std::pair<uint64_t, uint64_t>> covers;
+  for (uint64_t r = 0; r < side; ++r) {
+    for (uint64_t c = 0; c < side; ++c) {
+      names.push_back("n" + std::to_string(r) + "_" + std::to_string(c));
+      if (r + 1 < side) {
+        covers.push_back({r * side + c, (r + 1) * side + c});
+      }
+      if (c + 1 < side) {
+        covers.push_back({r * side + c, r * side + c + 1});
+      }
+    }
+  }
+  auto result = HasseLattice::Create(std::move(names), covers);
+  return std::move(result.value());
+}
+
+// M3: bottom, three pairwise-incomparable atoms, top. The smallest
+// non-distributive lattice — a good stress for join/meet table synthesis.
+std::unique_ptr<HasseLattice> M3() {
+  auto result = HasseLattice::Create({"bot", "a", "b", "c", "top"},
+                                     {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 4}, {3, 4}});
+  return std::move(result.value());
+}
+
+void ExpectAllPairsAgree(const Lattice& base, const CompiledLattice& compiled) {
+  ASSERT_EQ(compiled.size(), base.size());
+  EXPECT_EQ(compiled.Bottom(), base.Bottom());
+  EXPECT_EQ(compiled.Top(), base.Top());
+  for (ClassId a = 0; a < base.size(); ++a) {
+    for (ClassId b = 0; b < base.size(); ++b) {
+      EXPECT_EQ(compiled.Leq(a, b), base.Leq(a, b)) << "Leq(" << a << "," << b << ")";
+      EXPECT_EQ(compiled.Join(a, b), base.Join(a, b)) << "Join(" << a << "," << b << ")";
+      EXPECT_EQ(compiled.Meet(a, b), base.Meet(a, b)) << "Meet(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(CompiledLatticeTest, TwoPointAllPairs) {
+  TwoPointLattice base;
+  ExpectAllPairsAgree(base, *CompiledLattice::Compile(base));
+}
+
+TEST(CompiledLatticeTest, Chain64AllPairs) {
+  ChainLattice base = ChainLattice::WithLevels(64);
+  ExpectAllPairsAgree(base, *CompiledLattice::Compile(base));
+}
+
+TEST(CompiledLatticeTest, Powerset6AllPairs) {
+  PowersetLattice base({"a", "b", "c", "d", "e", "f"});
+  ExpectAllPairsAgree(base, *CompiledLattice::Compile(base));
+}
+
+TEST(CompiledLatticeTest, DiamondAllPairs) {
+  auto base = HasseLattice::Diamond();
+  ExpectAllPairsAgree(*base, *CompiledLattice::Compile(*base));
+}
+
+TEST(CompiledLatticeTest, M3AllPairs) {
+  auto base = M3();
+  ExpectAllPairsAgree(*base, *CompiledLattice::Compile(*base));
+}
+
+TEST(CompiledLatticeTest, MilitaryProductAllPairs) {
+  ChainLattice levels = ChainLattice::WithLevels(4);
+  PowersetLattice compartments({"a", "b", "c"});
+  ProductLattice base(levels, compartments);
+  ExpectAllPairsAgree(base, *CompiledLattice::Compile(base));
+}
+
+TEST(CompiledLatticeTest, Grid8AllPairs) {
+  auto base = Grid(8);
+  ExpectAllPairsAgree(*base, *CompiledLattice::Compile(*base));
+}
+
+TEST(CompiledLatticeTest, DenseTierExposesTables) {
+  auto base = Grid(4);
+  auto compiled = CompiledLattice::Compile(*base);
+  const LatticeTables* tables = compiled->dense();
+  ASSERT_NE(tables, nullptr);
+  EXPECT_EQ(tables->n, base->size());
+  // Spot-check the packed encoding against the virtual answer.
+  for (ClassId a = 0; a < tables->n; ++a) {
+    for (ClassId b = 0; b < tables->n; ++b) {
+      bool bit = (tables->leq[a * tables->words_per_row + (b >> 6)] >> (b & 63)) & 1;
+      EXPECT_EQ(bit, base->Leq(a, b));
+      EXPECT_EQ(tables->join[a * tables->n + b], base->Join(a, b));
+      EXPECT_EQ(tables->meet[a * tables->n + b], base->Meet(a, b));
+    }
+  }
+}
+
+TEST(CompiledLatticeTest, LazyRowTierAllPairs) {
+  // Threshold below size forces the lazy-row tier; behavior must not change.
+  ChainLattice base = ChainLattice::WithLevels(64);
+  auto compiled = CompiledLattice::Compile(base, /*dense_threshold=*/16);
+  EXPECT_EQ(compiled->dense(), nullptr);
+  ExpectAllPairsAgree(base, *compiled);
+}
+
+TEST(CompiledLatticeTest, LazyRowTierHasse) {
+  auto base = Grid(6);
+  auto compiled = CompiledLattice::Compile(*base, /*dense_threshold=*/8);
+  EXPECT_EQ(compiled->dense(), nullptr);
+  ExpectAllPairsAgree(*base, *compiled);
+}
+
+TEST(CompiledLatticeTest, DelegateTierSampledPairs) {
+  // 2^15 elements exceeds the row-cache limit, so queries delegate.
+  std::vector<std::string> categories;
+  for (int i = 0; i < 15; ++i) {
+    categories.push_back("c" + std::to_string(i));
+  }
+  PowersetLattice base(categories);
+  auto compiled = CompiledLattice::Compile(base);
+  EXPECT_EQ(compiled->dense(), nullptr);
+  EXPECT_EQ(compiled->Bottom(), base.Bottom());
+  EXPECT_EQ(compiled->Top(), base.Top());
+  for (uint64_t i = 0; i < 4096; ++i) {
+    ClassId a = (i * 2654435761u) % base.size();
+    ClassId b = (i * 40503u + 17) % base.size();
+    ASSERT_EQ(compiled->Leq(a, b), base.Leq(a, b));
+    ASSERT_EQ(compiled->Join(a, b), base.Join(a, b));
+    ASSERT_EQ(compiled->Meet(a, b), base.Meet(a, b));
+  }
+}
+
+TEST(CompiledLatticeTest, ValidatorAcceptsCompiledGrid) {
+  auto base = Grid(8);
+  auto compiled = CompiledLattice::Compile(*base);
+  auto verdict = ValidateLattice(*compiled);
+  EXPECT_TRUE(verdict.ok()) << (verdict.ok() ? "" : verdict.error());
+}
+
+TEST(CompiledLatticeTest, NamesDelegateToBase) {
+  auto base = Grid(4);
+  auto compiled = CompiledLattice::Compile(*base);
+  for (ClassId a = 0; a < base->size(); ++a) {
+    EXPECT_EQ(compiled->ElementName(a), base->ElementName(a));
+    auto found = compiled->FindElement(base->ElementName(a));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, a);
+  }
+  EXPECT_EQ(compiled->Describe(), "compiled(" + base->Describe() + ")");
+}
+
+TEST(CompiledLatticeTest, ConcurrentLazyRowReads) {
+  // Hammer the lazy row cache from several threads; every answer must match
+  // the base and nothing may crash or deadlock.
+  ChainLattice base = ChainLattice::WithLevels(256);
+  auto compiled = CompiledLattice::Compile(base, /*dense_threshold=*/16);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (uint64_t i = 0; i < 20000; ++i) {
+        ClassId a = (i * 31 + static_cast<uint64_t>(t) * 7) % base.size();
+        ClassId b = (i * 17 + 3) % base.size();
+        if (compiled->Leq(a, b) != base.Leq(a, b) ||
+            compiled->Join(a, b) != base.Join(a, b) ||
+            compiled->Meet(a, b) != base.Meet(a, b)) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& worker : pool) {
+    worker.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST(CompiledLatticeTest, ExtendedOverCompiledMatchesExtendedOverBase) {
+  auto base = Grid(6);
+  auto compiled = CompiledLattice::Compile(*base);
+  ExtendedLattice over_base(*base);
+  ExtendedLattice over_compiled(*compiled);
+  ASSERT_EQ(over_compiled.size(), over_base.size());
+  for (ClassId a = 0; a < over_base.size(); ++a) {
+    for (ClassId b = 0; b < over_base.size(); ++b) {
+      EXPECT_EQ(over_compiled.Leq(a, b), over_base.Leq(a, b));
+      EXPECT_EQ(over_compiled.Join(a, b), over_base.Join(a, b));
+      EXPECT_EQ(over_compiled.Meet(a, b), over_base.Meet(a, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfm

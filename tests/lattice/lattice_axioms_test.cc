@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/lattice/chain.h"
+#include "src/lattice/compiled.h"
 #include "src/lattice/extended.h"
 #include "src/lattice/hasse.h"
 #include "src/lattice/powerset.h"
@@ -58,6 +59,25 @@ std::unique_ptr<Lattice> MakeExtendedDiamond() {
   auto composite = std::make_unique<Composite>();
   composite->a = HasseLattice::Diamond();
   composite->composed = std::make_unique<ExtendedLattice>(*composite->a);
+  return composite;
+}
+
+// CompiledLattice must satisfy the same axioms as whatever it wraps, in
+// every tier: dense tables, lazy rows (forced by a tiny threshold), and
+// delegation also gets covered implicitly via Describe/names delegation.
+std::unique_ptr<Lattice> MakeCompiled(std::unique_ptr<Lattice> base, uint64_t dense_threshold) {
+  auto composite = std::make_unique<Composite>();
+  composite->a = std::move(base);
+  composite->composed = CompiledLattice::Compile(*composite->a, dense_threshold);
+  return composite;
+}
+
+std::unique_ptr<Lattice> MakeCompiledMilitary(uint64_t dense_threshold) {
+  // The military product itself is a Composite; wrap it in another so the
+  // whole ownership chain stays alive under the compiled view.
+  auto composite = std::make_unique<Composite>();
+  composite->a = MakeMilitary();
+  composite->composed = CompiledLattice::Compile(*composite->a, dense_threshold);
   return composite;
 }
 
@@ -153,7 +173,37 @@ INSTANTIATE_TEST_SUITE_P(
                        }},
         LatticeFactory{"diamond", [] { return HasseLattice::Diamond(); }},
         LatticeFactory{"military", [] { return MakeMilitary(); }},
-        LatticeFactory{"extended_diamond", [] { return MakeExtendedDiamond(); }}),
+        LatticeFactory{"extended_diamond", [] { return MakeExtendedDiamond(); }},
+        LatticeFactory{"compiled_diamond",
+                       [] {
+                         return MakeCompiled(HasseLattice::Diamond(),
+                                             CompiledLattice::kDefaultDenseThreshold);
+                       }},
+        LatticeFactory{"compiled_chain16",
+                       [] {
+                         return MakeCompiled(
+                             std::make_unique<ChainLattice>(ChainLattice::WithLevels(16)),
+                             CompiledLattice::kDefaultDenseThreshold);
+                       }},
+        LatticeFactory{"compiled_powerset3",
+                       [] {
+                         return MakeCompiled(
+                             std::make_unique<PowersetLattice>(PowersetLattice({"a", "b", "c"})),
+                             CompiledLattice::kDefaultDenseThreshold);
+                       }},
+        LatticeFactory{"compiled_military",
+                       [] {
+                         return MakeCompiledMilitary(CompiledLattice::kDefaultDenseThreshold);
+                       }},
+        // Threshold below the lattice size forces the lazy-row tier.
+        LatticeFactory{"compiled_lazy_chain16",
+                       [] {
+                         return MakeCompiled(
+                             std::make_unique<ChainLattice>(ChainLattice::WithLevels(16)),
+                             /*dense_threshold=*/4);
+                       }},
+        LatticeFactory{"compiled_lazy_military",
+                       [] { return MakeCompiledMilitary(/*dense_threshold=*/4); }}),
     [](const ::testing::TestParamInfo<LatticeFactory>& info) { return info.param.name; });
 
 }  // namespace

@@ -111,6 +111,26 @@ TEST(ExplorerTest, CobeginSignalExampleOutcomes) {
   }
 }
 
+TEST(ExplorerTest, OutcomeSetsAreStableAcrossRuns) {
+  // The visited-state memo is hash-ordered internally, but the outcome map
+  // and its counts must be a pure function of the program: repeated
+  // exploration of racy and synchronized corpora yields identical outcome
+  // multisets and visit counts.
+  for (const char* source : {testing::kFig3Sequential, testing::kWhileWait,
+                             testing::kBeginWait, testing::kCobeginSignal}) {
+    Program program = MustParse(source);
+    CompiledProgram code = Compile(program);
+    ExploreResult first = ExploreAllSchedules(code, program.symbols(), {});
+    for (int run = 0; run < 3; ++run) {
+      ExploreResult again = ExploreAllSchedules(code, program.symbols(), {});
+      EXPECT_EQ(again.states_visited, first.states_visited);
+      EXPECT_EQ(again.truncated, first.truncated);
+      ASSERT_EQ(again.outcomes.size(), first.outcomes.size());
+      EXPECT_TRUE(again.outcomes == first.outcomes);
+    }
+  }
+}
+
 TEST(ExplorerTest, StateCapTruncates) {
   Program program = MustParse(
       "var a, b, c : integer;\n"

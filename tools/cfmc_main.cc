@@ -6,6 +6,8 @@
 //   cfmc run <file>        execute (optionally with the label monitor)
 //   cfmc leaktest <file>   empirical noninterference test
 //   cfmc dump <file>       print the AST, bindings and bytecode
+//   cfmc batch <dir>       certify every .cfm under <dir> in parallel
+//                          (also spelled `cfmc --batch <dir>`)
 //
 // Common flags:
 //   --lattice=two|diamond|chain:N|powerset:a,b,...   (default: two)
@@ -14,9 +16,13 @@
 //   --set V=N              initial value        (run, repeatable)
 //   --pin V=CLASS          pinned binding       (infer, repeatable)
 //   --seed=N --schedules=N --monitor             (run/leaktest)
+//   --jobs=N --interpreted                       (batch)
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <iostream>
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/batch.h"
 #include "src/core/cfm.h"
 #include "src/core/denning.h"
 #include "src/core/explain.h"
@@ -34,6 +41,7 @@
 #include "src/lang/printer.h"
 #include "src/lang/stats.h"
 #include "src/lattice/chain.h"
+#include "src/lattice/compiled.h"
 #include "src/lattice/hasse.h"
 #include "src/lattice/lattice_spec.h"
 #include "src/lattice/powerset.h"
@@ -61,6 +69,8 @@ struct CliOptions {
   bool monitor = false;
   bool trace = false;
   bool table = false;
+  bool interpreted = false;  // batch: skip the CompiledLattice wrap.
+  uint32_t jobs = 0;         // batch: worker threads (0 = hardware).
   uint64_t seed = 1;
   uint32_t schedules = 32;
   std::string secret;
@@ -73,10 +83,11 @@ struct CliOptions {
 int Usage() {
   std::cerr << "usage: cfmc <check|explain|conditions|verify|prove|checkproof|infer|run|leaktest|\n"
                "             dump|format> <file> [flags]\n"
+               "       cfmc batch <dir> [--jobs=N] [--interpreted]   (certify every .cfm in <dir>)\n"
                "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
                "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
                "       --secret=V --observe=V1,V2 --values=a,b --set=V=N --pin=V=CLASS\n"
-               "       --seed=N --schedules=N --monitor --trace\n";
+               "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n";
   return 2;
 }
 
@@ -134,6 +145,10 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.trace = true;
     } else if (arg == "--table") {
       options.table = true;
+    } else if (arg == "--interpreted") {
+      options.interpreted = true;
+    } else if (auto vj = value_of("--jobs=")) {
+      options.jobs = static_cast<uint32_t>(std::strtoul(vj->c_str(), nullptr, 10));
     } else if (auto v2 = value_of("--seed=")) {
       options.seed = std::strtoull(v2->c_str(), nullptr, 10);
     } else if (auto v3 = value_of("--schedules=")) {
@@ -548,6 +563,74 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
   return 1;
 }
 
+// Certifies every .cfm file under a directory against one shared lattice,
+// compiled once (unless --interpreted) and fanned out over a worker pool —
+// the heavy-traffic entry point.
+int RunBatch(const Lattice& lattice, const CliOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(options.file, ec)) {
+    std::cerr << "cfmc batch: '" << options.file << "' is not a directory\n";
+    return 2;
+  }
+  std::vector<BatchJob> jobs;
+  for (const fs::directory_entry& entry : fs::recursive_directory_iterator(options.file)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".cfm") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    if (!in) {
+      std::cerr << "cfmc batch: cannot open '" << entry.path().string() << "'\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    jobs.push_back(BatchJob{entry.path().string(), buffer.str()});
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const BatchJob& a, const BatchJob& b) { return a.name < b.name; });
+  if (jobs.empty()) {
+    std::cerr << "cfmc batch: no .cfm files under '" << options.file << "'\n";
+    return 2;
+  }
+
+  std::unique_ptr<CompiledLattice> compiled;
+  const Lattice* scheme = &lattice;
+  if (!options.interpreted) {
+    compiled = CompiledLattice::Compile(lattice);
+    scheme = compiled.get();
+  }
+
+  BatchOptions batch_options;
+  batch_options.jobs = options.jobs;
+  BatchCertifier certifier(*scheme, batch_options);
+  auto start = std::chrono::steady_clock::now();
+  BatchSummary summary = certifier.Run(jobs);
+  std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  for (const BatchJobResult& result : summary.results) {
+    if (!result.parse_ok) {
+      std::cout << "ERROR      " << result.name << "\n" << result.error;
+      if (!result.error.empty() && result.error.back() != '\n') {
+        std::cout << "\n";
+      }
+    } else if (result.certified) {
+      std::cout << "CERTIFIED  " << result.name << " (" << result.stmt_count << " stmts)\n";
+    } else {
+      std::cout << "REJECTED   " << result.name << " (" << result.violation_count
+                << " violations)\n";
+    }
+  }
+  double seconds = elapsed.count();
+  std::cout << "\nbatch: " << summary.results.size() << " programs against "
+            << scheme->Describe() << ", " << summary.certified << " certified, "
+            << summary.rejected << " rejected, " << summary.failed << " errors\n"
+            << "       " << summary.total_stmts << " statements in " << seconds << "s ("
+            << (seconds > 0 ? static_cast<uint64_t>(summary.results.size() / seconds) : 0)
+            << " programs/s)\n";
+  return summary.all_certified() ? 0 : 1;
+}
+
 int RunDump(const LoadedProgram& loaded) {
   std::cout << PrintProgram(loaded.program);
   std::cout << "\n" << RenderStats(ComputeStats(loaded.program.root()), loaded.program.symbols());
@@ -561,6 +644,9 @@ int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, options)) {
     return Usage();
+  }
+  if (options.command == "--batch") {
+    options.command = "batch";
   }
   std::unique_ptr<Lattice> lattice;
   if (!options.lattice_file.empty()) {
@@ -583,6 +669,9 @@ int Main(int argc, char** argv) {
   if (lattice == nullptr) {
     std::cerr << "cfmc: bad lattice spec '" << options.lattice_spec << "'\n";
     return 2;
+  }
+  if (options.command == "batch") {
+    return RunBatch(*lattice, options);
   }
   auto loaded = Load(options.file);
   if (!loaded) {

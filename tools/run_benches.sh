@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release mode, runs every Google Benchmark
+# target with JSON output, and merges the runs into BENCH_<date>.json at the
+# repo root. Usage: tools/run_benches.sh [--filter <benchmark_filter>]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT="${OUT:-$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json}"
+FILTER="${2:-}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+
+BENCHES=(bench_lattice bench_certification bench_batch bench_inference
+         bench_interpreter bench_entailment bench_proof)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bench in "${BENCHES[@]}"; do
+  echo "== $bench" >&2
+  "$BUILD_DIR/bench/$bench" \
+    --benchmark_format=json \
+    ${FILTER:+--benchmark_filter="$FILTER"} \
+    > "$TMP_DIR/$bench.json"
+done
+
+python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+import json, sys
+
+out_path, tmp_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+merged = {"context": None, "benchmarks": []}
+for bench in benches:
+    with open(f"{tmp_dir}/{bench}.json") as f:
+        run = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = run.get("context", {})
+    for entry in run.get("benchmarks", []):
+        entry["suite"] = bench
+        merged["benchmarks"].append(entry)
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+EOF
