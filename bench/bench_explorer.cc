@@ -1,0 +1,141 @@
+// Experiment: schedule-explorer state-space reduction. Full enumeration vs
+// partial-order reduction on a cobegin-heavy corpus — the `states` counter
+// is the explored state count, so the full/POR ratio of the same program is
+// the reduction factor, and items/sec is exploration throughput. Outcome
+// sets are bit-identical between the two modes by construction (enforced by
+// tests/runtime/por_test.cc); the benchmark records what that soundness
+// costs or saves.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/lang/parser.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/explorer.h"
+
+namespace cfm {
+namespace {
+
+// N parallel processes, each doing K updates to its own variable — the
+// maximally independent workload where POR collapses the full interleaving
+// product to essentially one order.
+std::string IndependentSource(int processes, int updates) {
+  std::string vars;
+  std::string body;
+  for (int p = 0; p < processes; ++p) {
+    std::string name = "v" + std::to_string(p);
+    vars += (p != 0 ? ", " : "") + name;
+    body += p != 0 ? "|| " : "";
+    body += "begin " + name + " := 1";
+    for (int k = 1; k < updates; ++k) {
+      body += "; " + name + " := " + name + " + 1";
+    }
+    body += " end\n";
+  }
+  return "var " + vars + " : integer;\ncobegin " + body + "coend";
+}
+
+// As above, but every process also bumps one shared accumulator once —
+// mostly-independent threads with a genuine conflict POR must preserve.
+std::string SharedTailSource(int processes, int updates) {
+  std::string vars = "acc";
+  std::string body;
+  for (int p = 0; p < processes; ++p) {
+    std::string name = "v" + std::to_string(p);
+    vars += ", " + name;
+    body += p != 0 ? "|| " : "";
+    body += "begin " + name + " := 1";
+    for (int k = 1; k < updates; ++k) {
+      body += "; " + name + " := " + name + " + 1";
+    }
+    body += "; acc := acc + 1 end\n";
+  }
+  return "var " + vars + " : integer;\ncobegin " + body + "coend";
+}
+
+// The paper's Figure 3: tightly synchronized (semaphore handshakes), the
+// adversarial end of the spectrum for POR.
+constexpr const char* kFig3 =
+    "var x, y, m : integer;"
+    "modify, modified, read, done : semaphore initially(0);"
+    "cobegin begin m := 0;"
+    "if x # 0 then begin signal(modify); wait(modified) end;"
+    "signal(read); wait(done);"
+    "if x = 0 then begin signal(modify); wait(modified) end end"
+    "|| begin wait(modify); m := 1; signal(modified) end"
+    "|| begin wait(read); y := m; signal(done) end coend";
+
+Program Parse(const std::string& source) {
+  SourceManager sm("<bench>", source);
+  DiagnosticEngine diags;
+  auto program = ParseProgram(sm, diags);
+  return std::move(*program);
+}
+
+void RunExplore(benchmark::State& state, const Program& program, bool por) {
+  CompiledProgram code = Compile(program);
+  ExploreOptions explore;
+  explore.por = por;
+  explore.max_states = 50'000'000;
+  uint64_t states = 0;
+  uint64_t outcomes = 0;
+  bool truncated = false;
+  for (auto _ : state) {
+    ExploreResult result = ExploreAllSchedules(code, program.symbols(), {}, explore);
+    states += result.states_visited;
+    outcomes = result.outcomes.size();
+    truncated |= result.truncated;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  if (truncated) {
+    state.SkipWithError("exploration truncated");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(states));
+  state.counters["states"] =
+      benchmark::Counter(static_cast<double>(states) / static_cast<double>(state.iterations()));
+  state.counters["outcomes"] = benchmark::Counter(static_cast<double>(outcomes));
+  state.SetLabel(por ? "por=on" : "por=off");
+}
+
+void BM_Explore_Independent_Full(benchmark::State& state) {
+  Program program = Parse(IndependentSource(static_cast<int>(state.range(0)), 3));
+  RunExplore(state, program, /*por=*/false);
+}
+BENCHMARK(BM_Explore_Independent_Full)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_Explore_Independent_Por(benchmark::State& state) {
+  Program program = Parse(IndependentSource(static_cast<int>(state.range(0)), 3));
+  RunExplore(state, program, /*por=*/true);
+}
+BENCHMARK(BM_Explore_Independent_Por)->Arg(3)->Arg(4)->Arg(5)->Arg(8);
+
+void BM_Explore_SharedTail_Full(benchmark::State& state) {
+  Program program = Parse(SharedTailSource(static_cast<int>(state.range(0)), 3));
+  RunExplore(state, program, /*por=*/false);
+}
+BENCHMARK(BM_Explore_SharedTail_Full)->Arg(3)->Arg(4);
+
+void BM_Explore_SharedTail_Por(benchmark::State& state) {
+  Program program = Parse(SharedTailSource(static_cast<int>(state.range(0)), 3));
+  RunExplore(state, program, /*por=*/true);
+}
+BENCHMARK(BM_Explore_SharedTail_Por)->Arg(3)->Arg(4);
+
+void BM_Explore_Fig3_Full(benchmark::State& state) {
+  Program program = Parse(kFig3);
+  RunExplore(state, program, /*por=*/false);
+}
+BENCHMARK(BM_Explore_Fig3_Full);
+
+void BM_Explore_Fig3_Por(benchmark::State& state) {
+  Program program = Parse(kFig3);
+  RunExplore(state, program, /*por=*/true);
+}
+BENCHMARK(BM_Explore_Fig3_Por);
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

@@ -132,6 +132,146 @@ class Compiler {
 
 }  // namespace
 
+namespace {
+
+void SetBit(std::vector<uint64_t>& mask, uint32_t bit) {
+  mask[bit / 64] |= uint64_t{1} << (bit % 64);
+}
+
+void AddExprReads(const Expr* expr, std::vector<uint64_t>& mask) {
+  if (expr == nullptr) {
+    return;
+  }
+  std::vector<SymbolId> reads;
+  CollectReads(*expr, reads);
+  for (SymbolId symbol : reads) {
+    SetBit(mask, symbol);
+  }
+}
+
+bool OrInto(std::vector<uint64_t>& into, const std::vector<uint64_t>& from) {
+  bool changed = false;
+  for (size_t i = 0; i < into.size(); ++i) {
+    uint64_t merged = into[i] | from[i];
+    changed |= merged != into[i];
+    into[i] = merged;
+  }
+  return changed;
+}
+
+// CFG successors of the instruction at `pc` within one thread, plus the
+// entry points of any threads it spawns.
+void AppendSuccessors(const Instruction& inst, uint32_t pc, std::vector<uint32_t>& out) {
+  switch (inst.op) {
+    case OpCode::kJump:
+      out.push_back(inst.operand);
+      return;
+    case OpCode::kBranchFalse:
+      out.push_back(pc + 1);
+      out.push_back(inst.operand);
+      return;
+    case OpCode::kEndProcess:
+      return;
+    case OpCode::kFork:
+      out.push_back(pc + 1);
+      for (uint32_t entry : inst.fork_entries) {
+        out.push_back(entry);
+      }
+      return;
+    default:
+      out.push_back(pc + 1);
+      return;
+  }
+}
+
+}  // namespace
+
+ProgramFacts::ProgramFacts(const CompiledProgram& code, const SymbolTable& symbols) {
+  // One virtual bit past the symbols for the fork/fork conflict.
+  const uint32_t fork_bit = static_cast<uint32_t>(symbols.size());
+  words_ = fork_bit / 64 + 1;
+  facts_.resize(code.code.size());
+  for (uint32_t pc = 0; pc < code.code.size(); ++pc) {
+    const Instruction& inst = code.code[pc];
+    Footprint& now = facts_[pc].now;
+    now.reads.assign(words_, 0);
+    now.writes.assign(words_, 0);
+    switch (inst.op) {
+      case OpCode::kAssign:
+        AddExprReads(inst.expr, now.reads);
+        SetBit(now.writes, inst.symbol);
+        break;
+      case OpCode::kBranchFalse:
+        AddExprReads(inst.expr, now.reads);
+        break;
+      case OpCode::kWait:
+      case OpCode::kSignal:
+        // Both read-modify-write the semaphore counter (a blocked wait
+        // attempt conservatively keeps the write).
+        SetBit(now.reads, inst.symbol);
+        SetBit(now.writes, inst.symbol);
+        break;
+      case OpCode::kSend:
+        AddExprReads(inst.expr, now.reads);
+        SetBit(now.reads, inst.symbol);
+        SetBit(now.writes, inst.symbol);
+        break;
+      case OpCode::kReceive:
+        SetBit(now.reads, inst.symbol);
+        SetBit(now.writes, inst.symbol);
+        SetBit(now.writes, inst.symbol2);
+        break;
+      case OpCode::kFork:
+        // Forks append to the thread vector; spawn order decides thread
+        // ids, so fork/fork pairs never commute.
+        SetBit(now.writes, fork_bit);
+        break;
+      case OpCode::kEndProcess:
+        // Termination touches only this thread and its (join-blocked)
+        // parent's child counter; sibling terminations commute and the
+        // parent cannot run concurrently. The explorer handles the
+        // join-enabling edge through the parent/child relation directly.
+        break;
+      case OpCode::kJump:
+      case OpCode::kPushPc:
+      case OpCode::kPopPc:
+        // Control bookkeeping; push/pop are no-ops with tracking off.
+        break;
+    }
+  }
+
+  // Transitive closure over the CFG to a fixpoint (loops make it cyclic).
+  for (InstructionFacts& f : facts_) {
+    f.future = f.now;
+  }
+  std::vector<uint32_t> successors;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint32_t pc = static_cast<uint32_t>(code.code.size()); pc-- > 0;) {
+      successors.clear();
+      AppendSuccessors(code.code[pc], pc, successors);
+      for (uint32_t succ : successors) {
+        changed |= OrInto(facts_[pc].future.reads, facts_[succ].future.reads);
+        changed |= OrInto(facts_[pc].future.writes, facts_[succ].future.writes);
+      }
+    }
+  }
+}
+
+bool ProgramFacts::Conflict(const Footprint& a, const Footprint& b) {
+  for (size_t i = 0; i < a.writes.size(); ++i) {
+    if ((a.writes[i] & (b.reads[i] | b.writes[i])) != 0 || (b.writes[i] & a.reads[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProgramFacts::FutureWrites(uint32_t pc, SymbolId symbol) const {
+  return (facts_[pc].future.writes[symbol / 64] >> (symbol % 64) & 1) != 0;
+}
+
 CompiledProgram CompileStmt(const Stmt& stmt) {
   CompiledProgram compiled;
   Compiler compiler(compiled.code);

@@ -54,6 +54,46 @@ struct CompiledProgram {
   std::string Disassemble(const SymbolTable& symbols) const;
 };
 
+// Static read/write footprint of an instruction, as bitsets over SymbolId
+// (64 ids per word). One extra virtual bit past the last symbol models the
+// thread-vector append of kFork, so two forks always conflict (their spawn
+// order is observable in thread ids). Footprints describe execution with
+// label tracking OFF — the regime the schedule explorer runs in.
+struct Footprint {
+  std::vector<uint64_t> reads;
+  std::vector<uint64_t> writes;
+};
+
+// Per-instruction footprints plus their transitive closure over the control
+// flow graph: `future` is the union of `now` over every instruction reachable
+// from this pc (following fall-through, jumps, both branch arms, the fork
+// continuation AND the forked children's entry points). The explorer's
+// persistent-set selection needs `future` to over-approximate everything a
+// thread parked at a given pc may ever touch.
+struct InstructionFacts {
+  Footprint now;
+  Footprint future;
+};
+
+class ProgramFacts {
+ public:
+  ProgramFacts(const CompiledProgram& code, const SymbolTable& symbols);
+
+  const InstructionFacts& at(uint32_t pc) const { return facts_[pc]; }
+
+  // True when one instruction's writes intersect the other's reads or writes
+  // — the (conservative) dependence test between two thread steps.
+  static bool Conflict(const Footprint& a, const Footprint& b);
+
+  // True when some instruction reachable from `pc` writes `symbol` — i.e. a
+  // thread parked at `pc` might eventually enable a wait/receive gated on it.
+  bool FutureWrites(uint32_t pc, SymbolId symbol) const;
+
+ private:
+  std::vector<InstructionFacts> facts_;
+  uint32_t words_ = 0;
+};
+
 // Compiles the statement tree rooted at `stmt`.
 CompiledProgram CompileStmt(const Stmt& stmt);
 

@@ -1,75 +1,300 @@
 #include "src/runtime/explorer.h"
 
-#include <string>
-#include <unordered_set>
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "src/runtime/bytecode.h"
 
 namespace cfm {
 
 namespace {
 
-// Compact canonical serialization of a state for the visited set, consumed
-// by the unordered_set's hash. Label fields are excluded: exploration runs
-// without tracking.
-std::string Fingerprint(const ExecState& state) {
-  std::string key;
-  key.reserve(state.values.size() * 8 + state.threads.size() * 10);
-  auto append = [&key](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      key.push_back(static_cast<char>(v >> (i * 8) & 0xff));
-    }
-  };
+// --- Lean state hashing ----------------------------------------------------
+
+// The visited set used to key on a materialized std::string serialization of
+// the state (~8 bytes per word plus allocator traffic). It now keys on a
+// 128-bit hash: two independently seeded/mixed 64-bit lanes over the same
+// word stream. At the explorer's scale (<= millions of states) the collision
+// probability is negligible (~n^2 / 2^129), which we accept in exchange for
+// constant-size keys and no per-state serialization.
+
+struct StateHash {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  friend bool operator==(const StateHash&, const StateHash&) = default;
+};
+
+struct StateHashOf {
+  size_t operator()(const StateHash& h) const { return static_cast<size_t>(h.lo); }
+};
+
+uint64_t Mix64(uint64_t x) {  // splitmix64 finalizer
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+class Hasher128 {
+ public:
+  void Add(uint64_t v) {
+    lo_ = Mix64(lo_ ^ v);
+    hi_ = Mix64(hi_ + v + 0x9e3779b97f4a7c15ULL);
+  }
+  StateHash Done() const { return {Mix64(lo_), Mix64(hi_ ^ 0x2b992ddfa23249d6ULL)}; }
+
+ private:
+  uint64_t lo_ = 0x243f6a8885a308d3ULL;
+  uint64_t hi_ = 0x13198a2e03707344ULL;
+};
+
+// Label fields are excluded: exploration runs without tracking. `steps` is
+// excluded as well — it is path- not state-dependent.
+StateHash HashState(const ExecState& state) {
+  Hasher128 h;
   for (int64_t value : state.values) {
-    append(static_cast<uint64_t>(value));
+    h.Add(static_cast<uint64_t>(value));
   }
   for (const auto& channel : state.channels) {
-    append(channel.size());
+    h.Add(channel.size());
     for (int64_t message : channel) {
-      append(static_cast<uint64_t>(message));
+      h.Add(static_cast<uint64_t>(message));
     }
   }
   for (const ThreadState& thread : state.threads) {
-    append(thread.pc);
-    key.push_back(static_cast<char>(thread.status));
-    append(static_cast<uint64_t>(thread.parent));
-    append(thread.live_children);
+    h.Add(static_cast<uint64_t>(thread.pc) << 8 | static_cast<uint64_t>(thread.status));
+    h.Add(static_cast<uint64_t>(static_cast<uint32_t>(thread.parent)) << 32 |
+          thread.live_children);
   }
-  return key;
+  return h.Done();
 }
+
+// --- The search ------------------------------------------------------------
+
+// Sleep sets are bitmasks over thread ids. Threads with id >= 64 simply
+// never sleep (they are always explored), which is sound — sleeping is an
+// optimization, never a requirement.
+constexpr uint32_t kMaxSleepThreads = 64;
 
 class Explorer {
  public:
-  Explorer(const Machine& machine, const ExploreOptions& options, ExploreResult& result)
-      : machine_(machine), options_(options), result_(result) {}
+  Explorer(const Machine& machine, const CompiledProgram& code, const SymbolTable& symbols,
+           const ExploreOptions& options, ExploreResult& result)
+      : machine_(machine), code_(code), options_(options), result_(result) {
+    if (options_.por) {
+      facts_.emplace(code, symbols);
+    }
+  }
 
-  void Visit(ExecState state) {
-    if (result_.states_visited >= options_.max_states ||
-        state.steps >= options_.max_steps_per_path) {
-      result_.truncated = true;
-      return;
-    }
-    std::string key = Fingerprint(state);
-    if (!visited_.insert(std::move(key)).second) {
-      return;
-    }
-    ++result_.states_visited;
-
-    if (machine_.AllDone(state)) {
-      Record(RunStatus::kCompleted, state);
-      return;
-    }
-    std::vector<uint32_t> runnable = machine_.Runnable(state);
-    if (runnable.empty()) {
-      Record(RunStatus::kDeadlock, state);
-      return;
-    }
-    for (uint32_t thread_id : runnable) {
-      ExecState next = state;
-      machine_.Step(next, thread_id);
-      Visit(std::move(next));
+  // Iterative explicit-stack DFS (deep paths must not overflow the native
+  // stack). Each frame owns its state; a child reuses the parent's state by
+  // move when it is the last one dispatched.
+  void Run(ExecState&& initial) {
+    Enter(std::move(initial), 0);
+    while (!stack_.empty()) {
+      Frame& frame = stack_.back();
+      if (frame.next >= frame.explore.size()) {
+        stack_.pop_back();
+        continue;
+      }
+      uint32_t thread_id = frame.explore[frame.next++];
+      // Sleep set for the child: transitions inherited asleep or already
+      // dispatched from this state stay asleep iff they commute with the
+      // step being taken (their interleavings are covered elsewhere).
+      uint64_t child_sleep = options_.por ? ChildSleep(frame, thread_id) : 0;
+      if (thread_id < kMaxSleepThreads) {
+        frame.done |= uint64_t{1} << thread_id;
+      }
+      ExecState child;
+      if (frame.next >= frame.explore.size()) {
+        child = std::move(frame.state);  // Last successor: steal, don't copy.
+      } else {
+        child = frame.state;
+      }
+      machine_.Step(child, thread_id);
+      Enter(std::move(child), child_sleep);  // May invalidate `frame`.
     }
   }
 
  private:
+  struct Frame {
+    ExecState state;
+    uint64_t sleep = 0;              // Threads whose steps are pruned here.
+    uint64_t done = 0;               // Threads already dispatched from here.
+    std::vector<uint32_t> explore;   // Persistent set minus sleep, ascending.
+    size_t next = 0;
+  };
+
+  // Visits one state: cap checks, visited-set lookup, terminal recording,
+  // persistent-set selection, frame push.
+  void Enter(ExecState&& state, uint64_t sleep) {
+    if (state.steps >= options_.max_steps_per_path) {
+      result_.truncated = true;
+      return;
+    }
+    machine_.RunnableInto(state, runnable_);  // Wakes eligible blocked threads.
+    bool all_done = machine_.AllDone(state);
+    StateHash hash = HashState(state);
+    auto it = visited_.find(hash);
+    if (all_done || runnable_.empty()) {
+      if (it != visited_.end()) {
+        return;  // Terminal state already recorded (stored sleep is 0).
+      }
+      if (result_.states_visited >= options_.max_states) {
+        result_.truncated = true;
+        return;
+      }
+      ++result_.states_visited;
+      visited_.emplace(hash, 0);
+      Record(all_done ? RunStatus::kCompleted : RunStatus::kDeadlock, state);
+      return;
+    }
+    if (it != visited_.end()) {
+      // The stored mask is the smallest sleep set this state was expanded
+      // with. A superset arrival is fully covered; otherwise re-expand with
+      // the intersection (strictly smaller, so this terminates) so the
+      // stored mask keeps that meaning.
+      if ((it->second & ~sleep) == 0) {
+        return;
+      }
+      sleep &= it->second;
+    }
+    if (result_.states_visited >= options_.max_states) {
+      result_.truncated = true;
+      return;
+    }
+    ++result_.states_visited;
+    if (it != visited_.end()) {
+      it->second = sleep;
+    } else {
+      visited_.emplace(hash, sleep);
+    }
+    Frame frame;
+    frame.sleep = sleep;
+    SelectExplore(state, frame);
+    if (frame.explore.empty()) {
+      return;  // Every selected step is asleep: covered elsewhere.
+    }
+    frame.state = std::move(state);
+    stack_.push_back(std::move(frame));
+  }
+
+  // Chooses the transitions to explore: a persistent set (smallest over all
+  // enabled seeds, deterministically) minus the sleeping threads. With POR
+  // off this is every runnable thread.
+  void SelectExplore(const ExecState& state, Frame& frame) {
+    const std::vector<uint32_t>* selected = &runnable_;
+    if (options_.por && runnable_.size() > 1) {
+      best_.clear();
+      for (uint32_t seed : runnable_) {
+        Closure(state, seed, candidate_);
+        if (best_.empty() || candidate_.size() < best_.size()) {
+          std::swap(best_, candidate_);
+        }
+        if (best_.size() == 1) {
+          break;
+        }
+      }
+      selected = &best_;
+    }
+    frame.explore.clear();
+    for (uint32_t t : *selected) {
+      if (t < kMaxSleepThreads && (frame.sleep >> t & 1) != 0) {
+        continue;
+      }
+      frame.explore.push_back(t);
+    }
+  }
+
+  // Stubborn-set closure seeded with one enabled thread, over the state in
+  // runnable_'s scope. Invariant on exit: along any execution in which no
+  // closure member moves, every step taken by a non-member is independent
+  // with the current step of every enabled member — so permuting such an
+  // execution to start with a member's step reaches the same states, and
+  // exploring only the members' steps preserves every terminal state.
+  //   - enabled member u: any thread whose *future* footprint (everything it
+  //     or threads it forks may ever execute) conflicts with u's current
+  //     step joins the closure;
+  //   - blocked-on-semaphore/channel member u: any thread that might ever
+  //     write the gating symbol joins (if none can, u never wakes along
+  //     excluded executions and is harmless);
+  //   - join-blocked member u: its live children join (only their
+  //     terminations can wake it).
+  void Closure(const ExecState& state, uint32_t seed, std::vector<uint32_t>& persistent) {
+    const uint32_t n = static_cast<uint32_t>(state.threads.size());
+    in_set_.assign(n, false);
+    work_.clear();
+    in_set_[seed] = true;
+    work_.push_back(seed);
+    while (!work_.empty()) {
+      uint32_t u = work_.back();
+      work_.pop_back();
+      const ThreadState& member = state.threads[u];
+      if (member.status == ThreadState::Status::kRunnable) {
+        const Footprint& step = facts_->at(member.pc).now;
+        for (uint32_t v = 0; v < n; ++v) {
+          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
+            continue;
+          }
+          if (ProgramFacts::Conflict(facts_->at(state.threads[v].pc).future, step)) {
+            in_set_[v] = true;
+            work_.push_back(v);
+          }
+        }
+      } else if (member.status == ThreadState::Status::kBlockedSem) {
+        SymbolId gate = code_.code[member.pc].symbol;
+        for (uint32_t v = 0; v < n; ++v) {
+          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
+            continue;
+          }
+          if (facts_->FutureWrites(state.threads[v].pc, gate)) {
+            in_set_[v] = true;
+            work_.push_back(v);
+          }
+        }
+      } else {  // kBlockedJoin.
+        for (uint32_t v = 0; v < n; ++v) {
+          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
+            continue;
+          }
+          if (state.threads[v].parent == static_cast<int32_t>(u)) {
+            in_set_[v] = true;
+            work_.push_back(v);
+          }
+        }
+      }
+    }
+    persistent.clear();
+    for (uint32_t t : runnable_) {
+      if (in_set_[t]) {
+        persistent.push_back(t);
+      }
+    }
+  }
+
+  uint64_t ChildSleep(const Frame& frame, uint32_t thread_id) const {
+    uint64_t candidates = frame.sleep | frame.done;
+    if (candidates == 0) {
+      return 0;
+    }
+    const Footprint& step = facts_->at(frame.state.threads[thread_id].pc).now;
+    uint64_t out = 0;
+    while (candidates != 0) {
+      uint32_t q = static_cast<uint32_t>(std::countr_zero(candidates));
+      candidates &= candidates - 1;
+      const Footprint& other = facts_->at(frame.state.threads[q].pc).now;
+      if (!ProgramFacts::Conflict(step, other)) {
+        out |= uint64_t{1} << q;
+      }
+    }
+    return out;
+  }
+
   void Record(RunStatus status, const ExecState& state) {
     TerminalOutcome outcome;
     outcome.status = status;
@@ -78,12 +303,20 @@ class Explorer {
   }
 
   const Machine& machine_;
+  const CompiledProgram& code_;
   const ExploreOptions& options_;
   ExploreResult& result_;
-  // Hashed membership: exploration only ever asks "seen before?", so the
-  // ordered set this used to be paid O(log n) string compares per state for
-  // an order nobody consumed.
-  std::unordered_set<std::string> visited_;
+  std::optional<ProgramFacts> facts_;
+  std::vector<Frame> stack_;
+  // Visited set: 128-bit state hash -> smallest sleep mask the state was
+  // expanded with (0 for terminal and non-POR states).
+  std::unordered_map<StateHash, uint64_t, StateHashOf> visited_;
+  // Reused scratch buffers (the DFS hot loop allocates nothing steady-state).
+  std::vector<uint32_t> runnable_;
+  std::vector<uint32_t> best_;
+  std::vector<uint32_t> candidate_;
+  std::vector<bool> in_set_;
+  std::vector<uint32_t> work_;
 };
 
 }  // namespace
@@ -104,8 +337,8 @@ ExploreResult ExploreAllSchedules(const CompiledProgram& code, const SymbolTable
   options.track_labels = false;  // Exploration is over plain stores.
   Machine machine(code, symbols, options);
   ExploreResult result;
-  Explorer explorer(machine, explore_options, result);
-  explorer.Visit(machine.MakeInitialState());
+  Explorer explorer(machine, code, symbols, explore_options, result);
+  explorer.Run(machine.MakeInitialState());
   return result;
 }
 

@@ -3,6 +3,15 @@
 // all reachable terminal outcomes (final stores, deadlocks), which the tests
 // use to verify schedule-independent claims (e.g. the Figure 3 program can
 // never deadlock and always transmits x's zero-test into y).
+//
+// By default the search applies partial-order reduction: a persistent
+// (stubborn) set is selected at each state from the instructions' static
+// read/write footprints, and sleep sets prune commuting interleavings of
+// independent steps, so each Mazurkiewicz trace is explored once instead of
+// once per permutation. POR only collapses paths — the set of terminal
+// states (and hence the outcome map, which counts distinct terminal states
+// per outcome) is identical to full enumeration. `ExploreOptions::por`
+// switches back to full enumeration.
 
 #ifndef SRC_RUNTIME_EXPLORER_H_
 #define SRC_RUNTIME_EXPLORER_H_
@@ -19,6 +28,9 @@ struct ExploreOptions {
   // Caps on the search to keep it tractable.
   uint64_t max_states = 1'000'000;
   uint64_t max_steps_per_path = 10'000;
+  // Partial-order reduction (persistent sets + sleep sets). Off = plain
+  // full enumeration of every interleaving.
+  bool por = true;
 };
 
 struct TerminalOutcome {
@@ -29,11 +41,14 @@ struct TerminalOutcome {
 };
 
 struct ExploreResult {
-  // Deduplicated terminal outcomes with the number of distinct explored
-  // paths reaching each.
+  // Deduplicated terminal outcomes with the number of distinct terminal
+  // states reaching each (invariant under POR, which only collapses paths).
   std::map<TerminalOutcome, uint64_t> outcomes;
+  // States expanded by the search. Under POR this is the reduced count; the
+  // ratio against a `por = false` run is the reduction factor.
   uint64_t states_visited = 0;
-  bool truncated = false;  // A cap was hit; the enumeration is a lower bound.
+  bool truncated = false;  // A cap cut off genuinely unexplored work; the
+                           // enumeration is a lower bound.
 
   bool AnyDeadlock() const;
 };

@@ -61,6 +61,12 @@ ExecState Machine::MakeInitialState() const {
 
 std::vector<uint32_t> Machine::Runnable(ExecState& state) const {
   std::vector<uint32_t> runnable;
+  RunnableInto(state, runnable);
+  return runnable;
+}
+
+void Machine::RunnableInto(ExecState& state, std::vector<uint32_t>& runnable) const {
+  runnable.clear();
   for (uint32_t i = 0; i < state.threads.size(); ++i) {
     ThreadState& thread = state.threads[i];
     if (thread.status == ThreadState::Status::kBlockedSem) {
@@ -73,7 +79,6 @@ std::vector<uint32_t> Machine::Runnable(ExecState& state) const {
       runnable.push_back(i);
     }
   }
-  return runnable;
 }
 
 bool Machine::AllDone(const ExecState& state) const {

@@ -109,6 +109,10 @@ class Machine {
   // semaphore has become positive.
   std::vector<uint32_t> Runnable(ExecState& state) const;
 
+  // As Runnable, but reusing the caller's buffer — the schedule explorer
+  // calls this once per visited state.
+  void RunnableInto(ExecState& state, std::vector<uint32_t>& out) const;
+
   // Executes one indivisible step of `thread_id` (which must be runnable).
   void Step(ExecState& state, uint32_t thread_id) const;
 

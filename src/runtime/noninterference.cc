@@ -1,5 +1,6 @@
 #include "src/runtime/noninterference.h"
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -109,8 +110,10 @@ ExhaustiveNiResult VerifyNoninterferenceExhaustive(const CompiledProgram& code,
     ExploreOptions explore;
     explore.max_states = options.max_states;
     explore.max_steps_per_path = options.max_steps_per_path;
+    explore.por = options.por;
     ExploreResult explored = ExploreAllSchedules(code, symbols, run_options, explore);
     result.truncated = result.truncated || explored.truncated;
+    result.states_visited = std::max(result.states_visited, explored.states_visited);
     ObservationSet observations;
     for (const auto& [outcome, count] : explored.outcomes) {
       std::vector<int64_t> projection;

@@ -59,14 +59,25 @@ struct ExhaustiveNiOptions {
   SymbolId secret = kInvalidSymbol;
   std::vector<int64_t> secret_values = {0, 1};
   std::vector<SymbolId> observable;
-  uint64_t max_states = 200'000;
+  // Per-secret state cap. Partial-order reduction (on by default) collapses
+  // commuting interleavings, so the default is an order of magnitude above
+  // the pre-POR 200'000 while exploring larger programs in less time; see
+  // docs/THEORY.md §9 for how to pick it.
+  uint64_t max_states = 1'000'000;
   uint64_t max_steps_per_path = 5'000;
+  // Escape hatch: disable partial-order reduction and enumerate every
+  // interleaving (the outcome sets are identical either way, by design).
+  bool por = true;
 };
 
 struct ExhaustiveNiResult {
   bool holds = false;
-  // True when a state/step cap was hit; `holds` is then only a bound.
+  // True when a state/step cap was hit. `holds` is then NOT a proof — only
+  // "no difference found within the bound"; call sites must report it as a
+  // bounded result.
   bool truncated = false;
+  // Largest per-secret exploration, to judge how close to max_states we ran.
+  uint64_t states_visited = 0;
   // Human-readable description of the first differing observation.
   std::string counterexample;
 };

@@ -48,7 +48,10 @@ TEST(ExhaustiveNiTest, Fig3HighObserverSeesNothing) {
   // the m-only observer.
   Program program = MustParse(testing::kFig3);
   ExhaustiveNiResult result = Verify(program, "x", {"m"});
+  // `holds` is only a proof together with !truncated; assert both.
+  EXPECT_FALSE(result.truncated);
   EXPECT_TRUE(result.holds) << result.counterexample;
+  EXPECT_GT(result.states_visited, 0u);
 }
 
 TEST(ExhaustiveNiTest, CobeginSignalRefutedViaDeadlockStatus) {
@@ -74,7 +77,43 @@ TEST(ExhaustiveNiTest, RaceOutcomeSetsStillMatchAcrossSecrets) {
       "var h, l : integer;\n"
       "begin cobegin l := 1 || l := 2 coend; h := h + 1 end");
   ExhaustiveNiResult result = Verify(program, "h", {"l"});
+  EXPECT_FALSE(result.truncated);
   EXPECT_TRUE(result.holds) << result.counterexample;
+}
+
+TEST(ExhaustiveNiTest, TruncatedResultIsOnlyABound) {
+  // With the state cap dialed down to nothing, `holds` comes back true (no
+  // difference found) but `truncated` marks it as a bounded search — call
+  // sites must report "bounded", never a proof. `states_visited` exposes how
+  // far the search got against the cap.
+  Program program = MustParse(testing::kFig3);
+  CompiledProgram code = Compile(program);
+  ExhaustiveNiOptions options;
+  options.secret = Sym(program, "x");
+  options.observable = {Sym(program, "y")};
+  options.max_states = 5;
+  ExhaustiveNiResult result =
+      VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.states_visited, options.max_states);
+  EXPECT_GT(result.states_visited, 0u);
+}
+
+TEST(ExhaustiveNiTest, PorOffMatchesPorOnVerdicts) {
+  // The POR escape hatch must not change any verdict, only the state count.
+  for (const char* source : {testing::kFig3, testing::kCobeginSignal}) {
+    Program program = MustParse(source);
+    CompiledProgram code = Compile(program);
+    ExhaustiveNiOptions options;
+    options.secret = SymbolId{0};
+    options.observable = {Sym(program, "y")};
+    ExhaustiveNiResult with_por = VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+    options.por = false;
+    ExhaustiveNiResult without = VerifyNoninterferenceExhaustive(code, program.symbols(), options);
+    EXPECT_EQ(with_por.holds, without.holds);
+    EXPECT_EQ(with_por.truncated, without.truncated);
+    EXPECT_LE(with_por.states_visited, without.states_visited);
+  }
 }
 
 TEST(ExhaustiveNiTest, ImplicitFlowRefuted) {

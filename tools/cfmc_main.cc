@@ -13,6 +13,13 @@
 //   --lattice=two|diamond|chain:N|powerset:a,b,...   (default: two)
 //   --denning-permissive   use the permissive baseline in `check`
 //   --secret=V --observe=V1,V2 --values=a,b          (leaktest)
+//   --exhaustive           explore EVERY schedule instead of sampling; a
+//                          clean untruncated run is a possibilistic
+//                          noninterference proof, a truncated one only a
+//                          bounded result                       (leaktest)
+//   --por=on|off           partial-order reduction for --exhaustive
+//                          (default on; off enumerates every interleaving)
+//   --max-states=N         per-secret state cap for --exhaustive
 //   --set V=N              initial value        (run, repeatable)
 //   --pin V=CLASS          pinned binding       (infer, repeatable)
 //   --seed=N --schedules=N --monitor             (run/leaktest)
@@ -70,6 +77,9 @@ struct CliOptions {
   bool trace = false;
   bool table = false;
   bool interpreted = false;  // batch: skip the CompiledLattice wrap.
+  bool exhaustive = false;   // leaktest: all schedules, not a sample.
+  bool por = true;           // exhaustive exploration: partial-order reduction.
+  uint64_t max_states = 0;   // exhaustive state cap (0 = library default).
   uint32_t jobs = 0;         // batch: worker threads (0 = hardware).
   uint64_t seed = 1;
   uint32_t schedules = 32;
@@ -87,7 +97,8 @@ int Usage() {
                "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
                "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
                "       --secret=V --observe=V1,V2 --values=a,b --set=V=N --pin=V=CLASS\n"
-               "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n";
+               "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n"
+               "       --exhaustive --por=on|off --max-states=N            (leaktest)\n";
   return 2;
 }
 
@@ -147,6 +158,16 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.table = true;
     } else if (arg == "--interpreted") {
       options.interpreted = true;
+    } else if (arg == "--exhaustive") {
+      options.exhaustive = true;
+    } else if (auto vpor = value_of("--por=")) {
+      if (*vpor != "on" && *vpor != "off") {
+        std::cerr << "cfmc: --por takes on|off\n";
+        return false;
+      }
+      options.por = *vpor == "on";
+    } else if (auto vms = value_of("--max-states=")) {
+      options.max_states = std::strtoull(vms->c_str(), nullptr, 10);
     } else if (auto vj = value_of("--jobs=")) {
       options.jobs = static_cast<uint32_t>(std::strtoul(vj->c_str(), nullptr, 10));
     } else if (auto v2 = value_of("--seed=")) {
@@ -544,6 +565,36 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
   ni.random_schedules = options.schedules;
   ni.seed = options.seed;
   CompiledProgram code = Compile(loaded.program);
+
+  if (options.exhaustive) {
+    ExhaustiveNiOptions exhaustive;
+    exhaustive.secret = ni.secret;
+    exhaustive.observable = ni.observable;
+    exhaustive.secret_values = ni.secret_values;
+    exhaustive.por = options.por;
+    if (options.max_states != 0) {
+      exhaustive.max_states = options.max_states;
+    }
+    ExhaustiveNiResult result =
+        VerifyNoninterferenceExhaustive(code, loaded.program.symbols(), exhaustive);
+    std::cout << "exhaustive exploration (POR " << (options.por ? "on" : "off")
+              << "): " << result.states_visited << " states visited (cap "
+              << exhaustive.max_states << " per secret)\n";
+    if (!result.holds) {
+      std::cout << "LEAK: " << result.counterexample << "\n";
+      return 1;
+    }
+    if (result.truncated) {
+      // A capped search that saw no difference bounds the leak, it does not
+      // refute it — never report a proof here.
+      std::cout << "bounded: no observable difference within the state cap "
+                   "(exploration truncated; NOT a proof)\n";
+      return 3;
+    }
+    std::cout << "proof: possibilistic noninterference holds over every schedule\n";
+    return 0;
+  }
+
   NiReport report = TestNoninterference(code, loaded.program.symbols(), ni);
   std::cout << "schedules tried: " << report.schedules_tried << "\n";
   if (!report.leak_found()) {

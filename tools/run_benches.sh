@@ -13,7 +13,7 @@ FILTER="${2:-}"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 
 BENCHES=(bench_lattice bench_certification bench_batch bench_inference
-         bench_interpreter bench_entailment bench_proof)
+         bench_interpreter bench_explorer bench_entailment bench_proof)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
 
 TMP_DIR="$(mktemp -d)"
