@@ -179,7 +179,7 @@ void TableC() {
       Proof candidate =
           BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
       ProofChecker checker(binding.extended(), program.symbols());
-      bool proof_ok = !checker.Check(*candidate.root).has_value();
+      bool proof_ok = !checker.Check(candidate).has_value();
       (certification.certified() ? certified : rejected) += 1;
       ++pairs;
       if (proof_ok != certification.certified()) {

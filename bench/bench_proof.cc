@@ -42,8 +42,8 @@ void BM_Theorem1_Build(benchmark::State& state) {
   for (auto _ : state) {
     Proof proof = BuildInvariantCandidate(fixture.program->root(), fixture.program->symbols(),
                                           fixture.binding, fixture.certification);
-    proof_nodes = proof.root->Size();
-    benchmark::DoNotOptimize(proof.root.get());
+    proof_nodes = proof.Size();
+    benchmark::DoNotOptimize(proof.root);
   }
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations() * CountNodes(fixture.program->root())));
@@ -58,11 +58,11 @@ void BM_Theorem1_Check(benchmark::State& state) {
                                         fixture.binding, fixture.certification);
   ProofChecker checker(fixture.binding.extended(), fixture.program->symbols());
   for (auto _ : state) {
-    auto error = checker.Check(*proof.root);
+    auto error = checker.Check(proof);
     benchmark::DoNotOptimize(error.has_value());
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * proof.root->Size()));
-  state.counters["proof_nodes"] = static_cast<double>(proof.root->Size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * proof.Size()));
+  state.counters["proof_nodes"] = static_cast<double>(proof.Size());
 }
 BENCHMARK(BM_Theorem1_Check)->RangeMultiplier(4)->Range(64, 4096);
 
@@ -86,7 +86,7 @@ void BM_Theorem1_BuildPlusCheck_Fig3(benchmark::State& state) {
   for (auto _ : state) {
     Proof proof = BuildInvariantCandidate(program->root(), program->symbols(), binding,
                                           certification);
-    auto error = checker.Check(*proof.root);
+    auto error = checker.Check(proof);
     benchmark::DoNotOptimize(error.has_value());
   }
 }

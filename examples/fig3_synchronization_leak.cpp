@@ -102,8 +102,8 @@ int main() {
     return 1;
   }
   cfm::ProofChecker checker(inferred.binding.extended(), program->symbols());
-  auto error = checker.Check(*proof->root);
-  std::cout << "Theorem 1 flow proof: " << proof->root->Size() << " derivation steps, "
+  auto error = checker.Check(*proof);
+  std::cout << "Theorem 1 flow proof: " << proof->Size() << " derivation steps, "
             << (error ? "INVALID: " + error->reason : "verified by the independent checker")
             << "\n";
   return error ? 1 : 0;

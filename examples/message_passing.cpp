@@ -89,8 +89,8 @@ int main() {
     return 1;
   }
   cfm::ProofChecker checker(inferred.binding.extended(), program->symbols());
-  auto error = checker.Check(*proof->root);
-  std::cout << "Theorem 1 proof (" << proof->root->Size() << " steps, send/receive axioms): "
+  auto error = checker.Check(*proof);
+  std::cout << "Theorem 1 proof (" << proof->Size() << " steps, send/receive axioms): "
             << (error ? "INVALID — " + error->reason : "verified") << "\n";
   return error ? 1 : 0;
 }

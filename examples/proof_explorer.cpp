@@ -59,9 +59,9 @@ int main() {
       std::cout << "no Theorem 1 proof: " << proof.error() << "\n\n";
       continue;
     }
-    std::cout << cfm::PrintProof(*proof->root, program->symbols(), binding.extended());
+    std::cout << cfm::PrintProof(*proof, program->symbols(), binding.extended());
     cfm::ProofChecker checker(binding.extended(), program->symbols());
-    auto error = checker.Check(*proof->root);
+    auto error = checker.Check(*proof);
     std::cout << "checker: " << (error ? "INVALID — " + error->reason : "valid") << "\n\n";
   }
 
@@ -97,27 +97,25 @@ int main() {
                        .Join(cfm::ClassExpr::Local(), ext)
                        .Join(cfm::ClassExpr::Global(), ext);
 
-  auto axiom1 = cfm::MakeProofNode(
+  cfm::Proof manual;
+  cfm::ProofArena& arena = manual.arena;
+  cfm::ProofNodeId axiom1 = arena.Add(
       cfm::RuleKind::kAssignAxiom, block.statements()[0],
       p1.Substitute({{cfm::TermRef::Var(x), zero_repl}}, ext), p1);
-  auto step1 =
-      cfm::MakeProofNode(cfm::RuleKind::kConsequence, block.statements()[0], p0, p1);
-  step1->premises.push_back(std::move(axiom1));
-  auto axiom2 = cfm::MakeProofNode(
+  cfm::ProofNodeId step1 =
+      arena.Add(cfm::RuleKind::kConsequence, block.statements()[0], p0, p1, {axiom1});
+  cfm::ProofNodeId axiom2 = arena.Add(
       cfm::RuleKind::kAssignAxiom, block.statements()[1],
       p1.Substitute({{cfm::TermRef::Var(y), x_repl}}, ext), p1);
-  auto step2 =
-      cfm::MakeProofNode(cfm::RuleKind::kConsequence, block.statements()[1], p1, p1);
-  step2->premises.push_back(std::move(axiom2));
-  auto composition =
-      cfm::MakeProofNode(cfm::RuleKind::kComposition, &program->root(), p0, p1);
-  composition->premises.push_back(std::move(step1));
-  composition->premises.push_back(std::move(step2));
+  cfm::ProofNodeId step2 =
+      arena.Add(cfm::RuleKind::kConsequence, block.statements()[1], p1, p1, {axiom2});
+  manual.root =
+      arena.Add(cfm::RuleKind::kComposition, &program->root(), p0, p1, {step1, step2});
 
   std::cout << "\nhand-built flow proof with the stronger intermediate assertion:\n"
-            << cfm::PrintProof(*composition, program->symbols(), ext);
+            << cfm::PrintProof(manual, program->symbols(), ext);
   cfm::ProofChecker checker(ext, program->symbols());
-  auto error = checker.Check(*composition);
+  auto error = checker.Check(manual);
   std::cout << "checker: " << (error ? "INVALID — " + error->reason : "valid") << "\n"
             << "=> the logic certifies what CFM cannot; CFM = the completely\n"
             << "   invariant fragment (Theorems 1 and 2).\n";

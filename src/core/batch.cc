@@ -3,10 +3,7 @@
 #include <atomic>
 #include <thread>
 
-#include "src/core/static_binding.h"
-#include "src/lang/parser.h"
-#include "src/support/diagnostic.h"
-#include "src/support/source_manager.h"
+#include "src/core/pipeline.h"
 
 namespace cfm {
 
@@ -16,23 +13,24 @@ BatchJobResult CertifyOne(const BatchJob& job, const Lattice& base, const CfmOpt
   BatchJobResult out;
   out.name = job.name;
 
-  SourceManager sm(job.name, job.source);
-  DiagnosticEngine diags;
-  auto program = ParseProgram(sm, diags);
-  if (!program) {
-    out.error = diags.RenderAll(sm);
+  PipelineOptions pipeline_options;
+  pipeline_options.lattice = &base;
+  pipeline_options.cfm = options;
+  CfmPipeline pipeline(std::move(pipeline_options));
+  if (!pipeline.LoadSource(job.name, job.source)) {
+    out.error = pipeline.error();
     return out;
   }
-  auto binding = StaticBinding::FromAnnotations(base, program->symbols());
-  if (!binding) {
-    out.error = binding.error();
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    out.error = pipeline.error();
     return out;
   }
   out.parse_ok = true;
-  out.stmt_count = program->stmt_count();
-  CertificationResult result = CertifyCfm(*program, *binding, options);
-  out.certified = result.certified();
-  out.violation_count = static_cast<uint32_t>(result.violations().size());
+  out.stmt_count = pipeline.program()->stmt_count();
+  const CertificationResult* result = pipeline.certification();
+  out.certified = result->certified();
+  out.violation_count = static_cast<uint32_t>(result->violations().size());
   return out;
 }
 

@@ -1,0 +1,206 @@
+#include "src/core/pipeline.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/lang/parser.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/lattice_spec.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/two_point.h"
+#include "src/support/diagnostic.h"
+#include "src/support/text.h"
+
+namespace cfm {
+
+std::unique_ptr<Lattice> MakeLatticeFromSpec(const std::string& spec) {
+  if (spec == "two") {
+    return std::make_unique<TwoPointLattice>();
+  }
+  if (spec == "diamond") {
+    return HasseLattice::Diamond();
+  }
+  if (spec.rfind("chain:", 0) == 0) {
+    uint64_t n = std::strtoull(spec.c_str() + 6, nullptr, 10);
+    if (n < 1) {
+      return nullptr;
+    }
+    return std::make_unique<ChainLattice>(ChainLattice::WithLevels(n));
+  }
+  if (spec.rfind("powerset:", 0) == 0) {
+    std::vector<std::string> categories = SplitString(spec.substr(9), ',');
+    if (categories.empty() || categories.size() > 62) {
+      return nullptr;
+    }
+    return std::make_unique<PowersetLattice>(categories);
+  }
+  return nullptr;
+}
+
+CfmPipeline::CfmPipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+CfmPipeline::~CfmPipeline() = default;
+
+void CfmPipeline::Fail(PipelineStage stage, std::string message, int exit_code) {
+  if (stage_ != PipelineStage::kNone) {
+    return;  // Keep the first failure.
+  }
+  stage_ = stage;
+  error_ = std::move(message);
+  exit_code_ = exit_code;
+}
+
+const Lattice* CfmPipeline::lattice() {
+  if (lattice_resolved_) {
+    return lattice_;
+  }
+  lattice_resolved_ = true;
+  if (options_.lattice != nullptr) {
+    lattice_ = options_.lattice;
+    return lattice_;
+  }
+  if (!options_.lattice_file.empty()) {
+    std::ifstream in(options_.lattice_file);
+    if (!in) {
+      Fail(PipelineStage::kLattice,
+           "cannot open lattice file '" + options_.lattice_file + "'", 1);
+      return nullptr;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseLatticeSpec(buffer.str());
+    if (!parsed) {
+      Fail(PipelineStage::kLattice, parsed.error(), 1);
+      return nullptr;
+    }
+    owned_lattice_ = std::move(parsed.value());
+    lattice_ = owned_lattice_.get();
+    return lattice_;
+  }
+  owned_lattice_ = MakeLatticeFromSpec(options_.lattice_spec);
+  if (owned_lattice_ == nullptr) {
+    Fail(PipelineStage::kLattice, "bad lattice spec '" + options_.lattice_spec + "'", 2);
+    return nullptr;
+  }
+  lattice_ = owned_lattice_.get();
+  return lattice_;
+}
+
+bool CfmPipeline::LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(PipelineStage::kLoad, "cannot open '" + path + "'", 1);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSource(path, buffer.str());
+}
+
+bool CfmPipeline::LoadSource(const std::string& name, const std::string& source) {
+  source_.emplace(name, source);
+  DiagnosticEngine diags;
+  auto parsed = ParseProgram(*source_, diags);
+  if (!parsed) {
+    Fail(PipelineStage::kParse, diags.RenderAll(*source_), 1);
+    return false;
+  }
+  program_.emplace(std::move(*parsed));
+  return true;
+}
+
+void CfmPipeline::AdoptProgram(Program program) { program_.emplace(std::move(program)); }
+
+void CfmPipeline::AdoptBinding(StaticBinding binding) {
+  binding_.emplace(std::move(binding));
+  bind_attempted_ = true;
+}
+
+const Program* CfmPipeline::program() { return program_ ? &*program_ : nullptr; }
+
+const StaticBinding* CfmPipeline::binding() {
+  if (bind_attempted_) {
+    return binding_ ? &*binding_ : nullptr;
+  }
+  bind_attempted_ = true;
+  const Lattice* base = lattice();
+  const Program* prog = program();
+  if (base == nullptr || prog == nullptr) {
+    return nullptr;
+  }
+  auto result = StaticBinding::FromAnnotations(*base, prog->symbols());
+  if (!result) {
+    Fail(PipelineStage::kBind, result.error(), 1);
+    return nullptr;
+  }
+  binding_.emplace(std::move(result.value()));
+  return &*binding_;
+}
+
+const CertificationResult* CfmPipeline::certification() {
+  if (certification_) {
+    return &*certification_;
+  }
+  const Program* prog = program();
+  const StaticBinding* bind = binding();
+  if (prog == nullptr || bind == nullptr) {
+    return nullptr;
+  }
+  certification_.emplace(CertifyCfm(*prog, *bind, options_.cfm));
+  return &*certification_;
+}
+
+const Proof* CfmPipeline::proof() {
+  if (prove_attempted_) {
+    return proof_ ? &*proof_ : nullptr;
+  }
+  prove_attempted_ = true;
+  const Program* prog = program();
+  const StaticBinding* bind = binding();
+  const CertificationResult* cert = certification();
+  if (prog == nullptr || bind == nullptr || cert == nullptr) {
+    return nullptr;
+  }
+  if (!cert->certified()) {
+    Fail(PipelineStage::kProve,
+         "CFM rejects the program:\n" + cert->Summary(prog->symbols(), bind->extended()), 1);
+    return nullptr;
+  }
+  auto built = BuildTheorem1ProofForStmt(prog->root(), prog->symbols(), *bind, *cert,
+                                         options_.theorem1);
+  if (!built) {
+    Fail(PipelineStage::kProve, built.error(), 1);
+    return nullptr;
+  }
+  proof_.emplace(std::move(built.value()));
+  return &*proof_;
+}
+
+const ProofChecker* CfmPipeline::checker() {
+  if (checker_) {
+    return &*checker_;
+  }
+  const Program* prog = program();
+  const StaticBinding* bind = binding();
+  if (prog == nullptr || bind == nullptr) {
+    return nullptr;
+  }
+  checker_.emplace(bind->extended(), prog->symbols());
+  return &*checker_;
+}
+
+const CompiledProgram* CfmPipeline::bytecode() {
+  if (bytecode_) {
+    return &*bytecode_;
+  }
+  const Program* prog = program();
+  if (prog == nullptr) {
+    return nullptr;
+  }
+  bytecode_.emplace(Compile(*prog));
+  return &*bytecode_;
+}
+
+}  // namespace cfm

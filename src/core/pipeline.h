@@ -1,0 +1,138 @@
+// CfmPipeline: one session object for the whole certification pipeline
+//
+//   lattice-spec → parse → bind → certify → prove → check → bytecode
+//
+// with cached stage artifacts and uniform diagnostics. Every cfmc
+// subcommand, the batch certifier and the benches drive the same stages; the
+// pipeline guarantees each stage runs at most once per session and that the
+// first failure (stage, message, exit status) is what gets reported, no
+// matter how many downstream artifacts are requested afterwards.
+//
+// Accessors return nullptr once a required upstream stage has failed; the
+// failure itself is inspected via error_stage()/error()/exit_code().
+
+#ifndef SRC_CORE_PIPELINE_H_
+#define SRC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/certification.h"
+#include "src/core/cfm.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/lattice/lattice.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/runtime/bytecode.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+struct PipelineOptions {
+  // Lattice resolution, first match wins: `lattice` (externally owned, must
+  // outlive the pipeline), then `lattice_file` (a lattice-spec file), then
+  // `lattice_spec` (two|diamond|chain:N|powerset:a,b,...).
+  std::string lattice_spec = "two";
+  std::string lattice_file;
+  const Lattice* lattice = nullptr;
+  CfmOptions cfm;
+  Theorem1Options theorem1;
+};
+
+enum class PipelineStage : uint8_t {
+  kNone,     // No failure.
+  kLattice,  // Lattice spec/file resolution.
+  kLoad,     // Reading the program file.
+  kParse,    // Parsing (error() holds rendered diagnostics).
+  kBind,     // StaticBinding::FromAnnotations (error() is the raw message).
+  kProve,    // Theorem 1 construction (CFM rejection or bad l/g).
+};
+
+// Builds a Lattice from a spec string ("two", "diamond", "chain:N",
+// "powerset:a,b,..."); nullptr on a malformed spec.
+std::unique_ptr<Lattice> MakeLatticeFromSpec(const std::string& spec);
+
+class CfmPipeline {
+ public:
+  explicit CfmPipeline(PipelineOptions options = {});
+  ~CfmPipeline();
+
+  CfmPipeline(const CfmPipeline&) = delete;
+  CfmPipeline& operator=(const CfmPipeline&) = delete;
+
+  // --- Inputs --------------------------------------------------------------
+
+  // Reads and parses a program file. False on failure (stage kLoad/kParse).
+  bool LoadFile(const std::string& path);
+  // Parses in-memory source (`name` appears in diagnostics). False on
+  // failure (stage kParse).
+  bool LoadSource(const std::string& name, const std::string& source);
+  // Injects a ready-made program (benches, generated corpora), skipping the
+  // load/parse stages.
+  void AdoptProgram(Program program);
+  // Injects a binding, skipping FromAnnotations. Must reference the same
+  // lattice family the pipeline resolves (callers pass it via options).
+  void AdoptBinding(StaticBinding binding);
+
+  // --- Stage artifacts (computed once, cached) -----------------------------
+
+  // The resolved classification lattice; nullptr on failure (stage kLattice).
+  const Lattice* lattice();
+  // The parsed program; nullptr before LoadFile/LoadSource or on failure.
+  const Program* program();
+  // Annotation binding against lattice(); nullptr on failure (stage kBind).
+  const StaticBinding* binding();
+  // CFM certification (never fails once program+binding exist).
+  const CertificationResult* certification();
+  // The Theorem 1 proof; nullptr when CFM rejects or l/g are invalid
+  // (stage kProve).
+  const Proof* proof();
+  // Independent proof checker over binding()'s extended lattice.
+  const ProofChecker* checker();
+  // Compiled bytecode (never fails once the program exists).
+  const CompiledProgram* bytecode();
+
+  // Conveniences; only valid when the corresponding artifact exists.
+  const SymbolTable& symbols() { return program()->symbols(); }
+  const ExtendedLattice& extended() { return binding()->extended(); }
+
+  // --- Failure state -------------------------------------------------------
+
+  bool failed() const { return stage_ != PipelineStage::kNone; }
+  PipelineStage error_stage() const { return stage_; }
+  // The raw message: rendered diagnostics for kParse, a bare sentence
+  // otherwise (no tool prefix — the CLI adds its own).
+  const std::string& error() const { return error_; }
+  // Process exit status the failure maps to (2 usage-style, 1 otherwise);
+  // 0 while healthy.
+  int exit_code() const { return exit_code_; }
+
+ private:
+  void Fail(PipelineStage stage, std::string message, int exit_code);
+
+  PipelineOptions options_;
+
+  bool lattice_resolved_ = false;
+  std::unique_ptr<Lattice> owned_lattice_;
+  const Lattice* lattice_ = nullptr;
+
+  std::optional<SourceManager> source_;
+  std::optional<Program> program_;
+  bool bind_attempted_ = false;
+  std::optional<StaticBinding> binding_;
+  std::optional<CertificationResult> certification_;
+  bool prove_attempted_ = false;
+  std::optional<Proof> proof_;
+  std::optional<ProofChecker> checker_;
+  std::optional<CompiledProgram> bytecode_;
+
+  PipelineStage stage_ = PipelineStage::kNone;
+  std::string error_;
+  int exit_code_ = 0;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_PIPELINE_H_

@@ -1,5 +1,6 @@
 #include "src/logic/assertion.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cfm {
@@ -12,60 +13,114 @@ FlowAssertion FlowAssertion::False() {
 
 FlowAssertion FlowAssertion::Policy(const StaticBinding& binding, const SymbolTable& symbols) {
   FlowAssertion a;
+  const Lattice& ext = binding.extended();
   for (const Symbol& symbol : symbols.symbols()) {
-    ClassId bound = binding.ExtendedBinding(symbol.id);
     // A bound of Top is no constraint; keep the map canonical.
-    if (bound != binding.extended().Top()) {
-      a.var_bounds_.emplace(symbol.id, bound);
-    }
+    a.MeetVarBound(symbol.id, binding.ExtendedBinding(symbol.id), ext);
   }
   return a;
 }
 
+void FlowAssertion::Clear() {
+  if (bound_count_ != 0) {
+    for (size_t word = 0; word < mask_.size(); ++word) {
+      uint64_t bits = mask_[word];
+      while (bits != 0) {
+        size_t v = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        var_bounds_[v] = kNoBound;
+      }
+      mask_[word] = 0;
+    }
+  }
+  bound_count_ = 0;
+  local_bound_ = kNoBound;
+  global_bound_ = kNoBound;
+  is_false_ = false;
+}
+
+void FlowAssertion::SetFalse() {
+  // Invariant: the false assertion stores no bounds (it is its own canonical
+  // form), so interning and IdenticalTo see exactly one false value.
+  Clear();
+  is_false_ = true;
+}
+
 void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext) {
-  auto [it, inserted] = var_bounds_.emplace(symbol, bound);
-  if (!inserted) {
-    it->second = ext.Meet(it->second, bound);
+  if (symbol >= var_bounds_.size()) {
+    if (bound == ext.Top()) {
+      return;  // Canonical: Top bounds are absent.
+    }
+    var_bounds_.resize(symbol + 1, kNoBound);
+    mask_.resize((static_cast<size_t>(symbol) + 64) / 64, 0);
+  }
+  ClassId& slot = var_bounds_[symbol];
+  if (slot == kNoBound) {
+    if (bound == ext.Top()) {
+      return;
+    }
+    slot = bound;
+    mask_[symbol / 64] |= uint64_t{1} << (symbol % 64);
+    ++bound_count_;
+  } else {
+    // Meet of a non-Top bound with anything stays below Top.
+    slot = ext.Meet(slot, bound);
   }
 }
 
-void FlowAssertion::Normalize(const Lattice& ext) {
-  for (auto it = var_bounds_.begin(); it != var_bounds_.end();) {
-    if (it->second == ext.Top()) {
-      it = var_bounds_.erase(it);
-    } else {
-      ++it;
-    }
+void FlowAssertion::MeetLocalBound(ClassId bound, const Lattice& ext) {
+  ClassId next = local_bound_ == kNoBound ? bound : ext.Meet(local_bound_, bound);
+  local_bound_ = next == ext.Top() ? kNoBound : next;
+}
+
+void FlowAssertion::MeetGlobalBound(ClassId bound, const Lattice& ext) {
+  ClassId next = global_bound_ == kNoBound ? bound : ext.Meet(global_bound_, bound);
+  global_bound_ = next == ext.Top() ? kNoBound : next;
+}
+
+void FlowAssertion::WithAtomInPlace(const ClassExpr& expr, ClassId bound, const Lattice& ext) {
+  if (is_false_) {
+    return;
   }
-  if (local_bound_ && *local_bound_ == ext.Top()) {
-    local_bound_.reset();
+  // join(e1..ek) ≤ bound  ⟺  every ei ≤ bound.
+  if (!ext.Leq(expr.constant(), bound)) {
+    SetFalse();
+    return;
   }
-  if (global_bound_ && *global_bound_ == ext.Top()) {
-    global_bound_.reset();
+  for (SymbolId v : expr.vars()) {
+    MeetVarBound(v, bound, ext);
+  }
+  if (expr.has_local()) {
+    MeetLocalBound(bound, ext);
+  }
+  if (expr.has_global()) {
+    MeetGlobalBound(bound, ext);
   }
 }
 
 FlowAssertion FlowAssertion::WithAtom(const ClassExpr& expr, ClassId bound,
                                       const Lattice& ext) const {
-  if (is_false_) {
-    return *this;
-  }
   FlowAssertion result = *this;
-  // join(e1..ek) ≤ bound  ⟺  every ei ≤ bound.
-  if (!ext.Leq(expr.constant(), bound)) {
-    return False();
-  }
-  for (SymbolId v : expr.vars()) {
-    result.MeetVarBound(v, bound, ext);
-  }
-  if (expr.has_local()) {
-    result.local_bound_ = result.local_bound_ ? ext.Meet(*result.local_bound_, bound) : bound;
-  }
-  if (expr.has_global()) {
-    result.global_bound_ = result.global_bound_ ? ext.Meet(*result.global_bound_, bound) : bound;
-  }
-  result.Normalize(ext);
+  result.WithAtomInPlace(expr, bound, ext);
   return result;
+}
+
+void FlowAssertion::ConjoinInPlace(const FlowAssertion& other, const Lattice& ext) {
+  if (is_false_) {
+    return;
+  }
+  if (other.is_false_) {
+    SetFalse();
+    return;
+  }
+  other.ForEachVarBound(
+      [this, &ext](SymbolId symbol, ClassId bound) { MeetVarBound(symbol, bound, ext); });
+  if (other.local_bound_ != kNoBound) {
+    MeetLocalBound(other.local_bound_, ext);
+  }
+  if (other.global_bound_ != kNoBound) {
+    MeetGlobalBound(other.global_bound_, ext);
+  }
 }
 
 FlowAssertion FlowAssertion::Conjoin(const FlowAssertion& other, const Lattice& ext) const {
@@ -73,27 +128,17 @@ FlowAssertion FlowAssertion::Conjoin(const FlowAssertion& other, const Lattice& 
     return False();
   }
   FlowAssertion result = *this;
-  for (auto [symbol, bound] : other.var_bounds_) {
-    result.MeetVarBound(symbol, bound, ext);
-  }
-  if (other.local_bound_) {
-    result.local_bound_ =
-        result.local_bound_ ? ext.Meet(*result.local_bound_, *other.local_bound_)
-                            : *other.local_bound_;
-  }
-  if (other.global_bound_) {
-    result.global_bound_ =
-        result.global_bound_ ? ext.Meet(*result.global_bound_, *other.global_bound_)
-                             : *other.global_bound_;
-  }
-  result.Normalize(ext);
+  result.ConjoinInPlace(other, ext);
   return result;
 }
 
-FlowAssertion FlowAssertion::Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
-                                        const Lattice& ext) const {
+void FlowAssertion::SubstituteInto(FlowAssertion& out,
+                                   const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                                   const Lattice& ext) const {
+  out.Clear();
   if (is_false_) {
-    return *this;
+    out.is_false_ = true;
+    return;
   }
   auto find_sub = [&subs](const TermRef& term) -> const ClassExpr* {
     for (const auto& [ref, expr] : subs) {
@@ -104,58 +149,64 @@ FlowAssertion FlowAssertion::Substitute(const std::vector<std::pair<TermRef, Cla
     return nullptr;
   };
 
-  FlowAssertion result;
-  for (auto [symbol, bound] : var_bounds_) {
+  ForEachVarBound([&](SymbolId symbol, ClassId bound) {
+    if (out.is_false_) {
+      return;
+    }
     if (const ClassExpr* replacement = find_sub(TermRef::Var(symbol))) {
-      result = result.WithAtom(*replacement, bound, ext);
+      out.WithAtomInPlace(*replacement, bound, ext);
     } else {
-      result.MeetVarBound(symbol, bound, ext);
+      out.MeetVarBound(symbol, bound, ext);
     }
-    if (result.is_false_) {
-      return result;
-    }
+  });
+  if (out.is_false_) {
+    return;
   }
-  if (local_bound_) {
+  if (local_bound_ != kNoBound) {
     if (const ClassExpr* replacement = find_sub(TermRef::Local())) {
-      result = result.WithAtom(*replacement, *local_bound_, ext);
+      out.WithAtomInPlace(*replacement, local_bound_, ext);
     } else {
-      result.local_bound_ =
-          result.local_bound_ ? ext.Meet(*result.local_bound_, *local_bound_) : *local_bound_;
+      out.MeetLocalBound(local_bound_, ext);
     }
   }
-  if (global_bound_ && !result.is_false_) {
+  if (out.is_false_) {
+    return;
+  }
+  if (global_bound_ != kNoBound) {
     if (const ClassExpr* replacement = find_sub(TermRef::Global())) {
-      result = result.WithAtom(*replacement, *global_bound_, ext);
+      out.WithAtomInPlace(*replacement, global_bound_, ext);
     } else {
-      result.global_bound_ = result.global_bound_
-                                 ? ext.Meet(*result.global_bound_, *global_bound_)
-                                 : *global_bound_;
+      out.MeetGlobalBound(global_bound_, ext);
     }
   }
-  if (!result.is_false_) {
-    result.Normalize(ext);
-  }
+}
+
+FlowAssertion FlowAssertion::Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                                        const Lattice& ext) const {
+  FlowAssertion result;
+  SubstituteInto(result, subs, ext);
   return result;
 }
 
 ClassId FlowAssertion::BoundOf(const TermRef& term, const Lattice& ext) const {
+  if (is_false_) {
+    return ext.Bottom();
+  }
   switch (term.kind) {
-    case TermRef::Kind::kVar: {
-      auto it = var_bounds_.find(term.var);
-      return it == var_bounds_.end() ? ext.Top() : it->second;
-    }
+    case TermRef::Kind::kVar:
+      return has_var_bound(term.var) ? var_bounds_[term.var] : ext.Top();
     case TermRef::Kind::kLocal:
-      return local_bound_.value_or(ext.Top());
+      return local_bound_ == kNoBound ? ext.Top() : local_bound_;
     case TermRef::Kind::kGlobal:
-      return global_bound_.value_or(ext.Top());
+      return global_bound_ == kNoBound ? ext.Top() : global_bound_;
   }
   return ext.Top();
 }
 
 FlowAssertion FlowAssertion::VPart() const {
   FlowAssertion result = *this;
-  result.local_bound_.reset();
-  result.global_bound_.reset();
+  result.local_bound_ = kNoBound;
+  result.global_bound_ = kNoBound;
   return result;
 }
 
@@ -166,18 +217,70 @@ bool FlowAssertion::Entails(const FlowAssertion& q, const Lattice& ext) const {
   if (q.is_false_) {
     return false;
   }
-  for (auto [symbol, bound] : q.var_bounds_) {
-    if (!ext.Leq(BoundOf(TermRef::Var(symbol), ext), bound)) {
+  for (size_t word = 0; word < q.mask_.size(); ++word) {
+    uint64_t bits = q.mask_[word];
+    while (bits != 0) {
+      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      ClassId mine = has_var_bound(static_cast<SymbolId>(v)) ? var_bounds_[v] : ext.Top();
+      if (!ext.Leq(mine, q.var_bounds_[v])) {
+        return false;
+      }
+    }
+  }
+  if (q.local_bound_ != kNoBound) {
+    ClassId mine = local_bound_ == kNoBound ? ext.Top() : local_bound_;
+    if (!ext.Leq(mine, q.local_bound_)) {
       return false;
     }
   }
-  if (q.local_bound_ && !ext.Leq(BoundOf(TermRef::Local(), ext), *q.local_bound_)) {
-    return false;
-  }
-  if (q.global_bound_ && !ext.Leq(BoundOf(TermRef::Global(), ext), *q.global_bound_)) {
-    return false;
+  if (q.global_bound_ != kNoBound) {
+    ClassId mine = global_bound_ == kNoBound ? ext.Top() : global_bound_;
+    if (!ext.Leq(mine, q.global_bound_)) {
+      return false;
+    }
   }
   return true;
+}
+
+bool FlowAssertion::IdenticalTo(const FlowAssertion& q) const {
+  if (is_false_ != q.is_false_ || bound_count_ != q.bound_count_ ||
+      local_bound_ != q.local_bound_ || global_bound_ != q.global_bound_) {
+    return false;
+  }
+  // The vectors may differ in trailing unconstrained slots; equal counts plus
+  // equal common words force any tail words to be empty.
+  size_t common = std::min(mask_.size(), q.mask_.size());
+  for (size_t word = 0; word < common; ++word) {
+    if (mask_[word] != q.mask_[word]) {
+      return false;
+    }
+    uint64_t bits = mask_[word];
+    while (bits != 0) {
+      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (var_bounds_[v] != q.var_bounds_[v]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t FlowAssertion::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the canonical form.
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ull;
+  };
+  mix(is_false_ ? 1 : 0);
+  ForEachVarBound([&mix](SymbolId symbol, ClassId bound) {
+    mix(symbol);
+    mix(bound);
+  });
+  mix(local_bound_);
+  mix(global_bound_);
+  return h;
 }
 
 std::string FlowAssertion::ToString(const SymbolTable& symbols, const Lattice& ext) const {
@@ -193,17 +296,17 @@ std::string FlowAssertion::ToString(const SymbolTable& symbols, const Lattice& e
     }
     first = false;
   };
-  for (auto [symbol, bound] : var_bounds_) {
+  ForEachVarBound([&](SymbolId symbol, ClassId bound) {
     sep();
     os << "class(" << symbols.at(symbol).name << ") <= " << ext.ElementName(bound);
-  }
-  if (local_bound_) {
+  });
+  if (local_bound_ != kNoBound) {
     sep();
-    os << "local <= " << ext.ElementName(*local_bound_);
+    os << "local <= " << ext.ElementName(local_bound_);
   }
-  if (global_bound_) {
+  if (global_bound_ != kNoBound) {
     sep();
-    os << "global <= " << ext.ElementName(*global_bound_);
+    os << "global <= " << ext.ElementName(global_bound_);
   }
   if (first) {
     os << "true";

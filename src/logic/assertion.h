@@ -4,11 +4,20 @@
 // the paper's fragment (including those produced by the axioms' syntactic
 // substitutions) normalizes into this form, which makes entailment P ⊢ Q
 // decidable, sound AND complete: evaluate each Q bound under P's bounds.
+//
+// Representation: a flat ClassId vector indexed by dense SymbolId (an absent
+// slot means an unconstrained variable, i.e. an implicit Top bound) plus a
+// bitset of constrained variables. Canonical invariants: no stored bound
+// equals ext.Top(), and is_false() implies no stored bounds at all — so two
+// assertions over the same lattice are semantically equivalent exactly when
+// they are bit-identical, which is what lets AssertionStore hand out
+// interned ids with O(1) equality.
 
 #ifndef SRC_LOGIC_ASSERTION_H_
 #define SRC_LOGIC_ASSERTION_H_
 
-#include <map>
+#include <bit>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -65,16 +74,51 @@ class FlowAssertion {
   FlowAssertion Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
                            const Lattice& ext) const;
 
+  // In-place variants: the mutating builder path the axioms' substitutions
+  // and the interference-freedom check use so hot loops stop allocating a
+  // fresh bound map per atom. Results are identical to the value-returning
+  // forms (the canonical form is a pointwise meet, so update order cannot
+  // matter).
+  void WithAtomInPlace(const ClassExpr& expr, ClassId bound, const Lattice& ext);
+  void ConjoinInPlace(const FlowAssertion& other, const Lattice& ext);
+  // Writes this[subs] into `out` (which must not alias *this), reusing
+  // out's storage.
+  void SubstituteInto(FlowAssertion& out, const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                      const Lattice& ext) const;
+  // Back to the trivially true assertion, keeping capacity.
+  void Clear();
+
   bool is_false() const { return is_false_; }
 
   // Effective upper bound of a term under this assertion; Top when the term
-  // is unconstrained. Meaningless when is_false().
+  // is unconstrained. When is_false() the result is ext.Bottom(): the
+  // unsatisfiable assertion entails every bound, and Bottom is the tightest.
   ClassId BoundOf(const TermRef& term, const Lattice& ext) const;
 
   // Canonical accessors (bounds equal to Top are absent).
-  const std::map<SymbolId, ClassId>& var_bounds() const { return var_bounds_; }
-  std::optional<ClassId> local_bound() const { return local_bound_; }
-  std::optional<ClassId> global_bound() const { return global_bound_; }
+  bool has_var_bound(SymbolId symbol) const {
+    return symbol < var_bounds_.size() && var_bounds_[symbol] != kNoBound;
+  }
+  uint32_t var_bound_count() const { return bound_count_; }
+  std::optional<ClassId> local_bound() const {
+    return local_bound_ == kNoBound ? std::nullopt : std::optional<ClassId>(local_bound_);
+  }
+  std::optional<ClassId> global_bound() const {
+    return global_bound_ == kNoBound ? std::nullopt : std::optional<ClassId>(global_bound_);
+  }
+
+  // Visits every (symbol, bound) pair in ascending SymbolId order.
+  template <typename Fn>
+  void ForEachVarBound(Fn&& fn) const {
+    for (size_t word = 0; word < mask_.size(); ++word) {
+      uint64_t bits = mask_[word];
+      while (bits != 0) {
+        auto v = static_cast<SymbolId>(word * 64 + static_cast<size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        fn(v, var_bounds_[v]);
+      }
+    }
+  }
 
   // The V component (Section 3.1 notation {V, L, G}): this assertion with
   // local/global constraints dropped.
@@ -83,21 +127,36 @@ class FlowAssertion {
   // Entailment: every information state satisfying *this satisfies `q`.
   bool Entails(const FlowAssertion& q, const Lattice& ext) const;
 
-  // Two-way entailment.
+  // Two-way entailment. By canonical-form uniqueness this coincides with
+  // IdenticalTo for assertions normalized against the same lattice; the
+  // semantic fallback keeps the answer right for mixed provenance.
   bool EquivalentTo(const FlowAssertion& q, const Lattice& ext) const {
-    return Entails(q, ext) && q.Entails(*this, ext);
+    return IdenticalTo(q) || (Entails(q, ext) && q.Entails(*this, ext));
   }
+
+  // Structural equality of the canonical form (lattice-independent).
+  bool IdenticalTo(const FlowAssertion& q) const;
+
+  // Hash of the canonical form; IdenticalTo assertions hash equal.
+  uint64_t Hash() const;
 
   std::string ToString(const SymbolTable& symbols, const Lattice& ext) const;
 
  private:
+  // Marks an unconstrained slot in var_bounds_ (an implicit Top bound).
+  static constexpr ClassId kNoBound = ~ClassId{0};
+
+  void SetFalse();
   void MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext);
-  void Normalize(const Lattice& ext);
+  void MeetLocalBound(ClassId bound, const Lattice& ext);
+  void MeetGlobalBound(ClassId bound, const Lattice& ext);
 
   bool is_false_ = false;
-  std::map<SymbolId, ClassId> var_bounds_;
-  std::optional<ClassId> local_bound_;
-  std::optional<ClassId> global_bound_;
+  uint32_t bound_count_ = 0;
+  ClassId local_bound_ = kNoBound;
+  ClassId global_bound_ = kNoBound;
+  std::vector<ClassId> var_bounds_;  // Dense, SymbolId-indexed; kNoBound = absent.
+  std::vector<uint64_t> mask_;       // Constrained-variable bitset.
 };
 
 }  // namespace cfm

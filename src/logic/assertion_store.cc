@@ -1,0 +1,18 @@
+#include "src/logic/assertion_store.h"
+
+namespace cfm {
+
+AssertionId AssertionStore::Intern(const FlowAssertion& assertion) {
+  std::vector<AssertionId>& bucket = buckets_[assertion.Hash()];
+  for (AssertionId id : bucket) {
+    if (assertions_[id].IdenticalTo(assertion)) {
+      return id;
+    }
+  }
+  auto id = static_cast<AssertionId>(assertions_.size());
+  assertions_.push_back(assertion);
+  bucket.push_back(id);
+  return id;
+}
+
+}  // namespace cfm

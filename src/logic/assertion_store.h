@@ -1,0 +1,46 @@
+// Interning store for canonical flow assertions. Because FlowAssertion keeps
+// a unique canonical form (Top bounds absent, meets folded, false stores no
+// bounds), semantic equivalence over a fixed lattice collapses to structural
+// equality — so the store can hand out dense 32-bit AssertionIds where
+// id equality IS assertion equivalence, O(1). The proof arena stores ids
+// instead of bound maps; the checker compares ids before falling back to the
+// entailment solver.
+
+#ifndef SRC_LOGIC_ASSERTION_STORE_H_
+#define SRC_LOGIC_ASSERTION_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/logic/assertion.h"
+
+namespace cfm {
+
+using AssertionId = uint32_t;
+
+class AssertionStore {
+ public:
+  // The trivially true assertion is pre-interned so default-initialized
+  // proof nodes reference a valid id.
+  static constexpr AssertionId kTrue = 0;
+
+  AssertionStore() { Intern(FlowAssertion()); }
+
+  // Returns the id of the canonical assertion equal to `assertion`,
+  // inserting it on first sight. Ids are stable for the store's lifetime.
+  AssertionId Intern(const FlowAssertion& assertion);
+
+  const FlowAssertion& at(AssertionId id) const { return assertions_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(assertions_.size()); }
+
+ private:
+  std::vector<FlowAssertion> assertions_;
+  // Hash buckets over the canonical form; collisions resolved by
+  // IdenticalTo.
+  std::unordered_map<uint64_t, std::vector<AssertionId>> buckets_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_LOGIC_ASSERTION_STORE_H_

@@ -34,28 +34,77 @@ std::string_view ToString(RuleKind kind) {
   return "unknown";
 }
 
-uint64_t ProofNode::Size() const {
+ProofNodeId ProofArena::Add(RuleKind rule, const Stmt* stmt, AssertionId pre, AssertionId post,
+                            std::span<const ProofNodeId> premises) {
+  ProofNode node;
+  node.rule = rule;
+  node.stmt = stmt;
+  node.pre = pre;
+  node.post = post;
+  node.premises_begin = static_cast<uint32_t>(premise_ids_.size());
+  node.premises_count = static_cast<uint32_t>(premises.size());
+  premise_ids_.insert(premise_ids_.end(), premises.begin(), premises.end());
+  auto id = static_cast<ProofNodeId>(nodes_.size());
+  nodes_.push_back(node);
+  return id;
+}
+
+ProofNodeId ProofArena::Add(RuleKind rule, const Stmt* stmt, AssertionId pre, AssertionId post,
+                            std::initializer_list<ProofNodeId> premises) {
+  return Add(rule, stmt, pre, post, std::span<const ProofNodeId>(premises.begin(), premises.size()));
+}
+
+ProofNodeId ProofArena::Add(RuleKind rule, const Stmt* stmt, const FlowAssertion& pre,
+                            const FlowAssertion& post, std::span<const ProofNodeId> premises) {
+  return Add(rule, stmt, Intern(pre), Intern(post), premises);
+}
+
+ProofNodeId ProofArena::Add(RuleKind rule, const Stmt* stmt, const FlowAssertion& pre,
+                            const FlowAssertion& post,
+                            std::initializer_list<ProofNodeId> premises) {
+  return Add(rule, stmt, Intern(pre), Intern(post),
+             std::span<const ProofNodeId>(premises.begin(), premises.size()));
+}
+
+void ProofArena::AppendPremise(ProofNodeId parent, ProofNodeId premise) {
+  ProofNode& n = nodes_[parent];
+  if (n.premises_begin + n.premises_count != premise_ids_.size()) {
+    // Relocate the span to the tail; the old slots become holes.
+    auto begin = static_cast<uint32_t>(premise_ids_.size());
+    for (uint32_t i = 0; i < n.premises_count; ++i) {
+      premise_ids_.push_back(premise_ids_[n.premises_begin + i]);
+    }
+    n.premises_begin = begin;
+  }
+  premise_ids_.push_back(premise);
+  ++n.premises_count;
+}
+
+void ProofArena::PopPremise(ProofNodeId parent) {
+  ProofNode& n = nodes_[parent];
+  if (n.premises_count > 0) {
+    --n.premises_count;
+  }
+}
+
+void ProofArena::SwapPremises(ProofNodeId parent, uint32_t i, uint32_t j) {
+  const ProofNode& n = nodes_[parent];
+  std::swap(premise_ids_[n.premises_begin + i], premise_ids_[n.premises_begin + j]);
+}
+
+uint64_t ProofArena::SubtreeSize(ProofNodeId id) const {
   uint64_t total = 1;
-  for (const auto& premise : premises) {
-    total += premise->Size();
+  for (ProofNodeId premise : premises(id)) {
+    total += SubtreeSize(premise);
   }
   return total;
 }
 
-std::unique_ptr<ProofNode> MakeProofNode(RuleKind rule, const Stmt* stmt, FlowAssertion pre,
-                                         FlowAssertion post) {
-  auto node = std::make_unique<ProofNode>();
-  node->rule = rule;
-  node->stmt = stmt;
-  node->pre = std::move(pre);
-  node->post = std::move(post);
-  return node;
-}
-
 namespace {
 
-void PrintNode(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext, int indent,
-               std::ostream& os) {
+void PrintNode(const ProofArena& arena, ProofNodeId id, const SymbolTable& symbols,
+               const Lattice& ext, int indent, std::ostream& os) {
+  const ProofNode& node = arena.node(id);
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string stmt_text;
   if (node.stmt != nullptr) {
@@ -71,46 +120,54 @@ void PrintNode(const ProofNode& node, const SymbolTable& symbols, const Lattice&
     }
   }
   os << pad << "[" << ToString(node.rule) << "] " << stmt_text << "\n";
-  os << pad << "  pre:  " << node.pre.ToString(symbols, ext) << "\n";
-  os << pad << "  post: " << node.post.ToString(symbols, ext) << "\n";
-  for (const auto& premise : node.premises) {
-    PrintNode(*premise, symbols, ext, indent + 1, os);
+  os << pad << "  pre:  " << arena.pre(id).ToString(symbols, ext) << "\n";
+  os << pad << "  post: " << arena.post(id).ToString(symbols, ext) << "\n";
+  for (ProofNodeId premise : arena.premises(id)) {
+    PrintNode(arena, premise, symbols, ext, indent + 1, os);
   }
 }
 
 }  // namespace
 
-std::string PrintProof(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext) {
+std::string PrintProof(const ProofArena& arena, ProofNodeId node, const SymbolTable& symbols,
+                       const Lattice& ext) {
   std::ostringstream os;
-  PrintNode(node, symbols, ext, 0, os);
+  PrintNode(arena, node, symbols, ext, 0, os);
   return os.str();
 }
 
-void ForEachProofNode(const ProofNode& node, const std::function<void(const ProofNode&)>& fn) {
+std::string PrintProof(const Proof& proof, const SymbolTable& symbols, const Lattice& ext) {
+  return PrintProof(proof.arena, proof.root, symbols, ext);
+}
+
+void ForEachProofNode(const ProofArena& arena, ProofNodeId node,
+                      const std::function<void(ProofNodeId)>& fn) {
   fn(node);
-  for (const auto& premise : node.premises) {
-    ForEachProofNode(*premise, fn);
+  for (ProofNodeId premise : arena.premises(node)) {
+    ForEachProofNode(arena, premise, fn);
   }
 }
 
-const Stmt* EffectiveProofStmt(const ProofNode& node) {
-  const ProofNode* current = &node;
-  while (current->rule == RuleKind::kConsequence && !current->premises.empty()) {
-    current = current->premises.front().get();
+const Stmt* EffectiveProofStmt(const ProofArena& arena, ProofNodeId node) {
+  ProofNodeId current = node;
+  while (arena.node(current).rule == RuleKind::kConsequence &&
+         arena.node(current).premises_count > 0) {
+    current = arena.premises(current).front();
   }
-  return current->stmt;
+  return arena.node(current).stmt;
 }
 
-const ProofNode* FindProofNodeFor(const ProofNode& root, const Stmt& stmt) {
-  if (EffectiveProofStmt(root) == &stmt) {
-    return &root;
+ProofNodeId FindProofNodeFor(const ProofArena& arena, ProofNodeId root, const Stmt& stmt) {
+  if (EffectiveProofStmt(arena, root) == &stmt) {
+    return root;
   }
-  for (const auto& premise : root.premises) {
-    if (const ProofNode* found = FindProofNodeFor(*premise, stmt)) {
+  for (ProofNodeId premise : arena.premises(root)) {
+    ProofNodeId found = FindProofNodeFor(arena, premise, stmt);
+    if (found != kInvalidProofNode) {
       return found;
     }
   }
-  return nullptr;
+  return kInvalidProofNode;
 }
 
 }  // namespace cfm

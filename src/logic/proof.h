@@ -1,18 +1,28 @@
 // Flow proofs: derivation trees over the Figure 1 axioms and rules. Each
 // node records the rule applied, the statement it proves, and the pre/post
 // flow assertions. Trees are built by the Theorem 1 constructor
-// (proof_builder.h) or by hand (tests), and validated by the independent
-// checker (proof_checker.h).
+// (proof_builder.h), by proof_io's parser, or by hand (tests), and validated
+// by the independent checker (proof_checker.h).
+//
+// Representation: a ProofArena owns every node of a proof in one contiguous
+// vector (mirroring the AST's dense-id design). A node's premises are an
+// index span into a shared premise-id vector, and its pre/post conditions
+// are interned AssertionIds — so walking a proof touches no pointer graph
+// and comparing the assertions the rules share is an integer compare.
 
 #ifndef SRC_LOGIC_PROOF_H_
 #define SRC_LOGIC_PROOF_H_
 
-#include <memory>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/lang/ast.h"
 #include "src/logic/assertion.h"
+#include "src/logic/assertion_store.h"
 
 namespace cfm {
 
@@ -34,40 +44,98 @@ enum class RuleKind : uint8_t {
 
 std::string_view ToString(RuleKind kind);
 
+using ProofNodeId = uint32_t;
+inline constexpr ProofNodeId kInvalidProofNode = 0xFFFFFFFFu;
+
+// One derivation step. Plain data: premises live as a span into the arena's
+// premise-id vector, assertions as interned ids in the arena's store.
 struct ProofNode {
   RuleKind rule = RuleKind::kSkipAxiom;
   const Stmt* stmt = nullptr;
-  FlowAssertion pre;
-  FlowAssertion post;
-  std::vector<std::unique_ptr<ProofNode>> premises;
-
-  // Total nodes in this subtree.
-  uint64_t Size() const;
+  AssertionId pre = AssertionStore::kTrue;
+  AssertionId post = AssertionStore::kTrue;
+  uint32_t premises_begin = 0;
+  uint32_t premises_count = 0;
 };
 
+class ProofArena {
+ public:
+  // Adds a node whose premises (children) must already live in this arena.
+  ProofNodeId Add(RuleKind rule, const Stmt* stmt, const FlowAssertion& pre,
+                  const FlowAssertion& post, std::span<const ProofNodeId> premises);
+  ProofNodeId Add(RuleKind rule, const Stmt* stmt, const FlowAssertion& pre,
+                  const FlowAssertion& post,
+                  std::initializer_list<ProofNodeId> premises = {});
+  // Interned-assertion overloads for hot builder paths.
+  ProofNodeId Add(RuleKind rule, const Stmt* stmt, AssertionId pre, AssertionId post,
+                  std::span<const ProofNodeId> premises);
+  ProofNodeId Add(RuleKind rule, const Stmt* stmt, AssertionId pre, AssertionId post,
+                  std::initializer_list<ProofNodeId> premises = {});
+
+  const ProofNode& node(ProofNodeId id) const { return nodes_[id]; }
+  std::span<const ProofNodeId> premises(ProofNodeId id) const {
+    const ProofNode& n = nodes_[id];
+    return {premise_ids_.data() + n.premises_begin, n.premises_count};
+  }
+  const FlowAssertion& pre(ProofNodeId id) const { return store_.at(nodes_[id].pre); }
+  const FlowAssertion& post(ProofNodeId id) const { return store_.at(nodes_[id].post); }
+
+  AssertionId Intern(const FlowAssertion& assertion) { return store_.Intern(assertion); }
+  const FlowAssertion& assertion(AssertionId id) const { return store_.at(id); }
+  const AssertionStore& store() const { return store_; }
+
+  // Mutators (tests tamper with derivations; the parser patches shapes).
+  void set_rule(ProofNodeId id, RuleKind rule) { nodes_[id].rule = rule; }
+  void set_pre(ProofNodeId id, const FlowAssertion& a) { nodes_[id].pre = Intern(a); }
+  void set_post(ProofNodeId id, const FlowAssertion& a) { nodes_[id].post = Intern(a); }
+  void set_pre(ProofNodeId id, AssertionId a) { nodes_[id].pre = a; }
+  void set_post(ProofNodeId id, AssertionId a) { nodes_[id].post = a; }
+  // Appends a premise, relocating the parent's span to the tail of the
+  // premise vector if it is not already there (abandoned slots are holes —
+  // the vector is append-only so existing spans never move).
+  void AppendPremise(ProofNodeId parent, ProofNodeId premise);
+  void PopPremise(ProofNodeId parent);
+  void SwapPremises(ProofNodeId parent, uint32_t i, uint32_t j);
+
+  // Total nodes in the subtree rooted at `id`.
+  uint64_t SubtreeSize(ProofNodeId id) const;
+  uint32_t size() const { return static_cast<uint32_t>(nodes_.size()); }
+
+ private:
+  std::vector<ProofNode> nodes_;
+  std::vector<ProofNodeId> premise_ids_;
+  AssertionStore store_;
+};
+
+// A proof: an arena plus the root node. Value type; moving is cheap.
 struct Proof {
-  std::unique_ptr<ProofNode> root;
+  ProofArena arena;
+  ProofNodeId root = kInvalidProofNode;
 
-  bool valid_handle() const { return root != nullptr; }
+  bool valid_handle() const { return root != kInvalidProofNode; }
+  uint64_t Size() const { return valid_handle() ? arena.SubtreeSize(root) : 0; }
+  const ProofNode& root_node() const { return arena.node(root); }
+  const FlowAssertion& pre() const { return arena.pre(root); }
+  const FlowAssertion& post() const { return arena.post(root); }
 };
-
-// Factory helper.
-std::unique_ptr<ProofNode> MakeProofNode(RuleKind rule, const Stmt* stmt, FlowAssertion pre,
-                                         FlowAssertion post);
 
 // Multi-line rendering of the derivation, premises indented.
-std::string PrintProof(const ProofNode& node, const SymbolTable& symbols, const Lattice& ext);
+std::string PrintProof(const ProofArena& arena, ProofNodeId node, const SymbolTable& symbols,
+                       const Lattice& ext);
+std::string PrintProof(const Proof& proof, const SymbolTable& symbols, const Lattice& ext);
 
-// Invokes fn on every node of the tree, pre-order.
-void ForEachProofNode(const ProofNode& node, const std::function<void(const ProofNode&)>& fn);
+// Invokes fn on every node of the subtree, pre-order.
+void ForEachProofNode(const ProofArena& arena, ProofNodeId node,
+                      const std::function<void(ProofNodeId)>& fn);
 
 // The statement a node proves, looking through consequence steps.
-const Stmt* EffectiveProofStmt(const ProofNode& node);
+const Stmt* EffectiveProofStmt(const ProofArena& arena, ProofNodeId node);
 
 // The annotation of `stmt` in the proof: the outermost node proving `stmt`
 // (its pre/post are the assertions in force around the statement, the ones
-// Definition 7 constrains). Returns nullptr if `stmt` is not proven here.
-const ProofNode* FindProofNodeFor(const ProofNode& root, const Stmt& stmt);
+// Definition 7 constrains). Returns kInvalidProofNode if `stmt` is not
+// proven here.
+ProofNodeId FindProofNodeFor(const ProofArena& arena, ProofNodeId root, const Stmt& stmt);
 
 }  // namespace cfm
 

@@ -1,5 +1,6 @@
 #include "src/logic/proof_builder.h"
 
+#include <map>
 #include <utility>
 
 #include "src/core/cfm.h"
@@ -10,16 +11,17 @@ namespace {
 
 class Theorem1Builder {
  public:
-  Theorem1Builder(const SymbolTable& symbols, const StaticBinding& binding,
+  Theorem1Builder(Proof& proof, const SymbolTable& symbols, const StaticBinding& binding,
                   const CertificationResult& certification)
-      : symbols_(symbols),
+      : proof_(proof),
+        symbols_(symbols),
         binding_(binding),
         ext_(binding.extended()),
         certification_(certification),
         policy_(FlowAssertion::Policy(binding, symbols)) {}
 
   // {I, local ≤ l, global ≤ g} stmt {I, local ≤ l, global ≤ GOut(stmt, g)}.
-  std::unique_ptr<ProofNode> Build(const Stmt& stmt, ClassId l, ClassId g) {
+  ProofNodeId Build(const Stmt& stmt, ClassId l, ClassId g) {
     switch (stmt.kind()) {
       case StmtKind::kAssign: {
         const auto& assign = stmt.As<AssignStmt>();
@@ -69,8 +71,8 @@ class Theorem1Builder {
                                      {TermRef::Global(), replacement}});
       }
       case StmtKind::kSkip: {
-        FlowAssertion p = Assert(l, g);
-        return MakeProofNode(RuleKind::kSkipAxiom, &stmt, p, p);
+        AssertionId p = AssertId(l, g);
+        return arena().Add(RuleKind::kSkipAxiom, &stmt, p, p);
       }
       case StmtKind::kIf:
         return BuildIf(stmt.As<IfStmt>(), l, g);
@@ -81,7 +83,7 @@ class Theorem1Builder {
       case StmtKind::kCobegin:
         return BuildCobegin(stmt.As<CobeginStmt>(), l, g);
     }
-    return nullptr;
+    return kInvalidProofNode;
   }
 
   // Post-bound for global: unchanged when the statement produces no global
@@ -94,49 +96,57 @@ class Theorem1Builder {
     return ext_.Join(g, ext_.Join(l, flow));
   }
 
-  FlowAssertion Assert(ClassId l, ClassId g) const {
-    return policy_.WithLocalBound(l, ext_).WithGlobalBound(g, ext_);
+  // {I, local ≤ l, global ≤ g}, interned once per (l, g) — the builder only
+  // ever emits assertions of this shape, so the whole proof references a
+  // handful of store entries.
+  AssertionId AssertId(ClassId l, ClassId g) {
+    auto [it, inserted] = assert_cache_.try_emplace({l, g}, AssertionStore::kTrue);
+    if (inserted) {
+      scratch_ = policy_;
+      scratch_.WithAtomInPlace(ClassExpr::Local(), l, ext_);
+      scratch_.WithAtomInPlace(ClassExpr::Global(), g, ext_);
+      it->second = arena().Intern(scratch_);
+    }
+    return it->second;
   }
 
  private:
-  std::unique_ptr<ProofNode> AxiomWithConsequence(
-      const Stmt& stmt, RuleKind rule, ClassId l, ClassId g, ClassId g_out,
-      const std::vector<std::pair<TermRef, ClassExpr>>& subs) {
-    FlowAssertion post = Assert(l, g_out);
-    FlowAssertion axiom_pre = post.Substitute(subs, ext_);
-    auto axiom = MakeProofNode(rule, &stmt, std::move(axiom_pre), post);
+  ProofArena& arena() { return proof_.arena; }
+
+  ProofNodeId AxiomWithConsequence(const Stmt& stmt, RuleKind rule, ClassId l, ClassId g,
+                                   ClassId g_out,
+                                   const std::vector<std::pair<TermRef, ClassExpr>>& subs) {
+    AssertionId post = AssertId(l, g_out);
+    arena().assertion(post).SubstituteInto(scratch_, subs, ext_);
+    ProofNodeId axiom = arena().Add(rule, &stmt, arena().Intern(scratch_), post);
     // Consequence strengthens the axiom's computed pre-image to the uniform
     // {I, local ≤ l, global ≤ g} so the proof is completely invariant.
-    auto consequence = MakeProofNode(RuleKind::kConsequence, &stmt, Assert(l, g), post);
-    consequence->premises.push_back(std::move(axiom));
-    return consequence;
+    return arena().Add(RuleKind::kConsequence, &stmt, AssertId(l, g), post, {axiom});
   }
 
-  std::unique_ptr<ProofNode> BuildIf(const IfStmt& stmt, ClassId l, ClassId g) {
+  ProofNodeId BuildIf(const IfStmt& stmt, ClassId l, ClassId g) {
     ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
     ClassId l_inner = ext_.Join(l, cond_class);
     ClassId g_post = GOut(stmt, l, g);
 
-    auto then_proof = BuildWeakened(stmt.then_branch(), l_inner, g, g_post);
-    std::unique_ptr<ProofNode> else_proof;
+    ProofNodeId then_proof = BuildWeakened(stmt.then_branch(), l_inner, g, g_post);
+    ProofNodeId else_proof;
     if (stmt.else_branch() != nullptr) {
       else_proof = BuildWeakened(*stmt.else_branch(), l_inner, g, g_post);
     } else {
       // The implicit skip branch: {I, l', g} skip {I, l', g}, weakened to the
       // common post.
-      FlowAssertion p = Assert(l_inner, g);
-      auto skip = MakeProofNode(RuleKind::kSkipAxiom, nullptr, p, p);
-      else_proof = MakeProofNode(RuleKind::kConsequence, nullptr, p, Assert(l_inner, g_post));
-      else_proof->premises.push_back(std::move(skip));
+      AssertionId p = AssertId(l_inner, g);
+      ProofNodeId skip = arena().Add(RuleKind::kSkipAxiom, nullptr, p, p);
+      else_proof =
+          arena().Add(RuleKind::kConsequence, nullptr, p, AssertId(l_inner, g_post), {skip});
     }
 
-    auto node = MakeProofNode(RuleKind::kAlternation, &stmt, Assert(l, g), Assert(l, g_post));
-    node->premises.push_back(std::move(then_proof));
-    node->premises.push_back(std::move(else_proof));
-    return node;
+    return arena().Add(RuleKind::kAlternation, &stmt, AssertId(l, g), AssertId(l, g_post),
+                       {then_proof, else_proof});
   }
 
-  std::unique_ptr<ProofNode> BuildWhile(const WhileStmt& stmt, ClassId l, ClassId g) {
+  ProofNodeId BuildWhile(const WhileStmt& stmt, ClassId l, ClassId g) {
     ClassId cond_class = binding_.ExtendedExprBinding(stmt.condition());
     ClassId l_inner = ext_.Join(l, cond_class);
     // The loop invariant's global bound: g ⊕ l ⊕ flow(S); the body's proof
@@ -144,59 +154,59 @@ class Theorem1Builder {
     // already folded in).
     ClassId gw = GOut(stmt, l, g);
 
-    auto body_proof = Build(stmt.body(), l_inner, gw);
+    ProofNodeId body_proof = Build(stmt.body(), l_inner, gw);
     // The iteration rule's conclusion: pre {I, local ≤ l, global ≤ gw},
     // post {I, local ≤ l, global ≤ gw}.
-    auto loop = MakeProofNode(RuleKind::kIteration, &stmt, Assert(l, gw), Assert(l, gw));
-    loop->premises.push_back(std::move(body_proof));
+    AssertionId invariant = AssertId(l, gw);
+    ProofNodeId loop =
+        arena().Add(RuleKind::kIteration, &stmt, invariant, invariant, {body_proof});
     // Strengthen the pre back to global ≤ g (g ≤ gw).
-    auto consequence = MakeProofNode(RuleKind::kConsequence, &stmt, Assert(l, g), Assert(l, gw));
-    consequence->premises.push_back(std::move(loop));
-    return consequence;
+    return arena().Add(RuleKind::kConsequence, &stmt, AssertId(l, g), invariant, {loop});
   }
 
-  std::unique_ptr<ProofNode> BuildBlock(const BlockStmt& stmt, ClassId l, ClassId g) {
-    auto node = MakeProofNode(RuleKind::kComposition, &stmt, Assert(l, g),
-                              Assert(l, GOut(stmt, l, g)));
+  ProofNodeId BuildBlock(const BlockStmt& stmt, ClassId l, ClassId g) {
+    std::vector<ProofNodeId> children;
+    children.reserve(stmt.statements().size());
     ClassId g_i = g;
     for (const Stmt* child : stmt.statements()) {
-      auto child_proof = Build(*child, l, g_i);
+      children.push_back(Build(*child, l, g_i));
       g_i = GOut(*child, l, g_i);
-      node->premises.push_back(std::move(child_proof));
     }
     // The chained bound equals the block's GOut by construction.
-    node->post = Assert(l, g_i);
-    return node;
+    return arena().Add(RuleKind::kComposition, &stmt, AssertId(l, g), AssertId(l, g_i),
+                       std::span<const ProofNodeId>(children));
   }
 
-  std::unique_ptr<ProofNode> BuildCobegin(const CobeginStmt& stmt, ClassId l, ClassId g) {
+  ProofNodeId BuildCobegin(const CobeginStmt& stmt, ClassId l, ClassId g) {
     ClassId g_post = GOut(stmt, l, g);
-    auto node = MakeProofNode(RuleKind::kCobegin, &stmt, Assert(l, g), Assert(l, g_post));
+    std::vector<ProofNodeId> children;
+    children.reserve(stmt.processes().size());
     for (const Stmt* child : stmt.processes()) {
-      node->premises.push_back(BuildWeakened(*child, l, g, g_post));
+      children.push_back(BuildWeakened(*child, l, g, g_post));
     }
-    return node;
+    return arena().Add(RuleKind::kCobegin, &stmt, AssertId(l, g), AssertId(l, g_post),
+                       std::span<const ProofNodeId>(children));
   }
 
   // Build(stmt, l, g) then weaken the post's global bound to g_post.
-  std::unique_ptr<ProofNode> BuildWeakened(const Stmt& stmt, ClassId l, ClassId g,
-                                           ClassId g_post) {
-    auto proof = Build(stmt, l, g);
+  ProofNodeId BuildWeakened(const Stmt& stmt, ClassId l, ClassId g, ClassId g_post) {
+    ProofNodeId proof = Build(stmt, l, g);
     ClassId g_out = GOut(stmt, l, g);
     if (g_out == g_post) {
       return proof;
     }
-    auto consequence =
-        MakeProofNode(RuleKind::kConsequence, &stmt, proof->pre, Assert(l, g_post));
-    consequence->premises.push_back(std::move(proof));
-    return consequence;
+    return arena().Add(RuleKind::kConsequence, &stmt, arena().node(proof).pre,
+                       AssertId(l, g_post), {proof});
   }
 
+  Proof& proof_;
   const SymbolTable& symbols_;
   const StaticBinding& binding_;
   const ExtendedLattice& ext_;
   const CertificationResult& certification_;
   FlowAssertion policy_;
+  FlowAssertion scratch_;
+  std::map<std::pair<ClassId, ClassId>, AssertionId> assert_cache_;
 };
 
 }  // namespace
@@ -208,8 +218,8 @@ Proof BuildInvariantCandidate(const Stmt& stmt, const SymbolTable& symbols,
   const ExtendedLattice& ext = binding.extended();
   ClassId l = options.l == ExtendedLattice::kNil ? ext.Low() : options.l;
   ClassId g = options.g == ExtendedLattice::kNil ? ext.Low() : options.g;
-  Theorem1Builder builder(symbols, binding, certification);
   Proof proof;
+  Theorem1Builder builder(proof, symbols, binding, certification);
   proof.root = builder.Build(stmt, l, g);
   return proof;
 }

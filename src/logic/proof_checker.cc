@@ -1,14 +1,17 @@
 #include "src/logic/proof_checker.h"
 
+#include <algorithm>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace cfm {
 
 namespace {
 
-ProofError Fail(const ProofNode& node, std::string reason) {
-  return ProofError{&node, std::move(reason)};
+ProofError Fail(ProofNodeId node, std::string reason) {
+  return ProofError{node, std::move(reason)};
 }
 
 bool IsAtomicRule(RuleKind rule) {
@@ -19,8 +22,12 @@ bool IsAtomicRule(RuleKind rule) {
 
 }  // namespace
 
-const Stmt* ProofChecker::EffectiveStmt(const ProofNode& node) {
-  return EffectiveProofStmt(node);
+bool ProofChecker::IdsEquivalent(const ProofArena& a, AssertionId x, AssertionId y) const {
+  return x == y || a.assertion(x).EquivalentTo(a.assertion(y), ext_);
+}
+
+bool ProofChecker::IdsEntail(const ProofArena& a, AssertionId x, AssertionId y) const {
+  return x == y || a.assertion(x).Entails(a.assertion(y), ext_);
 }
 
 bool ProofChecker::SameLocalBound(const FlowAssertion& a, const FlowAssertion& b) const {
@@ -35,105 +42,112 @@ bool ProofChecker::SameVPart(const FlowAssertion& a, const FlowAssertion& b) con
   return a.VPart().EquivalentTo(b.VPart(), ext_);
 }
 
-std::optional<ProofError> ProofChecker::Check(const ProofNode& root) const {
-  return CheckNode(root);
+std::optional<ProofError> ProofChecker::Check(const Proof& proof) const {
+  return CheckNode(proof.arena, proof.root);
 }
 
-std::optional<ProofError> ProofChecker::CheckProves(const ProofNode& root, const Stmt& stmt,
+std::optional<ProofError> ProofChecker::Check(const ProofArena& arena, ProofNodeId root) const {
+  return CheckNode(arena, root);
+}
+
+std::optional<ProofError> ProofChecker::CheckProves(const Proof& proof, const Stmt& stmt,
                                                     const FlowAssertion& pre,
                                                     const FlowAssertion& post) const {
-  if (EffectiveStmt(root) != &stmt) {
+  const ProofArena& a = proof.arena;
+  ProofNodeId root = proof.root;
+  if (EffectiveProofStmt(a, root) != &stmt) {
     return Fail(root, "the proof does not prove the requested statement");
   }
-  if (!root.pre.EquivalentTo(pre, ext_)) {
+  if (!a.pre(root).EquivalentTo(pre, ext_)) {
     return Fail(root, "the proof's pre-condition differs from the requested one");
   }
-  if (!root.post.EquivalentTo(post, ext_)) {
+  if (!a.post(root).EquivalentTo(post, ext_)) {
     return Fail(root, "the proof's post-condition differs from the requested one");
   }
-  return CheckNode(root);
+  return CheckNode(a, root);
 }
 
-std::optional<ProofError> ProofChecker::CheckNode(const ProofNode& node) const {
-  switch (node.rule) {
+std::optional<ProofError> ProofChecker::CheckNode(const ProofArena& a, ProofNodeId id) const {
+  switch (a.node(id).rule) {
     case RuleKind::kAssignAxiom:
     case RuleKind::kSkipAxiom:
     case RuleKind::kSignalAxiom:
     case RuleKind::kWaitAxiom:
     case RuleKind::kSendAxiom:
     case RuleKind::kReceiveAxiom:
-      return CheckAxiom(node);
+      return CheckAxiom(a, id);
     case RuleKind::kAlternation:
-      return CheckAlternation(node);
+      return CheckAlternation(a, id);
     case RuleKind::kIteration:
-      return CheckIteration(node);
+      return CheckIteration(a, id);
     case RuleKind::kComposition:
-      return CheckComposition(node);
+      return CheckComposition(a, id);
     case RuleKind::kConsequence:
-      return CheckConsequence(node);
+      return CheckConsequence(a, id);
     case RuleKind::kCobegin:
-      return CheckCobegin(node);
+      return CheckCobegin(a, id);
   }
-  return Fail(node, "unknown rule");
+  return Fail(id, "unknown rule");
 }
 
-std::optional<ProofError> ProofChecker::CheckAxiom(const ProofNode& node) const {
-  if (!node.premises.empty()) {
-    return Fail(node, "axioms take no premises");
+std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
+  if (node.premises_count != 0) {
+    return Fail(id, "axioms take no premises");
   }
   switch (node.rule) {
     case RuleKind::kSkipAxiom: {
       if (node.stmt != nullptr && node.stmt->kind() != StmtKind::kSkip) {
-        return Fail(node, "skip axiom applied to a non-skip statement");
+        return Fail(id, "skip axiom applied to a non-skip statement");
       }
-      if (!node.pre.EquivalentTo(node.post, ext_)) {
-        return Fail(node, "skip axiom requires identical pre- and post-conditions");
+      if (!IdsEquivalent(a, node.pre, node.post)) {
+        return Fail(id, "skip axiom requires identical pre- and post-conditions");
       }
       return std::nullopt;
     }
     case RuleKind::kAssignAxiom: {
       if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kAssign) {
-        return Fail(node, "assignment axiom applied to a non-assignment");
+        return Fail(id, "assignment axiom applied to a non-assignment");
       }
       const auto& assign = node.stmt->As<AssignStmt>();
       ClassExpr replacement = ClassExpr::ForProgramExpr(assign.value(), ext_)
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected =
-          node.post.Substitute({{TermRef::Var(assign.target()), replacement}}, ext_);
-      if (!node.pre.EquivalentTo(expected, ext_)) {
-        return Fail(node,
+          a.post(id).Substitute({{TermRef::Var(assign.target()), replacement}}, ext_);
+      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+        return Fail(id,
                     "assignment axiom: pre-condition is not post[x <- e + local + global]");
       }
       return std::nullopt;
     }
     case RuleKind::kSignalAxiom: {
       if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSignal) {
-        return Fail(node, "signal axiom applied to a non-signal");
+        return Fail(id, "signal axiom applied to a non-signal");
       }
       SymbolId sem = node.stmt->As<SignalStmt>().semaphore();
       ClassExpr replacement = ClassExpr::VarClass(sem)
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected = node.post.Substitute({{TermRef::Var(sem), replacement}}, ext_);
-      if (!node.pre.EquivalentTo(expected, ext_)) {
-        return Fail(node,
+      FlowAssertion expected = a.post(id).Substitute({{TermRef::Var(sem), replacement}}, ext_);
+      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+        return Fail(id,
                     "signal axiom: pre-condition is not post[sem <- sem + local + global]");
       }
       return std::nullopt;
     }
     case RuleKind::kWaitAxiom: {
       if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kWait) {
-        return Fail(node, "wait axiom applied to a non-wait");
+        return Fail(id, "wait axiom applied to a non-wait");
       }
       SymbolId sem = node.stmt->As<WaitStmt>().semaphore();
       ClassExpr replacement = ClassExpr::VarClass(sem)
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected = node.post.Substitute(
+      FlowAssertion expected = a.post(id).Substitute(
           {{TermRef::Var(sem), replacement}, {TermRef::Global(), replacement}}, ext_);
-      if (!node.pre.EquivalentTo(expected, ext_)) {
-        return Fail(node,
+      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+        return Fail(id,
                     "wait axiom: pre-condition is not post[sem <- X, global <- X] with "
                     "X = sem + local + global");
       }
@@ -141,7 +155,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofNode& node) const 
     }
     case RuleKind::kSendAxiom: {
       if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSend) {
-        return Fail(node, "send axiom applied to a non-send");
+        return Fail(id, "send axiom applied to a non-send");
       }
       const auto& send = node.stmt->As<SendStmt>();
       ClassExpr replacement = ClassExpr::VarClass(send.channel())
@@ -149,266 +163,308 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofNode& node) const 
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected =
-          node.post.Substitute({{TermRef::Var(send.channel()), replacement}}, ext_);
-      if (!node.pre.EquivalentTo(expected, ext_)) {
-        return Fail(node,
+          a.post(id).Substitute({{TermRef::Var(send.channel()), replacement}}, ext_);
+      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+        return Fail(id,
                     "send axiom: pre-condition is not post[ch <- ch + e + local + global]");
       }
       return std::nullopt;
     }
     case RuleKind::kReceiveAxiom: {
       if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kReceive) {
-        return Fail(node, "receive axiom applied to a non-receive");
+        return Fail(id, "receive axiom applied to a non-receive");
       }
       const auto& receive = node.stmt->As<ReceiveStmt>();
       ClassExpr replacement = ClassExpr::VarClass(receive.channel())
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected =
-          node.post.Substitute({{TermRef::Var(receive.target()), replacement},
-                                {TermRef::Var(receive.channel()), replacement},
-                                {TermRef::Global(), replacement}},
-                               ext_);
-      if (!node.pre.EquivalentTo(expected, ext_)) {
-        return Fail(node,
+          a.post(id).Substitute({{TermRef::Var(receive.target()), replacement},
+                                 {TermRef::Var(receive.channel()), replacement},
+                                 {TermRef::Global(), replacement}},
+                                ext_);
+      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+        return Fail(id,
                     "receive axiom: pre-condition is not post[x <- X, ch <- X, global <- X] "
                     "with X = ch + local + global");
       }
       return std::nullopt;
     }
     default:
-      return Fail(node, "not an axiom");
+      return Fail(id, "not an axiom");
   }
 }
 
-std::optional<ProofError> ProofChecker::CheckConsequence(const ProofNode& node) const {
-  if (node.premises.size() != 1) {
-    return Fail(node, "consequence takes exactly one premise");
+std::optional<ProofError> ProofChecker::CheckConsequence(const ProofArena& a,
+                                                         ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
+  if (node.premises_count != 1) {
+    return Fail(id, "consequence takes exactly one premise");
   }
-  const ProofNode& premise = *node.premises.front();
-  if (node.stmt != nullptr && EffectiveStmt(premise) != node.stmt) {
-    return Fail(node, "consequence premise proves a different statement");
+  ProofNodeId premise_id = a.premises(id).front();
+  const ProofNode& premise = a.node(premise_id);
+  if (node.stmt != nullptr && EffectiveProofStmt(a, premise_id) != node.stmt) {
+    return Fail(id, "consequence premise proves a different statement");
   }
-  if (!node.pre.Entails(premise.pre, ext_)) {
-    return Fail(node, "consequence: P does not entail P'");
+  if (!IdsEntail(a, node.pre, premise.pre)) {
+    return Fail(id, "consequence: P does not entail P'");
   }
-  if (!premise.post.Entails(node.post, ext_)) {
-    return Fail(node, "consequence: Q' does not entail Q");
+  if (!IdsEntail(a, premise.post, node.post)) {
+    return Fail(id, "consequence: Q' does not entail Q");
   }
-  return CheckNode(premise);
+  return CheckNode(a, premise_id);
 }
 
-std::optional<ProofError> ProofChecker::CheckAlternation(const ProofNode& node) const {
+std::optional<ProofError> ProofChecker::CheckAlternation(const ProofArena& a,
+                                                         ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
   if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kIf) {
-    return Fail(node, "alternation applied to a non-if statement");
+    return Fail(id, "alternation applied to a non-if statement");
   }
-  if (node.premises.size() != 2) {
-    return Fail(node, "alternation takes two premises (then, else)");
+  if (node.premises_count != 2) {
+    return Fail(id, "alternation takes two premises (then, else)");
   }
   const auto& if_stmt = node.stmt->As<IfStmt>();
-  const ProofNode& then_proof = *node.premises[0];
-  const ProofNode& else_proof = *node.premises[1];
+  ProofNodeId then_id = a.premises(id)[0];
+  ProofNodeId else_id = a.premises(id)[1];
+  const ProofNode& then_proof = a.node(then_id);
+  const ProofNode& else_proof = a.node(else_id);
 
-  if (EffectiveStmt(then_proof) != &if_stmt.then_branch()) {
-    return Fail(node, "alternation: first premise does not prove the then-branch");
+  if (EffectiveProofStmt(a, then_id) != &if_stmt.then_branch()) {
+    return Fail(id, "alternation: first premise does not prove the then-branch");
   }
-  const Stmt* else_effective = EffectiveStmt(else_proof);
+  const Stmt* else_effective = EffectiveProofStmt(a, else_id);
   if (if_stmt.else_branch() != nullptr) {
     if (else_effective != if_stmt.else_branch()) {
-      return Fail(node, "alternation: second premise does not prove the else-branch");
+      return Fail(id, "alternation: second premise does not prove the else-branch");
     }
   } else if (else_effective != nullptr && else_effective->kind() != StmtKind::kSkip) {
-    return Fail(node, "alternation: missing else-branch requires a skip premise");
+    return Fail(id, "alternation: missing else-branch requires a skip premise");
   }
 
-  if (!then_proof.pre.EquivalentTo(else_proof.pre, ext_) ||
-      !then_proof.post.EquivalentTo(else_proof.post, ext_)) {
-    return Fail(node, "alternation: branch proofs must share pre- and post-conditions");
+  if (!IdsEquivalent(a, then_proof.pre, else_proof.pre) ||
+      !IdsEquivalent(a, then_proof.post, else_proof.post)) {
+    return Fail(id, "alternation: branch proofs must share pre- and post-conditions");
   }
   // Shape {V, L', G} Si {V', L', G'} versus conclusion {V, L, G} S {V', L, G'}.
-  if (!SameLocalBound(then_proof.pre, then_proof.post)) {
-    return Fail(node, "alternation: branch proofs must preserve local's bound (L')");
+  if (!SameLocalBound(a.pre(then_id), a.post(then_id))) {
+    return Fail(id, "alternation: branch proofs must preserve local's bound (L')");
   }
-  if (!SameVPart(then_proof.pre, node.pre) || !SameVPart(then_proof.post, node.post)) {
-    return Fail(node, "alternation: V components do not match the conclusion");
+  if (!SameVPart(a.pre(then_id), a.pre(id)) || !SameVPart(a.post(then_id), a.post(id))) {
+    return Fail(id, "alternation: V components do not match the conclusion");
   }
-  if (!SameGlobalBound(then_proof.pre, node.pre) ||
-      !SameGlobalBound(then_proof.post, node.post)) {
-    return Fail(node, "alternation: G components do not match the conclusion");
+  if (!SameGlobalBound(a.pre(then_id), a.pre(id)) ||
+      !SameGlobalBound(a.post(then_id), a.post(id))) {
+    return Fail(id, "alternation: G components do not match the conclusion");
   }
-  if (!SameLocalBound(node.pre, node.post)) {
-    return Fail(node, "alternation: conclusion must preserve local's bound (L)");
+  if (!SameLocalBound(a.pre(id), a.post(id))) {
+    return Fail(id, "alternation: conclusion must preserve local's bound (L)");
   }
   // Side condition V,L,G |- L'[local <- local ⊕ ē].
-  ClassId l_inner = then_proof.pre.BoundOf(TermRef::Local(), ext_);
+  ClassId l_inner = a.pre(then_id).BoundOf(TermRef::Local(), ext_);
   ClassExpr lifted = ClassExpr::ForProgramExpr(if_stmt.condition(), ext_)
                          .Join(ClassExpr::Local(), ext_);
   FlowAssertion requirement = FlowAssertion().WithAtom(lifted, l_inner, ext_);
-  if (!node.pre.Entails(requirement, ext_)) {
-    return Fail(node, "alternation: V,L,G does not entail L'[local <- local + e]");
+  if (!a.pre(id).Entails(requirement, ext_)) {
+    return Fail(id, "alternation: V,L,G does not entail L'[local <- local + e]");
   }
 
-  if (auto error = CheckNode(then_proof)) {
+  if (auto error = CheckNode(a, then_id)) {
     return error;
   }
-  return CheckNode(else_proof);
+  return CheckNode(a, else_id);
 }
 
-std::optional<ProofError> ProofChecker::CheckIteration(const ProofNode& node) const {
+std::optional<ProofError> ProofChecker::CheckIteration(const ProofArena& a,
+                                                       ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
   if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kWhile) {
-    return Fail(node, "iteration applied to a non-while statement");
+    return Fail(id, "iteration applied to a non-while statement");
   }
-  if (node.premises.size() != 1) {
-    return Fail(node, "iteration takes one premise (the body proof)");
+  if (node.premises_count != 1) {
+    return Fail(id, "iteration takes one premise (the body proof)");
   }
   const auto& while_stmt = node.stmt->As<WhileStmt>();
-  const ProofNode& body_proof = *node.premises.front();
-  if (EffectiveStmt(body_proof) != &while_stmt.body()) {
-    return Fail(node, "iteration: premise does not prove the loop body");
+  ProofNodeId body_id = a.premises(id).front();
+  const ProofNode& body_proof = a.node(body_id);
+  if (EffectiveProofStmt(a, body_id) != &while_stmt.body()) {
+    return Fail(id, "iteration: premise does not prove the loop body");
   }
   // The invariant {V, L', G} must be preserved exactly by the body.
-  if (!body_proof.pre.EquivalentTo(body_proof.post, ext_)) {
-    return Fail(node, "iteration: the body proof must be invariant (pre == post)");
+  if (!IdsEquivalent(a, body_proof.pre, body_proof.post)) {
+    return Fail(id, "iteration: the body proof must be invariant (pre == post)");
   }
-  if (!SameVPart(body_proof.pre, node.pre) || !SameVPart(node.pre, node.post)) {
-    return Fail(node, "iteration: V components do not match");
+  if (!SameVPart(a.pre(body_id), a.pre(id)) || !SameVPart(a.pre(id), a.post(id))) {
+    return Fail(id, "iteration: V components do not match");
   }
-  if (!SameGlobalBound(body_proof.pre, node.pre)) {
-    return Fail(node, "iteration: the invariant's G must equal the conclusion's pre G");
+  if (!SameGlobalBound(a.pre(body_id), a.pre(id))) {
+    return Fail(id, "iteration: the invariant's G must equal the conclusion's pre G");
   }
-  if (!SameLocalBound(node.pre, node.post)) {
-    return Fail(node, "iteration: conclusion must preserve local's bound (L)");
+  if (!SameLocalBound(a.pre(id), a.post(id))) {
+    return Fail(id, "iteration: conclusion must preserve local's bound (L)");
   }
-  ClassId l_inner = body_proof.pre.BoundOf(TermRef::Local(), ext_);
-  ClassId g_post = node.post.BoundOf(TermRef::Global(), ext_);
+  ClassId l_inner = a.pre(body_id).BoundOf(TermRef::Local(), ext_);
+  ClassId g_post = a.post(id).BoundOf(TermRef::Global(), ext_);
   ClassExpr cond = ClassExpr::ForProgramExpr(while_stmt.condition(), ext_);
   // V,L,G |- L'[local <- local ⊕ ē].
   FlowAssertion local_requirement =
       FlowAssertion().WithAtom(cond.Join(ClassExpr::Local(), ext_), l_inner, ext_);
-  if (!node.pre.Entails(local_requirement, ext_)) {
-    return Fail(node, "iteration: V,L,G does not entail L'[local <- local + e]");
+  if (!a.pre(id).Entails(local_requirement, ext_)) {
+    return Fail(id, "iteration: V,L,G does not entail L'[local <- local + e]");
   }
   // V,L,G |- G'[global <- global ⊕ local ⊕ ē].
   FlowAssertion global_requirement = FlowAssertion().WithAtom(
       cond.Join(ClassExpr::Local(), ext_).Join(ClassExpr::Global(), ext_), g_post, ext_);
-  if (!node.pre.Entails(global_requirement, ext_)) {
-    return Fail(node, "iteration: V,L,G does not entail G'[global <- global + local + e]");
+  if (!a.pre(id).Entails(global_requirement, ext_)) {
+    return Fail(id, "iteration: V,L,G does not entail G'[global <- global + local + e]");
   }
-  return CheckNode(body_proof);
+  return CheckNode(a, body_id);
 }
 
-std::optional<ProofError> ProofChecker::CheckComposition(const ProofNode& node) const {
+std::optional<ProofError> ProofChecker::CheckComposition(const ProofArena& a,
+                                                         ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
   if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kBlock) {
-    return Fail(node, "composition applied to a non-block statement");
+    return Fail(id, "composition applied to a non-block statement");
   }
   const auto& statements = node.stmt->As<BlockStmt>().statements();
-  if (node.premises.size() != statements.size()) {
-    return Fail(node, "composition: premise count differs from the block's statement count");
+  std::span<const ProofNodeId> premises = a.premises(id);
+  if (premises.size() != statements.size()) {
+    return Fail(id, "composition: premise count differs from the block's statement count");
   }
   if (statements.empty()) {
-    if (!node.pre.EquivalentTo(node.post, ext_)) {
-      return Fail(node, "empty composition requires identical pre- and post-conditions");
+    if (!IdsEquivalent(a, node.pre, node.post)) {
+      return Fail(id, "empty composition requires identical pre- and post-conditions");
     }
     return std::nullopt;
   }
   for (size_t i = 0; i < statements.size(); ++i) {
-    if (EffectiveStmt(*node.premises[i]) != statements[i]) {
-      return Fail(node, "composition: premise order does not match the block");
+    if (EffectiveProofStmt(a, premises[i]) != statements[i]) {
+      return Fail(id, "composition: premise order does not match the block");
     }
   }
-  if (!node.pre.EquivalentTo(node.premises.front()->pre, ext_)) {
-    return Fail(node, "composition: conclusion pre differs from the first premise's pre");
+  if (!IdsEquivalent(a, node.pre, a.node(premises.front()).pre)) {
+    return Fail(id, "composition: conclusion pre differs from the first premise's pre");
   }
-  for (size_t i = 0; i + 1 < node.premises.size(); ++i) {
-    if (!node.premises[i]->post.EquivalentTo(node.premises[i + 1]->pre, ext_)) {
-      return Fail(node, "composition: adjacent premises do not chain (post_i != pre_{i+1})");
+  for (size_t i = 0; i + 1 < premises.size(); ++i) {
+    if (!IdsEquivalent(a, a.node(premises[i]).post, a.node(premises[i + 1]).pre)) {
+      return Fail(id, "composition: adjacent premises do not chain (post_i != pre_{i+1})");
     }
   }
-  if (!node.premises.back()->post.EquivalentTo(node.post, ext_)) {
-    return Fail(node, "composition: conclusion post differs from the last premise's post");
+  if (!IdsEquivalent(a, a.node(premises.back()).post, node.post)) {
+    return Fail(id, "composition: conclusion post differs from the last premise's post");
   }
-  for (const auto& premise : node.premises) {
-    if (auto error = CheckNode(*premise)) {
+  for (ProofNodeId premise : premises) {
+    if (auto error = CheckNode(a, premise)) {
       return error;
     }
   }
   return std::nullopt;
 }
 
-std::optional<ProofError> ProofChecker::CheckCobegin(const ProofNode& node) const {
+std::optional<ProofError> ProofChecker::CheckCobegin(const ProofArena& a, ProofNodeId id) const {
+  const ProofNode& node = a.node(id);
   if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kCobegin) {
-    return Fail(node, "concurrent-execution rule applied to a non-cobegin statement");
+    return Fail(id, "concurrent-execution rule applied to a non-cobegin statement");
   }
   const auto& processes = node.stmt->As<CobeginStmt>().processes();
-  if (node.premises.size() != processes.size()) {
-    return Fail(node, "cobegin: premise count differs from the process count");
+  std::span<const ProofNodeId> premises = a.premises(id);
+  if (premises.size() != processes.size()) {
+    return Fail(id, "cobegin: premise count differs from the process count");
   }
   FlowAssertion pre_conjunction;
   FlowAssertion post_conjunction;
   for (size_t i = 0; i < processes.size(); ++i) {
-    const ProofNode& premise = *node.premises[i];
-    if (EffectiveStmt(premise) != processes[i]) {
-      return Fail(node, "cobegin: premise order does not match the processes");
+    ProofNodeId premise_id = premises[i];
+    if (EffectiveProofStmt(a, premise_id) != processes[i]) {
+      return Fail(id, "cobegin: premise order does not match the processes");
     }
     // {Vi, L, G} Si {Vi', L, G'} — identical L, G, G' across components and
     // with the conclusion.
-    if (!SameLocalBound(premise.pre, node.pre) || !SameLocalBound(premise.post, node.pre)) {
-      return Fail(node, "cobegin: component proofs must share the conclusion's L");
+    if (!SameLocalBound(a.pre(premise_id), a.pre(id)) ||
+        !SameLocalBound(a.post(premise_id), a.pre(id))) {
+      return Fail(id, "cobegin: component proofs must share the conclusion's L");
     }
-    if (!SameGlobalBound(premise.pre, node.pre)) {
-      return Fail(node, "cobegin: component pre G differs from the conclusion's");
+    if (!SameGlobalBound(a.pre(premise_id), a.pre(id))) {
+      return Fail(id, "cobegin: component pre G differs from the conclusion's");
     }
-    if (!SameGlobalBound(premise.post, node.post)) {
-      return Fail(node, "cobegin: component post G' differs from the conclusion's");
+    if (!SameGlobalBound(a.post(premise_id), a.post(id))) {
+      return Fail(id, "cobegin: component post G' differs from the conclusion's");
     }
-    pre_conjunction = pre_conjunction.Conjoin(premise.pre.VPart(), ext_);
-    post_conjunction = post_conjunction.Conjoin(premise.post.VPart(), ext_);
+    pre_conjunction.ConjoinInPlace(a.pre(premise_id).VPart(), ext_);
+    post_conjunction.ConjoinInPlace(a.post(premise_id).VPart(), ext_);
   }
-  if (!SameLocalBound(node.pre, node.post)) {
-    return Fail(node, "cobegin: conclusion must preserve local's bound (L)");
+  if (!SameLocalBound(a.pre(id), a.post(id))) {
+    return Fail(id, "cobegin: conclusion must preserve local's bound (L)");
   }
-  if (!node.pre.VPart().EquivalentTo(pre_conjunction, ext_)) {
-    return Fail(node, "cobegin: conclusion pre V is not the conjunction V1,...,Vn");
+  if (!a.pre(id).VPart().EquivalentTo(pre_conjunction, ext_)) {
+    return Fail(id, "cobegin: conclusion pre V is not the conjunction V1,...,Vn");
   }
-  if (!node.post.VPart().EquivalentTo(post_conjunction, ext_)) {
-    return Fail(node, "cobegin: conclusion post V is not the conjunction V1',...,Vn'");
+  if (!a.post(id).VPart().EquivalentTo(post_conjunction, ext_)) {
+    return Fail(id, "cobegin: conclusion post V is not the conjunction V1',...,Vn'");
   }
-  if (auto error = CheckInterferenceFreedom(node)) {
+  if (auto error = CheckInterferenceFreedom(a, id)) {
     return error;
   }
-  for (const auto& premise : node.premises) {
-    if (auto error = CheckNode(*premise)) {
+  for (ProofNodeId premise : premises) {
+    if (auto error = CheckNode(a, premise)) {
       return error;
     }
   }
   return std::nullopt;
 }
 
-std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofNode& node) const {
-  // Gather, per process, its atomic axiom nodes and all assertions its proof
-  // uses.
+std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofArena& a,
+                                                                 ProofNodeId id) const {
+  // Gather, per process, its atomic axiom nodes and the distinct assertions
+  // its proof uses. Interning makes the assertion set small: a completely
+  // invariant proof references only a handful of distinct ids, so the i×j
+  // obligation matrix collapses to a few entailment checks per atomic.
   struct ProcessInfo {
-    std::vector<const ProofNode*> atomic_nodes;
-    std::vector<const FlowAssertion*> assertions;
+    std::vector<ProofNodeId> atomic_nodes;
+    std::vector<AssertionId> assertions;  // sorted, deduplicated
   };
-  std::vector<ProcessInfo> info(node.premises.size());
-  for (size_t i = 0; i < node.premises.size(); ++i) {
-    ForEachProofNode(*node.premises[i], [&info, i](const ProofNode& n) {
+  std::span<const ProofNodeId> premises = a.premises(id);
+  std::vector<ProcessInfo> info(premises.size());
+  for (size_t i = 0; i < premises.size(); ++i) {
+    ForEachProofNode(a, premises[i], [&a, &info, i](ProofNodeId nid) {
+      const ProofNode& n = a.node(nid);
       if (IsAtomicRule(n.rule)) {
-        info[i].atomic_nodes.push_back(&n);
+        info[i].atomic_nodes.push_back(nid);
       }
-      info[i].assertions.push_back(&n.pre);
-      info[i].assertions.push_back(&n.post);
+      info[i].assertions.push_back(n.pre);
+      info[i].assertions.push_back(n.post);
     });
+    auto& ids = info[i].assertions;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   }
 
+  // V parts computed once per distinct assertion id.
+  std::unordered_map<AssertionId, FlowAssertion> v_parts;
+  auto v_part_of = [&a, &v_parts](AssertionId aid) -> const FlowAssertion& {
+    auto [it, inserted] = v_parts.try_emplace(aid);
+    if (inserted) {
+      it->second = a.assertion(aid).VPart();
+    }
+    return it->second;
+  };
+
+  // Scratch buffers reused across the whole obligation matrix.
+  FlowAssertion hypothesis;
+  FlowAssertion obligation;
+  std::vector<std::pair<TermRef, ClassExpr>> subs;
+  std::vector<AssertionId> preserved;
+
   for (size_t j = 0; j < info.size(); ++j) {
-    for (const ProofNode* atomic : info[j].atomic_nodes) {
-      // Build the substitution this atomic statement applies.
-      std::vector<std::pair<TermRef, ClassExpr>> subs;
-      switch (atomic->stmt->kind()) {
+    for (ProofNodeId atomic_id : info[j].atomic_nodes) {
+      const ProofNode& atomic = a.node(atomic_id);
+      // Build the substitution this atomic statement applies — once per
+      // atomic, not once per (atomic, assertion) pair.
+      subs.clear();
+      switch (atomic.stmt->kind()) {
         case StmtKind::kAssign: {
-          const auto& assign = atomic->stmt->As<AssignStmt>();
+          const auto& assign = atomic.stmt->As<AssignStmt>();
           subs.push_back({TermRef::Var(assign.target()),
                           ClassExpr::ForProgramExpr(assign.value(), ext_)
                               .Join(ClassExpr::Local(), ext_)
@@ -417,16 +473,16 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofNode
         }
         case StmtKind::kWait:
         case StmtKind::kSignal: {
-          SymbolId sem = atomic->stmt->kind() == StmtKind::kWait
-                             ? atomic->stmt->As<WaitStmt>().semaphore()
-                             : atomic->stmt->As<SignalStmt>().semaphore();
+          SymbolId sem = atomic.stmt->kind() == StmtKind::kWait
+                             ? atomic.stmt->As<WaitStmt>().semaphore()
+                             : atomic.stmt->As<SignalStmt>().semaphore();
           subs.push_back({TermRef::Var(sem), ClassExpr::VarClass(sem)
                                                  .Join(ClassExpr::Local(), ext_)
                                                  .Join(ClassExpr::Global(), ext_)});
           break;
         }
         case StmtKind::kSend: {
-          const auto& send = atomic->stmt->As<SendStmt>();
+          const auto& send = atomic.stmt->As<SendStmt>();
           subs.push_back({TermRef::Var(send.channel()),
                           ClassExpr::VarClass(send.channel())
                               .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
@@ -435,7 +491,7 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofNode
           break;
         }
         case StmtKind::kReceive: {
-          const auto& receive = atomic->stmt->As<ReceiveStmt>();
+          const auto& receive = atomic.stmt->As<ReceiveStmt>();
           ClassExpr x = ClassExpr::VarClass(receive.channel())
                             .Join(ClassExpr::Local(), ext_)
                             .Join(ClassExpr::Global(), ext_);
@@ -446,23 +502,37 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofNode
         default:
           continue;
       }
+      // Assertion ids shown preserved by this atomic; shared across the
+      // sibling processes since the obligation depends only on the id.
+      preserved.clear();
+      const FlowAssertion& atomic_pre = a.assertion(atomic.pre);
       for (size_t i = 0; i < info.size(); ++i) {
         if (i == j) {
           continue;
         }
-        for (const FlowAssertion* assertion : info[i].assertions) {
+        for (AssertionId aid : info[i].assertions) {
+          if (std::find(preserved.begin(), preserved.end(), aid) != preserved.end()) {
+            continue;
+          }
           // Indirect flows in one process do not affect another process's
           // certification variables, so only the V part must be preserved:
           //   { V_A ∧ pre(T) }  T  { V_A }.
-          FlowAssertion v_part = assertion->VPart();
-          FlowAssertion hypothesis = v_part.Conjoin(atomic->pre, ext_);
-          FlowAssertion obligation = v_part.Substitute(subs, ext_);
-          if (!hypothesis.Entails(obligation, ext_)) {
-            std::ostringstream os;
-            os << "cobegin: interference — an atomic statement of process " << (j + 1)
-               << " does not preserve an assertion of process " << (i + 1);
-            return Fail(*atomic, os.str());
+          const FlowAssertion& v_part = v_part_of(aid);
+          v_part.SubstituteInto(obligation, subs, ext_);
+          // When the substitution leaves V_A unchanged the obligation is
+          // implied by the hypothesis outright; only run the solver when the
+          // atomic actually rewrites a constrained term.
+          if (!obligation.IdenticalTo(v_part)) {
+            hypothesis = v_part;
+            hypothesis.ConjoinInPlace(atomic_pre, ext_);
+            if (!hypothesis.Entails(obligation, ext_)) {
+              std::ostringstream os;
+              os << "cobegin: interference — an atomic statement of process " << (j + 1)
+                 << " does not preserve an assertion of process " << (i + 1);
+              return Fail(atomic_id, os.str());
+            }
           }
+          preserved.push_back(aid);
         }
       }
     }

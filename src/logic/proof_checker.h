@@ -3,6 +3,10 @@
 // pre-images by substitution, re-checks every side condition with the
 // entailment solver, and performs the Owicki–Gries style interference-
 // freedom check the concurrent-execution rule requires.
+//
+// Interned AssertionIds give the checker an O(1) fast path: two identical
+// ids are equivalent by construction, so the entailment solver only runs
+// when ids differ.
 
 #ifndef SRC_LOGIC_PROOF_CHECKER_H_
 #define SRC_LOGIC_PROOF_CHECKER_H_
@@ -17,7 +21,7 @@
 namespace cfm {
 
 struct ProofError {
-  const ProofNode* node = nullptr;
+  ProofNodeId node = kInvalidProofNode;
   std::string reason;
 };
 
@@ -28,30 +32,32 @@ class ProofChecker {
 
   // Returns nullopt when the proof is a valid derivation; otherwise the
   // first failure found.
-  std::optional<ProofError> Check(const ProofNode& root) const;
+  std::optional<ProofError> Check(const Proof& proof) const;
+  std::optional<ProofError> Check(const ProofArena& arena, ProofNodeId root) const;
 
-  // Convenience: checks that `root` proves `{pre} stmt {post}` for the given
-  // endpoints (up to logical equivalence) and is valid.
-  std::optional<ProofError> CheckProves(const ProofNode& root, const Stmt& stmt,
+  // Convenience: checks that the proof proves `{pre} stmt {post}` for the
+  // given endpoints (up to logical equivalence) and is valid.
+  std::optional<ProofError> CheckProves(const Proof& proof, const Stmt& stmt,
                                         const FlowAssertion& pre,
                                         const FlowAssertion& post) const;
 
  private:
-  std::optional<ProofError> CheckNode(const ProofNode& node) const;
-  std::optional<ProofError> CheckAxiom(const ProofNode& node) const;
-  std::optional<ProofError> CheckAlternation(const ProofNode& node) const;
-  std::optional<ProofError> CheckIteration(const ProofNode& node) const;
-  std::optional<ProofError> CheckComposition(const ProofNode& node) const;
-  std::optional<ProofError> CheckConsequence(const ProofNode& node) const;
-  std::optional<ProofError> CheckCobegin(const ProofNode& node) const;
+  std::optional<ProofError> CheckNode(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckAxiom(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckAlternation(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckIteration(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckComposition(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckConsequence(const ProofArena& a, ProofNodeId id) const;
+  std::optional<ProofError> CheckCobegin(const ProofArena& a, ProofNodeId id) const;
 
   // Interference-freedom: every atomic statement of process j (with its
   // proof-local precondition) preserves the V part of every assertion used
   // in process i's proof, for all i ≠ j.
-  std::optional<ProofError> CheckInterferenceFreedom(const ProofNode& node) const;
+  std::optional<ProofError> CheckInterferenceFreedom(const ProofArena& a, ProofNodeId id) const;
 
-  // The statement a node proves (looking through consequence steps).
-  static const Stmt* EffectiveStmt(const ProofNode& node);
+  // Equivalence / entailment over interned ids; equal ids short-circuit.
+  bool IdsEquivalent(const ProofArena& a, AssertionId x, AssertionId y) const;
+  bool IdsEntail(const ProofArena& a, AssertionId x, AssertionId y) const;
 
   // Equality of assertion components used by the structured rules.
   bool SameLocalBound(const FlowAssertion& a, const FlowAssertion& b) const;

@@ -3,6 +3,7 @@
 #include <optional>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/support/text.h"
@@ -71,10 +72,10 @@ void SerializeAssertion(const FlowAssertion& assertion, const SymbolTable& symbo
     }
     first = false;
   };
-  for (auto [symbol, bound] : assertion.var_bounds()) {
+  assertion.ForEachVarBound([&](SymbolId symbol, ClassId bound) {
     sep();
     os << "var " << symbols.at(symbol).name << " " << ext.ElementName(bound);
-  }
+  });
   if (assertion.local_bound()) {
     sep();
     os << "local " << ext.ElementName(*assertion.local_bound());
@@ -88,8 +89,9 @@ void SerializeAssertion(const FlowAssertion& assertion, const SymbolTable& symbo
   }
 }
 
-void SerializeNode(const ProofNode& node, const StmtIndex& index, const SymbolTable& symbols,
-                   const ExtendedLattice& ext, std::ostream& os) {
+void SerializeNode(const ProofArena& arena, ProofNodeId id, const StmtIndex& index,
+                   const SymbolTable& symbols, const ExtendedLattice& ext, std::ostream& os) {
+  const ProofNode& node = arena.node(id);
   os << "node " << RuleToken(node.rule) << " ";
   if (node.stmt == nullptr) {
     os << "-";
@@ -98,12 +100,12 @@ void SerializeNode(const ProofNode& node, const StmtIndex& index, const SymbolTa
   }
   os << "\n";
   os << "pre ";
-  SerializeAssertion(node.pre, symbols, ext, os);
+  SerializeAssertion(arena.pre(id), symbols, ext, os);
   os << "\npost ";
-  SerializeAssertion(node.post, symbols, ext, os);
-  os << "\npremises " << node.premises.size() << "\n";
-  for (const auto& premise : node.premises) {
-    SerializeNode(*premise, index, symbols, ext, os);
+  SerializeAssertion(arena.post(id), symbols, ext, os);
+  os << "\npremises " << arena.premises(id).size() << "\n";
+  for (ProofNodeId premise : arena.premises(id)) {
+    SerializeNode(arena, premise, index, symbols, ext, os);
   }
 }
 
@@ -128,9 +130,8 @@ class ProofParser {
       }
       ++position_;
     }
-    Proof proof;
-    proof.root = std::move(root.value());
-    return proof;
+    proof_.root = root.value();
+    return std::move(proof_);
   }
 
  private:
@@ -183,14 +184,14 @@ class ProofParser {
         if (!bound) {
           return Fail("unknown class '" + std::string(class_name) + "'");
         }
-        assertion = assertion.WithAtom(ClassExpr::VarClass(*symbol), *bound, ext_);
+        assertion.WithAtomInPlace(ClassExpr::VarClass(*symbol), *bound, ext_);
       } else if (kind == "local" || kind == "global") {
         auto bound = ext_.FindElement(rest);
         if (!bound) {
           return Fail("unknown class '" + std::string(rest) + "'");
         }
-        assertion = kind == "local" ? assertion.WithLocalBound(*bound, ext_)
-                                    : assertion.WithGlobalBound(*bound, ext_);
+        assertion.WithAtomInPlace(
+            kind == "local" ? ClassExpr::Local() : ClassExpr::Global(), *bound, ext_);
       } else {
         return Fail("unknown assertion item kind '" + std::string(kind) + "'");
       }
@@ -198,7 +199,9 @@ class ProofParser {
     return assertion;
   }
 
-  Result<std::unique_ptr<ProofNode>> ParseNode() {
+  // Builds the subtree into the arena; children are added before their
+  // parent (the arena imposes no id order — serialization walks structure).
+  Result<ProofNodeId> ParseNode() {
     std::string_view line = NextLine();
     if (line.substr(0, 5) != "node ") {
       return Fail("expected a 'node' line");
@@ -259,15 +262,19 @@ class ProofParser {
       return Fail("implausible premise count");
     }
 
-    auto node = MakeProofNode(*rule, stmt, std::move(pre.value()), std::move(post.value()));
+    AssertionId pre_id = proof_.arena.Intern(pre.value());
+    AssertionId post_id = proof_.arena.Intern(post.value());
+    std::vector<ProofNodeId> premises;
+    premises.reserve(premise_count);
     for (uint64_t i = 0; i < premise_count; ++i) {
       auto premise = ParseNode();
       if (!premise.ok()) {
         return MakeError(premise.error());
       }
-      node->premises.push_back(std::move(premise.value()));
+      premises.push_back(premise.value());
     }
-    return node;
+    return proof_.arena.Add(*rule, stmt, pre_id, post_id,
+                            std::span<const ProofNodeId>(premises));
   }
 
   const Program& program_;
@@ -275,6 +282,7 @@ class ProofParser {
   StmtIndex index_;
   std::vector<std::string> lines_;
   size_t position_ = 0;
+  Proof proof_;
 };
 
 }  // namespace
@@ -298,13 +306,18 @@ const Stmt* StmtIndex::StmtAt(uint32_t index) const {
   return index < stmts_.size() ? stmts_[index] : nullptr;
 }
 
-std::string SerializeProof(const ProofNode& proof, const Program& program,
+std::string SerializeProof(const ProofArena& arena, ProofNodeId node, const Program& program,
                            const ExtendedLattice& ext) {
   StmtIndex index(program.root());
   std::ostringstream os;
   os << kHeader << "\n";
-  SerializeNode(proof, index, program.symbols(), ext, os);
+  SerializeNode(arena, node, index, program.symbols(), ext, os);
   return os.str();
+}
+
+std::string SerializeProof(const Proof& proof, const Program& program,
+                           const ExtendedLattice& ext) {
+  return SerializeProof(proof.arena, proof.root, program, ext);
 }
 
 Result<Proof> ParseProof(const std::string& text, const Program& program,

@@ -7,7 +7,8 @@
 // Statements are referenced by their pre-order index in the program's
 // statement tree, classes by their lattice element names, variables by name
 // — so a proof file is valid against any structurally identical program and
-// any lattice with the same element names.
+// any lattice with the same element names. The on-disk format is independent
+// of the in-memory proof representation (arena ids never appear in it).
 
 #ifndef SRC_LOGIC_PROOF_IO_H_
 #define SRC_LOGIC_PROOF_IO_H_
@@ -37,8 +38,11 @@ class StmtIndex {
   std::unordered_map<const Stmt*, uint32_t> indices_;
 };
 
-// Serializes `proof` (which must prove statements inside `program`).
-std::string SerializeProof(const ProofNode& proof, const Program& program,
+// Serializes the subtree rooted at `node` (which must prove statements
+// inside `program`).
+std::string SerializeProof(const ProofArena& arena, ProofNodeId node, const Program& program,
+                           const ExtendedLattice& ext);
+std::string SerializeProof(const Proof& proof, const Program& program,
                            const ExtendedLattice& ext);
 
 // Parses a serialized proof against `program`/`ext`. Fails with a line-

@@ -178,10 +178,10 @@ TEST(ChannelLogicTest, Theorem1ProofWithChannelAxioms) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
   ProofChecker checker(binding.extended(), program.symbols());
-  auto error = checker.Check(*proof->root);
+  auto error = checker.Check(*proof);
   EXPECT_FALSE(error.has_value()) << error->reason;
   // The receive raised global to sbind(c) = high in the post-condition.
-  EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), binding.extended()),
+  EXPECT_EQ(proof->post().BoundOf(TermRef::Global(), binding.extended()),
             binding.extended().Top());
 }
 
@@ -192,13 +192,13 @@ TEST(ChannelLogicTest, ProofSerializationRoundTrip) {
   StaticBinding binding = Bind(program, lattice, {{"x", "high"}, {"c", "high"}});
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
-  std::string text = SerializeProof(*proof->root, program, binding.extended());
+  std::string text = SerializeProof(*proof, program, binding.extended());
   EXPECT_NE(text.find("send_axiom"), std::string::npos);
   EXPECT_NE(text.find("receive_axiom"), std::string::npos);
   auto reparsed = ParseProof(text, program, binding.extended());
   ASSERT_TRUE(reparsed.ok()) << reparsed.error();
   ProofChecker checker(binding.extended(), program.symbols());
-  EXPECT_FALSE(checker.Check(*reparsed->root).has_value());
+  EXPECT_FALSE(checker.Check(*reparsed).has_value());
 }
 
 TEST(ChannelLogicTest, Theorem2EquivalenceWithChannels) {
@@ -222,7 +222,7 @@ TEST(ChannelLogicTest, Theorem2EquivalenceWithChannels) {
       Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
                                                 certification);
       ProofChecker checker(binding.extended(), program.symbols());
-      auto error = checker.Check(*candidate.root);
+      auto error = checker.Check(candidate);
       EXPECT_EQ(!error.has_value(), certification.certified())
           << source << " mask " << mask << (error ? "\n" + error->reason : "");
     }
@@ -331,7 +331,7 @@ TEST(ChannelPropertyTest, GeneratedChannelProgramsCertIffProof) {
       Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
                                                 certification);
       ProofChecker checker(binding.extended(), program.symbols());
-      auto error = checker.Check(*candidate.root);
+      auto error = checker.Check(candidate);
       EXPECT_EQ(!error.has_value(), certification.certified())
           << "seed " << seed << (error ? "\n" + error->reason : "");
     }

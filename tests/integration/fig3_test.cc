@@ -118,7 +118,7 @@ TEST_F(Fig3Test, CertifiedBindingYieldsCheckedProof) {
   auto proof = BuildTheorem1Proof(program_, inferred.binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
   ProofChecker checker(inferred.binding.extended(), program_.symbols());
-  auto error = checker.Check(*proof->root);
+  auto error = checker.Check(*proof);
   EXPECT_FALSE(error.has_value()) << error->reason;
 }
 

@@ -51,7 +51,7 @@ TEST(PipelineTest, CorpusEndToEnd) {
                                            inferred.binding, certification);
     ASSERT_TRUE(proof.ok()) << proof.error();
     ProofChecker checker(inferred.binding.extended(), program.symbols());
-    EXPECT_FALSE(checker.Check(*proof->root).has_value());
+    EXPECT_FALSE(checker.Check(*proof).has_value());
 
     // The certified program runs under the monitor without violations
     // (kCobeginSignal deadlocks for x != 0 — default input x = 0 completes).
@@ -92,7 +92,7 @@ TEST(PipelineTest, GeneratedProgramsSurviveEveryStage) {
                                            inferred.binding, certification);
     ASSERT_TRUE(proof.ok()) << proof.error();
     ProofChecker checker(inferred.binding.extended(), reparsed->symbols());
-    auto error = checker.Check(*proof->root);
+    auto error = checker.Check(*proof);
     EXPECT_FALSE(error.has_value()) << "seed " << seed << ": " << error->reason;
 
     CompiledProgram code = Compile(*reparsed);

@@ -191,6 +191,31 @@ TEST_F(AssertionTest, EntailmentCompletenessBruteForce) {
   }
 }
 
+TEST_F(AssertionTest, FalseBoundsEveryTermAtBottom) {
+  // BoundOf on the false assertion returns extended Bottom: false entails
+  // x <= c for every c, and Bottom is the least such bound. This keeps the
+  // pointwise entailment comparison correct without special-casing callers.
+  FlowAssertion f = FlowAssertion::False();
+  EXPECT_EQ(f.BoundOf(TermRef::Var(0), ext_), ext_.Bottom());
+  EXPECT_EQ(f.BoundOf(TermRef::Var(42), ext_), ext_.Bottom());
+  EXPECT_EQ(f.BoundOf(TermRef::Local(), ext_), ext_.Bottom());
+  EXPECT_EQ(f.BoundOf(TermRef::Global(), ext_), ext_.Bottom());
+}
+
+TEST_F(AssertionTest, OperationsOutOfFalseStayFalse) {
+  FlowAssertion f = FlowAssertion::False();
+  FlowAssertion atom = FlowAssertion().WithAtom(ClassExpr::VarClass(1), low_, ext_);
+  EXPECT_TRUE(f.Conjoin(atom, ext_).is_false());
+  EXPECT_TRUE(atom.Conjoin(f, ext_).is_false());
+  EXPECT_TRUE(f.WithAtom(ClassExpr::VarClass(0), high_, ext_).is_false());
+  EXPECT_TRUE(f.Substitute({{TermRef::Var(0), ClassExpr::Local()}}, ext_).is_false());
+  EXPECT_TRUE(f.VPart().is_false());
+  // And entailment out of false is unconditionally true, including into
+  // another false.
+  EXPECT_TRUE(f.Entails(FlowAssertion::False(), ext_));
+  EXPECT_TRUE(f.EquivalentTo(FlowAssertion::False(), ext_));
+}
+
 TEST_F(AssertionTest, ToStringMentionsBounds) {
   Program program = MustParse("var h, l : integer; l := h");
   FlowAssertion p = FlowAssertion()

@@ -37,9 +37,9 @@ Built BuildFor(const char* source,
 TEST(CheckerStrictnessTest, SwappedAlternationPremisesRejected) {
   Built built = BuildFor("var h : integer; if h = 0 then h := 1 else h := 2", {{"h", "high"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
-  ASSERT_FALSE(checker.Check(*built.proof.root).has_value());
-  std::swap(built.proof.root->premises[0], built.proof.root->premises[1]);
-  auto error = checker.Check(*built.proof.root);
+  ASSERT_FALSE(checker.Check(built.proof).has_value());
+  built.proof.arena.SwapPremises(built.proof.root, 0, 1);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("then-branch"), std::string::npos) << error->reason;
 }
@@ -48,8 +48,8 @@ TEST(CheckerStrictnessTest, SwappedCompositionPremisesRejected) {
   Built built =
       BuildFor("var a, b : integer; begin a := 1; b := 2 end", {{"a", "low"}, {"b", "low"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
-  std::swap(built.proof.root->premises[0], built.proof.root->premises[1]);
-  auto error = checker.Check(*built.proof.root);
+  built.proof.arena.SwapPremises(built.proof.root, 0, 1);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("order"), std::string::npos) << error->reason;
 }
@@ -58,8 +58,8 @@ TEST(CheckerStrictnessTest, DroppedCompositionPremiseRejected) {
   Built built =
       BuildFor("var a, b : integer; begin a := 1; b := 2 end", {{"a", "low"}, {"b", "low"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
-  built.proof.root->premises.pop_back();
-  auto error = checker.Check(*built.proof.root);
+  built.proof.arena.PopPremise(built.proof.root);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("premise count"), std::string::npos) << error->reason;
 }
@@ -68,8 +68,8 @@ TEST(CheckerStrictnessTest, DroppedCobeginPremiseRejected) {
   Built built = BuildFor("var a, b : integer; cobegin a := 1 || b := 2 coend",
                          {{"a", "low"}, {"b", "low"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
-  built.proof.root->premises.pop_back();
-  auto error = checker.Check(*built.proof.root);
+  built.proof.arena.PopPremise(built.proof.root);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("process count"), std::string::npos) << error->reason;
 }
@@ -79,12 +79,15 @@ TEST(CheckerStrictnessTest, IterationConclusionLocalDriftRejected) {
   ProofChecker checker(built.binding.extended(), built.program.symbols());
   // The builder wraps iteration in a consequence; reach the iteration node
   // and strengthen its post local bound so pre-L != post-L.
-  ProofNode* iteration = built.proof.root->premises.front().get();
-  ASSERT_EQ(iteration->rule, RuleKind::kIteration);
-  iteration->post = iteration->post.Conjoin(
-      FlowAssertion().WithLocalBound(ExtendedLattice::kNil, built.binding.extended()),
-      built.binding.extended());
-  auto error = checker.Check(*built.proof.root);
+  ProofArena& arena = built.proof.arena;
+  ProofNodeId iteration = arena.premises(built.proof.root).front();
+  ASSERT_EQ(arena.node(iteration).rule, RuleKind::kIteration);
+  arena.set_post(iteration,
+                 arena.post(iteration)
+                     .Conjoin(FlowAssertion().WithLocalBound(ExtendedLattice::kNil,
+                                                             built.binding.extended()),
+                              built.binding.extended()));
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -92,11 +95,13 @@ TEST(CheckerStrictnessTest, AxiomWithPremisesRejected) {
   Built built = BuildFor("var a : integer; a := 1", {{"a", "low"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
   // Attach a bogus premise to the inner axiom.
-  ProofNode* axiom = built.proof.root->premises.front().get();
-  ASSERT_EQ(axiom->rule, RuleKind::kAssignAxiom);
-  axiom->premises.push_back(
-      MakeProofNode(RuleKind::kSkipAxiom, nullptr, FlowAssertion(), FlowAssertion()));
-  auto error = checker.Check(*built.proof.root);
+  ProofArena& arena = built.proof.arena;
+  ProofNodeId axiom = arena.premises(built.proof.root).front();
+  ASSERT_EQ(arena.node(axiom).rule, RuleKind::kAssignAxiom);
+  ProofNodeId bogus =
+      arena.Add(RuleKind::kSkipAxiom, nullptr, FlowAssertion(), FlowAssertion());
+  arena.AppendPremise(axiom, bogus);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("no premises"), std::string::npos) << error->reason;
 }
@@ -105,8 +110,8 @@ TEST(CheckerStrictnessTest, RuleAppliedToWrongStatementKindRejected) {
   Built built = BuildFor("var a : integer; begin a := 1 end", {{"a", "low"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
   // Rebrand the composition node as an alternation.
-  built.proof.root->rule = RuleKind::kAlternation;
-  auto error = checker.Check(*built.proof.root);
+  built.proof.arena.set_rule(built.proof.root, RuleKind::kAlternation);
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("non-if"), std::string::npos) << error->reason;
 }
@@ -116,13 +121,16 @@ TEST(CheckerStrictnessTest, CobeginComponentGlobalDriftRejected) {
       "var a : integer; s : semaphore initially(0); cobegin wait(s) || a := 1 coend",
       {{"a", "high"}, {"s", "high"}});
   ProofChecker checker(built.binding.extended(), built.program.symbols());
-  ASSERT_FALSE(checker.Check(*built.proof.root).has_value());
+  ASSERT_FALSE(checker.Check(built.proof).has_value());
   // Tighten one component's pre global bound below the conclusion's.
-  ProofNode* component = built.proof.root->premises[1].get();
-  component->pre = component->pre.Conjoin(
-      FlowAssertion().WithGlobalBound(ExtendedLattice::kNil, built.binding.extended()),
-      built.binding.extended());
-  auto error = checker.Check(*built.proof.root);
+  ProofArena& arena = built.proof.arena;
+  ProofNodeId component = arena.premises(built.proof.root)[1];
+  arena.set_pre(component,
+                arena.pre(component)
+                    .Conjoin(FlowAssertion().WithGlobalBound(ExtendedLattice::kNil,
+                                                             built.binding.extended()),
+                             built.binding.extended()));
+  auto error = checker.Check(built.proof);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -134,10 +142,12 @@ TEST(CheckerStrictnessTest, FalsePreconditionIsNotAFreePass) {
   TwoPointLattice lattice;
   StaticBinding binding = Bind(program, lattice, {{"h", "high"}, {"l", "low"}});
   const ExtendedLattice& ext = binding.extended();
-  auto node = MakeProofNode(RuleKind::kAssignAxiom, &program.root(), FlowAssertion::False(),
-                            FlowAssertion::Policy(binding, program.symbols()));
+  Proof proof;
+  proof.root = proof.arena.Add(RuleKind::kAssignAxiom, &program.root(),
+                               FlowAssertion::False(),
+                               FlowAssertion::Policy(binding, program.symbols()));
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*node);
+  auto error = checker.Check(proof);
   ASSERT_TRUE(error.has_value());
 }
 

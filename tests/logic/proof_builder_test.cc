@@ -40,30 +40,31 @@ void ExpectTheorem1(const Program& program, const StaticBinding& binding,
   FlowAssertion post = policy.WithLocalBound(l, ext).WithGlobalBound(g_out, ext);
 
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.CheckProves(*proof->root, program.root(), pre, post);
+  auto error = checker.CheckProves(*proof, program.root(), pre, post);
   EXPECT_FALSE(error.has_value()) << error->reason << "\nproof:\n"
-                                  << PrintProof(*proof->root, program.symbols(), ext);
+                                  << PrintProof(*proof, program.symbols(), ext);
 
   // Complete invariance (Definition 7): the pre-condition of every
   // *statement* is {I, local ≤ l', global ≤ g'}. A statement's annotation is
   // its outermost proof node; an axiom pre-image computed by substitution
   // under a consequence step is internal bookkeeping, not an annotation.
-  std::function<void(const ProofNode&)> walk = [&](const ProofNode& node) {
-    EXPECT_TRUE(node.pre.VPart().EquivalentTo(policy, ext))
+  const ProofArena& arena = proof->arena;
+  std::function<void(ProofNodeId)> walk = [&](ProofNodeId id) {
+    EXPECT_TRUE(arena.pre(id).VPart().EquivalentTo(policy, ext))
         << "a statement's annotation strengthens or weakens the policy";
-    EXPECT_TRUE(node.post.VPart().EquivalentTo(policy, ext));
-    for (const auto& premise : node.premises) {
-      if (node.rule == RuleKind::kConsequence) {
+    EXPECT_TRUE(arena.post(id).VPart().EquivalentTo(policy, ext));
+    for (ProofNodeId premise : arena.premises(id)) {
+      if (arena.node(id).rule == RuleKind::kConsequence) {
         // The premise proves the same statement; only recurse past it.
-        for (const auto& inner : premise->premises) {
-          walk(*inner);
+        for (ProofNodeId inner : arena.premises(premise)) {
+          walk(inner);
         }
       } else {
-        walk(*premise);
+        walk(premise);
       }
     }
   };
-  walk(*proof->root);
+  walk(proof->root);
 }
 
 TEST(Theorem1Test, Assignment) {
@@ -203,7 +204,7 @@ TEST(Theorem1Test, HoldsForEveryAdmissibleLAndG) {
               << source << " l=" << ext.ElementName(l) << " g=" << ext.ElementName(g);
           if (proof.ok()) {
             ProofChecker checker(ext, program.symbols());
-            auto error = checker.Check(*proof.value().root);
+            auto error = checker.Check(proof.value());
             EXPECT_FALSE(error.has_value())
                 << source << " l=" << ext.ElementName(l) << " g=" << ext.ElementName(g)
                 << ": " << error->reason;
@@ -249,8 +250,8 @@ TEST(Theorem1Test, PostGlobalBoundMatchesFlowExactly) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
   const ExtendedLattice& ext = binding.extended();
-  EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), ext), ext.Top());
-  EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Global(), ext), ext.Low());
+  EXPECT_EQ(proof->post().BoundOf(TermRef::Global(), ext), ext.Top());
+  EXPECT_EQ(proof->pre().BoundOf(TermRef::Global(), ext), ext.Low());
 }
 
 }  // namespace

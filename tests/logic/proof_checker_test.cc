@@ -56,28 +56,28 @@ TEST_F(ProofCheckerTest, Section52ManualProofIsAccepted) {
   // P2 = P1 (y := x preserves it).
   FlowAssertion p2 = p1;
 
+  Proof proof;
+  ProofArena& arena = proof.arena;
+
   ClassExpr zero_repl = ClassExpr::Constant(low)
                             .Join(ClassExpr::Local(), ext)
                             .Join(ClassExpr::Global(), ext);
-  auto axiom1 = MakeProofNode(RuleKind::kAssignAxiom, assign_x,
-                              p1.Substitute({{TermRef::Var(x), zero_repl}}, ext), p1);
-  auto step1 = MakeProofNode(RuleKind::kConsequence, assign_x, p0, p1);
-  step1->premises.push_back(std::move(axiom1));
+  ProofNodeId axiom1 = arena.Add(RuleKind::kAssignAxiom, assign_x,
+                                 p1.Substitute({{TermRef::Var(x), zero_repl}}, ext), p1);
+  ProofNodeId step1 = arena.Add(RuleKind::kConsequence, assign_x, p0, p1, {axiom1});
 
   ClassExpr x_repl = ClassExpr::VarClass(x)
                          .Join(ClassExpr::Local(), ext)
                          .Join(ClassExpr::Global(), ext);
-  auto axiom2 = MakeProofNode(RuleKind::kAssignAxiom, assign_y,
-                              p2.Substitute({{TermRef::Var(y), x_repl}}, ext), p2);
-  auto step2 = MakeProofNode(RuleKind::kConsequence, assign_y, p1, p2);
-  step2->premises.push_back(std::move(axiom2));
+  ProofNodeId axiom2 = arena.Add(RuleKind::kAssignAxiom, assign_y,
+                                 p2.Substitute({{TermRef::Var(y), x_repl}}, ext), p2);
+  ProofNodeId step2 = arena.Add(RuleKind::kConsequence, assign_y, p1, p2, {axiom2});
 
-  auto composition = MakeProofNode(RuleKind::kComposition, &program.root(), p0, p2);
-  composition->premises.push_back(std::move(step1));
-  composition->premises.push_back(std::move(step2));
+  proof.root =
+      arena.Add(RuleKind::kComposition, &program.root(), p0, p2, {step1, step2});
 
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*composition);
+  auto error = checker.Check(proof);
   EXPECT_FALSE(error.has_value()) << error->reason;
 
   // The endpooints entail the policy: the program is information-secure even
@@ -96,9 +96,10 @@ TEST_F(ProofCheckerTest, RejectsWrongAssignmentPreimage) {
   // Claim {l <= low} l := h {l <= low} — not the axiom's pre-image.
   FlowAssertion claim =
       FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "l")), ext.Low(), ext);
-  auto node = MakeProofNode(RuleKind::kAssignAxiom, &program.root(), claim, claim);
+  Proof proof;
+  proof.root = proof.arena.Add(RuleKind::kAssignAxiom, &program.root(), claim, claim);
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*node);
+  auto error = checker.Check(proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("assignment axiom"), std::string::npos);
 }
@@ -111,11 +112,11 @@ TEST_F(ProofCheckerTest, RejectsBogusConsequence) {
   FlowAssertion strong =
       FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "h")), ext.Low(), ext);
   // Weakest-to-strongest "consequence": invalid.
-  auto axiom = MakeProofNode(RuleKind::kSkipAxiom, nullptr, weak, weak);
-  auto node = MakeProofNode(RuleKind::kConsequence, nullptr, weak, strong);
-  node->premises.push_back(std::move(axiom));
+  Proof proof;
+  ProofNodeId axiom = proof.arena.Add(RuleKind::kSkipAxiom, nullptr, weak, weak);
+  proof.root = proof.arena.Add(RuleKind::kConsequence, nullptr, weak, strong, {axiom});
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*node);
+  auto error = checker.Check(proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("consequence"), std::string::npos);
 }
@@ -127,13 +128,14 @@ TEST_F(ProofCheckerTest, RejectsTamperedTheorem1Proof) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
   ProofChecker checker(ext, program.symbols());
-  ASSERT_FALSE(checker.Check(*proof->root).has_value());
+  ASSERT_FALSE(checker.Check(*proof).has_value());
 
   // Tamper: claim the composition ends with global <= low although the wait
   // raised it to high.
-  proof->root->post = proof->root->post.Conjoin(
-      FlowAssertion().WithGlobalBound(ext.Low(), ext), ext);
-  auto error = checker.Check(*proof->root);
+  proof->arena.set_post(
+      proof->root,
+      proof->post().Conjoin(FlowAssertion().WithGlobalBound(ext.Low(), ext), ext));
+  auto error = checker.Check(*proof);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -145,13 +147,16 @@ TEST_F(ProofCheckerTest, RejectsNonInvariantIterationBody) {
   ASSERT_TRUE(proof.ok()) << proof.error();
   // The builder wraps the iteration node in a consequence; reach in and
   // break the body's invariance.
-  ProofNode* iteration = proof->root->premises.front().get();
-  ASSERT_EQ(iteration->rule, RuleKind::kIteration);
-  ProofNode* body = iteration->premises.front().get();
-  body->post = body->post.Conjoin(
-      FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "h")), ext.Low(), ext), ext);
+  ProofArena& arena = proof->arena;
+  ProofNodeId iteration = arena.premises(proof->root).front();
+  ASSERT_EQ(arena.node(iteration).rule, RuleKind::kIteration);
+  ProofNodeId body = arena.premises(iteration).front();
+  arena.set_post(
+      body, arena.post(body).Conjoin(
+                FlowAssertion().WithAtom(ClassExpr::VarClass(Sym(program, "h")), ext.Low(), ext),
+                ext));
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*proof->root);
+  auto error = checker.Check(*proof);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -161,9 +166,10 @@ TEST_F(ProofCheckerTest, RejectsWrongStatementShape) {
   const ExtendedLattice& ext = binding.extended();
   FlowAssertion p;
   // signal axiom applied to a wait statement.
-  auto node = MakeProofNode(RuleKind::kSignalAxiom, &program.root(), p, p);
+  Proof proof;
+  proof.root = proof.arena.Add(RuleKind::kSignalAxiom, &program.root(), p, p);
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*node);
+  auto error = checker.Check(proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("signal axiom"), std::string::npos);
 }
@@ -186,13 +192,15 @@ TEST_F(ProofCheckerTest, RejectsInterferingCobeginProof) {
   const Stmt* p2_stmt = cobegin.processes()[1];
 
   FlowAssertion lg = FlowAssertion().WithLocalBound(low, ext).WithGlobalBound(low, ext);
+  Proof proof;
+  ProofArena& arena = proof.arena;
 
   // Process 1: {L, G} x := h {L, G} (no V constraints used).
   ClassExpr h_repl = ClassExpr::VarClass(h)
                          .Join(ClassExpr::Local(), ext)
                          .Join(ClassExpr::Global(), ext);
-  auto p1 = MakeProofNode(RuleKind::kAssignAxiom, p1_stmt,
-                          lg.Substitute({{TermRef::Var(x), h_repl}}, ext), lg);
+  ProofNodeId p1 = arena.Add(RuleKind::kAssignAxiom, p1_stmt,
+                             lg.Substitute({{TermRef::Var(x), h_repl}}, ext), lg);
 
   // Process 2: {x <= low, L, G} y := x {x <= low, y <= low, L, G}.
   FlowAssertion p2_post = FlowAssertion()
@@ -202,19 +210,18 @@ TEST_F(ProofCheckerTest, RejectsInterferingCobeginProof) {
   ClassExpr x_repl = ClassExpr::VarClass(x)
                          .Join(ClassExpr::Local(), ext)
                          .Join(ClassExpr::Global(), ext);
-  auto p2 = MakeProofNode(RuleKind::kAssignAxiom, p2_stmt,
-                          p2_post.Substitute({{TermRef::Var(y), x_repl}}, ext), p2_post);
+  ProofNodeId p2 = arena.Add(RuleKind::kAssignAxiom, p2_stmt,
+                             p2_post.Substitute({{TermRef::Var(y), x_repl}}, ext), p2_post);
 
-  FlowAssertion conclusion_pre = p1->pre.VPart().Conjoin(p2->pre.VPart(), ext).Conjoin(lg, ext);
+  FlowAssertion conclusion_pre =
+      arena.pre(p1).VPart().Conjoin(arena.pre(p2).VPart(), ext).Conjoin(lg, ext);
   FlowAssertion conclusion_post =
-      p1->post.VPart().Conjoin(p2->post.VPart(), ext).Conjoin(lg, ext);
-  auto node =
-      MakeProofNode(RuleKind::kCobegin, &program.root(), conclusion_pre, conclusion_post);
-  node->premises.push_back(std::move(p1));
-  node->premises.push_back(std::move(p2));
+      arena.post(p1).VPart().Conjoin(arena.post(p2).VPart(), ext).Conjoin(lg, ext);
+  proof.root = arena.Add(RuleKind::kCobegin, &program.root(), conclusion_pre,
+                         conclusion_post, {p1, p2});
 
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*node);
+  auto error = checker.Check(proof);
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("interference"), std::string::npos) << error->reason;
 }
@@ -228,7 +235,7 @@ TEST_F(ProofCheckerTest, AcceptsNonInterferingCobeginProof) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok()) << proof.error();
   ProofChecker checker(binding.extended(), program.symbols());
-  auto error = checker.Check(*proof->root);
+  auto error = checker.Check(*proof);
   EXPECT_FALSE(error.has_value()) << error->reason;
 }
 
@@ -242,7 +249,7 @@ TEST_F(ProofCheckerTest, CheckProvesValidatesEndpoints) {
   ASSERT_TRUE(proof.ok());
   ProofChecker checker(ext, program.symbols());
   FlowAssertion wrong = FlowAssertion().WithLocalBound(ext.Top(), ext);
-  auto error = checker.CheckProves(*proof->root, program.root(), wrong, proof->root->post);
+  auto error = checker.CheckProves(*proof, program.root(), wrong, proof->post());
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->reason.find("pre-condition"), std::string::npos);
 }
@@ -252,7 +259,7 @@ TEST_F(ProofCheckerTest, ProofSizeCountsNodes) {
   StaticBinding binding = Bind(program, base_, {{"sem", "high"}, {"y", "high"}});
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
-  EXPECT_GE(proof->root->Size(), 5u);
+  EXPECT_GE(proof->Size(), 5u);
 }
 
 }  // namespace

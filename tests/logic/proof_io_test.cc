@@ -29,20 +29,20 @@ void ExpectRoundTrip(const Program& program, const StaticBinding& binding) {
   ASSERT_TRUE(proof.ok()) << proof.error();
   const ExtendedLattice& ext = binding.extended();
 
-  std::string text = SerializeProof(*proof->root, program, ext);
+  std::string text = SerializeProof(*proof, program, ext);
   auto reparsed = ParseProof(text, program, ext);
   ASSERT_TRUE(reparsed.ok()) << reparsed.error() << "\n" << text;
 
   // Same endpoints, same shape, and the checker accepts the reparsed proof.
-  EXPECT_TRUE(reparsed->root->pre.EquivalentTo(proof->root->pre, ext));
-  EXPECT_TRUE(reparsed->root->post.EquivalentTo(proof->root->post, ext));
-  EXPECT_EQ(reparsed->root->Size(), proof->root->Size());
+  EXPECT_TRUE(reparsed->pre().EquivalentTo(proof->pre(), ext));
+  EXPECT_TRUE(reparsed->post().EquivalentTo(proof->post(), ext));
+  EXPECT_EQ(reparsed->Size(), proof->Size());
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*reparsed->root);
+  auto error = checker.Check(*reparsed);
   EXPECT_FALSE(error.has_value()) << error->reason;
 
   // Serialization is deterministic (stable format).
-  EXPECT_EQ(SerializeProof(*reparsed->root, program, ext), text);
+  EXPECT_EQ(SerializeProof(*reparsed, program, ext), text);
 }
 
 TEST(ProofIoTest, RoundTripPaperPrograms) {
@@ -86,7 +86,7 @@ TEST(ProofIoTest, SerializedFormLooksAsDocumented) {
   StaticBinding binding = Bind(program, lattice, {{"l", "low"}});
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
-  std::string text = SerializeProof(*proof->root, program, binding.extended());
+  std::string text = SerializeProof(*proof, program, binding.extended());
   EXPECT_NE(text.find("cfmproof 1"), std::string::npos);
   EXPECT_NE(text.find("node consequence 0"), std::string::npos);
   EXPECT_NE(text.find("node assign_axiom 0"), std::string::npos);
@@ -151,7 +151,7 @@ TEST(ProofIoTest, TamperedProofParsesButFailsTheChecker) {
   auto proof = ParseProof(forged, program, ext);
   ASSERT_TRUE(proof.ok()) << proof.error();
   ProofChecker checker(ext, program.symbols());
-  auto error = checker.Check(*proof->root);
+  auto error = checker.Check(*proof);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -174,20 +174,21 @@ TEST(ProofQueryTest, FindProofNodeForReturnsAnnotations) {
   ASSERT_TRUE(proof.ok());
   const ExtendedLattice& ext = binding.extended();
 
+  const ProofArena& arena = proof->arena;
   const Stmt* wait_stmt = program.root().As<BlockStmt>().statements()[0];
   const Stmt* assign_stmt = program.root().As<BlockStmt>().statements()[1];
-  const ProofNode* wait_node = FindProofNodeFor(*proof->root, *wait_stmt);
-  const ProofNode* assign_node = FindProofNodeFor(*proof->root, *assign_stmt);
-  ASSERT_NE(wait_node, nullptr);
-  ASSERT_NE(assign_node, nullptr);
+  ProofNodeId wait_node = FindProofNodeFor(arena, proof->root, *wait_stmt);
+  ProofNodeId assign_node = FindProofNodeFor(arena, proof->root, *assign_stmt);
+  ASSERT_NE(wait_node, kInvalidProofNode);
+  ASSERT_NE(assign_node, kInvalidProofNode);
   // After the wait, global has risen to high; the assignment inherits it.
-  EXPECT_EQ(wait_node->pre.BoundOf(TermRef::Global(), ext), ext.Low());
-  EXPECT_EQ(wait_node->post.BoundOf(TermRef::Global(), ext), ext.Top());
-  EXPECT_EQ(assign_node->pre.BoundOf(TermRef::Global(), ext), ext.Top());
+  EXPECT_EQ(arena.pre(wait_node).BoundOf(TermRef::Global(), ext), ext.Low());
+  EXPECT_EQ(arena.post(wait_node).BoundOf(TermRef::Global(), ext), ext.Top());
+  EXPECT_EQ(arena.pre(assign_node).BoundOf(TermRef::Global(), ext), ext.Top());
 
   // A statement outside the proof is not found.
   Program other = MustParse("skip");
-  EXPECT_EQ(FindProofNodeFor(*proof->root, other.root()), nullptr);
+  EXPECT_EQ(FindProofNodeFor(arena, proof->root, other.root()), kInvalidProofNode);
 }
 
 }  // namespace

@@ -21,7 +21,7 @@ TEST(ProofPrintTest, RendersRulesAndAssertions) {
   StaticBinding binding = Bind(program, lattice, {{"sem", "high"}, {"y", "high"}});
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
-  std::string text = PrintProof(*proof->root, program.symbols(), binding.extended());
+  std::string text = PrintProof(*proof, program.symbols(), binding.extended());
   EXPECT_NE(text.find("[composition]"), std::string::npos) << text;
   EXPECT_NE(text.find("[wait axiom]"), std::string::npos);
   EXPECT_NE(text.find("[assignment axiom]"), std::string::npos);
@@ -40,7 +40,7 @@ TEST(ProofPrintTest, LongStatementsTruncatedInHeaders) {
   StaticBinding binding(lattice, program.symbols());
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
-  std::string text = PrintProof(*proof->root, program.symbols(), binding.extended());
+  std::string text = PrintProof(*proof, program.symbols(), binding.extended());
   EXPECT_NE(text.find("..."), std::string::npos);
 }
 
@@ -51,7 +51,7 @@ TEST(ProofPrintTest, SizeCountsAllNodes) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
   // composition + 2 x (consequence + axiom) = 5.
-  EXPECT_EQ(proof->root->Size(), 5u);
+  EXPECT_EQ(proof->Size(), 5u);
 }
 
 TEST(ProofPrintTest, EffectiveStmtLooksThroughConsequences) {
@@ -60,8 +60,8 @@ TEST(ProofPrintTest, EffectiveStmtLooksThroughConsequences) {
   StaticBinding binding(lattice, program.symbols());
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
-  ASSERT_EQ(proof->root->rule, RuleKind::kConsequence);
-  EXPECT_EQ(EffectiveProofStmt(*proof->root), &program.root());
+  ASSERT_EQ(proof->root_node().rule, RuleKind::kConsequence);
+  EXPECT_EQ(EffectiveProofStmt(proof->arena, proof->root), &program.root());
 }
 
 TEST(ProofPrintTest, ForEachProofNodeVisitsEverything) {
@@ -71,8 +71,8 @@ TEST(ProofPrintTest, ForEachProofNodeVisitsEverything) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
   uint64_t visited = 0;
-  ForEachProofNode(*proof->root, [&visited](const ProofNode&) { ++visited; });
-  EXPECT_EQ(visited, proof->root->Size());
+  ForEachProofNode(proof->arena, proof->root, [&visited](ProofNodeId) { ++visited; });
+  EXPECT_EQ(visited, proof->Size());
 }
 
 }  // namespace

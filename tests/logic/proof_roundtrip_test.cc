@@ -1,0 +1,88 @@
+// Proof-format stability: for the paper corpus and a generated corpus,
+// build the Theorem 1 proof, serialize it, parse it back, re-check it with
+// the independent checker, and re-serialize — the second serialization must
+// be bit-identical to the first. This pins the on-disk "cfmproof 1" format
+// against representation changes in the in-memory proof objects.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cfm.h"
+#include "src/gen/program_gen.h"
+#include "src/gen/rng.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/two_point.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/logic/proof_io.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+void ExpectBitIdenticalRoundTrip(const Program& program, const StaticBinding& binding,
+                                 const std::string& label) {
+  const ExtendedLattice& ext = binding.extended();
+  auto proof = BuildTheorem1Proof(program, binding);
+  ASSERT_TRUE(proof.ok()) << label << ": " << proof.error();
+
+  std::string first = SerializeProof(*proof, program, ext);
+  auto reparsed = ParseProof(first, program, ext);
+  ASSERT_TRUE(reparsed.ok()) << label << ": " << reparsed.error() << "\n" << first;
+
+  ProofChecker checker(ext, program.symbols());
+  auto error = checker.Check(*reparsed);
+  EXPECT_FALSE(error.has_value()) << label << ": " << error->reason;
+
+  std::string second = SerializeProof(*reparsed, program, ext);
+  EXPECT_EQ(first, second) << label << ": re-serialization is not bit-identical";
+}
+
+TEST(ProofRoundTripTest, PaperCorpus) {
+  TwoPointLattice lattice;
+  struct Case {
+    const char* label;
+    const char* source;
+    std::initializer_list<std::pair<const char*, const char*>> classes;
+  };
+  const Case cases[] = {
+      {"fig3", testing::kFig3,
+       {{"x", "high"}, {"y", "high"}, {"m", "high"}, {"modify", "high"},
+        {"modified", "high"}, {"read", "high"}, {"done", "high"}}},
+      {"fig3_sequential", testing::kFig3Sequential, {}},
+      {"while_wait", testing::kWhileWait, {{"sem", "high"}, {"y", "high"}}},
+      {"begin_wait", testing::kBeginWait, {{"sem", "high"}, {"y", "high"}}},
+      {"loop_global", testing::kLoopGlobal,
+       {{"x", "high"}, {"y", "high"}, {"z", "high"}}},
+      {"cobegin_signal", testing::kCobeginSignal,
+       {{"x", "high"}, {"y", "high"}, {"sem", "high"}}},
+  };
+  for (const Case& c : cases) {
+    Program program = MustParse(c.source);
+    ExpectBitIdenticalRoundTrip(program, Bind(program, lattice, c.classes), c.label);
+  }
+}
+
+TEST(ProofRoundTripTest, GeneratedCorpusFiftyPrograms) {
+  TwoPointLattice two;
+  ChainLattice chain = ChainLattice::WithLevels(4);
+  for (uint64_t seed = 7000; seed < 7050; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 16;
+    gen.allow_channels = (seed % 3 == 0);
+    Program program = GenerateProgram(gen);
+    Rng rng(seed);
+    const Lattice& lattice =
+        (seed % 2 == 0) ? static_cast<const Lattice&>(two) : static_cast<const Lattice&>(chain);
+    // The least binding always certifies, so the Theorem 1 proof exists.
+    StaticBinding binding = GenerateBinding(program, lattice, BindingStyle::kLeast, rng);
+    ExpectBitIdenticalRoundTrip(program, binding, "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace cfm

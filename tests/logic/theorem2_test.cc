@@ -35,7 +35,7 @@ void ExpectEquivalenceOverAllBindings(const char* source) {
     Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
                                               certification);
     ProofChecker checker(binding.extended(), program.symbols());
-    auto error = checker.Check(*candidate.root);
+    auto error = checker.Check(candidate);
     EXPECT_EQ(!error.has_value(), certification.certified())
         << source << "\nmask " << mask << "\n"
         << (error ? error->reason : "checker accepted")
@@ -92,7 +92,7 @@ TEST(Theorem2Test, Section52CandidateFails) {
   Proof candidate =
       BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
   ProofChecker checker(binding.extended(), program.symbols());
-  auto error = checker.Check(*candidate.root);
+  auto error = checker.Check(candidate);
   ASSERT_TRUE(error.has_value());
 }
 
@@ -112,7 +112,7 @@ TEST(Theorem2Test, Fig3LeakyBindingCandidateFails) {
   Proof candidate =
       BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
   ProofChecker checker(binding.extended(), program.symbols());
-  EXPECT_TRUE(checker.Check(*candidate.root).has_value());
+  EXPECT_TRUE(checker.Check(candidate).has_value());
 }
 
 }  // namespace

@@ -45,7 +45,7 @@ TEST_P(CertProofEquivalenceTest, CertIffCandidateChecks) {
       Proof candidate = BuildInvariantCandidate(program.root(), program.symbols(), binding,
                                                 certification);
       ProofChecker checker(binding.extended(), program.symbols());
-      auto error = checker.Check(*candidate.root);
+      auto error = checker.Check(candidate);
       EXPECT_EQ(!error.has_value(), certification.certified())
           << "seed " << seed << " lattice " << GetParam().name << "\n"
           << (error ? error->reason : "checker accepted an uncertified program's candidate");
@@ -80,10 +80,10 @@ TEST_P(CertProofEquivalenceTest, Theorem1EndpointsExact) {
     ClassId g = ext.Low();
     ClassId flow = certification.facts(program.root()).flow;
     ClassId g_out = flow == ExtendedLattice::kNil ? g : ext.Join(g, ext.Join(l, flow));
-    EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Global(), ext), g);
-    EXPECT_EQ(proof->root->post.BoundOf(TermRef::Global(), ext), g_out);
-    EXPECT_EQ(proof->root->pre.BoundOf(TermRef::Local(), ext), l);
-    EXPECT_EQ(proof->root->post.BoundOf(TermRef::Local(), ext), l);
+    EXPECT_EQ(proof->pre().BoundOf(TermRef::Global(), ext), g);
+    EXPECT_EQ(proof->post().BoundOf(TermRef::Global(), ext), g_out);
+    EXPECT_EQ(proof->pre().BoundOf(TermRef::Local(), ext), l);
+    EXPECT_EQ(proof->post().BoundOf(TermRef::Local(), ext), l);
   }
 }
 

@@ -32,7 +32,7 @@ TEST(ProofFuzzTest, MutatedProofFilesNeverCrashAndNeverForge) {
   auto proof = BuildTheorem1Proof(program, binding);
   ASSERT_TRUE(proof.ok());
   const ExtendedLattice& ext = binding.extended();
-  std::string original = SerializeProof(*proof->root, program, ext);
+  std::string original = SerializeProof(*proof, program, ext);
   ProofChecker checker(ext, program.symbols());
 
   Rng rng(0xFACADE);
@@ -80,20 +80,20 @@ TEST(ProofFuzzTest, MutatedProofFilesNeverCrashAndNeverForge) {
       continue;
     }
     ++parsed_count;
-    auto error = checker.Check(*reparsed->root);
+    auto error = checker.Check(*reparsed);
     if (!error.has_value()) {
       ++checker_accepted;
       // An accepted mutant must be a genuinely valid derivation: its
       // reserialization round-trips and re-checks.
-      std::string reserialized = SerializeProof(*reparsed->root, program, ext);
+      std::string reserialized = SerializeProof(*reparsed, program, ext);
       auto again = ParseProof(reserialized, program, ext);
       ASSERT_TRUE(again.ok()) << again.error();
-      EXPECT_FALSE(checker.Check(*again->root).has_value());
+      EXPECT_FALSE(checker.Check(*again).has_value());
       // And if it claims the policy endpoints, they must actually hold as
       // flow assertions (entailment is semantic, not textual).
       FlowAssertion policy = FlowAssertion::Policy(binding, program.symbols());
-      if (reparsed->root->pre.VPart().EquivalentTo(policy, ext)) {
-        EXPECT_TRUE(reparsed->root->post.VPart().Entails(policy, ext));
+      if (reparsed->pre().VPart().EquivalentTo(policy, ext)) {
+        EXPECT_TRUE(reparsed->post().VPart().Entails(policy, ext));
       }
     }
   }
@@ -117,11 +117,11 @@ TEST(ProofFuzzTest, CrossProgramProofsRejectedOrRechecked) {
   StaticBinding other_binding = Bind(other_program, lattice, {{"a", "low"}, {"b", "high"}});
   auto proof = BuildTheorem1Proof(source_program, source_binding);
   ASSERT_TRUE(proof.ok());
-  std::string text = SerializeProof(*proof->root, source_program, source_binding.extended());
+  std::string text = SerializeProof(*proof, source_program, source_binding.extended());
   auto transplanted = ParseProof(text, other_program, other_binding.extended());
   if (transplanted.ok()) {
     ProofChecker checker(other_binding.extended(), other_program.symbols());
-    auto error = checker.Check(*transplanted->root);
+    auto error = checker.Check(*transplanted);
     EXPECT_TRUE(error.has_value())
         << "a proof for a different program must not validate unchanged";
   }
@@ -141,11 +141,11 @@ TEST(ProofFuzzTest, GeneratedProofsAllRoundTrip) {
     auto proof = BuildTheorem1Proof(program, binding);
     ASSERT_TRUE(proof.ok()) << proof.error();
     const ExtendedLattice& ext = binding.extended();
-    std::string text = SerializeProof(*proof->root, program, ext);
+    std::string text = SerializeProof(*proof, program, ext);
     auto reparsed = ParseProof(text, program, ext);
     ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": " << reparsed.error();
     ProofChecker checker(ext, program.symbols());
-    EXPECT_FALSE(checker.Check(*reparsed->root).has_value()) << "seed " << seed;
+    EXPECT_FALSE(checker.Check(*reparsed).has_value()) << "seed " << seed;
   }
 }
 

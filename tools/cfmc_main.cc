@@ -24,6 +24,11 @@
 //   --pin V=CLASS          pinned binding       (infer, repeatable)
 //   --seed=N --schedules=N --monitor             (run/leaktest)
 //   --jobs=N --interpreted                       (batch)
+//
+// Every subcommand drives the shared CfmPipeline session (src/core/
+// pipeline.h): stage artifacts — lattice, program, binding, certification,
+// proof, bytecode — are computed once and cached, and failures carry uniform
+// exit statuses, so the subcommands below contain only presentation logic.
 
 #include <algorithm>
 #include <chrono>
@@ -43,21 +48,15 @@
 #include "src/core/denning.h"
 #include "src/core/explain.h"
 #include "src/core/inference.h"
+#include "src/core/pipeline.h"
 #include "src/core/static_binding.h"
-#include "src/lang/parser.h"
 #include "src/lang/printer.h"
 #include "src/lang/stats.h"
-#include "src/lattice/chain.h"
 #include "src/lattice/compiled.h"
-#include "src/lattice/hasse.h"
-#include "src/lattice/lattice_spec.h"
-#include "src/lattice/powerset.h"
-#include "src/lattice/two_point.h"
 #include "src/logic/proof.h"
 #include "src/logic/proof_builder.h"
 #include "src/logic/proof_checker.h"
 #include "src/logic/proof_io.h"
-#include "src/runtime/bytecode.h"
 #include "src/runtime/interpreter.h"
 #include "src/runtime/noninterference.h"
 #include "src/support/text.h"
@@ -100,30 +99,6 @@ int Usage() {
                "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n"
                "       --exhaustive --por=on|off --max-states=N            (leaktest)\n";
   return 2;
-}
-
-std::unique_ptr<Lattice> MakeLattice(const std::string& spec) {
-  if (spec == "two") {
-    return std::make_unique<TwoPointLattice>();
-  }
-  if (spec == "diamond") {
-    return HasseLattice::Diamond();
-  }
-  if (spec.rfind("chain:", 0) == 0) {
-    uint64_t n = std::strtoull(spec.c_str() + 6, nullptr, 10);
-    if (n < 1) {
-      return nullptr;
-    }
-    return std::make_unique<ChainLattice>(ChainLattice::WithLevels(n));
-  }
-  if (spec.rfind("powerset:", 0) == 0) {
-    std::vector<std::string> categories = SplitString(spec.substr(9), ',');
-    if (categories.empty() || categories.size() > 62) {
-      return nullptr;
-    }
-    return std::make_unique<PowersetLattice>(categories);
-  }
-  return nullptr;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& options) {
@@ -206,27 +181,15 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-struct LoadedProgram {
-  SourceManager sm;
-  Program program;
-};
-
-std::optional<LoadedProgram> Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::cerr << "cfmc: cannot open '" << path << "'\n";
-    return std::nullopt;
+// Prints the pipeline's first failure the way every subcommand used to:
+// parse diagnostics verbatim, everything else with the tool prefix.
+int Report(const CfmPipeline& pipeline) {
+  if (pipeline.error_stage() == PipelineStage::kParse) {
+    std::cerr << pipeline.error();
+  } else {
+    std::cerr << "cfmc: " << pipeline.error() << "\n";
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  SourceManager sm(path, buffer.str());
-  DiagnosticEngine diags;
-  auto program = ParseProgram(sm, diags);
-  if (!program) {
-    std::cerr << diags.RenderAll(sm);
-    return std::nullopt;
-  }
-  return LoadedProgram{std::move(sm), std::move(*program)};
+  return pipeline.exit_code();
 }
 
 std::optional<SymbolId> LookupOrComplain(const Program& program, const std::string& name) {
@@ -237,28 +200,27 @@ std::optional<SymbolId> LookupOrComplain(const Program& program, const std::stri
   return id;
 }
 
-int RunCheck(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+int RunCheck(CfmPipeline& pipeline, const CliOptions& options) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return Report(pipeline);
   }
-  std::cout << "lattice: " << lattice.Describe() << "\n"
+  const Program& program = *pipeline.program();
+  std::cout << "lattice: " << pipeline.lattice()->Describe() << "\n"
             << "static binding:\n"
-            << binding->Describe(loaded.program.symbols());
+            << binding->Describe(program.symbols());
 
-  CertificationResult cfm_result = CertifyCfm(loaded.program, *binding);
-  std::cout << "\n" << cfm_result.Summary(loaded.program.symbols(), binding->extended());
+  const CertificationResult& cfm_result = *pipeline.certification();
+  std::cout << "\n" << cfm_result.Summary(program.symbols(), binding->extended());
   if (options.table) {
     std::cout << "\nFigure 2 instantiated (per-statement certification functions):\n"
-              << cfm_result.FactsTable(loaded.program.root(), loaded.program.symbols(),
-                                       binding->extended());
+              << cfm_result.FactsTable(program.root(), program.symbols(), binding->extended());
   }
 
   DenningMode mode =
       options.denning_permissive ? DenningMode::kPermissive : DenningMode::kStrict;
-  CertificationResult denning_result = CertifyDenning(loaded.program, *binding, mode);
-  std::cout << "\n" << denning_result.Summary(loaded.program.symbols(), binding->extended());
+  CertificationResult denning_result = CertifyDenning(program, *binding, mode);
+  std::cout << "\n" << denning_result.Summary(program.symbols(), binding->extended());
 
   return cfm_result.certified() ? 0 : 1;
 }
@@ -266,21 +228,20 @@ int RunCheck(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
 // One-shot verification report: CFM + baseline comparison, inference,
 // Theorem 1 proof + independent check, monitored executions over several
 // schedules, and a quick noninterference probe per high variable.
-int RunVerify(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+int RunVerify(CfmPipeline& pipeline, const CliOptions& options) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return Report(pipeline);
   }
-  const SymbolTable& symbols = loaded.program.symbols();
+  const Program& program = *pipeline.program();
+  const SymbolTable& symbols = program.symbols();
   std::cout << "== program ==\n"
-            << RenderStats(ComputeStats(loaded.program.root()), symbols) << "\n";
+            << RenderStats(ComputeStats(program.root()), symbols) << "\n";
 
   std::cout << "== static certification ==\n";
-  CertificationResult cfm_result = CertifyCfm(loaded.program, *binding);
+  const CertificationResult& cfm_result = *pipeline.certification();
   std::cout << cfm_result.Summary(symbols, binding->extended());
-  CertificationResult baseline =
-      CertifyDenning(loaded.program, *binding, DenningMode::kPermissive);
+  CertificationResult baseline = CertifyDenning(program, *binding, DenningMode::kPermissive);
   std::cout << "Denning'77 (permissive) " << (baseline.certified() ? "certifies" : "rejects")
             << " the same policy"
             << (baseline.certified() && !cfm_result.certified()
@@ -289,30 +250,29 @@ int RunVerify(const LoadedProgram& loaded, const Lattice& lattice, const CliOpti
             << "\n\n";
   if (!cfm_result.certified()) {
     for (const Violation& violation : cfm_result.violations()) {
-      auto path = ExplainViolation(loaded.program, *binding, violation);
+      auto path = ExplainViolation(program, *binding, violation);
       if (!path.empty()) {
-        std::cout << "witness: " << RenderFlowPath(path, symbols, lattice, *binding);
+        std::cout << "witness: "
+                  << RenderFlowPath(path, symbols, *pipeline.lattice(), *binding);
       }
     }
     return 1;
   }
 
   std::cout << "== flow proof (Theorem 1) ==\n";
-  auto proof = BuildTheorem1Proof(loaded.program, *binding);
-  if (!proof) {
-    std::cerr << "cfmc: " << proof.error() << "\n";
-    return 1;
+  const Proof* proof = pipeline.proof();
+  if (proof == nullptr) {
+    return Report(pipeline);
   }
-  ProofChecker checker(binding->extended(), symbols);
-  auto proof_error = checker.Check(*proof->root);
-  std::cout << proof->root->Size() << " derivation steps; independent checker: "
+  auto proof_error = pipeline.checker()->Check(*proof);
+  std::cout << proof->Size() << " derivation steps; independent checker: "
             << (proof_error ? "INVALID — " + proof_error->reason : "valid") << "\n\n";
   if (proof_error) {
     return 1;
   }
 
   std::cout << "== dynamic monitor (" << options.schedules << " schedules) ==\n";
-  CompiledProgram code = Compile(loaded.program);
+  const CompiledProgram& code = *pipeline.bytecode();
   Interpreter interpreter(code, symbols);
   uint64_t violations = 0;
   uint64_t deadlocks = 0;
@@ -320,7 +280,7 @@ int RunVerify(const LoadedProgram& loaded, const Lattice& lattice, const CliOpti
     RandomScheduler scheduler(options.seed + i);
     RunOptions run_options;
     run_options.track_labels = true;
-    run_options.binding = &*binding;
+    run_options.binding = binding;
     run_options.step_limit = 200'000;
     RunResult result = interpreter.Run(scheduler, run_options);
     violations += result.violations.size();
@@ -335,8 +295,9 @@ int RunVerify(const LoadedProgram& loaded, const Lattice& lattice, const CliOpti
 // Prints the symbolic certification conditions (the Section 4.3 style
 // "sbind(x) <= sbind(modify)" inequalities) that a binding must satisfy,
 // independent of any particular binding.
-int RunConditions(const LoadedProgram& loaded) {
-  std::vector<FlowConstraint> constraints = ExtractConstraints(loaded.program.root());
+int RunConditions(CfmPipeline& pipeline) {
+  const Program& program = *pipeline.program();
+  std::vector<FlowConstraint> constraints = ExtractConstraints(program.root());
   // Deduplicate (the same pair can arise from several checks).
   std::set<std::pair<SymbolId, SymbolId>> seen;
   std::cout << "certification conditions (any binding must satisfy all of):\n";
@@ -344,8 +305,8 @@ int RunConditions(const LoadedProgram& loaded) {
     if (!seen.insert({constraint.source, constraint.target}).second) {
       continue;
     }
-    std::cout << "  sbind(" << loaded.program.symbols().at(constraint.source).name
-              << ") <= sbind(" << loaded.program.symbols().at(constraint.target).name
+    std::cout << "  sbind(" << program.symbols().at(constraint.source).name
+              << ") <= sbind(" << program.symbols().at(constraint.target).name
               << ")   -- " << ToString(constraint.kind) << " at "
               << ToString(constraint.stmt->range().begin) << "\n";
   }
@@ -356,48 +317,42 @@ int RunConditions(const LoadedProgram& loaded) {
 }
 
 // Certifies, then prints a witness flow path for every violation.
-int RunExplain(const LoadedProgram& loaded, const Lattice& lattice) {
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+int RunExplain(CfmPipeline& pipeline) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return Report(pipeline);
   }
-  CertificationResult result = CertifyCfm(loaded.program, *binding);
-  std::cout << result.Summary(loaded.program.symbols(), binding->extended());
+  const Program& program = *pipeline.program();
+  const CertificationResult& result = *pipeline.certification();
+  std::cout << result.Summary(program.symbols(), binding->extended());
   if (result.certified()) {
     return 0;
   }
   for (const Violation& violation : result.violations()) {
     std::cout << "\nwitness path for the " << ToString(violation.kind) << " at "
               << ToString(violation.stmt->range().begin) << ":\n";
-    auto path = ExplainViolation(loaded.program, *binding, violation);
+    auto path = ExplainViolation(program, *binding, violation);
     if (path.empty()) {
       std::cout << "  (no inter-variable path: the flow is direct at this statement)\n";
       continue;
     }
-    std::cout << RenderFlowPath(path, loaded.program.symbols(), lattice, *binding);
+    std::cout << RenderFlowPath(path, program.symbols(), *pipeline.lattice(), *binding);
   }
   return 1;
 }
 
-int RunProve(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+int RunProve(CfmPipeline& pipeline, const CliOptions& options) {
+  const Proof* proof = pipeline.proof();
+  if (proof == nullptr) {
+    return Report(pipeline);
   }
-  auto proof = BuildTheorem1Proof(loaded.program, *binding);
-  if (!proof) {
-    std::cerr << "cfmc: " << proof.error() << "\n";
-    return 1;
-  }
-  std::cout << PrintProof(*proof->root, loaded.program.symbols(), binding->extended());
-  ProofChecker checker(binding->extended(), loaded.program.symbols());
-  if (auto error = checker.Check(*proof->root)) {
+  const Program& program = *pipeline.program();
+  std::cout << PrintProof(*proof, program.symbols(), pipeline.extended());
+  if (auto error = pipeline.checker()->Check(*proof)) {
     std::cout << "\nproof INVALID: " << error->reason << "\n";
     return 1;
   }
-  std::cout << "\nproof verified: " << proof->root->Size()
+  std::cout << "\nproof verified: " << proof->Size()
             << " derivation steps, completely invariant policy assertion holds\n";
   if (!options.emit_proof.empty()) {
     std::ofstream out(options.emit_proof);
@@ -405,7 +360,7 @@ int RunProve(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
       std::cerr << "cfmc: cannot write '" << options.emit_proof << "'\n";
       return 1;
     }
-    out << SerializeProof(*proof->root, loaded.program, binding->extended());
+    out << SerializeProof(*proof, program, pipeline.extended());
     std::cout << "proof written to " << options.emit_proof << "\n";
   }
   return 0;
@@ -414,17 +369,16 @@ int RunProve(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
 // Verifies a shipped proof file against the program: structural validity via
 // the independent checker, plus the policy guarantee (the endpoints entail
 // the policy assertion of the annotated binding).
-int RunCheckProof(const LoadedProgram& loaded, const Lattice& lattice,
-                  const CliOptions& options) {
+int RunCheckProof(CfmPipeline& pipeline, const CliOptions& options) {
   if (options.proof_file.empty()) {
     std::cerr << "cfmc checkproof requires --proof=FILE\n";
     return 2;
   }
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return Report(pipeline);
   }
+  const Program& program = *pipeline.program();
   std::ifstream in(options.proof_file);
   if (!in) {
     std::cerr << "cfmc: cannot open '" << options.proof_file << "'\n";
@@ -432,35 +386,36 @@ int RunCheckProof(const LoadedProgram& loaded, const Lattice& lattice,
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  auto proof = ParseProof(buffer.str(), loaded.program, binding->extended());
+  auto proof = ParseProof(buffer.str(), program, binding->extended());
   if (!proof) {
     std::cerr << "cfmc: " << proof.error() << "\n";
     return 1;
   }
-  ProofChecker checker(binding->extended(), loaded.program.symbols());
-  if (auto error = checker.Check(*proof->root)) {
+  if (auto error = pipeline.checker()->Check(*proof)) {
     std::cout << "proof INVALID: " << error->reason << "\n";
     return 1;
   }
-  if (EffectiveProofStmt(*proof->root) != &loaded.program.root()) {
+  if (EffectiveProofStmt(proof->arena, proof->root) != &program.root()) {
     std::cout << "proof INVALID: it does not prove the program's root statement\n";
     return 1;
   }
-  FlowAssertion policy = FlowAssertion::Policy(*binding, loaded.program.symbols());
-  if (!proof->root->pre.VPart().EquivalentTo(policy, binding->extended()) ||
-      !proof->root->post.Entails(policy, binding->extended())) {
+  FlowAssertion policy = FlowAssertion::Policy(*binding, program.symbols());
+  if (!proof->pre().VPart().EquivalentTo(policy, binding->extended()) ||
+      !proof->post().Entails(policy, binding->extended())) {
     std::cout << "proof VALID but does not establish the annotated policy\n";
     return 1;
   }
-  std::cout << "proof verified: " << proof->root->Size()
+  std::cout << "proof verified: " << proof->Size()
             << " derivation steps establish the annotated policy\n";
   return 0;
 }
 
-int RunInfer(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
+int RunInfer(CfmPipeline& pipeline, const CliOptions& options) {
+  const Lattice& lattice = *pipeline.lattice();
+  const Program& program = *pipeline.program();
   std::vector<std::pair<SymbolId, ClassId>> pinned;
   for (const auto& [name, class_name] : options.pins) {
-    auto symbol = LookupOrComplain(loaded.program, name);
+    auto symbol = LookupOrComplain(program, name);
     if (!symbol) {
       return 1;
     }
@@ -472,7 +427,7 @@ int RunInfer(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
     pinned.emplace_back(*symbol, *class_id);
   }
   // Variables annotated in the source are pinned to their annotations too.
-  for (const Symbol& symbol : loaded.program.symbols().symbols()) {
+  for (const Symbol& symbol : program.symbols().symbols()) {
     if (!symbol.class_annotation.empty()) {
       auto class_id = lattice.FindElement(symbol.class_annotation);
       if (!class_id) {
@@ -482,13 +437,13 @@ int RunInfer(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
       pinned.emplace_back(symbol.id, *class_id);
     }
   }
-  InferenceResult result = InferBinding(loaded.program, lattice, pinned);
+  InferenceResult result = InferBinding(program, lattice, pinned);
   std::cout << "inferred least binding (" << result.constraints.size() << " constraints):\n"
-            << result.binding.Describe(loaded.program.symbols());
+            << result.binding.Describe(program.symbols());
   if (!result.ok()) {
     std::cout << "UNSATISFIABLE: the pinned classes cannot absorb the required flows:\n";
     for (const InferenceConflict& conflict : result.conflicts) {
-      std::cout << "  " << loaded.program.symbols().at(conflict.target).name << " pinned at "
+      std::cout << "  " << program.symbols().at(conflict.target).name << " pinned at "
                 << lattice.ElementName(conflict.pinned) << " but requires at least "
                 << lattice.ElementName(conflict.required) << "\n";
     }
@@ -497,32 +452,32 @@ int RunInfer(const LoadedProgram& loaded, const Lattice& lattice, const CliOptio
   return 0;
 }
 
-int RunExecute(const LoadedProgram& loaded, const Lattice& lattice, const CliOptions& options) {
-  auto binding = StaticBinding::FromAnnotations(lattice, loaded.program.symbols());
-  if (!binding) {
-    std::cerr << "cfmc: " << binding.error() << "\n";
-    return 1;
+int RunExecute(CfmPipeline& pipeline, const CliOptions& options) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return Report(pipeline);
   }
-  CompiledProgram code = Compile(loaded.program);
+  const Program& program = *pipeline.program();
+  const CompiledProgram& code = *pipeline.bytecode();
   RunOptions run_options;
   run_options.track_labels = options.monitor;
-  run_options.binding = options.monitor ? &*binding : nullptr;
+  run_options.binding = options.monitor ? binding : nullptr;
   run_options.record_trace = options.trace;
   for (const auto& [name, value] : options.sets) {
-    auto symbol = LookupOrComplain(loaded.program, name);
+    auto symbol = LookupOrComplain(program, name);
     if (!symbol) {
       return 1;
     }
     run_options.initial_values.emplace_back(*symbol, value);
   }
   RandomScheduler scheduler(options.seed);
-  Interpreter interpreter(code, loaded.program.symbols());
+  Interpreter interpreter(code, program.symbols());
   RunResult result = interpreter.Run(scheduler, run_options);
   if (options.trace) {
-    std::cout << PrintTrace(result.trace, loaded.program.symbols());
+    std::cout << PrintTrace(result.trace, program.symbols());
   }
   std::cout << "status: " << ToString(result.status) << " after " << result.steps << " steps\n";
-  for (const Symbol& symbol : loaded.program.symbols().symbols()) {
+  for (const Symbol& symbol : program.symbols().symbols()) {
     std::cout << "  " << symbol.name << " = " << result.values[symbol.id];
     if (options.monitor) {
       std::cout << "   label = " << binding->extended().ElementName(result.labels[symbol.id]);
@@ -534,7 +489,7 @@ int RunExecute(const LoadedProgram& loaded, const Lattice& lattice, const CliOpt
       std::cout << "monitor: no label exceeded its static binding\n";
     } else {
       std::cout << "monitor: " << result.violations.size() << " label violations, first: '"
-                << loaded.program.symbols().at(result.violations.front().symbol).name
+                << program.symbols().at(result.violations.front().symbol).name
                 << "' reached "
                 << binding->extended().ElementName(result.violations.front().label) << " (bound "
                 << binding->extended().ElementName(result.violations.front().bound) << ")\n";
@@ -543,19 +498,20 @@ int RunExecute(const LoadedProgram& loaded, const Lattice& lattice, const CliOpt
   return result.status == RunStatus::kCompleted ? 0 : 1;
 }
 
-int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
+int RunLeaktest(CfmPipeline& pipeline, const CliOptions& options) {
   if (options.secret.empty() || options.observe.empty()) {
     std::cerr << "cfmc leaktest requires --secret= and --observe=\n";
     return 2;
   }
+  const Program& program = *pipeline.program();
   NiOptions ni;
-  auto secret = LookupOrComplain(loaded.program, options.secret);
+  auto secret = LookupOrComplain(program, options.secret);
   if (!secret) {
     return 1;
   }
   ni.secret = *secret;
   for (const std::string& name : options.observe) {
-    auto symbol = LookupOrComplain(loaded.program, name);
+    auto symbol = LookupOrComplain(program, name);
     if (!symbol) {
       return 1;
     }
@@ -564,7 +520,7 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
   ni.secret_values = options.secret_values;
   ni.random_schedules = options.schedules;
   ni.seed = options.seed;
-  CompiledProgram code = Compile(loaded.program);
+  const CompiledProgram& code = *pipeline.bytecode();
 
   if (options.exhaustive) {
     ExhaustiveNiOptions exhaustive;
@@ -576,7 +532,7 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
       exhaustive.max_states = options.max_states;
     }
     ExhaustiveNiResult result =
-        VerifyNoninterferenceExhaustive(code, loaded.program.symbols(), exhaustive);
+        VerifyNoninterferenceExhaustive(code, program.symbols(), exhaustive);
     std::cout << "exhaustive exploration (POR " << (options.por ? "on" : "off")
               << "): " << result.states_visited << " states visited (cap "
               << exhaustive.max_states << " per secret)\n";
@@ -595,7 +551,7 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
     return 0;
   }
 
-  NiReport report = TestNoninterference(code, loaded.program.symbols(), ni);
+  NiReport report = TestNoninterference(code, program.symbols(), ni);
   std::cout << "schedules tried: " << report.schedules_tried << "\n";
   if (!report.leak_found()) {
     std::cout << "no observable difference: no leak detected\n";
@@ -607,7 +563,7 @@ int RunLeaktest(const LoadedProgram& loaded, const CliOptions& options) {
   if (leak.variable == kInvalidSymbol) {
     std::cout << "the termination status";
   } else {
-    std::cout << "'" << loaded.program.symbols().at(leak.variable).name << "' (" << leak.value_a
+    std::cout << "'" << program.symbols().at(leak.variable).name << "' (" << leak.value_a
               << " vs " << leak.value_b << ")";
   }
   std::cout << "\n";
@@ -682,12 +638,13 @@ int RunBatch(const Lattice& lattice, const CliOptions& options) {
   return summary.all_certified() ? 0 : 1;
 }
 
-int RunDump(const LoadedProgram& loaded) {
-  std::cout << PrintProgram(loaded.program);
-  std::cout << "\n" << RenderStats(ComputeStats(loaded.program.root()), loaded.program.symbols());
-  CompiledProgram code = Compile(loaded.program);
+int RunDump(CfmPipeline& pipeline) {
+  const Program& program = *pipeline.program();
+  std::cout << PrintProgram(program);
+  std::cout << "\n" << RenderStats(ComputeStats(program.root()), program.symbols());
+  const CompiledProgram& code = *pipeline.bytecode();
   std::cout << "\nbytecode (entry " << code.entry << "):\n"
-            << code.Disassemble(loaded.program.symbols());
+            << code.Disassemble(program.symbols());
   return 0;
 }
 
@@ -699,67 +656,52 @@ int Main(int argc, char** argv) {
   if (options.command == "--batch") {
     options.command = "batch";
   }
-  std::unique_ptr<Lattice> lattice;
-  if (!options.lattice_file.empty()) {
-    std::ifstream in(options.lattice_file);
-    if (!in) {
-      std::cerr << "cfmc: cannot open lattice file '" << options.lattice_file << "'\n";
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    auto parsed = ParseLatticeSpec(buffer.str());
-    if (!parsed) {
-      std::cerr << "cfmc: " << parsed.error() << "\n";
-      return 1;
-    }
-    lattice = std::move(parsed.value());
-  } else {
-    lattice = MakeLattice(options.lattice_spec);
-  }
+  PipelineOptions pipeline_options;
+  pipeline_options.lattice_spec = options.lattice_spec;
+  pipeline_options.lattice_file = options.lattice_file;
+  CfmPipeline pipeline(std::move(pipeline_options));
+  const Lattice* lattice = pipeline.lattice();
   if (lattice == nullptr) {
-    std::cerr << "cfmc: bad lattice spec '" << options.lattice_spec << "'\n";
-    return 2;
+    return Report(pipeline);
   }
   if (options.command == "batch") {
     return RunBatch(*lattice, options);
   }
-  auto loaded = Load(options.file);
-  if (!loaded) {
-    return 1;
+  if (!pipeline.LoadFile(options.file)) {
+    return Report(pipeline);
   }
   if (options.command == "check") {
-    return RunCheck(*loaded, *lattice, options);
+    return RunCheck(pipeline, options);
   }
   if (options.command == "explain") {
-    return RunExplain(*loaded, *lattice);
+    return RunExplain(pipeline);
   }
   if (options.command == "conditions") {
-    return RunConditions(*loaded);
+    return RunConditions(pipeline);
   }
   if (options.command == "verify") {
-    return RunVerify(*loaded, *lattice, options);
+    return RunVerify(pipeline, options);
   }
   if (options.command == "prove") {
-    return RunProve(*loaded, *lattice, options);
+    return RunProve(pipeline, options);
   }
   if (options.command == "checkproof") {
-    return RunCheckProof(*loaded, *lattice, options);
+    return RunCheckProof(pipeline, options);
   }
   if (options.command == "infer") {
-    return RunInfer(*loaded, *lattice, options);
+    return RunInfer(pipeline, options);
   }
   if (options.command == "run") {
-    return RunExecute(*loaded, *lattice, options);
+    return RunExecute(pipeline, options);
   }
   if (options.command == "leaktest") {
-    return RunLeaktest(*loaded, options);
+    return RunLeaktest(pipeline, options);
   }
   if (options.command == "dump") {
-    return RunDump(*loaded);
+    return RunDump(pipeline);
   }
   if (options.command == "format") {
-    std::cout << PrintProgram(loaded->program);
+    std::cout << PrintProgram(*pipeline.program());
     return 0;
   }
   return Usage();
