@@ -1,0 +1,109 @@
+#include "src/fuzz/corpus.h"
+
+#include <sstream>
+
+#include "src/core/pipeline.h"
+#include "src/fuzz/mutate.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+
+namespace cfm {
+
+namespace {
+
+constexpr std::string_view kMagic = "-- cfmfuzz reproducer";
+constexpr std::string_view kOraclePrefix = "-- oracle: ";
+constexpr std::string_view kLatticePrefix = "-- lattice: ";
+constexpr std::string_view kNotePrefix = "-- note: ";
+
+std::string_view TrimRight(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string RenderReproducer(const Program& program, const StaticBinding& binding,
+                             const std::string& lattice_spec, OracleKind kind,
+                             const std::vector<std::string>& notes) {
+  // Bake the binding into a clone's annotations so the printed declarations
+  // carry it (FromAnnotations inverts this on replay).
+  Program annotated = CloneProgram(program);
+  const Lattice& base = binding.base_lattice();
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    annotated.symbols().at(symbol.id).class_annotation =
+        base.ElementName(binding.binding(symbol.id));
+  }
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << kOraclePrefix << ToString(kind) << "\n";
+  os << kLatticePrefix << lattice_spec << "\n";
+  for (const std::string& note : notes) {
+    os << kNotePrefix << note << "\n";
+  }
+  os << PrintProgram(annotated);
+  return os.str();
+}
+
+Result<Reproducer> ParseReproducer(const std::string& text) {
+  Reproducer reproducer;
+  reproducer.source = text;
+  bool saw_oracle = false;
+  bool saw_lattice = false;
+  std::istringstream is(text);
+  std::string raw;
+  while (std::getline(is, raw)) {
+    std::string_view line = TrimRight(raw);
+    if (line.rfind("--", 0) != 0) {
+      break;  // Header ends at the first non-comment line.
+    }
+    if (line.rfind(kOraclePrefix, 0) == 0) {
+      std::string_view name = line.substr(kOraclePrefix.size());
+      std::optional<OracleKind> kind = OracleFromName(name);
+      if (!kind.has_value()) {
+        return MakeError("unknown oracle '" + std::string(name) + "' in reproducer header");
+      }
+      reproducer.oracle = *kind;
+      saw_oracle = true;
+    } else if (line.rfind(kLatticePrefix, 0) == 0) {
+      reproducer.lattice_spec = std::string(line.substr(kLatticePrefix.size()));
+      saw_lattice = true;
+    } else if (line.rfind(kNotePrefix, 0) == 0) {
+      reproducer.notes.emplace_back(line.substr(kNotePrefix.size()));
+    }
+  }
+  if (!saw_oracle) {
+    return MakeError("reproducer is missing the '-- oracle:' header line");
+  }
+  if (!saw_lattice) {
+    return MakeError("reproducer is missing the '-- lattice:' header line");
+  }
+  return reproducer;
+}
+
+Result<OracleResult> ReplayReproducer(const Reproducer& reproducer,
+                                      const OracleOptions& options) {
+  std::unique_ptr<Lattice> lattice = MakeLatticeFromSpec(reproducer.lattice_spec);
+  if (lattice == nullptr) {
+    return MakeError("reproducer lattice spec '" + reproducer.lattice_spec +
+                     "' did not resolve");
+  }
+  DiagnosticEngine diags;
+  std::optional<Program> program = ParseProgramText(reproducer.source, diags);
+  if (!program.has_value()) {
+    return MakeError("reproducer program failed to parse");
+  }
+  Result<StaticBinding> binding = StaticBinding::FromAnnotations(*lattice, program->symbols());
+  if (!binding.ok()) {
+    return MakeError("reproducer binding failed to resolve: " + binding.error());
+  }
+  FuzzCase fuzz_case;
+  fuzz_case.program = &*program;
+  fuzz_case.binding = &*binding;
+  fuzz_case.lattice_spec = reproducer.lattice_spec;
+  return RunOracle(reproducer.oracle, fuzz_case, options);
+}
+
+}  // namespace cfm

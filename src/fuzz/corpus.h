@@ -1,0 +1,53 @@
+// Reproducer files: self-contained `.cfm` sources that re-run one oracle.
+// The program text carries the static binding as `class` annotations, and a
+// comment header names the oracle and the lattice spec, so a reproducer is
+// replayable with no side-channel state:
+//
+//   -- cfmfuzz reproducer
+//   -- oracle: cert-vs-proof
+//   -- lattice: chain:3
+//   -- note: seed 42, mutation delete-stmt
+//   var x : integer class L2; ...
+//
+// tests/corpus/regressions/*.cfm are written in this format by the fuzzer's
+// reducer and replayed forever by corpus_regression_test.
+
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/oracles.h"
+#include "src/support/result.h"
+
+namespace cfm {
+
+struct Reproducer {
+  OracleKind oracle = OracleKind::kRoundTrip;
+  std::string lattice_spec = "two";
+  std::vector<std::string> notes;
+  // The full file text (header comments included; they lex as comments).
+  std::string source;
+};
+
+// Renders `program` + `binding` as a reproducer for `kind`. The binding is
+// baked into the symbol annotations of the emitted declarations; the
+// caller's program is not modified.
+std::string RenderReproducer(const Program& program, const StaticBinding& binding,
+                             const std::string& lattice_spec, OracleKind kind,
+                             const std::vector<std::string>& notes = {});
+
+// Parses the header of a reproducer file. Fails on a missing/unknown
+// `-- oracle:` line or missing `-- lattice:` line.
+Result<Reproducer> ParseReproducer(const std::string& text);
+
+// Rebuilds lattice/program/binding from the reproducer and runs its oracle.
+// Fails (as a Result error) when the reproducer itself does not build —
+// which in a regression suite is itself a regression.
+Result<OracleResult> ReplayReproducer(const Reproducer& reproducer,
+                                      const OracleOptions& options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_CORPUS_H_

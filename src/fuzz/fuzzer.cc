@@ -1,0 +1,276 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <sstream>
+
+#include "src/core/pipeline.h"
+#include "src/fuzz/mutate.h"
+#include "src/gen/program_gen.h"
+#include "src/gen/rng.h"
+#include "src/lang/parser.h"
+
+namespace cfm {
+
+namespace {
+
+// A loaded seed-corpus entry. The lattice is owned here because the binding
+// references it; entries live behind unique_ptr so the references stay put.
+struct CorpusEntry {
+  std::string file;
+  std::string lattice_spec;
+  std::unique_ptr<Lattice> lattice;
+  Program program;
+  std::optional<StaticBinding> binding;
+};
+
+std::unique_ptr<CorpusEntry> LoadCorpusEntry(const std::string& file, const std::string& text,
+                                             const FuzzLogger& logger) {
+  auto warn = [&](const std::string& why) {
+    if (logger) {
+      logger("corpus: skipping " + file + ": " + why);
+    }
+    return nullptr;
+  };
+  Result<Reproducer> reproducer = ParseReproducer(text);
+  std::string lattice_spec = reproducer.ok() ? reproducer->lattice_spec : "two";
+  auto entry = std::make_unique<CorpusEntry>();
+  entry->file = file;
+  entry->lattice_spec = lattice_spec;
+  entry->lattice = MakeLatticeFromSpec(lattice_spec);
+  if (entry->lattice == nullptr) {
+    return warn("lattice spec '" + lattice_spec + "' did not resolve");
+  }
+  DiagnosticEngine diags;
+  std::optional<Program> program = ParseProgramText(text, diags);
+  if (!program.has_value()) {
+    return warn("program failed to parse");
+  }
+  entry->program = std::move(*program);
+  Result<StaticBinding> binding =
+      StaticBinding::FromAnnotations(*entry->lattice, entry->program.symbols());
+  if (!binding.ok()) {
+    return warn("binding failed to resolve: " + binding.error());
+  }
+  entry->binding.emplace(std::move(*binding));
+  return entry;
+}
+
+std::string ReadWholeFile(const std::string& path);
+
+}  // namespace
+
+FuzzReport RunFuzzCampaign(const FuzzConfig& config, const FuzzLogger& logger) {
+  FuzzReport report;
+  Rng campaign(config.seed != 0 ? config.seed : 1);
+
+  OracleOptions oracle_options = config.oracle_options;
+  if (!config.inject.empty()) {
+    std::optional<Certifier> injected = InjectedCertifier(config.inject);
+    if (injected.has_value()) {
+      oracle_options.certifier = std::move(*injected);
+    } else if (logger) {
+      logger("unknown injection '" + config.inject + "'; running the honest certifier");
+    }
+  }
+
+  std::vector<OracleKind> oracles = config.oracles;
+  if (oracles.empty()) {
+    oracles.assign(std::begin(kAllOracles), std::end(kAllOracles));
+  }
+
+  std::vector<std::unique_ptr<CorpusEntry>> corpus;
+  for (const std::string& file : config.corpus_files) {
+    std::string text = ReadWholeFile(file);
+    if (text.empty()) {
+      if (logger) {
+        logger("corpus: skipping unreadable " + file);
+      }
+      continue;
+    }
+    if (auto entry = LoadCorpusEntry(file, text, logger)) {
+      corpus.push_back(std::move(entry));
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  auto out_of_time = [&]() {
+    if (config.time_budget_seconds == 0) {
+      return false;
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    return elapsed >= std::chrono::seconds(config.time_budget_seconds);
+  };
+
+  for (uint32_t case_index = 0; case_index < config.cases && !out_of_time(); ++case_index) {
+    uint64_t case_seed = campaign.Next();
+    Rng rng(case_seed);
+    std::ostringstream provenance;
+
+    // --- Base case: a corpus entry or a generated program. -----------------
+    std::string lattice_spec;
+    std::unique_ptr<Lattice> owned_lattice;
+    const Lattice* lattice = nullptr;
+    Program program;
+    std::optional<StaticBinding> binding;
+
+    bool from_corpus = !corpus.empty() && rng.Chance(1, 3);
+    if (from_corpus) {
+      const CorpusEntry& entry = *corpus[rng.Below(corpus.size())];
+      lattice_spec = entry.lattice_spec;
+      lattice = entry.lattice.get();
+      program = CloneProgram(entry.program);
+      binding.emplace(*entry.binding);
+      provenance << "corpus(" << entry.file << ")";
+    } else {
+      lattice_spec = config.lattice_specs[case_index % config.lattice_specs.size()];
+      owned_lattice = MakeLatticeFromSpec(lattice_spec);
+      if (owned_lattice == nullptr) {
+        if (logger) {
+          logger("bad lattice spec '" + lattice_spec + "'; skipping case");
+        }
+        continue;
+      }
+      lattice = owned_lattice.get();
+      GenOptions gen;
+      gen.seed = case_seed;
+      uint32_t span = config.max_stmts > config.min_stmts ? config.max_stmts - config.min_stmts : 0;
+      gen.target_stmts = config.min_stmts + static_cast<uint32_t>(rng.Below(span + 1));
+      gen.allow_semaphores = rng.Chance(1, 2);
+      gen.allow_channels = rng.Chance(1, 6);
+      gen.max_processes = 2 + static_cast<uint32_t>(rng.Below(2));
+      program = GenerateProgram(gen);
+      static constexpr BindingStyle kStyles[] = {BindingStyle::kUniform, BindingStyle::kRandom,
+                                                 BindingStyle::kTopHeavy, BindingStyle::kLeast};
+      BindingStyle style = kStyles[rng.Below(std::size(kStyles))];
+      binding.emplace(GenerateBinding(program, *lattice, style, rng));
+      provenance << "gen(seed=" << case_seed << ", stmts=" << gen.target_stmts
+                 << ", lattice=" << lattice_spec << ")";
+    }
+
+    // --- Mutations. --------------------------------------------------------
+    uint32_t mutations = static_cast<uint32_t>(rng.Below(config.max_mutations + 1));
+    for (uint32_t i = 0; i < mutations; ++i) {
+      std::string what;
+      program = MutateProgram(program, rng, &what);
+      provenance << " | " << what;
+    }
+    if (config.binding_perturb_den > 0 && rng.Chance(1, config.binding_perturb_den)) {
+      provenance << " | " << PerturbBinding(*binding, program.symbols(), rng);
+    }
+
+    // --- The oracle battery. ------------------------------------------------
+    FuzzCase fuzz_case;
+    fuzz_case.program = &program;
+    fuzz_case.binding = &*binding;
+    fuzz_case.lattice_spec = lattice_spec;
+    ++report.cases_run;
+    for (OracleKind kind : oracles) {
+      OracleResult result = RunOracle(kind, fuzz_case, oracle_options);
+      size_t slot = static_cast<size_t>(kind);
+      if (result.ok) {
+        ++(result.skipped ? report.skips[slot] : report.passes[slot]);
+        continue;
+      }
+      FuzzFailure failure;
+      failure.oracle = kind;
+      failure.case_seed = case_seed;
+      failure.detail = result.detail;
+      failure.provenance = provenance.str();
+      failure.original_stmts = CountStmts(program.root());
+      Program reduced = CloneProgram(program);
+      if (config.reduce) {
+        ReduceStats stats;
+        reduced = ReduceCase(fuzz_case, kind, oracle_options, &stats, config.reduce_options);
+        // Re-run on the reduced case for the minimized failure message.
+        FuzzCase reduced_case = fuzz_case;
+        reduced_case.program = &reduced;
+        OracleResult minimized = RunOracle(kind, reduced_case, oracle_options);
+        if (!minimized.ok) {
+          failure.detail = minimized.detail;
+        }
+        if (logger) {
+          std::ostringstream os;
+          os << "reduced " << stats.initial_stmts << " -> " << stats.final_stmts
+             << " stmts in " << stats.oracle_runs << " oracle runs";
+          logger(os.str());
+        }
+      }
+      failure.reduced_stmts = CountStmts(reduced.root());
+      std::vector<std::string> notes;
+      notes.push_back("campaign seed " + std::to_string(config.seed) + ", case seed " +
+                      std::to_string(case_seed));
+      notes.push_back(failure.provenance);
+      if (!config.inject.empty()) {
+        notes.push_back("injected certifier: " + config.inject);
+      }
+      failure.reproducer = RenderReproducer(reduced, *binding, lattice_spec, kind, notes);
+      if (logger) {
+        logger("FAILURE [" + std::string(ToString(kind)) + "] " + failure.detail);
+      }
+      report.failures.push_back(std::move(failure));
+    }
+    if (logger && (case_index + 1) % 50 == 0) {
+      std::ostringstream os;
+      os << (case_index + 1) << " cases, " << report.failures.size() << " failure(s)";
+      logger(os.str());
+    }
+  }
+  return report;
+}
+
+std::string FormatReport(const FuzzReport& report) {
+  std::ostringstream os;
+  os << "cases run: " << report.cases_run << "\n";
+  os << "oracle               pass   skip   fail\n";
+  for (OracleKind kind : kAllOracles) {
+    size_t slot = static_cast<size_t>(kind);
+    uint32_t fails = 0;
+    for (const FuzzFailure& failure : report.failures) {
+      if (failure.oracle == kind) {
+        ++fails;
+      }
+    }
+    std::string name(ToString(kind));
+    name.resize(20, ' ');
+    os << name << ' ';
+    std::string pass = std::to_string(report.passes[slot]);
+    std::string skip = std::to_string(report.skips[slot]);
+    std::string fail = std::to_string(fails);
+    os << std::string(6 - std::min<size_t>(6, pass.size()), ' ') << pass;
+    os << std::string(7 - std::min<size_t>(7, skip.size()), ' ') << skip;
+    os << std::string(7 - std::min<size_t>(7, fail.size()), ' ') << fail << "\n";
+  }
+  if (!report.failures.empty()) {
+    os << "\n" << report.failures.size() << " failing case(s):\n";
+    for (const FuzzFailure& failure : report.failures) {
+      os << "  [" << ToString(failure.oracle) << "] case seed " << failure.case_seed << " ("
+         << failure.original_stmts << " -> " << failure.reduced_stmts
+         << " stmts): " << failure.detail << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::unique_ptr<FILE, int (*)(FILE*)> file(std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return {};
+  }
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    text.append(buffer, got);
+  }
+  return text;
+}
+
+}  // namespace
+
+}  // namespace cfm

@@ -1,0 +1,79 @@
+// The differential fuzzing campaign driver: generate-or-load → mutate →
+// run the oracle battery → on failure, delta-reduce and emit a reproducer.
+// Deterministic for a fixed FuzzConfig (one seeded Rng drives everything),
+// so `cfmfuzz --smoke --seed N` is replayable bit-for-bit.
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/reduce.h"
+
+namespace cfm {
+
+struct FuzzConfig {
+  uint64_t seed = 1;
+  // Number of cases to run; a campaign also stops at `time_budget_seconds`
+  // (0 = no time cap).
+  uint32_t cases = 200;
+  uint32_t time_budget_seconds = 0;
+  // Mutations applied per case on top of the base program (0..N chosen
+  // per case); one in `binding_perturb_den` cases also perturbs the binding.
+  uint32_t max_mutations = 3;
+  uint32_t binding_perturb_den = 3;
+  // Lattice specs rotated across cases.
+  std::vector<std::string> lattice_specs = {"two", "diamond", "chain:4", "powerset:a,b,c"};
+  // Oracles to run; empty = all six.
+  std::vector<OracleKind> oracles;
+  // Base generator shape (per-case seed and size are derived from `seed`).
+  uint32_t min_stmts = 6;
+  uint32_t max_stmts = 24;
+  // Seed corpus: reproducer-format .cfm files mixed into the case stream
+  // (each is mutated like a generated program).
+  std::vector<std::string> corpus_files;
+  // Named injected certifier bug ("no-composition-check", ...; empty = the
+  // honest certifier). Used to mutation-test the battery itself.
+  std::string inject;
+  // Oracle/reducer tuning.
+  OracleOptions oracle_options;
+  ReduceOptions reduce_options;
+  // Reduce failures before reporting (off = report the raw case).
+  bool reduce = true;
+};
+
+struct FuzzFailure {
+  OracleKind oracle = OracleKind::kRoundTrip;
+  uint64_t case_seed = 0;
+  std::string detail;           // The oracle's failure message.
+  std::string provenance;       // Generator seed / corpus file + mutation trail.
+  std::string reproducer;       // RenderReproducer output (reduced when enabled).
+  uint32_t reduced_stmts = 0;   // Statement count of the emitted reproducer.
+  uint32_t original_stmts = 0;
+};
+
+struct FuzzReport {
+  uint32_t cases_run = 0;
+  // Indexed by static_cast<size_t>(OracleKind).
+  std::array<uint32_t, 6> passes = {};
+  std::array<uint32_t, 6> skips = {};
+  std::vector<FuzzFailure> failures;
+  bool ok() const { return failures.empty(); }
+};
+
+// Progress/diagnostic sink; called with one line at a time (no newline).
+using FuzzLogger = std::function<void(const std::string&)>;
+
+FuzzReport RunFuzzCampaign(const FuzzConfig& config, const FuzzLogger& logger = {});
+
+// Renders the per-oracle pass/skip/failure table.
+std::string FormatReport(const FuzzReport& report);
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_FUZZER_H_

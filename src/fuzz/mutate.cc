@@ -1,0 +1,300 @@
+#include "src/fuzz/mutate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/fuzz/rewrite.h"
+
+namespace cfm {
+
+namespace {
+
+// Pre-order collection of every statement pointer (the addressing scheme the
+// mutations use; matches Rewriter's hook indices).
+std::vector<const Stmt*> CollectStmts(const Stmt& root) {
+  std::vector<const Stmt*> stmts;
+  ForEachStmt(root, [&stmts](const Stmt& stmt) { stmts.push_back(&stmt); });
+  return stmts;
+}
+
+struct MutationSites {
+  std::vector<const Stmt*> stmts;      // All statements, pre-order.
+  std::vector<const Stmt*> blocks;     // kBlock nodes.
+  std::vector<const Stmt*> rich_blocks;  // kBlock nodes with >= 2 statements.
+  std::vector<const Stmt*> cobegins;   // kCobegin nodes with >= 2 arms.
+  std::vector<const Stmt*> syncs;      // kWait / kSignal nodes.
+};
+
+MutationSites Survey(const Stmt& root) {
+  MutationSites sites;
+  sites.stmts = CollectStmts(root);
+  for (const Stmt* stmt : sites.stmts) {
+    switch (stmt->kind()) {
+      case StmtKind::kBlock:
+        sites.blocks.push_back(stmt);
+        if (stmt->As<BlockStmt>().statements().size() >= 2) {
+          sites.rich_blocks.push_back(stmt);
+        }
+        break;
+      case StmtKind::kCobegin:
+        if (stmt->As<CobeginStmt>().processes().size() >= 2) {
+          sites.cobegins.push_back(stmt);
+        }
+        break;
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+        sites.syncs.push_back(stmt);
+        break;
+      default:
+        break;
+    }
+  }
+  return sites;
+}
+
+// Rewrites `src` applying `hook`, copying the symbol table first.
+Program RewriteProgram(const Program& src, const Rewriter::Hook& hook) {
+  Program dst;
+  dst.symbols() = src.symbols();
+  Rewriter rewriter(src, dst);
+  dst.set_root(rewriter.Rewrite(src.root(), hook));
+  return dst;
+}
+
+bool ApplyDelete(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+                 std::string& description) {
+  if (sites.stmts.size() < 2) {
+    return false;
+  }
+  // Never the root; skip statements delete to nothing interesting but are
+  // legal targets (keeps the distribution simple).
+  const Stmt* victim = sites.stmts[1 + rng.Below(sites.stmts.size() - 1)];
+  out = RewriteProgram(src, [victim](const Stmt& stmt, uint32_t, Rewriter&)
+                                -> std::optional<const Stmt*> {
+    if (&stmt == victim) {
+      return nullptr;
+    }
+    return std::nullopt;
+  });
+  description = "delete " + std::string(ToString(victim->kind()));
+  return true;
+}
+
+bool ApplySplice(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+                 std::string& description) {
+  if (sites.blocks.empty() || sites.stmts.empty()) {
+    return false;
+  }
+  const Stmt* donor = sites.stmts[rng.Below(sites.stmts.size())];
+  const Stmt* target = sites.blocks[rng.Below(sites.blocks.size())];
+  // A donor containing the target block would double the tree under it;
+  // allow it only when small (keeps splice growth bounded).
+  if (CountNodesBelow(*donor) > 40) {
+    return false;
+  }
+  size_t slot = rng.Below(target->As<BlockStmt>().statements().size() + 1);
+  out = RewriteProgram(src, [donor, target, slot](const Stmt& stmt, uint32_t,
+                                                  Rewriter& rewriter)
+                                -> std::optional<const Stmt*> {
+    if (&stmt != target) {
+      return std::nullopt;
+    }
+    std::vector<const Stmt*> statements;
+    const auto& children = stmt.As<BlockStmt>().statements();
+    for (size_t i = 0; i <= children.size(); ++i) {
+      if (i == slot) {
+        statements.push_back(rewriter.CloneStmt(*donor));
+      }
+      if (i < children.size()) {
+        statements.push_back(rewriter.CloneStmt(*children[i]));
+      }
+    }
+    return rewriter.dst().MakeBlock(stmt.range(), std::move(statements));
+  });
+  description = "splice " + std::string(ToString(donor->kind())) + " into block";
+  return true;
+}
+
+bool ApplySwap(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+               std::string& description) {
+  if (sites.rich_blocks.empty()) {
+    return false;
+  }
+  const Stmt* target = sites.rich_blocks[rng.Below(sites.rich_blocks.size())];
+  size_t count = target->As<BlockStmt>().statements().size();
+  size_t a = rng.Below(count);
+  size_t b = rng.Below(count);
+  if (a == b) {
+    b = (b + 1) % count;
+  }
+  out = RewriteProgram(src, [target, a, b](const Stmt& stmt, uint32_t, Rewriter& rewriter)
+                                -> std::optional<const Stmt*> {
+    if (&stmt != target) {
+      return std::nullopt;
+    }
+    const auto& children = stmt.As<BlockStmt>().statements();
+    std::vector<const Stmt*> statements;
+    for (size_t i = 0; i < children.size(); ++i) {
+      size_t pick = i == a ? b : i == b ? a : i;
+      statements.push_back(rewriter.CloneStmt(*children[pick]));
+    }
+    return rewriter.dst().MakeBlock(stmt.range(), std::move(statements));
+  });
+  std::ostringstream os;
+  os << "swap block stmts " << a << "," << b;
+  description = os.str();
+  return true;
+}
+
+bool ApplyShuffle(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+                  std::string& description) {
+  if (sites.cobegins.empty()) {
+    return false;
+  }
+  const Stmt* target = sites.cobegins[rng.Below(sites.cobegins.size())];
+  size_t count = target->As<CobeginStmt>().processes().size();
+  std::vector<size_t> order(count);
+  for (size_t i = 0; i < count; ++i) {
+    order[i] = i;
+  }
+  // Fisher–Yates with the portable Rng; re-roll identity once.
+  for (int attempt = 0; attempt < 2 && std::is_sorted(order.begin(), order.end()); ++attempt) {
+    for (size_t i = count - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.Below(i + 1)]);
+    }
+  }
+  out = RewriteProgram(src, [target, &order](const Stmt& stmt, uint32_t, Rewriter& rewriter)
+                                -> std::optional<const Stmt*> {
+    if (&stmt != target) {
+      return std::nullopt;
+    }
+    const auto& arms = stmt.As<CobeginStmt>().processes();
+    std::vector<const Stmt*> processes;
+    for (size_t index : order) {
+      processes.push_back(rewriter.CloneStmt(*arms[index]));
+    }
+    return rewriter.dst().MakeCobegin(stmt.range(), std::move(processes));
+  });
+  description = "shuffle cobegin arms";
+  return true;
+}
+
+bool ApplyBreakSync(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+                    std::string& description) {
+  if (sites.syncs.empty()) {
+    return false;
+  }
+  const Stmt* target = sites.syncs[rng.Below(sites.syncs.size())];
+  std::vector<SymbolId> semaphores = src.symbols().IdsOfKind(SymbolKind::kSemaphore);
+  SymbolId current = target->kind() == StmtKind::kWait ? target->As<WaitStmt>().semaphore()
+                                                       : target->As<SignalStmt>().semaphore();
+  bool flip = semaphores.size() < 2 || rng.Chance(1, 2);
+  SymbolId semaphore = current;
+  if (!flip) {
+    do {
+      semaphore = semaphores[rng.Below(semaphores.size())];
+    } while (semaphore == current);
+  }
+  bool make_wait = flip ? target->kind() == StmtKind::kSignal : target->kind() == StmtKind::kWait;
+  out = RewriteProgram(src, [target, semaphore, make_wait](const Stmt& stmt, uint32_t,
+                                                           Rewriter& rewriter)
+                                -> std::optional<const Stmt*> {
+    if (&stmt != target) {
+      return std::nullopt;
+    }
+    if (make_wait) {
+      return rewriter.dst().MakeWait(stmt.range(), semaphore);
+    }
+    return rewriter.dst().MakeSignal(stmt.range(), semaphore);
+  });
+  description = std::string(flip ? "flip " : "retarget ") + std::string(ToString(target->kind()));
+  return true;
+}
+
+}  // namespace
+
+std::string_view ToString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kDeleteStmt:
+      return "delete-stmt";
+    case MutationKind::kSpliceStmt:
+      return "splice-stmt";
+    case MutationKind::kSwapStmts:
+      return "swap-stmts";
+    case MutationKind::kShuffleCobegin:
+      return "shuffle-cobegin";
+    case MutationKind::kBreakSync:
+      return "break-sync";
+  }
+  return "?";
+}
+
+Program CloneProgram(const Program& src) {
+  Program dst;
+  dst.symbols() = src.symbols();
+  if (src.has_root()) {
+    Rewriter rewriter(src, dst);
+    dst.set_root(rewriter.CloneStmt(src.root()));
+  }
+  return dst;
+}
+
+Program MutateProgram(const Program& src, Rng& rng, std::string* description) {
+  MutationSites sites = Survey(src.root());
+  static constexpr MutationKind kKinds[] = {
+      MutationKind::kDeleteStmt, MutationKind::kSpliceStmt, MutationKind::kSwapStmts,
+      MutationKind::kShuffleCobegin, MutationKind::kBreakSync};
+  size_t first = rng.Below(std::size(kKinds));
+  for (size_t offset = 0; offset < std::size(kKinds); ++offset) {
+    MutationKind kind = kKinds[(first + offset) % std::size(kKinds)];
+    Program out;
+    std::string what;
+    bool applied = false;
+    switch (kind) {
+      case MutationKind::kDeleteStmt:
+        applied = ApplyDelete(src, sites, rng, out, what);
+        break;
+      case MutationKind::kSpliceStmt:
+        applied = ApplySplice(src, sites, rng, out, what);
+        break;
+      case MutationKind::kSwapStmts:
+        applied = ApplySwap(src, sites, rng, out, what);
+        break;
+      case MutationKind::kShuffleCobegin:
+        applied = ApplyShuffle(src, sites, rng, out, what);
+        break;
+      case MutationKind::kBreakSync:
+        applied = ApplyBreakSync(src, sites, rng, out, what);
+        break;
+    }
+    if (applied) {
+      if (description != nullptr) {
+        *description = std::string(ToString(kind)) + ": " + what;
+      }
+      return out;
+    }
+  }
+  if (description != nullptr) {
+    *description = "noop (no applicable mutation site)";
+  }
+  return CloneProgram(src);
+}
+
+std::string PerturbBinding(StaticBinding& binding, const SymbolTable& symbols, Rng& rng) {
+  if (symbols.size() == 0) {
+    return "noop";
+  }
+  SymbolId symbol = static_cast<SymbolId>(rng.Below(symbols.size()));
+  ClassId to = rng.Below(binding.base_lattice().size());
+  binding.Bind(symbol, to);
+  return "rebind " + symbols.at(symbol).name + " to " + binding.base_lattice().ElementName(to);
+}
+
+uint32_t CountStmts(const Stmt& root) {
+  uint32_t count = 0;
+  ForEachStmt(root, [&count](const Stmt&) { ++count; });
+  return count;
+}
+
+}  // namespace cfm

@@ -1,0 +1,56 @@
+// Structured mutation engine for the differential fuzzer: well-formedness-
+// preserving edits of whole programs (statement splice/delete/swap, cobegin
+// arm shuffle, wait/signal pairing breakage) and of static bindings
+// (lattice-class perturbation). Every mutation clones the input into a fresh
+// Program — ASTs are immutable after construction — and produces output that
+// still parses, types, and certifies/rejects meaningfully, so downstream
+// oracles exercise the interesting layers instead of the frontend's error
+// paths (tests/property/fuzz_test.cc already covers byte-level robustness).
+
+#ifndef SRC_FUZZ_MUTATE_H_
+#define SRC_FUZZ_MUTATE_H_
+
+#include <string>
+
+#include "src/core/static_binding.h"
+#include "src/gen/rng.h"
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+// Deep-copies `src` (symbol table and statement/expression trees) into an
+// independent Program. Node ids are reassigned densely in clone order;
+// SymbolIds are preserved, so bindings indexed by symbol transfer verbatim.
+Program CloneProgram(const Program& src);
+
+// The structured program mutations. Kept in one enum so the fuzzer can
+// report which edit produced a failing case.
+enum class MutationKind : uint8_t {
+  kDeleteStmt,      // Remove one statement (skip where a child is mandatory).
+  kSpliceStmt,      // Duplicate a random subtree into a random block slot.
+  kSwapStmts,       // Swap two statements within one block.
+  kShuffleCobegin,  // Rotate/permute the arms of one cobegin.
+  kBreakSync,       // Flip wait<->signal or retarget to another semaphore.
+};
+
+std::string_view ToString(MutationKind kind);
+
+// Applies one random structured mutation, returning the mutated clone. When
+// the chosen mutation has no applicable site (e.g. kBreakSync on a
+// semaphore-free program) another kind is tried; if nothing applies the
+// result is a plain clone. `description`, when non-null, receives a short
+// human-readable account of the edit ("swap stmts 3,7 in block 1").
+Program MutateProgram(const Program& src, Rng& rng, std::string* description = nullptr);
+
+// Re-binds one random variable to a random class of the binding's base
+// lattice (the lattice-class perturbation mutation). Returns the textual
+// description of the edit.
+std::string PerturbBinding(StaticBinding& binding, const SymbolTable& symbols, Rng& rng);
+
+// Number of statements in the program's tree (pre-order count; the
+// reducer's size metric).
+uint32_t CountStmts(const Stmt& root);
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_MUTATE_H_

@@ -1,0 +1,395 @@
+#include "src/fuzz/oracles.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/core/pipeline.h"
+#include "src/fuzz/mutate.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/logic/proof_builder.h"
+#include "src/logic/proof_checker.h"
+#include "src/logic/proof_io.h"
+#include "src/runtime/bytecode.h"
+#include "src/runtime/explorer.h"
+
+namespace cfm {
+
+namespace {
+
+OracleResult Fail(std::string detail) { return {false, false, std::move(detail)}; }
+OracleResult Skip(std::string detail) { return {true, true, std::move(detail)}; }
+OracleResult Pass() { return {true, false, {}}; }
+
+CertificationResult Certify(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  if (options.certifier) {
+    return options.certifier(*fuzz_case.program, *fuzz_case.binding);
+  }
+  return CertifyCfm(*fuzz_case.program, *fuzz_case.binding);
+}
+
+bool UsesKind(const SymbolTable& symbols, SymbolKind kind) {
+  return !symbols.IdsOfKind(kind).empty();
+}
+
+// --- cert-vs-proof (Theorem 2) ---------------------------------------------
+// The unconditional invariant-candidate construction must be accepted by the
+// independent checker exactly when the certifier certifies.
+OracleResult CheckCertVsProof(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  const StaticBinding& binding = *fuzz_case.binding;
+  CertificationResult certification = Certify(fuzz_case, options);
+  Proof candidate =
+      BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
+  ProofChecker checker(binding.extended(), program.symbols());
+  std::optional<ProofError> error = checker.Check(candidate);
+  bool accepted = !error.has_value();
+  if (accepted == certification.certified()) {
+    return Pass();
+  }
+  std::ostringstream os;
+  if (accepted) {
+    os << "checker accepted the invariant candidate but the certifier reported "
+       << certification.violations().size() << " violation(s)";
+  } else {
+    os << "certifier certified the program but the checker rejected the candidate: "
+       << error->reason;
+  }
+  return Fail(os.str());
+}
+
+// --- builder-vs-checker (Theorem 1 + proof I/O) ----------------------------
+// certified ⇒ the Theorem 1 builder succeeds, the checker validates the
+// proof, and serialize → parse → re-check → re-serialize is lossless.
+OracleResult CheckBuilderVsChecker(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  const StaticBinding& binding = *fuzz_case.binding;
+  CertificationResult certification = Certify(fuzz_case, options);
+  if (!certification.certified()) {
+    return Skip("uncertified; Theorem 1 has no claim");
+  }
+  Result<Proof> proof = BuildTheorem1Proof(program, binding);
+  if (!proof.ok()) {
+    return Fail("certified but the Theorem 1 builder failed: " + proof.error());
+  }
+  ProofChecker checker(binding.extended(), program.symbols());
+  if (auto error = checker.Check(*proof)) {
+    return Fail("built proof rejected by the independent checker: " + error->reason);
+  }
+  const ExtendedLattice& ext = binding.extended();
+  std::string text = SerializeProof(*proof, program, ext);
+  Result<Proof> parsed = ParseProof(text, program, ext);
+  if (!parsed.ok()) {
+    return Fail("serialized proof failed to parse back: " + parsed.error());
+  }
+  if (auto error = checker.Check(*parsed)) {
+    return Fail("re-parsed proof rejected by the checker: " + error->reason);
+  }
+  if (SerializeProof(*parsed, program, ext) != text) {
+    return Fail("proof serialization is not a fixed point of parse→serialize");
+  }
+  return Pass();
+}
+
+// --- cert-sound-ni (soundness) ---------------------------------------------
+// certified ⇒ exhaustive possibilistic NI for every variable h against the
+// observer that reads exactly the variables v with bind(h) ≰ bind(v). Kept
+// to semaphore/channel-free programs, mirroring the proven setup in
+// tests/runtime/exhaustive_ni_test.cc (with synchronization, termination-
+// status observations need the pairing discipline the mutators break).
+//
+// A secret value under which EVERY schedule diverges yields an empty
+// terminal-outcome set; that is the pure termination covert channel (no
+// variable is ever written below the secret), which the paper's mechanism
+// does not claim to close — such secrets are skipped, not verdicts. See
+// docs/TESTING.md.
+OracleResult CheckCertSoundNi(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  const StaticBinding& binding = *fuzz_case.binding;
+  const SymbolTable& symbols = program.symbols();
+  if (UsesKind(symbols, SymbolKind::kSemaphore) || UsesKind(symbols, SymbolKind::kChannel)) {
+    return Skip("program uses synchronization; NI soundness oracle is value-only");
+  }
+  if (CountStmts(program.root()) > options.max_stmts_for_dynamic) {
+    return Skip("program too large for exhaustive exploration");
+  }
+  CertificationResult certification = Certify(fuzz_case, options);
+  if (!certification.certified()) {
+    return Skip("uncertified; soundness has no claim");
+  }
+  const Lattice& base = binding.base_lattice();
+  CompiledProgram code = Compile(program);
+  uint32_t secrets_tried = 0;
+  for (const Symbol& secret : symbols.symbols()) {
+    if (secrets_tried >= options.max_secrets) {
+      break;
+    }
+    std::vector<SymbolId> observable;
+    for (const Symbol& other : symbols.symbols()) {
+      if (other.id != secret.id && !base.Leq(binding.binding(secret.id), binding.binding(other.id))) {
+        observable.push_back(other.id);
+      }
+    }
+    if (observable.empty()) {
+      continue;  // Everything may legally depend on this variable.
+    }
+    // One observation = (termination status, observable projection); compare
+    // the full sets across secret values.
+    using Observation = std::pair<int, std::vector<int64_t>>;
+    std::vector<std::set<Observation>> per_secret;
+    bool truncated = false;
+    bool diverged = false;
+    for (int64_t value : {int64_t{0}, int64_t{1}}) {
+      RunOptions run;
+      run.initial_values = {{secret.id, value}};
+      ExploreOptions explore;
+      explore.max_states = options.ni_max_states;
+      explore.max_steps_per_path = options.max_steps_per_path;
+      ExploreResult explored = ExploreAllSchedules(code, symbols, run, explore);
+      if (explored.truncated) {
+        truncated = true;
+        break;
+      }
+      if (explored.outcomes.empty()) {
+        diverged = true;  // Every schedule cycles: the termination channel.
+        break;
+      }
+      std::set<Observation> observations;
+      for (const auto& [outcome, count] : explored.outcomes) {
+        std::vector<int64_t> projection;
+        projection.reserve(observable.size());
+        for (SymbolId symbol : observable) {
+          projection.push_back(outcome.values[symbol]);
+        }
+        observations.emplace(static_cast<int>(outcome.status), std::move(projection));
+      }
+      per_secret.push_back(std::move(observations));
+    }
+    if (truncated || diverged) {
+      continue;  // Bounded search / pure divergence is not a verdict.
+    }
+    ++secrets_tried;
+    if (per_secret[0] != per_secret[1]) {
+      std::ostringstream os;
+      os << "certified program leaks secret '" << secret.name
+         << "': observable outcome sets differ (" << per_secret[0].size() << " for 0 vs "
+         << per_secret[1].size() << " for 1)";
+      return Fail(os.str());
+    }
+  }
+  if (secrets_tried == 0) {
+    return Skip("no secret with a decidable non-dominated observer under this binding");
+  }
+  return Pass();
+}
+
+// --- por-vs-full ------------------------------------------------------------
+// Partial-order reduction must preserve the terminal outcome map exactly.
+OracleResult CheckPorVsFull(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  if (CountStmts(program.root()) > options.max_stmts_for_dynamic) {
+    return Skip("program too large for full schedule enumeration");
+  }
+  CompiledProgram code = Compile(program);
+  RunOptions run;
+  ExploreOptions explore;
+  explore.max_states = options.explore_max_states;
+  explore.max_steps_per_path = options.max_steps_per_path;
+  explore.por = true;
+  ExploreResult reduced = ExploreAllSchedules(code, program.symbols(), run, explore);
+  explore.por = false;
+  ExploreResult full = ExploreAllSchedules(code, program.symbols(), run, explore);
+  if (reduced.truncated || full.truncated) {
+    return Skip("exploration truncated; outcome maps are lower bounds");
+  }
+  if (reduced.outcomes == full.outcomes) {
+    return Pass();
+  }
+  std::ostringstream os;
+  os << "POR changed the outcome map: " << reduced.outcomes.size() << " outcomes reduced vs "
+     << full.outcomes.size() << " full";
+  for (const auto& [outcome, count] : full.outcomes) {
+    auto it = reduced.outcomes.find(outcome);
+    if (it == reduced.outcomes.end() || it->second != count) {
+      os << "; outcome status=" << ToString(outcome.status)
+         << " count full=" << count
+         << " reduced=" << (it == reduced.outcomes.end() ? 0 : it->second);
+      break;
+    }
+  }
+  return Fail(os.str());
+}
+
+// --- round-trip -------------------------------------------------------------
+// printer → parser → printer must be the identity on text, and the re-parsed
+// AST must match the original modulo disambiguation blocks.
+OracleResult CheckRoundTrip(const FuzzCase& fuzz_case, const OracleOptions&) {
+  const Program& program = *fuzz_case.program;
+  std::string first = PrintProgram(program);
+  DiagnosticEngine diags;
+  std::optional<Program> reparsed = ParseProgramText(first, diags);
+  if (!reparsed.has_value()) {
+    return Fail("printed program failed to re-parse:\n" + first);
+  }
+  std::string second = PrintProgram(*reparsed);
+  if (first != second) {
+    return Fail("print → parse → print is not a fixed point:\n--- first ---\n" + first +
+                "--- second ---\n" + second);
+  }
+  if (!EquivalentModuloBlocks(program.root(), reparsed->root())) {
+    return Fail("re-parsed AST differs beyond block structure:\n" + first);
+  }
+  return Pass();
+}
+
+// --- pipeline-cache ---------------------------------------------------------
+// A CfmPipeline session (cached artifacts) must agree with cold, direct calls
+// into each stage on the same printed source.
+OracleResult CheckPipelineCache(const FuzzCase& fuzz_case, const OracleOptions&) {
+  const Program& program = *fuzz_case.program;
+  std::string source = PrintProgram(program);
+
+  PipelineOptions pipeline_options;
+  pipeline_options.lattice_spec = fuzz_case.lattice_spec;
+  CfmPipeline pipeline(pipeline_options);
+  if (!pipeline.LoadSource("<fuzz>", source)) {
+    return Fail("pipeline failed to load printer output: " + pipeline.error());
+  }
+  const CertificationResult* cached = pipeline.certification();
+  if (cached == nullptr || pipeline.binding() == nullptr) {
+    return Fail("pipeline lost program/binding on printer output: " + pipeline.error());
+  }
+  if (pipeline.certification() != cached) {
+    return Fail("certification artifact not cached across accessor calls");
+  }
+
+  // Cold run: fresh parse, fresh binding, fresh certification.
+  std::unique_ptr<Lattice> lattice = MakeLatticeFromSpec(fuzz_case.lattice_spec);
+  if (lattice == nullptr) {
+    return Fail("lattice spec '" + fuzz_case.lattice_spec + "' did not resolve");
+  }
+  DiagnosticEngine diags;
+  std::optional<Program> cold_program = ParseProgramText(source, diags);
+  if (!cold_program.has_value()) {
+    return Fail("cold parse failed on source the pipeline accepted");
+  }
+  Result<StaticBinding> cold_binding =
+      StaticBinding::FromAnnotations(*lattice, cold_program->symbols());
+  if (!cold_binding.ok()) {
+    return Fail("cold FromAnnotations failed on source the pipeline bound: " +
+                cold_binding.error());
+  }
+  CertificationResult cold = CertifyCfm(*cold_program, *cold_binding);
+  if (cold.certified() != cached->certified()) {
+    std::ostringstream os;
+    os << "pipeline verdict " << (cached->certified() ? "certified" : "rejected")
+       << " disagrees with cold run " << (cold.certified() ? "certified" : "rejected");
+    return Fail(os.str());
+  }
+  if (cold.violations().size() != cached->violations().size()) {
+    return Fail("pipeline and cold run disagree on the violation count");
+  }
+  // Proof availability must track the verdict, and the pipeline's own
+  // checker must accept the pipeline's own proof.
+  const Proof* proof = pipeline.proof();
+  if (cached->certified()) {
+    if (proof == nullptr) {
+      return Fail("certified but pipeline built no proof: " + pipeline.error());
+    }
+    if (auto error = pipeline.checker()->Check(*proof)) {
+      return Fail("pipeline proof rejected by pipeline checker: " + error->reason);
+    }
+  } else if (proof != nullptr) {
+    return Fail("rejected program but the pipeline produced a proof");
+  }
+  if (pipeline.bytecode() == nullptr) {
+    return Fail("pipeline produced no bytecode for a parsed program");
+  }
+  return Pass();
+}
+
+}  // namespace
+
+std::optional<Certifier> InjectedCertifier(std::string_view name) {
+  if (name == "no-composition-check") {
+    return Certifier([](const Program& program, const StaticBinding& binding) {
+      CfmOptions options;
+      options.check_composition_global = false;
+      return CertifyCfm(program, binding, options);
+    });
+  }
+  if (name == "no-iteration-check") {
+    return Certifier([](const Program& program, const StaticBinding& binding) {
+      CfmOptions options;
+      options.check_iteration_global = false;
+      return CertifyCfm(program, binding, options);
+    });
+  }
+  if (name == "accept-all") {
+    return Certifier([](const Program& program, const StaticBinding& binding) {
+      CertificationResult honest = CertifyCfm(program, binding);
+      // Keep the honest facts (so proof construction sees the truth) but
+      // report no violations — the classic "forgot to flag it" bug.
+      CertificationResult lying("cfm(accept-all)", program.stmt_count());
+      ForEachStmt(program.root(), [&](const Stmt& stmt) {
+        lying.facts_mut(stmt) = honest.facts(stmt);
+      });
+      return lying;
+    });
+  }
+  return std::nullopt;
+}
+
+std::string_view ToString(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kCertVsProof:
+      return "cert-vs-proof";
+    case OracleKind::kBuilderVsChecker:
+      return "builder-vs-checker";
+    case OracleKind::kCertSoundNi:
+      return "cert-sound-ni";
+    case OracleKind::kPorVsFull:
+      return "por-vs-full";
+    case OracleKind::kRoundTrip:
+      return "round-trip";
+    case OracleKind::kPipelineCache:
+      return "pipeline-cache";
+  }
+  return "?";
+}
+
+std::optional<OracleKind> OracleFromName(std::string_view name) {
+  for (OracleKind kind : kAllOracles) {
+    if (ToString(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+OracleResult RunOracle(OracleKind kind, const FuzzCase& fuzz_case,
+                       const OracleOptions& options) {
+  if (fuzz_case.program == nullptr || !fuzz_case.program->has_root() ||
+      fuzz_case.binding == nullptr) {
+    return Skip("incomplete fuzz case");
+  }
+  switch (kind) {
+    case OracleKind::kCertVsProof:
+      return CheckCertVsProof(fuzz_case, options);
+    case OracleKind::kBuilderVsChecker:
+      return CheckBuilderVsChecker(fuzz_case, options);
+    case OracleKind::kCertSoundNi:
+      return CheckCertSoundNi(fuzz_case, options);
+    case OracleKind::kPorVsFull:
+      return CheckPorVsFull(fuzz_case, options);
+    case OracleKind::kRoundTrip:
+      return CheckRoundTrip(fuzz_case, options);
+    case OracleKind::kPipelineCache:
+      return CheckPipelineCache(fuzz_case, options);
+  }
+  return Skip("unknown oracle");
+}
+
+}  // namespace cfm

@@ -1,0 +1,100 @@
+// The differential-oracle battery: executable cross-checks of the stack's
+// redundant implementations of the paper's semantics. Each oracle takes one
+// fuzz case (program + static binding) and answers pass / fail / skipped,
+// where a failure is a genuine disagreement between two components that are
+// supposed to agree by theorem or by construction:
+//
+//   cert-vs-proof      CFM certifies  ⟺  the invariant proof candidate
+//                      passes the independent checker        (Theorem 2)
+//   builder-vs-checker certified ⇒ the Theorem 1 builder emits a proof the
+//                      independent checker validates, and it survives a
+//                      serialize → parse → re-check → re-serialize loop
+//   cert-sound-ni      certified ⇒ exhaustive (all-schedules) possibilistic
+//                      noninterference for every high secret  (soundness)
+//   por-vs-full        the POR schedule explorer enumerates exactly the
+//                      terminal outcomes of full enumeration
+//   round-trip         printer → parser → printer is the identity on text
+//                      and the AST survives modulo disambiguation blocks
+//   pipeline-cache     a cached CfmPipeline session agrees with cold,
+//                      direct calls into each stage
+//
+// The certifier is pluggable so the fuzzer can mutation-test ITSELF: inject
+// a deliberately broken certifier (e.g. one that skips a Figure 2 check) and
+// the battery must catch it. See InjectedCertifier.
+
+#ifndef SRC_FUZZ_ORACLES_H_
+#define SRC_FUZZ_ORACLES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/cfm.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+struct FuzzCase {
+  const Program* program = nullptr;
+  const StaticBinding* binding = nullptr;
+  // The lattice spec string the binding's base lattice came from ("two",
+  // "chain:3", ...); carried for reproducer files.
+  std::string lattice_spec = "two";
+};
+
+struct OracleResult {
+  bool ok = true;
+  // True when the oracle could not produce a verdict for this case (e.g.
+  // the program is uncertified and the oracle only speaks about certified
+  // ones, or exploration was truncated). Skipped results count as passes.
+  bool skipped = false;
+  std::string detail;
+};
+
+using Certifier = std::function<CertificationResult(const Program&, const StaticBinding&)>;
+
+// Named deliberately-broken certifiers for mutation-testing the oracle
+// battery: "no-composition-check", "no-iteration-check" (the Figure 2
+// ablations) and "accept-all" (report every program certified). Returns
+// nothing for an unknown name.
+std::optional<Certifier> InjectedCertifier(std::string_view name);
+
+struct OracleOptions {
+  // Empty = the stock CertifyCfm.
+  Certifier certifier;
+  // Caps keeping the dynamic oracles bounded; a capped-out exploration
+  // yields a skip, never a verdict.
+  uint64_t ni_max_states = 60'000;
+  uint64_t explore_max_states = 30'000;
+  uint64_t max_steps_per_path = 2'000;
+  // Dynamic oracles skip programs above this statement count.
+  uint32_t max_stmts_for_dynamic = 80;
+  // cert-sound-ni tries at most this many secret variables per case.
+  uint32_t max_secrets = 2;
+};
+
+enum class OracleKind : uint8_t {
+  kCertVsProof,
+  kBuilderVsChecker,
+  kCertSoundNi,
+  kPorVsFull,
+  kRoundTrip,
+  kPipelineCache,
+};
+
+inline constexpr OracleKind kAllOracles[] = {
+    OracleKind::kCertVsProof, OracleKind::kBuilderVsChecker, OracleKind::kCertSoundNi,
+    OracleKind::kPorVsFull,   OracleKind::kRoundTrip,        OracleKind::kPipelineCache,
+};
+
+std::string_view ToString(OracleKind kind);
+std::optional<OracleKind> OracleFromName(std::string_view name);
+
+OracleResult RunOracle(OracleKind kind, const FuzzCase& fuzz_case,
+                       const OracleOptions& options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_ORACLES_H_

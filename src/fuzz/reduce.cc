@@ -1,0 +1,144 @@
+#include "src/fuzz/reduce.h"
+
+#include <vector>
+
+#include "src/fuzz/mutate.h"
+#include "src/fuzz/rewrite.h"
+
+namespace cfm {
+
+namespace {
+
+Program RewriteProgram(const Program& src, const Rewriter::Hook& hook) {
+  Program dst;
+  dst.symbols() = src.symbols();
+  Rewriter rewriter(src, dst);
+  dst.set_root(rewriter.Rewrite(src.root(), hook));
+  return dst;
+}
+
+// Deletes the statement at pre-order `index` (never 0 = the root).
+Program DeleteStmtAt(const Program& src, uint32_t index) {
+  return RewriteProgram(src, [index](const Stmt&, uint32_t at, Rewriter&)
+                                 -> std::optional<const Stmt*> {
+    if (at == index) {
+      return nullptr;
+    }
+    return std::nullopt;
+  });
+}
+
+// Replaces the statement at pre-order `index` with a clone of `child` (a
+// statement of the SOURCE tree, typically a descendant of the one replaced).
+Program HoistChildAt(const Program& src, uint32_t index, const Stmt* child) {
+  return RewriteProgram(src, [index, child](const Stmt&, uint32_t at, Rewriter& rewriter)
+                                 -> std::optional<const Stmt*> {
+    if (at == index) {
+      return rewriter.CloneStmt(*child);
+    }
+    return std::nullopt;
+  });
+}
+
+// Direct structural children of a compound statement (hoist candidates).
+std::vector<const Stmt*> ChildrenOf(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      std::vector<const Stmt*> children = {&if_stmt.then_branch()};
+      if (if_stmt.else_branch() != nullptr) {
+        children.push_back(if_stmt.else_branch());
+      }
+      return children;
+    }
+    case StmtKind::kWhile:
+      return {&stmt.As<WhileStmt>().body()};
+    case StmtKind::kBlock: {
+      const auto& list = stmt.As<BlockStmt>().statements();
+      return {list.begin(), list.end()};
+    }
+    case StmtKind::kCobegin: {
+      const auto& list = stmt.As<CobeginStmt>().processes();
+      return {list.begin(), list.end()};
+    }
+    default:
+      return {};
+  }
+}
+
+std::vector<const Stmt*> PreOrder(const Stmt& root) {
+  std::vector<const Stmt*> stmts;
+  ForEachStmt(root, [&stmts](const Stmt& stmt) { stmts.push_back(&stmt); });
+  return stmts;
+}
+
+}  // namespace
+
+Program ReduceCase(const FuzzCase& fuzz_case, OracleKind kind, const OracleOptions& oracle_options,
+                   ReduceStats* stats, const ReduceOptions& options) {
+  ReduceStats local;
+  ReduceStats& out = stats != nullptr ? *stats : local;
+  out = ReduceStats{};
+
+  Program current = CloneProgram(*fuzz_case.program);
+  out.initial_stmts = CountStmts(current.root());
+
+  auto still_fails = [&](const Program& candidate) {
+    ++out.oracle_runs;
+    FuzzCase probe = fuzz_case;
+    probe.program = &candidate;
+    OracleResult result = RunOracle(kind, probe, oracle_options);
+    return !result.ok;
+  };
+
+  if (!still_fails(current)) {
+    out.input_passed = true;
+    out.final_stmts = out.initial_stmts;
+    return current;
+  }
+
+  bool progress = true;
+  while (progress && out.oracle_runs < options.max_oracle_runs) {
+    progress = false;
+
+    // Pass 1: delete single statements, last index first so the walk keeps
+    // earlier indices stable across failed attempts.
+    for (uint32_t index = CountStmts(current.root()); index-- > 1;) {
+      if (out.oracle_runs >= options.max_oracle_runs) {
+        break;
+      }
+      Program candidate = DeleteStmtAt(current, index);
+      if (still_fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+
+    // Pass 2: hoist a child over its compound parent (unwraps if/while, and
+    // collapses a block/cobegin to one member — bigger cuts than pass 1).
+    bool hoisted = true;
+    while (hoisted && out.oracle_runs < options.max_oracle_runs) {
+      hoisted = false;
+      std::vector<const Stmt*> stmts = PreOrder(current.root());
+      for (uint32_t index = 0; index < stmts.size() && !hoisted; ++index) {
+        for (const Stmt* child : ChildrenOf(*stmts[index])) {
+          if (out.oracle_runs >= options.max_oracle_runs) {
+            break;
+          }
+          Program candidate = HoistChildAt(current, index, child);
+          if (still_fails(candidate)) {
+            current = std::move(candidate);
+            progress = true;
+            hoisted = true;  // Indices shifted; re-walk the new tree.
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  out.final_stmts = CountStmts(current.root());
+  return current;
+}
+
+}  // namespace cfm

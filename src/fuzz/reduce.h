@@ -1,0 +1,39 @@
+// Delta-debugging reducer: shrinks a failing fuzz case to a (locally)
+// minimal reproducer while the chosen oracle keeps failing. Two greedy
+// passes run to a fixpoint: delete any single statement, and hoist a child
+// of a compound statement (if/while body, block member, cobegin arm) over
+// its parent. Symbols are never removed, so the original binding stays
+// valid for every candidate.
+
+#ifndef SRC_FUZZ_REDUCE_H_
+#define SRC_FUZZ_REDUCE_H_
+
+#include <cstdint>
+
+#include "src/fuzz/oracles.h"
+
+namespace cfm {
+
+struct ReduceStats {
+  uint32_t initial_stmts = 0;
+  uint32_t final_stmts = 0;
+  // Oracle evaluations spent (the reduction budget's unit).
+  uint32_t oracle_runs = 0;
+  // True when the input did not fail the oracle (nothing to reduce).
+  bool input_passed = false;
+};
+
+struct ReduceOptions {
+  // Hard cap on oracle evaluations; greedy passes stop when exhausted.
+  uint32_t max_oracle_runs = 4'000;
+};
+
+// Returns the reduced program (a fresh clone even when no step applied).
+// `fuzz_case.binding` is used unchanged for every candidate — the reducer
+// never touches the symbol table.
+Program ReduceCase(const FuzzCase& fuzz_case, OracleKind kind, const OracleOptions& oracle_options,
+                   ReduceStats* stats = nullptr, const ReduceOptions& options = {});
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_REDUCE_H_

@@ -1,0 +1,145 @@
+#include "src/fuzz/rewrite.h"
+
+namespace cfm {
+
+const Expr* Rewriter::CloneExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+      return dst_.MakeIntLiteral(expr.range(), expr.As<IntLiteral>().value());
+    case ExprKind::kBoolLiteral:
+      return dst_.MakeBoolLiteral(expr.range(), expr.As<BoolLiteral>().value());
+    case ExprKind::kVarRef:
+      return dst_.MakeVarRef(expr.range(), expr.As<VarRef>().symbol(), expr.is_boolean());
+    case ExprKind::kUnary: {
+      const auto& unary = expr.As<UnaryExpr>();
+      return dst_.MakeUnary(expr.range(), unary.op(), CloneExpr(unary.operand()));
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      return dst_.MakeBinary(expr.range(), binary.op(), CloneExpr(binary.lhs()),
+                             CloneExpr(binary.rhs()));
+    }
+  }
+  return nullptr;
+}
+
+const Stmt* Rewriter::CloneStmt(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kAssign: {
+      const auto& assign = stmt.As<AssignStmt>();
+      return dst_.MakeAssign(stmt.range(), assign.target(), CloneExpr(assign.value()));
+    }
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      return dst_.MakeIf(stmt.range(), CloneExpr(if_stmt.condition()),
+                         CloneStmt(if_stmt.then_branch()),
+                         if_stmt.else_branch() != nullptr ? CloneStmt(*if_stmt.else_branch())
+                                                         : nullptr);
+    }
+    case StmtKind::kWhile: {
+      const auto& while_stmt = stmt.As<WhileStmt>();
+      return dst_.MakeWhile(stmt.range(), CloneExpr(while_stmt.condition()),
+                            CloneStmt(while_stmt.body()));
+    }
+    case StmtKind::kBlock: {
+      std::vector<const Stmt*> statements;
+      for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+        statements.push_back(CloneStmt(*child));
+      }
+      return dst_.MakeBlock(stmt.range(), std::move(statements));
+    }
+    case StmtKind::kCobegin: {
+      std::vector<const Stmt*> processes;
+      for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+        processes.push_back(CloneStmt(*child));
+      }
+      return dst_.MakeCobegin(stmt.range(), std::move(processes));
+    }
+    case StmtKind::kWait:
+      return dst_.MakeWait(stmt.range(), stmt.As<WaitStmt>().semaphore());
+    case StmtKind::kSignal:
+      return dst_.MakeSignal(stmt.range(), stmt.As<SignalStmt>().semaphore());
+    case StmtKind::kSend: {
+      const auto& send = stmt.As<SendStmt>();
+      return dst_.MakeSend(stmt.range(), send.channel(), CloneExpr(send.value()));
+    }
+    case StmtKind::kReceive: {
+      const auto& receive = stmt.As<ReceiveStmt>();
+      return dst_.MakeReceive(stmt.range(), receive.channel(), receive.target());
+    }
+    case StmtKind::kSkip:
+      return dst_.MakeSkip(stmt.range());
+  }
+  return nullptr;
+}
+
+const Stmt* Rewriter::Rewrite(const Stmt& root, const Hook& hook) {
+  next_index_ = 0;
+  const Stmt* result = RewriteRec(root, hook);
+  return result != nullptr ? result : dst_.MakeSkip(root.range());
+}
+
+const Stmt* Rewriter::RewriteRec(const Stmt& stmt, const Hook& hook) {
+  uint32_t index = next_index_++;
+  if (auto replacement = hook(stmt, index, *this)) {
+    // Descendants of a replaced subtree never fired the hook, but pre-order
+    // indices must keep matching the source walk, so account for them.
+    next_index_ += CountNodesBelow(stmt);
+    return *replacement;
+  }
+  switch (stmt.kind()) {
+    case StmtKind::kIf: {
+      const auto& if_stmt = stmt.As<IfStmt>();
+      const Expr* condition = CloneExpr(if_stmt.condition());
+      const Stmt* then_branch = RewriteRec(if_stmt.then_branch(), hook);
+      if (then_branch == nullptr) {
+        then_branch = dst_.MakeSkip(stmt.range());
+      }
+      const Stmt* else_branch = nullptr;
+      if (if_stmt.else_branch() != nullptr) {
+        else_branch = RewriteRec(*if_stmt.else_branch(), hook);  // May delete to null.
+      }
+      return dst_.MakeIf(stmt.range(), condition, then_branch, else_branch);
+    }
+    case StmtKind::kWhile: {
+      const auto& while_stmt = stmt.As<WhileStmt>();
+      const Expr* condition = CloneExpr(while_stmt.condition());
+      const Stmt* body = RewriteRec(while_stmt.body(), hook);
+      if (body == nullptr) {
+        body = dst_.MakeSkip(stmt.range());
+      }
+      return dst_.MakeWhile(stmt.range(), condition, body);
+    }
+    case StmtKind::kBlock: {
+      std::vector<const Stmt*> statements;
+      for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+        if (const Stmt* cloned = RewriteRec(*child, hook)) {
+          statements.push_back(cloned);
+        }
+      }
+      return dst_.MakeBlock(stmt.range(), std::move(statements));
+    }
+    case StmtKind::kCobegin: {
+      std::vector<const Stmt*> processes;
+      for (const Stmt* child : stmt.As<CobeginStmt>().processes()) {
+        if (const Stmt* cloned = RewriteRec(*child, hook)) {
+          processes.push_back(cloned);
+        }
+      }
+      if (processes.empty()) {
+        return dst_.MakeSkip(stmt.range());
+      }
+      return dst_.MakeCobegin(stmt.range(), std::move(processes));
+    }
+    default:
+      return CloneStmt(stmt);
+  }
+}
+
+uint32_t CountNodesBelow(const Stmt& stmt) {
+  uint32_t count = 0;
+  ForEachStmt(stmt, [&count](const Stmt&) { ++count; });
+  return count - 1;  // ForEachStmt includes `stmt` itself.
+}
+
+}  // namespace cfm

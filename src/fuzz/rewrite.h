@@ -1,0 +1,55 @@
+// Tree rewriting shared by the mutator and the reducer: deep-clones
+// statement/expression trees from one Program into another, with an optional
+// per-statement hook that can substitute or delete nodes mid-clone. The hook
+// sees statements of the SOURCE tree in pre-order together with their
+// pre-order index, so edit sites can be addressed stably ("statement #7").
+
+#ifndef SRC_FUZZ_REWRITE_H_
+#define SRC_FUZZ_REWRITE_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/lang/ast.h"
+
+namespace cfm {
+
+class Rewriter {
+ public:
+  // `src` and `dst` must outlive the rewriter. The caller is responsible for
+  // copying the symbol table (SymbolIds are preserved by the clone).
+  Rewriter(const Program& src, Program& dst) : dst_(dst) { (void)src; }
+
+  // Decides what happens at a source statement: nullopt = clone recursively
+  // as usual (the hook keeps firing for descendants); otherwise the returned
+  // statement (already built in `dst` by the hook, via the rewriter's Clone*
+  // helpers) replaces the whole subtree — nullptr means delete it.
+  using Hook =
+      std::function<std::optional<const Stmt*>(const Stmt& stmt, uint32_t index, Rewriter&)>;
+
+  // Plain deep clones (no hook).
+  const Expr* CloneExpr(const Expr& expr);
+  const Stmt* CloneStmt(const Stmt& stmt);
+
+  // Hooked deep clone of a statement tree. Deletions are absorbed at the
+  // nearest list context (block statements, cobegin arms) or replaced by
+  // `skip` where the grammar requires a child (if/while bodies, the root).
+  // Deleting an else-branch drops it. Never returns nullptr at the top:
+  // deleting the root yields `skip`.
+  const Stmt* Rewrite(const Stmt& root, const Hook& hook);
+
+  Program& dst() { return dst_; }
+
+ private:
+  const Stmt* RewriteRec(const Stmt& stmt, const Hook& hook);
+
+  Program& dst_;
+  uint32_t next_index_ = 0;
+};
+
+// Statements strictly below `stmt` (descendant count, excluding itself).
+uint32_t CountNodesBelow(const Stmt& stmt);
+
+}  // namespace cfm
+
+#endif  // SRC_FUZZ_REWRITE_H_

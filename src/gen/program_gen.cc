@@ -7,6 +7,14 @@
 
 namespace cfm {
 
+// Tripwire: bumping kGenStreamVersion means the draw stream changed for
+// existing seeds. Update this assert AND regenerate the golden hashes in
+// tests/property/gen_stability_test.cc in the same change, or every seeded
+// corpus (fuzzer regressions, EXPERIMENTS.md) silently describes programs
+// that no longer exist.
+static_assert(kGenStreamVersion == 1,
+              "generator stream changed: regenerate gen_stability_test goldens");
+
 namespace {
 
 class Generator {

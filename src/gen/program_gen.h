@@ -15,6 +15,15 @@
 
 namespace cfm {
 
+// Version of the generator's random-draw stream. Seeded corpora — golden
+// tests, fuzzer regressions, EXPERIMENTS.md numbers — record programs by
+// (version, seed, options). Any edit that changes what GenerateProgram or
+// GenerateBinding draws from the Rng for an existing seed (reordered draws,
+// new draw sites, changed modulus) MUST bump this constant and regenerate
+// the goldens in tests/property/gen_stability_test.cc; purely additive
+// options that default to the old behavior do not.
+inline constexpr uint32_t kGenStreamVersion = 1;
+
 struct GenOptions {
   uint64_t seed = 1;
   // Approximate number of statements to generate.

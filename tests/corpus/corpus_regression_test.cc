@@ -1,0 +1,77 @@
+// Replays every reproducer in tests/corpus/regressions/ (and the seed
+// shapes in tests/corpus/seeds/) through its recorded oracle, forever.
+//
+// Files land in regressions/ when the fuzzer's reducer minimizes a failing
+// case — almost always one found while mutation-testing the battery with an
+// injected certifier bug (`cfmfuzz --inject=...`). Replayed against the
+// honest certifier they must PASS (or skip): each file is a sentinel that
+// fails again only if the real check it once broke regresses. A replay that
+// does not even build (parse/bind error) is itself a regression.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+
+namespace cfm {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles(const std::string& subdir) {
+  std::vector<std::filesystem::path> files;
+  std::filesystem::path dir = std::filesystem::path(CFM_CORPUS_DIR) / subdir;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cfm") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ReplayAll(const std::string& subdir, size_t min_files) {
+  std::vector<std::filesystem::path> files = CorpusFiles(subdir);
+  ASSERT_GE(files.size(), min_files) << "corpus " << subdir << " went missing";
+  for (const auto& path : files) {
+    SCOPED_TRACE(path.filename().string());
+    Result<Reproducer> reproducer = ParseReproducer(ReadFile(path));
+    ASSERT_TRUE(reproducer.ok()) << reproducer.error();
+    Result<OracleResult> result = ReplayReproducer(*reproducer);
+    ASSERT_TRUE(result.ok()) << result.error();
+    EXPECT_TRUE(result->ok) << "oracle " << ToString(reproducer->oracle)
+                            << " regressed: " << result->detail;
+  }
+}
+
+TEST(CorpusRegressionTest, EveryRegressionReproducerReplaysClean) {
+  ReplayAll("regressions", 10);
+}
+
+TEST(CorpusRegressionTest, EverySeedShapeReplaysClean) { ReplayAll("seeds", 3); }
+
+// The regression files carry their provenance: which injected certifier bug
+// (or honest-run failure) produced them. Guard the header discipline so a
+// hand-added file without notes is caught at review time.
+TEST(CorpusRegressionTest, RegressionFilesRecordProvenance) {
+  for (const auto& path : CorpusFiles("regressions")) {
+    SCOPED_TRACE(path.filename().string());
+    Result<Reproducer> reproducer = ParseReproducer(ReadFile(path));
+    ASSERT_TRUE(reproducer.ok()) << reproducer.error();
+    EXPECT_FALSE(reproducer->notes.empty()) << "reproducer has no -- note: lines";
+  }
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: builder-vs-checker
+-- lattice: powerset:a,b,c
+-- note: campaign seed 29, case seed 17001272737444101658
+-- note: gen(seed=17001272737444101658, stmts=7, lattice=powerset:a,b,c) | delete-stmt: delete assignment | shuffle-cobegin: shuffle cobegin arms
+-- note: injected certifier: accept-all
+var
+  x0 : integer class {a,c};
+  x1 : integer class {a,b};
+  x2 : integer class {b};
+  x3 : integer class {a,b};
+  x4 : integer class {a,b};
+  x5 : integer class {a,b,c};
+  b0 : boolean class {b,c};
+  b1 : boolean class {};
+x4 := x5 - x1

@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: cert-sound-ni
+-- lattice: chain:4
+-- note: campaign seed 11, case seed 7935303740463472090
+-- note: gen(seed=7935303740463472090, stmts=8, lattice=chain:4) | swap-stmts: swap block stmts 1,2 | delete-stmt: delete cobegin/coend | rebind x5 to l0
+-- note: injected certifier: accept-all
+var
+  x0 : integer class l2;
+  x1 : integer class l2;
+  x2 : integer class l2;
+  x3 : integer class l2;
+  x4 : integer class l2;
+  x5 : integer class l0;
+  b0 : boolean class l2;
+  b1 : boolean class l2;
+x5 := x0 % -7

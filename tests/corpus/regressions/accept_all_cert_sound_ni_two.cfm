@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: cert-sound-ni
+-- lattice: two
+-- note: campaign seed 57, case seed 3451728013018727772
+-- note: gen(seed=3451728013018727772, stmts=24, lattice=two) | delete-stmt: delete begin/end | delete-stmt: delete assignment
+-- note: injected certifier: accept-all
+var
+  x0 : integer class high;
+  x1 : integer class low;
+  x2 : integer class high;
+  x3 : integer class high;
+  x4 : integer class low;
+  x5 : integer class high;
+  b0 : boolean class low;
+  b1 : boolean class high;
+x4 := x2

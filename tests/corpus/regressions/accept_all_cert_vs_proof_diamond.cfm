@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: diamond
+-- note: campaign seed 11, case seed 11319005769339734126
+-- note: gen(seed=11319005769339734126, stmts=8, lattice=diamond) | splice-stmt: splice cobegin/coend into block | delete-stmt: delete assignment
+-- note: injected certifier: accept-all
+var
+  x0 : integer class high;
+  x1 : integer class low;
+  x2 : integer class high;
+  x3 : integer class high;
+  x4 : integer class low;
+  x5 : integer class left;
+  b0 : boolean class high;
+  b1 : boolean class high;
+x1 := x3 + x5

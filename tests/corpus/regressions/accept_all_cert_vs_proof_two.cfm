@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: two
+-- note: campaign seed 29, case seed 12621821831952593900
+-- note: gen(seed=12621821831952593900, stmts=12, lattice=two)
+-- note: injected certifier: accept-all
+var
+  x0 : integer class low;
+  x1 : integer class high;
+  x2 : integer class high;
+  x3 : integer class high;
+  x4 : integer class low;
+  x5 : integer class high;
+  b0 : boolean class high;
+  b1 : boolean class high;
+x4 := (x5 / x5 - 3) % (4 / 5 / x3)

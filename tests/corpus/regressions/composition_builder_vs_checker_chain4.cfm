@@ -1,0 +1,22 @@
+-- cfmfuzz reproducer
+-- oracle: builder-vs-checker
+-- lattice: chain:4
+-- note: campaign seed 11, case seed 15234896864748935699
+-- note: gen(seed=15234896864748935699, stmts=11, lattice=chain:4)
+-- note: injected certifier: no-composition-check
+var
+  x0 : integer class l3;
+  x1 : integer class l3;
+  x2 : integer class l3;
+  x3 : integer class l3;
+  x4 : integer class l3;
+  x5 : integer class l3;
+  b0 : boolean class l3;
+  b1 : boolean class l2;
+  s0 : semaphore initially(3) class l0;
+  s1 : semaphore initially(1) class l0;
+  s2 : semaphore initially(2) class l3;
+begin
+  wait(s2);
+  wait(s0)
+end

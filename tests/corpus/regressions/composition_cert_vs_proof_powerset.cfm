@@ -1,0 +1,21 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: powerset:a,b,c
+-- note: campaign seed 29, case seed 8568461789195595004
+-- note: gen(seed=8568461789195595004, stmts=6, lattice=powerset:a,b,c) | delete-stmt: delete assignment | splice-stmt: splice while into block | rebind x3 to {a}
+-- note: injected certifier: no-composition-check
+var
+  x0 : integer class {b};
+  x1 : integer class {b};
+  x2 : integer class {b};
+  x3 : integer class {a};
+  x4 : integer class {b};
+  x5 : integer class {b};
+  b0 : boolean class {b};
+  b1 : boolean class {b};
+  loop0 : integer class {b};
+begin
+  while loop0 < 2 do
+    skip;
+  x3 := 7
+end

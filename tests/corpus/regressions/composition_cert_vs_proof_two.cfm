@@ -1,0 +1,22 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: two
+-- note: campaign seed 57, case seed 13215256405648572731
+-- note: gen(seed=13215256405648572731, stmts=20, lattice=two) | rebind x0 to high
+-- note: injected certifier: no-composition-check
+var
+  x0 : integer class high;
+  x1 : integer class high;
+  x2 : integer class high;
+  x3 : integer class high;
+  x4 : integer class high;
+  x5 : integer class high;
+  b0 : boolean class high;
+  b1 : boolean class high;
+  loop0 : integer class high;
+  loop1 : integer class low;
+begin
+  while loop0 < 1 do
+    skip;
+  loop1 := 0
+end

@@ -1,0 +1,15 @@
+-- cfmfuzz reproducer
+-- oracle: builder-vs-checker
+-- lattice: two
+-- note: campaign seed 5, case seed 11231503993016487816
+-- note: corpus(/tmp/onlyww/while_wait_iteration.cfm) | rebind y to low
+-- note: injected certifier: no-iteration-check
+var
+  y : integer class low;
+  c : integer class low;
+  sem : semaphore initially(0) class high;
+while c < 2 do
+  begin
+    y := y + 1;
+    wait(sem)
+  end

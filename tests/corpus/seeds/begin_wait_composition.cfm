@@ -1,0 +1,13 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: two
+-- note: seed shape isolating the Figure 2 composition check (the paper's
+-- note: section 4.2 example): a high conditional delay flows into a later
+-- note: low assignment.
+var
+  y : integer class low;
+  sem : semaphore initially(0) class high;
+begin
+  wait(sem);
+  y := 1
+end

@@ -1,0 +1,21 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: diamond
+-- note: seed shape exercising cobegin arms over an incomparable pair: two
+-- note: producers at incomparable classes joined by a top-classified reader,
+-- note: with semaphores available for the break-sync mutation.
+var
+  a : integer class left;
+  b : integer class right;
+  t : integer class high;
+  done : semaphore initially(0) class low;
+begin
+  cobegin
+    begin a := 1; signal(done) end
+  ||
+    begin b := 2; signal(done) end
+  coend;
+  wait(done);
+  wait(done);
+  t := a + b
+end

@@ -1,0 +1,20 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: two
+-- note: seed shape isolating the Figure 2 iteration check: the condition and
+-- note: every modified variable are low (so the local checks pass) and the
+-- note: trailing high wait precedes nothing (so composition passes), yet the
+-- note: loop's global flow (high) exceeds its mod (low) across iterations.
+var
+  y : integer class low;
+  c : integer class low;
+  sem : semaphore initially(0) class high;
+begin
+  c := 0;
+  while c < 2 do
+  begin
+    y := y + 1;
+    c := c + 1;
+    wait(sem)
+  end
+end

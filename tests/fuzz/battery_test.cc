@@ -1,0 +1,184 @@
+// Mutation-testing the oracle battery itself, as a unit test: an honest
+// campaign must come up clean, and each injected certifier bug must be
+// caught and delta-reduced to a small reproducer (ISSUE 4's acceptance
+// bar: <= 10 statements). Also pins the reproducer file format round-trip
+// and campaign determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/cfm.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/mutate.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/reduce.h"
+#include "src/lang/parser.h"
+#include "src/lattice/two_point.h"
+#include "src/support/diagnostic.h"
+
+namespace cfm {
+namespace {
+
+// Section 4.2's composition counterexample buried in certifiable noise: the
+// reducer must strip the noise and keep the wait/assign core.
+constexpr const char* kNoisyComposition = R"(
+var
+  y : integer class low;
+  a : integer class low;
+  b : integer class low;
+  sem : semaphore initially(0) class high;
+begin
+  a := 0;
+  b := a + 1;
+  if a < b then a := a + 2 else b := 0;
+  wait(sem);
+  y := 1;
+  a := y + b
+end
+)";
+
+Program ParseOrDie(const std::string& source) {
+  DiagnosticEngine diags;
+  std::optional<Program> program = ParseProgramText(source, diags);
+  EXPECT_TRUE(program.has_value());
+  return std::move(*program);
+}
+
+TEST(BatteryTest, HonestCampaignIsClean) {
+  FuzzConfig config;
+  config.seed = 29;
+  config.cases = 150;
+  FuzzReport report = RunFuzzCampaign(config);
+  EXPECT_EQ(report.cases_run, 150u);
+  for (const FuzzFailure& failure : report.failures) {
+    ADD_FAILURE() << ToString(failure.oracle) << ": " << failure.detail << "\n"
+                  << failure.reproducer;
+  }
+  // Every oracle must actually run (pass at least once), not just skip.
+  for (OracleKind kind : kAllOracles) {
+    EXPECT_GT(report.passes[static_cast<size_t>(kind)], 0u) << ToString(kind);
+  }
+}
+
+TEST(BatteryTest, CampaignIsDeterministic) {
+  FuzzConfig config;
+  config.seed = 92;
+  config.cases = 40;
+  config.inject = "accept-all";
+  FuzzReport first = RunFuzzCampaign(config);
+  FuzzReport second = RunFuzzCampaign(config);
+  ASSERT_EQ(first.failures.size(), second.failures.size());
+  for (size_t i = 0; i < first.failures.size(); ++i) {
+    EXPECT_EQ(first.failures[i].case_seed, second.failures[i].case_seed);
+    EXPECT_EQ(first.failures[i].reproducer, second.failures[i].reproducer);
+  }
+  EXPECT_EQ(first.passes, second.passes);
+  EXPECT_EQ(first.skips, second.skips);
+}
+
+TEST(BatteryTest, AcceptAllCertifierIsCaughtAndMinimized) {
+  FuzzConfig config;
+  config.seed = 7;
+  config.cases = 60;
+  config.inject = "accept-all";
+  FuzzReport report = RunFuzzCampaign(config);
+  ASSERT_FALSE(report.failures.empty()) << "battery missed the accept-all certifier";
+  uint32_t smallest = ~0u;
+  for (const FuzzFailure& failure : report.failures) {
+    smallest = std::min(smallest, failure.reduced_stmts);
+    EXPECT_LE(failure.reduced_stmts, failure.original_stmts);
+  }
+  EXPECT_LE(smallest, 10u) << "reducer left every reproducer large";
+}
+
+TEST(BatteryTest, CompositionAblationIsCaughtFromSeedCorpus) {
+  // The corpus file format carries program + binding + lattice, so a single
+  // in-memory "seed file" is enough to steer the campaign onto the bug.
+  Program seed_program = ParseOrDie(kNoisyComposition);
+  TwoPointLattice lattice;
+  Result<StaticBinding> binding =
+      StaticBinding::FromAnnotations(lattice, seed_program.symbols());
+  ASSERT_TRUE(binding.ok()) << binding.error();
+
+  FuzzCase fuzz_case;
+  fuzz_case.program = &seed_program;
+  fuzz_case.binding = &*binding;
+  fuzz_case.lattice_spec = "two";
+
+  OracleOptions options;
+  options.certifier = *InjectedCertifier("no-composition-check");
+  OracleResult broken = RunOracle(OracleKind::kCertVsProof, fuzz_case, options);
+  EXPECT_FALSE(broken.ok) << "ablated certifier must disagree with the checker";
+  OracleResult honest = RunOracle(OracleKind::kCertVsProof, fuzz_case);
+  EXPECT_TRUE(honest.ok) << honest.detail;
+}
+
+TEST(BatteryTest, ReducerShrinksCompositionCaseToCore) {
+  Program seed_program = ParseOrDie(kNoisyComposition);
+  TwoPointLattice lattice;
+  Result<StaticBinding> binding =
+      StaticBinding::FromAnnotations(lattice, seed_program.symbols());
+  ASSERT_TRUE(binding.ok()) << binding.error();
+
+  FuzzCase fuzz_case;
+  fuzz_case.program = &seed_program;
+  fuzz_case.binding = &*binding;
+  OracleOptions options;
+  options.certifier = *InjectedCertifier("no-composition-check");
+
+  ReduceStats stats;
+  Program reduced = ReduceCase(fuzz_case, OracleKind::kCertVsProof, options, &stats);
+  EXPECT_FALSE(stats.input_passed);
+  EXPECT_GE(stats.initial_stmts, 7u);
+  EXPECT_LE(stats.final_stmts, 4u) << "wait + assign (+ block) is the minimal core";
+
+  // The reduced program must still trip the oracle...
+  FuzzCase reduced_case = fuzz_case;
+  reduced_case.program = &reduced;
+  EXPECT_FALSE(RunOracle(OracleKind::kCertVsProof, reduced_case, options).ok);
+  // ...and must still be rejected by the honest certifier (composition).
+  CertificationResult honest = CertifyCfm(reduced, *binding);
+  EXPECT_FALSE(honest.certified());
+}
+
+TEST(BatteryTest, ReproducerRoundTripsThroughRenderAndParse) {
+  Program program = ParseOrDie(kNoisyComposition);
+  TwoPointLattice lattice;
+  Result<StaticBinding> binding = StaticBinding::FromAnnotations(lattice, program.symbols());
+  ASSERT_TRUE(binding.ok()) << binding.error();
+
+  std::vector<std::string> notes = {"unit test", "second note"};
+  std::string text =
+      RenderReproducer(program, *binding, "two", OracleKind::kBuilderVsChecker, notes);
+  Result<Reproducer> parsed = ParseReproducer(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->oracle, OracleKind::kBuilderVsChecker);
+  EXPECT_EQ(parsed->lattice_spec, "two");
+  EXPECT_EQ(parsed->notes, notes);
+
+  Result<OracleResult> replayed = ReplayReproducer(*parsed);
+  ASSERT_TRUE(replayed.ok()) << replayed.error();
+  // Honest certifier rejects this program, so Theorem 1 has no claim: skip.
+  EXPECT_TRUE(replayed->ok);
+}
+
+TEST(BatteryTest, ParseReproducerRejectsBrokenHeaders) {
+  EXPECT_FALSE(ParseReproducer("var x : integer;\nbegin x := 1 end\n").ok());
+  EXPECT_FALSE(ParseReproducer("-- cfmfuzz reproducer\n-- lattice: two\nbegin x := 1 end\n").ok());
+  EXPECT_FALSE(
+      ParseReproducer("-- cfmfuzz reproducer\n-- oracle: not-an-oracle\n-- lattice: two\n").ok());
+}
+
+TEST(BatteryTest, InjectedCertifierNamesAreValidated) {
+  EXPECT_TRUE(InjectedCertifier("no-composition-check").has_value());
+  EXPECT_TRUE(InjectedCertifier("no-iteration-check").has_value());
+  EXPECT_TRUE(InjectedCertifier("accept-all").has_value());
+  EXPECT_FALSE(InjectedCertifier("definitely-not-a-bug").has_value());
+}
+
+}  // namespace
+}  // namespace cfm

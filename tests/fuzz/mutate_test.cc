@@ -1,0 +1,101 @@
+// The mutation engine's contract: every structured mutation yields a
+// program that still prints, re-parses, and re-prints to a fixed point —
+// the fuzzer relies on this to keep its cases inside the interesting
+// layers (certifier, prover, explorer) instead of the frontend.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "src/fuzz/mutate.h"
+#include "src/gen/program_gen.h"
+#include "src/lang/parser.h"
+#include "src/lang/printer.h"
+#include "src/lattice/hasse.h"
+#include "src/support/diagnostic.h"
+
+namespace cfm {
+namespace {
+
+Program Generate(uint64_t seed, uint32_t target_stmts = 16) {
+  GenOptions gen;
+  gen.seed = seed;
+  gen.target_stmts = target_stmts;
+  gen.allow_semaphores = true;
+  return GenerateProgram(gen);
+}
+
+TEST(MutateTest, CloneProgramPrintsIdentically) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Program original = Generate(seed);
+    Program clone = CloneProgram(original);
+    EXPECT_EQ(PrintProgram(original), PrintProgram(clone)) << "seed " << seed;
+    EXPECT_EQ(CountStmts(original.root()), CountStmts(clone.root()));
+  }
+}
+
+TEST(MutateTest, CloneIsIndependentOfSource) {
+  Program original = Generate(3);
+  std::string before = PrintProgram(original);
+  {
+    Program clone = CloneProgram(original);
+    Rng rng(17);
+    std::string description;
+    Program mutated = MutateProgram(clone, rng, &description);
+    (void)mutated;
+  }
+  EXPECT_EQ(before, PrintProgram(original));
+}
+
+TEST(MutateTest, MutatedProgramsStayWellFormed) {
+  uint32_t changed = 0;
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    Program program = Generate(seed);
+    Rng rng(seed * 131);
+    std::string description;
+    Program mutated = MutateProgram(program, rng, &description);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + description);
+    std::string printed = PrintProgram(mutated);
+    if (printed != PrintProgram(program)) {
+      ++changed;
+    }
+    DiagnosticEngine diags;
+    std::optional<Program> reparsed = ParseProgramText(printed, diags);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+    EXPECT_EQ(PrintProgram(*reparsed), printed) << "print fixed point broken";
+  }
+  // The engine must actually edit most programs, not fall back to clones.
+  EXPECT_GT(changed, 40u);
+}
+
+TEST(MutateTest, MutationChainsStayWellFormed) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    Program program = Generate(seed, 20);
+    Rng rng(seed * 733 + 5);
+    for (int round = 0; round < 5; ++round) {
+      program = MutateProgram(program, rng);
+    }
+    DiagnosticEngine diags;
+    std::optional<Program> reparsed = ParseProgramText(PrintProgram(program), diags);
+    ASSERT_TRUE(reparsed.has_value()) << "seed " << seed;
+  }
+}
+
+TEST(MutateTest, PerturbBindingStaysInsideLattice) {
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  const HasseLattice& lattice = *diamond;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Program program = Generate(seed);
+    Rng rng(seed);
+    StaticBinding binding = GenerateBinding(program, lattice, BindingStyle::kUniform, rng);
+    std::string description = PerturbBinding(binding, program.symbols(), rng);
+    EXPECT_FALSE(description.empty());
+    for (const Symbol& symbol : program.symbols().symbols()) {
+      EXPECT_LT(binding.binding(symbol.id), lattice.size()) << "symbol " << symbol.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfm

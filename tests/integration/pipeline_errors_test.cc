@@ -1,0 +1,229 @@
+// Error-path coverage for the shared CfmPipeline and for every cfmc
+// subcommand driven over it: each failure class (malformed lattice spec,
+// unreadable lattice file, parse error, unbound annotation, CFM rejection)
+// must land in the documented stage with the documented exit status, and
+// downstream artifact accessors must return nullptr instead of computing
+// over a broken prefix.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/core/pipeline.h"
+
+namespace cfm {
+namespace {
+
+#ifndef CFMC_PATH
+#error "the build must define CFMC_PATH"
+#endif
+
+constexpr const char* kLeaky = R"(
+var h : integer class high;
+    l : integer class low;
+l := h
+)";
+
+constexpr const char* kClean = R"(
+var x : integer class low;
+begin x := 1 end
+)";
+
+// --- CfmPipeline stage/exit mapping ----------------------------------------
+
+TEST(PipelineErrorsTest, MalformedLatticeSpecFailsAtLatticeStageUsage) {
+  PipelineOptions options;
+  options.lattice_spec = "chain:not-a-number";
+  CfmPipeline pipeline(options);
+  EXPECT_EQ(pipeline.lattice(), nullptr);
+  EXPECT_TRUE(pipeline.failed());
+  EXPECT_EQ(pipeline.error_stage(), PipelineStage::kLattice);
+  // A bad spec string is caller error: usage-style exit.
+  EXPECT_EQ(pipeline.exit_code(), 2);
+  // Downstream artifacts never materialize over a failed lattice.
+  EXPECT_TRUE(pipeline.LoadSource("t.cfm", kClean) == false || pipeline.binding() == nullptr);
+  EXPECT_EQ(pipeline.certification(), nullptr);
+  EXPECT_EQ(pipeline.proof(), nullptr);
+}
+
+TEST(PipelineErrorsTest, MissingLatticeFileFailsAtLatticeStage) {
+  PipelineOptions options;
+  options.lattice_file = "/nonexistent/cfm.lattice";
+  CfmPipeline pipeline(options);
+  EXPECT_EQ(pipeline.lattice(), nullptr);
+  EXPECT_EQ(pipeline.error_stage(), PipelineStage::kLattice);
+  EXPECT_NE(pipeline.exit_code(), 0);
+  EXPECT_FALSE(pipeline.error().empty());
+}
+
+TEST(PipelineErrorsTest, ParseErrorFailsAtParseStageWithDiagnostics) {
+  CfmPipeline pipeline;
+  EXPECT_FALSE(pipeline.LoadSource("broken.cfm", "var x : integer;\nbegin x := end\n"));
+  EXPECT_EQ(pipeline.error_stage(), PipelineStage::kParse);
+  EXPECT_EQ(pipeline.exit_code(), 1);
+  // Parse failures carry rendered diagnostics naming the source.
+  EXPECT_NE(pipeline.error().find("broken.cfm"), std::string::npos) << pipeline.error();
+  EXPECT_EQ(pipeline.program(), nullptr);
+  EXPECT_EQ(pipeline.bytecode(), nullptr);
+}
+
+TEST(PipelineErrorsTest, UnknownClassAnnotationFailsAtBindStage) {
+  CfmPipeline pipeline;  // Default lattice "two": low/high only.
+  ASSERT_TRUE(pipeline.LoadSource("t.cfm", R"(
+var x : integer class confidential;
+begin x := 1 end
+)"));
+  EXPECT_EQ(pipeline.binding(), nullptr);
+  EXPECT_EQ(pipeline.error_stage(), PipelineStage::kBind);
+  EXPECT_EQ(pipeline.exit_code(), 1);
+  EXPECT_EQ(pipeline.certification(), nullptr);
+  EXPECT_EQ(pipeline.proof(), nullptr);
+  // The program itself parsed fine and stays available.
+  EXPECT_NE(pipeline.program(), nullptr);
+}
+
+TEST(PipelineErrorsTest, CfmRejectionFailsAtProveStageButKeepsBytecode) {
+  CfmPipeline pipeline;
+  ASSERT_TRUE(pipeline.LoadSource("leaky.cfm", kLeaky));
+  ASSERT_NE(pipeline.certification(), nullptr);
+  EXPECT_FALSE(pipeline.certification()->certified());
+  EXPECT_EQ(pipeline.proof(), nullptr);
+  EXPECT_EQ(pipeline.error_stage(), PipelineStage::kProve);
+  EXPECT_EQ(pipeline.exit_code(), 1);
+  // Bytecode needs only the program: an uncertified program still runs.
+  EXPECT_NE(pipeline.bytecode(), nullptr);
+}
+
+TEST(PipelineErrorsTest, FirstFailureWinsAcrossRepeatedQueries) {
+  PipelineOptions options;
+  options.lattice_spec = "no-such-lattice";
+  CfmPipeline pipeline(options);
+  EXPECT_EQ(pipeline.lattice(), nullptr);
+  std::string first_error = pipeline.error();
+  PipelineStage first_stage = pipeline.error_stage();
+  // Asking for more artifacts afterwards must not overwrite the report.
+  (void)pipeline.certification();
+  (void)pipeline.proof();
+  (void)pipeline.checker();
+  EXPECT_EQ(pipeline.error(), first_error);
+  EXPECT_EQ(pipeline.error_stage(), first_stage);
+}
+
+// --- cfmc subcommand exit codes over the same failure classes ---------------
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCfmc(const std::string& args) {
+  std::string command = std::string(CFMC_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CfmcErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cfmc_errors_test_" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir_);
+    leaky_ = WriteFile("leaky.cfm", kLeaky);
+    clean_ = WriteFile("clean.cfm", kClean);
+    broken_ = WriteFile("broken.cfm", "var x : integer;\nbegin x := end\n");
+    unbound_ = WriteFile("unbound.cfm",
+                         "var x : integer class confidential;\nbegin x := 1 end\n");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string WriteFile(const std::string& name, const std::string& text) {
+    std::filesystem::path path = dir_ / name;
+    std::ofstream out(path);
+    out << text;
+    return path.string();
+  }
+
+  std::filesystem::path dir_;
+  std::string leaky_;
+  std::string clean_;
+  std::string broken_;
+  std::string unbound_;
+};
+
+TEST_F(CfmcErrorsTest, UnknownSubcommandIsUsageError) {
+  EXPECT_EQ(RunCfmc("frobnicate " + clean_).exit_code, 2);
+  EXPECT_EQ(RunCfmc("").exit_code, 2);
+}
+
+TEST_F(CfmcErrorsTest, MissingFileIsFailureNotUsage) {
+  CommandResult result = RunCfmc("check /nonexistent/nope.cfm");
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST_F(CfmcErrorsTest, MalformedLatticeSpecIsUsageErrorEverywhere) {
+  for (const char* sub : {"check", "explain", "conditions", "verify", "prove", "infer",
+                          "dump"}) {
+    CommandResult result = RunCfmc(std::string(sub) + " " + clean_ + " --lattice=chain:zero");
+    EXPECT_EQ(result.exit_code, 2) << sub << ": " << result.output;
+  }
+}
+
+TEST_F(CfmcErrorsTest, ParseErrorExitsOneEverywhere) {
+  for (const char* sub : {"check", "explain", "conditions", "verify", "prove", "infer", "run",
+                          "dump", "format"}) {
+    CommandResult result = RunCfmc(std::string(sub) + " " + broken_);
+    EXPECT_EQ(result.exit_code, 1) << sub << ": " << result.output;
+    EXPECT_NE(result.output.find("broken.cfm"), std::string::npos) << sub;
+  }
+}
+
+TEST_F(CfmcErrorsTest, UnboundAnnotationExitsOne) {
+  CommandResult result = RunCfmc("check " + unbound_);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("confidential"), std::string::npos) << result.output;
+}
+
+TEST_F(CfmcErrorsTest, CertificationVerdictsMapToExitCodes) {
+  EXPECT_EQ(RunCfmc("check " + clean_).exit_code, 0);
+  EXPECT_EQ(RunCfmc("check " + leaky_).exit_code, 1);
+  // prove cannot build Theorem 1 over a rejected program.
+  EXPECT_EQ(RunCfmc("prove " + leaky_).exit_code, 1);
+  // verify = prove + independent check; same verdict mapping.
+  EXPECT_EQ(RunCfmc("verify " + clean_).exit_code, 0);
+  EXPECT_EQ(RunCfmc("verify " + leaky_).exit_code, 1);
+}
+
+TEST_F(CfmcErrorsTest, CheckproofRejectsGarbageProofFile) {
+  std::string proof = WriteFile("garbage.proof", "this is not a proof\n");
+  CommandResult result = RunCfmc("checkproof " + clean_ + " --proof=" + proof);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(CfmcErrorsTest, BatchPropagatesPerFileFailures) {
+  // Directory contains one certifying and one leaky program: batch must
+  // report the failure in its exit status.
+  CommandResult result = RunCfmc("batch " + dir_.string());
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,145 @@
+// Cross-backend equivalence: every lattice backend must agree, element for
+// element, on Leq/Join/Meet/Bottom/Top/ElementName — the reference
+// implementation (Hasse cover-graph walks, product factor arithmetic,
+// powerset bit ops) versus CompiledLattice in each of its three tiers
+// (dense tables, lazy row cache, delegate), and the nil-extended wrappers
+// (ExtendedLattice vs ExtendedOps) on top of both. The certifier and the
+// batch pool pick backends by size, so a disagreement here is a wrong
+// certification verdict waiting for the right lattice size.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/gen/rng.h"
+#include "src/lattice/chain.h"
+#include "src/lattice/compiled.h"
+#include "src/lattice/extended.h"
+#include "src/lattice/hasse.h"
+#include "src/lattice/powerset.h"
+#include "src/lattice/product.h"
+#include "src/lattice/two_point.h"
+
+namespace cfm {
+namespace {
+
+// Exhaustive for small lattices, randomized pairs for big ones.
+void ExpectSameLattice(const Lattice& reference, const Lattice& candidate,
+                       uint64_t exhaustive_limit = 64) {
+  ASSERT_EQ(reference.size(), candidate.size()) << candidate.Describe();
+  EXPECT_EQ(reference.Bottom(), candidate.Bottom()) << candidate.Describe();
+  EXPECT_EQ(reference.Top(), candidate.Top()) << candidate.Describe();
+  uint64_t n = reference.size();
+  auto check_pair = [&](ClassId a, ClassId b) {
+    EXPECT_EQ(reference.Leq(a, b), candidate.Leq(a, b))
+        << candidate.Describe() << ": Leq(" << a << "," << b << ")";
+    EXPECT_EQ(reference.Join(a, b), candidate.Join(a, b))
+        << candidate.Describe() << ": Join(" << a << "," << b << ")";
+    EXPECT_EQ(reference.Meet(a, b), candidate.Meet(a, b))
+        << candidate.Describe() << ": Meet(" << a << "," << b << ")";
+  };
+  if (n <= exhaustive_limit) {
+    for (ClassId a = 0; a < n; ++a) {
+      EXPECT_EQ(reference.ElementName(a), candidate.ElementName(a));
+      for (ClassId b = 0; b < n; ++b) {
+        check_pair(a, b);
+      }
+    }
+  } else {
+    Rng rng(n * 7919 + 13);
+    for (int i = 0; i < 4000; ++i) {
+      check_pair(rng.Below(n), rng.Below(n));
+    }
+  }
+}
+
+std::vector<std::string> Categories(int count) {
+  std::vector<std::string> names;
+  for (int i = 0; i < count; ++i) {
+    names.push_back("c" + std::to_string(i));
+  }
+  return names;
+}
+
+TEST(BackendEquivalenceTest, DenseTierMatchesEveryBaseFamily) {
+  TwoPointLattice two;
+  ChainLattice chain({"c0", "c1", "c2", "c3", "c4"});
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  PowersetLattice powerset(Categories(5));
+  ProductLattice product(two, *diamond);
+  for (const Lattice* base :
+       {static_cast<const Lattice*>(&two), static_cast<const Lattice*>(&chain),
+        static_cast<const Lattice*>(diamond.get()), static_cast<const Lattice*>(&powerset),
+        static_cast<const Lattice*>(&product)}) {
+    auto compiled = CompiledLattice::Compile(*base);
+    ASSERT_NE(compiled->dense(), nullptr) << base->Describe();
+    ExpectSameLattice(*base, *compiled);
+  }
+}
+
+TEST(BackendEquivalenceTest, LazyRowTierMatchesDenseAnswers) {
+  // dense_threshold=0 forces every size into the lazy-row tier.
+  PowersetLattice powerset(Categories(6));
+  auto lazy = CompiledLattice::Compile(powerset, /*dense_threshold=*/0);
+  ASSERT_EQ(lazy->dense(), nullptr);
+  ExpectSameLattice(powerset, *lazy);
+
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  auto lazy_diamond = CompiledLattice::Compile(*diamond, 0);
+  ASSERT_EQ(lazy_diamond->dense(), nullptr);
+  ExpectSameLattice(*diamond, *lazy_diamond);
+}
+
+TEST(BackendEquivalenceTest, DelegateTierMatchesHugePowerset) {
+  // 2^15 = 32768 elements > kRowCacheLimit (16384): the delegate tier.
+  PowersetLattice powerset(Categories(15));
+  ASSERT_GT(powerset.size(), CompiledLattice::kRowCacheLimit);
+  auto delegate = CompiledLattice::Compile(powerset);
+  ASSERT_EQ(delegate->dense(), nullptr);
+  ExpectSameLattice(powerset, *delegate);
+}
+
+TEST(BackendEquivalenceTest, ProductOfCompiledMatchesProductOfBases) {
+  ChainLattice chain({"c0", "c1", "c2"});
+  PowersetLattice powerset(Categories(3));
+  ProductLattice of_bases(chain, powerset);
+  auto compiled_chain = CompiledLattice::Compile(chain);
+  auto compiled_powerset = CompiledLattice::Compile(powerset);
+  ProductLattice of_compiled(*compiled_chain, *compiled_powerset);
+  ExpectSameLattice(of_bases, of_compiled);
+}
+
+TEST(BackendEquivalenceTest, NilExtensionAgreesAcrossBackends) {
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  auto compiled = CompiledLattice::Compile(*diamond);
+  ExtendedLattice over_base(*diamond);
+  ExtendedLattice over_compiled(*compiled);
+  ExpectSameLattice(over_base, over_compiled);
+
+  // ExtendedOps is the devirtualized twin of ExtendedLattice: same nil
+  // absorption (Join/Leq ignore nil, Meet annihilates), same base mapping.
+  ExtendedOps ops(over_base);
+  uint64_t n = over_base.size();
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = 0; b < n; ++b) {
+      EXPECT_EQ(ops.Join(a, b), over_base.Join(a, b)) << a << "," << b;
+      EXPECT_EQ(ops.Meet(a, b), over_base.Meet(a, b)) << a << "," << b;
+      EXPECT_EQ(ops.Leq(a, b), over_base.Leq(a, b)) << a << "," << b;
+    }
+  }
+}
+
+TEST(BackendEquivalenceTest, CompiledPreservesNameLookup) {
+  PowersetLattice powerset(Categories(4));
+  auto compiled = CompiledLattice::Compile(powerset);
+  for (ClassId id = 0; id < powerset.size(); ++id) {
+    std::string name = powerset.ElementName(id);
+    EXPECT_EQ(compiled->FindElement(name), powerset.FindElement(name)) << name;
+  }
+  EXPECT_FALSE(compiled->FindElement("no-such-element").has_value());
+}
+
+}  // namespace
+}  // namespace cfm

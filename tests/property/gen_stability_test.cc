@@ -1,0 +1,89 @@
+// Seed-stability goldens for the program generator (kGenStreamVersion).
+//
+// Seeded corpora all over the repo — fuzzer regression notes, EXPERIMENTS.md
+// tables, property-test sweeps — identify programs by (stream version, seed,
+// options). These goldens pin the draw stream: if any hash moves, the
+// generator's stream changed for existing seeds, and the change must bump
+// kGenStreamVersion (tripping the static_assert in program_gen.cc) and
+// regenerate the table below. To regenerate, run this binary and copy the
+// hashes from the failure output.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/gen/program_gen.h"
+#include "src/lang/printer.h"
+#include "src/lattice/hasse.h"
+
+namespace cfm {
+namespace {
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+struct GoldenCase {
+  uint64_t seed;
+  uint32_t target_stmts;
+  bool allow_channels;
+  bool executable;
+  uint64_t program_hash;  // Fnv1a(PrintProgram(GenerateProgram(options)))
+  uint64_t binding_hash;  // Fnv1a of the kRandom diamond binding (see below)
+};
+
+// Golden hashes for kGenStreamVersion == 1.
+constexpr GoldenCase kGoldens[] = {
+    {1, 10, false, true, 8590772164431474041ull, 13192916415670053113ull},
+    {2, 18, false, true, 13206149913000559167ull, 17707256131512335729ull},
+    {7, 30, false, false, 17532130800123825681ull, 2960723725756503682ull},
+    {11, 24, true, true, 4970585825997739404ull, 9320170654551116742ull},
+    {999, 45, true, false, 2208732320081597095ull, 1537311617229317370ull},
+};
+
+TEST(GenStabilityTest, DrawStreamMatchesVersionedGoldens) {
+  static_assert(kGenStreamVersion == 1, "regenerate kGoldens for the new stream");
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  for (const GoldenCase& golden : kGoldens) {
+    GenOptions options;
+    options.seed = golden.seed;
+    options.target_stmts = golden.target_stmts;
+    options.allow_channels = golden.allow_channels;
+    options.executable = golden.executable;
+    Program program = GenerateProgram(options);
+    std::string printed = PrintProgram(program);
+
+    Rng rng(golden.seed * 3 + 1);
+    StaticBinding binding = GenerateBinding(program, *diamond, BindingStyle::kRandom, rng);
+    std::string binding_text;
+    for (const Symbol& symbol : program.symbols().symbols()) {
+      binding_text += symbol.name + "=" + diamond->ElementName(binding.binding(symbol.id)) + ";";
+    }
+
+    EXPECT_EQ(Fnv1a(printed), golden.program_hash)
+        << "seed " << golden.seed << ": program stream drifted; program is now:\n"
+        << printed;
+    EXPECT_EQ(Fnv1a(binding_text), golden.binding_hash)
+        << "seed " << golden.seed << ": binding stream drifted; binding is now: " << binding_text;
+  }
+}
+
+// The generator's structural contract, independent of exact draws: same
+// options, same program, bit for bit.
+TEST(GenStabilityTest, SameOptionsSameProgram) {
+  for (uint64_t seed : {3ull, 17ull, 512ull}) {
+    GenOptions options;
+    options.seed = seed;
+    options.target_stmts = 22;
+    EXPECT_EQ(PrintProgram(GenerateProgram(options)), PrintProgram(GenerateProgram(options)));
+  }
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,250 @@
+// cfmfuzz — differential fuzzer for the whole CFM stack.
+//
+//   cfmfuzz [flags]                 run a fuzzing campaign
+//   cfmfuzz --replay=FILE           re-run one reproducer file
+//
+// Each case is a generated (or corpus-seeded) program + static binding, put
+// through structured mutations and then through the six-oracle battery:
+// cert-vs-proof, builder-vs-checker, cert-sound-ni, por-vs-full, round-trip,
+// pipeline-cache. Failures are delta-reduced to minimal reproducers.
+//
+// Flags:
+//   --smoke                 CI profile: bounded cases + a 45 s time budget
+//   --seed=N                campaign seed (default 1); same seed = same run
+//   --cases=N               case count (default 200; smoke 4000)
+//   --time-budget=SECONDS   stop early after this long (0 = none)
+//   --oracles=a,b,...       subset of oracles (default: all six)
+//   --inject=NAME           deliberately broken certifier, to mutation-test
+//                           the battery: no-composition-check,
+//                           no-iteration-check, accept-all
+//   --corpus=DIR            seed corpus of reproducer-format .cfm files
+//   --out=DIR               write minimized reproducers here
+//   --max-mutations=N       mutations per case (default 3)
+//   --min-stmts=N --max-stmts=N   generated program size band
+//   --no-reduce             report raw failing cases without minimizing
+//   --quiet                 suppress progress lines
+//
+// Exit status: 0 = no oracle violations, 1 = violations (or a failing
+// replay), 2 = usage/setup errors.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/oracles.h"
+
+namespace cfm {
+namespace {
+
+struct CliOptions {
+  FuzzConfig config;
+  std::string replay_file;
+  std::string corpus_dir;
+  std::string out_dir;
+  bool quiet = false;
+};
+
+int Usage() {
+  std::cerr << "usage: cfmfuzz [--smoke] [--seed=N] [--cases=N] [--time-budget=S]\n"
+               "               [--oracles=a,b,...] [--inject=NAME] [--corpus=DIR] [--out=DIR]\n"
+               "               [--max-mutations=N] [--min-stmts=N] [--max-stmts=N]\n"
+               "               [--no-reduce] [--quiet]\n"
+               "       cfmfuzz --replay=FILE\n"
+               "oracles: ";
+  for (OracleKind kind : kAllOracles) {
+    std::cerr << ToString(kind) << ' ';
+  }
+  std::cerr << "\ninjections: no-composition-check no-iteration-check accept-all\n";
+  return 2;
+}
+
+std::optional<uint64_t> ParseNumber(const std::string& text) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(text);
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions& options) {
+  bool smoke = false;
+  bool cases_set = false;
+  bool budget_set = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    auto number_of = [&](std::string_view prefix) -> std::optional<uint64_t> {
+      if (auto v = value_of(prefix)) {
+        return ParseNumber(*v);
+      }
+      return std::nullopt;
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--no-reduce") {
+      options.config.reduce = false;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (auto seed = number_of("--seed=")) {
+      options.config.seed = *seed;
+    } else if (auto cases = number_of("--cases=")) {
+      options.config.cases = static_cast<uint32_t>(*cases);
+      cases_set = true;
+    } else if (auto budget = number_of("--time-budget=")) {
+      options.config.time_budget_seconds = static_cast<uint32_t>(*budget);
+      budget_set = true;
+    } else if (auto mutations = number_of("--max-mutations=")) {
+      options.config.max_mutations = static_cast<uint32_t>(*mutations);
+    } else if (auto min_stmts = number_of("--min-stmts=")) {
+      options.config.min_stmts = static_cast<uint32_t>(*min_stmts);
+    } else if (auto max_stmts = number_of("--max-stmts=")) {
+      options.config.max_stmts = static_cast<uint32_t>(*max_stmts);
+    } else if (auto inject = value_of("--inject=")) {
+      options.config.inject = *inject;
+    } else if (auto corpus = value_of("--corpus=")) {
+      options.corpus_dir = *corpus;
+    } else if (auto out = value_of("--out=")) {
+      options.out_dir = *out;
+    } else if (auto replay = value_of("--replay=")) {
+      options.replay_file = *replay;
+    } else if (auto oracles = value_of("--oracles=")) {
+      std::string rest = *oracles;
+      while (!rest.empty()) {
+        size_t comma = rest.find(',');
+        std::string name = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        std::optional<OracleKind> kind = OracleFromName(name);
+        if (!kind.has_value()) {
+          std::cerr << "cfmfuzz: unknown oracle '" << name << "'\n";
+          return false;
+        }
+        options.config.oracles.push_back(*kind);
+      }
+    } else {
+      std::cerr << "cfmfuzz: unknown flag '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (smoke) {
+    if (!cases_set) {
+      options.config.cases = 4000;
+    }
+    if (!budget_set) {
+      options.config.time_budget_seconds = 45;
+    }
+  }
+  if (!options.config.inject.empty() &&
+      !InjectedCertifier(options.config.inject).has_value()) {
+    std::cerr << "cfmfuzz: unknown injection '" << options.config.inject << "'\n";
+    return false;
+  }
+  if (options.config.min_stmts == 0 || options.config.max_stmts < options.config.min_stmts) {
+    std::cerr << "cfmfuzz: need 0 < --min-stmts <= --max-stmts\n";
+    return false;
+  }
+  return true;
+}
+
+int Replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cfmfuzz: cannot read " << path << "\n";
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  Result<Reproducer> reproducer = ParseReproducer(text);
+  if (!reproducer.ok()) {
+    std::cerr << "cfmfuzz: " << path << ": " << reproducer.error() << "\n";
+    return 2;
+  }
+  Result<OracleResult> result = ReplayReproducer(*reproducer);
+  if (!result.ok()) {
+    std::cerr << "cfmfuzz: " << path << ": " << result.error() << "\n";
+    return 2;
+  }
+  std::cout << path << ": oracle " << ToString(reproducer->oracle) << " ";
+  if (result->ok) {
+    std::cout << (result->skipped ? "skipped: " + result->detail : "passed") << "\n";
+    return 0;
+  }
+  std::cout << "FAILED: " << result->detail << "\n";
+  return 1;
+}
+
+std::vector<std::string> CollectCorpus(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cfm") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());  // Deterministic case stream.
+  return files;
+}
+
+int WriteReproducers(const FuzzReport& report, const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::cerr << "cfmfuzz: cannot create " << out_dir << ": " << ec.message() << "\n";
+    return 2;
+  }
+  for (const FuzzFailure& failure : report.failures) {
+    std::string name = std::string(ToString(failure.oracle)) + "_" +
+                       std::to_string(failure.case_seed) + ".cfm";
+    std::filesystem::path path = std::filesystem::path(out_dir) / name;
+    std::ofstream out(path);
+    out << failure.reproducer;
+    if (!out) {
+      std::cerr << "cfmfuzz: failed to write " << path.string() << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << path.string() << "\n";
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    return Usage();
+  }
+  if (!options.replay_file.empty()) {
+    return Replay(options.replay_file);
+  }
+  if (!options.corpus_dir.empty()) {
+    options.config.corpus_files = CollectCorpus(options.corpus_dir);
+    if (options.config.corpus_files.empty()) {
+      std::cerr << "cfmfuzz: corpus dir " << options.corpus_dir << " has no .cfm files\n";
+    }
+  }
+  FuzzLogger logger;
+  if (!options.quiet) {
+    logger = [](const std::string& line) { std::cerr << "cfmfuzz: " << line << "\n"; };
+  }
+  FuzzReport report = RunFuzzCampaign(options.config, logger);
+  std::cout << FormatReport(report);
+  if (!options.out_dir.empty() && !report.failures.empty()) {
+    int status = WriteReproducers(report, options.out_dir);
+    if (status != 0) {
+      return status;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cfm
+
+int main(int argc, char** argv) { return cfm::Main(argc, argv); }
