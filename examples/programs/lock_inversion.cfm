@@ -1,0 +1,16 @@
+-- Classic lock-order inversion: two binary semaphores acquired in opposite
+-- orders by two concurrent processes. The static blocking-order graph
+-- (cfmc lint, deadlock-order pass) has the cycle a -> b -> a, and the
+-- exhaustive schedule explorer confirms a deadlocking interleaving:
+-- P1 takes a, P2 takes b, and each then blocks on the other's semaphore.
+-- The finding is deliberate — this file seeds the lint <-> explorer
+-- cross-check in tests/analysis — so it is suppressed for the corpora gate.
+-- lint:allow-file(deadlock-order)
+var
+  a, b : semaphore initially(1);
+  x, y : integer;
+cobegin
+  begin wait(a); wait(b); x := 1; signal(b); signal(a) end
+||
+  begin wait(b); wait(a); y := 2; signal(a); signal(b) end
+coend

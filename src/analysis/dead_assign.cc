@@ -1,0 +1,218 @@
+// dead-assign: backward liveness over the AST. A store that is certainly
+// overwritten before any read can observe it is dead; a variable never
+// referenced at all is unused. (A variable written but never read is NOT
+// flagged: that is this language's idiom for an output.)
+//
+// Soundness choices that keep the pass quiet on correct programs:
+//   - live-at-exit is *every* variable, so the final store to an output is
+//     never flagged (the paper's programs communicate results through final
+//     variable values);
+//   - any symbol read by a sibling cobegin process is pinned live throughout
+//     the process under analysis (a concurrent read may observe any store);
+//   - while bodies iterate to a liveness fixpoint before one reporting pass,
+//     so a store feeding the next iteration is live.
+
+#include <vector>
+
+#include "src/analysis/passes.h"
+
+namespace cfm {
+
+namespace {
+
+using SymbolSet = std::vector<bool>;
+
+void Union(SymbolSet& into, const SymbolSet& from) {
+  for (size_t i = 0; i < into.size(); ++i) {
+    into[i] = into[i] || from[i];
+  }
+}
+
+bool Subset(const SymbolSet& a, const SymbolSet& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && !b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AddExprReads(const Expr& expr, SymbolSet& live) {
+  std::vector<SymbolId> reads;
+  CollectReads(expr, reads);
+  for (SymbolId v : reads) {
+    live[v] = true;
+  }
+}
+
+// All symbols a subtree reads (expression reads; receive reads its channel,
+// but channels are not assignable so they never matter here).
+void AddSubtreeReads(const Stmt& stmt, SymbolSet& live) {
+  ForEachStmt(stmt, [&](const Stmt& s) {
+    switch (s.kind()) {
+      case StmtKind::kAssign:
+        AddExprReads(s.As<AssignStmt>().value(), live);
+        break;
+      case StmtKind::kIf:
+        AddExprReads(s.As<IfStmt>().condition(), live);
+        break;
+      case StmtKind::kWhile:
+        AddExprReads(s.As<WhileStmt>().condition(), live);
+        break;
+      case StmtKind::kSend:
+        AddExprReads(s.As<SendStmt>().value(), live);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+struct DeadAssignWalker {
+  LintContext& ctx;
+  SymbolSet read_anywhere;     // Symbols some expression in the program reads.
+  SymbolSet written_anywhere;  // Targets of some assignment/receive.
+
+  explicit DeadAssignWalker(LintContext& context) : ctx(context) {
+    size_t n = ctx.program.symbols().size();
+    read_anywhere.assign(n, false);
+    written_anywhere.assign(n, false);
+    AddSubtreeReads(ctx.program.root(), read_anywhere);
+    ForEachStmt(ctx.program.root(), [&](const Stmt& s) {
+      if (s.kind() == StmtKind::kAssign) {
+        written_anywhere[s.As<AssignStmt>().target()] = true;
+      } else if (s.kind() == StmtKind::kReceive) {
+        written_anywhere[s.As<ReceiveStmt>().target()] = true;
+      }
+    });
+  }
+
+  // Backward transfer: mutates `live` from live-out to live-in; reports dead
+  // stores when `report` is set. `pinned` symbols are live at every point
+  // (concurrent readers).
+  void Walk(const Stmt& stmt, SymbolSet& live, const SymbolSet& pinned, bool report) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        SymbolId target = assign.target();
+        // Never-read variables are outputs (or unused, reported at the
+        // declaration); their stores are not flagged individually.
+        if (report && !live[target] && !pinned[target] && read_anywhere[target]) {
+          const Symbol& symbol = ctx.program.symbols().at(target);
+          ctx.Report(LintPass::kDeadAssign, Severity::kWarning, stmt.range(),
+                     "value stored to '" + symbol.name +
+                         "' is overwritten before any read observes it");
+        }
+        live[target] = false;
+        AddExprReads(assign.value(), live);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& branch = stmt.As<IfStmt>();
+        SymbolSet then_in = live;
+        Walk(branch.then_branch(), then_in, pinned, report);
+        if (branch.else_branch() != nullptr) {
+          SymbolSet else_in = live;
+          Walk(*branch.else_branch(), else_in, pinned, report);
+          Union(then_in, else_in);
+        } else {
+          Union(then_in, live);  // Fall-through path.
+        }
+        live = std::move(then_in);
+        AddExprReads(branch.condition(), live);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& loop = stmt.As<WhileStmt>();
+        // Loop-head liveness L satisfies L = reads(cond) ∪ live-out ∪
+        // live-in(body, L); iterate to the least fixpoint (monotone over a
+        // finite lattice), then report once with the converged value.
+        SymbolSet head = live;
+        AddExprReads(loop.condition(), head);
+        while (true) {
+          SymbolSet body_in = head;
+          Walk(loop.body(), body_in, pinned, /*report=*/false);
+          if (Subset(body_in, head)) {
+            break;
+          }
+          Union(head, body_in);
+        }
+        if (report) {
+          SymbolSet body_in = head;
+          Walk(loop.body(), body_in, pinned, /*report=*/true);
+        }
+        live = std::move(head);
+        return;
+      }
+      case StmtKind::kBlock: {
+        const auto& statements = stmt.As<BlockStmt>().statements();
+        for (auto it = statements.rbegin(); it != statements.rend(); ++it) {
+          Walk(**it, live, pinned, report);
+        }
+        return;
+      }
+      case StmtKind::kCobegin: {
+        const auto& processes = stmt.As<CobeginStmt>().processes();
+        std::vector<SymbolSet> reads(processes.size(),
+                                     SymbolSet(ctx.program.symbols().size(), false));
+        for (size_t i = 0; i < processes.size(); ++i) {
+          AddSubtreeReads(*processes[i], reads[i]);
+        }
+        SymbolSet in = live;
+        for (size_t i = 0; i < processes.size(); ++i) {
+          SymbolSet process_pinned = pinned;
+          for (size_t j = 0; j < processes.size(); ++j) {
+            if (j != i) {
+              Union(process_pinned, reads[j]);
+            }
+          }
+          SymbolSet process_in = live;
+          Walk(*processes[i], process_in, process_pinned, report);
+          Union(in, process_in);
+        }
+        live = std::move(in);
+        return;
+      }
+      case StmtKind::kSend:
+        AddExprReads(stmt.As<SendStmt>().value(), live);
+        return;
+      case StmtKind::kReceive:
+        // A receive both synchronizes and stores; never flagged as dead.
+        return;
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSkip:
+        return;
+    }
+  }
+
+  void ReportSymbolFindings() {
+    for (const Symbol& symbol : ctx.program.symbols().symbols()) {
+      bool data_var = symbol.kind == SymbolKind::kInteger || symbol.kind == SymbolKind::kBoolean;
+      if (!data_var) {
+        continue;  // Semaphore/channel lifecycle belongs to sem-pairing.
+      }
+      // A variable that is written but never read is this language's idiom
+      // for an output (results live in final values), so only symbols with
+      // no references at all are reported.
+      if (!read_anywhere[symbol.id] && !written_anywhere[symbol.id]) {
+        ctx.Report(LintPass::kDeadAssign, Severity::kWarning, symbol.decl_range,
+                   "variable '" + symbol.name + "' is never used");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void RunDeadAssignPass(LintContext& ctx) {
+  DeadAssignWalker walker(ctx);
+  // Every variable is observable after the program ends (outputs), so final
+  // stores are live by construction.
+  SymbolSet live(ctx.program.symbols().size(), true);
+  SymbolSet pinned(ctx.program.symbols().size(), false);
+  walker.Walk(ctx.program.root(), live, pinned, /*report=*/true);
+  walker.ReportSymbolFindings();
+}
+
+}  // namespace cfm

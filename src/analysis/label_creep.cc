@@ -1,0 +1,87 @@
+// label-creep: annotations classified higher than any flow requires.
+//
+// For each annotated variable v the pass pins every *other* annotated
+// variable at its declared class and asks the inference engine for the least
+// binding of v under which the program still certifies. When that minimum is
+// strictly below the declared class, the annotation over-classifies: the
+// declared class admits every flow the minimal one does, so lowering v alone
+// preserves certification (the fix-it each finding carries).
+//
+// The pass only runs on programs that certify under their declared binding —
+// on a failing program "minimal" is meaningless — and skips entirely above
+// LintOptions::label_creep_max_symbols (one constraint fixpoint per
+// annotated variable).
+
+#include <utility>
+#include <vector>
+
+#include "src/analysis/passes.h"
+#include "src/core/inference.h"
+
+namespace cfm {
+
+void RunLabelCreepPass(LintContext& ctx) {
+  if (ctx.binding == nullptr || ctx.certification == nullptr ||
+      !ctx.certification->certified()) {
+    return;
+  }
+  const SymbolTable& symbols = ctx.program.symbols();
+  if (symbols.size() > ctx.options.label_creep_max_symbols) {
+    return;
+  }
+  const Lattice& base = ctx.binding->base_lattice();
+
+  // Annotations on variables the program never writes are policy inputs
+  // (x *is* secret); only derived variables — ones some statement modifies,
+  // so their class is forced from below by incoming flows — can creep.
+  std::vector<bool> written(symbols.size(), false);
+  {
+    std::vector<SymbolId> modified;
+    CollectModified(ctx.program.root(), modified);
+    for (SymbolId v : modified) {
+      written[v] = true;
+    }
+  }
+
+  std::vector<SymbolId> annotated;
+  for (const Symbol& symbol : symbols.symbols()) {
+    if (!symbol.class_annotation.empty() && written[symbol.id]) {
+      annotated.push_back(symbol.id);
+    }
+  }
+
+  std::vector<std::pair<SymbolId, ClassId>> input_pins;
+  for (const Symbol& symbol : symbols.symbols()) {
+    if (!symbol.class_annotation.empty() && !written[symbol.id]) {
+      input_pins.emplace_back(symbol.id, ctx.binding->binding(symbol.id));
+    }
+  }
+
+  for (SymbolId v : annotated) {
+    std::vector<std::pair<SymbolId, ClassId>> pinned = input_pins;
+    for (SymbolId other : annotated) {
+      if (other != v) {
+        pinned.emplace_back(other, ctx.binding->binding(other));
+      }
+    }
+    InferenceResult result = InferBinding(ctx.program, base, pinned);
+    if (!result.ok()) {
+      continue;  // Pinning alone cannot certify; nothing to say about v.
+    }
+    ClassId declared = ctx.binding->binding(v);
+    ClassId minimal = result.binding.binding(v);
+    if (base.Lt(minimal, declared)) {
+      const Symbol& symbol = symbols.at(v);
+      LintFinding& finding = ctx.Report(
+          LintPass::kLabelCreep, Severity::kWarning, symbol.decl_range,
+          "'" + symbol.name + "' is declared 'class " + symbol.class_annotation +
+              "' but every flow certifies with 'class " + base.ElementName(minimal) + "'");
+      finding.notes.push_back(Diagnostic{
+          Severity::kNote, symbol.decl_range,
+          "fix-it: replace the annotation with 'class " + base.ElementName(minimal) + "'",
+          {}});
+    }
+  }
+}
+
+}  // namespace cfm

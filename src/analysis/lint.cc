@@ -1,0 +1,260 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/analysis/passes.h"
+#include "src/runtime/bytecode.h"
+#include "src/support/json.h"
+
+namespace cfm {
+
+namespace {
+
+// --- lint:allow comment scanning -------------------------------------------
+
+struct Suppressions {
+  // Pass bitmask per 1-based source line (the annotation's own line and the
+  // one after it).
+  std::map<uint32_t, uint32_t> by_line;
+  uint32_t file_wide = 0;
+};
+
+uint32_t Bit(LintPass pass) { return uint32_t{1} << static_cast<uint32_t>(pass); }
+
+// Parses the comma-separated pass list inside "lint:allow(...)" starting at
+// `pos` (just past the opening parenthesis). Unknown ids are ignored.
+uint32_t ParseAllowList(std::string_view line, size_t pos) {
+  size_t close = line.find(')', pos);
+  if (close == std::string_view::npos) {
+    return 0;
+  }
+  uint32_t mask = 0;
+  std::string_view list = line.substr(pos, close - pos);
+  while (!list.empty()) {
+    size_t comma = list.find(',');
+    std::string_view id = list.substr(0, comma);
+    while (!id.empty() && (id.front() == ' ' || id.front() == '\t')) {
+      id.remove_prefix(1);
+    }
+    while (!id.empty() && (id.back() == ' ' || id.back() == '\t')) {
+      id.remove_suffix(1);
+    }
+    if (auto pass = LintPassFromName(id)) {
+      mask |= Bit(*pass);
+    }
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    list.remove_prefix(comma + 1);
+  }
+  return mask;
+}
+
+Suppressions ScanSuppressions(const SourceManager& source) {
+  Suppressions out;
+  for (uint32_t line_no = 1; line_no <= source.line_count(); ++line_no) {
+    std::string_view line = source.LineText(line_no);
+    size_t comment = line.find("--");
+    if (comment == std::string_view::npos) {
+      continue;
+    }
+    std::string_view tail = line.substr(comment);
+    if (size_t pos = tail.find("lint:allow-file("); pos != std::string_view::npos) {
+      out.file_wide |= ParseAllowList(tail, pos + 16);
+    } else if (size_t allow = tail.find("lint:allow("); allow != std::string_view::npos) {
+      uint32_t mask = ParseAllowList(tail, allow + 11);
+      out.by_line[line_no] |= mask;
+      out.by_line[line_no + 1] |= mask;
+    }
+  }
+  return out;
+}
+
+bool IsSuppressed(const Suppressions& suppressions, const LintFinding& finding) {
+  uint32_t bit = Bit(finding.pass);
+  if ((suppressions.file_wide & bit) != 0) {
+    return true;
+  }
+  auto it = suppressions.by_line.find(finding.range.begin.line);
+  return it != suppressions.by_line.end() && (it->second & bit) != 0;
+}
+
+bool WantPass(const LintOptions& options, LintPass pass) {
+  if (options.only.empty()) {
+    return true;
+  }
+  return std::find(options.only.begin(), options.only.end(), pass) != options.only.end();
+}
+
+}  // namespace
+
+std::string_view ToString(LintPass pass) {
+  switch (pass) {
+    case LintPass::kUseBeforeInit:
+      return "use-before-init";
+    case LintPass::kDeadAssign:
+      return "dead-assign";
+    case LintPass::kUnreachable:
+      return "unreachable";
+    case LintPass::kSemPairing:
+      return "sem-pairing";
+    case LintPass::kDeadlockOrder:
+      return "deadlock-order";
+    case LintPass::kLabelCreep:
+      return "label-creep";
+  }
+  return "?";
+}
+
+std::optional<LintPass> LintPassFromName(std::string_view name) {
+  for (LintPass pass : kAllLintPasses) {
+    if (ToString(pass) == name) {
+      return pass;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t LintResult::active_count() const {
+  size_t n = 0;
+  for (const LintFinding& finding : findings) {
+    n += finding.suppressed ? 0 : 1;
+  }
+  return n;
+}
+
+size_t LintResult::suppressed_count() const { return findings.size() - active_count(); }
+
+bool LintResult::has_errors() const {
+  for (const LintFinding& finding : findings) {
+    if (!finding.suppressed && finding.severity == Severity::kError) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int LintResult::ExitCode(bool werror) const {
+  if (has_errors()) {
+    return 1;
+  }
+  return werror && active_count() > 0 ? 1 : 0;
+}
+
+LintResult RunLint(const Program& program, const StaticBinding* binding,
+                   const CertificationResult* certification, const SourceManager* source,
+                   const LintOptions& options) {
+  LintResult result;
+  if (!program.has_root()) {
+    return result;
+  }
+  CompiledProgram code = Compile(program);
+  StmtFootprints footprints(code, program.symbols());
+  LintContext ctx{program, binding, certification, footprints, options, result.findings};
+  if (WantPass(options, LintPass::kUseBeforeInit)) {
+    RunUseBeforeInitPass(ctx);
+  }
+  if (WantPass(options, LintPass::kDeadAssign)) {
+    RunDeadAssignPass(ctx);
+  }
+  if (WantPass(options, LintPass::kUnreachable)) {
+    RunUnreachablePass(ctx);
+  }
+  if (WantPass(options, LintPass::kSemPairing)) {
+    RunSemPairingPass(ctx);
+  }
+  if (WantPass(options, LintPass::kDeadlockOrder)) {
+    RunDeadlockOrderPass(ctx);
+  }
+  if (WantPass(options, LintPass::kLabelCreep)) {
+    RunLabelCreepPass(ctx);
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.range.begin.offset != b.range.begin.offset) {
+                       return a.range.begin.offset < b.range.begin.offset;
+                     }
+                     return static_cast<uint8_t>(a.pass) < static_cast<uint8_t>(b.pass);
+                   });
+
+  if (source != nullptr) {
+    Suppressions suppressions = ScanSuppressions(*source);
+    for (LintFinding& finding : result.findings) {
+      finding.suppressed = IsSuppressed(suppressions, finding);
+    }
+  }
+  return result;
+}
+
+std::string RenderLint(const LintResult& result, const SourceManager& source) {
+  std::ostringstream os;
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const LintFinding& finding : result.findings) {
+    if (finding.suppressed) {
+      continue;
+    }
+    (finding.severity == Severity::kError ? errors : warnings) += 1;
+    Diagnostic diag;
+    diag.severity = finding.severity;
+    diag.range = finding.range;
+    diag.message = finding.message + " [" + std::string(ToString(finding.pass)) + "]";
+    diag.notes = finding.notes;
+    os << Render(diag, source);
+  }
+  os << "lint: " << errors << " error(s), " << warnings << " warning(s)";
+  if (size_t suppressed = result.suppressed_count(); suppressed > 0) {
+    os << ", " << suppressed << " suppressed";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string RenderLintJson(const LintResult& result, std::string_view file_name) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("file").String(file_name);
+  json.Key("findings").BeginArray();
+  for (const LintFinding& finding : result.findings) {
+    json.BeginObject();
+    json.Key("pass").String(ToString(finding.pass));
+    json.Key("severity").String(ToString(finding.severity));
+    json.Key("line").UInt(finding.range.begin.line);
+    json.Key("column").UInt(finding.range.begin.column);
+    json.Key("end_line").UInt(finding.range.end.line);
+    json.Key("end_column").UInt(finding.range.end.column);
+    json.Key("message").String(finding.message);
+    json.Key("suppressed").Bool(finding.suppressed);
+    json.Key("notes").BeginArray();
+    for (const Diagnostic& note : finding.notes) {
+      json.BeginObject();
+      json.Key("line").UInt(note.range.begin.line);
+      json.Key("column").UInt(note.range.begin.column);
+      json.Key("message").String(note.message);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("summary").BeginObject();
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const LintFinding& finding : result.findings) {
+    if (!finding.suppressed) {
+      (finding.severity == Severity::kError ? errors : warnings) += 1;
+    }
+  }
+  json.Key("errors").UInt(errors);
+  json.Key("warnings").UInt(warnings);
+  json.Key("suppressed").UInt(result.suppressed_count());
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,124 @@
+// cfmlint: the dataflow lint and static deadlock-analysis layer.
+//
+// The certifier answers exactly one question — "is this program certified?"
+// — but most programs that fail certification (or pass it accidentally) are
+// wrong in ways visible *before* certification runs: reads of variables no
+// path has assigned, stores no one can observe, statically dead branches,
+// mis-paired wait/signal, semaphore acquisition orders that can deadlock,
+// and annotations classified higher than any flow requires. This layer runs
+// a battery of syntax-directed and dataflow passes over the AST (plus the
+// bytecode statement footprints) and reports structured findings with
+// stable pass ids.
+//
+//   use-before-init   forward may-uninit dataflow: a read that some path
+//                     reaches before any assignment
+//   dead-assign       backward liveness: stores overwritten before any
+//                     read, and symbols never referenced at all
+//   unreachable       constant conditions and code no execution reaches
+//   sem-pairing       wait without any matching signal, signals on
+//                     never-waited semaphores, receive/send on half-used
+//                     channels
+//   deadlock-order    the static blocking-order graph: a cycle means some
+//                     schedule may deadlock (cross-checked against the
+//                     exhaustive explorer by tests/analysis/)
+//   label-creep       per-variable minimal-binding comparison: annotations
+//                     the inference engine proves could be lower
+//
+// Findings are advisory (the certifier remains the gate): every pass is
+// side-effect free and deterministic, which the fuzzer's lint-stable oracle
+// enforces. Suppression is by source comment:
+//
+//   -- lint:allow(dead-assign)            this line and the next line
+//   -- lint:allow-file(sem-pairing)       the whole file
+//
+// with a comma-separated pass-id list inside the parentheses.
+
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/certification.h"
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/support/diagnostic.h"
+#include "src/support/source_manager.h"
+
+namespace cfm {
+
+enum class LintPass : uint8_t {
+  kUseBeforeInit,
+  kDeadAssign,
+  kUnreachable,
+  kSemPairing,
+  kDeadlockOrder,
+  kLabelCreep,
+};
+
+inline constexpr LintPass kAllLintPasses[] = {
+    LintPass::kUseBeforeInit, LintPass::kDeadAssign,    LintPass::kUnreachable,
+    LintPass::kSemPairing,    LintPass::kDeadlockOrder, LintPass::kLabelCreep,
+};
+
+// The stable pass id ("use-before-init", ...). These are the names that
+// appear in reports, in `--passes=`, and in lint:allow comments; never
+// rename one.
+std::string_view ToString(LintPass pass);
+std::optional<LintPass> LintPassFromName(std::string_view name);
+
+struct LintFinding {
+  LintPass pass = LintPass::kUseBeforeInit;
+  Severity severity = Severity::kWarning;
+  SourceRange range;
+  std::string message;
+  // Secondary locations ("declared here", the cycle's wait sites, ...).
+  std::vector<Diagnostic> notes;
+  // True when a lint:allow / lint:allow-file comment matched; suppressed
+  // findings stay in the result (so tooling can audit them) but do not
+  // render and do not affect exit codes.
+  bool suppressed = false;
+};
+
+struct LintOptions {
+  // Empty = run every pass; otherwise exactly these.
+  std::vector<LintPass> only;
+  // Symbol-count cap for the label-creep pass (one inference fixpoint per
+  // annotated variable); above it the pass silently skips.
+  uint32_t label_creep_max_symbols = 512;
+};
+
+struct LintResult {
+  // Sorted by source position, then pass id.
+  std::vector<LintFinding> findings;
+
+  size_t active_count() const;      // Findings not suppressed.
+  size_t suppressed_count() const;  // Findings matched by lint:allow.
+  // Highest unsuppressed severity drives the exit-code mapping: clean or
+  // all-suppressed → 0, warnings → 0 (1 under --werror), errors → 1.
+  bool has_errors() const;
+  int ExitCode(bool werror) const;
+};
+
+// Runs the lint battery. `binding` and `certification` may be null (the
+// label-creep pass then skips); `source` may be null (no suppression
+// comments are applied, e.g. for generated programs).
+LintResult RunLint(const Program& program, const StaticBinding* binding,
+                   const CertificationResult* certification, const SourceManager* source,
+                   const LintOptions& options = {});
+
+// Human renderer: caret diagnostics via src/support/diagnostic plus a
+// trailing summary line. Suppressed findings are omitted.
+std::string RenderLint(const LintResult& result, const SourceManager& source);
+
+// Machine renderer: one JSON object per file, schema documented in
+// docs/FORMATS.md ("cfmlint JSON"). Includes suppressed findings with their
+// flag set. `source` may be null (locations already live in the findings).
+std::string RenderLintJson(const LintResult& result, std::string_view file_name);
+
+}  // namespace cfm
+
+#endif  // SRC_ANALYSIS_LINT_H_

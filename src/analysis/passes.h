@@ -1,0 +1,39 @@
+// Internal interface between the lint driver and the individual passes.
+// Each pass appends LintFindings to the shared context; the driver owns
+// ordering, suppression, and rendering.
+
+#ifndef SRC_ANALYSIS_PASSES_H_
+#define SRC_ANALYSIS_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/runtime/bytecode.h"
+
+namespace cfm {
+
+struct LintContext {
+  const Program& program;
+  const StaticBinding* binding = nullptr;                // May be null.
+  const CertificationResult* certification = nullptr;    // May be null.
+  const StmtFootprints& footprints;                      // Over Compile(program).
+  const LintOptions& options;
+  std::vector<LintFinding>& findings;
+
+  LintFinding& Report(LintPass pass, Severity severity, SourceRange range, std::string message) {
+    findings.push_back(LintFinding{pass, severity, range, std::move(message), {}, false});
+    return findings.back();
+  }
+};
+
+void RunUseBeforeInitPass(LintContext& ctx);
+void RunDeadAssignPass(LintContext& ctx);
+void RunUnreachablePass(LintContext& ctx);
+void RunSemPairingPass(LintContext& ctx);
+void RunDeadlockOrderPass(LintContext& ctx);
+void RunLabelCreepPass(LintContext& ctx);
+
+}  // namespace cfm
+
+#endif  // SRC_ANALYSIS_PASSES_H_

@@ -1,0 +1,292 @@
+// sem-pairing and deadlock-order.
+//
+// sem-pairing is a global census: each semaphore's wait/signal sites and
+// each channel's send/receive sites are collected, and lifecycle mismatches
+// reported. A wait on a semaphore that starts at 0 and is never signaled can
+// never be satisfied — that is the one finding severe enough to be an error.
+//
+// deadlock-order builds the static blocking-order graph: an edge s → t is
+// recorded when some execution point waits on t while holding s (held-set
+// walk over the AST; branches fork the held set and the continuation takes
+// the union, a may-hold over-approximation). A cycle in the graph means some
+// schedule *may* acquire the semaphores in conflicting orders and deadlock;
+// the exhaustive explorer confirms or refutes each report (tests/analysis).
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/analysis/passes.h"
+
+namespace cfm {
+
+namespace {
+
+// --- sem-pairing -----------------------------------------------------------
+
+struct SymbolSites {
+  std::vector<const Stmt*> acquires;  // wait / receive
+  std::vector<const Stmt*> releases;  // signal / send
+};
+
+void ReportSemPairing(LintContext& ctx) {
+  const SymbolTable& symbols = ctx.program.symbols();
+  std::map<SymbolId, SymbolSites> sites;
+  ForEachStmt(ctx.program.root(), [&](const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kWait:
+        sites[stmt.As<WaitStmt>().semaphore()].acquires.push_back(&stmt);
+        break;
+      case StmtKind::kSignal:
+        sites[stmt.As<SignalStmt>().semaphore()].releases.push_back(&stmt);
+        break;
+      case StmtKind::kReceive:
+        sites[stmt.As<ReceiveStmt>().channel()].acquires.push_back(&stmt);
+        break;
+      case StmtKind::kSend:
+        sites[stmt.As<SendStmt>().channel()].releases.push_back(&stmt);
+        break;
+      default:
+        break;
+    }
+  });
+
+  for (const Symbol& symbol : symbols.symbols()) {
+    if (symbol.kind == SymbolKind::kSemaphore) {
+      const SymbolSites& s = sites[symbol.id];
+      if (s.acquires.empty() && s.releases.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, symbol.decl_range,
+                   "semaphore '" + symbol.name + "' is never waited or signaled");
+      } else if (s.releases.empty() && symbol.initial_value == 0) {
+        LintFinding& finding =
+            ctx.Report(LintPass::kSemPairing, Severity::kError, s.acquires.front()->range(),
+                       "wait on '" + symbol.name +
+                           "' can never be satisfied: initial count is 0 and nothing signals it");
+        finding.notes.push_back(Diagnostic{Severity::kNote, symbol.decl_range,
+                                           "'" + symbol.name + "' declared here", {}});
+      } else if (s.releases.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, s.acquires.front()->range(),
+                   "semaphore '" + symbol.name + "' is waited but never signaled");
+      } else if (s.acquires.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, s.releases.front()->range(),
+                   "semaphore '" + symbol.name + "' is signaled but never waited");
+      }
+    } else if (symbol.kind == SymbolKind::kChannel) {
+      const SymbolSites& s = sites[symbol.id];
+      if (s.acquires.empty() && s.releases.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, symbol.decl_range,
+                   "channel '" + symbol.name + "' is never used");
+      } else if (s.releases.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, s.acquires.front()->range(),
+                   "receive on '" + symbol.name + "' can never complete: nothing sends on it");
+      } else if (s.acquires.empty()) {
+        ctx.Report(LintPass::kSemPairing, Severity::kWarning, s.releases.front()->range(),
+                   "messages sent on '" + symbol.name + "' are never received");
+      }
+    }
+  }
+}
+
+// --- deadlock-order --------------------------------------------------------
+
+struct BlockingEdge {
+  SymbolId held = kInvalidSymbol;
+  SymbolId wanted = kInvalidSymbol;
+  const Stmt* wait_site = nullptr;  // The wait(wanted) executed while holding.
+};
+
+struct OrderWalker {
+  LintContext& ctx;
+  std::vector<BlockingEdge> edges;
+  std::vector<const Stmt*> self_waits;  // wait(s) while already holding s.
+
+  using HeldSet = std::vector<bool>;
+
+  void AddEdges(const HeldSet& held, SymbolId wanted, const Stmt& site) {
+    for (SymbolId s = 0; s < held.size(); ++s) {
+      if (!held[s]) {
+        continue;
+      }
+      if (s == wanted) {
+        self_waits.push_back(&site);
+        continue;
+      }
+      bool known = std::any_of(edges.begin(), edges.end(), [&](const BlockingEdge& e) {
+        return e.held == s && e.wanted == wanted;
+      });
+      if (!known) {
+        edges.push_back(BlockingEdge{s, wanted, &site});
+      }
+    }
+  }
+
+  // May-hold walk: `held` is mutated to the set of semaphores possibly held
+  // after `stmt` completes.
+  void Walk(const Stmt& stmt, HeldSet& held) {
+    switch (stmt.kind()) {
+      case StmtKind::kWait: {
+        SymbolId sem = stmt.As<WaitStmt>().semaphore();
+        AddEdges(held, sem, stmt);
+        held[sem] = true;
+        return;
+      }
+      case StmtKind::kSignal:
+        held[stmt.As<SignalStmt>().semaphore()] = false;
+        return;
+      case StmtKind::kIf: {
+        const auto& branch = stmt.As<IfStmt>();
+        HeldSet then_held = held;
+        Walk(branch.then_branch(), then_held);
+        if (branch.else_branch() != nullptr) {
+          HeldSet else_held = held;
+          Walk(*branch.else_branch(), else_held);
+          for (size_t i = 0; i < held.size(); ++i) {
+            held[i] = then_held[i] || else_held[i];
+          }
+        } else {
+          for (size_t i = 0; i < held.size(); ++i) {
+            held[i] = held[i] || then_held[i];
+          }
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        // Two passes so waits in iteration N+1 see semaphores still held
+        // from iteration N.
+        const auto& loop = stmt.As<WhileStmt>();
+        HeldSet body_held = held;
+        Walk(loop.body(), body_held);
+        HeldSet second = body_held;
+        Walk(loop.body(), second);
+        for (size_t i = 0; i < held.size(); ++i) {
+          held[i] = held[i] || body_held[i] || second[i];
+        }
+        return;
+      }
+      case StmtKind::kBlock:
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          Walk(*child, held);
+        }
+        return;
+      case StmtKind::kCobegin: {
+        // The parent's holdings persist while the children run; each child
+        // walks independently and coend joins whatever may still be held.
+        HeldSet after = held;
+        for (const Stmt* process : stmt.As<CobeginStmt>().processes()) {
+          HeldSet child = held;
+          Walk(*process, child);
+          for (size_t i = 0; i < held.size(); ++i) {
+            after[i] = after[i] || child[i];
+          }
+        }
+        held = std::move(after);
+        return;
+      }
+      case StmtKind::kAssign:
+      case StmtKind::kSend:
+      case StmtKind::kReceive:
+      case StmtKind::kSkip:
+        return;
+    }
+  }
+};
+
+// Finds elementary cycles in the blocking-order graph by DFS from each node
+// (semaphore counts are tiny, so no Johnson's algorithm needed); each cycle
+// is canonicalized by its smallest node to report once.
+struct CycleFinder {
+  const std::vector<BlockingEdge>& edges;
+  size_t node_count;
+  std::vector<std::vector<SymbolId>> cycles;
+
+  void DfsFrom(SymbolId start) {
+    std::vector<SymbolId> path{start};
+    std::vector<bool> on_path(node_count, false);
+    on_path[start] = true;
+    Dfs(start, start, path, on_path);
+  }
+
+  void Dfs(SymbolId start, SymbolId node, std::vector<SymbolId>& path,
+           std::vector<bool>& on_path) {
+    for (const BlockingEdge& e : edges) {
+      if (e.held != node) {
+        continue;
+      }
+      if (e.wanted == start) {
+        cycles.push_back(path);
+        continue;
+      }
+      // Only cycles whose smallest node is `start` are kept, so each cycle
+      // is found exactly once.
+      if (e.wanted < start || on_path[e.wanted]) {
+        continue;
+      }
+      path.push_back(e.wanted);
+      on_path[e.wanted] = true;
+      Dfs(start, e.wanted, path, on_path);
+      on_path[e.wanted] = false;
+      path.pop_back();
+    }
+  }
+};
+
+void ReportDeadlockOrder(LintContext& ctx) {
+  OrderWalker walker{ctx};
+  OrderWalker::HeldSet held(ctx.program.symbols().size(), false);
+  walker.Walk(ctx.program.root(), held);
+
+  const SymbolTable& symbols = ctx.program.symbols();
+  for (const Stmt* site : walker.self_waits) {
+    SymbolId sem = site->As<WaitStmt>().semaphore();
+    ctx.Report(LintPass::kDeadlockOrder, Severity::kWarning, site->range(),
+               "wait on '" + symbols.at(sem).name +
+                   "' while it may already be held: a schedule may self-deadlock");
+  }
+
+  CycleFinder finder{walker.edges, symbols.size(), {}};
+  if (!walker.edges.empty()) {
+    for (SymbolId start = 0; start < symbols.size(); ++start) {
+      finder.DfsFrom(start);
+    }
+  }
+  for (const std::vector<SymbolId>& cycle : finder.cycles) {
+    std::string names;
+    for (SymbolId sem : cycle) {
+      names += names.empty() ? "'" : ", '";
+      names += symbols.at(sem).name + "'";
+    }
+    // Anchor the finding at the wait site of the cycle's first edge.
+    const Stmt* anchor = nullptr;
+    std::vector<Diagnostic> notes;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      SymbolId from = cycle[i];
+      SymbolId to = cycle[(i + 1) % cycle.size()];
+      for (const BlockingEdge& e : walker.edges) {
+        if (e.held == from && e.wanted == to) {
+          if (anchor == nullptr) {
+            anchor = e.wait_site;
+          }
+          notes.push_back(Diagnostic{
+              Severity::kNote, e.wait_site->range(),
+              "waits on '" + symbols.at(to).name + "' while holding '" +
+                  symbols.at(from).name + "'",
+              {}});
+          break;
+        }
+      }
+    }
+    LintFinding& finding =
+        ctx.Report(LintPass::kDeadlockOrder, Severity::kWarning, anchor->range(),
+                   "semaphores " + names +
+                       " are acquired in conflicting orders: a schedule may deadlock");
+    finding.notes = std::move(notes);
+  }
+}
+
+}  // namespace
+
+void RunSemPairingPass(LintContext& ctx) { ReportSemPairing(ctx); }
+
+void RunDeadlockOrderPass(LintContext& ctx) { ReportDeadlockOrder(ctx); }
+
+}  // namespace cfm

@@ -1,0 +1,180 @@
+// use-before-init: forward must-assign dataflow. A read is flagged when some
+// execution path reaches it before any assignment to the variable, so the
+// walk tracks the set of variables assigned on *every* path ("definitely
+// assigned"); a read outside that set may observe the uninitialized default.
+//
+// To keep the pass quiet on idiomatic programs, three exemptions apply:
+//   - variables never assigned anywhere are treated as program inputs;
+//   - semaphores and channels have their own lifecycle (sem-pairing);
+//   - inside cobegin, reads of variables a *sibling* process assigns are
+//     schedule-dependent, not statically uninitialized.
+
+#include <vector>
+
+#include "src/analysis/passes.h"
+
+namespace cfm {
+
+namespace {
+
+using SymbolSet = std::vector<bool>;
+
+void Union(SymbolSet& into, const SymbolSet& from) {
+  for (size_t i = 0; i < into.size(); ++i) {
+    into[i] = into[i] || from[i];
+  }
+}
+
+void Intersect(SymbolSet& into, const SymbolSet& from) {
+  for (size_t i = 0; i < into.size(); ++i) {
+    into[i] = into[i] && from[i];
+  }
+}
+
+struct UninitWalker {
+  LintContext& ctx;
+  SymbolSet exempt;  // Inputs, semaphores, channels.
+
+  explicit UninitWalker(LintContext& context) : ctx(context) {
+    const SymbolTable& symbols = ctx.program.symbols();
+    exempt.assign(symbols.size(), false);
+    SymbolSet assigned_anywhere(symbols.size(), false);
+    ForEachStmt(ctx.program.root(), [&](const Stmt& stmt) {
+      if (stmt.kind() == StmtKind::kAssign) {
+        assigned_anywhere[stmt.As<AssignStmt>().target()] = true;
+      } else if (stmt.kind() == StmtKind::kReceive) {
+        assigned_anywhere[stmt.As<ReceiveStmt>().target()] = true;
+      }
+    });
+    for (const Symbol& symbol : symbols.symbols()) {
+      bool data_var = symbol.kind == SymbolKind::kInteger || symbol.kind == SymbolKind::kBoolean;
+      if (!data_var || !assigned_anywhere[symbol.id]) {
+        exempt[symbol.id] = true;
+      }
+    }
+  }
+
+  void CheckExpr(const Expr& expr, const SymbolSet& assigned, const SymbolSet& concurrent) {
+    switch (expr.kind()) {
+      case ExprKind::kIntLiteral:
+      case ExprKind::kBoolLiteral:
+        return;
+      case ExprKind::kVarRef: {
+        const auto& ref = expr.As<VarRef>();
+        SymbolId v = ref.symbol();
+        if (!assigned[v] && !exempt[v] && !concurrent[v]) {
+          const Symbol& symbol = ctx.program.symbols().at(v);
+          LintFinding& finding =
+              ctx.Report(LintPass::kUseBeforeInit, Severity::kWarning, ref.range(),
+                         "'" + symbol.name + "' may be read before it is assigned");
+          finding.notes.push_back(Diagnostic{Severity::kNote, symbol.decl_range,
+                                             "'" + symbol.name + "' declared here", {}});
+        }
+        return;
+      }
+      case ExprKind::kUnary:
+        CheckExpr(expr.As<UnaryExpr>().operand(), assigned, concurrent);
+        return;
+      case ExprKind::kBinary:
+        CheckExpr(expr.As<BinaryExpr>().lhs(), assigned, concurrent);
+        CheckExpr(expr.As<BinaryExpr>().rhs(), assigned, concurrent);
+        return;
+    }
+  }
+
+  // Walks `stmt`, reporting uninitialized reads; `assigned` is updated to the
+  // definitely-assigned set after the statement completes.
+  void Walk(const Stmt& stmt, SymbolSet& assigned, const SymbolSet& concurrent) {
+    switch (stmt.kind()) {
+      case StmtKind::kAssign: {
+        const auto& assign = stmt.As<AssignStmt>();
+        CheckExpr(assign.value(), assigned, concurrent);
+        assigned[assign.target()] = true;
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& branch = stmt.As<IfStmt>();
+        CheckExpr(branch.condition(), assigned, concurrent);
+        SymbolSet then_out = assigned;
+        Walk(branch.then_branch(), then_out, concurrent);
+        if (branch.else_branch() != nullptr) {
+          SymbolSet else_out = assigned;
+          Walk(*branch.else_branch(), else_out, concurrent);
+          Intersect(then_out, else_out);
+          assigned = std::move(then_out);
+        }
+        // No else: the fall-through path leaves `assigned` unchanged, and the
+        // intersection with then_out is `assigned` itself.
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& loop = stmt.As<WhileStmt>();
+        CheckExpr(loop.condition(), assigned, concurrent);
+        // The body may run zero times, so its assignments never join the
+        // definitely-assigned set; its entry state (first iteration) is the
+        // loop entry state, a sound under-approximation for later iterations.
+        SymbolSet body_out = assigned;
+        Walk(loop.body(), body_out, concurrent);
+        return;
+      }
+      case StmtKind::kBlock:
+        for (const Stmt* child : stmt.As<BlockStmt>().statements()) {
+          Walk(*child, assigned, concurrent);
+        }
+        return;
+      case StmtKind::kCobegin: {
+        const auto& cobegin = stmt.As<CobeginStmt>();
+        const auto& processes = cobegin.processes();
+        // Writes of each process, for sibling exemption and the join at coend.
+        std::vector<SymbolSet> writes(processes.size(),
+                                      SymbolSet(ctx.program.symbols().size(), false));
+        for (size_t i = 0; i < processes.size(); ++i) {
+          ForEachStmt(*processes[i], [&](const Stmt& s) {
+            if (s.kind() == StmtKind::kAssign) {
+              writes[i][s.As<AssignStmt>().target()] = true;
+            } else if (s.kind() == StmtKind::kReceive) {
+              writes[i][s.As<ReceiveStmt>().target()] = true;
+            }
+          });
+        }
+        SymbolSet after = assigned;
+        for (size_t i = 0; i < processes.size(); ++i) {
+          SymbolSet sibling = concurrent;
+          for (size_t j = 0; j < processes.size(); ++j) {
+            if (j != i) {
+              Union(sibling, writes[j]);
+            }
+          }
+          SymbolSet process_out = assigned;
+          Walk(*processes[i], process_out, sibling);
+          Union(after, process_out);
+        }
+        // All processes complete before coend, so every branch's definite
+        // assignments hold afterwards.
+        assigned = std::move(after);
+        return;
+      }
+      case StmtKind::kSend:
+        CheckExpr(stmt.As<SendStmt>().value(), assigned, concurrent);
+        return;
+      case StmtKind::kReceive:
+        assigned[stmt.As<ReceiveStmt>().target()] = true;
+        return;
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSkip:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+void RunUseBeforeInitPass(LintContext& ctx) {
+  UninitWalker walker(ctx);
+  SymbolSet assigned(ctx.program.symbols().size(), false);
+  SymbolSet concurrent(ctx.program.symbols().size(), false);
+  walker.Walk(ctx.program.root(), assigned, concurrent);
+}
+
+}  // namespace cfm

@@ -1,0 +1,206 @@
+// unreachable: constant-condition detection plus the dead code it implies.
+// The language has no constant declarations, so only literal-folding is
+// attempted (ConstEval); a condition that folds means one branch (or the
+// loop body) can never run, and a `while true` that folds means nothing
+// after it in the enclosing block can run (the language has no break).
+
+#include <optional>
+#include <variant>
+
+#include "src/analysis/passes.h"
+
+namespace cfm {
+
+namespace {
+
+using ConstValue = std::variant<int64_t, bool>;
+
+std::optional<ConstValue> ConstEval(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+      return ConstValue{expr.As<IntLiteral>().value()};
+    case ExprKind::kBoolLiteral:
+      return ConstValue{expr.As<BoolLiteral>().value()};
+    case ExprKind::kVarRef:
+      return std::nullopt;
+    case ExprKind::kUnary: {
+      const auto& unary = expr.As<UnaryExpr>();
+      auto operand = ConstEval(unary.operand());
+      if (!operand) {
+        return std::nullopt;
+      }
+      switch (unary.op()) {
+        case UnaryOp::kNeg:
+          if (auto* i = std::get_if<int64_t>(&*operand)) {
+            return ConstValue{-*i};
+          }
+          return std::nullopt;
+        case UnaryOp::kNot:
+          if (auto* b = std::get_if<bool>(&*operand)) {
+            return ConstValue{!*b};
+          }
+          return std::nullopt;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      auto lhs = ConstEval(binary.lhs());
+      auto rhs = ConstEval(binary.rhs());
+      if (!lhs || !rhs) {
+        return std::nullopt;
+      }
+      if (auto* a = std::get_if<int64_t>(&*lhs)) {
+        auto* b = std::get_if<int64_t>(&*rhs);
+        if (b == nullptr) {
+          return std::nullopt;
+        }
+        switch (binary.op()) {
+          case BinaryOp::kAdd:
+            return ConstValue{*a + *b};
+          case BinaryOp::kSub:
+            return ConstValue{*a - *b};
+          case BinaryOp::kMul:
+            return ConstValue{*a * *b};
+          case BinaryOp::kDiv:
+            return *b == 0 ? std::nullopt : std::optional<ConstValue>{ConstValue{*a / *b}};
+          case BinaryOp::kMod:
+            return *b == 0 ? std::nullopt : std::optional<ConstValue>{ConstValue{*a % *b}};
+          case BinaryOp::kEq:
+            return ConstValue{*a == *b};
+          case BinaryOp::kNeq:
+            return ConstValue{*a != *b};
+          case BinaryOp::kLt:
+            return ConstValue{*a < *b};
+          case BinaryOp::kLe:
+            return ConstValue{*a <= *b};
+          case BinaryOp::kGt:
+            return ConstValue{*a > *b};
+          case BinaryOp::kGe:
+            return ConstValue{*a >= *b};
+          default:
+            return std::nullopt;
+        }
+      }
+      if (auto* a = std::get_if<bool>(&*lhs)) {
+        auto* b = std::get_if<bool>(&*rhs);
+        if (b == nullptr) {
+          return std::nullopt;
+        }
+        switch (binary.op()) {
+          case BinaryOp::kAnd:
+            return ConstValue{*a && *b};
+          case BinaryOp::kOr:
+            return ConstValue{*a || *b};
+          case BinaryOp::kEq:
+            return ConstValue{*a == *b};
+          case BinaryOp::kNeq:
+            return ConstValue{*a != *b};
+          default:
+            return std::nullopt;
+        }
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// A boolean condition's constant truth value, if it folds.
+std::optional<bool> ConstTruth(const Expr& expr) {
+  auto value = ConstEval(expr);
+  if (!value) {
+    return std::nullopt;
+  }
+  if (auto* b = std::get_if<bool>(&*value)) {
+    return *b;
+  }
+  return std::nullopt;
+}
+
+struct UnreachableWalker {
+  LintContext& ctx;
+
+  // Reports findings for `stmt`'s subtree and returns whether execution can
+  // fall out of the statement's end.
+  bool Walk(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::kIf: {
+        const auto& branch = stmt.As<IfStmt>();
+        bool then_falls = Walk(branch.then_branch());
+        bool else_falls =
+            branch.else_branch() != nullptr ? Walk(*branch.else_branch()) : true;
+        if (auto truth = ConstTruth(branch.condition())) {
+          LintFinding& finding = ctx.Report(
+              LintPass::kUnreachable, Severity::kWarning, branch.condition().range(),
+              std::string("condition of 'if' is always ") + (*truth ? "true" : "false"));
+          const Stmt* dead = *truth ? branch.else_branch() : &branch.then_branch();
+          if (dead != nullptr) {
+            finding.notes.push_back(Diagnostic{
+                Severity::kNote, dead->range(),
+                std::string(*truth ? "'else'" : "'then'") + " branch is unreachable", {}});
+          }
+          return *truth ? then_falls : else_falls;
+        }
+        return then_falls || else_falls;
+      }
+      case StmtKind::kWhile: {
+        const auto& loop = stmt.As<WhileStmt>();
+        bool body_falls = Walk(loop.body());
+        (void)body_falls;
+        if (auto truth = ConstTruth(loop.condition())) {
+          if (*truth) {
+            ctx.Report(LintPass::kUnreachable, Severity::kWarning, loop.condition().range(),
+                       "condition of 'while' is always true: the loop never terminates");
+            return false;  // No break construct exists, so nothing follows.
+          }
+          LintFinding& finding =
+              ctx.Report(LintPass::kUnreachable, Severity::kWarning, loop.condition().range(),
+                         "condition of 'while' is always false");
+          finding.notes.push_back(
+              Diagnostic{Severity::kNote, loop.body().range(), "loop body is unreachable", {}});
+        }
+        return true;
+      }
+      case StmtKind::kBlock: {
+        const auto& statements = stmt.As<BlockStmt>().statements();
+        bool falls = true;
+        bool reported = false;
+        for (const Stmt* child : statements) {
+          if (!falls && !reported) {
+            ctx.Report(LintPass::kUnreachable, Severity::kWarning, child->range(),
+                       "statement is unreachable: the preceding statement never completes");
+            reported = true;
+          }
+          bool child_falls = Walk(*child);
+          falls = falls && child_falls;
+        }
+        return falls;
+      }
+      case StmtKind::kCobegin: {
+        bool falls = true;
+        for (const Stmt* process : stmt.As<CobeginStmt>().processes()) {
+          falls = Walk(*process) && falls;  // coend waits for every process.
+        }
+        return falls;
+      }
+      case StmtKind::kAssign:
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
+      case StmtKind::kReceive:
+      case StmtKind::kSkip:
+        return true;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+void RunUnreachablePass(LintContext& ctx) {
+  UnreachableWalker walker{ctx};
+  walker.Walk(ctx.program.root());
+}
+
+}  // namespace cfm

@@ -1,6 +1,8 @@
 #include "src/core/pipeline.h"
 
 #include <fstream>
+
+#include "src/analysis/lint.h"
 #include <sstream>
 #include <utility>
 
@@ -201,6 +203,34 @@ const CompiledProgram* CfmPipeline::bytecode() {
   }
   bytecode_.emplace(Compile(*prog));
   return &*bytecode_;
+}
+
+const StmtFootprints* CfmPipeline::footprints() {
+  if (footprints_) {
+    return &*footprints_;
+  }
+  const CompiledProgram* code = bytecode();
+  if (code == nullptr) {
+    return nullptr;
+  }
+  footprints_.emplace(*code, program()->symbols());
+  return &*footprints_;
+}
+
+const LintResult* CfmPipeline::lint() {
+  if (lint_) {
+    return &*lint_;
+  }
+  const Program* prog = program();
+  if (prog == nullptr) {
+    return nullptr;
+  }
+  // binding()/certification() may fail (e.g. unresolvable annotations); the
+  // dataflow passes still run, only label-creep needs them.
+  const StaticBinding* bind = binding();
+  const CertificationResult* cert = certification();
+  lint_.emplace(RunLint(*prog, bind, cert, source(), options_.lint));
+  return &*lint_;
 }
 
 }  // namespace cfm

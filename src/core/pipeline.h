@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 
+#include "src/analysis/lint.h"
 #include "src/core/certification.h"
 #include "src/core/cfm.h"
 #include "src/core/static_binding.h"
@@ -39,6 +40,7 @@ struct PipelineOptions {
   const Lattice* lattice = nullptr;
   CfmOptions cfm;
   Theorem1Options theorem1;
+  LintOptions lint;
 };
 
 enum class PipelineStage : uint8_t {
@@ -93,6 +95,18 @@ class CfmPipeline {
   const ProofChecker* checker();
   // Compiled bytecode (never fails once the program exists).
   const CompiledProgram* bytecode();
+  // Per-statement read/write footprints over bytecode(); nullptr without a
+  // program. Shared by the lint passes and any caller wanting "S touches x".
+  const StmtFootprints* footprints();
+  // The lint battery (src/analysis): runs bind/certify first so label-creep
+  // can compare against the minimal binding, but tolerates their failure —
+  // a program that fails to bind still gets the dataflow passes. nullptr
+  // only without a program.
+  const LintResult* lint();
+
+  // The source buffer behind LoadFile/LoadSource; nullptr for adopted
+  // programs. Lint suppression comments and renderers need it.
+  const SourceManager* source() const { return source_ ? &*source_ : nullptr; }
 
   // Conveniences; only valid when the corresponding artifact exists.
   const SymbolTable& symbols() { return program()->symbols(); }
@@ -127,6 +141,8 @@ class CfmPipeline {
   std::optional<Proof> proof_;
   std::optional<ProofChecker> checker_;
   std::optional<CompiledProgram> bytecode_;
+  std::optional<StmtFootprints> footprints_;
+  std::optional<LintResult> lint_;
 
   PipelineStage stage_ = PipelineStage::kNone;
   std::string error_;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "src/analysis/lint.h"
 #include "src/core/pipeline.h"
 #include "src/fuzz/mutate.h"
 #include "src/lang/parser.h"
@@ -310,6 +311,41 @@ OracleResult CheckPipelineCache(const FuzzCase& fuzz_case, const OracleOptions&)
   return Pass();
 }
 
+// --- lint-stable ------------------------------------------------------------
+// The lint battery must behave as a pure analysis: identical findings on
+// repeated runs over the same program (determinism — RenderLintJson is the
+// canonical serialization), and no effect on the certification verdict
+// (running lint between two certifications must not change the outcome).
+OracleResult CheckLintStable(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  const StaticBinding& binding = *fuzz_case.binding;
+
+  CertificationResult before = Certify(fuzz_case, options);
+  LintResult first = RunLint(program, &binding, &before, /*source=*/nullptr);
+  LintResult second = RunLint(program, &binding, &before, /*source=*/nullptr);
+  std::string first_json = RenderLintJson(first, "<fuzz>");
+  std::string second_json = RenderLintJson(second, "<fuzz>");
+  if (first_json != second_json) {
+    return Fail("lint is nondeterministic on the same program:\n--- first ---\n" + first_json +
+                "\n--- second ---\n" + second_json);
+  }
+  CertificationResult after = Certify(fuzz_case, options);
+  if (before.certified() != after.certified() ||
+      before.violations().size() != after.violations().size()) {
+    return Fail("certification verdict changed across a lint run: " +
+                std::string(before.certified() ? "certified" : "rejected") + " -> " +
+                std::string(after.certified() ? "certified" : "rejected"));
+  }
+  // Lint must also cope without binding/certification (parse-only callers).
+  LintResult bare = RunLint(program, nullptr, nullptr, /*source=*/nullptr);
+  for (const LintFinding& finding : bare.findings) {
+    if (finding.pass == LintPass::kLabelCreep) {
+      return Fail("label-creep produced findings without a binding");
+    }
+  }
+  return Pass();
+}
+
 }  // namespace
 
 std::optional<Certifier> InjectedCertifier(std::string_view name) {
@@ -356,6 +392,8 @@ std::string_view ToString(OracleKind kind) {
       return "round-trip";
     case OracleKind::kPipelineCache:
       return "pipeline-cache";
+    case OracleKind::kLintStable:
+      return "lint-stable";
   }
   return "?";
 }
@@ -388,6 +426,8 @@ OracleResult RunOracle(OracleKind kind, const FuzzCase& fuzz_case,
       return CheckRoundTrip(fuzz_case, options);
     case OracleKind::kPipelineCache:
       return CheckPipelineCache(fuzz_case, options);
+    case OracleKind::kLintStable:
+      return CheckLintStable(fuzz_case, options);
   }
   return Skip("unknown oracle");
 }

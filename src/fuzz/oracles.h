@@ -17,6 +17,9 @@
 //                      and the AST survives modulo disambiguation blocks
 //   pipeline-cache     a cached CfmPipeline session agrees with cold,
 //                      direct calls into each stage
+//   lint-stable        the lint battery is a pure analysis: it never
+//                      crashes, is deterministic per program, and running
+//                      it does not change the certification verdict
 //
 // The certifier is pluggable so the fuzzer can mutation-test ITSELF: inject
 // a deliberately broken certifier (e.g. one that skips a Figure 2 check) and
@@ -82,11 +85,13 @@ enum class OracleKind : uint8_t {
   kPorVsFull,
   kRoundTrip,
   kPipelineCache,
+  kLintStable,
 };
 
 inline constexpr OracleKind kAllOracles[] = {
     OracleKind::kCertVsProof, OracleKind::kBuilderVsChecker, OracleKind::kCertSoundNi,
     OracleKind::kPorVsFull,   OracleKind::kRoundTrip,        OracleKind::kPipelineCache,
+    OracleKind::kLintStable,
 };
 
 std::string_view ToString(OracleKind kind);

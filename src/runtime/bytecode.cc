@@ -1,5 +1,6 @@
 #include "src/runtime/bytecode.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace cfm {
@@ -184,6 +185,53 @@ void AppendSuccessors(const Instruction& inst, uint32_t pc, std::vector<uint32_t
   }
 }
 
+// The shared per-instruction footprint definition, used by both the
+// instruction-level ProgramFacts and the statement-level StmtFootprints.
+void FillInstructionFootprint(const Instruction& inst, uint32_t fork_bit, Footprint& now) {
+  switch (inst.op) {
+    case OpCode::kAssign:
+      AddExprReads(inst.expr, now.reads);
+      SetBit(now.writes, inst.symbol);
+      break;
+    case OpCode::kBranchFalse:
+      AddExprReads(inst.expr, now.reads);
+      break;
+    case OpCode::kWait:
+    case OpCode::kSignal:
+      // Both read-modify-write the semaphore counter (a blocked wait
+      // attempt conservatively keeps the write).
+      SetBit(now.reads, inst.symbol);
+      SetBit(now.writes, inst.symbol);
+      break;
+    case OpCode::kSend:
+      AddExprReads(inst.expr, now.reads);
+      SetBit(now.reads, inst.symbol);
+      SetBit(now.writes, inst.symbol);
+      break;
+    case OpCode::kReceive:
+      SetBit(now.reads, inst.symbol);
+      SetBit(now.writes, inst.symbol);
+      SetBit(now.writes, inst.symbol2);
+      break;
+    case OpCode::kFork:
+      // Forks append to the thread vector; spawn order decides thread
+      // ids, so fork/fork pairs never commute.
+      SetBit(now.writes, fork_bit);
+      break;
+    case OpCode::kEndProcess:
+      // Termination touches only this thread and its (join-blocked)
+      // parent's child counter; sibling terminations commute and the
+      // parent cannot run concurrently. The explorer handles the
+      // join-enabling edge through the parent/child relation directly.
+      break;
+    case OpCode::kJump:
+    case OpCode::kPushPc:
+    case OpCode::kPopPc:
+      // Control bookkeeping; push/pop are no-ops with tracking off.
+      break;
+  }
+}
+
 }  // namespace
 
 ProgramFacts::ProgramFacts(const CompiledProgram& code, const SymbolTable& symbols) {
@@ -196,48 +244,7 @@ ProgramFacts::ProgramFacts(const CompiledProgram& code, const SymbolTable& symbo
     Footprint& now = facts_[pc].now;
     now.reads.assign(words_, 0);
     now.writes.assign(words_, 0);
-    switch (inst.op) {
-      case OpCode::kAssign:
-        AddExprReads(inst.expr, now.reads);
-        SetBit(now.writes, inst.symbol);
-        break;
-      case OpCode::kBranchFalse:
-        AddExprReads(inst.expr, now.reads);
-        break;
-      case OpCode::kWait:
-      case OpCode::kSignal:
-        // Both read-modify-write the semaphore counter (a blocked wait
-        // attempt conservatively keeps the write).
-        SetBit(now.reads, inst.symbol);
-        SetBit(now.writes, inst.symbol);
-        break;
-      case OpCode::kSend:
-        AddExprReads(inst.expr, now.reads);
-        SetBit(now.reads, inst.symbol);
-        SetBit(now.writes, inst.symbol);
-        break;
-      case OpCode::kReceive:
-        SetBit(now.reads, inst.symbol);
-        SetBit(now.writes, inst.symbol);
-        SetBit(now.writes, inst.symbol2);
-        break;
-      case OpCode::kFork:
-        // Forks append to the thread vector; spawn order decides thread
-        // ids, so fork/fork pairs never commute.
-        SetBit(now.writes, fork_bit);
-        break;
-      case OpCode::kEndProcess:
-        // Termination touches only this thread and its (join-blocked)
-        // parent's child counter; sibling terminations commute and the
-        // parent cannot run concurrently. The explorer handles the
-        // join-enabling edge through the parent/child relation directly.
-        break;
-      case OpCode::kJump:
-      case OpCode::kPushPc:
-      case OpCode::kPopPc:
-        // Control bookkeeping; push/pop are no-ops with tracking off.
-        break;
-    }
+    FillInstructionFootprint(inst, fork_bit, now);
   }
 
   // Transitive closure over the CFG to a fixpoint (loops make it cyclic).
@@ -270,6 +277,52 @@ bool ProgramFacts::Conflict(const Footprint& a, const Footprint& b) {
 
 bool ProgramFacts::FutureWrites(uint32_t pc, SymbolId symbol) const {
   return (facts_[pc].future.writes[symbol / 64] >> (symbol % 64) & 1) != 0;
+}
+
+bool FootprintContains(const std::vector<uint64_t>& mask, SymbolId symbol) {
+  return symbol / 64 < mask.size() && (mask[symbol / 64] >> (symbol % 64) & 1) != 0;
+}
+
+StmtFootprints::StmtFootprints(const CompiledProgram& code, const SymbolTable& symbols) {
+  const uint32_t fork_bit = static_cast<uint32_t>(symbols.size());
+  words_ = fork_bit / 64 + 1;
+  empty_.reads.assign(words_, 0);
+  empty_.writes.assign(words_, 0);
+  uint32_t max_id = 0;
+  for (const Instruction& inst : code.code) {
+    if (inst.origin != nullptr) {
+      max_id = std::max(max_id, inst.origin->id());
+    }
+  }
+  by_stmt_.resize(max_id + 1, empty_);
+  Footprint scratch;
+  for (const Instruction& inst : code.code) {
+    if (inst.origin == nullptr) {
+      continue;
+    }
+    scratch.reads.assign(words_, 0);
+    scratch.writes.assign(words_, 0);
+    FillInstructionFootprint(inst, fork_bit, scratch);
+    Footprint& into = by_stmt_[inst.origin->id()];
+    OrInto(into.reads, scratch.reads);
+    OrInto(into.writes, scratch.writes);
+  }
+}
+
+const Footprint& StmtFootprints::DirectAt(const Stmt& stmt) const {
+  return stmt.id() < by_stmt_.size() ? by_stmt_[stmt.id()] : empty_;
+}
+
+Footprint StmtFootprints::SubtreeAt(const Stmt& stmt) const {
+  Footprint out;
+  out.reads.assign(words_, 0);
+  out.writes.assign(words_, 0);
+  ForEachStmt(stmt, [&](const Stmt& child) {
+    const Footprint& direct = DirectAt(child);
+    OrInto(out.reads, direct.reads);
+    OrInto(out.writes, direct.writes);
+  });
+  return out;
 }
 
 CompiledProgram CompileStmt(const Stmt& stmt) {

@@ -94,6 +94,41 @@ class ProgramFacts {
   uint32_t words_ = 0;
 };
 
+// True when `symbol`'s bit is set in a footprint mask.
+bool FootprintContains(const std::vector<uint64_t>& mask, SymbolId symbol);
+
+// Per-STATEMENT footprints, aggregated from the instruction footprints by
+// the Stmt* each instruction was compiled from. `DirectAt` covers only the
+// instructions a statement emitted itself (an if/while contributes its
+// condition reads, not its branches); `SubtreeAt` unions the whole subtree.
+// This is the query surface the static-analysis layer (src/analysis/) uses,
+// so lint passes and the explorer agree on one definition of "S reads x"
+// (wait/signal read-modify-write their semaphore, receive writes its
+// target, etc. — see ProgramFacts).
+class StmtFootprints {
+ public:
+  StmtFootprints(const CompiledProgram& code, const SymbolTable& symbols);
+
+  // Footprint of the instructions compiled directly from `stmt`; all-zero
+  // masks when the statement emitted none (skip, block).
+  const Footprint& DirectAt(const Stmt& stmt) const;
+
+  // Union of DirectAt over every statement in `stmt`'s subtree.
+  Footprint SubtreeAt(const Stmt& stmt) const;
+
+  bool Reads(const Stmt& stmt, SymbolId symbol) const {
+    return FootprintContains(DirectAt(stmt).reads, symbol);
+  }
+  bool Writes(const Stmt& stmt, SymbolId symbol) const {
+    return FootprintContains(DirectAt(stmt).writes, symbol);
+  }
+
+ private:
+  std::vector<Footprint> by_stmt_;  // Indexed by Stmt::id().
+  Footprint empty_;                 // For statements past the indexed range.
+  uint32_t words_ = 0;
+};
+
 // Compiles the statement tree rooted at `stmt`.
 CompiledProgram CompileStmt(const Stmt& stmt);
 

@@ -1,0 +1,135 @@
+#include "src/support/json.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace cfm {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) {
+      os_ << ",";
+    }
+    wrote_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  os_ << "{";
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  os_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  os_ << "[";
+  wrote_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!wrote_element_.empty());
+  wrote_element_.pop_back();
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!wrote_element_.empty() && !pending_key_);
+  if (wrote_element_.back()) {
+    os_ << ",";
+  }
+  wrote_element_.back() = true;
+  os_ << "\"" << JsonEscape(key) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  os_ << "\"" << JsonEscape(value) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  os_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  os_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  os_ << json;
+  return *this;
+}
+
+}  // namespace cfm

@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer for the machine-readable diagnostic
+// renderers (`cfmc lint --json`, `cfmc check --json`, cfmlint). Emits
+// RFC 8259 JSON with deterministic key order (whatever order the caller
+// writes), no trailing whitespace, and full string escaping. There is no
+// reader here on purpose: the schemas are documented in docs/FORMATS.md and
+// consumers bring their own parser (the tests carry a tiny one).
+
+#ifndef SRC_SUPPORT_JSON_H_
+#define SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfm {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included).
+std::string JsonEscape(std::string_view text);
+
+// Comma placement is automatic: the writer tracks, per open container,
+// whether a separator is due. Misuse (e.g. a value with no pending key
+// inside an object) is a programming error and only checked by assert.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Writes `"key":` inside an object; must be followed by exactly one value
+  // (scalar or container).
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-serialized JSON in value position (e.g. a nested object
+  // another writer produced); the caller vouches for its validity.
+  JsonWriter& Raw(std::string_view json);
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void BeforeValue();
+
+  std::ostringstream os_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_JSON_H_

@@ -1,0 +1,140 @@
+// Schema tests for RenderLintJson: the output must parse as JSON and carry
+// exactly the fields documented in docs/FORMATS.md, with summary counts that
+// agree with the findings array.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/lint.h"
+#include "src/core/pipeline.h"
+#include "tests/testing/json.h"
+
+namespace cfm {
+namespace {
+
+using testing::JsonValue;
+using testing::ParseJson;
+
+std::unique_ptr<CfmPipeline> PipelineFor(const std::string& source) {
+  PipelineOptions options;
+  options.lattice_spec = "two";
+  auto pipeline = std::make_unique<CfmPipeline>(std::move(options));
+  EXPECT_TRUE(pipeline->LoadSource("<test>", source)) << pipeline->error();
+  return pipeline;
+}
+
+void ExpectFindingShape(const JsonValue& finding) {
+  ASSERT_TRUE(finding.is_object());
+  for (const char* key :
+       {"pass", "severity", "line", "column", "end_line", "end_column", "message",
+        "suppressed", "notes"}) {
+    EXPECT_TRUE(finding.has(key)) << "finding lacks '" << key << "'";
+  }
+  EXPECT_EQ(finding.at("pass").kind, JsonValue::Kind::kString);
+  EXPECT_TRUE(LintPassFromName(finding.at("pass").string_value).has_value())
+      << finding.at("pass").string_value;
+  const std::string& severity = finding.at("severity").string_value;
+  EXPECT_TRUE(severity == "error" || severity == "warning") << severity;
+  EXPECT_EQ(finding.at("line").kind, JsonValue::Kind::kInt);
+  EXPECT_GE(finding.at("line").int_value, 1);
+  EXPECT_GE(finding.at("column").int_value, 1);
+  EXPECT_EQ(finding.at("suppressed").kind, JsonValue::Kind::kBool);
+  ASSERT_TRUE(finding.at("notes").is_array());
+  for (const JsonValue& note : finding.at("notes").array) {
+    ASSERT_TRUE(note.is_object());
+    EXPECT_TRUE(note.has("line"));
+    EXPECT_TRUE(note.has("column"));
+    EXPECT_TRUE(note.has("message"));
+  }
+}
+
+TEST(LintJsonTest, RoundTripsDocumentedSchema) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore;
+    ghost, x, y : integer;
+begin
+  x := 1;
+  x := 2;
+  y := x;
+  wait(s)
+end
+)");
+  std::string rendered = RenderLintJson(*pipeline->lint(), "demo.cfm");
+  auto parsed = ParseJson(rendered);
+  ASSERT_TRUE(parsed.has_value()) << rendered;
+
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->at("file").string_value, "demo.cfm");
+  ASSERT_TRUE(parsed->at("findings").is_array());
+  ASSERT_FALSE(parsed->at("findings").array.empty());
+  for (const JsonValue& finding : parsed->at("findings").array) {
+    ExpectFindingShape(finding);
+  }
+
+  // The summary must agree with the findings array.
+  const JsonValue& summary = parsed->at("summary");
+  ASSERT_TRUE(summary.is_object());
+  int64_t errors = 0;
+  int64_t warnings = 0;
+  int64_t suppressed = 0;
+  for (const JsonValue& finding : parsed->at("findings").array) {
+    if (finding.at("suppressed").bool_value) {
+      ++suppressed;
+    } else if (finding.at("severity").string_value == "error") {
+      ++errors;
+    } else {
+      ++warnings;
+    }
+  }
+  EXPECT_EQ(summary.at("errors").int_value, errors);
+  EXPECT_EQ(summary.at("warnings").int_value, warnings);
+  EXPECT_EQ(summary.at("suppressed").int_value, suppressed);
+  EXPECT_EQ(errors, 1);  // The unsatisfiable wait.
+  EXPECT_EQ(warnings, 2);  // ghost never used + dead store to x.
+}
+
+TEST(LintJsonTest, SuppressedFindingsStayVisibleInJson) {
+  auto pipeline = PipelineFor(R"(
+-- lint:allow-file(dead-assign)
+var x, y : integer;
+begin x := 1; x := 2; y := x end
+)");
+  std::string rendered = RenderLintJson(*pipeline->lint(), "demo.cfm");
+  auto parsed = ParseJson(rendered);
+  ASSERT_TRUE(parsed.has_value()) << rendered;
+  ASSERT_EQ(parsed->at("findings").array.size(), 1u);
+  EXPECT_TRUE(parsed->at("findings").array[0].at("suppressed").bool_value);
+  EXPECT_EQ(parsed->at("summary").at("warnings").int_value, 0);
+  EXPECT_EQ(parsed->at("summary").at("suppressed").int_value, 1);
+}
+
+TEST(LintJsonTest, CleanResultHasEmptyFindings) {
+  auto pipeline = PipelineFor(R"(
+var inp, outp : integer;
+outp := inp
+)");
+  auto parsed = ParseJson(RenderLintJson(*pipeline->lint(), "clean.cfm"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->at("findings").array.empty());
+  EXPECT_EQ(parsed->at("summary").at("errors").int_value, 0);
+  EXPECT_EQ(parsed->at("summary").at("warnings").int_value, 0);
+}
+
+TEST(LintJsonTest, EscapesMessageContent) {
+  // Variable names land inside JSON strings; the renderer must escape the
+  // quotes the human renderer prints literally. (Names can't contain quotes
+  // themselves, so quoting in messages is the interesting case.)
+  auto pipeline = PipelineFor(R"(
+var x, ghost : integer;
+x := 1
+)");
+  std::string rendered = RenderLintJson(*pipeline->lint(), "quote\"me.cfm");
+  auto parsed = ParseJson(rendered);
+  ASSERT_TRUE(parsed.has_value()) << rendered;
+  EXPECT_EQ(parsed->at("file").string_value, "quote\"me.cfm");
+}
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,502 @@
+// Golden-diagnostic tests for the lint battery: for every pass, at least one
+// program that must trigger it and one near-miss that must stay silent, plus
+// the suppression comments, pass selection, ordering, and exit-code mapping.
+
+#include "src/analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+
+namespace cfm {
+namespace {
+
+std::unique_ptr<CfmPipeline> PipelineFor(const std::string& source,
+                                         const std::string& lattice = "two") {
+  PipelineOptions options;
+  options.lattice_spec = lattice;
+  auto pipeline = std::make_unique<CfmPipeline>(std::move(options));
+  EXPECT_TRUE(pipeline->LoadSource("<test>", source)) << pipeline->error();
+  return pipeline;
+}
+
+std::vector<const LintFinding*> FindingsOf(const LintResult& result, LintPass pass,
+                                           bool include_suppressed = false) {
+  std::vector<const LintFinding*> out;
+  for (const LintFinding& finding : result.findings) {
+    if (finding.pass == pass && (include_suppressed || !finding.suppressed)) {
+      out.push_back(&finding);
+    }
+  }
+  return out;
+}
+
+// --- use-before-init --------------------------------------------------------
+
+TEST(UseBeforeInitTest, FlagsReadReachableBeforeAssignment) {
+  auto pipeline = PipelineFor(R"(
+var inp, x, y : integer;
+begin
+  if inp > 0 then y := 1;
+  x := y
+end
+)");
+  const LintResult& result = *pipeline->lint();
+  auto findings = FindingsOf(result, LintPass::kUseBeforeInit);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("'y'"), std::string::npos);
+  EXPECT_EQ(findings[0]->severity, Severity::kWarning);
+  ASSERT_FALSE(findings[0]->notes.empty());
+  EXPECT_NE(findings[0]->notes[0].message.find("declared here"), std::string::npos);
+}
+
+TEST(UseBeforeInitTest, SilentWhenEveryPathAssigns) {
+  auto pipeline = PipelineFor(R"(
+var inp, x, y : integer;
+begin
+  if inp > 0 then y := 1 else y := 2;
+  x := y
+end
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kUseBeforeInit).empty());
+}
+
+TEST(UseBeforeInitTest, NeverAssignedVariablesAreInputs) {
+  // `inp` is read but no statement assigns it: that is the idiom for a
+  // program input, not a bug.
+  auto pipeline = PipelineFor(R"(
+var inp, x : integer;
+x := inp
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kUseBeforeInit).empty());
+}
+
+TEST(UseBeforeInitTest, SiblingCobeginWritesAreExempt) {
+  // The read of y in the second process may see the sibling's write
+  // depending on the schedule — a race, not a use-before-init.
+  auto pipeline = PipelineFor(R"(
+var inp, y, z : integer;
+cobegin
+  y := inp
+||
+  z := y
+coend
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kUseBeforeInit).empty());
+}
+
+TEST(UseBeforeInitTest, LoopBodyReadUsesEntryState) {
+  // n is assigned before the loop; acc only inside it, but acc := acc + n
+  // reads acc on the first iteration before any assignment.
+  auto pipeline = PipelineFor(R"(
+var n, acc : integer;
+begin
+  n := 3;
+  while n > 0 do begin acc := acc + 1; n := n - 1 end
+end
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kUseBeforeInit);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("'acc'"), std::string::npos);
+}
+
+// --- dead-assign ------------------------------------------------------------
+
+TEST(DeadAssignTest, FlagsStoreOverwrittenBeforeRead) {
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+begin
+  x := 1;
+  x := 2;
+  y := x
+end
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kDeadAssign);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("'x'"), std::string::npos);
+  EXPECT_EQ(findings[0]->range.begin.line, 4u);  // The first store.
+}
+
+TEST(DeadAssignTest, FinalStoresAreOutputsNotDead) {
+  auto pipeline = PipelineFor(R"(
+var inp, x : integer;
+x := inp
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kDeadAssign).empty());
+}
+
+TEST(DeadAssignTest, LoopCarriedStoresAreLive) {
+  auto pipeline = PipelineFor(R"(
+var n, acc : integer;
+begin
+  acc := 0;
+  n := 3;
+  while n > 0 do begin acc := acc + n; n := n - 1 end
+end
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kDeadAssign).empty());
+}
+
+TEST(DeadAssignTest, ConcurrentReadersPinStoresLive) {
+  // x := 1 would be dead sequentially (overwritten by x := 2), but the
+  // sibling process may read x between the stores.
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+cobegin
+  begin x := 1; x := 2 end
+||
+  y := x
+coend
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kDeadAssign).empty());
+}
+
+TEST(DeadAssignTest, FlagsNeverReferencedVariable) {
+  auto pipeline = PipelineFor(R"(
+var x, ghost : integer;
+x := 1
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kDeadAssign);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("'ghost'"), std::string::npos);
+  EXPECT_NE(findings[0]->message.find("never used"), std::string::npos);
+}
+
+// --- unreachable ------------------------------------------------------------
+
+TEST(UnreachableTest, FlagsConstantIfCondition) {
+  auto pipeline = PipelineFor(R"(
+var x : integer;
+if 1 > 2 then x := 1 else x := 2
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kUnreachable);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("always false"), std::string::npos);
+  ASSERT_FALSE(findings[0]->notes.empty());
+  EXPECT_NE(findings[0]->notes[0].message.find("'then' branch is unreachable"),
+            std::string::npos);
+}
+
+TEST(UnreachableTest, FlagsCodeAfterInfiniteLoop) {
+  auto pipeline = PipelineFor(R"(
+var x : integer;
+begin
+  while true do skip;
+  x := 1
+end
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kUnreachable);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0]->message.find("never terminates"), std::string::npos);
+  EXPECT_NE(findings[1]->message.find("unreachable"), std::string::npos);
+  EXPECT_EQ(findings[1]->range.begin.line, 5u);  // x := 1
+}
+
+TEST(UnreachableTest, SilentOnVariableConditions) {
+  auto pipeline = PipelineFor(R"(
+var inp, x : integer;
+begin
+  if inp > 0 then x := 1 else x := 2;
+  while x > 0 do x := x - 1
+end
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kUnreachable).empty());
+}
+
+// --- sem-pairing ------------------------------------------------------------
+
+TEST(SemPairingTest, UnsatisfiableWaitIsAnError) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore;
+wait(s)
+)");
+  const LintResult& result = *pipeline->lint();
+  auto findings = FindingsOf(result, LintPass::kSemPairing);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, Severity::kError);
+  EXPECT_NE(findings[0]->message.find("can never be satisfied"), std::string::npos);
+  EXPECT_TRUE(result.has_errors());
+  EXPECT_EQ(result.ExitCode(/*werror=*/false), 1);
+}
+
+TEST(SemPairingTest, NeverSignaledWithInitialBudgetIsAWarning) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore initially(1);
+wait(s)
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kSemPairing);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, Severity::kWarning);
+  EXPECT_NE(findings[0]->message.find("never signaled"), std::string::npos);
+}
+
+TEST(SemPairingTest, FlagsSignalOnNeverWaitedSemaphore) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore;
+signal(s)
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kSemPairing);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("never waited"), std::string::npos);
+}
+
+TEST(SemPairingTest, FlagsHalfUsedChannels) {
+  auto pipeline = PipelineFor(R"(
+var c, d : channel;
+    x : integer;
+cobegin
+  send(c, 1)
+||
+  receive(d, x)
+coend
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kSemPairing);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0]->message.find("never received"), std::string::npos);
+  EXPECT_NE(findings[1]->message.find("nothing sends"), std::string::npos);
+}
+
+TEST(SemPairingTest, SilentOnPairedUse) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore;
+cobegin
+  wait(s)
+||
+  signal(s)
+coend
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kSemPairing).empty());
+}
+
+// --- deadlock-order ---------------------------------------------------------
+
+TEST(DeadlockOrderTest, FlagsLockOrderInversion) {
+  auto pipeline = PipelineFor(R"(
+var a, b : semaphore initially(1);
+cobegin
+  begin wait(a); wait(b); signal(b); signal(a) end
+||
+  begin wait(b); wait(a); signal(a); signal(b) end
+coend
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kDeadlockOrder);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("conflicting orders"), std::string::npos);
+  // The two wait sites of the cycle are attached as notes.
+  ASSERT_EQ(findings[0]->notes.size(), 2u);
+  EXPECT_NE(findings[0]->notes[0].message.find("while holding"), std::string::npos);
+}
+
+TEST(DeadlockOrderTest, SilentOnConsistentOrder) {
+  auto pipeline = PipelineFor(R"(
+var a, b : semaphore initially(1);
+cobegin
+  begin wait(a); wait(b); signal(b); signal(a) end
+||
+  begin wait(a); wait(b); signal(b); signal(a) end
+coend
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kDeadlockOrder).empty());
+}
+
+TEST(DeadlockOrderTest, FlagsWaitWhilePossiblyHeld) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore initially(1);
+begin wait(s); wait(s) end
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kDeadlockOrder);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("self-deadlock"), std::string::npos);
+}
+
+TEST(DeadlockOrderTest, SignalReleasesTheHold) {
+  auto pipeline = PipelineFor(R"(
+var a, b : semaphore initially(1);
+cobegin
+  begin wait(a); signal(a); wait(b); signal(b) end
+||
+  begin wait(b); signal(b); wait(a); signal(a) end
+coend
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kDeadlockOrder).empty());
+}
+
+// --- label-creep ------------------------------------------------------------
+
+TEST(LabelCreepTest, FlagsOverclassifiedDerivedVariable) {
+  auto pipeline = PipelineFor(R"(
+var inp : integer class low;
+    outp : integer class high;
+outp := inp
+)");
+  auto findings = FindingsOf(*pipeline->lint(), LintPass::kLabelCreep);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0]->message.find("'outp'"), std::string::npos);
+  EXPECT_NE(findings[0]->message.find("'class low'"), std::string::npos);
+  ASSERT_FALSE(findings[0]->notes.empty());
+  EXPECT_NE(findings[0]->notes[0].message.find("fix-it"), std::string::npos);
+}
+
+TEST(LabelCreepTest, SilentWhenAnnotationIsMinimal) {
+  auto pipeline = PipelineFor(R"(
+var inp : integer class high;
+    outp : integer class high;
+outp := inp
+)");
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kLabelCreep).empty());
+}
+
+TEST(LabelCreepTest, InputAnnotationsArePolicyNotCreep) {
+  // inp is never written: its 'high' is the policy statement the program
+  // exists to enforce, not a lowerable artifact — even though re-inference
+  // with outp pinned at 'high' would happily certify inp at 'low'. Only
+  // written (derived) variables are creep candidates.
+  auto pipeline = PipelineFor(R"(
+var inp : integer class high;
+    outp : integer class high;
+outp := inp + 1
+)");
+  ASSERT_TRUE(pipeline->certification()->certified());
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kLabelCreep).empty());
+}
+
+TEST(LabelCreepTest, SkipsUncertifiedPrograms) {
+  auto pipeline = PipelineFor(R"(
+var h : integer class high;
+    l : integer class low;
+l := h
+)");
+  ASSERT_FALSE(pipeline->certification()->certified());
+  EXPECT_TRUE(FindingsOf(*pipeline->lint(), LintPass::kLabelCreep).empty());
+}
+
+// --- suppression, selection, ordering, exit codes ---------------------------
+
+TEST(LintSuppressionTest, AllowCommentSuppressesSameAndNextLine) {
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+begin
+  -- lint:allow(dead-assign)
+  x := 1;
+  x := 2;
+  y := x
+end
+)");
+  const LintResult& result = *pipeline->lint();
+  EXPECT_EQ(result.active_count(), 0u);
+  EXPECT_EQ(result.suppressed_count(), 1u);
+  EXPECT_EQ(result.ExitCode(/*werror=*/true), 0);
+}
+
+TEST(LintSuppressionTest, AllowOnOtherLineDoesNotSuppress) {
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+begin
+  x := 1;
+  -- lint:allow(use-before-init)
+  x := 2;
+  y := x
+end
+)");
+  // Wrong pass id on the right line: the dead-assign finding survives.
+  EXPECT_EQ(pipeline->lint()->active_count(), 1u);
+}
+
+TEST(LintSuppressionTest, AllowFileSuppressesEverywhere) {
+  auto pipeline = PipelineFor(R"(
+-- lint:allow-file(sem-pairing, dead-assign)
+var s : semaphore;
+    ghost : integer;
+wait(s)
+)");
+  const LintResult& result = *pipeline->lint();
+  EXPECT_EQ(result.active_count(), 0u);
+  EXPECT_EQ(result.suppressed_count(), 2u);
+  // Suppressed errors do not fail the exit code.
+  EXPECT_EQ(result.ExitCode(/*werror=*/true), 0);
+}
+
+TEST(LintOptionsTest, OnlySelectedPassesRun) {
+  PipelineOptions options;
+  options.lint.only = {LintPass::kDeadAssign};
+  CfmPipeline pipeline(std::move(options));
+  ASSERT_TRUE(pipeline.LoadSource("<test>", R"(
+var s : semaphore;
+    x, y : integer;
+begin
+  x := 1;
+  x := 2;
+  y := x;
+  wait(s)
+end
+)"));
+  const LintResult& result = *pipeline.lint();
+  EXPECT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].pass, LintPass::kDeadAssign);
+}
+
+TEST(LintResultTest, FindingsSortedBySourcePosition) {
+  auto pipeline = PipelineFor(R"(
+var s : semaphore;
+    ghost, x, y : integer;
+begin
+  x := 1;
+  x := 2;
+  y := x;
+  wait(s)
+end
+)");
+  const LintResult& result = *pipeline->lint();
+  ASSERT_GE(result.findings.size(), 3u);
+  for (size_t i = 1; i < result.findings.size(); ++i) {
+    EXPECT_LE(result.findings[i - 1].range.begin.offset, result.findings[i].range.begin.offset);
+  }
+}
+
+TEST(LintResultTest, WerrorPromotesWarnings) {
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+begin x := 1; x := 2; y := x end
+)");
+  const LintResult& result = *pipeline->lint();
+  ASSERT_EQ(result.active_count(), 1u);
+  EXPECT_FALSE(result.has_errors());
+  EXPECT_EQ(result.ExitCode(/*werror=*/false), 0);
+  EXPECT_EQ(result.ExitCode(/*werror=*/true), 1);
+}
+
+TEST(LintResultTest, CleanProgramIsClean) {
+  auto pipeline = PipelineFor(R"(
+var inp, outp : integer;
+outp := inp + 1
+)");
+  const LintResult& result = *pipeline->lint();
+  EXPECT_TRUE(result.findings.empty());
+  EXPECT_EQ(result.ExitCode(/*werror=*/true), 0);
+}
+
+TEST(LintPassNamesTest, StableIdsRoundTrip) {
+  for (LintPass pass : kAllLintPasses) {
+    auto parsed = LintPassFromName(ToString(pass));
+    ASSERT_TRUE(parsed.has_value()) << ToString(pass);
+    EXPECT_EQ(*parsed, pass);
+  }
+  EXPECT_FALSE(LintPassFromName("no-such-pass").has_value());
+}
+
+TEST(LintRenderTest, HumanRendererNamesPassAndCounts) {
+  auto pipeline = PipelineFor(R"(
+var x, y : integer;
+begin x := 1; x := 2; y := x end
+)");
+  std::string rendered = RenderLint(*pipeline->lint(), *pipeline->source());
+  EXPECT_NE(rendered.find("[dead-assign]"), std::string::npos);
+  EXPECT_NE(rendered.find("lint: 0 error(s), 1 warning(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfm

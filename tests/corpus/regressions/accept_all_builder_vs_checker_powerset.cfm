@@ -4,6 +4,7 @@
 -- note: campaign seed 29, case seed 17001272737444101658
 -- note: gen(seed=17001272737444101658, stmts=7, lattice=powerset:a,b,c) | delete-stmt: delete assignment | shuffle-cobegin: shuffle cobegin arms
 -- note: injected certifier: accept-all
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class {a,c};
   x1 : integer class {a,b};

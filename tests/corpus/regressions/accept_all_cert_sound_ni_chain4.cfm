@@ -4,6 +4,7 @@
 -- note: campaign seed 11, case seed 7935303740463472090
 -- note: gen(seed=7935303740463472090, stmts=8, lattice=chain:4) | swap-stmts: swap block stmts 1,2 | delete-stmt: delete cobegin/coend | rebind x5 to l0
 -- note: injected certifier: accept-all
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class l2;
   x1 : integer class l2;

@@ -4,6 +4,7 @@
 -- note: campaign seed 57, case seed 3451728013018727772
 -- note: gen(seed=3451728013018727772, stmts=24, lattice=two) | delete-stmt: delete begin/end | delete-stmt: delete assignment
 -- note: injected certifier: accept-all
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class high;
   x1 : integer class low;

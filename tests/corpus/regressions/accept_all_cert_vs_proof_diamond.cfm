@@ -4,6 +4,7 @@
 -- note: campaign seed 11, case seed 11319005769339734126
 -- note: gen(seed=11319005769339734126, stmts=8, lattice=diamond) | splice-stmt: splice cobegin/coend into block | delete-stmt: delete assignment
 -- note: injected certifier: accept-all
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class high;
   x1 : integer class low;

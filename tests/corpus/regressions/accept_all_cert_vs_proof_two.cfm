@@ -4,6 +4,7 @@
 -- note: campaign seed 29, case seed 12621821831952593900
 -- note: gen(seed=12621821831952593900, stmts=12, lattice=two)
 -- note: injected certifier: accept-all
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class low;
   x1 : integer class high;

@@ -4,6 +4,7 @@
 -- note: campaign seed 11, case seed 15234896864748935699
 -- note: gen(seed=15234896864748935699, stmts=11, lattice=chain:4)
 -- note: injected certifier: no-composition-check
+-- lint:allow-file(dead-assign, sem-pairing)
 var
   x0 : integer class l3;
   x1 : integer class l3;

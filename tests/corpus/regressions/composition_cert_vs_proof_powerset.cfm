@@ -4,6 +4,7 @@
 -- note: campaign seed 29, case seed 8568461789195595004
 -- note: gen(seed=8568461789195595004, stmts=6, lattice=powerset:a,b,c) | delete-stmt: delete assignment | splice-stmt: splice while into block | rebind x3 to {a}
 -- note: injected certifier: no-composition-check
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class {b};
   x1 : integer class {b};

@@ -4,6 +4,7 @@
 -- note: campaign seed 57, case seed 13215256405648572731
 -- note: gen(seed=13215256405648572731, stmts=20, lattice=two) | rebind x0 to high
 -- note: injected certifier: no-composition-check
+-- lint:allow-file(dead-assign)
 var
   x0 : integer class high;
   x1 : integer class high;

@@ -4,6 +4,7 @@
 -- note: campaign seed 5, case seed 11231503993016487816
 -- note: corpus(/tmp/onlyww/while_wait_iteration.cfm) | rebind y to low
 -- note: injected certifier: no-iteration-check
+-- lint:allow-file(use-before-init, sem-pairing, deadlock-order)
 var
   y : integer class low;
   c : integer class low;

@@ -4,6 +4,7 @@
 -- note: seed shape isolating the Figure 2 composition check (the paper's
 -- note: section 4.2 example): a high conditional delay flows into a later
 -- note: low assignment.
+-- lint:allow-file(sem-pairing)
 var
   y : integer class low;
   sem : semaphore initially(0) class high;

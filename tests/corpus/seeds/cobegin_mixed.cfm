@@ -4,6 +4,7 @@
 -- note: seed shape exercising cobegin arms over an incomparable pair: two
 -- note: producers at incomparable classes joined by a top-classified reader,
 -- note: with semaphores available for the break-sync mutation.
+-- lint:allow-file(label-creep, deadlock-order)
 var
   a : integer class left;
   b : integer class right;

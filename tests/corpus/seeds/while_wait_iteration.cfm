@@ -5,6 +5,7 @@
 -- note: every modified variable are low (so the local checks pass) and the
 -- note: trailing high wait precedes nothing (so composition passes), yet the
 -- note: loop's global flow (high) exceeds its mod (low) across iterations.
+-- lint:allow-file(use-before-init, sem-pairing, deadlock-order)
 var
   y : integer class low;
   c : integer class low;

@@ -1,0 +1,245 @@
+// Subprocess tests for the lint surface of the command line: `cfmc lint`
+// (human and JSON renderers, --werror, --passes), the JSON mode of
+// `cfmc check`/`cfmc explain`, and the standalone cfmlint driver with its
+// multi-file aggregation and `-- lattice:` header sniffing. Binary paths are
+// injected by the build (CFMC_PATH, CFMLINT_PATH).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "tests/testing/json.h"
+
+namespace cfm {
+namespace {
+
+#ifndef CFMC_PATH
+#error "the build must define CFMC_PATH"
+#endif
+#ifndef CFMLINT_PATH
+#error "the build must define CFMLINT_PATH"
+#endif
+
+using testing::JsonValue;
+using testing::ParseJson;
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunTool(const char* tool, const std::string& args) {
+  std::string command = std::string(tool) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  char buffer[4096];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+CommandResult RunCfmc(const std::string& args) { return RunTool(CFMC_PATH, args); }
+CommandResult RunCfmlint(const std::string& args) { return RunTool(CFMLINT_PATH, args); }
+
+class LintCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cfm_lint_cli_test_" + std::to_string(getpid()));
+    std::filesystem::create_directories(dir_);
+    // One warning (dead store) and nothing else.
+    WriteFile("warn.cfm", R"(
+var x, y : integer;
+begin x := 1; x := 2; y := x end
+)");
+    // One error: unsatisfiable wait.
+    WriteFile("error.cfm", R"(
+var s : semaphore;
+wait(s)
+)");
+    WriteFile("clean.cfm", R"(
+var inp, outp : integer;
+outp := inp
+)");
+    // Certification failure for check/explain --json.
+    WriteFile("leaky.cfm", R"(
+var h : integer class high;
+    l : integer class low;
+l := h
+)");
+    // Label creep under a diamond lattice, selected by reproducer-style
+    // header — exercises cfmlint's per-file lattice sniffing.
+    WriteFile("creep.cfm", R"(-- lattice: diamond
+var inp : integer class left;
+    outp : integer class high;
+outp := inp
+)");
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  void WriteFile(const std::string& name, const std::string& contents) {
+    std::ofstream out(dir_ / name);
+    out << contents;
+  }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+// --- cfmc lint --------------------------------------------------------------
+
+TEST_F(LintCliTest, LintWarningsExitZeroByDefault) {
+  CommandResult result = RunCfmc("lint " + Path("warn.cfm"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[dead-assign]"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("lint: 0 error(s), 1 warning(s)"), std::string::npos);
+}
+
+TEST_F(LintCliTest, WerrorTurnsWarningsIntoFailure) {
+  CommandResult result = RunCfmc("lint " + Path("warn.cfm") + " --werror");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(LintCliTest, LintErrorsExitOne) {
+  CommandResult result = RunCfmc("lint " + Path("error.cfm"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("can never be satisfied"), std::string::npos);
+}
+
+TEST_F(LintCliTest, CleanFileIsSilentSuccess) {
+  CommandResult result = RunCfmc("lint " + Path("clean.cfm"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("0 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST_F(LintCliTest, LintJsonParsesAndCarriesFindings) {
+  CommandResult result = RunCfmc("lint " + Path("warn.cfm") + " --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  ASSERT_TRUE(parsed->at("findings").is_array());
+  ASSERT_EQ(parsed->at("findings").array.size(), 1u);
+  EXPECT_EQ(parsed->at("findings").array[0].at("pass").string_value, "dead-assign");
+  EXPECT_EQ(parsed->at("summary").at("warnings").int_value, 1);
+}
+
+TEST_F(LintCliTest, PassesFlagRestrictsThePassList) {
+  CommandResult result = RunCfmc("lint " + Path("warn.cfm") + " --passes=unreachable");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output.find("dead-assign"), std::string::npos) << result.output;
+}
+
+TEST_F(LintCliTest, UnknownPassNameIsAUsageError) {
+  CommandResult result = RunCfmc("lint " + Path("warn.cfm") + " --passes=bogus");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("bogus"), std::string::npos);
+}
+
+// --- cfmc check/explain --json ---------------------------------------------
+
+TEST_F(LintCliTest, CheckJsonReportsViolationsWithWitness) {
+  CommandResult result = RunCfmc("check " + Path("leaky.cfm") + " --json");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  EXPECT_EQ(parsed->at("certified").bool_value, false);
+  ASSERT_TRUE(parsed->at("violations").is_array());
+  ASSERT_FALSE(parsed->at("violations").array.empty());
+  const JsonValue& violation = parsed->at("violations").array[0];
+  EXPECT_TRUE(violation.has("kind"));
+  EXPECT_TRUE(violation.has("flow_class"));
+  EXPECT_TRUE(violation.has("bound_class"));
+  ASSERT_TRUE(violation.at("witness").is_array());
+  ASSERT_FALSE(violation.at("witness").array.empty());
+  EXPECT_TRUE(violation.at("witness").array[0].has("source"));
+  EXPECT_TRUE(violation.at("witness").array[0].has("check"));
+}
+
+TEST_F(LintCliTest, CheckJsonOnCertifiedProgramIsClean) {
+  CommandResult result = RunCfmc("check " + Path("clean.cfm") + " --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  EXPECT_EQ(parsed->at("certified").bool_value, true);
+  EXPECT_TRUE(parsed->at("violations").array.empty());
+}
+
+TEST_F(LintCliTest, ExplainJsonMatchesCheckJsonSchema) {
+  CommandResult result = RunCfmc("explain " + Path("leaky.cfm") + " --json");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  EXPECT_TRUE(parsed->has("violations"));
+}
+
+// --- cfmlint ----------------------------------------------------------------
+
+TEST_F(LintCliTest, CfmlintAggregatesWorstExitAcrossFiles) {
+  CommandResult result =
+      RunCfmlint(Path("clean.cfm") + " " + Path("warn.cfm") + " " + Path("error.cfm"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  // Human mode prefixes each file's report with its path.
+  EXPECT_NE(result.output.find("warn.cfm"), std::string::npos);
+  EXPECT_NE(result.output.find("error.cfm"), std::string::npos);
+}
+
+TEST_F(LintCliTest, CfmlintJsonListsEveryFile) {
+  CommandResult result =
+      RunCfmlint("--json " + Path("clean.cfm") + " " + Path("warn.cfm"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  ASSERT_TRUE(parsed->at("files").is_array());
+  ASSERT_EQ(parsed->at("files").array.size(), 2u);
+  EXPECT_EQ(parsed->at("exit_code").int_value, 0);
+  const JsonValue& warn_entry = parsed->at("files").array[1];
+  EXPECT_EQ(warn_entry.at("summary").at("warnings").int_value, 1);
+}
+
+TEST_F(LintCliTest, CfmlintSniffsLatticeHeader) {
+  // creep.cfm only binds under the diamond lattice its header names; the
+  // label-creep pass then fires ('left' suffices where 'high' is declared).
+  CommandResult result = RunCfmlint(Path("creep.cfm"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[label-creep]"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("'class left'"), std::string::npos) << result.output;
+}
+
+TEST_F(LintCliTest, CfmlintWerrorPropagatesAcrossFiles) {
+  CommandResult result = RunCfmlint("--werror " + Path("clean.cfm") + " " + Path("warn.cfm"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(LintCliTest, CfmlintUnreadableFileReportsAndFails) {
+  CommandResult result = RunCfmlint("--json " + Path("missing.cfm"));
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  auto parsed = ParseJson(result.output);
+  ASSERT_TRUE(parsed.has_value()) << result.output;
+  ASSERT_EQ(parsed->at("files").array.size(), 1u);
+  EXPECT_TRUE(parsed->at("files").array[0].has("error"));
+}
+
+TEST_F(LintCliTest, CfmlintNoArgumentsIsUsage) {
+  CommandResult result = RunCfmlint("");
+  EXPECT_EQ(result.exit_code, 2) << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfm

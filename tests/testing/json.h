@@ -1,0 +1,262 @@
+// A deliberately small recursive-descent JSON reader for validating the JSON
+// the tools emit. Supports the subset JsonWriter produces: objects, arrays,
+// strings with \" \\ \n \t \r \uXXXX escapes, integers, and true/false/null.
+
+#ifndef TESTS_TESTING_JSON_H_
+#define TESTS_TESTING_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cfm {
+namespace testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Member access that fails soft: a missing key returns a null value.
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue null_value;
+    auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    auto value = ParseValue();
+    SkipSpace();
+    if (!value || pos_ != text_.size()) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject();
+    }
+    if (c == '[') {
+      return ParseArray();
+    }
+    if (c == '"') {
+      auto text = ParseString();
+      if (!text) {
+        return std::nullopt;
+      }
+      JsonValue value;
+      value.kind = JsonValue::Kind::kString;
+      value.string_value = std::move(*text);
+      return value;
+    }
+    if (ConsumeWord("true") || ConsumeWord("false")) {
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = c == 't';
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      return JsonValue{};
+    }
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      auto key = ParseString();
+      if (!key || !Consume(':')) {
+        return std::nullopt;
+      }
+      auto member = ParseValue();
+      if (!member) {
+        return std::nullopt;
+      }
+      value.object.emplace(std::move(*key), std::move(*member));
+      if (Consume('}')) {
+        return value;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      auto element = ParseValue();
+      if (!element) {
+        return std::nullopt;
+      }
+      value.array.push_back(std::move(*element));
+      if (Consume(']')) {
+        return value;
+      }
+      if (!Consume(',')) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          // Control characters only in JsonWriter's output; keep the low byte.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kInt;
+    value.int_value = std::stoll(std::string(text_.substr(start, pos_ - start)));
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace testing
+}  // namespace cfm
+
+#endif  // TESTS_TESTING_JSON_H_

@@ -1,6 +1,7 @@
 // cfmc — the Concurrent Flow Mechanism driver.
 //
 //   cfmc check <file>      certify with CFM (and compare with the baseline)
+//   cfmc lint <file>       run the static-analysis battery (src/analysis)
 //   cfmc prove <file>      build + verify the Theorem 1 flow proof
 //   cfmc infer <file>      infer the least certifying binding
 //   cfmc run <file>        execute (optionally with the label monitor)
@@ -11,6 +12,9 @@
 //
 // Common flags:
 //   --lattice=two|diamond|chain:N|powerset:a,b,...   (default: two)
+//   --json                 machine-readable output (check/explain/lint)
+//   --werror               lint: exit 1 on warnings, not just errors
+//   --passes=a,b           lint: run only the named passes
 //   --denning-permissive   use the permissive baseline in `check`
 //   --secret=V --observe=V1,V2 --values=a,b          (leaktest)
 //   --exhaustive           explore EVERY schedule instead of sampling; a
@@ -43,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/lint.h"
 #include "src/core/batch.h"
 #include "src/core/cfm.h"
 #include "src/core/denning.h"
@@ -59,6 +64,7 @@
 #include "src/logic/proof_io.h"
 #include "src/runtime/interpreter.h"
 #include "src/runtime/noninterference.h"
+#include "src/support/json.h"
 #include "src/support/text.h"
 
 namespace cfm {
@@ -72,6 +78,9 @@ struct CliOptions {
   std::string emit_proof;
   std::string proof_file;
   bool denning_permissive = false;
+  bool json = false;    // check/explain/lint: machine-readable output.
+  bool werror = false;  // lint: warnings fail the exit code.
+  std::vector<std::string> passes;  // lint: restrict to these pass ids.
   bool monitor = false;
   bool trace = false;
   bool table = false;
@@ -90,10 +99,11 @@ struct CliOptions {
 };
 
 int Usage() {
-  std::cerr << "usage: cfmc <check|explain|conditions|verify|prove|checkproof|infer|run|leaktest|\n"
-               "             dump|format> <file> [flags]\n"
+  std::cerr << "usage: cfmc <check|lint|explain|conditions|verify|prove|checkproof|infer|run|\n"
+               "             leaktest|dump|format> <file> [flags]\n"
                "       cfmc batch <dir> [--jobs=N] [--interpreted]   (certify every .cfm in <dir>)\n"
                "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
+               "       --json --werror --passes=a,b                        (check/explain/lint)\n"
                "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
                "       --secret=V --observe=V1,V2 --values=a,b --set=V=N --pin=V=CLASS\n"
                "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n"
@@ -125,6 +135,12 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.proof_file = *vq;
     } else if (arg == "--denning-permissive") {
       options.denning_permissive = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (auto vpass = value_of("--passes=")) {
+      options.passes = SplitString(*vpass, ',');
     } else if (arg == "--monitor") {
       options.monitor = true;
     } else if (arg == "--trace") {
@@ -200,10 +216,55 @@ std::optional<SymbolId> LookupOrComplain(const Program& program, const std::stri
   return id;
 }
 
+// The machine-readable certification report shared by `check --json` and
+// `explain --json`: the verdict plus every violation with its witness flow
+// path. Schema documented in docs/FORMATS.md ("certification JSON").
+std::string RenderCertificationJson(CfmPipeline& pipeline, const CliOptions& options) {
+  const Program& program = *pipeline.program();
+  const StaticBinding& binding = *pipeline.binding();
+  const CertificationResult& result = *pipeline.certification();
+  const ExtendedLattice& extended = binding.extended();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("file").String(options.file);
+  json.Key("lattice").String(pipeline.lattice()->Describe());
+  json.Key("mechanism").String(result.mechanism());
+  json.Key("certified").Bool(result.certified());
+  json.Key("violations").BeginArray();
+  for (const Violation& violation : result.violations()) {
+    json.BeginObject();
+    json.Key("kind").String(ToString(violation.kind));
+    json.Key("line").UInt(violation.stmt->range().begin.line);
+    json.Key("column").UInt(violation.stmt->range().begin.column);
+    json.Key("flow_class").String(extended.ElementName(violation.flow_class));
+    json.Key("bound_class").String(extended.ElementName(violation.bound_class));
+    json.Key("message").String(violation.message);
+    json.Key("witness").BeginArray();
+    for (const FlowStep& step : ExplainViolation(program, binding, violation)) {
+      json.BeginObject();
+      json.Key("source").String(program.symbols().at(step.source).name);
+      json.Key("target").String(program.symbols().at(step.target).name);
+      json.Key("check").String(ToString(step.kind));
+      json.Key("line").UInt(step.stmt->range().begin.line);
+      json.Key("column").UInt(step.stmt->range().begin.column);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
 int RunCheck(CfmPipeline& pipeline, const CliOptions& options) {
   const StaticBinding* binding = pipeline.binding();
   if (binding == nullptr) {
     return Report(pipeline);
+  }
+  if (options.json) {
+    std::cout << RenderCertificationJson(pipeline, options) << "\n";
+    return pipeline.certification()->certified() ? 0 : 1;
   }
   const Program& program = *pipeline.program();
   std::cout << "lattice: " << pipeline.lattice()->Describe() << "\n"
@@ -317,10 +378,14 @@ int RunConditions(CfmPipeline& pipeline) {
 }
 
 // Certifies, then prints a witness flow path for every violation.
-int RunExplain(CfmPipeline& pipeline) {
+int RunExplain(CfmPipeline& pipeline, const CliOptions& options) {
   const StaticBinding* binding = pipeline.binding();
   if (binding == nullptr) {
     return Report(pipeline);
+  }
+  if (options.json) {
+    std::cout << RenderCertificationJson(pipeline, options) << "\n";
+    return pipeline.certification()->certified() ? 0 : 1;
   }
   const Program& program = *pipeline.program();
   const CertificationResult& result = *pipeline.certification();
@@ -638,6 +703,21 @@ int RunBatch(const Lattice& lattice, const CliOptions& options) {
   return summary.all_certified() ? 0 : 1;
 }
 
+// Runs the lint battery. A bind failure (unresolvable annotation) is not
+// fatal here: the dataflow passes still run, label-creep silently skips.
+int RunLintCmd(CfmPipeline& pipeline, const CliOptions& options) {
+  const LintResult* lint = pipeline.lint();
+  if (lint == nullptr) {
+    return Report(pipeline);
+  }
+  if (options.json) {
+    std::cout << RenderLintJson(*lint, options.file) << "\n";
+  } else {
+    std::cout << RenderLint(*lint, *pipeline.source());
+  }
+  return lint->ExitCode(options.werror);
+}
+
 int RunDump(CfmPipeline& pipeline) {
   const Program& program = *pipeline.program();
   std::cout << PrintProgram(program);
@@ -659,6 +739,14 @@ int Main(int argc, char** argv) {
   PipelineOptions pipeline_options;
   pipeline_options.lattice_spec = options.lattice_spec;
   pipeline_options.lattice_file = options.lattice_file;
+  for (const std::string& name : options.passes) {
+    auto pass = LintPassFromName(name);
+    if (!pass) {
+      std::cerr << "cfmc: unknown lint pass '" << name << "'\n";
+      return Usage();
+    }
+    pipeline_options.lint.only.push_back(*pass);
+  }
   CfmPipeline pipeline(std::move(pipeline_options));
   const Lattice* lattice = pipeline.lattice();
   if (lattice == nullptr) {
@@ -673,8 +761,11 @@ int Main(int argc, char** argv) {
   if (options.command == "check") {
     return RunCheck(pipeline, options);
   }
+  if (options.command == "lint") {
+    return RunLintCmd(pipeline, options);
+  }
   if (options.command == "explain") {
-    return RunExplain(pipeline);
+    return RunExplain(pipeline, options);
   }
   if (options.command == "conditions") {
     return RunConditions(pipeline);

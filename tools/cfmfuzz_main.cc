@@ -4,7 +4,7 @@
 //   cfmfuzz --replay=FILE           re-run one reproducer file
 //
 // Each case is a generated (or corpus-seeded) program + static binding, put
-// through structured mutations and then through the six-oracle battery:
+// through structured mutations and then through the seven-oracle battery:
 // cert-vs-proof, builder-vs-checker, cert-sound-ni, por-vs-full, round-trip,
 // pipeline-cache. Failures are delta-reduced to minimal reproducers.
 //

@@ -1,0 +1,192 @@
+// cfmlint — the standalone lint driver.
+//
+//   cfmlint [flags] <file>...
+//
+//   --lattice=SPEC         classification scheme (default: two)
+//   --lattice-file=FILE    lattice-spec file
+//   --passes=a,b           run only the named passes
+//   --json                 one JSON object with a per-file array
+//   --werror               warnings fail the exit code
+//
+// Each file is linted through its own CfmPipeline session (the passes need
+// bind/certify for label-creep). A `-- lattice: <spec>` header line — the
+// fuzz-reproducer convention — overrides the command-line lattice for that
+// file, so lint runs over tests/corpus/ seeds unmodified.
+//
+// Exit: 0 when every file is clean (or all findings suppressed), 1 when any
+// file has errors (or warnings under --werror), 2 on usage mistakes.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/core/pipeline.h"
+#include "src/support/json.h"
+#include "src/support/text.h"
+
+namespace cfm {
+namespace {
+
+struct LintCliOptions {
+  std::vector<std::string> files;
+  std::string lattice_spec = "two";
+  std::string lattice_file;
+  std::vector<LintPass> only;
+  bool json = false;
+  bool werror = false;
+};
+
+int Usage() {
+  std::cerr << "usage: cfmlint [--lattice=SPEC | --lattice-file=FILE] [--passes=a,b]\n"
+               "               [--json] [--werror] <file>...\n"
+               "passes:";
+  for (LintPass pass : kAllLintPasses) {
+    std::cerr << " " << ToString(pass);
+  }
+  std::cerr << "\n";
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, LintCliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (auto v = value_of("--lattice=")) {
+      options.lattice_spec = *v;
+    } else if (auto vf = value_of("--lattice-file=")) {
+      options.lattice_file = *vf;
+    } else if (auto vp = value_of("--passes=")) {
+      for (const std::string& name : SplitString(*vp, ',')) {
+        auto pass = LintPassFromName(name);
+        if (!pass) {
+          std::cerr << "cfmlint: unknown pass '" << name << "'\n";
+          return false;
+        }
+        options.only.push_back(*pass);
+      }
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cfmlint: unknown flag: " << arg << "\n";
+      return false;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  return !options.files.empty();
+}
+
+// The fuzz-reproducer header: a leading "-- lattice: <spec>" line names the
+// scheme the program was generated against.
+std::optional<std::string> SniffLatticeHeader(const std::string& source) {
+  constexpr std::string_view kPrefix = "-- lattice: ";
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(kPrefix, 0) == 0) {
+      return line.substr(kPrefix.size());
+    }
+    if (!line.empty() && line.rfind("--", 0) != 0) {
+      break;  // Headers only appear before the first non-comment line.
+    }
+  }
+  return std::nullopt;
+}
+
+struct FileOutcome {
+  int exit_code = 0;
+  std::string human;  // Rendered findings (or the load/parse error).
+  std::string json;   // Per-file JSON object; empty on load/parse failure.
+  std::string error;  // Load/parse error for the JSON path.
+};
+
+FileOutcome LintOneFile(const std::string& path, const LintCliOptions& options) {
+  FileOutcome outcome;
+  std::ifstream in(path);
+  if (!in) {
+    outcome.error = "cannot open '" + path + "'";
+    outcome.human = "cfmlint: " + outcome.error + "\n";
+    outcome.exit_code = 1;
+    return outcome;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string source = buffer.str();
+
+  PipelineOptions pipeline_options;
+  pipeline_options.lattice_spec = options.lattice_spec;
+  pipeline_options.lattice_file = options.lattice_file;
+  if (auto header = SniffLatticeHeader(source)) {
+    pipeline_options.lattice_spec = *header;
+    pipeline_options.lattice_file.clear();
+  }
+  pipeline_options.lint.only = options.only;
+
+  CfmPipeline pipeline(std::move(pipeline_options));
+  if (!pipeline.LoadSource(path, source)) {
+    outcome.error = pipeline.error();
+    outcome.human = pipeline.error_stage() == PipelineStage::kParse
+                        ? pipeline.error()
+                        : "cfmlint: " + pipeline.error() + "\n";
+    outcome.exit_code = pipeline.exit_code();
+    return outcome;
+  }
+  const LintResult* lint = pipeline.lint();
+  outcome.human = path + ":\n" + RenderLint(*lint, *pipeline.source());
+  outcome.json = RenderLintJson(*lint, path);
+  outcome.exit_code = lint->ExitCode(options.werror);
+  return outcome;
+}
+
+int Main(int argc, char** argv) {
+  LintCliOptions options;
+  if (!ParseArgs(argc, argv, options)) {
+    return Usage();
+  }
+  int exit_code = 0;
+  std::vector<FileOutcome> outcomes;
+  for (const std::string& path : options.files) {
+    outcomes.push_back(LintOneFile(path, options));
+    exit_code = std::max(exit_code, outcomes.back().exit_code);
+  }
+  if (options.json) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("files").BeginArray();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].json.empty()) {
+        json.BeginObject();
+        json.Key("file").String(options.files[i]);
+        json.Key("error").String(outcomes[i].error);
+        json.EndObject();
+      } else {
+        json.Raw(outcomes[i].json);
+      }
+    }
+    json.EndArray();
+    json.Key("exit_code").Int(exit_code);
+    json.EndObject();
+    std::cout << json.str() << "\n";
+  } else {
+    for (const FileOutcome& outcome : outcomes) {
+      std::cout << outcome.human;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace cfm
+
+int main(int argc, char** argv) { return cfm::Main(argc, argv); }

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Lint gate over the checked-in program corpora: every example and corpus
+# file must lint clean (suppressions included, warnings fatal). Reproducer
+# files carry their own '-- lattice:' header, which cfmlint honors per file;
+# examples that need a lattice-spec file name it here.
+#
+# Usage: tools/lint_corpora.sh [path/to/cfmlint]
+set -eu
+
+CFMLINT="${1:-build/tools/cfmlint}"
+if [ ! -x "$CFMLINT" ]; then
+  echo "lint_corpora: $CFMLINT not built (pass the binary path as \$1)" >&2
+  exit 2
+fi
+
+status=0
+
+# mls_review.cfm binds against the multi-level-security lattice file; its
+# siblings all use the default two-point scheme or a '-- lattice:' header.
+"$CFMLINT" --werror --lattice-file=examples/programs/mls.lattice \
+  examples/programs/mls_review.cfm || status=1
+
+for f in examples/programs/*.cfm; do
+  [ "$f" = "examples/programs/mls_review.cfm" ] && continue
+  "$CFMLINT" --werror "$f" || status=1
+done
+
+"$CFMLINT" --werror tests/corpus/seeds/*.cfm tests/corpus/regressions/*.cfm || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "lint_corpora: findings above must be fixed or lint:allow-annotated" >&2
+fi
+exit "$status"
