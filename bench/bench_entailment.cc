@@ -13,6 +13,7 @@
 #include "src/lattice/chain.h"
 #include "src/lattice/extended.h"
 #include "src/logic/assertion.h"
+#include "src/logic/assertion_store.h"
 
 namespace cfm {
 namespace {
@@ -96,6 +97,56 @@ void BM_Assertion_Equivalence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Assertion_Equivalence)->Arg(8)->Arg(64)->Arg(512);
+
+// --- Interning hot path: Hash and canonical-form equality --------------------
+// Every AssertionStore::Intern computes one Hash and, on a bucket hit, one
+// IdenticalTo; both now walk the mask/bounds arrays word-at-a-time.
+
+void BM_Assertion_Hash(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.policy.Hash());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_Assertion_Hash)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Assertion_IdenticalTo(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  FlowAssertion copy = fixture.policy;  // Worst case: equal, full scan.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.policy.IdenticalTo(copy));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_Assertion_IdenticalTo)->Arg(8)->Arg(64)->Arg(512);
+
+// --- Batched entailment through the store ------------------------------------
+// One interned lhs against 64 interned rhs queries: EntailsMany decodes the
+// lhs once and the per-store memo short-circuits repeats, versus 64
+// independent solver runs on the first pass. The second iteration onward
+// measures the memo-hit path the interference-freedom matrix lives on.
+
+void BM_Store_EntailsMany(benchmark::State& state) {
+  AssertionFixture& fixture = FixtureOf(static_cast<uint64_t>(state.range(0)));
+  AssertionOps ops(fixture.ext);
+  AssertionStore store;
+  AssertionId lhs = store.Intern(fixture.policy);
+  std::vector<AssertionId> rhs;
+  for (uint64_t v = 0; v < 64; ++v) {
+    FlowAssertion weaker = fixture.policy.VPart();
+    weaker.WithAtomInPlace(ClassExpr::VarClass(static_cast<SymbolId>(v % state.range(0))),
+                           fixture.ext.Low(), fixture.ext);
+    rhs.push_back(store.Intern(weaker));
+  }
+  std::vector<uint8_t> verdicts;
+  for (auto _ : state) {
+    store.EntailsMany(lhs, rhs, ops, verdicts);
+    benchmark::DoNotOptimize(verdicts.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_Store_EntailsMany)->Arg(8)->Arg(64)->Arg(512);
 
 }  // namespace
 }  // namespace cfm

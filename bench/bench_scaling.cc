@@ -1,0 +1,155 @@
+// Experiment: the Section 6 linearity claim at scale. The paper argues both
+// mechanisms run "in time proportional to the length of the program"; the
+// older bench_certification series stops at 6.5×10^4 statements, small enough
+// that super-linear terms could hide in the noise. This binary pushes the
+// statements-vs-time series to 10^6 statements (generator scale profile),
+// adds a wide powerset-lattice variant (60 categories — ids are 64-bit
+// subset masks, the widest a ClassId can carry), and records multi-worker
+// BatchCertifier throughput. Google Benchmark's complexity fit (the BigO /
+// RMS rows in the JSON) is the recorded linearity verdict.
+//
+// CI runs the small profile only:
+//   bench_scaling --benchmark_filter='/(1024|4096|8192)$'
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/core/batch.h"
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/lang/printer.h"
+#include "src/lattice/powerset.h"
+
+namespace cfm {
+namespace {
+
+// One generated scale-profile program per statement-count bucket, built once
+// per process so generation cost stays outside the timed regions. These are
+// bigger than bench_common's ProgramOfSize corpora (up to 10^6 statements)
+// and use the wider scale symbol pool.
+const Program& ScaleProgramOfSize(uint32_t target_stmts) {
+  static auto* cache = new std::map<uint32_t, std::unique_ptr<Program>>();
+  auto it = cache->find(target_stmts);
+  if (it == cache->end()) {
+    GenOptions gen = ScaleGenOptions(target_stmts, /*seed=*/0x5CA1E + target_stmts);
+    it = cache->emplace(target_stmts, std::make_unique<Program>(GenerateProgram(gen))).first;
+  }
+  return *it->second;
+}
+
+// 60 categories: the widest powerset a 64-bit ClassId admits (the
+// implementation caps at 63; we leave headroom and say so in EXPERIMENTS.md).
+// Join/meet/leq are single OR/AND/AND-NOT instructions over the subset mask,
+// so this measures the certifier's own data movement, not lattice cost.
+const PowersetLattice& WidePowerset() {
+  static auto* lattice = [] {
+    std::vector<std::string> categories;
+    for (int i = 0; i < 60; ++i) {
+      categories.push_back("c" + std::to_string(i));
+    }
+    return new PowersetLattice(std::move(categories));
+  }();
+  return *lattice;
+}
+
+StaticBinding SpreadBinding(const Program& program, const Lattice& base) {
+  StaticBinding binding(base, program.symbols());
+  uint64_t i = 0;
+  for (const Symbol& symbol : program.symbols().symbols()) {
+    // Deterministic scatter over the id space; avoids Bottom so flows exist.
+    binding.Bind(symbol.id, (i * 2654435761u + 1) % base.size());
+    ++i;
+  }
+  return binding;
+}
+
+// --- Statements vs time: the linearity series -------------------------------
+
+void BM_Scale_CertifyCfm(benchmark::State& state) {
+  const Program& program = ScaleProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.SetComplexityN(static_cast<int64_t>(nodes));
+  state.counters["stmts"] = static_cast<double>(program.stmt_count());
+}
+BENCHMARK(BM_Scale_CertifyCfm)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1048576)
+    ->Complexity(benchmark::oN);
+
+void BM_Scale_CertifyCfm_Powerset60(benchmark::State& state) {
+  const Program& program = ScaleProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = SpreadBinding(program, WidePowerset());
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result = CertifyCfm(program, binding);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.SetComplexityN(static_cast<int64_t>(nodes));
+  state.counters["stmts"] = static_cast<double>(program.stmt_count());
+}
+BENCHMARK(BM_Scale_CertifyCfm_Powerset60)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1048576)
+    ->Complexity(benchmark::oN);
+
+void BM_Scale_CertifyDenning(benchmark::State& state) {
+  const Program& program = ScaleProgramOfSize(static_cast<uint32_t>(state.range(0)));
+  StaticBinding binding = bench::UniformBinding(program, bench::TwoPoint());
+  const uint64_t nodes = CountNodes(program.root());
+  for (auto _ : state) {
+    CertificationResult result = CertifyDenning(program, binding, DenningMode::kPermissive);
+    benchmark::DoNotOptimize(result.certified());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * nodes));
+  state.SetComplexityN(static_cast<int64_t>(nodes));
+}
+BENCHMARK(BM_Scale_CertifyDenning)
+    ->RangeMultiplier(4)
+    ->Range(1024, 1048576)
+    ->Complexity(benchmark::oN);
+
+// --- Multi-worker batch throughput ------------------------------------------
+// A fixed 48-program corpus (~2k statements each) certified by 1/2/4/8
+// BatchCertifier workers. On a single-core host the curve is flat — the
+// recorded num_cpus in the JSON summary says whether scaling was measurable.
+
+const std::vector<BatchJob>& BatchCorpus() {
+  static auto* jobs = [] {
+    auto* list = new std::vector<BatchJob>();
+    for (uint32_t i = 0; i < 48; ++i) {
+      GenOptions gen = ScaleGenOptions(2048, /*seed=*/0xBA7C + i);
+      Program program = GenerateProgram(gen);
+      list->push_back(BatchJob{"job" + std::to_string(i), PrintProgram(program)});
+    }
+    return list;
+  }();
+  return *jobs;
+}
+
+void BM_Scale_BatchThroughput(benchmark::State& state) {
+  const std::vector<BatchJob>& jobs = BatchCorpus();
+  BatchOptions options;
+  options.jobs = static_cast<uint32_t>(state.range(0));
+  BatchCertifier certifier(bench::TwoPoint(), options);
+  uint64_t total_stmts = 0;
+  for (auto _ : state) {
+    BatchSummary summary = certifier.Run(jobs);
+    total_stmts = summary.total_stmts;
+    benchmark::DoNotOptimize(summary.certified);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * total_stmts));
+  state.counters["workers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Scale_BatchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

@@ -15,33 +15,22 @@
 #include <vector>
 
 #include "src/analysis/passes.h"
+#include "src/support/bitset.h"
 
 namespace cfm {
 
 namespace {
 
-using SymbolSet = std::vector<bool>;
-
-void Union(SymbolSet& into, const SymbolSet& from) {
-  for (size_t i = 0; i < into.size(); ++i) {
-    into[i] = into[i] || from[i];
-  }
-}
-
-bool Subset(const SymbolSet& a, const SymbolSet& b) {
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i] && !b[i]) {
-      return false;
-    }
-  }
-  return true;
-}
+// Word-parallel symbol sets: the fixpoint's Subset test and the path joins
+// combine 64 symbols per op, which matters because while-loop convergence
+// re-runs Union/Subset over the whole table each iteration.
+using SymbolSet = WordBitset;
 
 void AddExprReads(const Expr& expr, SymbolSet& live) {
   std::vector<SymbolId> reads;
   CollectReads(expr, reads);
   for (SymbolId v : reads) {
-    live[v] = true;
+    live.set(v);
   }
 }
 
@@ -80,9 +69,9 @@ struct DeadAssignWalker {
     AddSubtreeReads(ctx.program.root(), read_anywhere);
     ForEachStmt(ctx.program.root(), [&](const Stmt& s) {
       if (s.kind() == StmtKind::kAssign) {
-        written_anywhere[s.As<AssignStmt>().target()] = true;
+        written_anywhere.set(s.As<AssignStmt>().target());
       } else if (s.kind() == StmtKind::kReceive) {
-        written_anywhere[s.As<ReceiveStmt>().target()] = true;
+        written_anywhere.set(s.As<ReceiveStmt>().target());
       }
     });
   }
@@ -97,13 +86,13 @@ struct DeadAssignWalker {
         SymbolId target = assign.target();
         // Never-read variables are outputs (or unused, reported at the
         // declaration); their stores are not flagged individually.
-        if (report && !live[target] && !pinned[target] && read_anywhere[target]) {
+        if (report && !live.test(target) && !pinned.test(target) && read_anywhere.test(target)) {
           const Symbol& symbol = ctx.program.symbols().at(target);
           ctx.Report(LintPass::kDeadAssign, Severity::kWarning, stmt.range(),
                      "value stored to '" + symbol.name +
                          "' is overwritten before any read observes it");
         }
-        live[target] = false;
+        live.reset(target);
         AddExprReads(assign.value(), live);
         return;
       }
@@ -114,9 +103,9 @@ struct DeadAssignWalker {
         if (branch.else_branch() != nullptr) {
           SymbolSet else_in = live;
           Walk(*branch.else_branch(), else_in, pinned, report);
-          Union(then_in, else_in);
+          then_in.UnionWith(else_in);
         } else {
-          Union(then_in, live);  // Fall-through path.
+          then_in.UnionWith(live);  // Fall-through path.
         }
         live = std::move(then_in);
         AddExprReads(branch.condition(), live);
@@ -132,10 +121,10 @@ struct DeadAssignWalker {
         while (true) {
           SymbolSet body_in = head;
           Walk(loop.body(), body_in, pinned, /*report=*/false);
-          if (Subset(body_in, head)) {
+          if (body_in.IsSubsetOf(head)) {
             break;
           }
-          Union(head, body_in);
+          head.UnionWith(body_in);
         }
         if (report) {
           SymbolSet body_in = head;
@@ -163,12 +152,12 @@ struct DeadAssignWalker {
           SymbolSet process_pinned = pinned;
           for (size_t j = 0; j < processes.size(); ++j) {
             if (j != i) {
-              Union(process_pinned, reads[j]);
+              process_pinned.UnionWith(reads[j]);
             }
           }
           SymbolSet process_in = live;
           Walk(*processes[i], process_in, process_pinned, report);
-          Union(in, process_in);
+          in.UnionWith(process_in);
         }
         live = std::move(in);
         return;
@@ -195,7 +184,7 @@ struct DeadAssignWalker {
       // A variable that is written but never read is this language's idiom
       // for an output (results live in final values), so only symbols with
       // no references at all are reported.
-      if (!read_anywhere[symbol.id] && !written_anywhere[symbol.id]) {
+      if (!read_anywhere.test(symbol.id) && !written_anywhere.test(symbol.id)) {
         ctx.Report(LintPass::kDeadAssign, Severity::kWarning, symbol.decl_range,
                    "variable '" + symbol.name + "' is never used");
       }

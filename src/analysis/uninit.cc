@@ -12,24 +12,15 @@
 #include <vector>
 
 #include "src/analysis/passes.h"
+#include "src/support/bitset.h"
 
 namespace cfm {
 
 namespace {
 
-using SymbolSet = std::vector<bool>;
-
-void Union(SymbolSet& into, const SymbolSet& from) {
-  for (size_t i = 0; i < into.size(); ++i) {
-    into[i] = into[i] || from[i];
-  }
-}
-
-void Intersect(SymbolSet& into, const SymbolSet& from) {
-  for (size_t i = 0; i < into.size(); ++i) {
-    into[i] = into[i] && from[i];
-  }
-}
+// Word-parallel symbol sets: the path joins (intersection at if, union at
+// coend) combine 64 symbols per op instead of one bool per iteration.
+using SymbolSet = WordBitset;
 
 struct UninitWalker {
   LintContext& ctx;
@@ -41,15 +32,15 @@ struct UninitWalker {
     SymbolSet assigned_anywhere(symbols.size(), false);
     ForEachStmt(ctx.program.root(), [&](const Stmt& stmt) {
       if (stmt.kind() == StmtKind::kAssign) {
-        assigned_anywhere[stmt.As<AssignStmt>().target()] = true;
+        assigned_anywhere.set(stmt.As<AssignStmt>().target());
       } else if (stmt.kind() == StmtKind::kReceive) {
-        assigned_anywhere[stmt.As<ReceiveStmt>().target()] = true;
+        assigned_anywhere.set(stmt.As<ReceiveStmt>().target());
       }
     });
     for (const Symbol& symbol : symbols.symbols()) {
       bool data_var = symbol.kind == SymbolKind::kInteger || symbol.kind == SymbolKind::kBoolean;
-      if (!data_var || !assigned_anywhere[symbol.id]) {
-        exempt[symbol.id] = true;
+      if (!data_var || !assigned_anywhere.test(symbol.id)) {
+        exempt.set(symbol.id);
       }
     }
   }
@@ -62,7 +53,7 @@ struct UninitWalker {
       case ExprKind::kVarRef: {
         const auto& ref = expr.As<VarRef>();
         SymbolId v = ref.symbol();
-        if (!assigned[v] && !exempt[v] && !concurrent[v]) {
+        if (!assigned.test(v) && !exempt.test(v) && !concurrent.test(v)) {
           const Symbol& symbol = ctx.program.symbols().at(v);
           LintFinding& finding =
               ctx.Report(LintPass::kUseBeforeInit, Severity::kWarning, ref.range(),
@@ -89,7 +80,7 @@ struct UninitWalker {
       case StmtKind::kAssign: {
         const auto& assign = stmt.As<AssignStmt>();
         CheckExpr(assign.value(), assigned, concurrent);
-        assigned[assign.target()] = true;
+        assigned.set(assign.target());
         return;
       }
       case StmtKind::kIf: {
@@ -100,7 +91,7 @@ struct UninitWalker {
         if (branch.else_branch() != nullptr) {
           SymbolSet else_out = assigned;
           Walk(*branch.else_branch(), else_out, concurrent);
-          Intersect(then_out, else_out);
+          then_out.IntersectWith(else_out);
           assigned = std::move(then_out);
         }
         // No else: the fall-through path leaves `assigned` unchanged, and the
@@ -131,9 +122,9 @@ struct UninitWalker {
         for (size_t i = 0; i < processes.size(); ++i) {
           ForEachStmt(*processes[i], [&](const Stmt& s) {
             if (s.kind() == StmtKind::kAssign) {
-              writes[i][s.As<AssignStmt>().target()] = true;
+              writes[i].set(s.As<AssignStmt>().target());
             } else if (s.kind() == StmtKind::kReceive) {
-              writes[i][s.As<ReceiveStmt>().target()] = true;
+              writes[i].set(s.As<ReceiveStmt>().target());
             }
           });
         }
@@ -142,12 +133,12 @@ struct UninitWalker {
           SymbolSet sibling = concurrent;
           for (size_t j = 0; j < processes.size(); ++j) {
             if (j != i) {
-              Union(sibling, writes[j]);
+              sibling.UnionWith(writes[j]);
             }
           }
           SymbolSet process_out = assigned;
           Walk(*processes[i], process_out, sibling);
-          Union(after, process_out);
+          after.UnionWith(process_out);
         }
         // All processes complete before coend, so every branch's definite
         // assignments hold afterwards.
@@ -158,7 +149,7 @@ struct UninitWalker {
         CheckExpr(stmt.As<SendStmt>().value(), assigned, concurrent);
         return;
       case StmtKind::kReceive:
-        assigned[stmt.As<ReceiveStmt>().target()] = true;
+        assigned.set(stmt.As<ReceiveStmt>().target());
         return;
       case StmtKind::kWait:
       case StmtKind::kSignal:

@@ -9,29 +9,42 @@ namespace cfm {
 
 namespace {
 
-BatchJobResult CertifyOne(const BatchJob& job, const Lattice& base, const CfmOptions& options) {
-  BatchJobResult out;
-  out.name = job.name;
+// Worker-side result lanes in struct-of-arrays layout: each worker writes
+// one dense scalar slot per lane instead of a string-heavy result struct, so
+// neighbouring jobs finished by different workers never share a result
+// object's cache lines and the final tally is a linear scan over contiguous
+// arrays. Names and errors (cold, string-typed) keep their own lanes.
+struct ResultLanes {
+  std::vector<uint8_t> parse_ok;
+  std::vector<uint8_t> certified;
+  std::vector<uint32_t> violation_count;
+  std::vector<uint32_t> stmt_count;
+  std::vector<std::string> error;
 
+  explicit ResultLanes(size_t n)
+      : parse_ok(n, 0), certified(n, 0), violation_count(n, 0), stmt_count(n, 0), error(n) {}
+};
+
+void CertifyOne(const BatchJob& job, const Lattice& base, const CfmOptions& options,
+                size_t index, ResultLanes& lanes) {
   PipelineOptions pipeline_options;
   pipeline_options.lattice = &base;
   pipeline_options.cfm = options;
   CfmPipeline pipeline(std::move(pipeline_options));
   if (!pipeline.LoadSource(job.name, job.source)) {
-    out.error = pipeline.error();
-    return out;
+    lanes.error[index] = pipeline.error();
+    return;
   }
   const StaticBinding* binding = pipeline.binding();
   if (binding == nullptr) {
-    out.error = pipeline.error();
-    return out;
+    lanes.error[index] = pipeline.error();
+    return;
   }
-  out.parse_ok = true;
-  out.stmt_count = pipeline.program()->stmt_count();
+  lanes.parse_ok[index] = 1;
+  lanes.stmt_count[index] = pipeline.program()->stmt_count();
   const CertificationResult* result = pipeline.certification();
-  out.certified = result->certified();
-  out.violation_count = static_cast<uint32_t>(result->violations().size());
-  return out;
+  lanes.certified[index] = result->certified() ? 1 : 0;
+  lanes.violation_count[index] = static_cast<uint32_t>(result->violations().size());
 }
 
 }  // namespace
@@ -41,7 +54,7 @@ BatchCertifier::BatchCertifier(const Lattice& base, BatchOptions options)
 
 BatchSummary BatchCertifier::Run(const std::vector<BatchJob>& jobs) const {
   BatchSummary summary;
-  summary.results.resize(jobs.size());
+  ResultLanes lanes(jobs.size());
 
   uint32_t workers = options_.jobs;
   if (workers == 0) {
@@ -56,7 +69,7 @@ BatchSummary BatchCertifier::Run(const std::vector<BatchJob>& jobs) const {
       if (index >= jobs.size()) {
         return;
       }
-      summary.results[index] = CertifyOne(jobs[index], base_, options_.cfm);
+      CertifyOne(jobs[index], base_, options_.cfm, index, lanes);
     }
   };
 
@@ -73,16 +86,25 @@ BatchSummary BatchCertifier::Run(const std::vector<BatchJob>& jobs) const {
     }
   }
 
-  for (const BatchJobResult& result : summary.results) {
-    if (!result.parse_ok) {
+  // Tally over the dense lanes, then assemble the caller-facing results.
+  summary.results.resize(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (lanes.parse_ok[i] == 0) {
       ++summary.failed;
-    } else if (result.certified) {
+    } else if (lanes.certified[i] != 0) {
       ++summary.certified;
-      summary.total_stmts += result.stmt_count;
+      summary.total_stmts += lanes.stmt_count[i];
     } else {
       ++summary.rejected;
-      summary.total_stmts += result.stmt_count;
+      summary.total_stmts += lanes.stmt_count[i];
     }
+    BatchJobResult& result = summary.results[i];
+    result.name = jobs[i].name;
+    result.parse_ok = lanes.parse_ok[i] != 0;
+    result.certified = lanes.certified[i] != 0;
+    result.violation_count = lanes.violation_count[i];
+    result.stmt_count = lanes.stmt_count[i];
+    result.error = std::move(lanes.error[i]);
   }
   return summary;
 }

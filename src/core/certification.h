@@ -6,6 +6,7 @@
 #define SRC_CORE_CERTIFICATION_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,7 @@ struct Violation {
 
 // Per-statement certification facts (Definition 5), indexed by Stmt::id().
 // All classes are extended-lattice ids; flow == nil means "no global flow".
+// A value type assembled from / scattered into the result's parallel arrays.
 struct StmtFacts {
   ClassId mod = 0;
   ClassId flow = 0;
@@ -57,14 +59,35 @@ struct StmtFacts {
 class CertificationResult {
  public:
   CertificationResult(std::string mechanism, uint32_t stmt_count)
-      : mechanism_(std::move(mechanism)), facts_(stmt_count) {}
+      : mechanism_(std::move(mechanism)),
+        mod_(stmt_count, 0),
+        flow_(stmt_count, 0),
+        cert_(stmt_count, 1),
+        computed_(stmt_count, 0) {}
 
   const std::string& mechanism() const { return mechanism_; }
   bool certified() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }
 
-  const StmtFacts& facts(const Stmt& stmt) const { return facts_[stmt.id()]; }
-  StmtFacts& facts_mut(const Stmt& stmt) { return facts_[stmt.id()]; }
+  StmtFacts facts(const Stmt& stmt) const {
+    const uint32_t i = stmt.id();
+    return StmtFacts{mod_[i], flow_[i], cert_[i] != 0, computed_[i] != 0};
+  }
+  void set_facts(const Stmt& stmt, const StmtFacts& facts) {
+    const uint32_t i = stmt.id();
+    mod_[i] = facts.mod;
+    flow_[i] = facts.flow;
+    cert_[i] = facts.cert ? 1 : 0;
+    computed_[i] = facts.computed ? 1 : 0;
+  }
+
+  // Struct-of-arrays views, indexed by Stmt::id(): batch consumers and the
+  // scaling benchmarks stream one fact across every statement without
+  // striding over the other fields.
+  std::span<const ClassId> mod_array() const { return mod_; }
+  std::span<const ClassId> flow_array() const { return flow_; }
+  std::span<const uint8_t> cert_array() const { return cert_; }
+  std::span<const uint8_t> computed_array() const { return computed_; }
 
   void AddViolation(Violation violation) { violations_.push_back(std::move(violation)); }
 
@@ -78,7 +101,11 @@ class CertificationResult {
 
  private:
   std::string mechanism_;
-  std::vector<StmtFacts> facts_;
+  // Parallel per-statement arrays (SoA): one contiguous lane per fact.
+  std::vector<ClassId> mod_;
+  std::vector<ClassId> flow_;
+  std::vector<uint8_t> cert_;
+  std::vector<uint8_t> computed_;
   std::vector<Violation> violations_;
 };
 

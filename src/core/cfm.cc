@@ -20,7 +20,7 @@ class CfmPass {
 
   // Computes mod/flow/cert for `stmt` (and its subtree), recording
   // violations as they are found. Returns the statement's facts.
-  const StmtFacts& Analyze(const Stmt& stmt) {
+  StmtFacts Analyze(const Stmt& stmt) {
     StmtFacts facts;
     switch (stmt.kind()) {
       case StmtKind::kAssign:
@@ -112,8 +112,8 @@ class CfmPass {
         break;
     }
     facts.computed = true;
-    result_.facts_mut(stmt) = facts;
-    return result_.facts(stmt);
+    result_.set_facts(stmt, facts);
+    return facts;
   }
 
  private:

@@ -16,7 +16,7 @@ class DenningPass {
         mode_(mode),
         result_(result) {}
 
-  const StmtFacts& Analyze(const Stmt& stmt) {
+  StmtFacts Analyze(const Stmt& stmt) {
     StmtFacts facts;
     facts.flow = ExtendedLattice::kNil;  // The baseline has no global flows.
     switch (stmt.kind()) {
@@ -162,8 +162,8 @@ class DenningPass {
         break;
     }
     facts.computed = true;
-    result_.facts_mut(stmt) = facts;
-    return result_.facts(stmt);
+    result_.set_facts(stmt, facts);
+    return facts;
   }
 
  private:

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -59,9 +60,10 @@ struct FuzzFailure {
 
 struct FuzzReport {
   uint32_t cases_run = 0;
-  // Indexed by static_cast<size_t>(OracleKind).
-  std::array<uint32_t, 6> passes = {};
-  std::array<uint32_t, 6> skips = {};
+  // Indexed by static_cast<size_t>(OracleKind); sized from the oracle list
+  // so adding an oracle can never index out of bounds again.
+  std::array<uint32_t, std::size(kAllOracles)> passes = {};
+  std::array<uint32_t, std::size(kAllOracles)> skips = {};
   std::vector<FuzzFailure> failures;
   bool ok() const { return failures.empty(); }
 };

@@ -346,6 +346,60 @@ OracleResult CheckLintStable(const FuzzCase& fuzz_case, const OracleOptions& opt
   return Pass();
 }
 
+// --- entail-batch -----------------------------------------------------------
+// Differential check of the entailment stack on the assertions a real proof
+// actually interns (not synthetic ones): for every sampled (p, q) pair from
+// the invariant candidate's arena store, the memoized AssertionStore::Entails,
+// the batched EntailsMany and the word-parallel FlowAssertion::Entails must
+// return exactly what the retained scalar reference returns. This is the
+// fuzzer-side twin of the WordParallelAssertionTest property tests — it sees
+// whatever assertion shapes the mutating corpus drives the builder into.
+OracleResult CheckEntailBatch(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  const Program& program = *fuzz_case.program;
+  const StaticBinding& binding = *fuzz_case.binding;
+  const ExtendedLattice& ext = binding.extended();
+  CertificationResult certification = Certify(fuzz_case, options);
+  // The invariant candidate builds for every program, certified or not, so
+  // the oracle never needs to skip; certified cases additionally contribute
+  // the Theorem 1 proof's (richer) assertion population.
+  Proof proof = BuildInvariantCandidate(program.root(), program.symbols(), binding, certification);
+  if (certification.certified()) {
+    Result<Proof> theorem1 = BuildTheorem1Proof(program, binding);
+    if (theorem1.ok()) {
+      proof = std::move(*theorem1);
+    }
+  }
+  const AssertionStore& store = proof.arena.store();
+  AssertionOps ops(ext);
+  const uint32_t n = store.size();
+  // Cap the pair matrix so pathological arenas stay bounded; the stride
+  // still covers every id as a lhs and a rhs.
+  const uint32_t stride = n > 64 ? (n + 63) / 64 : 1;
+  std::vector<AssertionId> rhs;
+  for (AssertionId q = 0; q < n; q += stride) {
+    rhs.push_back(q);
+  }
+  std::vector<uint8_t> batched;
+  for (AssertionId p = 0; p < n; p += stride) {
+    store.EntailsMany(p, rhs, ops, batched);
+    for (size_t i = 0; i < rhs.size(); ++i) {
+      const AssertionId q = rhs[i];
+      const bool scalar = store.at(p).EntailsScalar(store.at(q), ext);
+      const bool word = store.at(p).Entails(store.at(q), ops);
+      const bool memoized = store.Entails(p, q, ops);
+      if (word != scalar || memoized != scalar || (batched[i] != 0) != scalar) {
+        std::ostringstream os;
+        os << "entailment disagreement on interned pair (" << p << ", " << q << "): scalar says "
+           << (scalar ? "yes" : "no") << ", word-parallel " << (word ? "yes" : "no")
+           << ", memoized " << (memoized ? "yes" : "no") << ", batched "
+           << (batched[i] != 0 ? "yes" : "no");
+        return Fail(os.str());
+      }
+    }
+  }
+  return Pass();
+}
+
 }  // namespace
 
 std::optional<Certifier> InjectedCertifier(std::string_view name) {
@@ -370,7 +424,7 @@ std::optional<Certifier> InjectedCertifier(std::string_view name) {
       // report no violations — the classic "forgot to flag it" bug.
       CertificationResult lying("cfm(accept-all)", program.stmt_count());
       ForEachStmt(program.root(), [&](const Stmt& stmt) {
-        lying.facts_mut(stmt) = honest.facts(stmt);
+        lying.set_facts(stmt, honest.facts(stmt));
       });
       return lying;
     });
@@ -394,6 +448,8 @@ std::string_view ToString(OracleKind kind) {
       return "pipeline-cache";
     case OracleKind::kLintStable:
       return "lint-stable";
+    case OracleKind::kEntailBatch:
+      return "entail-batch";
   }
   return "?";
 }
@@ -428,6 +484,8 @@ OracleResult RunOracle(OracleKind kind, const FuzzCase& fuzz_case,
       return CheckPipelineCache(fuzz_case, options);
     case OracleKind::kLintStable:
       return CheckLintStable(fuzz_case, options);
+    case OracleKind::kEntailBatch:
+      return CheckEntailBatch(fuzz_case, options);
   }
   return Skip("unknown oracle");
 }

@@ -20,6 +20,10 @@
 //   lint-stable        the lint battery is a pure analysis: it never
 //                      crashes, is deterministic per program, and running
 //                      it does not change the certification verdict
+//   entail-batch       over every assertion a real proof arena interns, the
+//                      store's memoized Entails, the batched EntailsMany and
+//                      the word-parallel fast path all agree with the
+//                      retained scalar entailment reference
 //
 // The certifier is pluggable so the fuzzer can mutation-test ITSELF: inject
 // a deliberately broken certifier (e.g. one that skips a Figure 2 check) and
@@ -86,12 +90,13 @@ enum class OracleKind : uint8_t {
   kRoundTrip,
   kPipelineCache,
   kLintStable,
+  kEntailBatch,
 };
 
 inline constexpr OracleKind kAllOracles[] = {
     OracleKind::kCertVsProof, OracleKind::kBuilderVsChecker, OracleKind::kCertSoundNi,
     OracleKind::kPorVsFull,   OracleKind::kRoundTrip,        OracleKind::kPipelineCache,
-    OracleKind::kLintStable,
+    OracleKind::kLintStable,  OracleKind::kEntailBatch,
 };
 
 std::string_view ToString(OracleKind kind);

@@ -222,6 +222,19 @@ Program GenerateProgram(const GenOptions& options) {
   return generator.Generate();
 }
 
+GenOptions ScaleGenOptions(uint32_t target_stmts, uint64_t seed) {
+  GenOptions options;
+  options.seed = seed;
+  options.target_stmts = target_stmts;
+  options.max_depth = 8;
+  options.int_vars = 48;
+  options.bool_vars = 16;
+  options.semaphores = 6;
+  options.max_processes = 4;
+  options.executable = false;  // No per-loop counter symbols at scale.
+  return options;
+}
+
 StaticBinding GenerateBinding(const Program& program, const Lattice& base, BindingStyle style,
                               Rng& rng) {
   switch (style) {

@@ -53,6 +53,19 @@ struct GenOptions {
 // round-trip) and passes the frontend's typing rules by construction.
 Program GenerateProgram(const GenOptions& options);
 
+// Scale profile for the Section 6 linearity series (`cfmc gen --scale=N`,
+// bench_scaling): options tuned so 10^5–10^6-statement programs generate in
+// seconds and the symbol table stays bounded. Purely additive — a new entry
+// point constructing a fresh GenOptions never perturbs the draw stream of
+// existing (version, seed, options) corpora, so kGenStreamVersion holds.
+//
+// Differences from the defaults: wider variable pool (assertions carry many
+// bounds per word), deeper nesting, and executable=false so while loops do
+// not each mint a fresh bounded counter — at 10^6 statements that would add
+// ~10^5 symbols and make program size quadratic-ish in memory. The output is
+// a static-analysis corpus: certifiable, provable, lintable, not runnable.
+GenOptions ScaleGenOptions(uint32_t target_stmts, uint64_t seed);
+
 enum class BindingStyle : uint8_t {
   kUniform,   // One random class for every variable (always certifies).
   kRandom,    // Independent random class per variable (mixed verdicts).

@@ -66,6 +66,7 @@ class ExtendedLattice final : public Lattice {
   }
   ClassId Bottom() const override { return kNil; }
   ClassId Top() const override { return FromBase(ops_.Top()); }
+  const ExtendedLattice* AsNilExtended() const override { return this; }
   std::string ElementName(ClassId id) const override {
     return id == kNil ? "nil" : base_.ElementName(ToBase(id));
   }

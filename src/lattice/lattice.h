@@ -23,9 +23,17 @@ namespace cfm {
 // together with the lattice that produced them.
 using ClassId = uint64_t;
 
+class ExtendedLattice;
+
 class Lattice {
  public:
   virtual ~Lattice() = default;
+
+  // Identity when this lattice is the nil-extension of Definition 4, else
+  // null. One devirtualized branch where resolved views (AssertionOps)
+  // would otherwise pay a dynamic_cast per construction — those views are
+  // built per convenience-overload call on the assertion hot paths.
+  virtual const ExtendedLattice* AsNilExtended() const { return nullptr; }
 
   // Number of elements. Every id in [0, size()) is a valid element.
   virtual uint64_t size() const = 0;

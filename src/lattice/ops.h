@@ -53,6 +53,19 @@ class LatticeOps {
   ClassId Bottom() const { return bottom_; }
   ClassId Top() const { return top_; }
 
+  // Dense-tier row views. For a fixed operand `a`, Join/Meet against a run
+  // of ids is a contiguous gather from one precomputed row (both operations
+  // are commutative, so a fixed operand on either side qualifies); hoisting
+  // the row out of a loop drops the per-element multiply and table-presence
+  // branch. Null when the viewed lattice has no dense tables — callers fall
+  // back to the per-call operators above.
+  const ClassId* JoinRow(ClassId a) const {
+    return tables_.join != nullptr ? tables_.join + a * tables_.n : nullptr;
+  }
+  const ClassId* MeetRow(ClassId a) const {
+    return tables_.meet != nullptr ? tables_.meet + a * tables_.n : nullptr;
+  }
+
  private:
   const Lattice* lattice_;
   LatticeTables tables_;  // Zeroed (pointers null) unless compiled + dense.

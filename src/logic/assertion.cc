@@ -1,9 +1,23 @@
 #include "src/logic/assertion.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace cfm {
+
+AssertionOps::AssertionOps(const Lattice& ext) : AssertionOps(ext, ext.AsNilExtended()) {}
+
+// The extended path — every certifier/checker lattice — copies the
+// ExtendedLattice's precached base view and derives bottom/top from it
+// (nil below everything, top = embedded base top), so construction issues
+// no virtual lattice calls at all.
+AssertionOps::AssertionOps(const Lattice& ext, const ExtendedLattice* extended)
+    : ext_(&ext),
+      base_(extended != nullptr ? extended->base_ops() : LatticeOps(ext)),
+      nil_extended_(extended != nullptr),
+      bottom_(extended != nullptr ? ExtendedLattice::kNil : base_.Bottom()),
+      top_(extended != nullptr ? base_.Top() + 1 : base_.Top()) {}
 
 FlowAssertion FlowAssertion::False() {
   FlowAssertion a;
@@ -13,10 +27,10 @@ FlowAssertion FlowAssertion::False() {
 
 FlowAssertion FlowAssertion::Policy(const StaticBinding& binding, const SymbolTable& symbols) {
   FlowAssertion a;
-  const Lattice& ext = binding.extended();
+  AssertionOps ops(binding.extended());
   for (const Symbol& symbol : symbols.symbols()) {
     // A bound of Top is no constraint; keep the map canonical.
-    a.MeetVarBound(symbol.id, binding.ExtendedBinding(symbol.id), ext);
+    a.MeetVarBound(symbol.id, binding.ExtendedBinding(symbol.id), /*row=*/nullptr, ops);
   }
   return a;
 }
@@ -46,9 +60,10 @@ void FlowAssertion::SetFalse() {
   is_false_ = true;
 }
 
-void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext) {
+void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const ClassId* row,
+                                 const AssertionOps& ops) {
   if (symbol >= var_bounds_.size()) {
-    if (bound == ext.Top()) {
+    if (bound == ops.Top()) {
       return;  // Canonical: Top bounds are absent.
     }
     var_bounds_.resize(symbol + 1, kNoBound);
@@ -56,7 +71,7 @@ void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& 
   }
   ClassId& slot = var_bounds_[symbol];
   if (slot == kNoBound) {
-    if (bound == ext.Top()) {
+    if (bound == ops.Top()) {
       return;
     }
     slot = bound;
@@ -64,48 +79,65 @@ void FlowAssertion::MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& 
     ++bound_count_;
   } else {
     // Meet of a non-Top bound with anything stays below Top.
-    slot = ext.Meet(slot, bound);
+    slot = row != nullptr ? ops.MeetWithRow(row, slot) : ops.Meet(slot, bound);
   }
 }
 
-void FlowAssertion::MeetLocalBound(ClassId bound, const Lattice& ext) {
-  ClassId next = local_bound_ == kNoBound ? bound : ext.Meet(local_bound_, bound);
-  local_bound_ = next == ext.Top() ? kNoBound : next;
+void FlowAssertion::MeetLocalBound(ClassId bound, const AssertionOps& ops) {
+  ClassId next = local_bound_ == kNoBound ? bound : ops.Meet(local_bound_, bound);
+  local_bound_ = next == ops.Top() ? kNoBound : next;
 }
 
-void FlowAssertion::MeetGlobalBound(ClassId bound, const Lattice& ext) {
-  ClassId next = global_bound_ == kNoBound ? bound : ext.Meet(global_bound_, bound);
-  global_bound_ = next == ext.Top() ? kNoBound : next;
+void FlowAssertion::MeetGlobalBound(ClassId bound, const AssertionOps& ops) {
+  ClassId next = global_bound_ == kNoBound ? bound : ops.Meet(global_bound_, bound);
+  global_bound_ = next == ops.Top() ? kNoBound : next;
 }
 
-void FlowAssertion::WithAtomInPlace(const ClassExpr& expr, ClassId bound, const Lattice& ext) {
+void FlowAssertion::EraseVarBound(SymbolId symbol) {
+  if (symbol >= var_bounds_.size() || var_bounds_[symbol] == kNoBound) {
+    return;
+  }
+  var_bounds_[symbol] = kNoBound;
+  mask_[symbol / 64] &= ~(uint64_t{1} << (symbol % 64));
+  --bound_count_;
+}
+
+void FlowAssertion::WithAtomInPlace(const ClassExpr& expr, ClassId bound,
+                                    const AssertionOps& ops) {
   if (is_false_) {
     return;
   }
   // join(e1..ek) ≤ bound  ⟺  every ei ≤ bound.
-  if (!ext.Leq(expr.constant(), bound)) {
+  if (!ops.Leq(expr.constant(), bound)) {
     SetFalse();
     return;
   }
+  // Hoist the dense meet row for the (fixed) bound: every term of the atom
+  // then gathers its meet from one contiguous table row.
+  const ClassId* row = ops.MeetRow(bound);
   for (SymbolId v : expr.vars()) {
-    MeetVarBound(v, bound, ext);
+    MeetVarBound(v, bound, row, ops);
   }
   if (expr.has_local()) {
-    MeetLocalBound(bound, ext);
+    MeetLocalBound(bound, ops);
   }
   if (expr.has_global()) {
-    MeetGlobalBound(bound, ext);
+    MeetGlobalBound(bound, ops);
   }
+}
+
+void FlowAssertion::WithAtomInPlace(const ClassExpr& expr, ClassId bound, const Lattice& ext) {
+  WithAtomInPlace(expr, bound, AssertionOps(ext));
 }
 
 FlowAssertion FlowAssertion::WithAtom(const ClassExpr& expr, ClassId bound,
                                       const Lattice& ext) const {
   FlowAssertion result = *this;
-  result.WithAtomInPlace(expr, bound, ext);
+  result.WithAtomInPlace(expr, bound, AssertionOps(ext));
   return result;
 }
 
-void FlowAssertion::ConjoinInPlace(const FlowAssertion& other, const Lattice& ext) {
+void FlowAssertion::ConjoinInPlace(const FlowAssertion& other, const AssertionOps& ops) {
   if (is_false_) {
     return;
   }
@@ -113,14 +145,47 @@ void FlowAssertion::ConjoinInPlace(const FlowAssertion& other, const Lattice& ex
     SetFalse();
     return;
   }
-  other.ForEachVarBound(
-      [this, &ext](SymbolId symbol, ClassId bound) { MeetVarBound(symbol, bound, ext); });
+  if (other.bound_count_ != 0) {
+    // Word-parallel merge: grow to cover other's map, then per 64-var word
+    // split other's constrained set into fresh bits (bulk-copied — canonical
+    // bounds are never Top, so a straight copy preserves canonicity) and
+    // shared bits (pointwise meet, a table-gather under a compiled lattice).
+    if (other.var_bounds_.size() > var_bounds_.size()) {
+      var_bounds_.resize(other.var_bounds_.size(), kNoBound);
+      mask_.resize(other.mask_.size(), 0);
+    }
+    for (size_t word = 0; word < other.mask_.size(); ++word) {
+      const uint64_t theirs = other.mask_[word];
+      if (theirs == 0) {
+        continue;
+      }
+      const uint64_t mine = mask_[word];
+      mask_[word] = mine | theirs;
+      uint64_t fresh = theirs & ~mine;
+      bound_count_ += static_cast<uint32_t>(std::popcount(fresh));
+      while (fresh != 0) {
+        size_t v = word * 64 + static_cast<size_t>(std::countr_zero(fresh));
+        fresh &= fresh - 1;
+        var_bounds_[v] = other.var_bounds_[v];
+      }
+      uint64_t shared = theirs & mine;
+      while (shared != 0) {
+        size_t v = word * 64 + static_cast<size_t>(std::countr_zero(shared));
+        shared &= shared - 1;
+        var_bounds_[v] = ops.Meet(var_bounds_[v], other.var_bounds_[v]);
+      }
+    }
+  }
   if (other.local_bound_ != kNoBound) {
-    MeetLocalBound(other.local_bound_, ext);
+    MeetLocalBound(other.local_bound_, ops);
   }
   if (other.global_bound_ != kNoBound) {
-    MeetGlobalBound(other.global_bound_, ext);
+    MeetGlobalBound(other.global_bound_, ops);
   }
+}
+
+void FlowAssertion::ConjoinInPlace(const FlowAssertion& other, const Lattice& ext) {
+  ConjoinInPlace(other, AssertionOps(ext));
 }
 
 FlowAssertion FlowAssertion::Conjoin(const FlowAssertion& other, const Lattice& ext) const {
@@ -128,63 +193,85 @@ FlowAssertion FlowAssertion::Conjoin(const FlowAssertion& other, const Lattice& 
     return False();
   }
   FlowAssertion result = *this;
-  result.ConjoinInPlace(other, ext);
+  result.ConjoinInPlace(other, AssertionOps(ext));
   return result;
 }
 
 void FlowAssertion::SubstituteInto(FlowAssertion& out,
                                    const std::vector<std::pair<TermRef, ClassExpr>>& subs,
-                                   const Lattice& ext) const {
+                                   const AssertionOps& ops) const {
   out.Clear();
   if (is_false_) {
     out.is_false_ = true;
     return;
   }
-  auto find_sub = [&subs](const TermRef& term) -> const ClassExpr* {
-    for (const auto& [ref, expr] : subs) {
-      if (ref == term) {
-        return &expr;
+  // Bulk copy of the canonical bound map (word moves into out's existing
+  // capacity), then simultaneous substitution as strip-then-apply: remove
+  // every substituted term's bound, then re-apply each as an atom
+  //   replacement ≤ original-bound
+  // reading the original bounds from *this* — so a replacement expression
+  // mentioning a substituted term (sem <- sem ⊕ local ⊕ global) re-bounds
+  // it without the atoms observing each other's intermediate state.
+  out.var_bounds_ = var_bounds_;
+  out.mask_ = mask_;
+  out.bound_count_ = bound_count_;
+  out.local_bound_ = local_bound_;
+  out.global_bound_ = global_bound_;
+  for (const auto& [ref, expr] : subs) {
+    switch (ref.kind) {
+      case TermRef::Kind::kVar:
+        out.EraseVarBound(ref.var);
+        break;
+      case TermRef::Kind::kLocal:
+        out.local_bound_ = kNoBound;
+        break;
+      case TermRef::Kind::kGlobal:
+        out.global_bound_ = kNoBound;
+        break;
+    }
+  }
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const auto& [ref, expr] = subs[i];
+    ClassId bound = kNoBound;
+    switch (ref.kind) {
+      case TermRef::Kind::kVar:
+        bound = ref.var < var_bounds_.size() ? var_bounds_[ref.var] : kNoBound;
+        break;
+      case TermRef::Kind::kLocal:
+        bound = local_bound_;
+        break;
+      case TermRef::Kind::kGlobal:
+        bound = global_bound_;
+        break;
+    }
+    if (bound == kNoBound) {
+      continue;  // Unconstrained term: the substitution drops out.
+    }
+    // Only the first substitution for a given term applies (simultaneous
+    // substitution semantics; later duplicates are ignored).
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (subs[j].first == ref) {
+        duplicate = true;
+        break;
       }
     }
-    return nullptr;
-  };
+    if (!duplicate) {
+      out.WithAtomInPlace(expr, bound, ops);
+    }
+  }
+}
 
-  ForEachVarBound([&](SymbolId symbol, ClassId bound) {
-    if (out.is_false_) {
-      return;
-    }
-    if (const ClassExpr* replacement = find_sub(TermRef::Var(symbol))) {
-      out.WithAtomInPlace(*replacement, bound, ext);
-    } else {
-      out.MeetVarBound(symbol, bound, ext);
-    }
-  });
-  if (out.is_false_) {
-    return;
-  }
-  if (local_bound_ != kNoBound) {
-    if (const ClassExpr* replacement = find_sub(TermRef::Local())) {
-      out.WithAtomInPlace(*replacement, local_bound_, ext);
-    } else {
-      out.MeetLocalBound(local_bound_, ext);
-    }
-  }
-  if (out.is_false_) {
-    return;
-  }
-  if (global_bound_ != kNoBound) {
-    if (const ClassExpr* replacement = find_sub(TermRef::Global())) {
-      out.WithAtomInPlace(*replacement, global_bound_, ext);
-    } else {
-      out.MeetGlobalBound(global_bound_, ext);
-    }
-  }
+void FlowAssertion::SubstituteInto(FlowAssertion& out,
+                                   const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                                   const Lattice& ext) const {
+  SubstituteInto(out, subs, AssertionOps(ext));
 }
 
 FlowAssertion FlowAssertion::Substitute(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
                                         const Lattice& ext) const {
   FlowAssertion result;
-  SubstituteInto(result, subs, ext);
+  SubstituteInto(result, subs, AssertionOps(ext));
   return result;
 }
 
@@ -203,6 +290,21 @@ ClassId FlowAssertion::BoundOf(const TermRef& term, const Lattice& ext) const {
   return ext.Top();
 }
 
+ClassId FlowAssertion::BoundOf(const TermRef& term, const AssertionOps& ops) const {
+  if (is_false_) {
+    return ops.Bottom();
+  }
+  switch (term.kind) {
+    case TermRef::Kind::kVar:
+      return has_var_bound(term.var) ? var_bounds_[term.var] : ops.Top();
+    case TermRef::Kind::kLocal:
+      return local_bound_ == kNoBound ? ops.Top() : local_bound_;
+    case TermRef::Kind::kGlobal:
+      return global_bound_ == kNoBound ? ops.Top() : global_bound_;
+  }
+  return ops.Top();
+}
+
 FlowAssertion FlowAssertion::VPart() const {
   FlowAssertion result = *this;
   result.local_bound_ = kNoBound;
@@ -210,7 +312,244 @@ FlowAssertion FlowAssertion::VPart() const {
   return result;
 }
 
+bool FlowAssertion::Entails(const FlowAssertion& q, const AssertionOps& ops) const {
+  if (is_false_) {
+    return true;
+  }
+  if (q.is_false_) {
+    return false;
+  }
+  const size_t my_words = mask_.size();
+  for (size_t word = 0; word < q.mask_.size(); ++word) {
+    const uint64_t theirs = q.mask_[word];
+    if (theirs == 0) {
+      continue;
+    }
+    const uint64_t mine = word < my_words ? mask_[word] : 0;
+    // Variables q constrains that we do not: our implicit bound is Top, and
+    // Top ≤ b only for b = Top, which canonical assertions never store — so
+    // one mask word answers 64 such queries at once. The per-bit recheck
+    // runs only on the (normally empty) residue, keeping the verdict exactly
+    // the scalar reference's even for non-canonical q.
+    uint64_t extra = theirs & ~mine;
+    while (extra != 0) {
+      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(extra));
+      extra &= extra - 1;
+      if (q.var_bounds_[v] != ops.Top()) {
+        return false;
+      }
+    }
+    // Bounds present on both sides: Leq per bit, a table-gather under a
+    // compiled lattice.
+    uint64_t shared = theirs & mine;
+    while (shared != 0) {
+      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(shared));
+      shared &= shared - 1;
+      if (!ops.Leq(var_bounds_[v], q.var_bounds_[v])) {
+        return false;
+      }
+    }
+  }
+  if (q.local_bound_ != kNoBound) {
+    if (local_bound_ == kNoBound ? q.local_bound_ != ops.Top()
+                                 : !ops.Leq(local_bound_, q.local_bound_)) {
+      return false;
+    }
+  }
+  if (q.global_bound_ != kNoBound) {
+    if (global_bound_ == kNoBound ? q.global_bound_ != ops.Top()
+                                  : !ops.Leq(global_bound_, q.global_bound_)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool FlowAssertion::Entails(const FlowAssertion& q, const Lattice& ext) const {
+  return Entails(q, AssertionOps(ext));
+}
+
+bool FlowAssertion::IdenticalTo(const FlowAssertion& q) const {
+  if (is_false_ != q.is_false_ || bound_count_ != q.bound_count_ ||
+      local_bound_ != q.local_bound_ || global_bound_ != q.global_bound_) {
+    return false;
+  }
+  if (bound_count_ == 0) {
+    return true;
+  }
+  // The vectors may differ in trailing unconstrained slots; equal counts plus
+  // equal common words force any tail words to be empty. Within the common
+  // prefix every unconstrained slot is kNoBound on both sides, so the bound
+  // vectors compare as flat memory — and every constrained variable fits in
+  // the common prefix (a set bit v implies v < var_bounds_.size() on each
+  // side), so the prefix comparison is the whole answer.
+  const size_t common_words = std::min(mask_.size(), q.mask_.size());
+  if (std::memcmp(mask_.data(), q.mask_.data(), common_words * sizeof(uint64_t)) != 0) {
+    return false;
+  }
+  const size_t common_bounds = std::min(var_bounds_.size(), q.var_bounds_.size());
+  return std::memcmp(var_bounds_.data(), q.var_bounds_.data(),
+                     common_bounds * sizeof(ClassId)) == 0;
+}
+
+uint64_t FlowAssertion::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the canonical form.
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ull;
+  };
+  mix(is_false_ ? 1 : 0);
+  // Word-at-a-time: one mix per populated mask word (tagged with its index,
+  // so capacity-only differences and empty gaps cannot collide shapes), then
+  // the constrained bounds of that word in ascending order.
+  for (size_t word = 0; word < mask_.size(); ++word) {
+    uint64_t bits = mask_[word];
+    if (bits == 0) {
+      continue;
+    }
+    mix(word);
+    mix(bits);
+    while (bits != 0) {
+      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      mix(var_bounds_[v]);
+    }
+  }
+  mix(local_bound_);
+  mix(global_bound_);
+  return h;
+}
+
+// --- Scalar reference implementations --------------------------------------
+// The pre-word-parallel code paths, kept verbatim (one virtual lattice call
+// per bound, per-bit iteration) as the differential-testing oracle for the
+// word-parallel paths above. Changes here must preserve the original
+// semantics, not chase performance.
+
+void FlowAssertion::MeetVarBoundScalar(SymbolId symbol, ClassId bound, const Lattice& ext) {
+  if (symbol >= var_bounds_.size()) {
+    if (bound == ext.Top()) {
+      return;
+    }
+    var_bounds_.resize(symbol + 1, kNoBound);
+    mask_.resize((static_cast<size_t>(symbol) + 64) / 64, 0);
+  }
+  ClassId& slot = var_bounds_[symbol];
+  if (slot == kNoBound) {
+    if (bound == ext.Top()) {
+      return;
+    }
+    slot = bound;
+    mask_[symbol / 64] |= uint64_t{1} << (symbol % 64);
+    ++bound_count_;
+  } else {
+    slot = ext.Meet(slot, bound);
+  }
+}
+
+void FlowAssertion::MeetLocalBoundScalar(ClassId bound, const Lattice& ext) {
+  ClassId next = local_bound_ == kNoBound ? bound : ext.Meet(local_bound_, bound);
+  local_bound_ = next == ext.Top() ? kNoBound : next;
+}
+
+void FlowAssertion::MeetGlobalBoundScalar(ClassId bound, const Lattice& ext) {
+  ClassId next = global_bound_ == kNoBound ? bound : ext.Meet(global_bound_, bound);
+  global_bound_ = next == ext.Top() ? kNoBound : next;
+}
+
+void FlowAssertion::WithAtomInPlaceScalar(const ClassExpr& expr, ClassId bound,
+                                          const Lattice& ext) {
+  if (is_false_) {
+    return;
+  }
+  if (!ext.Leq(expr.constant(), bound)) {
+    SetFalse();
+    return;
+  }
+  for (SymbolId v : expr.vars()) {
+    MeetVarBoundScalar(v, bound, ext);
+  }
+  if (expr.has_local()) {
+    MeetLocalBoundScalar(bound, ext);
+  }
+  if (expr.has_global()) {
+    MeetGlobalBoundScalar(bound, ext);
+  }
+}
+
+FlowAssertion FlowAssertion::WithAtomScalar(const ClassExpr& expr, ClassId bound,
+                                            const Lattice& ext) const {
+  FlowAssertion result = *this;
+  result.WithAtomInPlaceScalar(expr, bound, ext);
+  return result;
+}
+
+FlowAssertion FlowAssertion::ConjoinScalar(const FlowAssertion& other, const Lattice& ext) const {
+  if (is_false_ || other.is_false_) {
+    return False();
+  }
+  FlowAssertion result = *this;
+  other.ForEachVarBound([&result, &ext](SymbolId symbol, ClassId bound) {
+    result.MeetVarBoundScalar(symbol, bound, ext);
+  });
+  if (other.local_bound_ != kNoBound) {
+    result.MeetLocalBoundScalar(other.local_bound_, ext);
+  }
+  if (other.global_bound_ != kNoBound) {
+    result.MeetGlobalBoundScalar(other.global_bound_, ext);
+  }
+  return result;
+}
+
+FlowAssertion FlowAssertion::SubstituteScalar(
+    const std::vector<std::pair<TermRef, ClassExpr>>& subs, const Lattice& ext) const {
+  FlowAssertion out;
+  if (is_false_) {
+    out.is_false_ = true;
+    return out;
+  }
+  auto find_sub = [&subs](const TermRef& term) -> const ClassExpr* {
+    for (const auto& [ref, expr] : subs) {
+      if (ref == term) {
+        return &expr;
+      }
+    }
+    return nullptr;
+  };
+  ForEachVarBound([&](SymbolId symbol, ClassId bound) {
+    if (out.is_false_) {
+      return;
+    }
+    if (const ClassExpr* replacement = find_sub(TermRef::Var(symbol))) {
+      out.WithAtomInPlaceScalar(*replacement, bound, ext);
+    } else {
+      out.MeetVarBoundScalar(symbol, bound, ext);
+    }
+  });
+  if (out.is_false_) {
+    return out;
+  }
+  if (local_bound_ != kNoBound) {
+    if (const ClassExpr* replacement = find_sub(TermRef::Local())) {
+      out.WithAtomInPlaceScalar(*replacement, local_bound_, ext);
+    } else {
+      out.MeetLocalBoundScalar(local_bound_, ext);
+    }
+  }
+  if (out.is_false_) {
+    return out;
+  }
+  if (global_bound_ != kNoBound) {
+    if (const ClassExpr* replacement = find_sub(TermRef::Global())) {
+      out.WithAtomInPlaceScalar(*replacement, global_bound_, ext);
+    } else {
+      out.MeetGlobalBoundScalar(global_bound_, ext);
+    }
+  }
+  return out;
+}
+
+bool FlowAssertion::EntailsScalar(const FlowAssertion& q, const Lattice& ext) const {
   if (is_false_) {
     return true;
   }
@@ -241,46 +580,6 @@ bool FlowAssertion::Entails(const FlowAssertion& q, const Lattice& ext) const {
     }
   }
   return true;
-}
-
-bool FlowAssertion::IdenticalTo(const FlowAssertion& q) const {
-  if (is_false_ != q.is_false_ || bound_count_ != q.bound_count_ ||
-      local_bound_ != q.local_bound_ || global_bound_ != q.global_bound_) {
-    return false;
-  }
-  // The vectors may differ in trailing unconstrained slots; equal counts plus
-  // equal common words force any tail words to be empty.
-  size_t common = std::min(mask_.size(), q.mask_.size());
-  for (size_t word = 0; word < common; ++word) {
-    if (mask_[word] != q.mask_[word]) {
-      return false;
-    }
-    uint64_t bits = mask_[word];
-    while (bits != 0) {
-      size_t v = word * 64 + static_cast<size_t>(std::countr_zero(bits));
-      bits &= bits - 1;
-      if (var_bounds_[v] != q.var_bounds_[v]) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
-
-uint64_t FlowAssertion::Hash() const {
-  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the canonical form.
-  auto mix = [&h](uint64_t x) {
-    h ^= x;
-    h *= 0x100000001b3ull;
-  };
-  mix(is_false_ ? 1 : 0);
-  ForEachVarBound([&mix](SymbolId symbol, ClassId bound) {
-    mix(symbol);
-    mix(bound);
-  });
-  mix(local_bound_);
-  mix(global_bound_);
-  return h;
 }
 
 std::string FlowAssertion::ToString(const SymbolTable& symbols, const Lattice& ext) const {

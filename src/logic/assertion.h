@@ -30,6 +30,89 @@
 
 namespace cfm {
 
+// AssertionOps: the resolved lattice view the assertion hot paths iterate
+// with. Assertions are normalized against an extension lattice passed as a
+// plain `const Lattice&`; resolving what that lattice *is* (almost always an
+// ExtendedLattice over a compiled base) costs a dynamic_cast — so the view
+// does it once, caches the base-lattice LatticeOps, and inlines the
+// nil-extension arithmetic (nil = 0, base ids shifted by one). Under a
+// dense-tier CompiledLattice every Leq/Join/Meet a word-parallel loop issues
+// is then a table read, not a virtual call: the per-bound loops in Entails
+// and ConjoinInPlace become table-gathers over the constrained-var mask.
+//
+// Build one per pass/checker, not per query. Never owns the lattice.
+class AssertionOps {
+ public:
+  explicit AssertionOps(const Lattice& ext);
+
+  const Lattice& lattice() const { return *ext_; }
+  ClassId Bottom() const { return bottom_; }
+  ClassId Top() const { return top_; }
+
+  bool Leq(ClassId a, ClassId b) const {
+    if (nil_extended_) {
+      if (a == ExtendedLattice::kNil) {
+        return true;
+      }
+      if (b == ExtendedLattice::kNil) {
+        return false;
+      }
+      return base_.Leq(a - 1, b - 1);
+    }
+    return base_.Leq(a, b);
+  }
+
+  ClassId Join(ClassId a, ClassId b) const {
+    if (nil_extended_) {
+      if (a == ExtendedLattice::kNil) {
+        return b;
+      }
+      if (b == ExtendedLattice::kNil) {
+        return a;
+      }
+      return base_.Join(a - 1, b - 1) + 1;
+    }
+    return base_.Join(a, b);
+  }
+
+  ClassId Meet(ClassId a, ClassId b) const {
+    if (nil_extended_) {
+      if (a == ExtendedLattice::kNil || b == ExtendedLattice::kNil) {
+        return ExtendedLattice::kNil;
+      }
+      return base_.Meet(a - 1, b - 1) + 1;
+    }
+    return base_.Meet(a, b);
+  }
+
+  // Dense meet row for a fixed operand, in *extended* id space. Null when
+  // the base lattice has no dense tables or `a` is nil (meet with nil is nil
+  // — the caller keeps that branch). When non-null, MeetWithRow(row, b)
+  // gathers Meet(a, b) for any b, so a loop meeting many bounds against one
+  // fixed class is a contiguous table gather.
+  const ClassId* MeetRow(ClassId a) const {
+    if (nil_extended_) {
+      return a == ExtendedLattice::kNil ? nullptr : base_.MeetRow(a - 1);
+    }
+    return base_.MeetRow(a);
+  }
+  ClassId MeetWithRow(const ClassId* row, ClassId b) const {
+    if (nil_extended_) {
+      return b == ExtendedLattice::kNil ? ExtendedLattice::kNil : row[b - 1] + 1;
+    }
+    return row[b];
+  }
+
+ private:
+  AssertionOps(const Lattice& ext, const ExtendedLattice* extended);
+
+  const Lattice* ext_;
+  LatticeOps base_;  // Base-lattice view when nil-extended, else over ext itself.
+  bool nil_extended_ = false;
+  ClassId bottom_;
+  ClassId top_;
+};
+
 // What a substitution targets: a variable's class, `local`, or `global`.
 struct TermRef {
   enum class Kind : uint8_t { kVar, kLocal, kGlobal };
@@ -85,6 +168,30 @@ class FlowAssertion {
   // out's storage.
   void SubstituteInto(FlowAssertion& out, const std::vector<std::pair<TermRef, ClassExpr>>& subs,
                       const Lattice& ext) const;
+
+  // Resolved-view overloads: the word-parallel hot paths. Same results as
+  // the `const Lattice&` forms (which are thin wrappers constructing a view
+  // per call); pass a prebuilt AssertionOps from loops that issue many
+  // queries so the lattice resolution happens once, not per call.
+  void WithAtomInPlace(const ClassExpr& expr, ClassId bound, const AssertionOps& ops);
+  void ConjoinInPlace(const FlowAssertion& other, const AssertionOps& ops);
+  void SubstituteInto(FlowAssertion& out, const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                      const AssertionOps& ops) const;
+  bool Entails(const FlowAssertion& q, const AssertionOps& ops) const;
+  bool EquivalentTo(const FlowAssertion& q, const AssertionOps& ops) const {
+    return IdenticalTo(q) || (Entails(q, ops) && q.Entails(*this, ops));
+  }
+  ClassId BoundOf(const TermRef& term, const AssertionOps& ops) const;
+
+  // Scalar reference implementations: the original one-virtual-call-per-bound
+  // loops, retained verbatim so property tests and the fuzz battery can prove
+  // the word-parallel paths bit-identical on arbitrary lattices. Not for
+  // production callers.
+  bool EntailsScalar(const FlowAssertion& q, const Lattice& ext) const;
+  FlowAssertion WithAtomScalar(const ClassExpr& expr, ClassId bound, const Lattice& ext) const;
+  FlowAssertion ConjoinScalar(const FlowAssertion& other, const Lattice& ext) const;
+  FlowAssertion SubstituteScalar(const std::vector<std::pair<TermRef, ClassExpr>>& subs,
+                                 const Lattice& ext) const;
   // Back to the trivially true assertion, keeping capacity.
   void Clear();
 
@@ -135,9 +242,14 @@ class FlowAssertion {
   }
 
   // Structural equality of the canonical form (lattice-independent).
+  // Word-at-a-time: header fields short-circuit, then the mask and bound
+  // vectors compare as flat memory (valid because unconstrained slots are
+  // uniformly kNoBound and equal counts force empty tails).
   bool IdenticalTo(const FlowAssertion& q) const;
 
   // Hash of the canonical form; IdenticalTo assertions hash equal.
+  // Word-at-a-time over the mask words and constrained bounds; independent
+  // of trailing vector capacity.
   uint64_t Hash() const;
 
   std::string ToString(const SymbolTable& symbols, const Lattice& ext) const;
@@ -147,9 +259,18 @@ class FlowAssertion {
   static constexpr ClassId kNoBound = ~ClassId{0};
 
   void SetFalse();
-  void MeetVarBound(SymbolId symbol, ClassId bound, const Lattice& ext);
-  void MeetLocalBound(ClassId bound, const Lattice& ext);
-  void MeetGlobalBound(ClassId bound, const Lattice& ext);
+  // `row`, when non-null, is ops.MeetRow(bound) hoisted by the caller so a
+  // multi-term atom gathers every meet from one dense table row.
+  void MeetVarBound(SymbolId symbol, ClassId bound, const ClassId* row, const AssertionOps& ops);
+  void MeetLocalBound(ClassId bound, const AssertionOps& ops);
+  void MeetGlobalBound(ClassId bound, const AssertionOps& ops);
+  // Removes the stored bound on `symbol` (no-op when absent).
+  void EraseVarBound(SymbolId symbol);
+  // Virtual-dispatch twins backing the *Scalar reference entry points.
+  void MeetVarBoundScalar(SymbolId symbol, ClassId bound, const Lattice& ext);
+  void MeetLocalBoundScalar(ClassId bound, const Lattice& ext);
+  void MeetGlobalBoundScalar(ClassId bound, const Lattice& ext);
+  void WithAtomInPlaceScalar(const ClassExpr& expr, ClassId bound, const Lattice& ext);
 
   bool is_false_ = false;
   uint32_t bound_count_ = 0;

@@ -1,5 +1,7 @@
 #include "src/logic/assertion_store.h"
 
+#include <algorithm>
+
 namespace cfm {
 
 AssertionId AssertionStore::Intern(const FlowAssertion& assertion) {
@@ -13,6 +15,50 @@ AssertionId AssertionStore::Intern(const FlowAssertion& assertion) {
   assertions_.push_back(assertion);
   bucket.push_back(id);
   return id;
+}
+
+bool AssertionStore::Entails(AssertionId p, AssertionId q, const AssertionOps& ops) const {
+  if (p == q || q == kTrue) {
+    return true;  // Reflexivity; everything entails {true}.
+  }
+  const FlowAssertion& lhs = assertions_[p];
+  if (lhs.is_false()) {
+    return true;
+  }
+  const uint64_t key = (static_cast<uint64_t>(p) << 32) | q;
+  auto it = entail_memo_.find(key);
+  if (it != entail_memo_.end()) {
+    return it->second;
+  }
+  bool verdict = lhs.Entails(assertions_[q], ops);
+  entail_memo_.emplace(key, verdict);
+  return verdict;
+}
+
+void AssertionStore::EntailsMany(AssertionId p, std::span<const AssertionId> qs,
+                                 const AssertionOps& ops, std::vector<uint8_t>& out) const {
+  out.resize(qs.size());
+  const FlowAssertion& lhs = assertions_[p];
+  if (lhs.is_false()) {
+    std::fill(out.begin(), out.end(), uint8_t{1});
+    return;
+  }
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const AssertionId q = qs[i];
+    if (q == p || q == kTrue) {
+      out[i] = 1;
+      continue;
+    }
+    const uint64_t key = (static_cast<uint64_t>(p) << 32) | q;
+    auto it = entail_memo_.find(key);
+    if (it != entail_memo_.end()) {
+      out[i] = it->second ? 1 : 0;
+      continue;
+    }
+    bool verdict = lhs.Entails(assertions_[q], ops);
+    entail_memo_.emplace(key, verdict);
+    out[i] = verdict ? 1 : 0;
+  }
 }
 
 }  // namespace cfm

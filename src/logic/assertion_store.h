@@ -5,11 +5,19 @@
 // id equality IS assertion equivalence, O(1). The proof arena stores ids
 // instead of bound maps; the checker compares ids before falling back to the
 // entailment solver.
+//
+// The store also answers entailment over its ids: interned identity gives
+// the p == q short-circuit, a per-store memo makes each distinct (p, q) pair
+// cost one solver run for the store's lifetime, and EntailsMany amortizes a
+// whole batch of queries against one left-hand side. The memo is what turns
+// the checker's O(processes² · atomics) interference matrix into one solver
+// call per distinct obligation.
 
 #ifndef SRC_LOGIC_ASSERTION_STORE_H_
 #define SRC_LOGIC_ASSERTION_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,11 +42,29 @@ class AssertionStore {
   const FlowAssertion& at(AssertionId id) const { return assertions_[id]; }
   uint32_t size() const { return static_cast<uint32_t>(assertions_.size()); }
 
+  // Memoized entailment p ⊨ q over interned ids. Short-circuits p == q,
+  // p false, and q true before consulting the memo or the solver. `ops`
+  // must view the lattice the stored assertions were normalized against.
+  // Not thread-safe (a store is per-pipeline, like the arena that owns it).
+  bool Entails(AssertionId p, AssertionId q, const AssertionOps& ops) const;
+
+  // Batched form: answers p ⊨ qs[i] for every i in one pass, sharing p's
+  // decode and the memo across the batch. `out[i]` is nonzero iff p ⊨ qs[i].
+  void EntailsMany(AssertionId p, std::span<const AssertionId> qs, const AssertionOps& ops,
+                   std::vector<uint8_t>& out) const;
+
+  // Memoized two-way entailment; id equality answers first.
+  bool Equivalent(AssertionId p, AssertionId q, const AssertionOps& ops) const {
+    return p == q || (Entails(p, q, ops) && Entails(q, p, ops));
+  }
+
  private:
   std::vector<FlowAssertion> assertions_;
   // Hash buckets over the canonical form; collisions resolved by
   // IdenticalTo.
   std::unordered_map<uint64_t, std::vector<AssertionId>> buckets_;
+  // (p << 32 | q) -> verdict. Mutable: the memo is a cache, not state.
+  mutable std::unordered_map<uint64_t, bool> entail_memo_;
 };
 
 }  // namespace cfm

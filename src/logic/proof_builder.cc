@@ -103,8 +103,8 @@ class Theorem1Builder {
     auto [it, inserted] = assert_cache_.try_emplace({l, g}, AssertionStore::kTrue);
     if (inserted) {
       scratch_ = policy_;
-      scratch_.WithAtomInPlace(ClassExpr::Local(), l, ext_);
-      scratch_.WithAtomInPlace(ClassExpr::Global(), g, ext_);
+      scratch_.WithAtomInPlace(ClassExpr::Local(), l, aops_);
+      scratch_.WithAtomInPlace(ClassExpr::Global(), g, aops_);
       it->second = arena().Intern(scratch_);
     }
     return it->second;
@@ -117,7 +117,7 @@ class Theorem1Builder {
                                    ClassId g_out,
                                    const std::vector<std::pair<TermRef, ClassExpr>>& subs) {
     AssertionId post = AssertId(l, g_out);
-    arena().assertion(post).SubstituteInto(scratch_, subs, ext_);
+    arena().assertion(post).SubstituteInto(scratch_, subs, aops_);
     ProofNodeId axiom = arena().Add(rule, &stmt, arena().Intern(scratch_), post);
     // Consequence strengthens the axiom's computed pre-image to the uniform
     // {I, local ≤ l, global ≤ g} so the proof is completely invariant.
@@ -203,6 +203,9 @@ class Theorem1Builder {
   const SymbolTable& symbols_;
   const StaticBinding& binding_;
   const ExtendedLattice& ext_;
+  // Resolved view for the per-axiom substitutions (one lattice resolution
+  // for the whole build).
+  AssertionOps aops_{ext_};
   const CertificationResult& certification_;
   FlowAssertion policy_;
   FlowAssertion scratch_;

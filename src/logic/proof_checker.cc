@@ -22,24 +22,36 @@ bool IsAtomicRule(RuleKind rule) {
 
 }  // namespace
 
+// Structural checks ask about each (pre, post) id pair at most once per
+// proof node, so these bypass the store's entailment memo — a memo insert
+// per query with no reuse costs more than the word-parallel solve. The
+// memoized/batched store path stays on interference freedom, where the
+// same (hypothesis, obligation) pairs recur across the i×j atomic loop.
 bool ProofChecker::IdsEquivalent(const ProofArena& a, AssertionId x, AssertionId y) const {
-  return x == y || a.assertion(x).EquivalentTo(a.assertion(y), ext_);
+  if (x == y) {
+    return true;  // Interned ids are canonical: equal id ⟺ equivalent.
+  }
+  const AssertionStore& store = a.store();
+  return store.at(x).Entails(store.at(y), ops_) && store.at(y).Entails(store.at(x), ops_);
 }
 
 bool ProofChecker::IdsEntail(const ProofArena& a, AssertionId x, AssertionId y) const {
-  return x == y || a.assertion(x).Entails(a.assertion(y), ext_);
+  if (x == y || y == AssertionStore::kTrue) {
+    return true;
+  }
+  return a.store().at(x).Entails(a.store().at(y), ops_);
 }
 
 bool ProofChecker::SameLocalBound(const FlowAssertion& a, const FlowAssertion& b) const {
-  return a.BoundOf(TermRef::Local(), ext_) == b.BoundOf(TermRef::Local(), ext_);
+  return a.BoundOf(TermRef::Local(), ops_) == b.BoundOf(TermRef::Local(), ops_);
 }
 
 bool ProofChecker::SameGlobalBound(const FlowAssertion& a, const FlowAssertion& b) const {
-  return a.BoundOf(TermRef::Global(), ext_) == b.BoundOf(TermRef::Global(), ext_);
+  return a.BoundOf(TermRef::Global(), ops_) == b.BoundOf(TermRef::Global(), ops_);
 }
 
 bool ProofChecker::SameVPart(const FlowAssertion& a, const FlowAssertion& b) const {
-  return a.VPart().EquivalentTo(b.VPart(), ext_);
+  return a.VPart().EquivalentTo(b.VPart(), ops_);
 }
 
 std::optional<ProofError> ProofChecker::Check(const Proof& proof) const {
@@ -58,10 +70,10 @@ std::optional<ProofError> ProofChecker::CheckProves(const Proof& proof, const St
   if (EffectiveProofStmt(a, root) != &stmt) {
     return Fail(root, "the proof does not prove the requested statement");
   }
-  if (!a.pre(root).EquivalentTo(pre, ext_)) {
+  if (!a.pre(root).EquivalentTo(pre, ops_)) {
     return Fail(root, "the proof's pre-condition differs from the requested one");
   }
-  if (!a.post(root).EquivalentTo(post, ext_)) {
+  if (!a.post(root).EquivalentTo(post, ops_)) {
     return Fail(root, "the proof's post-condition differs from the requested one");
   }
   return CheckNode(a, root);
@@ -115,7 +127,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected =
           a.post(id).Substitute({{TermRef::Var(assign.target()), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+      if (!a.pre(id).EquivalentTo(expected, ops_)) {
         return Fail(id,
                     "assignment axiom: pre-condition is not post[x <- e + local + global]");
       }
@@ -130,7 +142,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
                                   .Join(ClassExpr::Local(), ext_)
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected = a.post(id).Substitute({{TermRef::Var(sem), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+      if (!a.pre(id).EquivalentTo(expected, ops_)) {
         return Fail(id,
                     "signal axiom: pre-condition is not post[sem <- sem + local + global]");
       }
@@ -146,7 +158,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected = a.post(id).Substitute(
           {{TermRef::Var(sem), replacement}, {TermRef::Global(), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+      if (!a.pre(id).EquivalentTo(expected, ops_)) {
         return Fail(id,
                     "wait axiom: pre-condition is not post[sem <- X, global <- X] with "
                     "X = sem + local + global");
@@ -164,7 +176,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
                                   .Join(ClassExpr::Global(), ext_);
       FlowAssertion expected =
           a.post(id).Substitute({{TermRef::Var(send.channel()), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+      if (!a.pre(id).EquivalentTo(expected, ops_)) {
         return Fail(id,
                     "send axiom: pre-condition is not post[ch <- ch + e + local + global]");
       }
@@ -183,7 +195,7 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
                                  {TermRef::Var(receive.channel()), replacement},
                                  {TermRef::Global(), replacement}},
                                 ext_);
-      if (!a.pre(id).EquivalentTo(expected, ext_)) {
+      if (!a.pre(id).EquivalentTo(expected, ops_)) {
         return Fail(id,
                     "receive axiom: pre-condition is not post[x <- X, ch <- X, global <- X] "
                     "with X = ch + local + global");
@@ -261,11 +273,11 @@ std::optional<ProofError> ProofChecker::CheckAlternation(const ProofArena& a,
     return Fail(id, "alternation: conclusion must preserve local's bound (L)");
   }
   // Side condition V,L,G |- L'[local <- local ⊕ ē].
-  ClassId l_inner = a.pre(then_id).BoundOf(TermRef::Local(), ext_);
+  ClassId l_inner = a.pre(then_id).BoundOf(TermRef::Local(), ops_);
   ClassExpr lifted = ClassExpr::ForProgramExpr(if_stmt.condition(), ext_)
                          .Join(ClassExpr::Local(), ext_);
   FlowAssertion requirement = FlowAssertion().WithAtom(lifted, l_inner, ext_);
-  if (!a.pre(id).Entails(requirement, ext_)) {
+  if (!a.pre(id).Entails(requirement, ops_)) {
     return Fail(id, "alternation: V,L,G does not entail L'[local <- local + e]");
   }
 
@@ -303,19 +315,19 @@ std::optional<ProofError> ProofChecker::CheckIteration(const ProofArena& a,
   if (!SameLocalBound(a.pre(id), a.post(id))) {
     return Fail(id, "iteration: conclusion must preserve local's bound (L)");
   }
-  ClassId l_inner = a.pre(body_id).BoundOf(TermRef::Local(), ext_);
-  ClassId g_post = a.post(id).BoundOf(TermRef::Global(), ext_);
+  ClassId l_inner = a.pre(body_id).BoundOf(TermRef::Local(), ops_);
+  ClassId g_post = a.post(id).BoundOf(TermRef::Global(), ops_);
   ClassExpr cond = ClassExpr::ForProgramExpr(while_stmt.condition(), ext_);
   // V,L,G |- L'[local <- local ⊕ ē].
   FlowAssertion local_requirement =
       FlowAssertion().WithAtom(cond.Join(ClassExpr::Local(), ext_), l_inner, ext_);
-  if (!a.pre(id).Entails(local_requirement, ext_)) {
+  if (!a.pre(id).Entails(local_requirement, ops_)) {
     return Fail(id, "iteration: V,L,G does not entail L'[local <- local + e]");
   }
   // V,L,G |- G'[global <- global ⊕ local ⊕ ē].
   FlowAssertion global_requirement = FlowAssertion().WithAtom(
       cond.Join(ClassExpr::Local(), ext_).Join(ClassExpr::Global(), ext_), g_post, ext_);
-  if (!a.pre(id).Entails(global_requirement, ext_)) {
+  if (!a.pre(id).Entails(global_requirement, ops_)) {
     return Fail(id, "iteration: V,L,G does not entail G'[global <- global + local + e]");
   }
   return CheckNode(a, body_id);
@@ -391,16 +403,16 @@ std::optional<ProofError> ProofChecker::CheckCobegin(const ProofArena& a, ProofN
     if (!SameGlobalBound(a.post(premise_id), a.post(id))) {
       return Fail(id, "cobegin: component post G' differs from the conclusion's");
     }
-    pre_conjunction.ConjoinInPlace(a.pre(premise_id).VPart(), ext_);
-    post_conjunction.ConjoinInPlace(a.post(premise_id).VPart(), ext_);
+    pre_conjunction.ConjoinInPlace(a.pre(premise_id).VPart(), ops_);
+    post_conjunction.ConjoinInPlace(a.post(premise_id).VPart(), ops_);
   }
   if (!SameLocalBound(a.pre(id), a.post(id))) {
     return Fail(id, "cobegin: conclusion must preserve local's bound (L)");
   }
-  if (!a.pre(id).VPart().EquivalentTo(pre_conjunction, ext_)) {
+  if (!a.pre(id).VPart().EquivalentTo(pre_conjunction, ops_)) {
     return Fail(id, "cobegin: conclusion pre V is not the conjunction V1,...,Vn");
   }
-  if (!a.post(id).VPart().EquivalentTo(post_conjunction, ext_)) {
+  if (!a.post(id).VPart().EquivalentTo(post_conjunction, ops_)) {
     return Fail(id, "cobegin: conclusion post V is not the conjunction V1',...,Vn'");
   }
   if (auto error = CheckInterferenceFreedom(a, id)) {
@@ -440,12 +452,20 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofAren
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   }
 
-  // V parts computed once per distinct assertion id.
-  std::unordered_map<AssertionId, FlowAssertion> v_parts;
-  auto v_part_of = [&a, &v_parts](AssertionId aid) -> const FlowAssertion& {
+  // V parts computed once per distinct assertion id, interned into a local
+  // scratch store so the obligation matrix runs over ids: identical
+  // obligations recurring across atomics (the common case — invariant-style
+  // proofs reuse a handful of assertions, and sibling processes repeat the
+  // same wait/signal shapes) collapse into the store's entailment memo
+  // instead of re-running the solver.
+  AssertionStore scratch;
+  std::unordered_map<AssertionId, std::pair<FlowAssertion, AssertionId>> v_parts;
+  auto v_part_of =
+      [&a, &scratch, &v_parts](AssertionId aid) -> const std::pair<FlowAssertion, AssertionId>& {
     auto [it, inserted] = v_parts.try_emplace(aid);
     if (inserted) {
-      it->second = a.assertion(aid).VPart();
+      it->second.first = a.assertion(aid).VPart();
+      it->second.second = scratch.Intern(it->second.first);
     }
     return it->second;
   };
@@ -455,6 +475,15 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofAren
   FlowAssertion obligation;
   std::vector<std::pair<TermRef, ClassExpr>> subs;
   std::vector<AssertionId> preserved;
+  // One batch of not-trivially-preserved obligations per atomic.
+  struct Pending {
+    AssertionId v_part_id;      // Scratch id of V_A.
+    AssertionId obligation_id;  // Scratch id of V_A[subs].
+    size_t process;             // Index i, for the error message.
+  };
+  std::vector<Pending> pending;
+  std::vector<AssertionId> obligation_ids;
+  std::vector<uint8_t> verdicts;
 
   for (size_t j = 0; j < info.size(); ++j) {
     for (ProofNodeId atomic_id : info[j].atomic_nodes) {
@@ -505,7 +534,9 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofAren
       // Assertion ids shown preserved by this atomic; shared across the
       // sibling processes since the obligation depends only on the id.
       preserved.clear();
+      pending.clear();
       const FlowAssertion& atomic_pre = a.assertion(atomic.pre);
+      const AssertionId pre_id = scratch.Intern(atomic_pre);
       for (size_t i = 0; i < info.size(); ++i) {
         if (i == j) {
           continue;
@@ -514,25 +545,49 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofAren
           if (std::find(preserved.begin(), preserved.end(), aid) != preserved.end()) {
             continue;
           }
+          preserved.push_back(aid);
           // Indirect flows in one process do not affect another process's
           // certification variables, so only the V part must be preserved:
           //   { V_A ∧ pre(T) }  T  { V_A }.
-          const FlowAssertion& v_part = v_part_of(aid);
-          v_part.SubstituteInto(obligation, subs, ext_);
+          const auto& [v_part, v_part_id] = v_part_of(aid);
+          v_part.SubstituteInto(obligation, subs, ops_);
           // When the substitution leaves V_A unchanged the obligation is
           // implied by the hypothesis outright; only run the solver when the
-          // atomic actually rewrites a constrained term.
-          if (!obligation.IdenticalTo(v_part)) {
-            hypothesis = v_part;
-            hypothesis.ConjoinInPlace(atomic_pre, ext_);
-            if (!hypothesis.Entails(obligation, ext_)) {
-              std::ostringstream os;
-              os << "cobegin: interference — an atomic statement of process " << (j + 1)
-                 << " does not preserve an assertion of process " << (i + 1);
-              return Fail(atomic_id, os.str());
-            }
+          // atomic actually rewrites a constrained term. Interning makes the
+          // no-op test an id compare.
+          const AssertionId obligation_id = scratch.Intern(obligation);
+          if (obligation_id != v_part_id) {
+            pending.push_back({v_part_id, obligation_id, i});
           }
-          preserved.push_back(aid);
+        }
+      }
+      if (pending.empty()) {
+        continue;
+      }
+      // Batched fast pass with the atomic's precondition as the shared
+      // left-hand side: pre(T) ⊨ obligation already implies the full
+      // hypothesis V_A ∧ pre(T) ⊨ obligation (conjunction strengthens), and
+      // one EntailsMany answers the whole batch through the memo.
+      obligation_ids.clear();
+      for (const Pending& p : pending) {
+        obligation_ids.push_back(p.obligation_id);
+      }
+      scratch.EntailsMany(pre_id, obligation_ids, ops_, verdicts);
+      for (size_t k = 0; k < pending.size(); ++k) {
+        if (verdicts[k] != 0) {
+          continue;
+        }
+        const Pending& p = pending[k];
+        // Full hypothesis, memoized per (hypothesis, obligation) pair —
+        // atomics with the same shape hit the memo instead of the solver.
+        hypothesis = scratch.at(p.v_part_id);
+        hypothesis.ConjoinInPlace(atomic_pre, ops_);
+        const AssertionId hypothesis_id = scratch.Intern(hypothesis);
+        if (!scratch.Entails(hypothesis_id, p.obligation_id, ops_)) {
+          std::ostringstream os;
+          os << "cobegin: interference — an atomic statement of process " << (j + 1)
+             << " does not preserve an assertion of process " << (p.process + 1);
+          return Fail(atomic_id, os.str());
         }
       }
     }

@@ -28,7 +28,7 @@ struct ProofError {
 class ProofChecker {
  public:
   ProofChecker(const ExtendedLattice& ext, const SymbolTable& symbols)
-      : ext_(ext), symbols_(symbols) {}
+      : ext_(ext), symbols_(symbols), ops_(ext) {}
 
   // Returns nullopt when the proof is a valid derivation; otherwise the
   // first failure found.
@@ -55,7 +55,9 @@ class ProofChecker {
   // in process i's proof, for all i ≠ j.
   std::optional<ProofError> CheckInterferenceFreedom(const ProofArena& a, ProofNodeId id) const;
 
-  // Equivalence / entailment over interned ids; equal ids short-circuit.
+  // Equivalence / entailment over interned ids: equal ids short-circuit,
+  // then the arena store's per-pair memo answers repeats without re-running
+  // the solver.
   bool IdsEquivalent(const ProofArena& a, AssertionId x, AssertionId y) const;
   bool IdsEntail(const ProofArena& a, AssertionId x, AssertionId y) const;
 
@@ -66,6 +68,9 @@ class ProofChecker {
 
   const ExtendedLattice& ext_;
   const SymbolTable& symbols_;
+  // Resolved lattice view shared by every entailment/substitution the
+  // checker issues (one dynamic_cast at construction, not per query).
+  AssertionOps ops_;
 };
 
 }  // namespace cfm

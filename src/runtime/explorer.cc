@@ -190,9 +190,10 @@ class Explorer {
   void SelectExplore(const ExecState& state, Frame& frame) {
     const std::vector<uint32_t>* selected = &runnable_;
     if (options_.por && runnable_.size() > 1) {
+      SnapshotThreads(state);
       best_.clear();
       for (uint32_t seed : runnable_) {
-        Closure(state, seed, candidate_);
+        Closure(seed, candidate_);
         if (best_.empty() || candidate_.size() < best_.size()) {
           std::swap(best_, candidate_);
         }
@@ -211,12 +212,34 @@ class Explorer {
     }
   }
 
-  // Stubborn-set closure seeded with one enabled thread, over the state in
-  // runnable_'s scope. Invariant on exit: along any execution in which no
-  // closure member moves, every step taken by a non-member is independent
-  // with the current step of every enabled member — so permuting such an
-  // execution to start with a member's step reaches the same states, and
-  // exploring only the members' steps preserves every terminal state.
+  // Snapshot of the state's thread table in struct-of-arrays layout, taken
+  // once per expanded state and shared by every per-seed closure: the
+  // closures only read pc/status/parent, and scanning them as contiguous
+  // parallel arrays (plus a not-done word mask) keeps the per-seed rescans
+  // out of the pointer-heavy ExecState.
+  void SnapshotThreads(const ExecState& state) {
+    const uint32_t n = static_cast<uint32_t>(state.threads.size());
+    thread_pc_.resize(n);
+    thread_status_.resize(n);
+    thread_parent_.resize(n);
+    eligible_words_.assign((n + 63) / 64, 0);
+    for (uint32_t v = 0; v < n; ++v) {
+      const ThreadState& thread = state.threads[v];
+      thread_pc_[v] = thread.pc;
+      thread_status_[v] = thread.status;
+      thread_parent_[v] = thread.parent;
+      if (thread.status != ThreadState::Status::kDone) {
+        eligible_words_[v / 64] |= uint64_t{1} << (v % 64);
+      }
+    }
+  }
+
+  // Stubborn-set closure seeded with one enabled thread, over the snapshot
+  // in SnapshotThreads's scope. Invariant on exit: along any execution in
+  // which no closure member moves, every step taken by a non-member is
+  // independent with the current step of every enabled member — so permuting
+  // such an execution to start with a member's step reaches the same states,
+  // and exploring only the members' steps preserves every terminal state.
   //   - enabled member u: any thread whose *future* footprint (everything it
   //     or threads it forks may ever execute) conflicts with u's current
   //     step joins the closure;
@@ -225,54 +248,52 @@ class Explorer {
   //     excluded executions and is harmless);
   //   - join-blocked member u: its live children join (only their
   //     terminations can wake it).
-  void Closure(const ExecState& state, uint32_t seed, std::vector<uint32_t>& persistent) {
-    const uint32_t n = static_cast<uint32_t>(state.threads.size());
-    in_set_.assign(n, false);
+  // Membership is a word bitmask: each scan walks only candidate bits
+  // (not-done and not yet members), 64 threads to the mask word.
+  void Closure(uint32_t seed, std::vector<uint32_t>& persistent) {
+    in_words_.assign(eligible_words_.size(), 0);
     work_.clear();
-    in_set_[seed] = true;
+    in_words_[seed / 64] |= uint64_t{1} << (seed % 64);
     work_.push_back(seed);
     while (!work_.empty()) {
       uint32_t u = work_.back();
       work_.pop_back();
-      const ThreadState& member = state.threads[u];
-      if (member.status == ThreadState::Status::kRunnable) {
-        const Footprint& step = facts_->at(member.pc).now;
-        for (uint32_t v = 0; v < n; ++v) {
-          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
-            continue;
-          }
-          if (ProgramFacts::Conflict(facts_->at(state.threads[v].pc).future, step)) {
-            in_set_[v] = true;
-            work_.push_back(v);
-          }
-        }
-      } else if (member.status == ThreadState::Status::kBlockedSem) {
-        SymbolId gate = code_.code[member.pc].symbol;
-        for (uint32_t v = 0; v < n; ++v) {
-          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
-            continue;
-          }
-          if (facts_->FutureWrites(state.threads[v].pc, gate)) {
-            in_set_[v] = true;
-            work_.push_back(v);
-          }
-        }
+      const ThreadState::Status status = thread_status_[u];
+      if (status == ThreadState::Status::kRunnable) {
+        const Footprint& step = facts_->at(thread_pc_[u]).now;
+        ScanCandidates([&](uint32_t v) {
+          return ProgramFacts::Conflict(facts_->at(thread_pc_[v]).future, step);
+        });
+      } else if (status == ThreadState::Status::kBlockedSem) {
+        SymbolId gate = code_.code[thread_pc_[u]].symbol;
+        ScanCandidates(
+            [&](uint32_t v) { return facts_->FutureWrites(thread_pc_[v], gate); });
       } else {  // kBlockedJoin.
-        for (uint32_t v = 0; v < n; ++v) {
-          if (in_set_[v] || state.threads[v].status == ThreadState::Status::kDone) {
-            continue;
-          }
-          if (state.threads[v].parent == static_cast<int32_t>(u)) {
-            in_set_[v] = true;
-            work_.push_back(v);
-          }
-        }
+        ScanCandidates(
+            [&](uint32_t v) { return thread_parent_[v] == static_cast<int32_t>(u); });
       }
     }
     persistent.clear();
     for (uint32_t t : runnable_) {
-      if (in_set_[t]) {
+      if ((in_words_[t / 64] >> (t % 64)) & 1) {
         persistent.push_back(t);
+      }
+    }
+  }
+
+  // Visits every not-done, not-yet-member thread; `joins(v)` true adds v to
+  // the closure and the work list.
+  template <typename Joins>
+  void ScanCandidates(Joins&& joins) {
+    for (size_t word = 0; word < eligible_words_.size(); ++word) {
+      uint64_t bits = eligible_words_[word] & ~in_words_[word];
+      while (bits != 0) {
+        auto v = static_cast<uint32_t>(word * 64 + static_cast<size_t>(std::countr_zero(bits)));
+        bits &= bits - 1;
+        if (joins(v)) {
+          in_words_[word] |= uint64_t{1} << (v % 64);
+          work_.push_back(v);
+        }
       }
     }
   }
@@ -315,8 +336,13 @@ class Explorer {
   std::vector<uint32_t> runnable_;
   std::vector<uint32_t> best_;
   std::vector<uint32_t> candidate_;
-  std::vector<bool> in_set_;
   std::vector<uint32_t> work_;
+  // SoA thread snapshot (SnapshotThreads) shared by the per-seed closures.
+  std::vector<uint32_t> thread_pc_;
+  std::vector<ThreadState::Status> thread_status_;
+  std::vector<int32_t> thread_parent_;
+  std::vector<uint64_t> eligible_words_;  // Bit v set iff thread v is not done.
+  std::vector<uint64_t> in_words_;        // Closure membership bitmask.
 };
 
 }  // namespace

@@ -1,0 +1,75 @@
+// Fixed-size bitset over uint64_t words, sized at runtime. The dataflow lint
+// passes key their sets by SymbolId, so Union/Intersect/Subset over the whole
+// symbol table are the inner loop; packing 64 symbols per word turns each of
+// those into a handful of bitwise ops instead of a per-symbol branch (the
+// std::vector<bool> specialization reads one bit per iteration and defeats
+// vectorization of the combining loop).
+
+#ifndef SRC_SUPPORT_BITSET_H_
+#define SRC_SUPPORT_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfm {
+
+class WordBitset {
+ public:
+  WordBitset() = default;
+  explicit WordBitset(size_t bits, bool value = false) { assign(bits, value); }
+
+  void assign(size_t bits, bool value) {
+    bits_ = bits;
+    words_.assign(WordCount(bits), value ? ~uint64_t{0} : uint64_t{0});
+    ClearTail();
+  }
+
+  size_t size() const { return bits_; }
+
+  bool test(size_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+  void set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  // `into |= from`, word at a time. Sizes must match.
+  void UnionWith(const WordBitset& from) {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= from.words_[w];
+    }
+  }
+
+  // `into &= from`, word at a time. Sizes must match.
+  void IntersectWith(const WordBitset& from) {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      words_[w] &= from.words_[w];
+    }
+  }
+
+  // this ⊆ other: no word contributes a bit outside `other`.
+  bool IsSubsetOf(const WordBitset& other) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & ~other.words_[w]) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  static size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+
+  // Keeps bits past size() zero so whole-word comparisons stay exact.
+  void ClearTail() {
+    const size_t tail = bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_BITSET_H_

@@ -21,6 +21,7 @@
 #include "src/lattice/powerset.h"
 #include "src/lattice/product.h"
 #include "src/lattice/two_point.h"
+#include "src/logic/assertion.h"
 
 namespace cfm {
 namespace {
@@ -129,6 +130,130 @@ TEST(BackendEquivalenceTest, NilExtensionAgreesAcrossBackends) {
       EXPECT_EQ(ops.Leq(a, b), over_base.Leq(a, b)) << a << "," << b;
     }
   }
+}
+
+// --- Word-parallel assertion paths vs the scalar reference -------------------
+// FlowAssertion's hot operations (Entails, Conjoin, WithAtom, Substitute)
+// walk the constrained-var mask 64 variables a word through a resolved
+// AssertionOps view; the *Scalar entry points retain the original
+// one-virtual-call-per-bound implementations as an executable reference.
+// Bit-identical results (IdenticalTo + equal Hash) over random assertions —
+// across lattice families, plain and compiled bases, nil/Top-heavy draws —
+// are the correctness argument for the fast paths.
+
+FlowAssertion RandomAssertion(const ExtendedLattice& ext, Rng& rng, uint32_t var_space) {
+  FlowAssertion a;
+  uint32_t atoms = 1 + static_cast<uint32_t>(rng.Below(12));
+  for (uint32_t i = 0; i < atoms; ++i) {
+    SymbolId v = static_cast<SymbolId>(rng.Below(var_space));
+    // Bounds drawn over the full extended id space: nil (annihilates), Top
+    // (canonically dropped), everything between.
+    a = a.WithAtomScalar(ClassExpr::VarClass(v), rng.Below(ext.size()), ext);
+  }
+  if (rng.Chance(1, 4)) {
+    a = a.WithAtomScalar(ClassExpr::Local(), rng.Below(ext.size()), ext);
+  }
+  if (rng.Chance(1, 4)) {
+    a = a.WithAtomScalar(ClassExpr::Global(), rng.Below(ext.size()), ext);
+  }
+  if (rng.Chance(1, 16)) {
+    // Constant ≤ bound can fail and set the assertion to False — the word
+    // paths must agree on the absorbing element too.
+    a = a.WithAtomScalar(ClassExpr::Constant(ext.Top()), rng.Below(ext.size()), ext);
+  }
+  return a;
+}
+
+ClassExpr RandomExpr(const ExtendedLattice& ext, Rng& rng, uint32_t var_space) {
+  ClassExpr e = ClassExpr::Constant(rng.Below(ext.size()));
+  uint32_t terms = static_cast<uint32_t>(rng.Below(4));
+  for (uint32_t i = 0; i < terms; ++i) {
+    e = e.Join(ClassExpr::VarClass(static_cast<SymbolId>(rng.Below(var_space))), ext);
+  }
+  if (rng.Chance(1, 4)) {
+    e = e.Join(ClassExpr::Local(), ext);
+  }
+  if (rng.Chance(1, 4)) {
+    e = e.Join(ClassExpr::Global(), ext);
+  }
+  return e;
+}
+
+TermRef RandomTerm(Rng& rng, uint32_t var_space) {
+  if (rng.Chance(1, 6)) {
+    return TermRef::Local();
+  }
+  if (rng.Chance(1, 6)) {
+    return TermRef::Global();
+  }
+  return TermRef::Var(static_cast<SymbolId>(rng.Below(var_space)));
+}
+
+void ExpectWordScalarParity(const ExtendedLattice& ext, uint64_t seed) {
+  // 150 variables spans three 64-bit mask words, so partial-word tails and
+  // word boundaries are all exercised.
+  constexpr uint32_t kVarSpace = 150;
+  Rng rng(seed);
+  AssertionOps ops(ext);
+  for (int trial = 0; trial < 300; ++trial) {
+    FlowAssertion p = RandomAssertion(ext, rng, kVarSpace);
+    FlowAssertion q = RandomAssertion(ext, rng, kVarSpace);
+
+    EXPECT_EQ(p.Entails(q, ops), p.EntailsScalar(q, ext)) << "trial " << trial;
+    EXPECT_EQ(q.Entails(p, ops), q.EntailsScalar(p, ext)) << "trial " << trial;
+    EXPECT_TRUE(p.Entails(p, ops)) << "trial " << trial;
+
+    FlowAssertion word_conjoin = p;
+    word_conjoin.ConjoinInPlace(q, ops);
+    FlowAssertion scalar_conjoin = p.ConjoinScalar(q, ext);
+    EXPECT_TRUE(word_conjoin.IdenticalTo(scalar_conjoin)) << "trial " << trial;
+    EXPECT_EQ(word_conjoin.Hash(), scalar_conjoin.Hash()) << "trial " << trial;
+
+    ClassExpr atom = RandomExpr(ext, rng, kVarSpace);
+    ClassId bound = rng.Below(ext.size());
+    FlowAssertion word_atom = p;
+    word_atom.WithAtomInPlace(atom, bound, ops);
+    EXPECT_TRUE(word_atom.IdenticalTo(p.WithAtomScalar(atom, bound, ext)))
+        << "trial " << trial;
+
+    std::vector<std::pair<TermRef, ClassExpr>> subs;
+    uint32_t sub_count = 1 + static_cast<uint32_t>(rng.Below(3));
+    for (uint32_t i = 0; i < sub_count; ++i) {
+      subs.emplace_back(RandomTerm(rng, kVarSpace), RandomExpr(ext, rng, kVarSpace));
+    }
+    FlowAssertion word_sub;
+    p.SubstituteInto(word_sub, subs, ops);
+    EXPECT_TRUE(word_sub.IdenticalTo(p.SubstituteScalar(subs, ext))) << "trial " << trial;
+  }
+}
+
+TEST(WordParallelAssertionTest, MatchesScalarOverTwoPoint) {
+  TwoPointLattice two;
+  ExtendedLattice ext(two);
+  ExpectWordScalarParity(ext, /*seed=*/101);
+}
+
+TEST(WordParallelAssertionTest, MatchesScalarOverChain8) {
+  ChainLattice chain = ChainLattice::WithLevels(8);
+  ExtendedLattice ext(chain);
+  ExpectWordScalarParity(ext, /*seed=*/202);
+}
+
+TEST(WordParallelAssertionTest, MatchesScalarOverPowerset6) {
+  PowersetLattice powerset(Categories(6));
+  ExtendedLattice ext(powerset);
+  ExpectWordScalarParity(ext, /*seed=*/303);
+}
+
+TEST(WordParallelAssertionTest, MatchesScalarOverCompiledDiamond) {
+  // Compiled base: AssertionOps resolves through LatticeOps' dense tables,
+  // so this covers the table-gather variant of every fast path (including
+  // the hoisted meet rows in WithAtomInPlace).
+  std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
+  auto compiled = CompiledLattice::Compile(*diamond);
+  ASSERT_NE(compiled->dense(), nullptr);
+  ExtendedLattice ext(*compiled);
+  ExpectWordScalarParity(ext, /*seed=*/404);
 }
 
 TEST(BackendEquivalenceTest, CompiledPreservesNameLookup) {

@@ -9,6 +9,8 @@
 //   cfmc dump <file>       print the AST, bindings and bytecode
 //   cfmc batch <dir>       certify every .cfm under <dir> in parallel
 //                          (also spelled `cfmc --batch <dir>`)
+//   cfmc gen <out>         emit a random program at --scale=N statements
+//                          (the scaling-series corpus; `-` writes stdout)
 //
 // Common flags:
 //   --lattice=two|diamond|chain:N|powerset:a,b,...   (default: two)
@@ -55,6 +57,7 @@
 #include "src/core/inference.h"
 #include "src/core/pipeline.h"
 #include "src/core/static_binding.h"
+#include "src/gen/program_gen.h"
 #include "src/lang/printer.h"
 #include "src/lang/stats.h"
 #include "src/lattice/compiled.h"
@@ -89,6 +92,7 @@ struct CliOptions {
   bool por = true;           // exhaustive exploration: partial-order reduction.
   uint64_t max_states = 0;   // exhaustive state cap (0 = library default).
   uint32_t jobs = 0;         // batch: worker threads (0 = hardware).
+  uint32_t scale = 0;        // gen: target statement count.
   uint64_t seed = 1;
   uint32_t schedules = 32;
   std::string secret;
@@ -102,6 +106,7 @@ int Usage() {
   std::cerr << "usage: cfmc <check|lint|explain|conditions|verify|prove|checkproof|infer|run|\n"
                "             leaktest|dump|format> <file> [flags]\n"
                "       cfmc batch <dir> [--jobs=N] [--interpreted]   (certify every .cfm in <dir>)\n"
+               "       cfmc gen <out|-> --scale=N [--seed=N]     (emit an N-statement program)\n"
                "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
                "       --json --werror --passes=a,b                        (check/explain/lint)\n"
                "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
@@ -161,6 +166,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.max_states = std::strtoull(vms->c_str(), nullptr, 10);
     } else if (auto vj = value_of("--jobs=")) {
       options.jobs = static_cast<uint32_t>(std::strtoul(vj->c_str(), nullptr, 10));
+    } else if (auto vsc = value_of("--scale=")) {
+      options.scale = static_cast<uint32_t>(std::strtoul(vsc->c_str(), nullptr, 10));
     } else if (auto v2 = value_of("--seed=")) {
       options.seed = std::strtoull(v2->c_str(), nullptr, 10);
     } else if (auto v3 = value_of("--schedules=")) {
@@ -728,6 +735,30 @@ int RunDump(CfmPipeline& pipeline) {
   return 0;
 }
 
+// Emits a generator scale-profile program (the corpus behind the Section 6
+// linearity series) to a file, or stdout when the output path is `-`.
+int RunGen(const CliOptions& options) {
+  if (options.scale == 0) {
+    std::cerr << "cfmc gen: requires --scale=N (target statement count)\n";
+    return 2;
+  }
+  Program program = GenerateProgram(ScaleGenOptions(options.scale, options.seed));
+  std::string text = PrintProgram(program);
+  if (options.file == "-") {
+    std::cout << text;
+    return 0;
+  }
+  std::ofstream out(options.file);
+  if (!out) {
+    std::cerr << "cfmc gen: cannot write '" << options.file << "'\n";
+    return 1;
+  }
+  out << text;
+  std::cerr << "cfmc gen: wrote " << program.stmt_count() << " statements ("
+            << program.symbols().size() << " symbols) to " << options.file << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, options)) {
@@ -735,6 +766,9 @@ int Main(int argc, char** argv) {
   }
   if (options.command == "--batch") {
     options.command = "batch";
+  }
+  if (options.command == "gen") {
+    return RunGen(options);
   }
   PipelineOptions pipeline_options;
   pipeline_options.lattice_spec = options.lattice_spec;

@@ -2,6 +2,13 @@
 # Builds the benchmark suite in Release mode, runs every Google Benchmark
 # target with JSON output, and merges the runs into BENCH_<date>.json at the
 # repo root. Usage: tools/run_benches.sh [--filter <benchmark_filter>]
+#
+# Debug-built libraries produce numbers that are not comparable with release
+# runs (the 2026-08-07 capture was one); the script refuses a non-Release
+# build directory unless ALLOW_DEBUG_BENCH=1 is set, and in that case tags
+# the output loudly. Every merged JSON carries a `summary` object with
+# `library_build_type` and `num_cpus` so future comparisons are
+# apples-to-apples at a glance.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,8 +19,22 @@ FILTER="${2:-}"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
 
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)"
+if [[ "${BUILD_TYPE,,}" != "release" ]]; then
+  if [[ "${ALLOW_DEBUG_BENCH:-0}" != "1" ]]; then
+    echo "run_benches.sh: '$BUILD_DIR' is built as '${BUILD_TYPE:-unset}', not Release." >&2
+    echo "  Numbers from unoptimized libraries are not comparable; use the release" >&2
+    echo "  tree (default BUILD_DIR=build-release) or set ALLOW_DEBUG_BENCH=1 to" >&2
+    echo "  record a loudly-tagged debug run anyway." >&2
+    exit 1
+  fi
+  echo "run_benches.sh: WARNING recording a '${BUILD_TYPE}' build (ALLOW_DEBUG_BENCH=1);" >&2
+  echo "  the JSON summary will be tagged not_comparable." >&2
+fi
+
 BENCHES=(bench_lattice bench_certification bench_batch bench_inference
-         bench_interpreter bench_explorer bench_entailment bench_proof)
+         bench_interpreter bench_explorer bench_entailment bench_proof
+         bench_scaling)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
 
 TMP_DIR="$(mktemp -d)"
@@ -27,11 +48,11 @@ for bench in "${BENCHES[@]}"; do
     > "$TMP_DIR/$bench.json"
 done
 
-python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
-import json, sys
+BUILD_TYPE="$BUILD_TYPE" python3 - "$OUT" "$TMP_DIR" "${BENCHES[@]}" <<'EOF'
+import datetime, json, os, sys
 
 out_path, tmp_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
-merged = {"context": None, "benchmarks": []}
+merged = {"summary": None, "context": None, "benchmarks": []}
 for bench in benches:
     with open(f"{tmp_dir}/{bench}.json") as f:
         run = json.load(f)
@@ -40,7 +61,28 @@ for bench in benches:
     for entry in run.get("benchmarks", []):
         entry["suite"] = bench
         merged["benchmarks"].append(entry)
+
+context = merged["context"] or {}
+# CMAKE_BUILD_TYPE of our tree (from CMakeCache.txt, via the env) is the
+# type that matters; the benchmark context's own library_build_type
+# describes how the *google-benchmark library* was compiled (a debug
+# system package is common and harmless) and is kept as a side note.
+build_type = os.environ.get("BUILD_TYPE", "unknown").lower()
+merged["summary"] = {
+    "date": datetime.date.today().isoformat(),
+    "library_build_type": build_type,
+    "benchmark_library_build_type": context.get("library_build_type", "unknown"),
+    "num_cpus": context.get("num_cpus", 0),
+    "cpu_mhz": context.get("mhz_per_cpu", 0),
+    "comparable": build_type == "release",
+}
+if build_type != "release":
+    merged["summary"]["not_comparable"] = (
+        "library_build_type is not release; do not compare these numbers "
+        "against release captures")
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
-print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+summary = merged["summary"]
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks, "
+      f"build={summary['library_build_type']}, cpus={summary['num_cpus']})")
 EOF
