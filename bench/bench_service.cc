@@ -1,0 +1,287 @@
+// Experiment: the daemon's case for residency. One-shot `cfmc check` pays a
+// full parse + bind + certify for every submission; the daemon keeps the
+// pipeline state resident and recertifies only what changed. This binary
+// records that gap end to end:
+//
+//   ColdOneShot         the full pipeline + renderer, per submission — the
+//                       baseline `cfmc check --json` does per process
+//   WarmIdentical       resubmission of an unchanged resident document
+//   WarmEditRequest     a single-statement edit submitted in the wire's
+//                       {base, edits} delta form through CertService::Handle
+//                       (JSON decode included), at 10^3..10^5 statements
+//   GenColdOneShot /    the same pair over `cfmc gen`-shaped programs
+//   GenWarmEditRequest  (realistic nesting, ~70 symbols) — the ≥50× headline
+//                       claim reads GenColdOneShot(100000) against
+//                       GenWarmEditRequest(100000); the flat variants stress
+//                       the chunk-count worst case (one chunk per statement),
+//                       and the deterministic statement-count twin of the
+//                       claim is asserted in tests/service/incremental_test.cc
+//   SocketRoundtrip     a tiny request over a live Unix socket (framing +
+//                       event loop + handshake amortized out): transport tax
+//   ConcurrentClients   socket round-trip throughput with 1..8 persistent
+//                       client threads against one single-threaded daemon
+//
+// CI runs the small profile only:
+//   bench_service --benchmark_filter='/(1024|4096)$|SocketRoundtrip'
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/lang/printer.h"
+#include "src/service/client.h"
+#include "src/service/document.h"
+#include "src/service/scoped_daemon.h"
+#include "src/service/service.h"
+#include "src/support/json.h"
+#include "src/support/json_reader.h"
+
+namespace cfm {
+namespace {
+
+PipelineOptions TwoPoint() {
+  PipelineOptions options;
+  options.lattice_spec = "two";
+  return options;
+}
+
+ReportOptions JsonCheck(const std::string& file) {
+  ReportOptions options;
+  options.file = file;
+  options.json = true;
+  return options;
+}
+
+// A clean program with one top-level assignment chunk per statement: the
+// daemon's best case, and the shape `cfmc gen` scale profiles approximate.
+const std::string& ChunkProgram(int n) {
+  static auto* cache = new std::map<int, std::string>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    std::string text = "var a : integer class low;\nbegin\n";
+    for (int i = 0; i < n; ++i) {
+      text += "  a := " + std::to_string(i) + ";\n";
+    }
+    text += "  a := 0\nend\n";
+    it = cache->emplace(n, std::move(text)).first;
+  }
+  return it->second;
+}
+
+// `cfmc gen`-shaped text for the realistic-program variants, printed once
+// per process.
+const std::string& GenProgramText(int n) {
+  static auto* cache = new std::map<int, std::string>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, PrintProgram(bench::ProgramOfSize(static_cast<uint32_t>(n)))).first;
+  }
+  return it->second;
+}
+
+// --- cold baseline -----------------------------------------------------------
+
+void ColdOneShotBody(benchmark::State& state, const std::string& text) {
+  for (auto _ : state) {
+    CfmPipeline pipeline(TwoPoint());
+    pipeline.LoadSource("bench.cfm", text);
+    RenderedReport report = RenderCheckReport(pipeline, JsonCheck("bench.cfm"));
+    benchmark::DoNotOptimize(report.exit_code);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+
+void BM_Service_ColdOneShot(benchmark::State& state) {
+  ColdOneShotBody(state, ChunkProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Service_ColdOneShot)->RangeMultiplier(10)->Range(1000, 100000);
+
+void BM_Service_GenColdOneShot(benchmark::State& state) {
+  ColdOneShotBody(state, GenProgramText(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Service_GenColdOneShot)->RangeMultiplier(10)->Range(1000, 100000);
+
+// --- warm paths --------------------------------------------------------------
+
+void BM_Service_WarmIdentical(benchmark::State& state) {
+  const std::string& text = ChunkProgram(static_cast<int>(state.range(0)));
+  IncrementalCertifier certifier(TwoPoint(), 1 << 18);
+  certifier.Check("bench.cfm", text, JsonCheck("bench.cfm"), false);
+  for (auto _ : state) {
+    RenderedReport report = certifier.Check("bench.cfm", text, JsonCheck("bench.cfm"), false);
+    benchmark::DoNotOptimize(report.exit_code);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Service_WarmIdentical)->RangeMultiplier(10)->Range(1000, 100000);
+
+// The wire path minus the socket: a {base, edits} delta request through
+// CertService::Handle, alternating one statement between two values so every
+// iteration is a genuine warm edit (and, after the first two, a cache hit).
+// `target` is a unique-enough literal fragment past the document midpoint;
+// each iteration flips it to/from `variant`.
+void WarmEditRequestBody(benchmark::State& state, const std::string& text,
+                         const std::string& target, const std::string& variant) {
+  const int n = static_cast<int>(state.range(0));
+  CertService service;
+  bool shutdown = false;
+
+  JsonWriter full;
+  full.BeginObject();
+  full.Key("method").String("check");
+  full.Key("file").String("bench.cfm");
+  full.Key("text").String(text);
+  full.Key("json").Bool(true);
+  full.EndObject();
+  std::string response = service.Handle(full.str(), &shutdown);
+  std::string address = ParseJson(response)->at("address").StringOr("");
+  if (address.empty()) {
+    state.SkipWithError("setup: document not warm-eligible");
+    return;
+  }
+  // Prefer an occurrence past the document midpoint (representative diff
+  // scans), falling back to the first one anywhere.
+  size_t offset = text.find(target, text.size() / 2);
+  if (offset == std::string::npos) {
+    offset = text.find(target);
+  }
+  if (offset == std::string::npos) {
+    state.SkipWithError("setup: edit target not present");
+    return;
+  }
+
+  bool flipped = false;
+  for (auto _ : state) {
+    JsonWriter request;
+    request.BeginObject();
+    request.Key("method").String("check");
+    request.Key("file").String("bench.cfm");
+    request.Key("base").String(address);
+    request.Key("edits").BeginArray();
+    request.BeginObject();
+    request.Key("offset").UInt(offset);
+    request.Key("remove").UInt(flipped ? variant.size() : target.size());
+    request.Key("insert").String(flipped ? target : variant);
+    request.EndObject();
+    request.EndArray();
+    request.Key("json").Bool(true);
+    request.EndObject();
+    response = service.Handle(request.str(), &shutdown);
+    address = ParseJson(response)->at("address").StringOr("");
+    if (address.empty()) {
+      state.SkipWithError("edit request fell off the warm path");
+      break;
+    }
+    flipped = !flipped;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  Request probe;
+  probe.method = "check";
+  IncrementalCertifier* context = service.ContextFor(probe);
+  if (context != nullptr) {
+    // Every timed iteration must have been served warm; a silent cold
+    // fallback would still report an address, so assert on the engine stats.
+    if (context->stats().warm_edits < static_cast<uint64_t>(state.iterations())) {
+      state.SkipWithError("edits were served cold");
+    }
+    const CertCacheStats& cache = context->cache().stats();
+    state.counters["stmts_reused"] = static_cast<double>(cache.stmts_reused);
+    state.counters["stmts_recertified"] = static_cast<double>(cache.stmts_recertified);
+  }
+}
+
+void BM_Service_WarmEditRequest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  WarmEditRequestBody(state, ChunkProgram(n), "a := " + std::to_string(n / 2) + ";",
+                      "a := 999999999;");
+}
+BENCHMARK(BM_Service_WarmEditRequest)->RangeMultiplier(10)->Range(1000, 100000);
+
+void BM_Service_GenWarmEditRequest(benchmark::State& state) {
+  // Generated programs carry plenty of `:= <literal>;` assignments; flip the
+  // first one past the midpoint.
+  WarmEditRequestBody(state, GenProgramText(static_cast<int>(state.range(0))), ":= 4;",
+                      ":= 999999999;");
+}
+BENCHMARK(BM_Service_GenWarmEditRequest)->RangeMultiplier(10)->Range(1000, 100000);
+
+// --- socket transport --------------------------------------------------------
+
+ScopedDaemon& SharedDaemon() {
+  static auto* daemon = new ScopedDaemon();
+  return *daemon;
+}
+
+const char kTinyProgram[] = "var x : integer class low;\nbegin\n  x := 1\nend\n";
+
+std::string TinyCheckPayload() {
+  JsonWriter request;
+  request.BeginObject();
+  request.Key("method").String("check");
+  request.Key("file").String("tiny.cfm");
+  request.Key("text").String(kTinyProgram);
+  request.Key("json").Bool(true);
+  request.EndObject();
+  return request.str();
+}
+
+void BM_Service_SocketRoundtrip(benchmark::State& state) {
+  ScopedDaemon& daemon = SharedDaemon();
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  CfmdClient client(daemon.socket_path());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::string payload = TinyCheckPayload();
+  for (auto _ : state) {
+    auto response = client.Roundtrip(payload);
+    if (!response) {
+      state.SkipWithError("connection lost");
+      break;
+    }
+    benchmark::DoNotOptimize(response->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Service_SocketRoundtrip);
+
+// Concurrent-client series: every benchmark thread keeps one persistent
+// connection; the daemon multiplexes them on its single event loop.
+void BM_Service_ConcurrentClients(benchmark::State& state) {
+  ScopedDaemon& daemon = SharedDaemon();
+  if (!daemon.ok()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  CfmdClient client(daemon.socket_path());
+  if (!client.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::string payload = TinyCheckPayload();
+  for (auto _ : state) {
+    auto response = client.Roundtrip(payload);
+    if (!response) {
+      state.SkipWithError("connection lost");
+      break;
+    }
+    benchmark::DoNotOptimize(response->size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Service_ConcurrentClients)->ThreadRange(1, 8)->UseRealTime();
+
+}  // namespace
+}  // namespace cfm
+
+BENCHMARK_MAIN();

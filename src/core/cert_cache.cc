@@ -1,0 +1,47 @@
+#include "src/core/cert_cache.h"
+
+namespace cfm {
+
+std::optional<CachedTriple> CertCache::Lookup(uint64_t lattice_fp, uint64_t subtree_hash) {
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto it = map_.find(Key{lattice_fp, subtree_hash});
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->triple;
+}
+
+void CertCache::Insert(uint64_t lattice_fp, uint64_t subtree_hash, CachedTriple triple) {
+  if (capacity_ == 0) {
+    return;
+  }
+  Key key{lattice_fp, subtree_hash};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->triple = triple;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Entry& oldest = lru_.back();
+    map_.erase(oldest.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, triple});
+  map_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+}
+
+void CertCache::Clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace cfm

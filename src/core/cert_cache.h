@@ -1,0 +1,99 @@
+// The cross-file certification cache behind the daemon's incremental
+// recertification: an LRU-bounded map from (lattice fingerprint, subtree
+// content address) to the subtree's Figure 2 triple. Only *clean* subtrees
+// (cert = true, no violations anywhere inside) are cached — a clean
+// subtree's certification is fully summarized by {mod, flow, cert=true},
+// while a violating one also carries positions, names and witness paths that
+// are file-specific; violating subtrees are simply recertified, which also
+// keeps report output byte-identical to a cold run by construction.
+//
+// Entries are transferable across files and daemon documents because the key
+// hashes security classes rather than symbol names (src/core/subtree_hash.h)
+// and the lattice fingerprint pins the meaning of every ClassId in the
+// value.
+
+#ifndef SRC_CORE_CERT_CACHE_H_
+#define SRC_CORE_CERT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// The cached result for a clean subtree: its mod/flow in extended-lattice
+// ids (cert is implicitly true).
+struct CachedTriple {
+  ClassId mod = 0;
+  ClassId flow = 0;
+};
+
+struct CertCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  // Statement-weighted effectiveness counters, maintained by callers that
+  // know subtree sizes: how many statements were skipped via a hit vs
+  // actually recertified. The ≥50× warm-edit claim is asserted on these
+  // (deterministic), not on wall clock.
+  uint64_t stmts_reused = 0;
+  uint64_t stmts_recertified = 0;
+};
+
+class CertCache {
+ public:
+  // `capacity` bounds the entry count (each entry is ~64 bytes of key/value
+  // plus hash-map overhead); 0 disables caching entirely.
+  explicit CertCache(size_t capacity = 1 << 18) : capacity_(capacity) {}
+
+  CertCache(const CertCache&) = delete;
+  CertCache& operator=(const CertCache&) = delete;
+
+  // Looks up (lattice_fp, subtree_hash), refreshing LRU order on hit.
+  std::optional<CachedTriple> Lookup(uint64_t lattice_fp, uint64_t subtree_hash);
+
+  // Inserts or refreshes an entry, evicting the least recently used entry
+  // when full.
+  void Insert(uint64_t lattice_fp, uint64_t subtree_hash, CachedTriple triple);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  const CertCacheStats& stats() const { return stats_; }
+  CertCacheStats& stats() { return stats_; }
+
+ private:
+  struct Key {
+    uint64_t lattice_fp;
+    uint64_t subtree_hash;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // Both halves are already finalized 64-bit hashes; xor-rotate mixes
+      // them without clustering.
+      return static_cast<size_t>(key.lattice_fp ^
+                                 (key.subtree_hash << 1 | key.subtree_hash >> 63));
+    }
+  };
+  struct Entry {
+    Key key;
+    CachedTriple triple;
+  };
+  using EntryList = std::list<Entry>;
+
+  size_t capacity_;
+  EntryList lru_;  // Front = most recently used.
+  std::unordered_map<Key, EntryList::iterator, KeyHash> map_;
+  CertCacheStats stats_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_CERT_CACHE_H_

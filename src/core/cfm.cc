@@ -272,7 +272,7 @@ class CfmPass {
 CertificationResult CertifyCfmStmt(const Stmt& stmt, const SymbolTable& symbols,
                                    const StaticBinding& binding, uint32_t stmt_count,
                                    const CfmOptions& options) {
-  CertificationResult result("CFM", stmt_count);
+  CertificationResult result(kCfmMechanismName, stmt_count);
   CfmPass pass(symbols, binding, options, result);
   pass.Analyze(stmt);
   return result;

@@ -20,6 +20,11 @@
 
 namespace cfm {
 
+// The mechanism() name stamped on every CFM CertificationResult (and echoed
+// in certification JSON). Named so the daemon's warm-cache path can emit the
+// same reports without holding a result object.
+inline constexpr char kCfmMechanismName[] = "CFM";
+
 // Ablation switches (all on = the paper's CFM). Disabling a check yields the
 // intermediate mechanisms between Denning'77 and CFM; the ablation benchmark
 // and tests quantify what each new check catches. Never disable checks in

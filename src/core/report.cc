@@ -1,0 +1,148 @@
+#include "src/core/report.h"
+
+#include <sstream>
+#include <string>
+
+#include "src/analysis/lint.h"
+#include "src/core/cfm.h"
+#include "src/core/denning.h"
+#include "src/core/explain.h"
+#include "src/core/static_binding.h"
+#include "src/support/json.h"
+
+namespace cfm {
+
+std::string RenderCertificationJson(CfmPipeline& pipeline, const std::string& file) {
+  const Program& program = *pipeline.program();
+  const StaticBinding& binding = *pipeline.binding();
+  const CertificationResult& result = *pipeline.certification();
+  const ExtendedLattice& extended = binding.extended();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("file").String(file);
+  json.Key("lattice").String(pipeline.lattice()->Describe());
+  json.Key("mechanism").String(result.mechanism());
+  json.Key("certified").Bool(result.certified());
+  json.Key("violations").BeginArray();
+  for (const Violation& violation : result.violations()) {
+    json.BeginObject();
+    json.Key("kind").String(ToString(violation.kind));
+    json.Key("line").UInt(violation.stmt->range().begin.line);
+    json.Key("column").UInt(violation.stmt->range().begin.column);
+    json.Key("flow_class").String(extended.ElementName(violation.flow_class));
+    json.Key("bound_class").String(extended.ElementName(violation.bound_class));
+    json.Key("message").String(violation.message);
+    json.Key("witness").BeginArray();
+    for (const FlowStep& step : ExplainViolation(program, binding, violation)) {
+      json.BeginObject();
+      json.Key("source").String(program.symbols().at(step.source).name);
+      json.Key("target").String(program.symbols().at(step.target).name);
+      json.Key("check").String(ToString(step.kind));
+      json.Key("line").UInt(step.stmt->range().begin.line);
+      json.Key("column").UInt(step.stmt->range().begin.column);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+RenderedReport RenderPipelineFailure(const CfmPipeline& pipeline) {
+  RenderedReport report;
+  if (pipeline.error_stage() == PipelineStage::kParse) {
+    report.err = pipeline.error();
+  } else {
+    report.err = "cfmc: " + pipeline.error() + "\n";
+  }
+  report.exit_code = pipeline.exit_code();
+  return report;
+}
+
+RenderedReport RenderCheckReport(CfmPipeline& pipeline, const ReportOptions& options) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return RenderPipelineFailure(pipeline);
+  }
+  RenderedReport report;
+  if (options.json) {
+    report.out = RenderCertificationJson(pipeline, options.file) + "\n";
+    report.exit_code = pipeline.certification()->certified() ? 0 : 1;
+    return report;
+  }
+  const Program& program = *pipeline.program();
+  std::ostringstream out;
+  out << "lattice: " << pipeline.lattice()->Describe() << "\n"
+      << "static binding:\n"
+      << binding->Describe(program.symbols());
+
+  const CertificationResult& cfm_result = *pipeline.certification();
+  out << "\n" << cfm_result.Summary(program.symbols(), binding->extended());
+  if (options.table) {
+    out << "\nFigure 2 instantiated (per-statement certification functions):\n"
+        << cfm_result.FactsTable(program.root(), program.symbols(), binding->extended());
+  }
+
+  DenningMode mode =
+      options.denning_permissive ? DenningMode::kPermissive : DenningMode::kStrict;
+  CertificationResult denning_result = CertifyDenning(program, *binding, mode);
+  out << "\n" << denning_result.Summary(program.symbols(), binding->extended());
+
+  report.out = out.str();
+  report.exit_code = cfm_result.certified() ? 0 : 1;
+  return report;
+}
+
+RenderedReport RenderExplainReport(CfmPipeline& pipeline, const ReportOptions& options) {
+  const StaticBinding* binding = pipeline.binding();
+  if (binding == nullptr) {
+    return RenderPipelineFailure(pipeline);
+  }
+  RenderedReport report;
+  if (options.json) {
+    report.out = RenderCertificationJson(pipeline, options.file) + "\n";
+    report.exit_code = pipeline.certification()->certified() ? 0 : 1;
+    return report;
+  }
+  const Program& program = *pipeline.program();
+  const CertificationResult& result = *pipeline.certification();
+  std::ostringstream out;
+  out << result.Summary(program.symbols(), binding->extended());
+  if (result.certified()) {
+    report.out = out.str();
+    report.exit_code = 0;
+    return report;
+  }
+  for (const Violation& violation : result.violations()) {
+    out << "\nwitness path for the " << ToString(violation.kind) << " at "
+        << ToString(violation.stmt->range().begin) << ":\n";
+    auto path = ExplainViolation(program, *binding, violation);
+    if (path.empty()) {
+      out << "  (no inter-variable path: the flow is direct at this statement)\n";
+      continue;
+    }
+    out << RenderFlowPath(path, program.symbols(), *pipeline.lattice(), *binding);
+  }
+  report.out = out.str();
+  report.exit_code = 1;
+  return report;
+}
+
+RenderedReport RenderLintReport(CfmPipeline& pipeline, const ReportOptions& options) {
+  const LintResult* lint = pipeline.lint();
+  if (lint == nullptr) {
+    return RenderPipelineFailure(pipeline);
+  }
+  RenderedReport report;
+  if (options.json) {
+    report.out = RenderLintJson(*lint, options.file) + "\n";
+  } else {
+    report.out = RenderLint(*lint, *pipeline.source());
+  }
+  report.exit_code = lint->ExitCode(options.werror);
+  return report;
+}
+
+}  // namespace cfm

@@ -1,0 +1,53 @@
+// Shared presentation layer for the `check`, `explain` and `lint`
+// subcommands: renders a CfmPipeline session into exactly the bytes `cfmc`
+// prints (stdout text, stderr text, exit status). Extracted from the cfmc
+// driver so the certification daemon (src/service) can serve responses that
+// are byte-identical to one-shot cfmc output — the daemon's correctness
+// contract and the `daemon-vs-oneshot` fuzz oracle both hinge on this being
+// the single implementation.
+
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <string>
+
+#include "src/core/pipeline.h"
+
+namespace cfm {
+
+struct ReportOptions {
+  // The file path as the user named it; appears verbatim in JSON reports.
+  std::string file;
+  bool json = false;
+  // check: also render the Figure 2 facts table.
+  bool table = false;
+  // check: use the permissive Denning baseline for the comparison section.
+  bool denning_permissive = false;
+  // lint: warnings fail the exit status.
+  bool werror = false;
+};
+
+struct RenderedReport {
+  std::string out;  // Bytes for stdout.
+  std::string err;  // Bytes for stderr.
+  int exit_code = 0;
+};
+
+// The machine-readable certification report shared by `check --json` and
+// `explain --json` (docs/FORMATS.md "certification JSON"). Requires
+// program/binding/certification to be available.
+std::string RenderCertificationJson(CfmPipeline& pipeline, const std::string& file);
+
+// Renders the pipeline's first failure the way cfmc reports it on stderr:
+// parse diagnostics verbatim, everything else with the "cfmc: " prefix.
+RenderedReport RenderPipelineFailure(const CfmPipeline& pipeline);
+
+// The full `cfmc check` / `cfmc explain` / `cfmc lint` behaviors, including
+// failure reporting; always safe to call after LoadSource/LoadFile.
+RenderedReport RenderCheckReport(CfmPipeline& pipeline, const ReportOptions& options);
+RenderedReport RenderExplainReport(CfmPipeline& pipeline, const ReportOptions& options);
+RenderedReport RenderLintReport(CfmPipeline& pipeline, const ReportOptions& options);
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_REPORT_H_

@@ -1,0 +1,179 @@
+#include "src/core/subtree_hash.h"
+
+#include "src/support/hash.h"
+
+namespace cfm {
+
+namespace {
+
+// Distinct tags per node flavour so structurally different trees cannot
+// collide by concatenation (e.g. unary(neg) vs binary(sub) arity changes).
+enum : uint64_t {
+  kTagInt = 0x11,
+  kTagBool = 0x12,
+  kTagVar = 0x13,
+  kTagUnary = 0x14,
+  kTagBinary = 0x15,
+  kTagAssign = 0x21,
+  kTagIf = 0x22,
+  kTagIfNoElse = 0x23,
+  kTagWhile = 0x24,
+  kTagBlock = 0x25,
+  kTagCobegin = 0x26,
+  kTagWait = 0x27,
+  kTagSignal = 0x28,
+  kTagSend = 0x29,
+  kTagReceive = 0x2a,
+  kTagSkip = 0x2b,
+};
+
+uint64_t NodeSeed(uint64_t tag) {
+  return FnvMix(FnvMix(kFnvOffset, kSubtreeHashVersion), tag);
+}
+
+uint64_t HashExpr(const Expr& expr, const StaticBinding& binding) {
+  switch (expr.kind()) {
+    case ExprKind::kIntLiteral:
+      return HashFinalize(FnvMix(NodeSeed(kTagInt),
+                                 static_cast<uint64_t>(expr.As<IntLiteral>().value())));
+    case ExprKind::kBoolLiteral:
+      return HashFinalize(
+          FnvMix(NodeSeed(kTagBool), expr.As<BoolLiteral>().value() ? 1 : 0));
+    case ExprKind::kVarRef:
+      // The class, not the name: certification facts are invariant under
+      // α-renaming within a binding, and the cache wants that reuse.
+      return HashFinalize(
+          FnvMix(NodeSeed(kTagVar), binding.ExtendedBinding(expr.As<VarRef>().symbol())));
+    case ExprKind::kUnary: {
+      const auto& unary = expr.As<UnaryExpr>();
+      uint64_t h = FnvMix(NodeSeed(kTagUnary), static_cast<uint64_t>(unary.op()));
+      return HashFinalize(FnvMix(h, HashExpr(unary.operand(), binding)));
+    }
+    case ExprKind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      uint64_t h = FnvMix(NodeSeed(kTagBinary), static_cast<uint64_t>(binary.op()));
+      h = FnvMix(h, HashExpr(binary.lhs(), binding));
+      return HashFinalize(FnvMix(h, HashExpr(binary.rhs(), binding)));
+    }
+  }
+  return 0;  // Unreachable; kinds are exhaustive.
+}
+
+// Bottom-up hash; when `out` is non-null every visited statement is recorded
+// pre-order (the slot is reserved before children run, filled after).
+uint64_t HashStmt(const Stmt& stmt, const StaticBinding& binding,
+                  std::vector<std::pair<const Stmt*, uint64_t>>* out) {
+  size_t slot = 0;
+  if (out != nullptr) {
+    slot = out->size();
+    out->emplace_back(&stmt, 0);
+  }
+  uint64_t h = 0;
+  switch (stmt.kind()) {
+    case StmtKind::kAssign: {
+      const auto& assign = stmt.As<AssignStmt>();
+      h = FnvMix(NodeSeed(kTagAssign), binding.ExtendedBinding(assign.target()));
+      h = FnvMix(h, HashExpr(assign.value(), binding));
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& branch = stmt.As<IfStmt>();
+      h = NodeSeed(branch.else_branch() == nullptr ? kTagIfNoElse : kTagIf);
+      h = FnvMix(h, HashExpr(branch.condition(), binding));
+      h = FnvMix(h, HashStmt(branch.then_branch(), binding, out));
+      if (branch.else_branch() != nullptr) {
+        h = FnvMix(h, HashStmt(*branch.else_branch(), binding, out));
+      }
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& loop = stmt.As<WhileStmt>();
+      h = FnvMix(NodeSeed(kTagWhile), HashExpr(loop.condition(), binding));
+      h = FnvMix(h, HashStmt(loop.body(), binding, out));
+      break;
+    }
+    case StmtKind::kBlock: {
+      const auto& block = stmt.As<BlockStmt>();
+      h = FnvMix(NodeSeed(kTagBlock), block.statements().size());
+      for (const Stmt* child : block.statements()) {
+        h = FnvMix(h, HashStmt(*child, binding, out));
+      }
+      break;
+    }
+    case StmtKind::kCobegin: {
+      const auto& cobegin = stmt.As<CobeginStmt>();
+      h = FnvMix(NodeSeed(kTagCobegin), cobegin.processes().size());
+      for (const Stmt* child : cobegin.processes()) {
+        h = FnvMix(h, HashStmt(*child, binding, out));
+      }
+      break;
+    }
+    case StmtKind::kWait:
+      h = FnvMix(NodeSeed(kTagWait), binding.ExtendedBinding(stmt.As<WaitStmt>().semaphore()));
+      break;
+    case StmtKind::kSignal:
+      h = FnvMix(NodeSeed(kTagSignal),
+                 binding.ExtendedBinding(stmt.As<SignalStmt>().semaphore()));
+      break;
+    case StmtKind::kSend: {
+      const auto& send = stmt.As<SendStmt>();
+      h = FnvMix(NodeSeed(kTagSend), binding.ExtendedBinding(send.channel()));
+      h = FnvMix(h, HashExpr(send.value(), binding));
+      break;
+    }
+    case StmtKind::kReceive: {
+      const auto& receive = stmt.As<ReceiveStmt>();
+      h = FnvMix(NodeSeed(kTagReceive), binding.ExtendedBinding(receive.channel()));
+      h = FnvMix(h, binding.ExtendedBinding(receive.target()));
+      break;
+    }
+    case StmtKind::kSkip:
+      h = NodeSeed(kTagSkip);
+      break;
+  }
+  h = HashFinalize(h);
+  if (out != nullptr) {
+    (*out)[slot].second = h;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t LatticeFingerprint(const Lattice& lattice, uint64_t max_dense) {
+  uint64_t h = FnvMix(kFnvOffset, kSubtreeHashVersion);
+  const uint64_t n = lattice.size();
+  h = FnvMix(h, n);
+  if (n <= max_dense) {
+    for (ClassId a = 0; a < n; ++a) {
+      h = HashBytes(lattice.ElementName(a), h);
+      // Pack the Leq row bit-by-bit; 64 relations per mix.
+      uint64_t row = 0;
+      for (ClassId b = 0; b < n; ++b) {
+        row = (row << 1) | (lattice.Leq(a, b) ? 1 : 0);
+        if ((b & 63) == 63) {
+          h = FnvMix(h, row);
+          row = 0;
+        }
+      }
+      h = FnvMix(h, row);
+    }
+  } else {
+    h = HashBytes(lattice.Describe(), h);
+    h = FnvMix(h, lattice.Bottom());
+    h = FnvMix(h, lattice.Top());
+  }
+  return HashFinalize(h);
+}
+
+uint64_t SubtreeHash(const Stmt& stmt, const StaticBinding& binding) {
+  return HashStmt(stmt, binding, nullptr);
+}
+
+void SubtreeHashes(const Stmt& root, const StaticBinding& binding,
+                   std::vector<std::pair<const Stmt*, uint64_t>>& out) {
+  out.clear();
+  HashStmt(root, binding, &out);
+}
+
+}  // namespace cfm

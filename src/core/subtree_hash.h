@@ -1,0 +1,55 @@
+// Content addresses for certification work: a stable structural hash per
+// statement subtree, over exactly the inputs the Concurrent Flow Mechanism
+// reads — AST shape (statement/expression kinds, operators, literals) and
+// the *security class* bound to every referenced symbol — plus a fingerprint
+// of the classification lattice itself. Symbol names and ids are deliberately
+// excluded: Figure 2's mod/flow/cert triple depends only on classes, so two
+// α-renamed statements over the same classes share one address, and cached
+// triples transfer across files (the daemon's cross-file cache relies on
+// this).
+//
+// The hash feeds persisted state (the daemon's cache keys, golden tests), so
+// any change to what gets mixed — new node kinds included, reordered fields,
+// different mixing — MUST bump kSubtreeHashVersion and regenerate the
+// goldens in tests/core/subtree_hash_test.cc, mirroring the
+// kGenStreamVersion discipline in src/gen.
+
+#ifndef SRC_CORE_SUBTREE_HASH_H_
+#define SRC_CORE_SUBTREE_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/static_binding.h"
+#include "src/lang/ast.h"
+#include "src/lattice/lattice.h"
+
+namespace cfm {
+
+// Version of the subtree-hash stream. Golden hashes and daemon caches are
+// only meaningful per version.
+inline constexpr uint32_t kSubtreeHashVersion = 1;
+
+// A fingerprint of a classification lattice: element count, element names in
+// id order, and the full Leq relation (the join/meet tables are determined
+// by Leq on a lattice, so hashing Leq suffices). Two lattices with equal
+// fingerprints assign the same meaning to every ClassId, which is what makes
+// cached (lattice, subtree) → facts entries transferable. O(size²); lattices
+// above `max_dense` elements hash their Describe() string and bottom/top
+// instead (cheaper, still sound — equal spec strings construct identical
+// lattices everywhere in this codebase).
+uint64_t LatticeFingerprint(const Lattice& lattice, uint64_t max_dense = 512);
+
+// The content address of `stmt`'s subtree under `binding`. Deterministic
+// across processes and runs for a fixed kSubtreeHashVersion.
+uint64_t SubtreeHash(const Stmt& stmt, const StaticBinding& binding);
+
+// Hashes every statement in `root`'s subtree in one bottom-up walk. Returns
+// pairs ordered pre-order; `out[i].first` is the statement, `.second` its
+// hash. The root's hash equals SubtreeHash(root, binding).
+void SubtreeHashes(const Stmt& root, const StaticBinding& binding,
+                   std::vector<std::pair<const Stmt*, uint64_t>>& out);
+
+}  // namespace cfm
+
+#endif  // SRC_CORE_SUBTREE_HASH_H_

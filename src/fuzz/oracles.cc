@@ -15,6 +15,10 @@
 #include "src/logic/proof_io.h"
 #include "src/runtime/bytecode.h"
 #include "src/runtime/explorer.h"
+#include "src/service/client.h"
+#include "src/service/protocol.h"
+#include "src/service/scoped_daemon.h"
+#include "src/support/json.h"
 
 namespace cfm {
 
@@ -400,6 +404,88 @@ OracleResult CheckEntailBatch(const FuzzCase& fuzz_case, const OracleOptions& op
   return Pass();
 }
 
+// --- daemon-vs-oneshot ------------------------------------------------------
+// The resident daemon (incremental engine, warm snapshots, cross-file cache,
+// socket framing) must answer byte-identically to the one-shot renderers for
+// every submission. Every case reuses one shared daemon under the same
+// document key, so consecutive mutated programs exercise the warm-path diffing
+// and its cold fallbacks — exactly the machinery a fresh daemon would skip.
+OracleResult CheckDaemonVsOneshot(const FuzzCase& fuzz_case, const OracleOptions& options) {
+  if (options.certifier) {
+    return Skip("the daemon certifies with the stock certifier only");
+  }
+  const Program& program = *fuzz_case.program;
+  std::string source = PrintProgram(program);
+
+  static ScopedDaemon daemon;  // Shared across cases; stopped at process exit.
+  if (!daemon.ok()) {
+    return Skip("daemon failed to start: " + daemon.error());
+  }
+  CfmdClient client(daemon.socket_path());
+  if (!client.ok()) {
+    return Fail("daemon is running but connect failed: " + client.error());
+  }
+
+  struct Mode {
+    const char* method;
+    bool json;
+  };
+  // JSON check twice in a row: the second submission is an identical-text
+  // warm hit, which must still render the same bytes.
+  const Mode modes[] = {
+      {"check", true}, {"check", true}, {"check", false}, {"explain", true}, {"lint", true}};
+  for (const Mode& mode : modes) {
+    // The one-shot expectation, through the renderers cfmc itself uses.
+    PipelineOptions pipeline_options;
+    pipeline_options.lattice_spec = fuzz_case.lattice_spec;
+    CfmPipeline pipeline(std::move(pipeline_options));
+    pipeline.LoadSource("<fuzz>", source);
+    ReportOptions report_options;
+    report_options.file = "<fuzz>";
+    report_options.json = mode.json;
+    RenderedReport expected;
+    const std::string_view method = mode.method;
+    if (method == "check") {
+      expected = RenderCheckReport(pipeline, report_options);
+    } else if (method == "explain") {
+      expected = RenderExplainReport(pipeline, report_options);
+    } else {
+      expected = RenderLintReport(pipeline, report_options);
+    }
+
+    JsonWriter request;
+    request.BeginObject();
+    request.Key("method").String(method);
+    request.Key("file").String("<fuzz>");
+    request.Key("text").String(source);
+    request.Key("lattice").String(fuzz_case.lattice_spec);
+    request.Key("json").Bool(mode.json);
+    request.EndObject();
+    std::optional<std::string> payload = client.Roundtrip(request.str());
+    if (!payload) {
+      return Fail("daemon connection lost mid-case");
+    }
+    std::optional<RemoteResult> result = DecodeResult(*payload);
+    if (!result) {
+      return Fail("daemon sent an undecodable response payload");
+    }
+    if (!result->error_code.empty()) {
+      return Fail("daemon error (" + result->error_code + "): " + result->error_message);
+    }
+    if (result->output != expected.out || result->errout != expected.err ||
+        result->exit_code != expected.exit_code) {
+      std::ostringstream os;
+      os << "daemon " << method << (mode.json ? " --json" : "")
+         << " diverges from one-shot: exit " << result->exit_code << " vs "
+         << expected.exit_code << "\n--- daemon stdout ---\n" << result->output
+         << "--- one-shot stdout ---\n" << expected.out << "--- daemon stderr ---\n"
+         << result->errout << "--- one-shot stderr ---\n" << expected.err;
+      return Fail(os.str());
+    }
+  }
+  return Pass();
+}
+
 }  // namespace
 
 std::optional<Certifier> InjectedCertifier(std::string_view name) {
@@ -450,6 +536,8 @@ std::string_view ToString(OracleKind kind) {
       return "lint-stable";
     case OracleKind::kEntailBatch:
       return "entail-batch";
+    case OracleKind::kDaemonVsOneshot:
+      return "daemon-vs-oneshot";
   }
   return "?";
 }
@@ -486,6 +574,8 @@ OracleResult RunOracle(OracleKind kind, const FuzzCase& fuzz_case,
       return CheckLintStable(fuzz_case, options);
     case OracleKind::kEntailBatch:
       return CheckEntailBatch(fuzz_case, options);
+    case OracleKind::kDaemonVsOneshot:
+      return CheckDaemonVsOneshot(fuzz_case, options);
   }
   return Skip("unknown oracle");
 }

@@ -24,6 +24,9 @@
 //                      store's memoized Entails, the batched EntailsMany and
 //                      the word-parallel fast path all agree with the
 //                      retained scalar entailment reference
+//   daemon-vs-oneshot  a resident cfmd (incremental recertification, warm
+//                      caches, socket transport) answers check/explain/lint
+//                      byte-identically to the one-shot renderers
 //
 // The certifier is pluggable so the fuzzer can mutation-test ITSELF: inject
 // a deliberately broken certifier (e.g. one that skips a Figure 2 check) and
@@ -91,12 +94,13 @@ enum class OracleKind : uint8_t {
   kPipelineCache,
   kLintStable,
   kEntailBatch,
+  kDaemonVsOneshot,
 };
 
 inline constexpr OracleKind kAllOracles[] = {
     OracleKind::kCertVsProof, OracleKind::kBuilderVsChecker, OracleKind::kCertSoundNi,
     OracleKind::kPorVsFull,   OracleKind::kRoundTrip,        OracleKind::kPipelineCache,
-    OracleKind::kLintStable,  OracleKind::kEntailBatch,
+    OracleKind::kLintStable,  OracleKind::kEntailBatch,      OracleKind::kDaemonVsOneshot,
 };
 
 std::string_view ToString(OracleKind kind);

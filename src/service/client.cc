@@ -1,0 +1,73 @@
+#include "src/service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/service/framing.h"
+#include "src/service/protocol.h"
+#include "src/support/json_reader.h"
+
+namespace cfm {
+
+CfmdClient::CfmdClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path is empty or too long";
+    return;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error_ = "cannot create socket";
+    return;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = "cannot connect to '" + socket_path + "': " + std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  std::optional<std::string> handshake = ReadFrame(fd);
+  if (!handshake || !CheckHandshake(*handshake)) {
+    error_ = "daemon handshake missing or protocol version mismatch";
+    ::close(fd);
+    return;
+  }
+  fd_ = fd;
+}
+
+CfmdClient::~CfmdClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::optional<std::string> CfmdClient::Roundtrip(const std::string& payload) {
+  if (fd_ < 0 || !WriteFrame(fd_, payload)) {
+    return std::nullopt;
+  }
+  return ReadFrame(fd_);
+}
+
+std::optional<RemoteResult> DecodeResult(const std::string& payload) {
+  std::optional<JsonValue> root = ParseJson(payload);
+  if (!root || !root->is_object() || !root->at("ok").is_bool()) {
+    return std::nullopt;
+  }
+  RemoteResult result;
+  if (!root->at("ok").bool_value) {
+    result.error_code = root->at("error").at("code").StringOr("unknown");
+    result.error_message = root->at("error").at("message").StringOr("");
+    return result;
+  }
+  result.exit_code = static_cast<int>(root->at("exit").IntOr(0));
+  result.output = root->at("output").StringOr("");
+  result.errout = root->at("errout").StringOr("");
+  result.address = root->at("address").StringOr("");
+  return result;
+}
+
+}  // namespace cfm

@@ -1,0 +1,50 @@
+// Blocking client for the certification daemon: connect, validate the
+// handshake, then exchange framed JSON payloads. Used by `cfmc --connect`,
+// the daemon tests, the benches and the daemon-vs-oneshot fuzz oracle.
+
+#ifndef SRC_SERVICE_CLIENT_H_
+#define SRC_SERVICE_CLIENT_H_
+
+#include <optional>
+#include <string>
+
+namespace cfm {
+
+class CfmdClient {
+ public:
+  // Connects and reads/validates the handshake frame.
+  explicit CfmdClient(const std::string& socket_path);
+  ~CfmdClient();
+
+  CfmdClient(const CfmdClient&) = delete;
+  CfmdClient& operator=(const CfmdClient&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& error() const { return error_; }
+
+  // Sends one request payload and returns the response payload; nullopt on
+  // an I/O failure (the connection is then unusable).
+  std::optional<std::string> Roundtrip(const std::string& payload);
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+// Decoded single-document response.
+struct RemoteResult {
+  int exit_code = 0;
+  std::string output;
+  std::string errout;
+  std::string address;     // Resident document address, when reported.
+  std::string error_code;  // Non-empty when the server sent an error envelope.
+  std::string error_message;
+};
+
+// Decodes a {"ok":...} response payload; nullopt when the payload is not a
+// valid response object at all.
+std::optional<RemoteResult> DecodeResult(const std::string& payload);
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_CLIENT_H_

@@ -1,0 +1,434 @@
+#include "src/service/document.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/cfm.h"
+#include "src/core/subtree_hash.h"
+#include "src/lang/ast.h"
+#include "src/support/hash.h"
+#include "src/support/json.h"
+
+namespace cfm {
+
+namespace {
+
+bool IsWs(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+bool AllWs(std::string_view text) {
+  return std::all_of(text.begin(), text.end(), IsWs);
+}
+
+// Statement ranges do not cover the closing parens of a trailing
+// parenthesized expression (the parser returns the inner node for `(e)`), so
+// the bytes between a statement's range end and the next separator may start
+// with `)`s that belong to the statement. `AbsorbTrailingParens` advances
+// past that run — whitespace and ')' only — and returns one past the last
+// ')' (or `from` unchanged when there is none), which the caller splices
+// back into the preceding chunk so chunk text stays parseable in isolation.
+uint32_t AbsorbTrailingParens(std::string_view text, uint32_t from, uint32_t limit) {
+  uint32_t absorbed = from;
+  for (uint32_t i = from; i < limit; ++i) {
+    if (text[i] == ')') {
+      absorbed = i + 1;
+    } else if (!IsWs(text[i])) {
+      break;
+    }
+  }
+  return absorbed;
+}
+
+// True iff `gap` is exactly one top-level statement separator: optional
+// whitespace, one ';', optional whitespace. Comments disqualify — they can
+// swallow separators under edits, so such documents stay on the cold path.
+bool IsSeparatorGap(std::string_view gap) {
+  size_t i = 0;
+  while (i < gap.size() && IsWs(gap[i])) {
+    ++i;
+  }
+  if (i == gap.size() || gap[i] != ';') {
+    return false;
+  }
+  return AllWs(gap.substr(i + 1));
+}
+
+}  // namespace
+
+std::string FormatAddress(uint64_t address) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(address));
+  return buffer;
+}
+
+std::optional<uint64_t> ParseAddress(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    return std::nullopt;
+  }
+  uint64_t value = 0;
+  for (char c : hex) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+IncrementalCertifier::IncrementalCertifier(PipelineOptions options, size_t cache_entries)
+    : options_(std::move(options)), holder_(options_), cache_(cache_entries) {
+  lattice_ = holder_.lattice();
+  if (lattice_ != nullptr) {
+    ext_.emplace(*lattice_);
+    lattice_fp_ = LatticeFingerprint(*lattice_);
+    options_.lattice = lattice_;  // Fragment/doc pipelines reuse, not re-resolve.
+  }
+}
+
+RenderedReport IncrementalCertifier::LatticeFailure() {
+  return RenderPipelineFailure(holder_);
+}
+
+CfmPipeline IncrementalCertifier::MakePipeline(const LintOptions* lint_options) const {
+  PipelineOptions options = options_;
+  if (lint_options != nullptr) {
+    options.lint = *lint_options;
+  }
+  return CfmPipeline(std::move(options));
+}
+
+std::optional<std::vector<IncrementalCertifier::ChunkPlan>>
+IncrementalCertifier::PlanChunks(const Program& program, const std::string& text) const {
+  const Stmt& root = program.root();
+  if (root.kind() != StmtKind::kBlock) {
+    return std::nullopt;
+  }
+  const auto& children = root.As<BlockStmt>().statements();
+  if (children.empty()) {
+    return std::nullopt;
+  }
+  const uint32_t root_begin = root.range().begin.offset;
+  // The root must open with the literal `begin` keyword followed by
+  // whitespace up to the first chunk.
+  if (root_begin + 5 > text.size() || text.compare(root_begin, 5, "begin") != 0) {
+    return std::nullopt;
+  }
+  std::vector<ChunkPlan> plan;
+  plan.reserve(children.size());
+  uint32_t prev_end = root_begin + 5;
+  for (size_t i = 0; i < children.size(); ++i) {
+    const SourceRange& range = children[i]->range();
+    const uint32_t begin = range.begin.offset;
+    uint32_t end = range.end.offset;
+    if (begin < prev_end || end <= begin || end > text.size()) {
+      return std::nullopt;
+    }
+    const std::string_view gap(text.data() + prev_end, begin - prev_end);
+    if (i == 0 ? !AllWs(gap) : !IsSeparatorGap(gap)) {
+      return std::nullopt;
+    }
+    end = AbsorbTrailingParens(text, end, static_cast<uint32_t>(text.size()));
+    plan.push_back(ChunkPlan{children[i], begin, end});
+    prev_end = end;
+  }
+  // After the last chunk: whitespace, the closing `end`, then only
+  // whitespace to EOF.
+  size_t i = prev_end;
+  while (i < text.size() && IsWs(text[i])) {
+    ++i;
+  }
+  if (i + 3 > text.size() || text.compare(i, 3, "end") != 0 ||
+      !AllWs(std::string_view(text).substr(i + 3))) {
+    return std::nullopt;
+  }
+  return plan;
+}
+
+bool IncrementalCertifier::CombineClean(const std::vector<DocChunk>& chunks) const {
+  // Mirrors AnalyzeBlock: the running join of earlier flows must be ≤ each
+  // later chunk's mod (checked before the chunk's own flow joins in).
+  ClassId flow_prefix = ExtendedLattice::kNil;
+  for (const DocChunk& chunk : chunks) {
+    if (flow_prefix != ExtendedLattice::kNil && !ext_->Leq(flow_prefix, chunk.triple.mod)) {
+      return false;
+    }
+    flow_prefix = ext_->Join(flow_prefix, chunk.triple.flow);
+  }
+  return true;
+}
+
+RenderedReport IncrementalCertifier::CleanJson(const std::string& file) const {
+  // Field-for-field the RenderCertificationJson schema for a clean program;
+  // the daemon-vs-oneshot oracle holds this to byte identity.
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("file").String(file);
+  json.Key("lattice").String(lattice_->Describe());
+  json.Key("mechanism").String(kCfmMechanismName);
+  json.Key("certified").Bool(true);
+  json.Key("violations").BeginArray();
+  json.EndArray();
+  json.EndObject();
+  RenderedReport report;
+  report.out = json.str() + "\n";
+  report.exit_code = 0;
+  return report;
+}
+
+std::optional<std::string> IncrementalCertifier::MaterializeText(
+    const std::string& file, bool has_text, const std::string& text,
+    const std::string& base_address, const std::vector<DocEdit>& edits,
+    std::string& error) {
+  if (has_text) {
+    return text;
+  }
+  auto it = docs_.find(file);
+  if (it == docs_.end()) {
+    error = "no resident document named '" + file + "'";
+    return std::nullopt;
+  }
+  std::optional<uint64_t> base = ParseAddress(base_address);
+  if (!base || *base != it->second.address) {
+    error = "base address does not match the resident document";
+    return std::nullopt;
+  }
+  const std::string& old = it->second.text;
+  std::string out;
+  out.reserve(old.size() + 64);
+  size_t pos = 0;
+  for (const DocEdit& edit : edits) {
+    const size_t offset = edit.offset;
+    if (offset < pos || offset > old.size() || edit.remove > old.size() - offset) {
+      error = "edit out of range or out of order";
+      return std::nullopt;
+    }
+    out.append(old, pos, offset - pos);
+    out.append(edit.insert);
+    pos = offset + edit.remove;
+  }
+  out.append(old, pos, std::string::npos);
+  return out;
+}
+
+std::optional<uint64_t> IncrementalCertifier::DocumentAddress(
+    const std::string& file) const {
+  auto it = docs_.find(file);
+  if (it == docs_.end()) {
+    return std::nullopt;
+  }
+  return it->second.address;
+}
+
+RenderedReport IncrementalCertifier::Check(const std::string& file,
+                                           const std::string& text,
+                                           const ReportOptions& options, bool explain) {
+  if (options.json) {
+    auto it = docs_.find(file);
+    if (it != docs_.end()) {
+      if (auto warm = TryWarm(it->second, file, text, options)) {
+        return *warm;
+      }
+      ++stats_.fallbacks;
+    }
+    return ColdSubmit(file, text, options, explain);
+  }
+  // Human renderings need a full result object (summaries, witness paths):
+  // always cold, and snapshots are neither read nor written.
+  ++stats_.cold_runs;
+  CfmPipeline pipeline = MakePipeline();
+  pipeline.LoadSource(file, text);
+  return explain ? RenderExplainReport(pipeline, options)
+                 : RenderCheckReport(pipeline, options);
+}
+
+RenderedReport IncrementalCertifier::Lint(const std::string& file, const std::string& text,
+                                          const ReportOptions& options,
+                                          const LintOptions& lint_options) {
+  ++stats_.cold_runs;
+  CfmPipeline pipeline = MakePipeline(&lint_options);
+  pipeline.LoadSource(file, text);
+  return RenderLintReport(pipeline, options);
+}
+
+RenderedReport IncrementalCertifier::ColdSubmit(const std::string& file,
+                                                const std::string& text,
+                                                const ReportOptions& options,
+                                                bool explain) {
+  ++stats_.cold_runs;
+  CfmPipeline pipeline = MakePipeline();
+  auto render = [&](CfmPipeline& p) {
+    return explain ? RenderExplainReport(p, options) : RenderCheckReport(p, options);
+  };
+  if (!pipeline.LoadSource(file, text) || pipeline.binding() == nullptr) {
+    docs_.erase(file);
+    return render(pipeline);
+  }
+  const Program& program = *pipeline.program();
+  const StaticBinding& binding = *pipeline.binding();
+  auto plan = PlanChunks(program, text);
+  if (!plan) {
+    docs_.erase(file);
+    return render(pipeline);
+  }
+  // Hash-first certification: a chunk whose content address is resident in
+  // the cross-file cache contributes its triple without being re-analyzed.
+  DocumentState doc;
+  std::vector<std::pair<const Stmt*, uint64_t>> scratch;
+  for (const ChunkPlan& cp : *plan) {
+    SubtreeHashes(*cp.stmt, binding, scratch);
+    DocChunk chunk;
+    chunk.begin = cp.begin;
+    chunk.end = cp.end;
+    chunk.hash = scratch.front().second;
+    chunk.stmts = static_cast<uint32_t>(scratch.size());
+    if (auto hit = cache_.Lookup(lattice_fp_, chunk.hash)) {
+      chunk.triple = *hit;
+      cache_.stats().stmts_reused += chunk.stmts;
+    } else {
+      CertificationResult result = CertifyCfmStmt(*cp.stmt, program.symbols(), binding,
+                                                  program.stmt_count(), options_.cfm);
+      cache_.stats().stmts_recertified += chunk.stmts;
+      if (!result.certified()) {
+        docs_.erase(file);
+        return render(pipeline);
+      }
+      const StmtFacts facts = result.facts(*cp.stmt);
+      chunk.triple = CachedTriple{facts.mod, facts.flow};
+      cache_.Insert(lattice_fp_, chunk.hash, chunk.triple);
+    }
+    doc.chunks.push_back(chunk);
+  }
+  if (!CombineClean(doc.chunks)) {
+    docs_.erase(file);
+    return render(pipeline);
+  }
+  doc.text = text;
+  doc.address = ContentAddress(text);
+  doc.decl_text = text.substr(0, program.root().range().begin.offset);
+  docs_[file] = std::move(doc);
+  return CleanJson(file);
+}
+
+std::optional<RenderedReport> IncrementalCertifier::TryWarm(DocumentState& doc,
+                                                            const std::string& file,
+                                                            const std::string& text,
+                                                            const ReportOptions& options) {
+  (void)options;  // Callers guarantee json mode.
+  if (text == doc.text) {
+    // Identical resubmission of a clean document: nothing to recertify.
+    for (const DocChunk& chunk : doc.chunks) {
+      cache_.stats().stmts_reused += chunk.stmts;
+    }
+    ++stats_.warm_hits;
+    return CleanJson(file);
+  }
+  // Prefix/suffix diff → the smallest changed byte region of the old text.
+  const std::string& old = doc.text;
+  const size_t bound = std::min(old.size(), text.size());
+  size_t p = 0;
+  while (p < bound && old[p] == text[p]) {
+    ++p;
+  }
+  size_t s = 0;
+  while (s < bound - p && old[old.size() - 1 - s] == text[text.size() - 1 - s]) {
+    ++s;
+  }
+  const size_t changed_begin = p;
+  const size_t changed_end = old.size() - s;  // Exclusive, in old text.
+  // Warm-eligible only when the whole change sits inside one chunk's span.
+  size_t idx = doc.chunks.size();
+  for (size_t i = 0; i < doc.chunks.size(); ++i) {
+    if (doc.chunks[i].begin <= changed_begin && changed_end <= doc.chunks[i].end) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == doc.chunks.size()) {
+    return std::nullopt;
+  }
+  const int64_t delta =
+      static_cast<int64_t>(text.size()) - static_cast<int64_t>(old.size());
+  DocChunk& chunk = doc.chunks[idx];
+  const auto new_end = static_cast<size_t>(static_cast<int64_t>(chunk.end) + delta);
+  std::string chunk_text = text.substr(chunk.begin, new_end - chunk.begin);
+  // A `--` inside the chunk could comment out the separator that follows it
+  // in the full document but not in the wrapped fragment — refuse.
+  if (chunk_text.find("--") != std::string::npos) {
+    return std::nullopt;
+  }
+  // Re-parse just this chunk as a declaration-prefixed fragment. The
+  // fragment's symbol ids differ from the full document's, but certification
+  // facts depend only on the security classes behind the names, which the
+  // shared declaration region fixes.
+  const std::string fragment = doc.decl_text + "begin\n" + chunk_text + "\nend\n";
+  CfmPipeline frag = MakePipeline();
+  if (!frag.LoadSource(file, fragment) || frag.binding() == nullptr) {
+    return std::nullopt;
+  }
+  const Program& program = *frag.program();
+  if (program.root().kind() != StmtKind::kBlock) {
+    return std::nullopt;
+  }
+  const auto& children = program.root().As<BlockStmt>().statements();
+  if (children.size() != 1) {
+    // The edit changed the statement structure (e.g. introduced a top-level
+    // `;`): spans are stale, go cold.
+    return std::nullopt;
+  }
+  const Stmt& stmt = *children.front();
+  std::vector<std::pair<const Stmt*, uint64_t>> scratch;
+  SubtreeHashes(stmt, *frag.binding(), scratch);
+  const uint64_t hash = scratch.front().second;
+  const auto stmts = static_cast<uint32_t>(scratch.size());
+  CachedTriple triple;
+  if (auto hit = cache_.Lookup(lattice_fp_, hash)) {
+    triple = *hit;
+    cache_.stats().stmts_reused += stmts;
+  } else {
+    CertificationResult result = CertifyCfmStmt(stmt, program.symbols(), *frag.binding(),
+                                                program.stmt_count(), options_.cfm);
+    cache_.stats().stmts_recertified += stmts;
+    if (!result.certified()) {
+      return std::nullopt;  // Violating chunk: the cold run renders it.
+    }
+    const StmtFacts facts = result.facts(stmt);
+    triple = CachedTriple{facts.mod, facts.flow};
+    cache_.Insert(lattice_fp_, hash, triple);
+  }
+  // Commit the snapshot update, then recombine the root verdict (I3).
+  chunk.end = static_cast<uint32_t>(new_end);
+  chunk.hash = hash;
+  chunk.stmts = stmts;
+  chunk.triple = triple;
+  for (size_t j = idx + 1; j < doc.chunks.size(); ++j) {
+    doc.chunks[j].begin = static_cast<uint32_t>(doc.chunks[j].begin + delta);
+    doc.chunks[j].end = static_cast<uint32_t>(doc.chunks[j].end + delta);
+  }
+  doc.text = text;
+  doc.address = ContentAddress(text);
+  for (size_t j = 0; j < doc.chunks.size(); ++j) {
+    if (j != idx) {
+      cache_.stats().stmts_reused += doc.chunks[j].stmts;
+    }
+  }
+  if (!CombineClean(doc.chunks)) {
+    // The edit broke a cross-chunk composition check: the document now has a
+    // violation, so it is no longer snapshot-eligible (I1) and the cold run
+    // produces the rejection report.
+    docs_.erase(file);
+    return std::nullopt;
+  }
+  ++stats_.warm_hits;
+  ++stats_.warm_edits;
+  return CleanJson(file);
+}
+
+}  // namespace cfm

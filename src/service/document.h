@@ -1,0 +1,175 @@
+// The daemon's incremental recertification engine: one IncrementalCertifier
+// per lattice context, holding the cross-file CertCache plus a per-document
+// snapshot (text, top-level chunk spans, per-chunk mod/flow triples and
+// content addresses). A resubmitted document recertifies only the chunks
+// whose subtree hash changed; a single-chunk edit re-parses just that chunk
+// as a declaration-prefixed fragment and recombines the root block's
+// composition checks in O(#chunks) lattice operations — never re-reading the
+// other 99.99% of a large program.
+//
+// Correctness stance: the warm paths serve ONLY the one case whose bytes are
+// reconstructible without a full run — a *clean* (violation-free) document in
+// JSON mode, whose report is fully determined by {file, lattice, mechanism}.
+// Everything else (human renderings, any violation, structural edits, parse
+// failures, decl-region edits, chunk text containing `--`) falls back to the
+// cold full pipeline, which shares its renderers with one-shot cfmc
+// (src/core/report.h). Byte-identity with `cfmc` is therefore by
+// construction, and the daemon-vs-oneshot fuzz oracle enforces it.
+//
+// Cache-invalidation invariants (documented in docs/DESIGN.md §8):
+//   I1  A snapshot exists for a document only if its last JSON-mode
+//       submission certified clean; any violating or structurally
+//       ineligible submission erases it.
+//   I2  Chunk triples stored in the snapshot and the CertCache always come
+//       from a certification of the exact subtree bytes under the context
+//       lattice; the subtree hash keys them by AST structure + security
+//       classes, so α-renamed duplicates share entries (src/core/
+//       subtree_hash.h).
+//   I3  The root verdict is recombined from all chunk triples on every warm
+//       serve, mirroring AnalyzeBlock's composition rule exactly — a warm
+//       response never reuses a stale root verdict.
+
+#ifndef SRC_SERVICE_DOCUMENT_H_
+#define SRC_SERVICE_DOCUMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cert_cache.h"
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/lattice/extended.h"
+
+namespace cfm {
+
+// One top-level statement of the root block: its byte span in the document
+// text, its content address, node count, and clean triple.
+struct DocChunk {
+  uint32_t begin = 0;  // [begin, end): the chunk's own tokens, no separator.
+  uint32_t end = 0;
+  uint64_t hash = 0;   // SubtreeHash under the context lattice's classes.
+  uint32_t stmts = 0;  // Nodes in the subtree (statement count).
+  CachedTriple triple;
+};
+
+// The resident snapshot of one certified-clean document.
+struct DocumentState {
+  std::string text;
+  uint64_t address = 0;    // ContentAddress(text); edit requests name it.
+  std::string decl_text;   // Bytes [0, root "begin"): declarations + comments.
+  std::vector<DocChunk> chunks;
+};
+
+// An LSP-style delta against a document the daemon already holds.
+struct DocEdit {
+  uint32_t offset = 0;  // Byte offset into the base text.
+  uint32_t remove = 0;  // Bytes deleted at `offset`.
+  std::string insert;   // Bytes inserted in their place.
+};
+
+struct EngineStats {
+  uint64_t warm_hits = 0;     // Responses served without a full pipeline run.
+  uint64_t cold_runs = 0;     // Full pipeline certifications.
+  uint64_t warm_edits = 0;    // Single-chunk edits served warm.
+  uint64_t fallbacks = 0;     // Warm attempts that had to go cold.
+};
+
+class IncrementalCertifier {
+ public:
+  // `options` carries the lattice resolution (spec/file/pointer); the
+  // certifier keeps its own pipeline alive to own the resolved lattice.
+  explicit IncrementalCertifier(PipelineOptions options, size_t cache_entries);
+
+  // False when the lattice spec/file failed to resolve; LatticeFailure()
+  // then renders the same report one-shot cfmc prints.
+  bool ok() const { return lattice_ != nullptr; }
+  RenderedReport LatticeFailure();
+
+  // Resolves a submission's text: either the full text, or `edits` applied
+  // to the resident snapshot named by `base_address` (hex ContentAddress of
+  // the snapshot text). Returns nullopt with `error` set when the base is
+  // unknown/stale or an edit is out of range — the client should resend the
+  // full text.
+  std::optional<std::string> MaterializeText(const std::string& file, bool has_text,
+                                             const std::string& text,
+                                             const std::string& base_address,
+                                             const std::vector<DocEdit>& edits,
+                                             std::string& error);
+
+  // `cfmc check` (explain=false) / `cfmc explain` (explain=true) over
+  // in-memory text, warm when possible.
+  RenderedReport Check(const std::string& file, const std::string& text,
+                       const ReportOptions& options, bool explain);
+
+  // `cfmc lint`: always a cold run (lint reads the raw source buffer).
+  RenderedReport Lint(const std::string& file, const std::string& text,
+                      const ReportOptions& options, const LintOptions& lint_options);
+
+  // The snapshot address for a resident document, if any (clients use it to
+  // send edit requests).
+  std::optional<uint64_t> DocumentAddress(const std::string& file) const;
+
+  const CertCache& cache() const { return cache_; }
+  CertCache& cache() { return cache_; }
+  const EngineStats& stats() const { return stats_; }
+  size_t document_count() const { return docs_.size(); }
+  const Lattice* lattice() const { return lattice_; }
+  uint64_t lattice_fingerprint() const { return lattice_fp_; }
+
+ private:
+  struct ChunkPlan {
+    const Stmt* stmt;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  CfmPipeline MakePipeline(const LintOptions* lint_options = nullptr) const;
+
+  // Splits the root block of `program` into chunk spans and validates that
+  // the bytes between chunks are exactly one `;` plus whitespace (and that
+  // the program ends with `end` + whitespace). nullopt = document is not
+  // incrementally servable.
+  std::optional<std::vector<ChunkPlan>> PlanChunks(const Program& program,
+                                                   const std::string& text) const;
+
+  // The cold path: full pipeline run through the shared renderers, then — on
+  // a clean JSON-mode run over an eligible document — snapshot it. The
+  // certification itself is hash-first: chunk triples come from the
+  // CertCache when their subtree hash is resident.
+  RenderedReport ColdSubmit(const std::string& file, const std::string& text,
+                            const ReportOptions& options, bool explain);
+
+  // The warm path for a resubmission of a resident document. nullopt =
+  // ineligible, caller falls back to ColdSubmit.
+  std::optional<RenderedReport> TryWarm(DocumentState& doc, const std::string& file,
+                                        const std::string& text,
+                                        const ReportOptions& options);
+
+  // Mirrors AnalyzeBlock's composition rule over the chunk triples.
+  bool CombineClean(const std::vector<DocChunk>& chunks) const;
+
+  // The canonical clean certification JSON — byte-identical to
+  // RenderCertificationJson for a violation-free program.
+  RenderedReport CleanJson(const std::string& file) const;
+
+  PipelineOptions options_;
+  CfmPipeline holder_;  // Owns the resolved lattice for this context.
+  const Lattice* lattice_ = nullptr;
+  std::optional<ExtendedLattice> ext_;
+  uint64_t lattice_fp_ = 0;
+  CertCache cache_;
+  std::unordered_map<std::string, DocumentState> docs_;
+  EngineStats stats_;
+};
+
+// Formats/parses the hex document address used on the wire.
+std::string FormatAddress(uint64_t address);
+std::optional<uint64_t> ParseAddress(const std::string& hex);
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_DOCUMENT_H_

@@ -1,0 +1,108 @@
+#include "src/service/framing.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace cfm {
+
+namespace {
+
+uint32_t DecodeLength(const char* bytes) {
+  const auto* u = reinterpret_cast<const unsigned char*>(bytes);
+  return (static_cast<uint32_t>(u[0]) << 24) | (static_cast<uint32_t>(u[1]) << 16) |
+         (static_cast<uint32_t>(u[2]) << 8) | static_cast<uint32_t>(u[3]);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  const auto n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>(n >> 24));
+  frame.push_back(static_cast<char>(n >> 16));
+  frame.push_back(static_cast<char>(n >> 8));
+  frame.push_back(static_cast<char>(n));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameReader::Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+std::optional<std::string> FrameReader::Next() {
+  if (corrupt_ || buffer_.size() < 4) {
+    return std::nullopt;
+  }
+  const uint32_t length = DecodeLength(buffer_.data());
+  if (length > kMaxFramePayload) {
+    corrupt_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<size_t>(length)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<size_t>(length));
+  return payload;
+}
+
+namespace {
+
+bool ReadExact(int fd, char* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::read(fd, out + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (r == 0) {
+      return false;  // EOF mid-frame (or before one).
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> ReadFrame(int fd) {
+  char header[4];
+  if (!ReadExact(fd, header, 4)) {
+    return std::nullopt;
+  }
+  const uint32_t length = DecodeLength(header);
+  if (length > kMaxFramePayload) {
+    return std::nullopt;
+  }
+  std::string payload(length, '\0');
+  if (length > 0 && !ReadExact(fd, payload.data(), length)) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return false;
+  }
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace cfm

@@ -1,0 +1,59 @@
+// Wire framing for the certification daemon: every message — handshake,
+// request, response — is one frame, a 4-byte big-endian payload length
+// followed by that many bytes of UTF-8 JSON (docs/FORMATS.md "wire
+// protocol"). Frames keep the stream self-delimiting so one connection can
+// carry any number of request/response exchanges.
+//
+// Two consumption styles share the encoding: FrameReader feeds the daemon's
+// non-blocking event loop (bytes in, complete frames out), and the blocking
+// Read/WriteFrame helpers serve the client and tests over plain fds.
+
+#ifndef SRC_SERVICE_FRAMING_H_
+#define SRC_SERVICE_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cfm {
+
+// Hard cap on one frame's payload. Large enough for a multi-megabyte batch
+// submission, small enough that a corrupt or hostile length prefix cannot
+// make the daemon allocate without bound.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+// Serializes `payload` as one frame (length prefix + bytes).
+std::string EncodeFrame(std::string_view payload);
+
+// Incremental frame decoder for non-blocking reads.
+class FrameReader {
+ public:
+  // Appends raw bytes received from the peer.
+  void Feed(std::string_view bytes);
+
+  // Pops the next complete frame's payload, or nullopt if more bytes are
+  // needed. Call in a loop: one Feed can complete several frames.
+  std::optional<std::string> Next();
+
+  // True once the stream is unrecoverable (length prefix over
+  // kMaxFramePayload); the connection should be dropped.
+  bool corrupt() const { return corrupt_; }
+
+  size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool corrupt_ = false;
+};
+
+// Blocking helpers over a file descriptor; they retry on EINTR and short
+// reads/writes. ReadFrame returns nullopt on EOF, error, or an oversized
+// frame; WriteFrame returns false on error.
+std::optional<std::string> ReadFrame(int fd);
+bool WriteFrame(int fd, std::string_view payload);
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_FRAMING_H_

@@ -1,0 +1,164 @@
+#include "src/service/protocol.h"
+
+#include "src/support/json.h"
+#include "src/support/json_reader.h"
+
+namespace cfm {
+
+std::optional<Request> ParseRequest(const std::string& payload, std::string& error_message) {
+  std::optional<JsonValue> root = ParseJson(payload);
+  if (!root || !root->is_object()) {
+    error_message = "request payload is not a JSON object";
+    return std::nullopt;
+  }
+  Request request;
+  request.method = root->at("method").StringOr("");
+  if (request.method.empty()) {
+    error_message = "request has no \"method\"";
+    return std::nullopt;
+  }
+  request.lattice_spec = root->at("lattice").StringOr("two");
+  request.lattice_file = root->at("lattice_file").StringOr("");
+  request.json = root->at("json").BoolOr(false);
+  request.table = root->at("table").BoolOr(false);
+  request.denning_permissive = root->at("denning_permissive").BoolOr(false);
+  request.werror = root->at("werror").BoolOr(false);
+  if (root->has("passes")) {
+    const JsonValue& passes = root->at("passes");
+    if (!passes.is_array()) {
+      error_message = "\"passes\" must be an array of pass names";
+      return std::nullopt;
+    }
+    for (const JsonValue& pass : passes.array) {
+      if (!pass.is_string()) {
+        error_message = "\"passes\" must be an array of pass names";
+        return std::nullopt;
+      }
+      request.passes.push_back(pass.string_value);
+    }
+  }
+
+  auto parse_doc = [&](const JsonValue& node, RequestDoc& doc) -> bool {
+    if (!node.is_object() || !node.has("file") || !node.at("file").is_string()) {
+      error_message = "each document needs a string \"file\" field";
+      return false;
+    }
+    doc.file = node.at("file").string_value;
+    if (node.has("text") && node.at("text").is_string()) {
+      doc.text = node.at("text").string_value;
+      doc.has_text = true;
+      return true;
+    }
+    // Delta form: "base" (hex address) + "edits".
+    if (!node.has("base") || !node.at("base").is_string() || !node.has("edits") ||
+        !node.at("edits").is_array()) {
+      error_message =
+          "each document needs either string \"text\" or \"base\" + \"edits\"";
+      return false;
+    }
+    doc.base_address = node.at("base").string_value;
+    for (const JsonValue& e : node.at("edits").array) {
+      if (!e.is_object() || !e.at("offset").is_int() || !e.at("remove").is_int() ||
+          !e.at("insert").is_string() || e.at("offset").int_value < 0 ||
+          e.at("remove").int_value < 0) {
+        error_message = "each edit needs {\"offset\", \"remove\", \"insert\"}";
+        return false;
+      }
+      DocEdit edit;
+      edit.offset = static_cast<uint32_t>(e.at("offset").int_value);
+      edit.remove = static_cast<uint32_t>(e.at("remove").int_value);
+      edit.insert = e.at("insert").string_value;
+      doc.edits.push_back(std::move(edit));
+    }
+    return true;
+  };
+
+  const bool wants_doc =
+      request.method == "check" || request.method == "explain" || request.method == "lint";
+  if (wants_doc) {
+    RequestDoc doc;
+    if (!parse_doc(*root, doc)) {
+      return std::nullopt;
+    }
+    request.docs.push_back(std::move(doc));
+  } else if (request.method == "batch") {
+    if (!root->has("files") || !root->at("files").is_array()) {
+      error_message = "batch needs a \"files\" array";
+      return std::nullopt;
+    }
+    for (const JsonValue& node : root->at("files").array) {
+      RequestDoc doc;
+      if (!parse_doc(node, doc)) {
+        return std::nullopt;
+      }
+      request.docs.push_back(std::move(doc));
+    }
+  }
+  return request;
+}
+
+std::string HandshakePayload() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("cfmd").UInt(kProtocolVersion);
+  json.EndObject();
+  return json.str();
+}
+
+std::string ErrorPayload(const std::string& code, const std::string& message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(false);
+  json.Key("error").BeginObject();
+  json.Key("code").String(code);
+  json.Key("message").String(message);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+namespace {
+
+void WriteReportFields(JsonWriter& json, const RenderedReport& report) {
+  json.Key("exit").Int(report.exit_code);
+  json.Key("output").String(report.out);
+  json.Key("errout").String(report.err);
+}
+
+}  // namespace
+
+std::string ResultPayload(const RenderedReport& report, const std::string& address) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  WriteReportFields(json, report);
+  if (!address.empty()) {
+    json.Key("address").String(address);
+  }
+  json.EndObject();
+  return json.str();
+}
+
+std::string BatchResultPayload(
+    const std::vector<std::pair<std::string, RenderedReport>>& results) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("results").BeginArray();
+  for (const auto& [file, report] : results) {
+    json.BeginObject();
+    json.Key("file").String(file);
+    WriteReportFields(json, report);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+bool CheckHandshake(const std::string& payload) {
+  std::optional<JsonValue> root = ParseJson(payload);
+  return root && root->is_object() && root->at("cfmd").IntOr(0) == kProtocolVersion;
+}
+
+}  // namespace cfm

@@ -1,0 +1,90 @@
+// The certification daemon's request/response vocabulary (docs/FORMATS.md
+// "wire protocol"). Every frame payload is a JSON object:
+//
+//   server → client, once per connection:   {"cfmd": 1}
+//   client → server, per request:           {"method": ..., ...}
+//   server → client, per request (ok):      {"ok": true, "exit": N,
+//                                            "output": "...", "errout": "..."}
+//   server → client, per request (error):   {"ok": false,
+//                                            "error": {"code": ..., "message": ...}}
+//
+// The `output`/`errout` strings are byte-for-byte what one-shot `cfmc`
+// writes to stdout/stderr for the same submission, and `exit` its process
+// status — a connecting client replays them verbatim, which is how
+// `cfmc --connect` stays observably identical to `cfmc`.
+
+#ifndef SRC_SERVICE_PROTOCOL_H_
+#define SRC_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/service/document.h"
+
+namespace cfm {
+
+// Bumped on any incompatible change to framing or payload schemas. The
+// handshake carries it; clients refuse to talk to a different major.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Error codes carried in the error envelope.
+inline constexpr char kErrBadRequest[] = "bad_request";      // Malformed JSON/fields.
+inline constexpr char kErrBadMethod[] = "unknown_method";    // Unrecognized method.
+inline constexpr char kErrStaleBase[] = "stale_base";        // Edit base not resident.
+inline constexpr char kErrShuttingDown[] = "shutting_down";  // Server is stopping.
+
+// One submitted program: either full text, or a delta ("base" = the hex
+// address a prior response reported, "edits" = changes against that text).
+// On a stale/unknown base the server answers kErrStaleBase and the client
+// resends the full text.
+struct RequestDoc {
+  std::string file;  // Name used in reports; also the incremental-state key.
+  std::string text;  // Full program text (the daemon never reads client paths).
+  bool has_text = false;
+  std::string base_address;    // Hex ContentAddress of the resident text.
+  std::vector<DocEdit> edits;  // Applied in order, ascending offsets.
+};
+
+// A decoded request. `method` is one of check|explain|lint|batch|stats|
+// shutdown; `docs` holds one entry for the single-document methods and any
+// number for batch.
+struct Request {
+  std::string method;
+  std::vector<RequestDoc> docs;
+  // Lattice resolution, mirroring PipelineOptions: `lattice_file` (a path
+  // the daemon can read — UDS peers share the filesystem) wins over
+  // `lattice` (a spec string).
+  std::string lattice_spec = "two";
+  std::string lattice_file;
+  // Presentation flags, as in the CLI.
+  bool json = false;
+  bool table = false;
+  bool denning_permissive = false;
+  bool werror = false;
+  std::vector<std::string> passes;  // lint: restrict to these pass ids.
+};
+
+// Parses a request payload; on failure returns nullopt and fills
+// `error_message`.
+std::optional<Request> ParseRequest(const std::string& payload, std::string& error_message);
+
+// Payload builders (payloads only; framing is the caller's job).
+std::string HandshakePayload();
+std::string ErrorPayload(const std::string& code, const std::string& message);
+// `address`: the document's resident hex address, when one exists after the
+// request (clients use it for subsequent edit-based submissions).
+std::string ResultPayload(const RenderedReport& report, const std::string& address = "");
+// batch: one entry per submitted doc, in submission order.
+std::string BatchResultPayload(const std::vector<std::pair<std::string, RenderedReport>>&
+                                   results);
+
+// Client-side handshake validation: true iff `payload` is a handshake for a
+// protocol version we speak.
+bool CheckHandshake(const std::string& payload);
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_PROTOCOL_H_

@@ -1,0 +1,43 @@
+#include "src/service/scoped_daemon.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+namespace cfm {
+
+namespace {
+
+// Unique per process × instance so parallel test binaries never collide.
+std::string FreshSocketPath() {
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return "/tmp/cfmd-test-" + std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+         std::to_string(n) + ".sock";
+}
+
+}  // namespace
+
+ScopedDaemon::ScopedDaemon(PollBackend backend, ServiceOptions service)
+    : socket_path_(FreshSocketPath()) {
+  ServerOptions options;
+  options.socket_path = socket_path_;
+  options.backend = backend;
+  options.service = service;
+  server_ = std::make_unique<CfmdServer>(std::move(options));
+  if (!server_->Start(error_)) {
+    return;
+  }
+  thread_ = std::thread([this] { server_->Run(); });
+  running_ = true;
+}
+
+ScopedDaemon::~ScopedDaemon() {
+  if (running_) {
+    server_->Stop();
+    thread_.join();
+  }
+}
+
+}  // namespace cfm

@@ -1,0 +1,44 @@
+// ScopedDaemon: an in-process cfmd for tests, benches and the fuzz oracle —
+// starts the event loop on a background thread over a unique /tmp socket,
+// stops and unlinks on destruction. Production uses tools/cfmd_main.cc, not
+// this; keeping the harness in the service library lets src/fuzz use it
+// without depending on tests/.
+
+#ifndef SRC_SERVICE_SCOPED_DAEMON_H_
+#define SRC_SERVICE_SCOPED_DAEMON_H_
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/service/server.h"
+
+namespace cfm {
+
+class ScopedDaemon {
+ public:
+  // Starts a daemon on a fresh socket path; `backend` selects the event-loop
+  // flavour under test. ok() is false (with error()) if Start failed.
+  explicit ScopedDaemon(PollBackend backend = PollBackend::kEpoll,
+                        ServiceOptions service = {});
+  ~ScopedDaemon();
+
+  ScopedDaemon(const ScopedDaemon&) = delete;
+  ScopedDaemon& operator=(const ScopedDaemon&) = delete;
+
+  bool ok() const { return running_; }
+  const std::string& error() const { return error_; }
+  const std::string& socket_path() const { return socket_path_; }
+  CfmdServer& server() { return *server_; }
+
+ private:
+  std::string socket_path_;
+  std::unique_ptr<CfmdServer> server_;
+  std::thread thread_;
+  bool running_ = false;
+  std::string error_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_SCOPED_DAEMON_H_

@@ -1,0 +1,342 @@
+#include "src/service/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/service/protocol.h"
+
+namespace cfm {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// One stop flag per server would need a registry to stay signal-safe; the
+// daemon runs one server per process, and in-process test servers each own
+// their wake pipe, so a plain per-object atomic suffices.
+}  // namespace
+
+CfmdServer::CfmdServer(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {}
+
+CfmdServer::~CfmdServer() {
+  for (auto& [fd, connection] : connections_) {
+    (void)connection;
+    ::close(fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (wake_read_fd_ >= 0) {
+    ::close(wake_read_fd_);
+  }
+  if (wake_write_fd_ >= 0) {
+    ::close(wake_write_fd_);
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
+}
+
+bool CfmdServer::Start(std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path is empty or longer than sun_path allows";
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0 || !SetNonBlocking(listen_fd_)) {
+    error = "cannot create listening socket";
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      error = "cannot bind '" + options_.socket_path + "': " + std::strerror(errno);
+      return false;
+    }
+    // A socket file exists. If a live daemon answers on it, refuse; if it is
+    // a stale leftover (connect refused), reclaim it.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    const bool live =
+        probe >= 0 &&
+        ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    if (probe >= 0) {
+      ::close(probe);
+    }
+    if (live) {
+      error = "another daemon is already serving '" + options_.socket_path + "'";
+      return false;
+    }
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      error = "cannot bind '" + options_.socket_path + "': " + std::strerror(errno);
+      return false;
+    }
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    error = "cannot listen on '" + options_.socket_path + "'";
+    return false;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    error = "cannot create wake pipe";
+    return false;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  active_backend_ = PollBackend::kPoll;
+  if (options_.backend == PollBackend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ >= 0) {
+      active_backend_ = PollBackend::kEpoll;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = listen_fd_;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+      ev.data.fd = wake_read_fd_;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev);
+    }
+  }
+  return true;
+}
+
+void CfmdServer::Stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void CfmdServer::DrainWakePipe() {
+  char buffer[64];
+  while (::read(wake_read_fd_, buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+void CfmdServer::AcceptAll() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error: try again on the next event.
+    }
+    SetNonBlocking(fd);
+    Connection connection;
+    connection.outbuf = EncodeFrame(HandshakePayload());
+    if (active_backend_ == PollBackend::kEpoll) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+    connections_.emplace(fd, std::move(connection));
+  }
+}
+
+void CfmdServer::CloseConnection(int fd) {
+  if (active_backend_ == PollBackend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+bool CfmdServer::HandleReadable(int fd, Connection& connection) {
+  char buffer[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) {
+      return false;  // Peer closed.
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    connection.reader.Feed(std::string_view(buffer, static_cast<size_t>(n)));
+    if (connection.reader.corrupt()) {
+      return false;  // Unframeable stream (oversized length prefix).
+    }
+  }
+  while (auto frame = connection.reader.Next()) {
+    bool shutdown = false;
+    const std::string response = service_.Handle(*frame, &shutdown);
+    connection.outbuf += EncodeFrame(response);
+    if (shutdown) {
+      stopping_ = true;
+      connection.close_after_flush = true;
+      if (active_backend_ == PollBackend::kEpoll && listen_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      }
+    }
+  }
+  return !connection.reader.corrupt();
+}
+
+bool CfmdServer::FlushWrites(int fd, Connection& connection) {
+  while (connection.out_off < connection.outbuf.size()) {
+    const ssize_t n = ::send(fd, connection.outbuf.data() + connection.out_off,
+                             connection.outbuf.size() - connection.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    connection.out_off += static_cast<size_t>(n);
+  }
+  connection.outbuf.clear();
+  connection.out_off = 0;
+  return !connection.close_after_flush;
+}
+
+void CfmdServer::Run() {
+  struct Ready {
+    int fd;
+    bool in;
+    bool out;
+  };
+  std::vector<Ready> ready;
+  // Once a shutdown begins we keep polling briefly to flush pending
+  // responses, but never indefinitely (a peer that stops reading must not
+  // wedge the exit).
+  int grace_rounds = 0;
+
+  while (true) {
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (stopping_) {
+      bool pending = false;
+      for (const auto& [fd, connection] : connections_) {
+        (void)fd;
+        if (!connection.outbuf.empty()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || ++grace_rounds > 50) {
+        break;
+      }
+    }
+    const int timeout_ms = stopping_ ? 100 : -1;
+
+    ready.clear();
+    if (active_backend_ == PollBackend::kEpoll) {
+      // Refresh write interest: EPOLLOUT only while output is pending, to
+      // avoid a level-triggered busy loop.
+      for (auto& [fd, connection] : connections_) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | (connection.outbuf.empty() ? 0u : EPOLLOUT);
+        ev.data.fd = fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+      }
+      epoll_event events[64];
+      const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+      if (n < 0 && errno != EINTR) {
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint32_t mask = events[i].events;
+        ready.push_back(Ready{events[i].data.fd,
+                              (mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0,
+                              (mask & EPOLLOUT) != 0});
+      }
+    } else {
+      std::vector<pollfd> fds;
+      fds.reserve(connections_.size() + 2);
+      fds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+      if (!stopping_) {
+        fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+      }
+      for (const auto& [fd, connection] : connections_) {
+        fds.push_back(
+            pollfd{fd,
+                   static_cast<short>(POLLIN | (connection.outbuf.empty() ? 0 : POLLOUT)),
+                   0});
+      }
+      const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (n < 0 && errno != EINTR) {
+        break;
+      }
+      for (const pollfd& p : fds) {
+        if (p.revents != 0) {
+          ready.push_back(Ready{p.fd, (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0,
+                                (p.revents & POLLOUT) != 0});
+        }
+      }
+    }
+
+    for (const Ready& event : ready) {
+      if (event.fd == wake_read_fd_) {
+        DrainWakePipe();
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        if (!stopping_) {
+          AcceptAll();
+        }
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) {
+        continue;  // Closed earlier in this round.
+      }
+      bool alive = true;
+      if (event.in) {
+        alive = HandleReadable(event.fd, it->second);
+      }
+      if (alive && !it->second.outbuf.empty()) {
+        alive = FlushWrites(event.fd, it->second);
+      }
+      if (!alive) {
+        CloseConnection(event.fd);
+      }
+    }
+  }
+
+  // Clean shutdown: every connection closed, the socket file removed.
+  while (!connections_.empty()) {
+    CloseConnection(connections_.begin()->first);
+  }
+  if (listen_fd_ >= 0) {
+    if (active_backend_ == PollBackend::kEpoll) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+}  // namespace cfm

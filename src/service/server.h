@@ -1,0 +1,94 @@
+// CfmdServer: the daemon's transport. A single-threaded event loop over a
+// Unix-domain listening socket — epoll on Linux with a portable poll(2)
+// fallback (runtime-selectable, so both backends stay tested everywhere) —
+// serving many concurrent connections with per-connection read/write state
+// machines over the length-prefixed framing.
+//
+// Requests are handled synchronously by CertService inside the loop: the
+// pipeline state (documents, caches) is single-threaded by construction, so
+// no locking exists anywhere in the daemon. Concurrency buys connection
+// multiplexing, not parallel certification — a deliberate trade documented
+// in docs/DESIGN.md §8.
+//
+// Stop() is async-signal-safe (one write to a self-pipe), which is how
+// cfmd's SIGINT/SIGTERM handlers request a clean shutdown: the loop exits,
+// every connection closes, and the socket file is unlinked.
+
+#ifndef SRC_SERVICE_SERVER_H_
+#define SRC_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/service/framing.h"
+#include "src/service/service.h"
+
+namespace cfm {
+
+enum class PollBackend : uint8_t {
+  kEpoll,  // Linux epoll; falls back to poll if epoll_create fails.
+  kPoll,   // Portable poll(2).
+};
+
+struct ServerOptions {
+  std::string socket_path;
+  PollBackend backend = PollBackend::kEpoll;
+  ServiceOptions service;
+};
+
+class CfmdServer {
+ public:
+  explicit CfmdServer(ServerOptions options);
+  ~CfmdServer();
+
+  CfmdServer(const CfmdServer&) = delete;
+  CfmdServer& operator=(const CfmdServer&) = delete;
+
+  // Binds and listens (reclaiming a stale socket file if no daemon answers
+  // on it). False with `error` set on failure.
+  bool Start(std::string& error);
+
+  // Runs the event loop until Stop() or a shutdown request. Call from the
+  // owning thread; Start() must have succeeded.
+  void Run();
+
+  // Requests loop exit. Async-signal-safe; callable from any thread.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  CertService& service() { return service_; }
+
+  // The backend actually in use after Start (epoll may have fallen back).
+  PollBackend active_backend() const { return active_backend_; }
+
+ private:
+  struct Connection {
+    FrameReader reader;
+    std::string outbuf;   // Pending bytes, already framed.
+    size_t out_off = 0;
+    bool close_after_flush = false;
+  };
+
+  bool HandleReadable(int fd, Connection& connection);
+  bool FlushWrites(int fd, Connection& connection);  // False = fatal error.
+  void AcceptAll();
+  void CloseConnection(int fd);
+  void DrainWakePipe();
+
+  ServerOptions options_;
+  CertService service_;
+  PollBackend active_backend_ = PollBackend::kPoll;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int epoll_fd_ = -1;
+  bool stopping_ = false;                        // Shutdown request seen.
+  std::atomic<bool> stop_requested_{false};      // Stop() called.
+  std::map<int, Connection> connections_;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_SERVER_H_

@@ -1,0 +1,170 @@
+#include "src/service/service.h"
+
+#include "src/analysis/lint.h"
+#include "src/support/json.h"
+
+namespace cfm {
+
+CertService::CertService(ServiceOptions options) : options_(options) {}
+
+IncrementalCertifier* CertService::ContextFor(const Request& request) {
+  const std::string key = request.lattice_file.empty()
+                              ? "spec:" + request.lattice_spec
+                              : "file:" + request.lattice_file;
+  auto it = contexts_.find(key);
+  if (it == contexts_.end()) {
+    PipelineOptions options;
+    options.lattice_spec = request.lattice_spec;
+    options.lattice_file = request.lattice_file;
+    it = contexts_
+             .emplace(key, std::make_unique<IncrementalCertifier>(std::move(options),
+                                                                  options_.cache_entries))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string CertService::Handle(const std::string& payload, bool* shutdown) {
+  ++requests_;
+  std::string error;
+  std::optional<Request> request = ParseRequest(payload, error);
+  if (!request) {
+    return ErrorPayload(kErrBadRequest, error);
+  }
+  const std::string& method = request->method;
+  if (method == "shutdown") {
+    if (shutdown != nullptr) {
+      *shutdown = true;
+    }
+    return ResultPayload(RenderedReport{});
+  }
+  if (method == "stats") {
+    return HandleStats();
+  }
+  if (method == "check" || method == "explain" || method == "lint") {
+    return HandleDocMethod(*request);
+  }
+  if (method == "batch") {
+    return HandleBatch(*request);
+  }
+  return ErrorPayload(kErrBadMethod, "unknown method '" + method + "'");
+}
+
+namespace {
+
+ReportOptions ToReportOptions(const Request& request, const std::string& file) {
+  ReportOptions options;
+  options.file = file;
+  options.json = request.json;
+  options.table = request.table;
+  options.denning_permissive = request.denning_permissive;
+  options.werror = request.werror;
+  return options;
+}
+
+}  // namespace
+
+std::string CertService::HandleDocMethod(const Request& request) {
+  IncrementalCertifier* context = ContextFor(request);
+  if (!context->ok()) {
+    // The lattice failed to resolve: a valid protocol exchange whose result
+    // is exactly the one-shot cfmc failure (message + exit status).
+    return ResultPayload(context->LatticeFailure());
+  }
+  const RequestDoc& doc = request.docs.front();
+  std::string error;
+  std::optional<std::string> text = context->MaterializeText(
+      doc.file, doc.has_text, doc.text, doc.base_address, doc.edits, error);
+  if (!text) {
+    return ErrorPayload(kErrStaleBase, error);
+  }
+  const ReportOptions options = ToReportOptions(request, doc.file);
+  RenderedReport report;
+  if (request.method == "lint") {
+    LintOptions lint_options;
+    for (const std::string& name : request.passes) {
+      auto pass = LintPassFromName(name);
+      if (!pass) {
+        return ErrorPayload(kErrBadRequest, "unknown lint pass '" + name + "'");
+      }
+      lint_options.only.push_back(*pass);
+    }
+    report = context->Lint(doc.file, *text, options, lint_options);
+  } else {
+    report = context->Check(doc.file, *text, options, request.method == "explain");
+  }
+  std::string address;
+  if (auto resident = context->DocumentAddress(doc.file)) {
+    address = FormatAddress(*resident);
+  }
+  return ResultPayload(report, address);
+}
+
+std::string CertService::HandleBatch(const Request& request) {
+  IncrementalCertifier* context = ContextFor(request);
+  if (!context->ok()) {
+    const RenderedReport failure = context->LatticeFailure();
+    std::vector<std::pair<std::string, RenderedReport>> results;
+    results.reserve(request.docs.size());
+    for (const RequestDoc& doc : request.docs) {
+      results.emplace_back(doc.file, failure);
+    }
+    return BatchResultPayload(results);
+  }
+  std::vector<std::pair<std::string, RenderedReport>> results;
+  results.reserve(request.docs.size());
+  for (const RequestDoc& doc : request.docs) {
+    if (!doc.has_text) {
+      RenderedReport report;
+      report.err = "cfmd: batch entries must carry full text\n";
+      report.exit_code = 2;
+      results.emplace_back(doc.file, report);
+      continue;
+    }
+    const ReportOptions options = ToReportOptions(request, doc.file);
+    results.emplace_back(doc.file, context->Check(doc.file, doc.text, options, false));
+  }
+  return BatchResultPayload(results);
+}
+
+std::string CertService::HandleStats() {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ok").Bool(true);
+  json.Key("stats").BeginObject();
+  json.Key("requests").UInt(requests_);
+  json.Key("contexts").BeginArray();
+  for (const auto& [key, context] : contexts_) {
+    json.BeginObject();
+    json.Key("lattice").String(key);
+    json.Key("resolved").Bool(context->ok());
+    if (context->ok()) {
+      json.Key("documents").UInt(context->document_count());
+      const CertCacheStats& cache = context->cache().stats();
+      json.Key("cache").BeginObject();
+      json.Key("entries").UInt(context->cache().size());
+      json.Key("capacity").UInt(context->cache().capacity());
+      json.Key("hits").UInt(cache.hits);
+      json.Key("misses").UInt(cache.misses);
+      json.Key("insertions").UInt(cache.insertions);
+      json.Key("evictions").UInt(cache.evictions);
+      json.Key("stmts_reused").UInt(cache.stmts_reused);
+      json.Key("stmts_recertified").UInt(cache.stmts_recertified);
+      json.EndObject();
+      const EngineStats& engine = context->stats();
+      json.Key("engine").BeginObject();
+      json.Key("warm_hits").UInt(engine.warm_hits);
+      json.Key("cold_runs").UInt(engine.cold_runs);
+      json.Key("warm_edits").UInt(engine.warm_edits);
+      json.Key("fallbacks").UInt(engine.fallbacks);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace cfm

@@ -1,0 +1,53 @@
+// CertService: the daemon's request router. Decodes one request payload,
+// routes it to the right per-lattice IncrementalCertifier (created on
+// demand, keyed by the lattice spec/file), and encodes the response payload.
+// Transport-agnostic and synchronous — the event loop (server.h), the tests
+// and the fuzz oracle all drive it the same way.
+
+#ifndef SRC_SERVICE_SERVICE_H_
+#define SRC_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/service/document.h"
+#include "src/service/protocol.h"
+
+namespace cfm {
+
+struct ServiceOptions {
+  // Per-lattice-context CertCache capacity (entries).
+  size_t cache_entries = 1 << 18;
+};
+
+class CertService {
+ public:
+  explicit CertService(ServiceOptions options = {});
+
+  // Handles one request payload and returns the response payload. Sets
+  // `*shutdown` when the request asked the daemon to stop (the response
+  // should still be delivered first).
+  std::string Handle(const std::string& payload, bool* shutdown);
+
+  uint64_t requests() const { return requests_; }
+
+  // The certifier for a lattice context, creating it on demand; nullptr only
+  // if its lattice failed to resolve (the caller then reports the failure).
+  IncrementalCertifier* ContextFor(const Request& request);
+
+ private:
+  std::string HandleDocMethod(const Request& request);
+  std::string HandleBatch(const Request& request);
+  std::string HandleStats();
+
+  ServiceOptions options_;
+  // Keyed "spec:<spec>" / "file:<path>"; std::map keeps stats output ordered.
+  std::map<std::string, std::unique_ptr<IncrementalCertifier>> contexts_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace cfm
+
+#endif  // SRC_SERVICE_SERVICE_H_

@@ -1,0 +1,91 @@
+// Small, stable, non-cryptographic hashing shared by the content-addressed
+// certification cache (src/core/subtree_hash.h), the service document cache,
+// and the wire protocol's content addresses. The functions here are part of
+// persisted/test-pinned formats (golden subtree hashes, `base` content
+// addresses clients remember across requests), so their behaviour must never
+// change silently — bump the version constant of the consumer instead.
+
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace cfm {
+
+// FNV-1a over bytes, 64-bit. Deterministic across platforms and runs.
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline constexpr uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  // Mix 8 bytes at a time; the per-byte loop keeps the result independent of
+  // host endianness.
+  for (int i = 0; i < 8; ++i) {
+    hash = (hash ^ ((value >> (i * 8)) & 0xff)) * kFnvPrime;
+  }
+  return hash;
+}
+
+inline uint64_t HashBytes(std::string_view bytes, uint64_t seed = kFnvOffset) {
+  uint64_t hash = seed;
+  for (unsigned char c : bytes) {
+    hash = (hash ^ c) * kFnvPrime;
+  }
+  return hash;
+}
+
+// A 64-bit finalizer (splitmix64) applied where FNV's weak avalanche on
+// short, structured inputs would cluster keys.
+inline constexpr uint64_t HashFinalize(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// The content address the wire protocol uses for documents. Unlike the
+// golden-pinned subtree hashes above, addresses live only within one daemon
+// session (a client's `base` token is re-learned from every response), so the
+// formula is free to favour speed: the daemon rehashes the full document text
+// on every warm edit, and megabytes through byte-serial FNV would dominate
+// the warm path. Four independent multiply-xor lanes over 8-byte words give
+// the out-of-order core parallel work (~10× byte-serial FNV); the result is
+// still deterministic across platforms (words are read little-endian
+// regardless of host order) and length-salted so prefixes never alias.
+inline uint64_t ContentAddress(std::string_view contents) {
+  uint64_t lane[4] = {HashFinalize(kFnvOffset), HashFinalize(kFnvOffset + 1),
+                      HashFinalize(kFnvOffset + 2), HashFinalize(kFnvOffset + 3)};
+  const char* data = contents.data();
+  const size_t size = contents.size();
+  size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    for (int l = 0; l < 4; ++l) {
+      uint64_t word;
+      std::memcpy(&word, data + i + 8 * l, 8);
+      if constexpr (std::endian::native == std::endian::big) {
+        uint64_t swapped = 0;
+        for (int b = 0; b < 8; ++b) {
+          swapped = (swapped << 8) | (word & 0xff);
+          word >>= 8;
+        }
+        word = swapped;
+      }
+      lane[l] = (lane[l] ^ word) * kFnvPrime;
+    }
+  }
+  uint64_t hash = kFnvOffset;
+  for (uint64_t l : lane) {
+    hash = FnvMix(hash, l);
+  }
+  // Tail (< 32 bytes) and length salt go through the byte-serial mix.
+  hash = HashBytes(contents.substr(i), hash);
+  return HashFinalize(FnvMix(hash, size));
+}
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_HASH_H_

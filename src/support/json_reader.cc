@@ -1,0 +1,266 @@
+#include "src/support/json_reader.h"
+
+#include <cstdlib>
+
+namespace cfm {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    auto value = ParseValue();
+    SkipSpace();
+    if (!value || pos_ != text_.size()) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    JsonValue value;
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto str = ParseString();
+        if (!str) {
+          return std::nullopt;
+        }
+        value.kind = JsonValue::Kind::kString;
+        value.string_value = std::move(*str);
+        return value;
+      }
+      case 't':
+        if (!ConsumeWord("true")) {
+          return std::nullopt;
+        }
+        value.kind = JsonValue::Kind::kBool;
+        value.bool_value = true;
+        return value;
+      case 'f':
+        if (!ConsumeWord("false")) {
+          return std::nullopt;
+        }
+        value.kind = JsonValue::Kind::kBool;
+        value.bool_value = false;
+        return value;
+      case 'n':
+        if (!ConsumeWord("null")) {
+          return std::nullopt;
+        }
+        return value;  // kNull.
+      default:
+        return ParseInt();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) {
+      return value;
+    }
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key || !Consume(':')) {
+        return std::nullopt;
+      }
+      auto member = ParseValue();
+      if (!member) {
+        return std::nullopt;
+      }
+      value.object[std::move(*key)] = std::move(*member);
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) {
+      return value;
+    }
+    while (true) {
+      auto element = ParseValue();
+      if (!element) {
+        return std::nullopt;
+      }
+      value.array.push_back(std::move(*element));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return std::nullopt;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return std::nullopt;
+          }
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through as two
+          // 3-byte sequences; the surface language is ASCII so this path is
+          // for robustness, not fidelity).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseInt() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return std::nullopt;
+    }
+    // Reject fractions/exponents loudly rather than truncate.
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      return std::nullopt;
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kInt;
+    value.int_value = std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                                   nullptr, 10);
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  static const JsonValue kNullValue;
+  auto it = object.find(key);
+  return it == object.end() ? kNullValue : it->second;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace cfm

@@ -1,0 +1,59 @@
+// A small recursive-descent JSON reader for the daemon wire protocol
+// (src/service): requests arrive as JSON frames and need structured access.
+// Historically this library only wrote JSON (src/support/json.h) and every
+// consumer brought its own parser; the wire protocol makes the daemon itself
+// a consumer, so the reader lives here now.
+//
+// Supports the subset JsonWriter produces plus what clients may reasonably
+// send: objects, arrays, strings with the standard escapes (\uXXXX included,
+// encoded as UTF-8), 64-bit integers, true/false/null. Numbers with a
+// fraction or exponent are rejected — no schema in docs/FORMATS.md uses
+// them, and silently truncating would be worse than failing loudly.
+
+#ifndef SRC_SUPPORT_JSON_READER_H_
+#define SRC_SUPPORT_JSON_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfm {
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kInt, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_int() const { return kind == Kind::kInt; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Member access that fails soft: a missing key returns a shared null.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+
+  // Typed accessors with defaults, for optional request fields.
+  std::string StringOr(std::string fallback) const {
+    return is_string() ? string_value : std::move(fallback);
+  }
+  int64_t IntOr(int64_t fallback) const { return is_int() ? int_value : fallback; }
+  bool BoolOr(bool fallback) const { return is_bool() ? bool_value : fallback; }
+};
+
+// Parses `text` as a single JSON value; nullopt on any syntax error or
+// trailing garbage.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace cfm
+
+#endif  // SRC_SUPPORT_JSON_READER_H_

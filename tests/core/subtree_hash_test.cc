@@ -1,0 +1,237 @@
+// Stability and invariance tests for the subtree content addresses that key
+// the daemon's cross-file certification cache (src/core/subtree_hash.h).
+//
+// The golden values pin the version-1 hash stream over the paper corpus the
+// way tests/property/gen_stability_test.cc pins the generator stream: if a
+// hash here changes, the wire/cache format changed — bump
+// kSubtreeHashVersion and regenerate (run with --gtest_also_run_disabled_tests
+// to print the new table via RegenGoldens).
+
+#include "src/core/subtree_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/cfm.h"
+
+#include "src/core/pipeline.h"
+#include "src/lattice/two_point.h"
+#include "tests/testing/corpus.h"
+#include "tests/testing/util.h"
+
+namespace cfm {
+namespace {
+
+using testing::Bind;
+using testing::MustParse;
+
+static_assert(kSubtreeHashVersion == 1,
+              "subtree-hash stream changed: regenerate the goldens below and the "
+              "daemon cache documentation in docs/DESIGN.md §8");
+
+struct GoldenCase {
+  const char* file;
+  const char* lattice_spec;
+  uint64_t root_hash;
+};
+
+// Root subtree hashes over the example corpus, stream version 1.
+constexpr GoldenCase kGoldens[] = {
+    {"fig3.cfm", "two", 0x52ebbcefe4d1b505ull},
+    {"channel_leak.cfm", "two", 0xe908b9f567e8a1dfull},
+    {"lock_inversion.cfm", "two", 0xdc5d9985409d02f6ull},
+};
+
+PipelineOptions ExampleOptions(const char* lattice_spec) {
+  PipelineOptions options;
+  options.lattice_spec = lattice_spec;
+  return options;
+}
+
+std::string ExamplePath(const char* file) {
+  return std::string(CFM_EXAMPLES_DIR) + "/" + file;
+}
+
+TEST(SubtreeHashGoldenTest, ExampleCorpusRootHashes) {
+  for (const GoldenCase& golden : kGoldens) {
+    CfmPipeline pipeline(ExampleOptions(golden.lattice_spec));
+    pipeline.LoadFile(ExamplePath(golden.file));
+    ASSERT_NE(pipeline.binding(), nullptr) << golden.file << ": " << pipeline.error();
+    const uint64_t hash = SubtreeHash(pipeline.program()->root(), *pipeline.binding());
+    EXPECT_EQ(hash, golden.root_hash) << golden.file;
+  }
+}
+
+// Prints the golden table; enable when bumping kSubtreeHashVersion.
+TEST(SubtreeHashGoldenTest, DISABLED_RegenGoldens) {
+  for (const GoldenCase& golden : kGoldens) {
+    CfmPipeline pipeline(ExampleOptions(golden.lattice_spec));
+    pipeline.LoadFile(ExamplePath(golden.file));
+    ASSERT_NE(pipeline.binding(), nullptr) << golden.file;
+    std::printf("    {\"%s\", \"%s\", 0x%llxull},\n", golden.file, golden.lattice_spec,
+                static_cast<unsigned long long>(
+                    SubtreeHash(pipeline.program()->root(), *pipeline.binding())));
+  }
+  for (const char* spec : {"two", "diamond", "chain:4", "powerset:a,b"}) {
+    PipelineOptions options;
+    options.lattice_spec = spec;
+    CfmPipeline pipeline(std::move(options));
+    std::printf("    {\"%s\", 0x%llxull},\n", spec,
+                static_cast<unsigned long long>(LatticeFingerprint(*pipeline.lattice())));
+  }
+}
+
+// Lattice fingerprints key the cache alongside the subtree hash; pin them for
+// the stock specs.
+TEST(SubtreeHashGoldenTest, LatticeFingerprints) {
+  const std::pair<const char*, uint64_t> goldens[] = {
+      {"two", 0x7d6e8afe403d2a73ull},
+      {"diamond", 0xf12f1245530d9855ull},
+      {"chain:4", 0x2a4f55be079d1d2cull},
+      {"powerset:a,b", 0x24d1c61f6886e211ull},
+  };
+  for (const auto& [spec, expected] : goldens) {
+    PipelineOptions options;
+    options.lattice_spec = spec;
+    CfmPipeline pipeline(std::move(options));
+    ASSERT_NE(pipeline.lattice(), nullptr) << spec;
+    EXPECT_EQ(LatticeFingerprint(*pipeline.lattice()), expected) << spec;
+  }
+}
+
+TEST(SubtreeHashGoldenTest, FingerprintSeparatesSpecsAndIsDeterministic) {
+  const char* specs[] = {"two", "diamond", "chain:4", "chain:5", "powerset:a,b"};
+  std::vector<uint64_t> fps;
+  for (const char* spec : specs) {
+    PipelineOptions options;
+    options.lattice_spec = spec;
+    CfmPipeline once(options);
+    CfmPipeline twice(options);
+    ASSERT_NE(once.lattice(), nullptr) << spec;
+    EXPECT_EQ(LatticeFingerprint(*once.lattice()), LatticeFingerprint(*twice.lattice()))
+        << spec;
+    fps.push_back(LatticeFingerprint(*once.lattice()));
+  }
+  for (size_t i = 0; i < fps.size(); ++i) {
+    for (size_t j = i + 1; j < fps.size(); ++j) {
+      EXPECT_NE(fps[i], fps[j]) << specs[i] << " vs " << specs[j];
+    }
+  }
+}
+
+// --- invariance properties --------------------------------------------------
+
+// α-renaming (same classes, different names) must not move the address: the
+// Figure 2 triple reads classes only, and cross-file cache reuse depends on
+// renamed duplicates colliding.
+TEST(SubtreeHashPropertyTest, AlphaRenameInvariant) {
+  Program a = MustParse("var x, y : integer; begin x := y + 1; y := 2 end");
+  Program b = MustParse("var p, q : integer; begin p := q + 1; q := 2 end");
+  TwoPointLattice lattice;
+  StaticBinding bind_a = Bind(a, lattice, {{"x", "high"}, {"y", "low"}});
+  StaticBinding bind_b = Bind(b, lattice, {{"p", "high"}, {"q", "low"}});
+  EXPECT_EQ(SubtreeHash(a.root(), bind_a), SubtreeHash(b.root(), bind_b));
+}
+
+// Rebinding a referenced symbol to a different class must move the address.
+TEST(SubtreeHashPropertyTest, ClassChangeMovesHash) {
+  Program a = MustParse("var x, y : integer; begin x := y + 1; y := 2 end");
+  TwoPointLattice lattice;
+  StaticBinding high = Bind(a, lattice, {{"x", "high"}, {"y", "low"}});
+  StaticBinding low = Bind(a, lattice, {{"x", "low"}, {"y", "low"}});
+  EXPECT_NE(SubtreeHash(a.root(), high), SubtreeHash(a.root(), low));
+}
+
+// Structural/literal changes must move the address.
+TEST(SubtreeHashPropertyTest, LiteralAndOperatorChangesMoveHash) {
+  TwoPointLattice lattice;
+  auto hash_of = [&](const char* text) {
+    Program program = MustParse(text);
+    StaticBinding binding = Bind(program, lattice, {{"x", "high"}, {"y", "low"}});
+    return SubtreeHash(program.root(), binding);
+  };
+  const uint64_t base = hash_of("var x, y : integer; x := y + 1");
+  EXPECT_NE(base, hash_of("var x, y : integer; x := y + 2"));
+  EXPECT_NE(base, hash_of("var x, y : integer; x := y - 1"));
+  EXPECT_NE(base, hash_of("var x, y : integer; x := 1 + y"));
+}
+
+// Mutating one top-level statement changes exactly the hashes on the path
+// from the root to the mutation — every disjoint subtree keeps its address.
+// This is the property the chunked warm path relies on: untouched chunks
+// keep their cache keys.
+TEST(SubtreeHashPropertyTest, SingleStatementMutationChangesOnlyItsPath) {
+  const char* original =
+      "var a, b, c : integer;"
+      " begin a := 1; if b = 0 then b := 2 else b := 3; c := 4 end";
+  const char* mutated =
+      "var a, b, c : integer;"
+      " begin a := 1; if b = 0 then b := 2 else b := 9; c := 4 end";
+  Program before = MustParse(original);
+  Program after = MustParse(mutated);
+  TwoPointLattice lattice;
+  StaticBinding bind_before =
+      Bind(before, lattice, {{"a", "low"}, {"b", "low"}, {"c", "low"}});
+  StaticBinding bind_after =
+      Bind(after, lattice, {{"a", "low"}, {"b", "low"}, {"c", "low"}});
+
+  std::vector<std::pair<const Stmt*, uint64_t>> hashes_before;
+  std::vector<std::pair<const Stmt*, uint64_t>> hashes_after;
+  SubtreeHashes(before.root(), bind_before, hashes_before);
+  SubtreeHashes(after.root(), bind_after, hashes_after);
+  ASSERT_EQ(hashes_before.size(), hashes_after.size());
+
+  // Pre-order positions pair up 1:1 because only a literal changed. A node's
+  // hash must change iff its subtree contains the mutated assignment, i.e.
+  // iff its source range contains the `else` branch of the if.
+  const uint32_t mutation_offset = static_cast<uint32_t>(
+      std::string(original).find("b := 3"));
+  ASSERT_NE(mutation_offset, static_cast<uint32_t>(std::string::npos));
+  size_t changed = 0;
+  for (size_t i = 0; i < hashes_before.size(); ++i) {
+    const Stmt& stmt = *hashes_before[i].first;
+    const bool on_path = stmt.range().begin.offset <= mutation_offset &&
+                         mutation_offset < stmt.range().end.offset;
+    if (on_path) {
+      EXPECT_NE(hashes_before[i].second, hashes_after[i].second)
+          << "pre-order index " << i << " contains the mutation but kept its hash";
+      ++changed;
+    } else {
+      EXPECT_EQ(hashes_before[i].second, hashes_after[i].second)
+          << "pre-order index " << i << " is disjoint from the mutation but moved";
+    }
+  }
+  // Root block, the if, and the mutated assignment itself.
+  EXPECT_EQ(changed, 3u);
+}
+
+// The pre-order contract: out[0] is the root and equals SubtreeHash, and
+// every statement of the subtree appears exactly once.
+TEST(SubtreeHashPropertyTest, PreOrderCoversEveryStatementOnce) {
+  Program program = MustParse(
+      "var a, b : integer;"
+      " begin a := 1; cobegin b := 2 || a := 3 coend; while a # 0 do a := a - 1 end");
+  TwoPointLattice lattice;
+  StaticBinding binding = Bind(program, lattice, {{"a", "low"}, {"b", "low"}});
+  std::vector<std::pair<const Stmt*, uint64_t>> hashes;
+  SubtreeHashes(program.root(), binding, hashes);
+  ASSERT_FALSE(hashes.empty());
+  EXPECT_EQ(hashes[0].first, &program.root());
+  EXPECT_EQ(hashes[0].second, SubtreeHash(program.root(), binding));
+  size_t total = 0;
+  ForEachStmt(program.root(), [&](const Stmt&) { ++total; });
+  EXPECT_EQ(hashes.size(), total);
+  std::set<const Stmt*> seen;
+  for (const auto& [stmt, hash] : hashes) {
+    EXPECT_TRUE(seen.insert(stmt).second) << "statement visited twice";
+    EXPECT_EQ(hash, SubtreeHash(*stmt, binding));
+  }
+}
+
+}  // namespace
+}  // namespace cfm

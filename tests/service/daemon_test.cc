@@ -1,0 +1,357 @@
+// End-to-end daemon tests over a live socket: handshake, byte-identity with
+// the one-shot renderers across the example and corpus programs, edit-based
+// resubmission, error envelopes, malformed wire input, concurrent clients,
+// batch/stats, clean shutdown — on both event-loop backends.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/service/client.h"
+#include "src/service/framing.h"
+#include "src/service/protocol.h"
+#include "src/service/scoped_daemon.h"
+#include "src/support/hash.h"
+#include "src/support/json.h"
+#include "src/support/json_reader.h"
+
+namespace cfm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Corpus reproducers pin their lattice in a `-- lattice: SPEC` header line.
+std::string LatticeOf(const std::string& text) {
+  constexpr char kTag[] = "-- lattice: ";
+  const size_t at = text.find(kTag);
+  if (at == std::string::npos) {
+    return "two";
+  }
+  const size_t begin = at + sizeof(kTag) - 1;
+  const size_t end = text.find('\n', begin);
+  return text.substr(begin, end == std::string::npos ? end : end - begin);
+}
+
+std::string CheckRequestPayload(const std::string& method, const std::string& file,
+                                const std::string& text, const std::string& lattice,
+                                bool json) {
+  JsonWriter request;
+  request.BeginObject();
+  request.Key("method").String(method);
+  request.Key("file").String(file);
+  request.Key("text").String(text);
+  request.Key("lattice").String(lattice);
+  request.Key("json").Bool(json);
+  request.EndObject();
+  return request.str();
+}
+
+RenderedReport OneShot(const std::string& method, const std::string& file,
+                       const std::string& text, const std::string& lattice, bool json) {
+  PipelineOptions options;
+  options.lattice_spec = lattice;
+  CfmPipeline pipeline(std::move(options));
+  pipeline.LoadSource(file, text);
+  ReportOptions report;
+  report.file = file;
+  report.json = json;
+  if (method == "explain") {
+    return RenderExplainReport(pipeline, report);
+  }
+  if (method == "lint") {
+    return RenderLintReport(pipeline, report);
+  }
+  return RenderCheckReport(pipeline, report);
+}
+
+std::vector<fs::path> CorpusFiles() {
+  std::vector<fs::path> files;
+  for (const char* dir : {CFM_EXAMPLES_DIR, CFM_CORPUS_DIR "/seeds",
+                          CFM_CORPUS_DIR "/regressions"}) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+      if (entry.path().extension() == ".cfm") {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class DaemonTest : public ::testing::TestWithParam<PollBackend> {};
+
+TEST_P(DaemonTest, HandshakeAndEcho) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  CfmdClient client(daemon.socket_path());
+  ASSERT_TRUE(client.ok()) << client.error();  // Ctor validates the handshake.
+}
+
+TEST_P(DaemonTest, ByteIdenticalToOneShotAcrossCorpus) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  CfmdClient client(daemon.socket_path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  for (const fs::path& path : CorpusFiles()) {
+    const std::string text = Slurp(path);
+    const std::string lattice = LatticeOf(text);
+    const std::string file = path.filename().string();
+    for (const char* method : {"check", "explain", "lint"}) {
+      for (bool json : {true, false}) {
+        auto payload =
+            client.Roundtrip(CheckRequestPayload(method, file, text, lattice, json));
+        ASSERT_TRUE(payload.has_value()) << file;
+        auto result = DecodeResult(*payload);
+        ASSERT_TRUE(result.has_value()) << file;
+        ASSERT_TRUE(result->error_code.empty())
+            << file << ": " << result->error_message;
+        RenderedReport expected = OneShot(method, file, text, lattice, json);
+        EXPECT_EQ(result->output, expected.out) << file << " " << method << " " << json;
+        EXPECT_EQ(result->errout, expected.err) << file << " " << method << " " << json;
+        EXPECT_EQ(result->exit_code, expected.exit_code)
+            << file << " " << method << " " << json;
+      }
+    }
+  }
+}
+
+TEST_P(DaemonTest, EditBasedResubmission) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  CfmdClient client(daemon.socket_path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  const std::string text =
+      "var x, y : integer class low;\nbegin\n  x := 1;\n  y := 2\nend\n";
+  auto payload =
+      client.Roundtrip(CheckRequestPayload("check", "e.cfm", text, "two", true));
+  ASSERT_TRUE(payload.has_value());
+  auto result = DecodeResult(*payload);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->address.empty()) << "clean JSON check must report an address";
+  EXPECT_EQ(result->address, FormatAddress(ContentAddress(text)));
+
+  // Edit `y := 2` → `y := 42` against the reported base.
+  const size_t at = text.find("2\nend");
+  JsonWriter edit;
+  edit.BeginObject();
+  edit.Key("method").String("check");
+  edit.Key("file").String("e.cfm");
+  edit.Key("base").String(result->address);
+  edit.Key("edits").BeginArray();
+  edit.BeginObject();
+  edit.Key("offset").UInt(at);
+  edit.Key("remove").UInt(1);
+  edit.Key("insert").String("42");
+  edit.EndObject();
+  edit.EndArray();
+  edit.Key("json").Bool(true);
+  edit.EndObject();
+  auto edited = client.Roundtrip(edit.str());
+  ASSERT_TRUE(edited.has_value());
+  auto edited_result = DecodeResult(*edited);
+  ASSERT_TRUE(edited_result.has_value());
+  ASSERT_TRUE(edited_result->error_code.empty()) << edited_result->error_message;
+  std::string new_text = text;
+  new_text.replace(at, 1, "42");
+  RenderedReport expected = OneShot("check", "e.cfm", new_text, "two", true);
+  EXPECT_EQ(edited_result->output, expected.out);
+  EXPECT_EQ(edited_result->exit_code, expected.exit_code);
+  EXPECT_EQ(edited_result->address, FormatAddress(ContentAddress(new_text)));
+
+  // A stale base (the pre-edit address) must yield the retryable error.
+  auto stale = client.Roundtrip(edit.str());
+  ASSERT_TRUE(stale.has_value());
+  auto stale_result = DecodeResult(*stale);
+  ASSERT_TRUE(stale_result.has_value());
+  EXPECT_EQ(stale_result->error_code, kErrStaleBase);
+}
+
+TEST_P(DaemonTest, ErrorEnvelopes) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  CfmdClient client(daemon.socket_path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  auto bad_json = client.Roundtrip("this is not json");
+  ASSERT_TRUE(bad_json.has_value());
+  EXPECT_EQ(DecodeResult(*bad_json)->error_code, kErrBadRequest);
+
+  auto bad_method = client.Roundtrip(R"({"method":"frobnicate"})");
+  ASSERT_TRUE(bad_method.has_value());
+  EXPECT_EQ(DecodeResult(*bad_method)->error_code, kErrBadMethod);
+
+  auto bad_pass = client.Roundtrip(
+      R"({"method":"lint","file":"a.cfm","text":"var x : integer; x := 1",)"
+      R"("passes":["no-such-pass"]})");
+  ASSERT_TRUE(bad_pass.has_value());
+  EXPECT_EQ(DecodeResult(*bad_pass)->error_code, kErrBadRequest);
+}
+
+TEST_P(DaemonTest, MalformedFrameDropsConnectionNotDaemon) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+
+  // Raw connection writing an oversized length prefix: the daemon must drop
+  // this connection and keep serving others.
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, daemon.socket_path().c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_TRUE(ReadFrame(fd).has_value());  // Handshake.
+  const char garbage[] = "\xff\xff\xff\xff garbage";
+  ASSERT_GT(::send(fd, garbage, sizeof(garbage), 0), 0);
+  // Peer close = the daemon dropped us.
+  char byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+
+  CfmdClient next(daemon.socket_path());
+  ASSERT_TRUE(next.ok()) << "daemon died with the corrupt connection";
+  auto payload = next.Roundtrip(
+      CheckRequestPayload("check", "a.cfm", "var x : integer; x := 1", "two", true));
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(DecodeResult(*payload)->error_code.empty());
+}
+
+TEST_P(DaemonTest, ConcurrentClientsGetConsistentAnswers) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+
+  const std::string clean =
+      "var x, y : integer class low;\nbegin\n  x := 1;\n  y := x\nend\n";
+  const std::string violating =
+      "var h : integer class high;\nvar l : integer class low;\nbegin\n  l := h\nend\n";
+  const RenderedReport clean_expected = OneShot("check", "c.cfm", clean, "two", true);
+  const RenderedReport violating_expected =
+      OneShot("check", "v.cfm", violating, "two", true);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 16;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      CfmdClient client(daemon.socket_path());
+      if (!client.ok()) {
+        failures[c] = "connect: " + client.error();
+        return;
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        const bool use_clean = (c + r) % 2 == 0;
+        const std::string& text = use_clean ? clean : violating;
+        const std::string file = use_clean ? "c.cfm" : "v.cfm";
+        const RenderedReport& expected =
+            use_clean ? clean_expected : violating_expected;
+        auto payload =
+            client.Roundtrip(CheckRequestPayload("check", file, text, "two", true));
+        if (!payload) {
+          failures[c] = "roundtrip lost at round " + std::to_string(r);
+          return;
+        }
+        auto result = DecodeResult(*payload);
+        if (!result || !result->error_code.empty() || result->output != expected.out ||
+            result->exit_code != expected.exit_code) {
+          failures[c] = "divergent answer at round " + std::to_string(r);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+}
+
+TEST_P(DaemonTest, BatchAndStats) {
+  ScopedDaemon daemon(GetParam());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  CfmdClient client(daemon.socket_path());
+  ASSERT_TRUE(client.ok()) << client.error();
+
+  JsonWriter batch;
+  batch.BeginObject();
+  batch.Key("method").String("batch");
+  batch.Key("json").Bool(true);
+  batch.Key("files").BeginArray();
+  batch.BeginObject();
+  batch.Key("file").String("a.cfm");
+  batch.Key("text").String("var x : integer class low; x := 1");
+  batch.EndObject();
+  batch.BeginObject();
+  batch.Key("file").String("b.cfm");
+  batch.Key("text").String(
+      "var h : integer class high; var l : integer class low; l := h");
+  batch.EndObject();
+  batch.EndArray();
+  batch.EndObject();
+  auto payload = client.Roundtrip(batch.str());
+  ASSERT_TRUE(payload.has_value());
+  auto root = ParseJson(*payload);
+  ASSERT_TRUE(root.has_value());
+  ASSERT_TRUE(root->at("ok").BoolOr(false)) << *payload;
+  ASSERT_EQ(root->at("results").array.size(), 2u);
+  EXPECT_EQ(root->at("results").array[0].at("file").string_value, "a.cfm");
+  EXPECT_EQ(root->at("results").array[0].at("exit").int_value, 0);
+  EXPECT_EQ(root->at("results").array[1].at("exit").int_value, 1);
+
+  auto stats = client.Roundtrip(R"({"method":"stats"})");
+  ASSERT_TRUE(stats.has_value());
+  auto stats_root = ParseJson(*stats);
+  ASSERT_TRUE(stats_root.has_value());
+  EXPECT_GE(stats_root->at("stats").at("requests").IntOr(0), 1);
+  EXPECT_GE(stats_root->at("stats").at("contexts").array.size(), 1u);
+}
+
+TEST_P(DaemonTest, ShutdownMethodStopsTheDaemonAndUnlinksTheSocket) {
+  auto daemon = std::make_unique<ScopedDaemon>(GetParam());
+  ASSERT_TRUE(daemon->ok()) << daemon->error();
+  const std::string socket_path = daemon->socket_path();
+  {
+    CfmdClient client(socket_path);
+    ASSERT_TRUE(client.ok()) << client.error();
+    auto payload = client.Roundtrip(R"({"method":"shutdown"})");
+    ASSERT_TRUE(payload.has_value()) << "shutdown response must still be delivered";
+    EXPECT_TRUE(DecodeResult(*payload)->error_code.empty());
+  }
+  // The loop exits on its own; joining must not hang and the socket file
+  // must be gone afterwards.
+  daemon.reset();
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, DaemonTest,
+                         ::testing::Values(PollBackend::kEpoll, PollBackend::kPoll),
+                         [](const ::testing::TestParamInfo<PollBackend>& info) {
+                           return info.param == PollBackend::kEpoll ? "epoll" : "poll";
+                         });
+
+}  // namespace
+}  // namespace cfm

@@ -1,0 +1,180 @@
+// Wire-level units for the daemon: frame encode/decode, the incremental
+// FrameReader, the JSON reader, and the request/response payload schemas.
+
+#include "src/service/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/service/protocol.h"
+#include "src/support/json_reader.h"
+
+namespace cfm {
+namespace {
+
+TEST(FramingTest, EncodeIsLengthPrefixed) {
+  const std::string frame = EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FramingTest, ReaderReassemblesByteByByte) {
+  const std::string frame = EncodeFrame("{\"a\":1}");
+  FrameReader reader;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    reader.Feed(std::string_view(&frame[i], 1));
+    EXPECT_EQ(reader.Next(), std::nullopt);
+  }
+  reader.Feed(std::string_view(&frame.back(), 1));
+  auto payload = reader.Next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "{\"a\":1}");
+  EXPECT_EQ(reader.Next(), std::nullopt);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FramingTest, OneFeedCanCompleteSeveralFrames) {
+  FrameReader reader;
+  reader.Feed(EncodeFrame("one") + EncodeFrame("") + EncodeFrame("three"));
+  EXPECT_EQ(reader.Next(), "one");
+  EXPECT_EQ(reader.Next(), "");
+  EXPECT_EQ(reader.Next(), "three");
+  EXPECT_EQ(reader.Next(), std::nullopt);
+}
+
+TEST(FramingTest, OversizedLengthPrefixMarksStreamCorrupt) {
+  FrameReader reader;
+  // Length 0xFFFFFFFF, far over kMaxFramePayload.
+  reader.Feed(std::string("\xff\xff\xff\xff", 4));
+  EXPECT_EQ(reader.Next(), std::nullopt);
+  EXPECT_TRUE(reader.corrupt());
+}
+
+TEST(JsonReaderTest, ParsesTheWriterSubset) {
+  auto value = ParseJson(
+      R"({"s":"a\"b\nA","n":-42,"b":true,"z":null,"arr":[1,2],"obj":{"k":"v"}})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->at("s").string_value, "a\"b\nA");
+  EXPECT_EQ(value->at("n").int_value, -42);
+  EXPECT_TRUE(value->at("b").bool_value);
+  EXPECT_TRUE(value->at("z").is_null());
+  ASSERT_EQ(value->at("arr").array.size(), 2u);
+  EXPECT_EQ(value->at("arr").array[1].int_value, 2);
+  EXPECT_EQ(value->at("obj").at("k").string_value, "v");
+  // Fail-soft member access on a missing key.
+  EXPECT_TRUE(value->at("missing").is_null());
+  EXPECT_EQ(value->at("missing").StringOr("dflt"), "dflt");
+}
+
+TEST(JsonReaderTest, RejectsFractionsTrailingGarbageAndBareWords) {
+  EXPECT_EQ(ParseJson("{\"x\":1.5}"), std::nullopt);
+  EXPECT_EQ(ParseJson("{\"x\":1e3}"), std::nullopt);
+  EXPECT_EQ(ParseJson("{} trailing"), std::nullopt);
+  EXPECT_EQ(ParseJson("nope"), std::nullopt);
+  EXPECT_EQ(ParseJson("{\"unterminated\":\"str"), std::nullopt);
+}
+
+TEST(ProtocolTest, ParsesFullTextRequest) {
+  std::string error;
+  auto request = ParseRequest(
+      R"({"method":"check","file":"a.cfm","text":"var x : integer; x := 1",)"
+      R"("lattice":"chain:3","json":true,"werror":true,"passes":["uninit"]})",
+      error);
+  ASSERT_TRUE(request.has_value()) << error;
+  EXPECT_EQ(request->method, "check");
+  ASSERT_EQ(request->docs.size(), 1u);
+  EXPECT_EQ(request->docs[0].file, "a.cfm");
+  EXPECT_TRUE(request->docs[0].has_text);
+  EXPECT_EQ(request->docs[0].text, "var x : integer; x := 1");
+  EXPECT_EQ(request->lattice_spec, "chain:3");
+  EXPECT_TRUE(request->json);
+  EXPECT_TRUE(request->werror);
+  ASSERT_EQ(request->passes.size(), 1u);
+  EXPECT_EQ(request->passes[0], "uninit");
+}
+
+TEST(ProtocolTest, ParsesEditRequest) {
+  std::string error;
+  auto request = ParseRequest(
+      R"({"method":"check","file":"a.cfm","base":"00000000deadbeef",)"
+      R"("edits":[{"offset":10,"remove":3,"insert":"y := 2"}]})",
+      error);
+  ASSERT_TRUE(request.has_value()) << error;
+  ASSERT_EQ(request->docs.size(), 1u);
+  EXPECT_FALSE(request->docs[0].has_text);
+  EXPECT_EQ(request->docs[0].base_address, "00000000deadbeef");
+  ASSERT_EQ(request->docs[0].edits.size(), 1u);
+  EXPECT_EQ(request->docs[0].edits[0].offset, 10u);
+  EXPECT_EQ(request->docs[0].edits[0].remove, 3u);
+  EXPECT_EQ(request->docs[0].edits[0].insert, "y := 2");
+}
+
+TEST(ProtocolTest, ParsesBatchRequest) {
+  std::string error;
+  auto request = ParseRequest(
+      R"({"method":"batch","files":[{"file":"a.cfm","text":"x"},{"file":"b.cfm","text":"y"}]})",
+      error);
+  ASSERT_TRUE(request.has_value()) << error;
+  ASSERT_EQ(request->docs.size(), 2u);
+  EXPECT_EQ(request->docs[0].file, "a.cfm");
+  EXPECT_EQ(request->docs[1].text, "y");
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  std::string error;
+  EXPECT_EQ(ParseRequest("not json", error), std::nullopt);
+  EXPECT_EQ(ParseRequest("[]", error), std::nullopt);
+  EXPECT_EQ(ParseRequest(R"({"file":"a.cfm","text":"x"})", error), std::nullopt)
+      << "missing method must not parse";
+  EXPECT_EQ(ParseRequest(R"({"method":"check","file":"a.cfm"})", error), std::nullopt)
+      << "neither text nor base+edits";
+}
+
+TEST(ProtocolTest, HandshakeRoundTrips) {
+  EXPECT_TRUE(CheckHandshake(HandshakePayload()));
+  EXPECT_FALSE(CheckHandshake("{\"cfmd\":999}"));
+  EXPECT_FALSE(CheckHandshake("{}"));
+  EXPECT_FALSE(CheckHandshake("garbage"));
+}
+
+TEST(ProtocolTest, ResultAndErrorPayloadSchemas) {
+  RenderedReport report;
+  report.out = "stdout bytes\n";
+  report.err = "stderr bytes\n";
+  report.exit_code = 1;
+  auto ok = ParseJson(ResultPayload(report, "00ff00ff00ff00ff"));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(ok->at("ok").bool_value);
+  EXPECT_EQ(ok->at("exit").int_value, 1);
+  EXPECT_EQ(ok->at("output").string_value, "stdout bytes\n");
+  EXPECT_EQ(ok->at("errout").string_value, "stderr bytes\n");
+  EXPECT_EQ(ok->at("address").string_value, "00ff00ff00ff00ff");
+
+  // No address → no key (clients key edit eligibility on its presence).
+  auto bare = ParseJson(ResultPayload(report));
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_FALSE(bare->has("address"));
+
+  auto error = ParseJson(ErrorPayload(kErrStaleBase, "unknown base"));
+  ASSERT_TRUE(error.has_value());
+  EXPECT_FALSE(error->at("ok").bool_value);
+  EXPECT_EQ(error->at("error").at("code").string_value, "stale_base");
+  EXPECT_EQ(error->at("error").at("message").string_value, "unknown base");
+}
+
+TEST(ProtocolTest, AddressFormatRoundTrips) {
+  EXPECT_EQ(FormatAddress(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(ParseAddress("00000000deadbeef"), 0xdeadbeefull);
+  EXPECT_EQ(ParseAddress(FormatAddress(~0ull)), ~0ull);
+  EXPECT_EQ(ParseAddress(""), std::nullopt);
+  EXPECT_EQ(ParseAddress("xyz"), std::nullopt);
+  EXPECT_EQ(ParseAddress("00000000000000000"), std::nullopt) << "17 digits";
+}
+
+}  // namespace
+}  // namespace cfm

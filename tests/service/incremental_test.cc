@@ -1,0 +1,300 @@
+// The incremental recertification engine, tested against its correctness
+// contract: every response — warm hit, warm edit, or fallback — must be
+// byte-identical to what the one-shot renderers produce for the same text,
+// and the invariants I1–I3 (docs/DESIGN.md §8) must hold observably.
+
+#include "src/service/document.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/support/hash.h"
+
+namespace cfm {
+namespace {
+
+PipelineOptions TwoPoint() {
+  PipelineOptions options;
+  options.lattice_spec = "two";
+  return options;
+}
+
+ReportOptions JsonCheck(const std::string& file) {
+  ReportOptions options;
+  options.file = file;
+  options.json = true;
+  return options;
+}
+
+// One-shot ground truth: the renderers cfmc itself uses, over a fresh
+// pipeline.
+RenderedReport OneShotCheck(const std::string& file, const std::string& text, bool json) {
+  CfmPipeline pipeline(TwoPoint());
+  pipeline.LoadSource(file, text);
+  ReportOptions options = JsonCheck(file);
+  options.json = json;
+  return RenderCheckReport(pipeline, options);
+}
+
+void ExpectSameReport(const RenderedReport& got, const RenderedReport& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.out, want.out) << label;
+  EXPECT_EQ(got.err, want.err) << label;
+  EXPECT_EQ(got.exit_code, want.exit_code) << label;
+}
+
+// A clean N-chunk program: every top-level statement is one assignment.
+std::string BigProgram(int n) {
+  std::string text = "var a : integer class low;\nbegin\n";
+  for (int i = 0; i < n; ++i) {
+    text += "  a := " + std::to_string(i) + ";\n";
+  }
+  text += "  a := 0\nend\n";
+  return text;
+}
+
+constexpr char kClean[] =
+    "var x, y : integer class low;\n"
+    "begin\n"
+    "  x := 1;\n"
+    "  y := x + 2;\n"
+    "  x := y\n"
+    "end\n";
+
+constexpr char kViolating[] =
+    "var h : integer class high;\n"
+    "var l : integer class low;\n"
+    "begin\n"
+    "  h := 1;\n"
+    "  l := h\n"
+    "end\n";
+
+TEST(IncrementalTest, IdenticalResubmissionServesWarmAndMatchesOneShot) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  ASSERT_TRUE(certifier.ok());
+  RenderedReport cold = certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+  ExpectSameReport(cold, OneShotCheck("a.cfm", kClean, true), "cold");
+  EXPECT_EQ(certifier.stats().cold_runs, 1u);
+
+  RenderedReport warm = certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+  ExpectSameReport(warm, cold, "identical resubmission");
+  EXPECT_EQ(certifier.stats().warm_hits, 1u);
+  EXPECT_EQ(certifier.stats().cold_runs, 1u) << "resubmission must not run the pipeline";
+  ASSERT_TRUE(certifier.DocumentAddress("a.cfm").has_value());
+  EXPECT_EQ(*certifier.DocumentAddress("a.cfm"), ContentAddress(kClean));
+}
+
+TEST(IncrementalTest, SingleChunkEditServesWarmAndMatchesOneShot) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+
+  std::string edited = kClean;
+  const size_t at = edited.find("y := x + 2");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 10, "y := x + 777");
+  RenderedReport warm = certifier.Check("a.cfm", edited, JsonCheck("a.cfm"), false);
+  ExpectSameReport(warm, OneShotCheck("a.cfm", edited, true), "warm edit");
+  EXPECT_EQ(certifier.stats().warm_edits, 1u);
+  EXPECT_EQ(certifier.stats().cold_runs, 1u);
+  EXPECT_EQ(*certifier.DocumentAddress("a.cfm"), ContentAddress(edited))
+      << "snapshot must track the edited text (I2)";
+}
+
+TEST(IncrementalTest, EditIntroducingViolationFallsBackAndErasesSnapshot) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  std::string clean =
+      "var h : integer class high;\n"
+      "var l : integer class low;\n"
+      "begin\n"
+      "  h := 1;\n"
+      "  l := 2\n"
+      "end\n";
+  certifier.Check("a.cfm", clean, JsonCheck("a.cfm"), false);
+  ASSERT_TRUE(certifier.DocumentAddress("a.cfm").has_value());
+
+  // `l := h` violates; the warm path must refuse and the cold run render it.
+  std::string bad = clean;
+  const size_t at = bad.find("l := 2");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 6, "l := h");
+  RenderedReport report = certifier.Check("a.cfm", bad, JsonCheck("a.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("a.cfm", bad, true), "violating edit");
+  EXPECT_EQ(report.exit_code, 1);
+  EXPECT_FALSE(certifier.DocumentAddress("a.cfm").has_value())
+      << "a violating document must not stay resident (I1)";
+}
+
+TEST(IncrementalTest, ViolatingSubmissionMatchesOneShot) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  RenderedReport report =
+      certifier.Check("v.cfm", kViolating, JsonCheck("v.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("v.cfm", kViolating, true), "violating");
+  EXPECT_FALSE(certifier.DocumentAddress("v.cfm").has_value());
+}
+
+TEST(IncrementalTest, StructuralEditFallsBackCold) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+
+  // Splitting one chunk into two shifts the statement structure: spans are
+  // stale, so the warm path must refuse and go cold — and still match.
+  std::string edited = kClean;
+  const size_t at = edited.find("x := y");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 6, "x := y;\n  y := 0");
+  RenderedReport report = certifier.Check("a.cfm", edited, JsonCheck("a.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("a.cfm", edited, true), "structural edit");
+  EXPECT_EQ(certifier.stats().fallbacks, 1u);
+  EXPECT_EQ(certifier.stats().warm_edits, 0u);
+  EXPECT_EQ(certifier.stats().cold_runs, 2u);
+}
+
+TEST(IncrementalTest, DeclarationEditFallsBackCold) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+
+  std::string edited = kClean;
+  const size_t at = edited.find("x, y : integer class low");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 24, "x, y : integer class high");
+  RenderedReport report = certifier.Check("a.cfm", edited, JsonCheck("a.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("a.cfm", edited, true), "decl edit");
+  EXPECT_EQ(certifier.stats().fallbacks, 1u);
+}
+
+TEST(IncrementalTest, CommentInsertionFallsBackCold) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+
+  // `--` can swallow the separator after the chunk in the full document;
+  // the warm fragment would not see that, so the engine must refuse.
+  std::string edited = kClean;
+  const size_t at = edited.find("y := x + 2");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 10, "y := x -- + 2\n   + 2");
+  RenderedReport report = certifier.Check("a.cfm", edited, JsonCheck("a.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("a.cfm", edited, true), "comment edit");
+  EXPECT_EQ(certifier.stats().warm_edits, 0u);
+}
+
+TEST(IncrementalTest, HumanModeIsAlwaysCold) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  ReportOptions human;
+  human.file = "a.cfm";
+  RenderedReport first = certifier.Check("a.cfm", kClean, human, false);
+  RenderedReport second = certifier.Check("a.cfm", kClean, human, false);
+  ExpectSameReport(first, OneShotCheck("a.cfm", kClean, false), "human check");
+  ExpectSameReport(second, first, "human resubmission");
+  EXPECT_EQ(certifier.stats().warm_hits, 0u);
+  EXPECT_EQ(certifier.stats().cold_runs, 2u);
+}
+
+TEST(IncrementalTest, CrossFileAndAlphaRenameCacheReuse) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+  const uint64_t recertified_after_first = certifier.cache().stats().stmts_recertified;
+
+  // The α-renamed twin under another file key must reuse every chunk triple.
+  constexpr char kRenamed[] =
+      "var p, q : integer class low;\n"
+      "begin\n"
+      "  p := 1;\n"
+      "  q := p + 2;\n"
+      "  p := q\n"
+      "end\n";
+  RenderedReport report =
+      certifier.Check("b.cfm", kRenamed, JsonCheck("b.cfm"), false);
+  ExpectSameReport(report, OneShotCheck("b.cfm", kRenamed, true), "renamed twin");
+  EXPECT_EQ(certifier.cache().stats().stmts_recertified, recertified_after_first)
+      << "α-renamed chunks must hit the cache, not recertify";
+  EXPECT_GT(certifier.cache().stats().hits, 0u);
+  EXPECT_EQ(certifier.document_count(), 2u);
+}
+
+// The deterministic form of the ≥50× warm-edit claim: on an N-chunk
+// document, a single-statement edit recertifies at least 50× fewer
+// statements than it reuses. Wall-clock is measured in bench/bench_service.
+TEST(IncrementalTest, WarmEditRecertifiesFiftyTimesLess) {
+  IncrementalCertifier certifier(TwoPoint(), 1 << 14);
+  const std::string big = BigProgram(1000);
+  certifier.Check("big.cfm", big, JsonCheck("big.cfm"), false);
+
+  std::string edited = big;
+  const size_t at = edited.find("a := 500;");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 8, "a := 999999");
+  const uint64_t reused_before = certifier.cache().stats().stmts_reused;
+  const uint64_t recert_before = certifier.cache().stats().stmts_recertified;
+  RenderedReport warm = certifier.Check("big.cfm", edited, JsonCheck("big.cfm"), false);
+  ExpectSameReport(warm, OneShotCheck("big.cfm", edited, true), "big warm edit");
+  ASSERT_EQ(certifier.stats().warm_edits, 1u);
+  const uint64_t reused = certifier.cache().stats().stmts_reused - reused_before;
+  const uint64_t recertified =
+      certifier.cache().stats().stmts_recertified - recert_before;
+  ASSERT_GT(recertified, 0u);
+  EXPECT_GE(reused, 50 * recertified)
+      << "edit recertified " << recertified << " of " << reused + recertified;
+}
+
+TEST(IncrementalTest, MaterializeTextAppliesEditsAgainstResidentBase) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+  const std::string base = FormatAddress(*certifier.DocumentAddress("a.cfm"));
+
+  const size_t at = std::string(kClean).find("+ 2");
+  std::vector<DocEdit> edits = {
+      {static_cast<uint32_t>(at), 3, "+ 41"},
+  };
+  std::string error;
+  auto text = certifier.MaterializeText("a.cfm", /*has_text=*/false, "", base, edits, error);
+  ASSERT_TRUE(text.has_value()) << error;
+  std::string expected = kClean;
+  expected.replace(at, 3, "+ 41");
+  EXPECT_EQ(*text, expected);
+
+  // Full-text submissions pass through untouched.
+  auto full = certifier.MaterializeText("a.cfm", /*has_text=*/true, "whole text", "", {},
+                                        error);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, "whole text");
+}
+
+TEST(IncrementalTest, MaterializeTextRejectsStaleBaseAndBadEdits) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  std::string error;
+  // No resident document at all.
+  EXPECT_EQ(certifier.MaterializeText("a.cfm", false, "", FormatAddress(1), {}, error),
+            std::nullopt);
+
+  certifier.Check("a.cfm", kClean, JsonCheck("a.cfm"), false);
+  // Wrong address for the resident text.
+  error.clear();
+  EXPECT_EQ(certifier.MaterializeText("a.cfm", false, "",
+                                      FormatAddress(ContentAddress(kClean) + 1), {}, error),
+            std::nullopt);
+  EXPECT_FALSE(error.empty());
+  // Out-of-range edit.
+  const std::string good = FormatAddress(ContentAddress(kClean));
+  std::vector<DocEdit> oob = {{1 << 30, 5, "x"}};
+  error.clear();
+  EXPECT_EQ(certifier.MaterializeText("a.cfm", false, "", good, oob, error), std::nullopt);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IncrementalTest, UnresolvableLatticeReportsFailure) {
+  PipelineOptions options;
+  options.lattice_spec = "no-such-lattice";
+  IncrementalCertifier certifier(std::move(options), 16);
+  EXPECT_FALSE(certifier.ok());
+  RenderedReport failure = certifier.LatticeFailure();
+  EXPECT_NE(failure.exit_code, 0);
+  EXPECT_FALSE(failure.err.empty());
+}
+
+}  // namespace
+}  // namespace cfm

@@ -56,6 +56,7 @@
 #include "src/core/explain.h"
 #include "src/core/inference.h"
 #include "src/core/pipeline.h"
+#include "src/core/report.h"
 #include "src/core/static_binding.h"
 #include "src/gen/program_gen.h"
 #include "src/lang/printer.h"
@@ -67,6 +68,7 @@
 #include "src/logic/proof_io.h"
 #include "src/runtime/interpreter.h"
 #include "src/runtime/noninterference.h"
+#include "src/service/client.h"
 #include "src/support/json.h"
 #include "src/support/text.h"
 
@@ -80,6 +82,7 @@ struct CliOptions {
   std::string lattice_file;
   std::string emit_proof;
   std::string proof_file;
+  std::string connect;  // check/lint/explain: proxy to a cfmd socket.
   bool denning_permissive = false;
   bool json = false;    // check/explain/lint: machine-readable output.
   bool werror = false;  // lint: warnings fail the exit code.
@@ -109,6 +112,7 @@ int Usage() {
                "       cfmc gen <out|-> --scale=N [--seed=N]     (emit an N-statement program)\n"
                "flags: --lattice=two|diamond|chain:N|powerset:a,b  --lattice-file=SPEC\n"
                "       --json --werror --passes=a,b                        (check/explain/lint)\n"
+               "       --connect=SOCK    route check/explain/lint through a cfmd daemon\n"
                "       --denning-permissive --emit-proof=FILE --proof=FILE\n"
                "       --secret=V --observe=V1,V2 --values=a,b --set=V=N --pin=V=CLASS\n"
                "       --seed=N --schedules=N --monitor --trace --jobs=N --interpreted\n"
@@ -138,6 +142,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
       options.emit_proof = *vp;
     } else if (auto vq = value_of("--proof=")) {
       options.proof_file = *vq;
+    } else if (auto vc = value_of("--connect=")) {
+      options.connect = *vc;
     } else if (arg == "--denning-permissive") {
       options.denning_permissive = true;
     } else if (arg == "--json") {
@@ -204,15 +210,91 @@ bool ParseArgs(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
+// Writes a rendered report to the real streams and returns its exit status.
+int Emit(const RenderedReport& report) {
+  std::cout << report.out;
+  std::cerr << report.err;
+  return report.exit_code;
+}
+
 // Prints the pipeline's first failure the way every subcommand used to:
 // parse diagnostics verbatim, everything else with the tool prefix.
-int Report(const CfmPipeline& pipeline) {
-  if (pipeline.error_stage() == PipelineStage::kParse) {
-    std::cerr << pipeline.error();
-  } else {
-    std::cerr << "cfmc: " << pipeline.error() << "\n";
+int Report(const CfmPipeline& pipeline) { return Emit(RenderPipelineFailure(pipeline)); }
+
+ReportOptions ToReportOptions(const CliOptions& options) {
+  ReportOptions report;
+  report.file = options.file;
+  report.json = options.json;
+  report.table = options.table;
+  report.denning_permissive = options.denning_permissive;
+  report.werror = options.werror;
+  return report;
+}
+
+// Routes check/explain/lint through a resident cfmd. The daemon never reads
+// client paths: the file is read here and shipped as full text, and the
+// response's output/errout/exit are replayed verbatim, so the observable
+// behaviour matches one-shot cfmc byte for byte.
+int RunConnect(const CliOptions& options) {
+  if (options.command != "check" && options.command != "lint" &&
+      options.command != "explain") {
+    std::cerr << "cfmc: --connect supports only check, lint and explain\n";
+    return 2;
   }
-  return pipeline.exit_code();
+  std::ifstream in(options.file, std::ios::binary);
+  if (!in) {
+    // Same message/status as the pipeline's kLoad failure.
+    std::cerr << "cfmc: cannot open '" << options.file << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonWriter request;
+  request.BeginObject();
+  request.Key("method").String(options.command);
+  request.Key("file").String(options.file);
+  request.Key("text").String(buffer.str());
+  request.Key("lattice").String(options.lattice_spec);
+  if (!options.lattice_file.empty()) {
+    request.Key("lattice_file").String(options.lattice_file);
+  }
+  request.Key("json").Bool(options.json);
+  request.Key("table").Bool(options.table);
+  request.Key("denning_permissive").Bool(options.denning_permissive);
+  request.Key("werror").Bool(options.werror);
+  if (!options.passes.empty()) {
+    request.Key("passes").BeginArray();
+    for (const std::string& pass : options.passes) {
+      request.String(pass);
+    }
+    request.EndArray();
+  }
+  request.EndObject();
+
+  CfmdClient client(options.connect);
+  if (!client.ok()) {
+    std::cerr << "cfmc: " << client.error() << "\n";
+    return 1;
+  }
+  auto payload = client.Roundtrip(request.str());
+  if (!payload) {
+    std::cerr << "cfmc: daemon connection lost\n";
+    return 1;
+  }
+  auto result = DecodeResult(*payload);
+  if (!result) {
+    std::cerr << "cfmc: malformed daemon response\n";
+    return 1;
+  }
+  if (!result->error_code.empty()) {
+    std::cerr << "cfmc: daemon error (" << result->error_code << "): "
+              << result->error_message << "\n";
+    return 1;
+  }
+  std::cout << result->output;
+  std::cerr << result->errout;
+  return result->exit_code;
 }
 
 std::optional<SymbolId> LookupOrComplain(const Program& program, const std::string& name) {
@@ -223,74 +305,10 @@ std::optional<SymbolId> LookupOrComplain(const Program& program, const std::stri
   return id;
 }
 
-// The machine-readable certification report shared by `check --json` and
-// `explain --json`: the verdict plus every violation with its witness flow
-// path. Schema documented in docs/FORMATS.md ("certification JSON").
-std::string RenderCertificationJson(CfmPipeline& pipeline, const CliOptions& options) {
-  const Program& program = *pipeline.program();
-  const StaticBinding& binding = *pipeline.binding();
-  const CertificationResult& result = *pipeline.certification();
-  const ExtendedLattice& extended = binding.extended();
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("file").String(options.file);
-  json.Key("lattice").String(pipeline.lattice()->Describe());
-  json.Key("mechanism").String(result.mechanism());
-  json.Key("certified").Bool(result.certified());
-  json.Key("violations").BeginArray();
-  for (const Violation& violation : result.violations()) {
-    json.BeginObject();
-    json.Key("kind").String(ToString(violation.kind));
-    json.Key("line").UInt(violation.stmt->range().begin.line);
-    json.Key("column").UInt(violation.stmt->range().begin.column);
-    json.Key("flow_class").String(extended.ElementName(violation.flow_class));
-    json.Key("bound_class").String(extended.ElementName(violation.bound_class));
-    json.Key("message").String(violation.message);
-    json.Key("witness").BeginArray();
-    for (const FlowStep& step : ExplainViolation(program, binding, violation)) {
-      json.BeginObject();
-      json.Key("source").String(program.symbols().at(step.source).name);
-      json.Key("target").String(program.symbols().at(step.target).name);
-      json.Key("check").String(ToString(step.kind));
-      json.Key("line").UInt(step.stmt->range().begin.line);
-      json.Key("column").UInt(step.stmt->range().begin.column);
-      json.EndObject();
-    }
-    json.EndArray();
-    json.EndObject();
-  }
-  json.EndArray();
-  json.EndObject();
-  return json.str();
-}
-
+// The check/explain/lint bodies live in src/core/report.{h,cc} so the
+// certification daemon (src/service) serves byte-identical reports.
 int RunCheck(CfmPipeline& pipeline, const CliOptions& options) {
-  const StaticBinding* binding = pipeline.binding();
-  if (binding == nullptr) {
-    return Report(pipeline);
-  }
-  if (options.json) {
-    std::cout << RenderCertificationJson(pipeline, options) << "\n";
-    return pipeline.certification()->certified() ? 0 : 1;
-  }
-  const Program& program = *pipeline.program();
-  std::cout << "lattice: " << pipeline.lattice()->Describe() << "\n"
-            << "static binding:\n"
-            << binding->Describe(program.symbols());
-
-  const CertificationResult& cfm_result = *pipeline.certification();
-  std::cout << "\n" << cfm_result.Summary(program.symbols(), binding->extended());
-  if (options.table) {
-    std::cout << "\nFigure 2 instantiated (per-statement certification functions):\n"
-              << cfm_result.FactsTable(program.root(), program.symbols(), binding->extended());
-  }
-
-  DenningMode mode =
-      options.denning_permissive ? DenningMode::kPermissive : DenningMode::kStrict;
-  CertificationResult denning_result = CertifyDenning(program, *binding, mode);
-  std::cout << "\n" << denning_result.Summary(program.symbols(), binding->extended());
-
-  return cfm_result.certified() ? 0 : 1;
+  return Emit(RenderCheckReport(pipeline, ToReportOptions(options)));
 }
 
 // One-shot verification report: CFM + baseline comparison, inference,
@@ -386,31 +404,7 @@ int RunConditions(CfmPipeline& pipeline) {
 
 // Certifies, then prints a witness flow path for every violation.
 int RunExplain(CfmPipeline& pipeline, const CliOptions& options) {
-  const StaticBinding* binding = pipeline.binding();
-  if (binding == nullptr) {
-    return Report(pipeline);
-  }
-  if (options.json) {
-    std::cout << RenderCertificationJson(pipeline, options) << "\n";
-    return pipeline.certification()->certified() ? 0 : 1;
-  }
-  const Program& program = *pipeline.program();
-  const CertificationResult& result = *pipeline.certification();
-  std::cout << result.Summary(program.symbols(), binding->extended());
-  if (result.certified()) {
-    return 0;
-  }
-  for (const Violation& violation : result.violations()) {
-    std::cout << "\nwitness path for the " << ToString(violation.kind) << " at "
-              << ToString(violation.stmt->range().begin) << ":\n";
-    auto path = ExplainViolation(program, *binding, violation);
-    if (path.empty()) {
-      std::cout << "  (no inter-variable path: the flow is direct at this statement)\n";
-      continue;
-    }
-    std::cout << RenderFlowPath(path, program.symbols(), *pipeline.lattice(), *binding);
-  }
-  return 1;
+  return Emit(RenderExplainReport(pipeline, ToReportOptions(options)));
 }
 
 int RunProve(CfmPipeline& pipeline, const CliOptions& options) {
@@ -713,16 +707,7 @@ int RunBatch(const Lattice& lattice, const CliOptions& options) {
 // Runs the lint battery. A bind failure (unresolvable annotation) is not
 // fatal here: the dataflow passes still run, label-creep silently skips.
 int RunLintCmd(CfmPipeline& pipeline, const CliOptions& options) {
-  const LintResult* lint = pipeline.lint();
-  if (lint == nullptr) {
-    return Report(pipeline);
-  }
-  if (options.json) {
-    std::cout << RenderLintJson(*lint, options.file) << "\n";
-  } else {
-    std::cout << RenderLint(*lint, *pipeline.source());
-  }
-  return lint->ExitCode(options.werror);
+  return Emit(RenderLintReport(pipeline, ToReportOptions(options)));
 }
 
 int RunDump(CfmPipeline& pipeline) {
@@ -780,6 +765,9 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     pipeline_options.lint.only.push_back(*pass);
+  }
+  if (!options.connect.empty()) {
+    return RunConnect(options);
   }
   CfmPipeline pipeline(std::move(pipeline_options));
   const Lattice* lattice = pipeline.lattice();

@@ -1,0 +1,98 @@
+// cfmd — the resident certification daemon.
+//
+//   cfmd --socket=PATH [--backend=epoll|poll] [--cache-entries=N]
+//
+// Keeps CfmPipeline state (lattices, certified documents, the cross-file
+// triple cache) resident and serves check/explain/lint/batch requests from
+// concurrent clients over a Unix-domain socket; `cfmc --connect=PATH` is the
+// stock client. Reports are byte-identical to one-shot cfmc. SIGINT/SIGTERM
+// shut down cleanly (connections flushed, socket file unlinked), as does the
+// wire-level `shutdown` method.
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/service/server.h"
+
+namespace cfm {
+namespace {
+
+// The signal handlers need the server; Stop() is async-signal-safe.
+CfmdServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) {
+    g_server->Stop();
+  }
+}
+
+int Usage() {
+  std::cerr << "usage: cfmd --socket=PATH [--backend=epoll|poll] [--cache-entries=N]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&arg](std::string_view prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) {
+        return arg.substr(prefix.size());
+      }
+      return std::nullopt;
+    };
+    if (auto v = value_of("--socket=")) {
+      options.socket_path = *v;
+    } else if (auto vb = value_of("--backend=")) {
+      if (*vb == "epoll") {
+        options.backend = PollBackend::kEpoll;
+      } else if (*vb == "poll") {
+        options.backend = PollBackend::kPoll;
+      } else {
+        std::cerr << "cfmd: --backend takes epoll|poll\n";
+        return Usage();
+      }
+    } else if (auto vc = value_of("--cache-entries=")) {
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(vc->c_str(), &end, 10);
+      if (end == vc->c_str() || *end != '\0' || n == 0) {
+        std::cerr << "cfmd: --cache-entries takes a positive integer\n";
+        return Usage();
+      }
+      options.service.cache_entries = static_cast<size_t>(n);
+    } else {
+      std::cerr << "cfmd: unknown flag: " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::cerr << "cfmd: --socket=PATH is required\n";
+    return Usage();
+  }
+
+  CfmdServer server(std::move(options));
+  std::string error;
+  if (!server.Start(error)) {
+    std::cerr << "cfmd: " << error << "\n";
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::cerr << "cfmd: listening on " << server.socket_path() << " ("
+            << (server.active_backend() == PollBackend::kEpoll ? "epoll" : "poll")
+            << ")\n";
+  server.Run();
+  g_server = nullptr;
+  std::cerr << "cfmd: shut down after " << server.service().requests() << " requests\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace cfm
+
+int main(int argc, char** argv) { return cfm::Main(argc, argv); }

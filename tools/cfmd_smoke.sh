@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the certification daemon: start one cfmd, drive it
+# with N concurrent `cfmc --connect` clients across every checked-in program
+# (examples/ + tests/corpus/), and diff each daemon-routed run against the
+# one-shot cfmc run it must replay byte-for-byte — stdout, stderr and exit
+# status, in human and JSON mode, for check, explain and lint. Finishes by
+# asking the daemon to shut down cleanly and asserting the socket is gone.
+#
+# Usage: tools/cfmd_smoke.sh <cfmc-binary> <cfmd-binary> [jobs]
+set -euo pipefail
+
+CFMC="${1:?usage: cfmd_smoke.sh <cfmc> <cfmd> [jobs]}"
+CFMD="${2:?usage: cfmd_smoke.sh <cfmc> <cfmd> [jobs]}"
+JOBS="${3:-8}"
+
+cd "$(dirname "$0")/.."
+
+SOCK="$(mktemp -u /tmp/cfmd-smoke.XXXXXX.sock)"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+"$CFMD" --socket="$SOCK" 2> "$WORK/cfmd.log" &
+DAEMON_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$SOCK" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$WORK/cfmd.log" >&2; exit 1; }
+  sleep 0.1
+done
+[[ -S "$SOCK" ]] || { echo "cfmd_smoke: socket never appeared" >&2; exit 1; }
+
+FILES=(examples/programs/*.cfm tests/corpus/seeds/*.cfm tests/corpus/regressions/*.cfm)
+echo "cfmd_smoke: ${#FILES[@]} programs x {check,explain,lint} x {human,json}, $JOBS clients" >&2
+
+# Each worker takes every JOBS-th file so all clients stay busy concurrently
+# against the single daemon. Reproducers pin their lattice in a header
+# comment; both sides of the diff get the same --lattice.
+run_worker() {
+  local worker="$1" fail="$WORK/fail.$1"
+  local i file spec method flag
+  for ((i = worker; i < ${#FILES[@]}; i += JOBS)); do
+    file="${FILES[$i]}"
+    spec="$(sed -n 's/^-- lattice: //p' "$file" | head -1)"
+    spec="${spec:-two}"
+    for method in check explain lint; do
+      for flag in "" "--json"; do
+        local one_out="$WORK/one.$worker.out" one_err="$WORK/one.$worker.err"
+        local dmn_out="$WORK/dmn.$worker.out" dmn_err="$WORK/dmn.$worker.err"
+        local one_exit=0 dmn_exit=0
+        "$CFMC" "$method" "$file" --lattice="$spec" $flag \
+          > "$one_out" 2> "$one_err" || one_exit=$?
+        "$CFMC" "$method" "$file" --lattice="$spec" $flag --connect="$SOCK" \
+          > "$dmn_out" 2> "$dmn_err" || dmn_exit=$?
+        if [[ "$one_exit" != "$dmn_exit" ]] \
+            || ! cmp -s "$one_out" "$dmn_out" \
+            || ! cmp -s "$one_err" "$dmn_err"; then
+          {
+            echo "MISMATCH $file $method ${flag:-human}: exit $one_exit vs $dmn_exit"
+            diff "$one_out" "$dmn_out" | head -20 || true
+            diff "$one_err" "$dmn_err" | head -20 || true
+          } >> "$fail"
+        fi
+      done
+    done
+  done
+}
+
+# Wait on the workers specifically — a bare `wait` would also block on the
+# daemon, which (correctly) never exits on its own.
+WORKER_PIDS=()
+for ((w = 0; w < JOBS; ++w)); do
+  run_worker "$w" &
+  WORKER_PIDS+=("$!")
+done
+wait "${WORKER_PIDS[@]}"
+
+if cat "$WORK"/fail.* 2>/dev/null | grep -q .; then
+  echo "cfmd_smoke: daemon output diverged from one-shot cfmc:" >&2
+  cat "$WORK"/fail.* >&2
+  exit 1
+fi
+
+# Clean shutdown: SIGTERM must drain, exit 0 and unlink the socket.
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  echo "cfmd_smoke: daemon exited non-zero on SIGTERM" >&2
+  cat "$WORK/cfmd.log" >&2
+  exit 1
+fi
+DAEMON_PID=""
+if [[ -e "$SOCK" ]]; then
+  echo "cfmd_smoke: daemon leaked its socket at $SOCK" >&2
+  exit 1
+fi
+
+echo "cfmd_smoke: OK ($(grep -c 'shut down' "$WORK/cfmd.log" || true) clean shutdown)" >&2

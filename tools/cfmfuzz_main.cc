@@ -4,16 +4,17 @@
 //   cfmfuzz --replay=FILE           re-run one reproducer file
 //
 // Each case is a generated (or corpus-seeded) program + static binding, put
-// through structured mutations and then through the seven-oracle battery:
+// through structured mutations and then through the nine-oracle battery:
 // cert-vs-proof, builder-vs-checker, cert-sound-ni, por-vs-full, round-trip,
-// pipeline-cache. Failures are delta-reduced to minimal reproducers.
+// pipeline-cache, lint-stable, entail-batch, daemon-vs-oneshot. Failures are
+// delta-reduced to minimal reproducers.
 //
 // Flags:
 //   --smoke                 CI profile: bounded cases + a 45 s time budget
 //   --seed=N                campaign seed (default 1); same seed = same run
 //   --cases=N               case count (default 200; smoke 4000)
 //   --time-budget=SECONDS   stop early after this long (0 = none)
-//   --oracles=a,b,...       subset of oracles (default: all six)
+//   --oracles=a,b,...       subset of oracles (default: all nine)
 //   --inject=NAME           deliberately broken certifier, to mutation-test
 //                           the battery: no-composition-check,
 //                           no-iteration-check, accept-all

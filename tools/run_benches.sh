@@ -9,6 +9,15 @@
 # the output loudly. Every merged JSON carries a `summary` object with
 # `library_build_type` and `num_cpus` so future comparisons are
 # apples-to-apples at a glance.
+#
+# The google-benchmark *library* build type matters too: a distro
+# libbenchmark built without NDEBUG runs its own bookkeeping with assertions
+# on, and every capture against it carries Google Benchmark's "Library was
+# built as DEBUG" warning. `comparable` is therefore true only when BOTH our
+# tree and the benchmark library are release builds. To get a release
+# library on a host whose package is debug, point BENCHMARK_SRC at a
+# google-benchmark source checkout — it is built once in Release under
+# $BUILD_DIR/_benchmark and used for the bench link.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +26,24 @@ BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT="${OUT:-$REPO_ROOT/BENCH_$(date +%Y-%m-%d).json}"
 FILTER="${2:-}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+CONFIGURE_ARGS=(-DCMAKE_BUILD_TYPE=Release)
+if [[ -n "${BENCHMARK_SRC:-}" ]]; then
+  if [[ ! -f "$BENCHMARK_SRC/CMakeLists.txt" ]]; then
+    echo "run_benches.sh: BENCHMARK_SRC='$BENCHMARK_SRC' has no CMakeLists.txt" >&2
+    exit 1
+  fi
+  BENCH_LIB_DIR="$REPO_ROOT/$BUILD_DIR/_benchmark"
+  echo "== building google-benchmark (Release) from $BENCHMARK_SRC" >&2
+  cmake -B "$BENCH_LIB_DIR/build" -S "$BENCHMARK_SRC" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DBENCHMARK_ENABLE_TESTING=OFF \
+    -DBENCHMARK_ENABLE_GTEST_TESTS=OFF \
+    -DCMAKE_INSTALL_PREFIX="$BENCH_LIB_DIR/install" > /dev/null
+  cmake --build "$BENCH_LIB_DIR/build" -j "$(nproc)" --target install > /dev/null
+  CONFIGURE_ARGS+=(-Dbenchmark_DIR="$(dirname "$(find "$BENCH_LIB_DIR/install" -name benchmarkConfig.cmake | head -1)")")
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CONFIGURE_ARGS[@]}" > /dev/null
 
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1)"
 if [[ "${BUILD_TYPE,,}" != "release" ]]; then
@@ -34,7 +60,7 @@ fi
 
 BENCHES=(bench_lattice bench_certification bench_batch bench_inference
          bench_interpreter bench_explorer bench_entailment bench_proof
-         bench_scaling)
+         bench_scaling bench_service)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${BENCHES[@]}"
 
 TMP_DIR="$(mktemp -d)"
@@ -63,23 +89,30 @@ for bench in benches:
         merged["benchmarks"].append(entry)
 
 context = merged["context"] or {}
-# CMAKE_BUILD_TYPE of our tree (from CMakeCache.txt, via the env) is the
-# type that matters; the benchmark context's own library_build_type
-# describes how the *google-benchmark library* was compiled (a debug
-# system package is common and harmless) and is kept as a side note.
+# Two build types gate comparability: CMAKE_BUILD_TYPE of our tree (from
+# CMakeCache.txt, via the env) and how the google-benchmark *library* was
+# compiled (self-reported in the run context; a debug distro package taints
+# every timing with assertion overhead and the "Library was built as DEBUG"
+# warning). A capture is comparable only when both are release.
 build_type = os.environ.get("BUILD_TYPE", "unknown").lower()
+library_build_type = context.get("library_build_type", "unknown").lower()
 merged["summary"] = {
     "date": datetime.date.today().isoformat(),
     "library_build_type": build_type,
-    "benchmark_library_build_type": context.get("library_build_type", "unknown"),
+    "benchmark_library_build_type": library_build_type,
     "num_cpus": context.get("num_cpus", 0),
     "cpu_mhz": context.get("mhz_per_cpu", 0),
-    "comparable": build_type == "release",
+    "comparable": build_type == "release" and library_build_type == "release",
 }
 if build_type != "release":
     merged["summary"]["not_comparable"] = (
         "library_build_type is not release; do not compare these numbers "
         "against release captures")
+elif library_build_type != "release":
+    merged["summary"]["not_comparable"] = (
+        "the google-benchmark library itself is a %s build; rerun with "
+        "BENCHMARK_SRC pointing at a benchmark source checkout for a "
+        "comparable capture" % library_build_type)
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=1)
 summary = merged["summary"]
