@@ -54,6 +54,34 @@ std::string SharedTailSource(int processes, int updates) {
   return "var " + vars + " : integer;\ncobegin " + body + "coend";
 }
 
+// Channel fan-in: P producers each send `items` tokens into one shared
+// bounded channel (capacity 2, so sends block on backpressure) and one
+// consumer drains every message into a running sum. `processes` counts both
+// sides — P = processes - 1 producers plus the consumer — the classic
+// producer/consumer workload at increasing parallelism, sitting between the
+// independent and Fig. 3 extremes: every operation touches the channel, but
+// sends from different producers commute.
+std::string ProducerConsumerSource(int processes, int items) {
+  int producers = processes - 1;
+  std::string body;
+  for (int p = 0; p < producers; ++p) {
+    body += p != 0 ? "|| " : "";
+    body += "begin send(data, 1)";
+    for (int k = 1; k < items; ++k) {
+      body += "; send(data, 1)";
+    }
+    body += " end\n";
+  }
+  body += "|| begin total := 0";
+  for (int k = 0; k < producers * items; ++k) {
+    body += "; receive(data, item); total := total + item";
+  }
+  body += " end\n";
+  return "var item, total : integer; data : channel of integer capacity(2);\n"
+         "cobegin " +
+         body + "coend";
+}
+
 // The paper's Figure 3: tightly synchronized (semaphore handshakes), the
 // adversarial end of the spectrum for POR.
 constexpr const char* kFig3 =
@@ -122,6 +150,18 @@ void BM_Explore_SharedTail_Por(benchmark::State& state) {
   RunExplore(state, program, /*por=*/true);
 }
 BENCHMARK(BM_Explore_SharedTail_Por)->Arg(3)->Arg(4);
+
+void BM_Explore_ProducerConsumer_Full(benchmark::State& state) {
+  Program program = Parse(ProducerConsumerSource(static_cast<int>(state.range(0)), 2));
+  RunExplore(state, program, /*por=*/false);
+}
+BENCHMARK(BM_Explore_ProducerConsumer_Full)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Explore_ProducerConsumer_Por(benchmark::State& state) {
+  Program program = Parse(ProducerConsumerSource(static_cast<int>(state.range(0)), 2));
+  RunExplore(state, program, /*por=*/true);
+}
+BENCHMARK(BM_Explore_ProducerConsumer_Por)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
 
 void BM_Explore_Fig3_Full(benchmark::State& state) {
   Program program = Parse(kFig3);

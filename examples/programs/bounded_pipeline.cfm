@@ -1,0 +1,29 @@
+-- A bounded producer/consumer pipeline. capacity(2) turns send into a
+-- conditional delay: when the buffer is full the producer blocks until the
+-- consumer drains, so a send on a bounded channel joins the channel's class
+-- into the flow state exactly as wait does (the backpressure covert
+-- channel) — everything sequenced after it must dominate the channel's
+-- class. With every participant at high the pipeline certifies.
+var
+  next, item, total : integer class high;
+  data : channel of integer capacity(2) class high;
+cobegin
+  begin
+    next := 1;
+    send(data, next);
+    next := next + 1;
+    send(data, next);
+    next := next + 1;
+    send(data, next)
+  end
+||
+  begin
+    total := 0;
+    receive(data, item);
+    total := total + item;
+    receive(data, item);
+    total := total + item;
+    receive(data, item);
+    total := total + item
+  end
+coend

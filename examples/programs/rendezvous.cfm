@@ -1,0 +1,18 @@
+-- Request/acknowledge rendezvous over typed channels: an unbounded integer
+-- query channel paired with a boolean acknowledge channel of capacity one.
+-- The secret query value forces the whole loop high: query carries h, the
+-- server's reply depends on the request, and the bounded ack send orders
+-- after the query receive in the static blocking-order graph (query -> ack);
+-- the client holds nothing while it waits, so the graph is acyclic and
+-- deadlock-order stays silent.
+var
+  h : integer class high;
+  req : integer class high;
+  reply : boolean class high;
+  query : channel of integer class high;
+  ack : channel of boolean capacity(1) class high;
+cobegin
+  begin send(query, h); receive(ack, reply) end
+||
+  begin receive(query, req); send(ack, req > 0) end
+coend

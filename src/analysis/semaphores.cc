@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/analysis/passes.h"
+#include "src/lang/sync_primitive.h"
 
 namespace cfm {
 
@@ -33,21 +34,15 @@ void ReportSemPairing(LintContext& ctx) {
   const SymbolTable& symbols = ctx.program.symbols();
   std::map<SymbolId, SymbolSites> sites;
   ForEachStmt(ctx.program.root(), [&](const Stmt& stmt) {
-    switch (stmt.kind()) {
-      case StmtKind::kWait:
-        sites[stmt.As<WaitStmt>().semaphore()].acquires.push_back(&stmt);
-        break;
-      case StmtKind::kSignal:
-        sites[stmt.As<SignalStmt>().semaphore()].releases.push_back(&stmt);
-        break;
-      case StmtKind::kReceive:
-        sites[stmt.As<ReceiveStmt>().channel()].acquires.push_back(&stmt);
-        break;
-      case StmtKind::kSend:
-        sites[stmt.As<SendStmt>().channel()].releases.push_back(&stmt);
-        break;
-      default:
-        break;
+    const SyncOpInfo* info = SyncOpOf(stmt.kind());
+    if (info == nullptr) {
+      return;
+    }
+    if (info->is_acquire) {
+      sites[SyncTarget(stmt)].acquires.push_back(&stmt);
+    }
+    if (info->is_release) {
+      sites[SyncTarget(stmt)].releases.push_back(&stmt);
     }
   });
 
@@ -102,13 +97,28 @@ struct OrderWalker {
 
   using HeldSet = std::vector<bool>;
 
-  void AddEdges(const HeldSet& held, SymbolId wanted, const Stmt& site) {
+  // Whether executing the operation can delay the thread (a wait or receive
+  // always can; a send only on a bounded channel).
+  bool MayBlock(const SyncOpInfo& info, SymbolId prim) const {
+    if (info.blocking == SyncBlocking::kWhenBounded) {
+      return ctx.program.symbols().at(prim).capacity > 0;
+    }
+    return info.blocking == SyncBlocking::kAlways;
+  }
+
+  void AddEdges(const HeldSet& held, SymbolId wanted, const Stmt& site,
+                bool reports_self_wait) {
     for (SymbolId s = 0; s < held.size(); ++s) {
       if (!held[s]) {
         continue;
       }
       if (s == wanted) {
-        self_waits.push_back(&site);
+        if (reports_self_wait) {
+          self_waits.push_back(&site);
+        }
+        // Channel self-edges are dropped, not reported: receive-after-receive
+        // on one channel is the ordinary drain pattern, a counting question
+        // (sem-pairing's census), not an ordering hazard.
         continue;
       }
       bool known = std::any_of(edges.begin(), edges.end(), [&](const BlockingEdge& e) {
@@ -120,19 +130,29 @@ struct OrderWalker {
     }
   }
 
-  // May-hold walk: `held` is mutated to the set of semaphores possibly held
-  // after `stmt` completes.
+  // May-hold walk: `held` is mutated to the set of primitives possibly held
+  // after `stmt` completes. The descriptor drives the blocking-order
+  // semantics: an op that may block while primitives are held orders after
+  // them; an acquire marks its primitive held; a release clears it.
   void Walk(const Stmt& stmt, HeldSet& held) {
     switch (stmt.kind()) {
-      case StmtKind::kWait: {
-        SymbolId sem = stmt.As<WaitStmt>().semaphore();
-        AddEdges(held, sem, stmt);
-        held[sem] = true;
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
+      case StmtKind::kReceive: {
+        const SyncOpInfo& info = *SyncOpOf(stmt.kind());
+        SymbolId prim = SyncTarget(stmt);
+        if (info.orders_after_held && MayBlock(info, prim)) {
+          AddEdges(held, prim, stmt, info.reports_self_wait);
+        }
+        if (info.sets_held) {
+          held[prim] = true;
+        }
+        if (info.clears_held) {
+          held[prim] = false;
+        }
         return;
       }
-      case StmtKind::kSignal:
-        held[stmt.As<SignalStmt>().semaphore()] = false;
-        return;
       case StmtKind::kIf: {
         const auto& branch = stmt.As<IfStmt>();
         HeldSet then_held = held;
@@ -183,8 +203,6 @@ struct OrderWalker {
         return;
       }
       case StmtKind::kAssign:
-      case StmtKind::kSend:
-      case StmtKind::kReceive:
       case StmtKind::kSkip:
         return;
     }
@@ -231,13 +249,13 @@ struct CycleFinder {
 };
 
 void ReportDeadlockOrder(LintContext& ctx) {
-  OrderWalker walker{ctx};
+  OrderWalker walker{ctx, {}, {}};
   OrderWalker::HeldSet held(ctx.program.symbols().size(), false);
   walker.Walk(ctx.program.root(), held);
 
   const SymbolTable& symbols = ctx.program.symbols();
   for (const Stmt* site : walker.self_waits) {
-    SymbolId sem = site->As<WaitStmt>().semaphore();
+    SymbolId sem = SyncTarget(*site);
     ctx.Report(LintPass::kDeadlockOrder, Severity::kWarning, site->range(),
                "wait on '" + symbols.at(sem).name +
                    "' while it may already be held: a schedule may self-deadlock");
@@ -251,10 +269,17 @@ void ReportDeadlockOrder(LintContext& ctx) {
   }
   for (const std::vector<SymbolId>& cycle : finder.cycles) {
     std::string names;
+    bool any_semaphore = false;
+    bool any_channel = false;
     for (SymbolId sem : cycle) {
       names += names.empty() ? "'" : ", '";
       names += symbols.at(sem).name + "'";
+      any_semaphore |= symbols.at(sem).kind == SymbolKind::kSemaphore;
+      any_channel |= symbols.at(sem).kind == SymbolKind::kChannel;
     }
+    std::string noun = any_semaphore && any_channel ? "semaphores and channels"
+                       : any_channel               ? "channels"
+                                                   : "semaphores";
     // Anchor the finding at the wait site of the cycle's first edge.
     const Stmt* anchor = nullptr;
     std::vector<Diagnostic> notes;
@@ -277,7 +302,7 @@ void ReportDeadlockOrder(LintContext& ctx) {
     }
     LintFinding& finding =
         ctx.Report(LintPass::kDeadlockOrder, Severity::kWarning, anchor->range(),
-                   "semaphores " + names +
+                   noun + " " + names +
                        " are acquired in conflicting orders: a schedule may deadlock");
     finding.notes = std::move(notes);
   }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/lang/printer.h"
+#include "src/lang/sync_primitive.h"
 
 namespace cfm {
 
@@ -38,72 +39,12 @@ class CfmPass {
       case StmtKind::kCobegin:
         facts = AnalyzeCobegin(stmt.As<CobeginStmt>());
         break;
-      case StmtKind::kWait: {
-        // mod(S) = flow(S) = sbind(sem); cert(S) = true. The wait produces a
-        // global flow because everything sequenced after it executes only if
-        // a signal arrives.
-        ClassId sem = binding_.ExtendedBinding(stmt.As<WaitStmt>().semaphore());
-        facts.mod = sem;
-        facts.flow = sem;
-        facts.cert = true;
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
+      case StmtKind::kReceive:
+        facts = AnalyzeSync(stmt, *SyncOpOf(stmt.kind()));
         break;
-      }
-      case StmtKind::kSignal: {
-        // mod(S) = sbind(sem); flow(S) = nil; cert(S) = true.
-        facts.mod = binding_.ExtendedBinding(stmt.As<SignalStmt>().semaphore());
-        facts.flow = ExtendedLattice::kNil;
-        facts.cert = true;
-        break;
-      }
-      case StmtKind::kSend: {
-        // Extension row, derived from signal + assignment: the message's
-        // content flows into the channel, send never blocks (asynchronous),
-        // so there is no global flow.
-        //   mod(S) = sbind(ch); flow(S) = nil; cert(S) = sbind(e) ≤ sbind(ch)
-        const auto& send = stmt.As<SendStmt>();
-        ClassId value_class = binding_.ExtendedExprBinding(send.value());
-        ClassId channel_class = binding_.ExtendedBinding(send.channel());
-        facts.mod = channel_class;
-        facts.flow = ExtendedLattice::kNil;
-        facts.cert = ext_.Leq(value_class, channel_class);
-        if (!facts.cert) {
-          Violation violation;
-          violation.kind = CheckKind::kAssignDirect;
-          violation.stmt = &stmt;
-          violation.flow_class = value_class;
-          violation.bound_class = channel_class;
-          violation.message = "the message sent on '" + symbols_.at(send.channel()).name +
-                              "' is more sensitive than the channel's binding";
-          result_.AddViolation(std::move(violation));
-        }
-        break;
-      }
-      case StmtKind::kReceive: {
-        // Extension row, derived from wait + assignment: receive blocks
-        // until a message arrives (a conditional delay, hence a global flow
-        // of the channel's class) and the message's content lands in x.
-        //   mod(S) = sbind(ch) ⊗ sbind(x); flow(S) = sbind(ch);
-        //   cert(S) = sbind(ch) ≤ sbind(x)
-        const auto& receive = stmt.As<ReceiveStmt>();
-        ClassId channel_class = binding_.ExtendedBinding(receive.channel());
-        ClassId target_class = binding_.ExtendedBinding(receive.target());
-        facts.mod = ext_.Meet(channel_class, target_class);
-        facts.flow = channel_class;
-        facts.cert = ext_.Leq(channel_class, target_class);
-        if (!facts.cert) {
-          Violation violation;
-          violation.kind = CheckKind::kAssignDirect;
-          violation.stmt = &stmt;
-          violation.flow_class = channel_class;
-          violation.bound_class = target_class;
-          violation.message = "the message received from '" +
-                              symbols_.at(receive.channel()).name +
-                              "' is more sensitive than '" +
-                              symbols_.at(receive.target()).name + "'s binding";
-          result_.AddViolation(std::move(violation));
-        }
-        break;
-      }
       case StmtKind::kSkip:
         // Modifies nothing: the empty greatest lower bound is Top.
         facts.mod = ext_.Top();
@@ -117,6 +58,60 @@ class CfmPass {
   }
 
  private:
+  // The paper's recipe for synchronization axioms, instantiated from the
+  // operation's descriptor row:
+  //
+  //   mod(S)  = sbind(prim)            (⊗ sbind(x) when data flows out to x)
+  //   flow(S) = sbind(prim) if the op is a conditional delay, else nil
+  //   cert(S) = sbind(e) ≤ sbind(prim) for data in  (send's message)
+  //             sbind(prim) ≤ sbind(x) for data out (receive's target)
+  //             true otherwise         (wait/signal move no content)
+  //
+  // wait:    mod = flow = sbind(sem), cert = true  (blocks: global flow)
+  // signal:  mod = sbind(sem), flow = nil, cert = true
+  // send:    mod = sbind(ch), flow = nil unless the channel is bounded
+  //          (a full bounded channel delays the sender), cert = e ≤ ch
+  // receive: mod = sbind(ch) ⊗ sbind(x), flow = sbind(ch), cert = ch ≤ x
+  StmtFacts AnalyzeSync(const Stmt& stmt, const SyncOpInfo& info) {
+    const Symbol& primitive = symbols_.at(SyncTarget(stmt));
+    ClassId prim_class = binding_.ExtendedBinding(primitive.id);
+    StmtFacts facts;
+    facts.mod = prim_class;
+    facts.flow = IsBlocking(info, primitive) ? prim_class : ExtendedLattice::kNil;
+    facts.cert = true;
+    if (info.carries_data_in) {
+      ClassId value_class = binding_.ExtendedExprBinding(*SyncValue(stmt));
+      facts.cert = ext_.Leq(value_class, prim_class);
+      if (!facts.cert) {
+        Violation violation;
+        violation.kind = CheckKind::kAssignDirect;
+        violation.stmt = &stmt;
+        violation.flow_class = value_class;
+        violation.bound_class = prim_class;
+        violation.message = "the message sent on '" + primitive.name +
+                            "' is more sensitive than the channel's binding";
+        result_.AddViolation(std::move(violation));
+      }
+    }
+    if (info.carries_data_out) {
+      ClassId target_class = binding_.ExtendedBinding(SyncDataTarget(stmt));
+      facts.mod = ext_.Meet(prim_class, target_class);
+      facts.cert = ext_.Leq(prim_class, target_class);
+      if (!facts.cert) {
+        Violation violation;
+        violation.kind = CheckKind::kAssignDirect;
+        violation.stmt = &stmt;
+        violation.flow_class = prim_class;
+        violation.bound_class = target_class;
+        violation.message = "the message received from '" + primitive.name +
+                            "' is more sensitive than '" +
+                            symbols_.at(SyncDataTarget(stmt)).name + "'s binding";
+        result_.AddViolation(std::move(violation));
+      }
+    }
+    return facts;
+  }
+
   StmtFacts AnalyzeAssign(const AssignStmt& stmt) {
     StmtFacts facts;
     ClassId expr_class = binding_.ExtendedExprBinding(stmt.value());

@@ -62,7 +62,8 @@ std::vector<FlowStep> ExplainViolation(const Program& program, const StaticBindi
   if (violation.stmt == nullptr) {
     return {};
   }
-  std::vector<FlowConstraint> constraints = ExtractConstraints(program.root());
+  std::vector<FlowConstraint> constraints =
+      ExtractConstraints(program.root(), &program.symbols());
   const Lattice& base = binding.base_lattice();
 
   // Candidate final targets: variables the violating statement modifies

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/core/certification.h"
+#include "src/lang/sync_primitive.h"
 #include "src/lattice/ops.h"
 
 namespace cfm {
@@ -36,7 +37,10 @@ SymbolSet VarsOf(const Expr& expr) {
 
 class ConstraintExtractor {
  public:
-  explicit ConstraintExtractor(std::vector<FlowConstraint>& out) : out_(out) {}
+  // `symbols` may be null: capacity lookups then treat every channel as
+  // unbounded (sends never block), which matches the legacy constraint set.
+  ConstraintExtractor(std::vector<FlowConstraint>& out, const SymbolTable* symbols)
+      : out_(out), symbols_(symbols) {}
 
   struct Sets {
     SymbolSet modified;      // Variables the statement may modify.
@@ -120,34 +124,30 @@ class ConstraintExtractor {
         }
         return sets;
       }
-      case StmtKind::kWait: {
-        Sets sets;
-        SymbolId sem = stmt.As<WaitStmt>().semaphore();
-        InsertSymbol(sets.modified, sem);
-        InsertSymbol(sets.flow_sources, sem);
-        return sets;
-      }
-      case StmtKind::kSignal: {
-        Sets sets;
-        InsertSymbol(sets.modified, stmt.As<SignalStmt>().semaphore());
-        return sets;
-      }
-      case StmtKind::kSend: {
-        const auto& send = stmt.As<SendStmt>();
-        for (SymbolId v : VarsOf(send.value())) {
-          Emit(v, send.channel(), stmt, CheckKind::kAssignDirect);
-        }
-        Sets sets;
-        InsertSymbol(sets.modified, send.channel());
-        return sets;
-      }
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
       case StmtKind::kReceive: {
-        const auto& receive = stmt.As<ReceiveStmt>();
-        Emit(receive.channel(), receive.target(), stmt, CheckKind::kAssignDirect);
+        // Descriptor-driven sync constraints: data in constrains the message
+        // below the primitive, data out constrains the primitive below the
+        // target, and a conditional delay makes the primitive a flow source.
+        const SyncOpInfo& info = *SyncOpOf(stmt.kind());
+        SymbolId prim = SyncTarget(stmt);
         Sets sets;
-        InsertSymbol(sets.modified, receive.channel());
-        InsertSymbol(sets.modified, receive.target());
-        InsertSymbol(sets.flow_sources, receive.channel());
+        InsertSymbol(sets.modified, prim);
+        if (info.carries_data_in) {
+          for (SymbolId v : VarsOf(*SyncValue(stmt))) {
+            Emit(v, prim, stmt, CheckKind::kAssignDirect);
+          }
+        }
+        if (info.carries_data_out) {
+          SymbolId target = SyncDataTarget(stmt);
+          Emit(prim, target, stmt, CheckKind::kAssignDirect);
+          InsertSymbol(sets.modified, target);
+        }
+        if (Blocks(stmt, info)) {
+          InsertSymbol(sets.flow_sources, prim);
+        }
         return sets;
       }
       case StmtKind::kSkip:
@@ -157,13 +157,24 @@ class ConstraintExtractor {
   }
 
  private:
-  // Whether the subtree contains a wait, while or receive (non-nil flow is
-  // purely structural; see DESIGN.md).
-  static bool ContainsGlobalFlow(const Stmt& stmt) {
+  bool Blocks(const Stmt& stmt, const SyncOpInfo& info) const {
+    if (info.blocking == SyncBlocking::kWhenBounded) {
+      return symbols_ != nullptr && symbols_->at(SyncTarget(stmt)).capacity > 0;
+    }
+    return info.blocking == SyncBlocking::kAlways;
+  }
+
+  // Whether the subtree contains a conditional delay — a while, or a sync
+  // operation that may block (non-nil flow is purely structural; see
+  // DESIGN.md).
+  bool ContainsGlobalFlow(const Stmt& stmt) const {
     bool found = false;
-    ForEachStmt(stmt, [&found](const Stmt& s) {
-      if (s.kind() == StmtKind::kWait || s.kind() == StmtKind::kWhile ||
-          s.kind() == StmtKind::kReceive) {
+    ForEachStmt(stmt, [this, &found](const Stmt& s) {
+      if (s.kind() == StmtKind::kWhile) {
+        found = true;
+        return;
+      }
+      if (const SyncOpInfo* info = SyncOpOf(s.kind()); info != nullptr && Blocks(s, *info)) {
         found = true;
       }
     });
@@ -178,13 +189,14 @@ class ConstraintExtractor {
   }
 
   std::vector<FlowConstraint>& out_;
+  const SymbolTable* symbols_;
 };
 
 }  // namespace
 
-std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt) {
+std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt, const SymbolTable* symbols) {
   std::vector<FlowConstraint> constraints;
-  ConstraintExtractor extractor(constraints);
+  ConstraintExtractor extractor(constraints, symbols);
   extractor.Visit(stmt);
   return constraints;
 }
@@ -192,7 +204,7 @@ std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt) {
 InferenceResult InferBinding(const Program& program, const Lattice& base,
                              const std::vector<std::pair<SymbolId, ClassId>>& pinned) {
   InferenceResult result{StaticBinding(base, program.symbols()), {}, {}};
-  result.constraints = ExtractConstraints(program.root());
+  result.constraints = ExtractConstraints(program.root(), &program.symbols());
   // Devirtualized view for the propagation loops below: the fixpoint touches
   // every constraint once per round, so lattice calls dominate.
   const LatticeOps ops(base);

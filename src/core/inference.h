@@ -47,8 +47,12 @@ struct InferenceResult {
   bool ok() const { return conflicts.empty(); }
 };
 
-// Extracts the complete constraint system of CFM checks for `stmt`.
-std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt);
+// Extracts the complete constraint system of CFM checks for `stmt`. Pass the
+// program's symbol table so channel capacities are visible (a bounded send
+// is a conditional delay); with nullptr every channel is treated as
+// unbounded.
+std::vector<FlowConstraint> ExtractConstraints(const Stmt& stmt,
+                                               const SymbolTable* symbols = nullptr);
 
 // Infers the least binding. `pinned` lists (symbol, base-class) pairs held
 // fixed; all other variables start at base.Bottom() and are raised as

@@ -141,6 +141,9 @@ FuzzReport RunFuzzCampaign(const FuzzConfig& config, const FuzzLogger& logger) {
       gen.target_stmts = config.min_stmts + static_cast<uint32_t>(rng.Below(span + 1));
       gen.allow_semaphores = rng.Chance(1, 2);
       gen.allow_channels = rng.Chance(1, 6);
+      if (gen.allow_channels && rng.Chance(1, 2)) {
+        gen.max_channel_capacity = 2;  // Bounded: send becomes a conditional delay.
+      }
       gen.max_processes = 2 + static_cast<uint32_t>(rng.Below(2));
       program = GenerateProgram(gen);
       static constexpr BindingStyle kStyles[] = {BindingStyle::kUniform, BindingStyle::kRandom,

@@ -24,6 +24,7 @@ struct MutationSites {
   std::vector<const Stmt*> rich_blocks;  // kBlock nodes with >= 2 statements.
   std::vector<const Stmt*> cobegins;   // kCobegin nodes with >= 2 arms.
   std::vector<const Stmt*> syncs;      // kWait / kSignal nodes.
+  std::vector<const Stmt*> channel_ops;  // kSend / kReceive nodes.
 };
 
 MutationSites Survey(const Stmt& root) {
@@ -46,11 +47,21 @@ MutationSites Survey(const Stmt& root) {
       case StmtKind::kSignal:
         sites.syncs.push_back(stmt);
         break;
+      case StmtKind::kSend:
+      case StmtKind::kReceive:
+        sites.channel_ops.push_back(stmt);
+        break;
       default:
         break;
     }
   }
   return sites;
+}
+
+// Variables (plain integers/booleans) matching a channel's element kind —
+// legal receive targets and send message sources for that channel.
+std::vector<SymbolId> VarsOfElemKind(const SymbolTable& symbols, SymbolKind elem_kind) {
+  return symbols.IdsOfKind(elem_kind);
 }
 
 // Rewrites `src` applying `hook`, copying the symbol table first.
@@ -212,6 +223,124 @@ bool ApplyBreakSync(const Program& src, const MutationSites& sites, Rng& rng, Pr
   return true;
 }
 
+// Pairing breakage for channels, the send/receive twin of ApplyBreakSync:
+// either flip the operation's direction (send -> receive of a type-matching
+// variable, receive -> send of the old target's value) or retarget it to
+// another channel carrying the same element kind. Both edits keep the
+// program well-typed, so the oracles see broken *pairing*, not parse errors.
+bool ApplyBreakChannel(const Program& src, const MutationSites& sites, Rng& rng, Program& out,
+                       std::string& description) {
+  if (sites.channel_ops.empty()) {
+    return false;
+  }
+  const Stmt* target = sites.channel_ops[rng.Below(sites.channel_ops.size())];
+  const bool is_send = target->kind() == StmtKind::kSend;
+  SymbolId current = is_send ? target->As<SendStmt>().channel()
+                             : target->As<ReceiveStmt>().channel();
+  SymbolKind elem_kind = src.symbols().at(current).elem_kind;
+  std::vector<SymbolId> other_channels;
+  for (SymbolId ch : src.symbols().IdsOfKind(SymbolKind::kChannel)) {
+    if (ch != current && src.symbols().at(ch).elem_kind == elem_kind) {
+      other_channels.push_back(ch);
+    }
+  }
+  std::vector<SymbolId> variables = VarsOfElemKind(src.symbols(), elem_kind);
+  bool flip = other_channels.empty() || rng.Chance(1, 2);
+  if (flip && is_send && variables.empty()) {
+    if (other_channels.empty()) {
+      return false;  // No legal receive target and nothing to retarget to.
+    }
+    flip = false;
+  }
+  if (flip) {
+    const bool is_boolean = elem_kind == SymbolKind::kBoolean;
+    SymbolId variable = is_send ? variables[rng.Below(variables.size())]
+                                : target->As<ReceiveStmt>().target();
+    out = RewriteProgram(src, [target, is_send, current, variable, is_boolean](
+                                  const Stmt& stmt, uint32_t,
+                                  Rewriter& rewriter) -> std::optional<const Stmt*> {
+      if (&stmt != target) {
+        return std::nullopt;
+      }
+      if (is_send) {
+        return rewriter.dst().MakeReceive(stmt.range(), current, variable);
+      }
+      const Expr* value = rewriter.dst().MakeVarRef(stmt.range(), variable, is_boolean);
+      return rewriter.dst().MakeSend(stmt.range(), current, value);
+    });
+  } else {
+    SymbolId channel = other_channels[rng.Below(other_channels.size())];
+    out = RewriteProgram(src, [target, is_send, channel](
+                                  const Stmt& stmt, uint32_t,
+                                  Rewriter& rewriter) -> std::optional<const Stmt*> {
+      if (&stmt != target) {
+        return std::nullopt;
+      }
+      if (is_send) {
+        const Expr* value = rewriter.CloneExpr(target->As<SendStmt>().value());
+        return rewriter.dst().MakeSend(stmt.range(), channel, value);
+      }
+      return rewriter.dst().MakeReceive(stmt.range(), channel,
+                                        target->As<ReceiveStmt>().target());
+    });
+  }
+  description =
+      std::string(flip ? "flip " : "retarget ") + std::string(ToString(target->kind()));
+  return true;
+}
+
+// Inserts a brand-new, deliberately unpaired send or receive on a random
+// channel into a random block slot — the channel-splice mutation. Unlike
+// kSpliceStmt this does not need an existing channel op to clone, so it can
+// introduce channel traffic (and pairing mismatches) into programs that had
+// none.
+bool ApplySpliceChannelOp(const Program& src, const MutationSites& sites, Rng& rng,
+                          Program& out, std::string& description) {
+  std::vector<SymbolId> channels = src.symbols().IdsOfKind(SymbolKind::kChannel);
+  if (channels.empty() || sites.blocks.empty()) {
+    return false;
+  }
+  SymbolId channel = channels[rng.Below(channels.size())];
+  SymbolKind elem_kind = src.symbols().at(channel).elem_kind;
+  std::vector<SymbolId> variables = VarsOfElemKind(src.symbols(), elem_kind);
+  bool make_receive = !variables.empty() && rng.Chance(1, 2);
+  SymbolId variable = make_receive ? variables[rng.Below(variables.size())] : kInvalidSymbol;
+  const Stmt* target = sites.blocks[rng.Below(sites.blocks.size())];
+  size_t slot = rng.Below(target->As<BlockStmt>().statements().size() + 1);
+  const bool is_boolean = elem_kind == SymbolKind::kBoolean;
+  out = RewriteProgram(src, [target, slot, channel, variable, make_receive, is_boolean](
+                                const Stmt& stmt, uint32_t,
+                                Rewriter& rewriter) -> std::optional<const Stmt*> {
+    if (&stmt != target) {
+      return std::nullopt;
+    }
+    const Stmt* inserted;
+    if (make_receive) {
+      inserted = rewriter.dst().MakeReceive(stmt.range(), channel, variable);
+    } else {
+      const Expr* value =
+          is_boolean
+              ? static_cast<const Expr*>(rewriter.dst().MakeBoolLiteral(stmt.range(), true))
+              : static_cast<const Expr*>(rewriter.dst().MakeIntLiteral(stmt.range(), 1));
+      inserted = rewriter.dst().MakeSend(stmt.range(), channel, value);
+    }
+    std::vector<const Stmt*> statements;
+    const auto& children = stmt.As<BlockStmt>().statements();
+    for (size_t i = 0; i <= children.size(); ++i) {
+      if (i == slot) {
+        statements.push_back(inserted);
+      }
+      if (i < children.size()) {
+        statements.push_back(rewriter.CloneStmt(*children[i]));
+      }
+    }
+    return rewriter.dst().MakeBlock(stmt.range(), std::move(statements));
+  });
+  description = std::string(make_receive ? "insert receive" : "insert send") + " on '" +
+                src.symbols().at(channel).name + "'";
+  return true;
+}
+
 }  // namespace
 
 std::string_view ToString(MutationKind kind) {
@@ -226,6 +355,10 @@ std::string_view ToString(MutationKind kind) {
       return "shuffle-cobegin";
     case MutationKind::kBreakSync:
       return "break-sync";
+    case MutationKind::kBreakChannel:
+      return "break-channel";
+    case MutationKind::kSpliceChannelOp:
+      return "splice-channel-op";
   }
   return "?";
 }
@@ -243,8 +376,10 @@ Program CloneProgram(const Program& src) {
 Program MutateProgram(const Program& src, Rng& rng, std::string* description) {
   MutationSites sites = Survey(src.root());
   static constexpr MutationKind kKinds[] = {
-      MutationKind::kDeleteStmt, MutationKind::kSpliceStmt, MutationKind::kSwapStmts,
-      MutationKind::kShuffleCobegin, MutationKind::kBreakSync};
+      MutationKind::kDeleteStmt,     MutationKind::kSpliceStmt,
+      MutationKind::kSwapStmts,      MutationKind::kShuffleCobegin,
+      MutationKind::kBreakSync,      MutationKind::kBreakChannel,
+      MutationKind::kSpliceChannelOp};
   size_t first = rng.Below(std::size(kKinds));
   for (size_t offset = 0; offset < std::size(kKinds); ++offset) {
     MutationKind kind = kKinds[(first + offset) % std::size(kKinds)];
@@ -266,6 +401,12 @@ Program MutateProgram(const Program& src, Rng& rng, std::string* description) {
         break;
       case MutationKind::kBreakSync:
         applied = ApplyBreakSync(src, sites, rng, out, what);
+        break;
+      case MutationKind::kBreakChannel:
+        applied = ApplyBreakChannel(src, sites, rng, out, what);
+        break;
+      case MutationKind::kSpliceChannelOp:
+        applied = ApplySpliceChannelOp(src, sites, rng, out, what);
         break;
     }
     if (applied) {

@@ -31,6 +31,8 @@ enum class MutationKind : uint8_t {
   kSwapStmts,       // Swap two statements within one block.
   kShuffleCobegin,  // Rotate/permute the arms of one cobegin.
   kBreakSync,       // Flip wait<->signal or retarget to another semaphore.
+  kBreakChannel,    // Flip send<->receive or retarget to another channel.
+  kSpliceChannelOp, // Insert a fresh unpaired send/receive on some channel.
 };
 
 std::string_view ToString(MutationKind kind);

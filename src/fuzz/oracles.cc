@@ -35,10 +35,6 @@ CertificationResult Certify(const FuzzCase& fuzz_case, const OracleOptions& opti
   return CertifyCfm(*fuzz_case.program, *fuzz_case.binding);
 }
 
-bool UsesKind(const SymbolTable& symbols, SymbolKind kind) {
-  return !symbols.IdsOfKind(kind).empty();
-}
-
 // --- cert-vs-proof (Theorem 2) ---------------------------------------------
 // The unconditional invariant-candidate construction must be accepted by the
 // independent checker exactly when the certifier certifies.
@@ -100,23 +96,24 @@ OracleResult CheckBuilderVsChecker(const FuzzCase& fuzz_case, const OracleOption
 
 // --- cert-sound-ni (soundness) ---------------------------------------------
 // certified ⇒ exhaustive possibilistic NI for every variable h against the
-// observer that reads exactly the variables v with bind(h) ≰ bind(v). Kept
-// to semaphore/channel-free programs, mirroring the proven setup in
-// tests/runtime/exhaustive_ni_test.cc (with synchronization, termination-
-// status observations need the pairing discipline the mutators break).
+// observer that reads exactly the variables v with bind(h) ≰ bind(v). The
+// observations are the observable projections of COMPLETED executions only:
+// whether a schedule blocks forever (deadlock) is progress information, the
+// same covert channel as pure divergence, which the paper's mechanism does
+// not claim to close. The restriction is what lets synchronization (waits,
+// sends, receives — including the pairing-broken shapes the mutators
+// produce) run under the same oracle as straight-line code: for sync-free
+// programs every terminal outcome is a completion, so this is the same check
+// as before.
 //
-// A secret value under which EVERY schedule diverges yields an empty
-// terminal-outcome set; that is the pure termination covert channel (no
-// variable is ever written below the secret), which the paper's mechanism
-// does not claim to close — such secrets are skipped, not verdicts. See
-// docs/TESTING.md.
+// A secret value under which NO schedule completes yields an empty
+// observation set; that is the pure termination/progress covert channel (no
+// variable is ever written below the secret), so such secrets are skipped,
+// not verdicts. See docs/TESTING.md.
 OracleResult CheckCertSoundNi(const FuzzCase& fuzz_case, const OracleOptions& options) {
   const Program& program = *fuzz_case.program;
   const StaticBinding& binding = *fuzz_case.binding;
   const SymbolTable& symbols = program.symbols();
-  if (UsesKind(symbols, SymbolKind::kSemaphore) || UsesKind(symbols, SymbolKind::kChannel)) {
-    return Skip("program uses synchronization; NI soundness oracle is value-only");
-  }
   if (CountStmts(program.root()) > options.max_stmts_for_dynamic) {
     return Skip("program too large for exhaustive exploration");
   }
@@ -140,9 +137,9 @@ OracleResult CheckCertSoundNi(const FuzzCase& fuzz_case, const OracleOptions& op
     if (observable.empty()) {
       continue;  // Everything may legally depend on this variable.
     }
-    // One observation = (termination status, observable projection); compare
-    // the full sets across secret values.
-    using Observation = std::pair<int, std::vector<int64_t>>;
+    // One observation = the observable projection of one completed
+    // execution; compare the full sets across secret values.
+    using Observation = std::vector<int64_t>;
     std::vector<std::set<Observation>> per_secret;
     bool truncated = false;
     bool diverged = false;
@@ -157,18 +154,21 @@ OracleResult CheckCertSoundNi(const FuzzCase& fuzz_case, const OracleOptions& op
         truncated = true;
         break;
       }
-      if (explored.outcomes.empty()) {
-        diverged = true;  // Every schedule cycles: the termination channel.
-        break;
-      }
       std::set<Observation> observations;
       for (const auto& [outcome, count] : explored.outcomes) {
-        std::vector<int64_t> projection;
+        if (outcome.status != RunStatus::kCompleted) {
+          continue;  // Blocked-forever outcomes are the progress channel.
+        }
+        Observation projection;
         projection.reserve(observable.size());
         for (SymbolId symbol : observable) {
           projection.push_back(outcome.values[symbol]);
         }
-        observations.emplace(static_cast<int>(outcome.status), std::move(projection));
+        observations.insert(std::move(projection));
+      }
+      if (observations.empty()) {
+        diverged = true;  // No schedule completes: the termination channel.
+        break;
       }
       per_secret.push_back(std::move(observations));
     }

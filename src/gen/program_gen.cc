@@ -58,6 +58,12 @@ class Generator {
       for (uint32_t i = 0; i < options_.channels; ++i) {
         SymbolId id =
             *program.symbols().Declare("c" + std::to_string(i), SymbolKind::kChannel, {});
+        // Capacity draws happen only when bounded channels are requested, so
+        // the default (0) adds no rng draws and the stream version holds.
+        if (options_.max_channel_capacity > 0) {
+          program.symbols().at(id).capacity =
+              rng_.Between(1, static_cast<int64_t>(options_.max_channel_capacity));
+        }
         channels_.push_back(id);
       }
     }

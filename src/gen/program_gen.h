@@ -40,6 +40,12 @@ struct GenOptions {
   // stay stable, enabled by the channel-specific suites.
   bool allow_channels = false;
   uint32_t channels = 2;
+  // When positive, each generated channel draws a capacity in
+  // [1, max_channel_capacity] (bounded channels: sends may block). 0 keeps
+  // every channel unbounded AND adds no rng draws, so legacy (version, seed,
+  // options) corpora are untouched — the stream-version exemption for
+  // additive default-off options.
+  uint32_t max_channel_capacity = 0;
   // When true, every while loop runs on a fresh bounded counter (the body
   // never touches it), so all loops terminate and the program is suitable
   // for interpretation; when false, loop conditions are arbitrary boolean

@@ -15,6 +15,22 @@ const Expr* ErrorExpr(Program& program, SourceRange range) {
 }
 const Stmt* ErrorStmt(Program& program, SourceRange range) { return program.MakeSkip(range); }
 
+// "wait/signal" for semaphores, "send/receive" for channels: the registered
+// operations on a primitive kind, in descriptor-table order.
+std::string SyncOpNamesFor(SymbolKind kind) {
+  std::string names;
+  for (int i = 0; i < kSyncOpCount; ++i) {
+    const SyncOpInfo& info = SyncOpInfoFor(static_cast<SyncOp>(i));
+    if (info.primitive == kind) {
+      if (!names.empty()) {
+        names += "/";
+      }
+      names += info.name;
+    }
+  }
+  return names;
+}
+
 }  // namespace
 
 std::optional<Program> ParseProgram(const SourceManager& sm, DiagnosticEngine& diags) {
@@ -40,6 +56,7 @@ const Token& Parser::Peek(size_t ahead) {
 Token Parser::Advance() {
   Token token = Peek();
   lookahead_.pop_front();
+  last_end_ = token.range.end;
   return token;
 }
 
@@ -143,6 +160,35 @@ void Parser::ParseDeclarationGroup(Program& program) {
     return;
   }
 
+  // Channel options: 'of integer|boolean' element type, 'capacity(n)' bound.
+  SymbolKind elem_kind = SymbolKind::kInteger;
+  int64_t capacity = 0;
+  if (Match(TokenKind::kKwOf)) {
+    if (kind != SymbolKind::kChannel) {
+      diags_.Error(Peek().range, "'of' applies only to channels");
+    }
+    if (Match(TokenKind::kKwInteger)) {
+      elem_kind = SymbolKind::kInteger;
+    } else if (Match(TokenKind::kKwBoolean)) {
+      elem_kind = SymbolKind::kBoolean;
+    } else {
+      diags_.Error(Peek().range, "expected 'integer' or 'boolean' after 'of'");
+    }
+  }
+  if (Match(TokenKind::kKwCapacity)) {
+    if (kind != SymbolKind::kChannel) {
+      diags_.Error(Peek().range, "'capacity' applies only to channels");
+    }
+    Expect(TokenKind::kLParen, "after 'capacity'");
+    if (auto value = Expect(TokenKind::kIntLiteral, "as the channel capacity")) {
+      capacity = value->int_value;
+      if (capacity <= 0) {
+        diags_.Error(value->range, "channel capacity must be positive");
+      }
+    }
+    Expect(TokenKind::kRParen, "to close 'capacity'");
+  }
+
   int64_t initial_value = 0;
   if (Match(TokenKind::kKwInitially)) {
     if (kind != SymbolKind::kSemaphore) {
@@ -176,6 +222,8 @@ void Parser::ParseDeclarationGroup(Program& program) {
     }
     Symbol& symbol = program.symbols().at(*id);
     symbol.initial_value = initial_value;
+    symbol.elem_kind = elem_kind;
+    symbol.capacity = capacity;
     symbol.class_annotation = class_annotation;
   }
 }
@@ -193,13 +241,13 @@ const Stmt* Parser::ParseStatement(Program& program) {
     case TokenKind::kKwCobegin:
       return ParseCobegin(program);
     case TokenKind::kKwWait:
-      return ParseWaitOrSignal(program, /*is_wait=*/true);
+      return ParseSyncStmt(program, SyncOp::kWait);
     case TokenKind::kKwSignal:
-      return ParseWaitOrSignal(program, /*is_wait=*/false);
+      return ParseSyncStmt(program, SyncOp::kSignal);
     case TokenKind::kKwSend:
-      return ParseSend(program);
+      return ParseSyncStmt(program, SyncOp::kSend);
     case TokenKind::kKwReceive:
-      return ParseReceive(program);
+      return ParseSyncStmt(program, SyncOp::kReceive);
     case TokenKind::kKwSkip: {
       Token token = Advance();
       return program.MakeSkip(token.range);
@@ -218,16 +266,17 @@ const Stmt* Parser::ParseAssign(Program& program) {
   auto symbol = program.symbols().Lookup(name.text);
   if (!symbol) {
     diags_.Error(name.range, "undeclared variable '" + std::string(name.text) + "'");
-  } else if (program.symbols().at(*symbol).kind == SymbolKind::kSemaphore) {
-    diags_.Error(name.range,
-                 "semaphores may only be accessed through wait/signal, not assignment");
-  } else if (program.symbols().at(*symbol).kind == SymbolKind::kChannel) {
-    diags_.Error(name.range,
-                 "channels may only be accessed through send/receive, not assignment");
+  } else if (IsSyncPrimitiveKind(program.symbols().at(*symbol).kind)) {
+    SymbolKind kind = program.symbols().at(*symbol).kind;
+    diags_.Error(name.range, std::string(ToString(kind)) +
+                                 "s may only be accessed through " + SyncOpNamesFor(kind) +
+                                 ", not assignment");
   }
   Expect(TokenKind::kAssign, "in assignment");
   const Expr* value = ParseExpr(program);
-  SourceRange range{name.range.begin, value->range().end};
+  // End at the last consumed token, not the expression node: a parenthesized
+  // expression's node range excludes the surrounding '(' ')' bytes.
+  SourceRange range{name.range.begin, last_end_};
   if (symbol) {
     const Symbol& target = program.symbols().at(*symbol);
     if (target.kind == SymbolKind::kInteger) {
@@ -295,83 +344,76 @@ const Stmt* Parser::ParseCobegin(Program& program) {
   return program.MakeCobegin(range, std::move(processes));
 }
 
-const Stmt* Parser::ParseWaitOrSignal(Program& program, bool is_wait) {
+// wait(sem) / signal(sem) / send(ch, e) / receive(ch, x): one routine for
+// every registered synchronization operation. The descriptor decides whether
+// the op carries a message expression in (send) or a target variable out
+// (receive); the primitive operand is checked against the descriptor's
+// symbol kind and, for channels, payloads are checked against the channel's
+// declared element type.
+const Stmt* Parser::ParseSyncStmt(Program& program, SyncOp op) {
+  const SyncOpInfo& info = SyncOpInfoFor(op);
+  const std::string kind_name(ToString(info.primitive));
   Token kw = Advance();
-  Expect(TokenKind::kLParen, is_wait ? "after 'wait'" : "after 'signal'");
-  SymbolId semaphore = kInvalidSymbol;
-  if (auto name = Expect(TokenKind::kIdentifier, "naming a semaphore")) {
+  Expect(TokenKind::kLParen, "after '" + std::string(info.name) + "'");
+  SymbolId primitive = kInvalidSymbol;
+  if (auto name = Expect(TokenKind::kIdentifier, "naming a " + kind_name)) {
     auto symbol = program.symbols().Lookup(name->text);
     if (!symbol) {
-      diags_.Error(name->range, "undeclared semaphore '" + std::string(name->text) + "'");
-    } else if (program.symbols().at(*symbol).kind != SymbolKind::kSemaphore) {
-      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a semaphore");
-    } else {
-      semaphore = *symbol;
-    }
-  }
-  auto rparen = Expect(TokenKind::kRParen, "to close the semaphore operation");
-  SourceRange range{kw.range.begin, rparen ? rparen->range.end : kw.range.end};
-  if (is_wait) {
-    return program.MakeWait(range, semaphore);
-  }
-  return program.MakeSignal(range, semaphore);
-}
-
-// send(ch, e): asynchronous append of e's value to the channel's queue.
-const Stmt* Parser::ParseSend(Program& program) {
-  Token kw = Advance();
-  Expect(TokenKind::kLParen, "after 'send'");
-  SymbolId channel = kInvalidSymbol;
-  if (auto name = Expect(TokenKind::kIdentifier, "naming a channel")) {
-    auto symbol = program.symbols().Lookup(name->text);
-    if (!symbol) {
-      diags_.Error(name->range, "undeclared channel '" + std::string(name->text) + "'");
-    } else if (program.symbols().at(*symbol).kind != SymbolKind::kChannel) {
-      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a channel");
-    } else {
-      channel = *symbol;
-    }
-  }
-  Expect(TokenKind::kComma, "between the channel and the message");
-  const Expr* value = ParseExpr(program);
-  RequireInteger(value, "as the message (channels carry integers)");
-  auto rparen = Expect(TokenKind::kRParen, "to close 'send'");
-  SourceRange range{kw.range.begin, rparen ? rparen->range.end : value->range().end};
-  return program.MakeSend(range, channel, value);
-}
-
-// receive(ch, x): blocks until the channel is non-empty, then dequeues the
-// oldest message into x.
-const Stmt* Parser::ParseReceive(Program& program) {
-  Token kw = Advance();
-  Expect(TokenKind::kLParen, "after 'receive'");
-  SymbolId channel = kInvalidSymbol;
-  if (auto name = Expect(TokenKind::kIdentifier, "naming a channel")) {
-    auto symbol = program.symbols().Lookup(name->text);
-    if (!symbol) {
-      diags_.Error(name->range, "undeclared channel '" + std::string(name->text) + "'");
-    } else if (program.symbols().at(*symbol).kind != SymbolKind::kChannel) {
-      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a channel");
-    } else {
-      channel = *symbol;
-    }
-  }
-  Expect(TokenKind::kComma, "between the channel and the target variable");
-  SymbolId target = kInvalidSymbol;
-  if (auto name = Expect(TokenKind::kIdentifier, "naming the receiving variable")) {
-    auto symbol = program.symbols().Lookup(name->text);
-    if (!symbol) {
-      diags_.Error(name->range, "undeclared variable '" + std::string(name->text) + "'");
-    } else if (program.symbols().at(*symbol).kind != SymbolKind::kInteger) {
       diags_.Error(name->range,
-                   "receive target must be an integer variable (channels carry integers)");
+                   "undeclared " + kind_name + " '" + std::string(name->text) + "'");
+    } else if (program.symbols().at(*symbol).kind != info.primitive) {
+      diags_.Error(name->range, "'" + std::string(name->text) + "' is not a " + kind_name);
     } else {
-      target = *symbol;
+      primitive = *symbol;
     }
   }
-  auto rparen = Expect(TokenKind::kRParen, "to close 'receive'");
-  SourceRange range{kw.range.begin, rparen ? rparen->range.end : kw.range.end};
-  return program.MakeReceive(range, channel, target);
+  // The channel's element type governs payload typing; an unresolved
+  // primitive defaults to integer so recovery still type-checks something.
+  SymbolKind elem_kind = primitive != kInvalidSymbol
+                             ? program.symbols().at(primitive).elem_kind
+                             : SymbolKind::kInteger;
+  const Expr* value = nullptr;
+  if (info.carries_data_in) {
+    Expect(TokenKind::kComma, "between the channel and the message");
+    value = ParseExpr(program);
+    if (elem_kind == SymbolKind::kBoolean) {
+      RequireBoolean(value, "as the message (this channel carries booleans)");
+    } else {
+      RequireInteger(value, "as the message (channels carry integers)");
+    }
+  }
+  SymbolId data_target = kInvalidSymbol;
+  if (info.carries_data_out) {
+    Expect(TokenKind::kComma, "between the channel and the target variable");
+    if (auto name = Expect(TokenKind::kIdentifier, "naming the receiving variable")) {
+      auto symbol = program.symbols().Lookup(name->text);
+      if (!symbol) {
+        diags_.Error(name->range, "undeclared variable '" + std::string(name->text) + "'");
+      } else if (program.symbols().at(*symbol).kind != elem_kind) {
+        diags_.Error(name->range,
+                     elem_kind == SymbolKind::kBoolean
+                         ? "receive target must be a boolean variable (this channel "
+                           "carries booleans)"
+                         : "receive target must be an integer variable (channels carry "
+                           "integers)");
+      } else {
+        data_target = *symbol;
+      }
+    }
+  }
+  auto rparen = Expect(TokenKind::kRParen, "to close the " + kind_name + " operation");
+  SourceRange range{kw.range.begin, rparen ? rparen->range.end : last_end_};
+  switch (op) {
+    case SyncOp::kWait:
+      return program.MakeWait(range, primitive);
+    case SyncOp::kSignal:
+      return program.MakeSignal(range, primitive);
+    case SyncOp::kSend:
+      return program.MakeSend(range, primitive, value);
+    case SyncOp::kReceive:
+      return program.MakeReceive(range, primitive, data_target);
+  }
+  return ErrorStmt(program, range);
 }
 
 const Expr* Parser::ParseExpr(Program& program) { return ParseOr(program); }
@@ -519,14 +561,9 @@ const Expr* Parser::ParsePrimary(Program& program) {
         return ErrorExpr(program, token.range);
       }
       const Symbol& sym = program.symbols().at(*symbol);
-      if (sym.kind == SymbolKind::kSemaphore) {
-        diags_.Error(token.range,
-                     "semaphore '" + sym.name + "' may not be read in an expression");
-        return ErrorExpr(program, token.range);
-      }
-      if (sym.kind == SymbolKind::kChannel) {
-        diags_.Error(token.range,
-                     "channel '" + sym.name + "' may not be read in an expression");
+      if (IsSyncPrimitiveKind(sym.kind)) {
+        diags_.Error(token.range, std::string(ToString(sym.kind)) + " '" + sym.name +
+                                      "' may not be read in an expression");
         return ErrorExpr(program, token.range);
       }
       return program.MakeVarRef(token.range, *symbol, sym.kind == SymbolKind::kBoolean);

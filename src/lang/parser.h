@@ -11,6 +11,7 @@
 
 #include "src/lang/ast.h"
 #include "src/lang/lexer.h"
+#include "src/lang/sync_primitive.h"
 #include "src/support/diagnostic.h"
 #include "src/support/source_manager.h"
 
@@ -53,9 +54,9 @@ class Parser {
   const Stmt* ParseWhile(Program& program);
   const Stmt* ParseBlock(Program& program);
   const Stmt* ParseCobegin(Program& program);
-  const Stmt* ParseWaitOrSignal(Program& program, bool is_wait);
-  const Stmt* ParseSend(Program& program);
-  const Stmt* ParseReceive(Program& program);
+  // One parse routine for every registered synchronization operation
+  // (wait/signal/send/receive), driven by its SyncOpInfo descriptor.
+  const Stmt* ParseSyncStmt(Program& program, SyncOp op);
 
   // --- Expressions ---------------------------------------------------------
   const Expr* ParseExpr(Program& program);
@@ -81,6 +82,9 @@ class Parser {
   DiagnosticEngine& diags_;
   Lexer lexer_;
   std::deque<Token> lookahead_;
+  // End of the most recently consumed token; statement ranges end here so
+  // they cover trailing ')' bytes that expression node ranges omit.
+  SourceLocation last_end_;
 };
 
 }  // namespace cfm

@@ -224,6 +224,16 @@ void PrintDeclarations(const SymbolTable& symbols, std::ostream& os) {
     if (symbol.kind == SymbolKind::kSemaphore) {
       os << " initially(" << symbol.initial_value << ")";
     }
+    if (symbol.kind == SymbolKind::kChannel) {
+      // Defaults ('of integer', unbounded) stay implicit so legacy channel
+      // declarations round-trip byte-identically.
+      if (symbol.elem_kind == SymbolKind::kBoolean) {
+        os << " of boolean";
+      }
+      if (symbol.capacity > 0) {
+        os << " capacity(" << symbol.capacity << ")";
+      }
+    }
     if (!symbol.class_annotation.empty()) {
       os << " class " << symbol.class_annotation;
     }

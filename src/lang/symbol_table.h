@@ -34,6 +34,12 @@ struct Symbol {
   SourceRange decl_range;
   // Initial semaphore count from "initially(n)"; semaphores default to 0.
   int64_t initial_value = 0;
+  // Element type of a channel ("channel of boolean"); integer by default.
+  // Meaningless for non-channel symbols.
+  SymbolKind elem_kind = SymbolKind::kInteger;
+  // Channel capacity from "capacity(n)"; 0 means unbounded (asynchronous
+  // send). A bounded channel's send is a conditional delay when full.
+  int64_t capacity = 0;
   // Raw spelling of the "class <name>" annotation, resolved against a
   // lattice when a StaticBinding is built. Empty when unannotated.
   std::string class_annotation;

@@ -1,0 +1,102 @@
+#include "src/lang/sync_primitive.h"
+
+namespace cfm {
+
+namespace {
+
+constexpr SyncOpInfo kSyncOps[kSyncOpCount] = {
+    // wait(sem): conditional delay, P-operation of the paper.
+    {SyncOp::kWait, StmtKind::kWait, SymbolKind::kSemaphore, "wait",
+     SyncBlocking::kAlways,
+     /*carries_data_in=*/false, /*carries_data_out=*/false,
+     /*is_acquire=*/true, /*is_release=*/false,
+     /*orders_after_held=*/true, /*sets_held=*/true, /*clears_held=*/false,
+     /*reports_self_wait=*/true},
+    // signal(sem): V-operation, never blocks.
+    {SyncOp::kSignal, StmtKind::kSignal, SymbolKind::kSemaphore, "signal",
+     SyncBlocking::kNever,
+     /*carries_data_in=*/false, /*carries_data_out=*/false,
+     /*is_acquire=*/false, /*is_release=*/true,
+     /*orders_after_held=*/false, /*sets_held=*/false, /*clears_held=*/true,
+     /*reports_self_wait=*/false},
+    // send(ch, e): message content flows into the channel; blocks only on a
+    // bounded channel when it is full.
+    {SyncOp::kSend, StmtKind::kSend, SymbolKind::kChannel, "send",
+     SyncBlocking::kWhenBounded,
+     /*carries_data_in=*/true, /*carries_data_out=*/false,
+     /*is_acquire=*/false, /*is_release=*/true,
+     /*orders_after_held=*/true, /*sets_held=*/false, /*clears_held=*/false,
+     /*reports_self_wait=*/false},
+    // receive(ch, x): blocks on an empty channel; channel content flows
+    // into x. A later send in the same process depends on this receive
+    // completing, so it "holds" the channel for the order walk — but
+    // re-receiving is ordinary consumption, not a self-deadlock.
+    {SyncOp::kReceive, StmtKind::kReceive, SymbolKind::kChannel, "receive",
+     SyncBlocking::kAlways,
+     /*carries_data_in=*/false, /*carries_data_out=*/true,
+     /*is_acquire=*/true, /*is_release=*/false,
+     /*orders_after_held=*/true, /*sets_held=*/true, /*clears_held=*/false,
+     /*reports_self_wait=*/false},
+};
+
+}  // namespace
+
+const SyncOpInfo& SyncOpInfoFor(SyncOp op) {
+  return kSyncOps[static_cast<size_t>(op)];
+}
+
+const SyncOpInfo* SyncOpOf(StmtKind kind) {
+  for (const SyncOpInfo& info : kSyncOps) {
+    if (info.stmt_kind == kind) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+bool IsSyncPrimitiveKind(SymbolKind kind) {
+  for (const SyncOpInfo& info : kSyncOps) {
+    if (info.primitive == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SymbolId SyncTarget(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case StmtKind::kWait:
+      return stmt.As<WaitStmt>().semaphore();
+    case StmtKind::kSignal:
+      return stmt.As<SignalStmt>().semaphore();
+    case StmtKind::kSend:
+      return stmt.As<SendStmt>().channel();
+    case StmtKind::kReceive:
+      return stmt.As<ReceiveStmt>().channel();
+    default:
+      return kInvalidSymbol;
+  }
+}
+
+const Expr* SyncValue(const Stmt& stmt) {
+  return stmt.kind() == StmtKind::kSend ? &stmt.As<SendStmt>().value() : nullptr;
+}
+
+SymbolId SyncDataTarget(const Stmt& stmt) {
+  return stmt.kind() == StmtKind::kReceive ? stmt.As<ReceiveStmt>().target()
+                                           : kInvalidSymbol;
+}
+
+bool IsBlocking(const SyncOpInfo& info, const Symbol& primitive) {
+  switch (info.blocking) {
+    case SyncBlocking::kNever:
+      return false;
+    case SyncBlocking::kAlways:
+      return true;
+    case SyncBlocking::kWhenBounded:
+      return primitive.capacity > 0;
+  }
+  return false;
+}
+
+}  // namespace cfm

@@ -1,0 +1,108 @@
+// The synchronization-primitive descriptor layer.
+//
+// The paper derives the wait/signal flow axioms from one recipe: each
+// operation's mod/use footprint on the primitive, whether it is a
+// conditional delay (and hence produces a global flow), and how message
+// content moves between the primitive and ordinary variables. This header
+// captures that recipe as data — one `SyncOpInfo` row per operation — so
+// the parser, certifier, proof builder/checker, binding inference, runtime
+// footprints, explorer independence relation, and lint passes can all
+// consume the table instead of switching on semaphore-specific statement
+// kinds. Adding a primitive (channels today; barriers or session protocols
+// later) means adding rows here plus the per-layer dynamics, not another
+// cross-layer surgery.
+
+#ifndef SRC_LANG_SYNC_PRIMITIVE_H_
+#define SRC_LANG_SYNC_PRIMITIVE_H_
+
+#include <string_view>
+
+#include "src/lang/ast.h"
+#include "src/lang/symbol_table.h"
+
+namespace cfm {
+
+// The registered synchronization operations, in declaration order. Values
+// index the descriptor table.
+enum class SyncOp : uint8_t {
+  kWait,
+  kSignal,
+  kSend,
+  kReceive,
+};
+
+inline constexpr int kSyncOpCount = 4;
+
+// Whether an operation is a conditional delay (the paper's source of
+// global flows: progress past the operation reveals another process acted).
+enum class SyncBlocking : uint8_t {
+  kNever,        // always completes immediately (signal, unbounded send)
+  kAlways,       // may block unconditionally (wait, receive)
+  kWhenBounded,  // blocks only when the primitive has finite capacity (send)
+};
+
+struct SyncOpInfo {
+  SyncOp op;
+  // The statement kind carrying this operation and the symbol kind of its
+  // primitive operand.
+  StmtKind stmt_kind;
+  SymbolKind primitive;
+  // Surface keyword, used in diagnostics and lint messages.
+  std::string_view name;
+
+  // --- Flow-axiom schema (Definition: mod/flow/cert rows) -----------------
+  // Conditional-delay behaviour; resolve per-symbol with IsBlocking().
+  SyncBlocking blocking;
+  // An expression's content flows into the primitive (send's message).
+  bool carries_data_in;
+  // The primitive's content flows into a program variable (receive's
+  // target). Such an op also modifies that variable: mod gains its class.
+  bool carries_data_out;
+
+  // --- Pairing/ordering semantics (lint layer) ----------------------------
+  // Consumes a resource from / produces a resource into the primitive;
+  // unmatched acquire/release pairs are lint findings.
+  bool is_acquire;
+  bool is_release;
+  // Contributes wait-for edges from currently-held primitives to this
+  // operation's target in the deadlock-order walk.
+  bool orders_after_held;
+  // After the op the primitive counts as held (wait's critical section,
+  // receive's data dependency); clears_held removes it (signal).
+  bool sets_held;
+  bool clears_held;
+  // Re-acquiring while already held may self-deadlock (semaphore wait).
+  // False for receive: consuming two messages from one channel is normal.
+  bool reports_self_wait;
+};
+
+// Descriptor row for `op`.
+const SyncOpInfo& SyncOpInfoFor(SyncOp op);
+
+// Descriptor row for a statement kind, or nullptr when `kind` is not a
+// synchronization operation.
+const SyncOpInfo* SyncOpOf(StmtKind kind);
+
+// Descriptor row for a symbol kind's acquire/release side, or nullptr when
+// `kind` is not a synchronization primitive.
+bool IsSyncPrimitiveKind(SymbolKind kind);
+
+// --- Uniform operand accessors (valid only for sync statements) -----------
+
+// The primitive operand (the semaphore or channel).
+SymbolId SyncTarget(const Stmt& stmt);
+
+// The data-in expression (send's message), or nullptr.
+const Expr* SyncValue(const Stmt& stmt);
+
+// The data-out variable (receive's target), or kInvalidSymbol.
+SymbolId SyncDataTarget(const Stmt& stmt);
+
+// Resolves kWhenBounded against the concrete primitive: a send on a
+// channel declared with capacity(n) is a conditional delay; on an
+// unbounded channel it is not.
+bool IsBlocking(const SyncOpInfo& info, const Symbol& primitive);
+
+}  // namespace cfm
+
+#endif  // SRC_LANG_SYNC_PRIMITIVE_H_

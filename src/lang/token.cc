@@ -50,6 +50,10 @@ std::string_view ToString(TokenKind kind) {
       return "'signal'";
     case TokenKind::kKwChannel:
       return "'channel'";
+    case TokenKind::kKwOf:
+      return "'of'";
+    case TokenKind::kKwCapacity:
+      return "'capacity'";
     case TokenKind::kKwSend:
       return "'send'";
     case TokenKind::kKwReceive:
@@ -126,8 +130,12 @@ TokenKind ClassifyWord(std::string_view text) {
       {"wait", TokenKind::kKwWait},
       {"signal", TokenKind::kKwSignal},
       {"channel", TokenKind::kKwChannel},
+      {"chan", TokenKind::kKwChannel},  // Shorthand alias.
+      {"of", TokenKind::kKwOf},
+      {"capacity", TokenKind::kKwCapacity},
       {"send", TokenKind::kKwSend},
       {"receive", TokenKind::kKwReceive},
+      {"recv", TokenKind::kKwReceive},  // Shorthand alias.
       {"skip", TokenKind::kKwSkip},
       {"true", TokenKind::kKwTrue},
       {"false", TokenKind::kKwFalse},

@@ -40,6 +40,8 @@ enum class TokenKind : uint8_t {
   kKwWait,
   kKwSignal,
   kKwChannel,
+  kKwOf,
+  kKwCapacity,
   kKwSend,
   kKwReceive,
   kKwSkip,

@@ -4,10 +4,26 @@
 #include <utility>
 
 #include "src/core/cfm.h"
+#include "src/lang/sync_primitive.h"
 
 namespace cfm {
 
 namespace {
+
+// Proof rule tag for each registered synchronization operation.
+RuleKind SyncRuleFor(SyncOp op) {
+  switch (op) {
+    case SyncOp::kWait:
+      return RuleKind::kWaitAxiom;
+    case SyncOp::kSignal:
+      return RuleKind::kSignalAxiom;
+    case SyncOp::kSend:
+      return RuleKind::kSendAxiom;
+    case SyncOp::kReceive:
+      return RuleKind::kReceiveAxiom;
+  }
+  return RuleKind::kSkipAxiom;
+}
 
 class Theorem1Builder {
  public:
@@ -31,45 +47,11 @@ class Theorem1Builder {
         return AxiomWithConsequence(stmt, RuleKind::kAssignAxiom, l, g, /*g_out=*/g,
                                     {{TermRef::Var(assign.target()), replacement}});
       }
-      case StmtKind::kSignal: {
-        const auto& signal = stmt.As<SignalStmt>();
-        ClassExpr replacement = ClassExpr::VarClass(signal.semaphore())
-                                    .Join(ClassExpr::Local(), ext_)
-                                    .Join(ClassExpr::Global(), ext_);
-        return AxiomWithConsequence(stmt, RuleKind::kSignalAxiom, l, g, /*g_out=*/g,
-                                    {{TermRef::Var(signal.semaphore()), replacement}});
-      }
-      case StmtKind::kWait: {
-        const auto& wait = stmt.As<WaitStmt>();
-        ClassExpr replacement = ClassExpr::VarClass(wait.semaphore())
-                                    .Join(ClassExpr::Local(), ext_)
-                                    .Join(ClassExpr::Global(), ext_);
-        ClassId g_out = ext_.Join(g, ext_.Join(l, binding_.ExtendedBinding(wait.semaphore())));
-        return AxiomWithConsequence(stmt, RuleKind::kWaitAxiom, l, g, g_out,
-                                    {{TermRef::Var(wait.semaphore()), replacement},
-                                     {TermRef::Global(), replacement}});
-      }
-      case StmtKind::kSend: {
-        const auto& send = stmt.As<SendStmt>();
-        ClassExpr replacement = ClassExpr::VarClass(send.channel())
-                                    .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
-                                    .Join(ClassExpr::Local(), ext_)
-                                    .Join(ClassExpr::Global(), ext_);
-        return AxiomWithConsequence(stmt, RuleKind::kSendAxiom, l, g, /*g_out=*/g,
-                                    {{TermRef::Var(send.channel()), replacement}});
-      }
-      case StmtKind::kReceive: {
-        const auto& receive = stmt.As<ReceiveStmt>();
-        ClassExpr replacement = ClassExpr::VarClass(receive.channel())
-                                    .Join(ClassExpr::Local(), ext_)
-                                    .Join(ClassExpr::Global(), ext_);
-        ClassId g_out =
-            ext_.Join(g, ext_.Join(l, binding_.ExtendedBinding(receive.channel())));
-        return AxiomWithConsequence(stmt, RuleKind::kReceiveAxiom, l, g, g_out,
-                                    {{TermRef::Var(receive.target()), replacement},
-                                     {TermRef::Var(receive.channel()), replacement},
-                                     {TermRef::Global(), replacement}});
-      }
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
+      case StmtKind::kReceive:
+        return BuildSyncAxiom(stmt, *SyncOpOf(stmt.kind()), l, g);
       case StmtKind::kSkip: {
         AssertionId p = AssertId(l, g);
         return arena().Add(RuleKind::kSkipAxiom, &stmt, p, p);
@@ -112,6 +94,35 @@ class Theorem1Builder {
 
  private:
   ProofArena& arena() { return proof_.arena; }
+
+  // Synchronization axioms from the descriptor, mirroring AnalyzeSync's
+  // mod/flow/cert recipe on the proof side:
+  //
+  //   replacement X = class(prim) [⊕ class(e) for data in] ⊕ local ⊕ global
+  //   substitutions: the data-out target (receive's x), then the primitive,
+  //   then global iff the op is a conditional delay — every variable the op
+  //   may write gets X, and a delay raises the global certification bound.
+  //   g_out = g ⊕ l ⊕ sbind(prim) for delays (Theorem 1's raised bound).
+  ProofNodeId BuildSyncAxiom(const Stmt& stmt, const SyncOpInfo& info, ClassId l, ClassId g) {
+    const Symbol& primitive = symbols_.at(SyncTarget(stmt));
+    ClassExpr replacement = ClassExpr::VarClass(primitive.id);
+    if (info.carries_data_in) {
+      replacement = replacement.Join(ClassExpr::ForProgramExpr(*SyncValue(stmt), ext_), ext_);
+    }
+    replacement =
+        replacement.Join(ClassExpr::Local(), ext_).Join(ClassExpr::Global(), ext_);
+    std::vector<std::pair<TermRef, ClassExpr>> subs;
+    if (info.carries_data_out) {
+      subs.emplace_back(TermRef::Var(SyncDataTarget(stmt)), replacement);
+    }
+    subs.emplace_back(TermRef::Var(primitive.id), replacement);
+    ClassId g_out = g;
+    if (IsBlocking(info, primitive)) {
+      subs.emplace_back(TermRef::Global(), replacement);
+      g_out = ext_.Join(g, ext_.Join(l, binding_.ExtendedBinding(primitive.id)));
+    }
+    return AxiomWithConsequence(stmt, SyncRuleFor(info.op), l, g, g_out, subs);
+  }
 
   ProofNodeId AxiomWithConsequence(const Stmt& stmt, RuleKind rule, ClassId l, ClassId g,
                                    ClassId g_out,

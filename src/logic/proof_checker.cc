@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/lang/sync_primitive.h"
+
 namespace cfm {
 
 namespace {
@@ -18,6 +20,34 @@ bool IsAtomicRule(RuleKind rule) {
   return rule == RuleKind::kAssignAxiom || rule == RuleKind::kWaitAxiom ||
          rule == RuleKind::kSignalAxiom || rule == RuleKind::kSendAxiom ||
          rule == RuleKind::kReceiveAxiom;
+}
+
+// Inverse of the builder's SyncOp -> RuleKind map.
+std::optional<SyncOp> SyncOpForRule(RuleKind rule) {
+  switch (rule) {
+    case RuleKind::kWaitAxiom:
+      return SyncOp::kWait;
+    case RuleKind::kSignalAxiom:
+      return SyncOp::kSignal;
+    case RuleKind::kSendAxiom:
+      return SyncOp::kSend;
+    case RuleKind::kReceiveAxiom:
+      return SyncOp::kReceive;
+    default:
+      return std::nullopt;
+  }
+}
+
+// The replacement class expression a sync operation writes into everything
+// it modifies: X = class(prim) [+ class(e) for send's message] + local +
+// global.
+ClassExpr SyncReplacement(const Stmt& stmt, const SyncOpInfo& info,
+                          const ExtendedLattice& ext) {
+  ClassExpr replacement = ClassExpr::VarClass(SyncTarget(stmt));
+  if (info.carries_data_in) {
+    replacement = replacement.Join(ClassExpr::ForProgramExpr(*SyncValue(stmt), ext), ext);
+  }
+  return replacement.Join(ClassExpr::Local(), ext).Join(ClassExpr::Global(), ext);
 }
 
 }  // namespace
@@ -133,72 +163,49 @@ std::optional<ProofError> ProofChecker::CheckAxiom(const ProofArena& a, ProofNod
       }
       return std::nullopt;
     }
-    case RuleKind::kSignalAxiom: {
-      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSignal) {
-        return Fail(id, "signal axiom applied to a non-signal");
-      }
-      SymbolId sem = node.stmt->As<SignalStmt>().semaphore();
-      ClassExpr replacement = ClassExpr::VarClass(sem)
-                                  .Join(ClassExpr::Local(), ext_)
-                                  .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected = a.post(id).Substitute({{TermRef::Var(sem), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ops_)) {
-        return Fail(id,
-                    "signal axiom: pre-condition is not post[sem <- sem + local + global]");
-      }
-      return std::nullopt;
-    }
-    case RuleKind::kWaitAxiom: {
-      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kWait) {
-        return Fail(id, "wait axiom applied to a non-wait");
-      }
-      SymbolId sem = node.stmt->As<WaitStmt>().semaphore();
-      ClassExpr replacement = ClassExpr::VarClass(sem)
-                                  .Join(ClassExpr::Local(), ext_)
-                                  .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected = a.post(id).Substitute(
-          {{TermRef::Var(sem), replacement}, {TermRef::Global(), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ops_)) {
-        return Fail(id,
-                    "wait axiom: pre-condition is not post[sem <- X, global <- X] with "
-                    "X = sem + local + global");
-      }
-      return std::nullopt;
-    }
-    case RuleKind::kSendAxiom: {
-      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kSend) {
-        return Fail(id, "send axiom applied to a non-send");
-      }
-      const auto& send = node.stmt->As<SendStmt>();
-      ClassExpr replacement = ClassExpr::VarClass(send.channel())
-                                  .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
-                                  .Join(ClassExpr::Local(), ext_)
-                                  .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected =
-          a.post(id).Substitute({{TermRef::Var(send.channel()), replacement}}, ext_);
-      if (!a.pre(id).EquivalentTo(expected, ops_)) {
-        return Fail(id,
-                    "send axiom: pre-condition is not post[ch <- ch + e + local + global]");
-      }
-      return std::nullopt;
-    }
+    case RuleKind::kSignalAxiom:
+    case RuleKind::kWaitAxiom:
+    case RuleKind::kSendAxiom:
     case RuleKind::kReceiveAxiom: {
-      if (node.stmt == nullptr || node.stmt->kind() != StmtKind::kReceive) {
-        return Fail(id, "receive axiom applied to a non-receive");
+      // One derivation for every registered synchronization operation: the
+      // expected pre-condition is post with X = prim [+ e] + local + global
+      // substituted for everything the operation modifies — the data-out
+      // target (receive's x), the primitive itself, and global when the
+      // operation is a conditional delay.
+      const SyncOpInfo& info = SyncOpInfoFor(*SyncOpForRule(node.rule));
+      std::string name(info.name);
+      if (node.stmt == nullptr || node.stmt->kind() != info.stmt_kind) {
+        return Fail(id, name + " axiom applied to a non-" + name);
       }
-      const auto& receive = node.stmt->As<ReceiveStmt>();
-      ClassExpr replacement = ClassExpr::VarClass(receive.channel())
-                                  .Join(ClassExpr::Local(), ext_)
-                                  .Join(ClassExpr::Global(), ext_);
-      FlowAssertion expected =
-          a.post(id).Substitute({{TermRef::Var(receive.target()), replacement},
-                                 {TermRef::Var(receive.channel()), replacement},
-                                 {TermRef::Global(), replacement}},
-                                ext_);
+      const Symbol& primitive = symbols_.at(SyncTarget(*node.stmt));
+      ClassExpr replacement = SyncReplacement(*node.stmt, info, ext_);
+      std::vector<std::pair<TermRef, ClassExpr>> subs;
+      if (info.carries_data_out) {
+        subs.push_back({TermRef::Var(SyncDataTarget(*node.stmt)), replacement});
+      }
+      subs.push_back({TermRef::Var(primitive.id), replacement});
+      bool blocking = IsBlocking(info, primitive);
+      if (blocking) {
+        subs.push_back({TermRef::Global(), replacement});
+      }
+      FlowAssertion expected = a.post(id).Substitute(subs, ext_);
       if (!a.pre(id).EquivalentTo(expected, ops_)) {
-        return Fail(id,
-                    "receive axiom: pre-condition is not post[x <- X, ch <- X, global <- X] "
-                    "with X = ch + local + global");
+        std::string prim = info.primitive == SymbolKind::kChannel ? "ch" : "sem";
+        std::string subs_desc;
+        if (info.carries_data_out) {
+          subs_desc += "x <- X, ";
+        }
+        subs_desc += prim + " <- X";
+        if (blocking) {
+          subs_desc += ", global <- X";
+        }
+        std::string x_desc = prim;
+        if (info.carries_data_in) {
+          x_desc += " + e";
+        }
+        x_desc += " + local + global";
+        return Fail(id, name + " axiom: pre-condition is not post[" + subs_desc +
+                            "] with X = " + x_desc);
       }
       return std::nullopt;
     }
@@ -501,31 +508,18 @@ std::optional<ProofError> ProofChecker::CheckInterferenceFreedom(const ProofAren
           break;
         }
         case StmtKind::kWait:
-        case StmtKind::kSignal: {
-          SymbolId sem = atomic.stmt->kind() == StmtKind::kWait
-                             ? atomic.stmt->As<WaitStmt>().semaphore()
-                             : atomic.stmt->As<SignalStmt>().semaphore();
-          subs.push_back({TermRef::Var(sem), ClassExpr::VarClass(sem)
-                                                 .Join(ClassExpr::Local(), ext_)
-                                                 .Join(ClassExpr::Global(), ext_)});
-          break;
-        }
-        case StmtKind::kSend: {
-          const auto& send = atomic.stmt->As<SendStmt>();
-          subs.push_back({TermRef::Var(send.channel()),
-                          ClassExpr::VarClass(send.channel())
-                              .Join(ClassExpr::ForProgramExpr(send.value(), ext_), ext_)
-                              .Join(ClassExpr::Local(), ext_)
-                              .Join(ClassExpr::Global(), ext_)});
-          break;
-        }
+        case StmtKind::kSignal:
+        case StmtKind::kSend:
         case StmtKind::kReceive: {
-          const auto& receive = atomic.stmt->As<ReceiveStmt>();
-          ClassExpr x = ClassExpr::VarClass(receive.channel())
-                            .Join(ClassExpr::Local(), ext_)
-                            .Join(ClassExpr::Global(), ext_);
-          subs.push_back({TermRef::Var(receive.target()), x});
-          subs.push_back({TermRef::Var(receive.channel()), x});
+          // V parts carry no global term, so the atomic's global raise (when
+          // it blocks) cannot disturb a sibling's assertion — only the
+          // variable substitutions matter here.
+          const SyncOpInfo& op_info = *SyncOpOf(atomic.stmt->kind());
+          ClassExpr x = SyncReplacement(*atomic.stmt, op_info, ext_);
+          if (op_info.carries_data_out) {
+            subs.push_back({TermRef::Var(SyncDataTarget(*atomic.stmt)), x});
+          }
+          subs.push_back({TermRef::Var(SyncTarget(*atomic.stmt)), x});
           break;
         }
         default:

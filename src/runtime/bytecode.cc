@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/lang/sync_primitive.h"
+
 namespace cfm {
 
 namespace {
+
+// The runtime's half of the SyncPrimitive registration: which opcode each
+// descriptor row compiles to, and the reverse lookup for footprints and
+// disassembly.
+OpCode OpCodeFor(SyncOp op) {
+  switch (op) {
+    case SyncOp::kWait:
+      return OpCode::kWait;
+    case SyncOp::kSignal:
+      return OpCode::kSignal;
+    case SyncOp::kSend:
+      return OpCode::kSend;
+    case SyncOp::kReceive:
+      return OpCode::kReceive;
+  }
+  return OpCode::kWait;
+}
+
+const SyncOpInfo* SyncInfoOf(OpCode op) {
+  switch (op) {
+    case OpCode::kWait:
+      return &SyncOpInfoFor(SyncOp::kWait);
+    case OpCode::kSignal:
+      return &SyncOpInfoFor(SyncOp::kSignal);
+    case OpCode::kSend:
+      return &SyncOpInfoFor(SyncOp::kSend);
+    case OpCode::kReceive:
+      return &SyncOpInfoFor(SyncOp::kReceive);
+    default:
+      return nullptr;
+  }
+}
 
 class Compiler {
  public:
@@ -88,28 +122,17 @@ class Compiler {
         code_[jump_index].operand = Here();
         return;
       }
-      case StmtKind::kWait: {
-        Instruction& inst = Emit(OpCode::kWait, &stmt);
-        inst.symbol = stmt.As<WaitStmt>().semaphore();
-        return;
-      }
-      case StmtKind::kSignal: {
-        Instruction& inst = Emit(OpCode::kSignal, &stmt);
-        inst.symbol = stmt.As<SignalStmt>().semaphore();
-        return;
-      }
-      case StmtKind::kSend: {
-        const auto& send = stmt.As<SendStmt>();
-        Instruction& inst = Emit(OpCode::kSend, &stmt);
-        inst.symbol = send.channel();
-        inst.expr = &send.value();
-        return;
-      }
+      case StmtKind::kWait:
+      case StmtKind::kSignal:
+      case StmtKind::kSend:
       case StmtKind::kReceive: {
-        const auto& receive = stmt.As<ReceiveStmt>();
-        Instruction& inst = Emit(OpCode::kReceive, &stmt);
-        inst.symbol = receive.channel();
-        inst.symbol2 = receive.target();
+        const SyncOpInfo& info = *SyncOpOf(stmt.kind());
+        Instruction& inst = Emit(OpCodeFor(info.op), &stmt);
+        inst.symbol = SyncTarget(stmt);
+        inst.expr = SyncValue(stmt);  // send's message; nullptr otherwise
+        if (info.carries_data_out) {
+          inst.symbol2 = SyncDataTarget(stmt);
+        }
         return;
       }
       case StmtKind::kSkip:
@@ -198,21 +221,20 @@ void FillInstructionFootprint(const Instruction& inst, uint32_t fork_bit, Footpr
       break;
     case OpCode::kWait:
     case OpCode::kSignal:
-      // Both read-modify-write the semaphore counter (a blocked wait
-      // attempt conservatively keeps the write).
-      SetBit(now.reads, inst.symbol);
-      SetBit(now.writes, inst.symbol);
-      break;
     case OpCode::kSend:
+    case OpCode::kReceive: {
+      // Every sync op read-modify-writes its primitive's counter/queue (a
+      // blocked attempt conservatively keeps the write); a data-in op also
+      // reads its message expression, a data-out op also writes its target.
+      const SyncOpInfo& info = *SyncInfoOf(inst.op);
       AddExprReads(inst.expr, now.reads);
       SetBit(now.reads, inst.symbol);
       SetBit(now.writes, inst.symbol);
+      if (info.carries_data_out) {
+        SetBit(now.writes, inst.symbol2);
+      }
       break;
-    case OpCode::kReceive:
-      SetBit(now.reads, inst.symbol);
-      SetBit(now.writes, inst.symbol);
-      SetBit(now.writes, inst.symbol2);
-      break;
+    }
     case OpCode::kFork:
       // Forks append to the thread vector; spawn order decides thread
       // ids, so fork/fork pairs never commute.
@@ -350,18 +372,16 @@ std::string CompiledProgram::Disassemble(const SymbolTable& symbols) const {
         os << "jump -> " << inst.operand;
         break;
       case OpCode::kWait:
-        os << "wait " << symbols.at(inst.symbol).name;
-        break;
       case OpCode::kSignal:
-        os << "signal " << symbols.at(inst.symbol).name;
-        break;
       case OpCode::kSend:
-        os << "send " << symbols.at(inst.symbol).name;
+      case OpCode::kReceive: {
+        const SyncOpInfo& info = *SyncInfoOf(inst.op);
+        os << info.name << " " << symbols.at(inst.symbol).name;
+        if (info.carries_data_out) {
+          os << " -> " << symbols.at(inst.symbol2).name;
+        }
         break;
-      case OpCode::kReceive:
-        os << "receive " << symbols.at(inst.symbol).name << " -> "
-           << symbols.at(inst.symbol2).name;
-        break;
+      }
       case OpCode::kFork: {
         os << "fork ->";
         for (uint32_t child_entry : inst.fork_entries) {

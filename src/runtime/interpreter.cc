@@ -70,8 +70,14 @@ void Machine::RunnableInto(ExecState& state, std::vector<uint32_t>& runnable) co
   for (uint32_t i = 0; i < state.threads.size(); ++i) {
     ThreadState& thread = state.threads[i];
     if (thread.status == ThreadState::Status::kBlockedSem) {
-      SymbolId sem = code_.code[thread.pc].symbol;
-      if (state.values[sem] > 0) {
+      const Instruction& inst = code_.code[thread.pc];
+      // The blocked instruction decides the wake predicate: a send blocked
+      // on a full bounded channel resumes when the queue has room; wait and
+      // receive resume when the counter/queue is non-empty.
+      bool ready = inst.op == OpCode::kSend
+                       ? state.values[inst.symbol] < symbols_.at(inst.symbol).capacity
+                       : state.values[inst.symbol] > 0;
+      if (ready) {
         thread.status = ThreadState::Status::kRunnable;
       }
     }
@@ -252,6 +258,12 @@ void Machine::Step(ExecState& state, uint32_t thread_id) const {
       return;
     }
     case OpCode::kSend: {
+      const int64_t capacity = symbols_.at(inst.symbol).capacity;
+      if (capacity > 0 &&
+          static_cast<int64_t>(state.channels[inst.symbol].size()) >= capacity) {
+        thread.status = ThreadState::Status::kBlockedSem;
+        return;  // Runnable() re-arms when the queue has room again.
+      }
       int64_t message = Eval(*inst.expr, state);
       state.channels[inst.symbol].push_back(message);
       state.values[inst.symbol] =
@@ -262,6 +274,11 @@ void Machine::Step(ExecState& state, uint32_t thread_id) const {
         ClassId x = ext->Join(
             state.labels[inst.symbol],
             ext->Join(LabelOf(*inst.expr, state), ext->Join(pc_label(), thread.global)));
+        if (capacity > 0) {
+          // Completing a send on a bounded channel is a conditional delay:
+          // progress reveals the channel's state to everything after it.
+          thread.global = x;
+        }
         RecordWrite(state, inst.origin, inst.symbol, x);
       }
       ++thread.pc;

@@ -20,25 +20,6 @@ bool AllWs(std::string_view text) {
   return std::all_of(text.begin(), text.end(), IsWs);
 }
 
-// Statement ranges do not cover the closing parens of a trailing
-// parenthesized expression (the parser returns the inner node for `(e)`), so
-// the bytes between a statement's range end and the next separator may start
-// with `)`s that belong to the statement. `AbsorbTrailingParens` advances
-// past that run — whitespace and ')' only — and returns one past the last
-// ')' (or `from` unchanged when there is none), which the caller splices
-// back into the preceding chunk so chunk text stays parseable in isolation.
-uint32_t AbsorbTrailingParens(std::string_view text, uint32_t from, uint32_t limit) {
-  uint32_t absorbed = from;
-  for (uint32_t i = from; i < limit; ++i) {
-    if (text[i] == ')') {
-      absorbed = i + 1;
-    } else if (!IsWs(text[i])) {
-      break;
-    }
-  }
-  return absorbed;
-}
-
 // True iff `gap` is exactly one top-level statement separator: optional
 // whitespace, one ';', optional whitespace. Comments disqualify — they can
 // swallow separators under edits, so such documents stay on the cold path.
@@ -135,7 +116,6 @@ IncrementalCertifier::PlanChunks(const Program& program, const std::string& text
     if (i == 0 ? !AllWs(gap) : !IsSeparatorGap(gap)) {
       return std::nullopt;
     }
-    end = AbsorbTrailingParens(text, end, static_cast<uint32_t>(text.size()));
     plan.push_back(ChunkPlan{children[i], begin, end});
     prev_end = end;
   }

@@ -1,0 +1,16 @@
+-- cfmfuzz reproducer
+-- oracle: cert-sound-ni
+-- lattice: two
+-- note: seed shape for the bounded-send conditional delay: capacity(1)
+-- note: makes the second send block until the reader drains, so the flow
+-- note: class of everything sequenced after it must dominate the
+-- note: channel's class. All-high it certifies and explores clean.
+var
+  h : integer class high;
+  item, out : integer class high;
+  buf : channel of integer capacity(1) class high;
+cobegin
+  begin send(buf, h); send(buf, h + 1); out := 1 end
+||
+  begin receive(buf, item); receive(buf, item) end
+coend

@@ -1,0 +1,20 @@
+-- cfmfuzz reproducer
+-- oracle: cert-vs-proof
+-- lattice: two
+-- note: seed shape giving the channel mutations live sites: two integer
+-- note: channels with matched send/receive pairs (so break-channel can
+-- note: retarget without changing element types) plus a bounded boolean
+-- note: channel for the typed variant. The all-high policy is looser than
+-- note: the flows need (the seeded constants would certify low); that slack
+-- note: is deliberate so binding perturbations stay certifiable.
+-- lint:allow-file(label-creep)
+var
+  x, y : integer class high;
+  ok : boolean class high;
+  ping, pong : channel of integer class high;
+  flag : channel of boolean capacity(1) class high;
+cobegin
+  begin send(ping, 1); receive(pong, x); send(flag, x > 0) end
+||
+  begin receive(ping, y); send(pong, y + 1); receive(flag, ok) end
+coend

@@ -82,6 +82,41 @@ TEST(MutateTest, MutationChainsStayWellFormed) {
   }
 }
 
+TEST(MutateTest, ChannelMutationsFireAndStayWellFormed) {
+  uint32_t break_channel = 0;
+  uint32_t splice_channel = 0;
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    GenOptions gen;
+    gen.seed = seed;
+    gen.target_stmts = 16;
+    gen.allow_channels = true;
+    if (seed % 2 == 0) {
+      gen.max_channel_capacity = 2;
+    }
+    Program program = GenerateProgram(gen);
+    Rng rng(seed * 977 + 11);
+    std::string description;
+    Program mutated = MutateProgram(program, rng, &description);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + description);
+    if (description.find("break-channel") != std::string::npos) {
+      ++break_channel;
+    }
+    if (description.find("splice-channel-op") != std::string::npos) {
+      ++splice_channel;
+    }
+    // Element-kind preservation: the mutated program must still parse and
+    // reach the print fixed point (a boolean expression on an integer
+    // channel would be a frontend error, not a mutation).
+    std::string printed = PrintProgram(mutated);
+    DiagnosticEngine diags;
+    std::optional<Program> reparsed = ParseProgramText(printed, diags);
+    ASSERT_TRUE(reparsed.has_value()) << printed;
+    EXPECT_EQ(PrintProgram(*reparsed), printed);
+  }
+  EXPECT_GT(break_channel, 0u) << "break-channel never fired over the band";
+  EXPECT_GT(splice_channel, 0u) << "splice-channel-op never fired over the band";
+}
+
 TEST(MutateTest, PerturbBindingStaysInsideLattice) {
   std::unique_ptr<HasseLattice> diamond = HasseLattice::Diamond();
   const HasseLattice& lattice = *diamond;

@@ -1,0 +1,133 @@
+// Golden parity lock for the SyncPrimitive refactor. Every observable
+// behavior of the synchronization layer over the checked-in corpus —
+// certification JSON (verdict + violations), the serialized Theorem 1 proof
+// and its independent check, exhaustive-exploration outcome/state counts
+// with POR on and off, and the lint JSON — is concatenated into one
+// transcript and pinned byte-for-byte. A descriptor-table edit that shifts
+// any of it (a reworded axiom failure, a changed explorer count, a new lint
+// edge) fails here with a diff instead of slipping through as "still
+// certifies".
+//
+// Regenerate after an intentional change:
+//   CFM_UPDATE_SYNC_GOLDENS=1 build/tests/sync_parity_tests
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/core/pipeline.h"
+#include "src/core/report.h"
+#include "src/fuzz/corpus.h"
+#include "src/logic/proof_io.h"
+#include "src/runtime/explorer.h"
+
+namespace cfm {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles(const std::string& subdir) {
+  std::vector<std::filesystem::path> files;
+  std::filesystem::path dir = std::filesystem::path(CFM_CORPUS_DIR) / subdir;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cfm") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void AppendExploration(std::ostringstream& os, const char* label, bool por,
+                       CfmPipeline& pipeline) {
+  ExploreOptions options;
+  options.por = por;
+  // Small corpus programs only; the cap is a tripwire, not a budget.
+  options.max_states = 100'000;
+  ExploreResult result =
+      ExploreAllSchedules(*pipeline.bytecode(), pipeline.symbols(), {}, options);
+  os << "explore[" << label << "]: states=" << result.states_visited
+     << " truncated=" << result.truncated << "\n";
+  for (const auto& [outcome, count] : result.outcomes) {
+    os << "  outcome " << ToString(outcome.status) << " x" << count << " values=[";
+    for (size_t i = 0; i < outcome.values.size(); ++i) {
+      os << (i ? "," : "") << outcome.values[i];
+    }
+    os << "]\n";
+  }
+}
+
+std::string Transcript(const std::filesystem::path& path) {
+  const std::string name = path.filename().string();
+  std::ostringstream os;
+  os << "== " << name << "\n";
+
+  Result<Reproducer> reproducer = ParseReproducer(ReadFile(path));
+  if (!reproducer.ok()) {
+    os << "reproducer-error: " << reproducer.error() << "\n";
+    return os.str();
+  }
+  PipelineOptions options;
+  options.lattice_spec = reproducer->lattice_spec;
+  CfmPipeline pipeline(options);
+  if (!pipeline.LoadSource(name, reproducer->source) || pipeline.binding() == nullptr) {
+    os << "pipeline-error: " << pipeline.error() << "\n";
+    return os.str();
+  }
+
+  os << RenderCertificationJson(pipeline, name) << "\n";
+
+  if (const Proof* proof = pipeline.proof()) {
+    os << "proof:\n" << SerializeProof(*proof, *pipeline.program(), pipeline.extended());
+    auto error = pipeline.checker()->Check(*proof);
+    os << "checker: " << (error ? error->reason : "ok") << "\n";
+  } else {
+    os << "proof-unavailable: " << pipeline.error() << "\n";
+  }
+
+  AppendExploration(os, "por", /*por=*/true, pipeline);
+  AppendExploration(os, "full", /*por=*/false, pipeline);
+
+  os << RenderLintJson(*pipeline.lint(), name) << "\n";
+  return os.str();
+}
+
+TEST(SyncParityTest, CorpusTranscriptMatchesGolden) {
+  std::ostringstream transcript;
+  for (const char* subdir : {"seeds", "regressions"}) {
+    for (const auto& path : CorpusFiles(subdir)) {
+      transcript << Transcript(path);
+    }
+  }
+
+  const std::filesystem::path golden_path =
+      std::filesystem::path(CFM_CORPUS_DIR) / "goldens" / "sync_parity.txt";
+  if (std::getenv("CFM_UPDATE_SYNC_GOLDENS") != nullptr) {
+    std::filesystem::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path);
+    out << transcript.str();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  ASSERT_TRUE(std::filesystem::exists(golden_path))
+      << "no golden transcript; run with CFM_UPDATE_SYNC_GOLDENS=1 to create it";
+  EXPECT_EQ(ReadFile(golden_path), transcript.str())
+      << "synchronization-layer behavior drifted from the golden transcript; "
+         "inspect the diff, then regenerate with CFM_UPDATE_SYNC_GOLDENS=1 "
+         "if the change is intentional";
+}
+
+}  // namespace
+}  // namespace cfm

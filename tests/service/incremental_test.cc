@@ -105,6 +105,35 @@ TEST(IncrementalTest, SingleChunkEditServesWarmAndMatchesOneShot) {
       << "snapshot must track the edited text (I2)";
 }
 
+// Generator-shaped programs end statements in parenthesized expressions
+// ("x := (a + (b * 2))"); statement ranges must cover the trailing ')' bytes
+// so PlanChunks sees clean separator gaps and the document stays
+// warm-eligible.
+TEST(IncrementalTest, TrailingParenStatementsStayWarmEligible) {
+  IncrementalCertifier certifier(TwoPoint(), 1024);
+  constexpr char kGenShaped[] =
+      "var a, b, c : integer class low;\n"
+      "begin\n"
+      "  a := (1 + 2);\n"
+      "  b := (a * (a + 3));\n"
+      "  c := (b - (a + (1 * 2)))\n"
+      "end\n";
+  RenderedReport cold = certifier.Check("g.cfm", kGenShaped, JsonCheck("g.cfm"), false);
+  ExpectSameReport(cold, OneShotCheck("g.cfm", kGenShaped, true), "gen-shaped cold");
+  RenderedReport warm = certifier.Check("g.cfm", kGenShaped, JsonCheck("g.cfm"), false);
+  ExpectSameReport(warm, cold, "gen-shaped resubmission");
+  EXPECT_EQ(certifier.stats().warm_hits, 1u)
+      << "trailing-paren statements must plan into chunks (warm-eligible)";
+
+  std::string edited = kGenShaped;
+  const size_t at = edited.find("(a * (a + 3))");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 13, "(a * (a + 7))");
+  RenderedReport warm_edit = certifier.Check("g.cfm", edited, JsonCheck("g.cfm"), false);
+  ExpectSameReport(warm_edit, OneShotCheck("g.cfm", edited, true), "gen-shaped edit");
+  EXPECT_EQ(certifier.stats().warm_edits, 1u);
+}
+
 TEST(IncrementalTest, EditIntroducingViolationFallsBackAndErasesSnapshot) {
   IncrementalCertifier certifier(TwoPoint(), 1024);
   std::string clean =

@@ -383,7 +383,8 @@ int RunVerify(CfmPipeline& pipeline, const CliOptions& options) {
 // independent of any particular binding.
 int RunConditions(CfmPipeline& pipeline) {
   const Program& program = *pipeline.program();
-  std::vector<FlowConstraint> constraints = ExtractConstraints(program.root());
+  std::vector<FlowConstraint> constraints =
+      ExtractConstraints(program.root(), &program.symbols());
   // Deduplicate (the same pair can arise from several checks).
   std::set<std::pair<SymbolId, SymbolId>> seen;
   std::cout << "certification conditions (any binding must satisfy all of):\n";
